@@ -1,0 +1,160 @@
+// Ablation (DESIGN.md design-choice study): Enhancement-AI design
+// decisions at matched training budget —
+//   * DDnet (dense blocks + deconvolution decoder, the paper's pick)
+//     vs a plain U-Net denoiser (§6.3's comparator family);
+//   * residual vs direct prediction;
+//   * the MS-SSIM loss weight (0 = pure MSE, 0.1 = paper, 1.0 = heavy).
+#include <cstdio>
+
+#include "autograd/optim.h"
+#include "bench_common.h"
+#include "metrics/image_quality.h"
+#include "nn/ddnet.h"
+#include "nn/unet.h"
+#include "pipeline/enhancement_ai.h"
+
+using namespace ccovid;
+
+namespace {
+
+struct EvalResult {
+  double mse;
+  double msssim;
+};
+
+// Shared train loop over (low, full) pairs for any module with a
+// forward(Var)->Var; returns test metrics.
+template <typename Net>
+EvalResult train_and_eval(Net& net, const data::EnhancementDataset& ds,
+                          int epochs, real_t msssim_weight, Rng& rng) {
+  autograd::Adam opt(net.parameters(), 2e-3);
+  autograd::ExponentialLR sched(opt, 0.9);
+  std::vector<index_t> order(ds.train.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int e = 0; e < epochs; ++e) {
+    net.set_training(true);
+    for (index_t i = static_cast<index_t>(order.size()) - 1; i > 0; --i) {
+      std::swap(order[i], order[rng.uniform_int(0, i)]);
+    }
+    for (index_t idx : order) {
+      const auto& pair = ds.train[idx];
+      autograd::Var x(pair.low.clone().reshape(
+          {1, 1, pair.low.dim(0), pair.low.dim(1)}));
+      autograd::Var pred = net.forward(x);
+      const Tensor target = pair.full.clone().reshape(
+          {1, 1, pair.full.dim(0), pair.full.dim(1)});
+      autograd::Var loss =
+          msssim_weight > 0.0f
+              ? autograd::enhancement_loss(pred, target, msssim_weight,
+                                           11, 1)
+              : autograd::mse_loss(pred, target);
+      opt.zero_grad();
+      loss.backward();
+      opt.step();
+    }
+    sched.step();
+  }
+  net.set_training(false);
+  EvalResult r{0.0, 0.0};
+  for (const auto& pair : ds.test) {
+    const Tensor e = net.enhance(pair.low);
+    r.mse += metrics::mse(pair.full, e);
+    r.msssim += metrics::ms_ssim(pair.full, e);
+  }
+  r.mse /= ds.test.size();
+  r.msssim /= ds.test.size();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  const index_t px = args.quick ? 32 : 48;
+  const int epochs = args.quick ? 4 : 12;
+
+  bench::print_header(
+      "Ablation: enhancement architecture & loss design choices");
+
+  Rng rng(23);
+  data::EnhancementDatasetConfig dcfg;
+  dcfg.image_px = px;
+  dcfg.num_train = args.quick ? 8 : 24;
+  dcfg.num_val = 2;
+  dcfg.num_test = args.quick ? 2 : 6;
+  dcfg.lowdose.photons_per_ray = 2e4;
+  const data::EnhancementDataset ds =
+      data::make_enhancement_dataset(dcfg, rng);
+
+  double baseline_mse = 0.0, baseline_ms = 0.0;
+  for (const auto& pair : ds.test) {
+    baseline_mse += metrics::mse(pair.full, pair.low);
+    baseline_ms += metrics::ms_ssim(pair.full, pair.low);
+  }
+  baseline_mse /= ds.test.size();
+  baseline_ms /= ds.test.size();
+  std::printf("unenhanced low-dose baseline: MSE %.5f, MS-SSIM %.4f\n\n",
+              baseline_mse, baseline_ms);
+  std::printf("%-34s %-12s %-10s\n", "variant", "test MSE", "MS-SSIM");
+  bench::print_rule(58);
+
+  const auto report = [](const char* name, const EvalResult& r) {
+    std::printf("%-34s %-12.5f %-10.4f\n", name, r.mse, r.msssim);
+  };
+
+  nn::DDnetConfig dd;
+  dd.base_channels = 8;
+  dd.growth = 8;
+  dd.levels = 2;
+  dd.dense_layers = 2;
+
+  {
+    nn::seed_init_rng(23);
+    nn::DDnet net(dd);
+    Rng r(1);
+    report("DDnet, residual, w=0.1 (paper)",
+           train_and_eval(net, ds, epochs, 0.1f, r));
+  }
+  {
+    nn::DDnetConfig cfg = dd;
+    cfg.residual = false;
+    nn::seed_init_rng(23);
+    nn::DDnet net(cfg);
+    Rng r(1);
+    report("DDnet, direct (no residual)",
+           train_and_eval(net, ds, epochs, 0.1f, r));
+  }
+  {
+    nn::seed_init_rng(23);
+    nn::DDnet net(dd);
+    Rng r(1);
+    report("DDnet, pure MSE loss (w=0)",
+           train_and_eval(net, ds, epochs, 0.0f, r));
+  }
+  {
+    nn::seed_init_rng(23);
+    nn::DDnet net(dd);
+    Rng r(1);
+    report("DDnet, heavy MS-SSIM (w=1.0)",
+           train_and_eval(net, ds, epochs, 1.0f, r));
+  }
+  {
+    nn::UNetConfig ucfg;
+    ucfg.base_channels = 12;  // roughly parameter-matched to the DDnet
+    ucfg.levels = 2;
+    nn::seed_init_rng(23);
+    nn::UNetDenoiser net(ucfg);
+    Rng r(1);
+    report("U-Net comparator, w=0.1",
+           train_and_eval(net, ds, epochs, 0.1f, r));
+  }
+
+  bench::print_rule(58);
+  std::printf(
+      "Expected shape: every variant beats the unenhanced baseline; the\n"
+      "MS-SSIM ranking tracks the MSE ranking with the composite loss\n"
+      "trading a little MSE for structure. Architecture ordering at this\n"
+      "miniature budget is noise-level — the paper's DDnet advantage\n"
+      "materializes at clinical resolution and training scale.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Ablation (DESIGN.md design-choice study): how much of the low-dose
+// image-quality loss each reconstruction strategy recovers —
+//   FBP            (the paper's reconstruction),
+//   SIRT           (classic iterative reconstruction, §6.3's family),
+//   FBP + DDnet    (the ComputeCOVID19+ approach).
+// Also sweeps the photon budget to locate the crossover: at mild noise
+// plain FBP suffices; as dose falls, learned enhancement wins.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "ct/hu.h"
+#include "ct/iterative.h"
+#include "ct/siddon.h"
+#include "metrics/image_quality.h"
+#include "pipeline/enhancement_ai.h"
+
+using namespace ccovid;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  const index_t px = args.quick ? 24 : 48;
+
+  bench::print_header(
+      "Ablation: FBP vs SIRT vs FBP+DDnet across photon budgets "
+      "(mean MSE vs ground truth over phantom slices)");
+
+  // Train the enhancer once at a middle dose.
+  Rng rng(17);
+  data::EnhancementDatasetConfig dcfg;
+  dcfg.image_px = px;
+  dcfg.num_train = args.quick ? 6 : 24;
+  dcfg.num_val = 2;
+  dcfg.num_test = 0;
+  dcfg.lowdose.photons_per_ray = 2e4;
+  const data::EnhancementDataset ds =
+      data::make_enhancement_dataset(dcfg, rng);
+  nn::seed_init_rng(17);
+  nn::DDnetConfig ncfg;
+  ncfg.base_channels = 8;
+  ncfg.growth = 8;
+  ncfg.levels = 2;
+  ncfg.dense_layers = 2;
+  pipeline::EnhancementAI enhancer(ncfg);
+  pipeline::EnhancementTrainConfig tcfg;
+  tcfg.epochs = args.quick ? 4 : 20;
+  tcfg.lr = 2e-3;
+  tcfg.msssim_scales = 1;
+  std::printf("training DDnet on %zu pairs (%d epochs)...\n\n",
+              ds.train.size(), tcfg.epochs);
+  enhancer.train(ds, tcfg, rng);
+
+  ct::FanBeamGeometry g = ct::paper_geometry().scaled(px);
+  // SIRT warm-started from the FBP image (standard practice): the
+  // iterations then refine data consistency instead of spending the
+  // whole budget recovering the coarse image from zero.
+  ct::SirtConfig scfg;
+  scfg.iterations = args.quick ? 10 : 30;
+
+  const std::vector<double> doses =
+      args.quick ? std::vector<double>{1e4, 1e5}
+                 : std::vector<double>{4e3, 1e4, 5e4, 2e5, 1e6};
+  const int slices = args.quick ? 2 : 4;
+
+  std::printf("%-12s %-12s %-12s %-12s\n", "photons b", "FBP",
+              "SIRT", "FBP+DDnet");
+  bench::print_rule(50);
+  for (double b : doses) {
+    double mse_fbp = 0, mse_sirt = 0, mse_enh = 0;
+    Rng eval_rng(400 + static_cast<std::uint64_t>(b));
+    for (int i = 0; i < slices; ++i) {
+      const data::Anatomy anatomy = data::Anatomy::sample(eval_rng);
+      const auto lesions = data::sample_covid_lesions(eval_rng);
+      const data::PhantomSlice slice =
+          data::render_slice(px, anatomy, lesions, 0.5);
+      const Tensor mu = ct::hu_to_mu(slice.hu);
+      const Tensor sino = ct::forward_project(mu, g);
+      const ct::NoiseModel noise{b};
+      const Tensor noisy = ct::apply_poisson_noise(sino, noise, eval_rng);
+
+      const Tensor fbp = ct::fbp_reconstruct(noisy, g);
+      const auto sirt = ct::sirt_reconstruct(noisy, g, scfg, fbp);
+      const Tensor truth_norm = ct::normalize_hu(slice.hu);
+      const Tensor fbp_norm = ct::normalize_hu(ct::mu_to_hu(fbp));
+      const Tensor sirt_norm =
+          ct::normalize_hu(ct::mu_to_hu(sirt.image));
+      const Tensor enhanced = enhancer.enhance(fbp_norm);
+
+      mse_fbp += metrics::mse(truth_norm, fbp_norm);
+      mse_sirt += metrics::mse(truth_norm, sirt_norm);
+      mse_enh += metrics::mse(truth_norm, enhanced);
+    }
+    std::printf("%-12.0e %-12.5f %-12.5f %-12.5f\n", b, mse_fbp / slices,
+                mse_sirt / slices, mse_enh / slices);
+  }
+  bench::print_rule(50);
+  std::printf(
+      "Expected shape: warm-started SIRT improves on FBP (data-consistent\n"
+      "refinement); FBP+DDnet gives the largest gain around its training\n"
+      "dose; the advantages shrink as b -> 1e6 where reconstruction\n"
+      "error, not photon noise, dominates.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared helpers for the table/figure reproduction binaries: flag
+// parsing, table printing, time formatting, and the reduced-scale
+// default configurations (one CPU core cannot run the authors' 512x512 /
+// 5120-image workload in benchmark time; every binary accepts
+// --paper-scale to run the full configuration).
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/types.h"
+
+namespace ccovid::bench {
+
+struct Args {
+  bool paper_scale = false;  ///< full 512x512 / full-epoch configuration
+  bool quick = false;        ///< minimal sanity-run configuration
+  std::string out_dir = ".";
+
+  static Args parse(int argc, char** argv) {
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--paper-scale") == 0) {
+        a.paper_scale = true;
+      } else if (std::strcmp(argv[i], "--quick") == 0) {
+        a.quick = true;
+      } else if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
+        a.out_dir = argv[++i];
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf(
+            "flags: --paper-scale (full 512x512 config, slow)\n"
+            "       --quick       (minimal sanity config)\n"
+            "       --out-dir D   (where CSV/PGM artifacts go)\n");
+        std::exit(0);
+      }
+    }
+    return a;
+  }
+};
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_header(const char* title) {
+  print_rule();
+  std::printf("%s\n", title);
+  print_rule();
+}
+
+/// hh:mm:ss like the paper's Table 3.
+inline std::string format_hms(double seconds) {
+  const long total = static_cast<long>(seconds + 0.5);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%ld:%02ld:%02ld", total / 3600,
+                (total % 3600) / 60, total % 60);
+  return buf;
+}
+
+}  // namespace ccovid::bench

@@ -1,0 +1,119 @@
+// Measured per-kernel-class timing of one DDnet forward pass on the
+// local CPU, mirroring the paper's event-based OpenCL kernel timing
+// (Table 5): each conv/deconv/pool/unpool/bn/activation invocation is
+// bracketed with a timer and accumulated per class. The walk mirrors
+// hetero::count_ddnet exactly, using raw ops (no autograd) on random
+// weights — inference timing is weight-value independent.
+#pragma once
+
+#include "core/random.h"
+#include "core/timer.h"
+#include "nn/ddnet.h"
+#include "ops/ops.h"
+
+namespace ccovid::bench {
+
+struct MeasuredBreakdown {
+  double conv_s = 0;
+  double deconv_s = 0;
+  double other_s = 0;
+  double total() const { return conv_s + deconv_s + other_s; }
+};
+
+inline MeasuredBreakdown measure_ddnet_cpu(const nn::DDnetConfig& cfg,
+                                           index_t h, index_t w,
+                                           const ops::KernelOptions& opt) {
+  Rng rng(42);
+  KernelProfile prof;
+  const index_t base = cfg.base_channels;
+  const index_t g = cfg.growth;
+
+  auto rand_t = [&rng](Shape s) {
+    Tensor t(std::move(s));
+    rng.fill_gaussian(t, 0.0, 0.05);
+    return t;
+  };
+  auto conv = [&](Tensor x, index_t cout, index_t k) {
+    const Tensor wgt = rand_t({cout, x.dim(1), k, k});
+    const Tensor b = rand_t({cout});
+    ScopedKernelTimer t(prof, "convolution");
+    return ops::conv2d(x, wgt, b, ops::Conv2dParams::same(k), opt);
+  };
+  auto deconv = [&](Tensor x, index_t cout, index_t k) {
+    const Tensor wgt = rand_t({x.dim(1), cout, k, k});
+    const Tensor b = rand_t({cout});
+    ScopedKernelTimer t(prof, "deconvolution");
+    return ops::deconv2d(x, wgt, b, ops::Deconv2dParams::same(k), opt);
+  };
+  auto bn_lrelu = [&](Tensor x) {
+    const index_t c = x.dim(1);
+    const Tensor gamma = Tensor::ones({c});
+    const Tensor beta = Tensor::zeros({c});
+    const Tensor mean = Tensor::zeros({c});
+    const Tensor var = Tensor::ones({c});
+    ScopedKernelTimer t(prof, "other");
+    Tensor y = ops::batch_norm_infer(x, gamma, beta, mean, var);
+    return ops::leaky_relu(y, 0.01f);
+  };
+  auto pool = [&](Tensor x) {
+    ScopedKernelTimer t(prof, "other");
+    return ops::max_pool2d(x, {3, 2, 1}).output;
+  };
+  auto unpool = [&](Tensor x) {
+    ScopedKernelTimer t(prof, "other");
+    return ops::unpool2d_bilinear(x, 2);
+  };
+
+  Tensor x = rand_t({1, cfg.in_channels, h, w});
+  x = bn_lrelu(conv(x, base, 7));
+  std::vector<Tensor> skips{x};
+  for (int level = 0; level < cfg.levels; ++level) {
+    x = pool(x);
+    Tensor block_in = x;
+    std::vector<Tensor> features{block_in};
+    for (int l = 0; l < cfg.dense_layers; ++l) {
+      Tensor hcat = features.size() == 1 ? features[0]
+                                         : ops::concat_channels(features);
+      Tensor y = bn_lrelu(hcat);
+      y = conv(y, 4 * g, 1);
+      y = bn_lrelu(y);
+      y = conv(y, g, 5);
+      features.push_back(y);
+    }
+    x = ops::concat_channels(features);
+    x = bn_lrelu(conv(x, base, 1));
+    if (level + 1 < cfg.levels) skips.push_back(x);
+  }
+  for (int level = 0; level < cfg.levels; ++level) {
+    const bool is_output = (level == cfg.levels - 1);
+    x = unpool(x);
+    x = ops::concat_channels(
+        {x, skips[static_cast<std::size_t>(cfg.levels - 1 - level)]});
+    x = bn_lrelu(deconv(x, 2 * base, 5));
+    x = deconv(x, is_output ? cfg.out_channels : base, 1);
+    if (!is_output) x = bn_lrelu(x);
+  }
+
+  MeasuredBreakdown out;
+  out.conv_s = prof.total("convolution");
+  out.deconv_s = prof.total("deconvolution");
+  out.other_s = prof.total("other");
+  return out;
+}
+
+/// Reduced DDnet used by the inference benches when --paper-scale is not
+/// given (full 512x512 paper DDnet needs minutes per pass on one core).
+inline nn::DDnetConfig bench_inference_config(bool paper_scale,
+                                              index_t* image_px) {
+  if (paper_scale) {
+    *image_px = 512;
+    return nn::DDnetConfig::paper();
+  }
+  *image_px = 128;
+  nn::DDnetConfig cfg = nn::DDnetConfig::paper();
+  cfg.base_channels = 8;
+  cfg.growth = 8;
+  return cfg;
+}
+
+}  // namespace ccovid::bench

@@ -1,0 +1,249 @@
+// Figure 13 + Table 9 — the paper's headline result: classification
+// accuracy and ROC/AUC on a held-out test cohort, comparing original
+// (low-dose) scans against DDnet-enhanced scans through the identical
+// Segmentation AI + Classification AI stack, plus the confusion matrix
+// at the Youden-optimal threshold.
+//
+// Cohort mirrors §5.2.2's class balance (36 positive / 59 negative at
+// paper scale; proportionally smaller by default). Mirroring the
+// clinical setting, every scan — training and test — is acquired
+// through the CT chain at a standard dose (clinical scans carry
+// acquisition noise); "original" scores the acquired scan directly,
+// "enhanced" scores its DDnet restoration. The classifier is trained on
+// acquired (masked) scans, exactly as the paper's was trained on
+// clinical scans.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/image_io.h"
+#include "ct/hu.h"
+#include "metrics/classification.h"
+#include "metrics/image_quality.h"
+#include "pipeline/classification_ai.h"
+#include "pipeline/enhancement_ai.h"
+#include "pipeline/segmentation_ai.h"
+
+using namespace ccovid;
+
+namespace {
+
+// Degrades every slice of an HU volume through the low-dose chain,
+// returning the normalized [0,1] volume.
+Tensor lowdose_volume(const Tensor& hu, const data::LowDoseConfig& cfg,
+                      Rng& rng) {
+  const index_t d = hu.dim(0), n = hu.dim(1);
+  Tensor out({d, n, n});
+  for (index_t z = 0; z < d; ++z) {
+    Tensor slice({n, n});
+    std::copy(hu.data() + z * n * n, hu.data() + (z + 1) * n * n,
+              slice.data());
+    const data::LowDosePair pair = data::make_lowdose_pair(slice, cfg, rng);
+    std::copy(pair.low.data(), pair.low.data() + n * n,
+              out.data() + z * n * n);
+  }
+  return out;
+}
+
+void report(const char* tag, const std::vector<double>& scores,
+            const std::vector<int>& labels, const std::string& csv_path) {
+  const double auc_v = metrics::auc(scores, labels);
+  const double thr = metrics::youden_optimal_threshold(scores, labels);
+  const auto cm = metrics::confusion_at_threshold(scores, labels, thr);
+  double acc_thr = 0.0;
+  const double best_acc = metrics::best_accuracy(scores, labels, &acc_thr);
+
+  std::printf("\n[%s]\n", tag);
+  std::printf("  AUC-ROC                : %.3f\n", auc_v);
+  std::printf("  best accuracy          : %.2f%% (threshold %.3f)\n",
+              100.0 * best_acc, acc_thr);
+  std::printf("  Youden-optimal thresh. : %.3f\n", thr);
+  std::printf("  confusion @ threshold  : TP=%lld FP=%lld FN=%lld "
+              "TN=%lld\n",
+              (long long)cm.tp, (long long)cm.fp, (long long)cm.fn,
+              (long long)cm.tn);
+  std::printf("  sensitivity (TPR)      : %.2f%%   specificity: %.2f%%\n",
+              100.0 * cm.tpr(), 100.0 * cm.specificity());
+
+  std::vector<std::vector<double>> rows;
+  for (const auto& pt : metrics::roc_curve(scores, labels)) {
+    rows.push_back({pt.threshold, pt.fpr, pt.tpr});
+  }
+  write_csv(csv_path, {"threshold", "fpr", "tpr"}, rows);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  const index_t px = args.paper_scale ? 512 : args.quick ? 16 : 32;
+  const index_t depth = args.paper_scale ? 128 : args.quick ? 4 : 8;
+  const index_t n_train = args.paper_scale ? 210 : args.quick ? 10 : 60;
+  const index_t n_test = args.paper_scale ? 95 : args.quick ? 8 : 32;
+
+  bench::print_header(
+      "Figure 13 / Table 9: classification with vs without Enhancement "
+      "AI");
+  std::printf("cohort: %lld train / %lld test volumes of %lldx%lldx%lld\n",
+              (long long)n_train, (long long)n_test, (long long)depth,
+              (long long)px, (long long)px);
+
+  Rng rng(13);
+  data::ClassificationDatasetConfig ccfg;
+  ccfg.depth = depth;
+  ccfg.image_px = px;
+  ccfg.num_train = n_train;
+  ccfg.num_test = n_test;
+  ccfg.positive_fraction = 36.0 / 95.0;  // §5.2.2's class balance
+  // Keep lesions at a clinically proportionate pixel footprint (>= ~4 px
+  // across) at reduced resolution.
+  ccfg.min_lesion_radius_frac = args.paper_scale ? 0.0 : 4.0 / double(px);
+  const data::ClassificationDataset cds =
+      data::make_classification_dataset(ccfg, rng);
+
+  data::LowDoseConfig ldcfg;
+  ldcfg.geometry = ldcfg.geometry.scaled(px);
+  ldcfg.photons_per_ray = args.paper_scale ? 1e6 : 1.2e4;
+
+  // Acquire every volume through the CT chain — clinical scans are
+  // reconstructions with acquisition noise, not noiseless renders.
+  // Mirroring the paper's *multi-source* test data (BIMCV + MIDRC +
+  // LIDC scanners of varying quality), each volume draws its own dose
+  // from a log-uniform range around the nominal value; Enhancement AI's
+  // role is exactly to normalize this heterogeneity (§5.2.3).
+  const auto sample_dose = [&](Rng& r) {
+    if (args.paper_scale) return ldcfg.photons_per_ray;
+    const double lo = std::log(6e3), hi = std::log(5e4);
+    return std::exp(r.uniform(lo, hi));
+  };
+  std::printf("\nacquiring %lld volumes through the CT chain "
+              "(heterogeneous doses)...\n",
+              (long long)(n_train + n_test));
+  std::vector<Tensor> acq_train, acq_test;
+  for (const auto& s : cds.train) {
+    data::LowDoseConfig per = ldcfg;
+    per.photons_per_ray = sample_dose(rng);
+    acq_train.push_back(lowdose_volume(s.hu, per, rng));
+  }
+  for (const auto& s : cds.test) {
+    data::LowDoseConfig per = ldcfg;
+    per.photons_per_ray = sample_dose(rng);
+    acq_test.push_back(lowdose_volume(s.hu, per, rng));
+  }
+
+  // --- Enhancement AI trained on slices of the training volumes ---
+  // Pairs are drawn across the whole z-range so the enhancer sees every
+  // anatomy it will be applied to; lesion-bearing mid-lung slices are
+  // included, which is what protects the classification signal.
+  std::printf("\ntraining Enhancement AI...\n");
+  data::EnhancementDataset eds;
+  const index_t n_pairs = std::min<index_t>(n_train, args.quick ? 8 : 48);
+  for (index_t i = 0; i < n_pairs; ++i) {
+    const auto& vol = cds.train[i % cds.train.size()];
+    Tensor slice({px, px});
+    const index_t z = rng.uniform_int(0, vol.hu.dim(0) - 1);
+    std::copy(vol.hu.data() + z * px * px,
+              vol.hu.data() + (z + 1) * px * px, slice.data());
+    data::LowDoseConfig per = ldcfg;
+    per.photons_per_ray = sample_dose(rng);  // train across the dose range
+    eds.train.push_back(data::make_lowdose_pair(slice, per, rng));
+  }
+  nn::seed_init_rng(13);
+  nn::DDnetConfig ncfg = nn::DDnetConfig::paper();
+  if (!args.paper_scale) {
+    ncfg.base_channels = 8;
+    ncfg.growth = 8;
+    ncfg.levels = 2;
+    ncfg.dense_layers = 2;
+  }
+  auto enh = std::make_shared<pipeline::EnhancementAI>(ncfg);
+  pipeline::EnhancementTrainConfig etc;
+  etc.epochs = args.paper_scale ? 50 : args.quick ? 3 : 30;
+  etc.lr = args.paper_scale ? 1e-4 : 2e-3;
+  etc.msssim_scales = 1;
+  enh->train(eds, etc, rng);
+  {  // sanity: report what the enhancer does to held-back slices
+    double mse_low = 0, mse_enh = 0;
+    for (index_t i = 0; i < 4; ++i) {
+      const auto& pair = eds.train[i];
+      const Tensor e = enh->enhance(pair.low);
+      mse_low += metrics::mse(pair.full, pair.low);
+      mse_enh += metrics::mse(pair.full, e);
+    }
+    std::printf("  enhancement MSE: %.5f -> %.5f (train slices)\n",
+                mse_low / 4, mse_enh / 4);
+  }
+
+  // --- Segmentation AI on ground-truth masks over *acquired* scans ---
+  std::printf("training Segmentation AI...\n");
+  std::vector<data::VolumeSample> seg_train;
+  for (std::size_t i = 0; i < cds.train.size(); ++i) {
+    seg_train.push_back({ct::denormalize_hu(acq_train[i]),
+                         cds.train[i].lung_mask.clone(),
+                         cds.train[i].label});
+  }
+  auto seg = std::make_shared<pipeline::SegmentationAI>();
+  pipeline::SegmentationTrainConfig scfg;
+  scfg.epochs = args.quick ? 3 : 10;
+  scfg.lr = 5e-3;
+  seg->train(seg_train, scfg, rng);
+
+  // --- Classification AI on acquired, masked training volumes ---
+  std::printf("training Classification AI...\n");
+  std::vector<Tensor> train_vols;
+  std::vector<int> train_labels;
+  for (std::size_t i = 0; i < cds.train.size(); ++i) {
+    // Ground-truth masks during training (the paper's segmenter is a
+    // fixed pre-trained model; ours is trained above and used at test).
+    train_vols.push_back(acq_train[i].mul(cds.train[i].lung_mask));
+    train_labels.push_back(cds.train[i].label);
+  }
+  auto cls = std::make_shared<pipeline::ClassificationAI>();
+  pipeline::ClassificationTrainConfig ctc;
+  ctc.epochs = args.paper_scale ? 100 : args.quick ? 4 : 24;
+  ctc.lr = args.paper_scale ? 1e-6 : 1e-3;
+  ctc.augment = true;  // §3.3.1 augmentations (noise var 0.1, etc.)
+  cls->train(train_vols, train_labels, ctc, rng);
+
+  // --- evaluation: acquired originals vs DDnet-enhanced, same stack ---
+  std::printf("scoring %lld test volumes (original vs enhanced)...\n",
+              (long long)n_test);
+  std::vector<double> scores_orig, scores_enh;
+  std::vector<int> labels;
+  for (std::size_t i = 0; i < cds.test.size(); ++i) {
+    const Tensor& low = acq_test[i];
+    const Tensor enhanced = enh->enhance_volume(low);
+    const Tensor masked_orig = seg->segment_and_mask(low);
+    const Tensor masked_enh = seg->segment_and_mask(enhanced);
+    scores_orig.push_back(cls->predict(masked_orig));
+    scores_enh.push_back(cls->predict(masked_enh));
+    labels.push_back(cds.test[i].label);
+  }
+
+  report("original scans (Seg + Cls)", scores_orig, labels,
+         args.out_dir + "/fig13_roc_original.csv");
+  report("enhanced scans (Enh + Seg + Cls)", scores_enh, labels,
+         args.out_dir + "/fig13_roc_enhanced.csv");
+
+  // §5.2.3's probability-shift statistic: mean score change on the
+  // positive class.
+  double shift = 0.0;
+  int positives = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == 1) {
+      shift += scores_enh[i] - scores_orig[i];
+      ++positives;
+    }
+  }
+  bench::print_rule();
+  if (positives > 0) {
+    std::printf("mean positive-class probability shift: %+.4f "
+                "(paper: +0.1136)\n",
+                shift / positives);
+  }
+  std::printf(
+      "Paper: accuracy 86.32%% -> 90.53%%, AUC 0.890 -> 0.942, optimal "
+      "threshold 0.061.\nExpected shape: the enhanced column matches or "
+      "beats the original on accuracy and AUC; the optimal threshold "
+      "sits well below 0.5 (minority positive class).\n");
+  return 0;
+}

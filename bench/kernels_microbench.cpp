@@ -1,0 +1,178 @@
+// google-benchmark microbenchmarks for the substrate kernels: the four
+// convolution/deconvolution optimization stages, pooling/unpooling,
+// batch norm, the CT chain (Siddon, ramp filter, FBP), MS-SSIM, and the
+// ring all-reduce.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "core/random.h"
+#include "ct/fbp.h"
+#include "ct/siddon.h"
+#include "dist/comm.h"
+#include "metrics/image_quality.h"
+#include "ops/gemm.h"
+#include "ops/ops.h"
+
+using namespace ccovid;
+
+namespace {
+
+Tensor random_tensor(Shape s, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(s));
+  rng.fill_gaussian(t, 0.0, 0.1);
+  return t;
+}
+
+void BM_Conv2d(benchmark::State& state, ops::KernelOptions opt) {
+  const index_t hw = state.range(0);
+  const Tensor x = random_tensor({1, 16, hw, hw}, 1);
+  const Tensor w = random_tensor({16, 16, 5, 5}, 2);
+  const Tensor b = random_tensor({16}, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops::conv2d(x, w, b, ops::Conv2dParams::same(5), opt));
+  }
+  state.SetItemsProcessed(state.iterations() * hw * hw * 16 * 16 * 25 * 2);
+}
+
+void BM_Deconv2d(benchmark::State& state, ops::KernelOptions opt) {
+  const index_t hw = state.range(0);
+  const Tensor x = random_tensor({1, 16, hw, hw}, 4);
+  const Tensor w = random_tensor({16, 16, 5, 5}, 5);
+  const Tensor b = random_tensor({16}, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops::deconv2d(x, w, b, ops::Deconv2dParams::same(5), opt));
+  }
+  state.SetItemsProcessed(state.iterations() * hw * hw * 16 * 16 * 25 * 2);
+}
+
+void BM_Conv2dGemm(benchmark::State& state) {
+  const index_t hw = state.range(0);
+  const Tensor x = random_tensor({1, 16, hw, hw}, 1);
+  const Tensor w = random_tensor({16, 16, 5, 5}, 2);
+  const Tensor b = random_tensor({16}, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops::conv2d_gemm(x, w, b, ops::Conv2dParams::same(5)));
+  }
+  state.SetItemsProcessed(state.iterations() * hw * hw * 16 * 16 * 25 * 2);
+}
+
+void BM_Sgemm(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const Tensor a = random_tensor({n, n}, 4);
+  const Tensor b = random_tensor({n, n}, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n * 2);
+}
+
+void BM_MaxPool2d(benchmark::State& state) {
+  const index_t hw = state.range(0);
+  const Tensor x = random_tensor({1, 16, hw, hw}, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::max_pool2d(x, {3, 2, 1}));
+  }
+}
+
+void BM_Unpool2d(benchmark::State& state) {
+  const index_t hw = state.range(0);
+  const Tensor x = random_tensor({1, 16, hw, hw}, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::unpool2d_bilinear(x, 2));
+  }
+}
+
+void BM_BatchNormInfer(benchmark::State& state) {
+  const index_t hw = state.range(0);
+  const Tensor x = random_tensor({1, 16, hw, hw}, 9);
+  const Tensor gamma = Tensor::ones({16});
+  const Tensor beta = Tensor::zeros({16});
+  const Tensor mean = Tensor::zeros({16});
+  const Tensor var = Tensor::ones({16});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops::batch_norm_infer(x, gamma, beta, mean, var));
+  }
+}
+
+void BM_SiddonProjection(benchmark::State& state) {
+  const index_t px = state.range(0);
+  ct::FanBeamGeometry g = ct::paper_geometry().scaled(px);
+  const Tensor mu = random_tensor({px, px}, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ct::forward_project(mu, g));
+  }
+}
+
+void BM_FbpReconstruct(benchmark::State& state) {
+  const index_t px = state.range(0);
+  ct::FanBeamGeometry g = ct::paper_geometry().scaled(px);
+  const Tensor mu = random_tensor({px, px}, 11);
+  const Tensor sino = ct::forward_project(mu, g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ct::fbp_reconstruct(sino, g));
+  }
+}
+
+void BM_MsSsim(benchmark::State& state) {
+  const index_t hw = state.range(0);
+  Rng rng(12);
+  Tensor a({hw, hw}), b({hw, hw});
+  rng.fill_uniform(a, 0.0, 1.0);
+  rng.fill_uniform(b, 0.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::ms_ssim(a, b));
+  }
+}
+
+void BM_RingAllReduce(benchmark::State& state) {
+  const int world = static_cast<int>(state.range(0));
+  const index_t len = 1 << 16;
+  for (auto _ : state) {
+    dist::World w(world);
+    std::vector<std::vector<real_t>> bufs(
+        world, std::vector<real_t>(static_cast<std::size_t>(len), 1.0f));
+    std::vector<std::thread> threads;
+    for (int r = 0; r < world; ++r) {
+      threads.emplace_back([&w, &bufs, r] { w.all_reduce_sum(r, bufs[r]); });
+    }
+    for (auto& t : threads) t.join();
+    benchmark::DoNotOptimize(bufs[0][0]);
+  }
+  state.SetBytesProcessed(state.iterations() * len * sizeof(real_t) *
+                          world);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Conv2d, baseline, ops::KernelOptions::baseline())
+    ->Arg(32)->Arg(64);
+BENCHMARK_CAPTURE(BM_Conv2d, prefetch,
+                  ops::KernelOptions::refactored_prefetch())
+    ->Arg(32)->Arg(64);
+BENCHMARK_CAPTURE(BM_Conv2d, unrolled, ops::KernelOptions::all())
+    ->Arg(32)->Arg(64);
+BENCHMARK_CAPTURE(BM_Deconv2d, scatter_baseline,
+                  ops::KernelOptions::baseline())
+    ->Arg(32)->Arg(64);
+BENCHMARK_CAPTURE(BM_Deconv2d, gather_refactored,
+                  ops::KernelOptions::refactored())
+    ->Arg(32)->Arg(64);
+BENCHMARK_CAPTURE(BM_Deconv2d, gather_unrolled, ops::KernelOptions::all())
+    ->Arg(32)->Arg(64);
+BENCHMARK(BM_Conv2dGemm)->Arg(32)->Arg(64);
+BENCHMARK(BM_Sgemm)->Arg(64)->Arg(128);
+BENCHMARK(BM_MaxPool2d)->Arg(64)->Arg(128);
+BENCHMARK(BM_Unpool2d)->Arg(32)->Arg(64);
+BENCHMARK(BM_BatchNormInfer)->Arg(64)->Arg(128);
+BENCHMARK(BM_SiddonProjection)->Arg(32)->Arg(64);
+BENCHMARK(BM_FbpReconstruct)->Arg(32)->Arg(64);
+BENCHMARK(BM_MsSsim)->Arg(64)->Arg(128);
+BENCHMARK(BM_RingAllReduce)->Arg(2)->Arg(4);
+
+BENCHMARK_MAIN();

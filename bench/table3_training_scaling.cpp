@@ -1,0 +1,145 @@
+// Table 3 — "Runtime for the Enhancement AI training for 50 epochs":
+// distributed data-parallel DDnet training across (#nodes, batch size,
+// epochs) configurations, reporting modeled cluster runtime and the
+// trained model's average MS-SSIM on a held-out set.
+//
+// The eight rows match the paper's; training is real (synchronized SGD
+// over the in-process ring all-reduce on genuine low-dose pairs), the
+// runtime column is the interconnect-model cluster time (DESIGN.md §1),
+// and, like the paper, larger effective batches finish faster but end at
+// lower MS-SSIM.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/dataset.h"
+#include "autograd/losses.h"
+#include "dist/ddp.h"
+#include "metrics/image_quality.h"
+#include "nn/ddnet.h"
+
+using namespace ccovid;
+
+namespace {
+
+struct Row {
+  int nodes;
+  index_t global_batch;
+  int epochs;
+};
+
+nn::DDnetConfig bench_net_config(bool paper_scale) {
+  if (paper_scale) return nn::DDnetConfig::paper();
+  nn::DDnetConfig cfg;
+  cfg.base_channels = 8;
+  cfg.growth = 8;
+  cfg.dense_layers = 2;
+  cfg.levels = 2;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  const index_t image_px = args.paper_scale ? 512 : 32;
+  // The largest Table 3 row uses a global batch of 64, so the dataset
+  // must hold at least 64 pairs even in quick mode.
+  const index_t dataset_size = args.paper_scale ? 5120 : 64;
+  const int epoch_unit = args.paper_scale ? 50 : args.quick ? 1 : 5;
+
+  bench::print_header(
+      "Table 3: Enhancement AI DDP training — runtime & MS-SSIM "
+      "(modeled cluster time; T4-class nodes over 10 GbE)");
+  std::printf("dataset: %lld synthetic low-dose pairs at %lldx%lld, "
+              "epoch unit %d (paper: 50)\n\n",
+              static_cast<long long>(dataset_size),
+              static_cast<long long>(image_px),
+              static_cast<long long>(image_px), epoch_unit);
+
+  // The paper's eight configurations; epochs are expressed in units of
+  // the 50-epoch base so the reduced-scale run keeps the 50/100 ratio.
+  const std::vector<Row> rows = {
+      {1, 1, 1},  {4, 8, 1},  {4, 8, 2},  {4, 16, 1},
+      {8, 8, 1},  {8, 8, 2},  {8, 32, 1}, {8, 64, 1},
+  };
+
+  Rng data_rng(2021);
+  data::EnhancementDatasetConfig dcfg;
+  dcfg.image_px = image_px;
+  dcfg.num_train = dataset_size;
+  dcfg.num_val = std::max<index_t>(4, dataset_size / 8);
+  dcfg.num_test = 0;
+  if (!args.paper_scale) dcfg.lowdose.photons_per_ray = 5e4;
+  const data::EnhancementDataset ds =
+      data::make_enhancement_dataset(dcfg, data_rng);
+
+  const auto net_cfg = bench_net_config(args.paper_scale);
+
+  std::printf("%-7s %-11s %-8s %-22s %-10s\n", "#Nodes", "Batch Size",
+              "#Epochs", "Runtime (hh:mm:ss)", "MS-SSIM");
+
+  for (const Row& row : rows) {
+    nn::seed_init_rng(7);  // identical initial weights per row
+    dist::DdpConfig cfg;
+    cfg.world_size = row.nodes;
+    cfg.per_worker_batch = row.global_batch / row.nodes;
+    cfg.lr = 1e-4 * (args.paper_scale ? 1.0 : 20.0);  // scale for tiny net
+    cfg.lr_decay = 0.8;
+    dist::DdpTrainer trainer(
+        [&] { return std::make_shared<nn::DDnet>(net_cfg); }, cfg);
+
+    auto loss_fn = [&ds](nn::Module& model, int /*rank*/,
+                         const std::vector<index_t>& samples) {
+      auto& net = dynamic_cast<nn::DDnet&>(model);
+      autograd::Var total;
+      for (index_t s : samples) {
+        const auto& pair = ds.train[s];
+        autograd::Var x(pair.low.clone().reshape(
+            {1, 1, pair.low.dim(0), pair.low.dim(1)}));
+        autograd::Var pred = net.forward(x);
+        autograd::Var loss = autograd::enhancement_loss(
+            pred,
+            pair.full.clone().reshape(
+                {1, 1, pair.full.dim(0), pair.full.dim(1)}),
+            0.1f, 11, 1);
+        total = total.defined() ? autograd::add(total, loss) : loss;
+      }
+      return autograd::mul_scalar(
+          total, 1.0f / static_cast<real_t>(samples.size()));
+    };
+
+    Rng epoch_rng(row.nodes * 1000 + row.global_batch);
+    double modeled_total = 0.0;
+    const int epochs = row.epochs * epoch_unit;
+    for (int e = 0; e < epochs; ++e) {
+      const dist::EpochStats stats =
+          trainer.train_epoch(dataset_size, loss_fn, epoch_rng);
+      modeled_total += stats.modeled_seconds;
+      trainer.decay_lr();
+    }
+
+    // Validation MS-SSIM of the trained rank-0 model.
+    auto& net = dynamic_cast<nn::DDnet&>(trainer.model(0));
+    net.set_training(false);
+    double msssim = 0.0;
+    for (const auto& pair : ds.val) {
+      const Tensor enhanced = net.enhance(pair.low);
+      msssim += metrics::ms_ssim(pair.full, enhanced);
+    }
+    msssim /= static_cast<double>(ds.val.size());
+
+    std::printf("%-7d %-11lld %-8d %-22s %6.2f%%\n", row.nodes,
+                static_cast<long long>(row.global_batch),
+                epochs * (args.paper_scale ? 1 : 50 / epoch_unit),
+                bench::format_hms(modeled_total).c_str(), 100.0 * msssim);
+  }
+
+  bench::print_rule();
+  std::printf(
+      "Paper (Table 3): 1n/b1: 15:14:46 @ 98.71%% | 4n/b8: 2:27:49 @ "
+      "96.35%% | 8n/b32: 1:17:25 @ 92.04%% | 8n/b64: 1:12:24 @ 88.02%%\n"
+      "Expected shape: runtime falls sub-linearly with nodes; MS-SSIM "
+      "degrades as the effective batch grows.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Table 6 — "Global memory load/store and floating-point operation
+// count for individual kernels with an input of size 512x512x32":
+// exact instrumented counts for each kernel class on the same input
+// configuration the paper uses (5x5 filters for conv/deconv, 2x pooling
+// and un-pooling factors).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ops/instrumented.h"
+
+using namespace ccovid;
+using namespace ccovid::ops;
+
+namespace {
+
+void print_row(const char* kernel, const OpCounters& c, double paper_loads,
+               double paper_stores, double paper_flops) {
+  std::printf("%-20s %12.1f %12.1f %12.1f | %10.1f %10.1f %10.1f\n",
+              kernel, c.global_loads / 1e6, c.global_stores / 1e6,
+              c.flops / 1e6, paper_loads, paper_stores, paper_flops);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  // Table 6 is analytic over the index space; the full 512x512x32 input
+  // costs nothing to count, so --quick only shrinks for smoke testing.
+  const index_t hw = args.quick ? 64 : 512;
+  const index_t c = args.quick ? 8 : 32;
+
+  bench::print_header(
+      "Table 6: per-kernel global loads / stores / flops (millions)");
+  std::printf("input %lldx%lldx%lld, 5x5 conv/deconv filters, 2x pooling\n",
+              (long long)hw, (long long)hw, (long long)c);
+  std::printf("%-20s %12s %12s %12s | %10s %10s %10s\n", "Kernel",
+              "loads(1e6)", "stores(1e6)", "flops(1e6)", "paper-ld",
+              "paper-st", "paper-fl");
+  bench::print_rule(106);
+
+  const Conv2dParams cp = Conv2dParams::same(5);
+  const Deconv2dParams dp = Deconv2dParams::same(5);
+
+  print_row("Convolution", count_conv2d(1, c, hw, hw, c, 5, cp), 13421.7,
+            8.4, 13421.7);
+  print_row("Deconvolution", count_deconv2d_gather(1, c, hw, hw, c, 5, dp),
+            13421.7, 8.4, 13421.7);
+  print_row("Deconv (scatter)",
+            count_deconv2d_scatter(1, c, hw, hw, c, 5, dp), 0, 0, 0);
+  print_row("Pooling", count_max_pool2d(1, c, hw, hw, {3, 2, 1}), 18.9,
+            2.1, 0.0);
+  print_row("Un-pooling", count_unpool2d(1, c, hw / 2, hw / 2, 2), 134.3,
+            33.5, 469.7);
+  print_row("Leaky-ReLU", count_leaky_relu(hw * hw * c), 8.4, 8.4, 8.4);
+  print_row("Batch Normalization", count_batch_norm(1, c, hw * hw), 41.9,
+            8.4, 41.9);
+
+  bench::print_rule(106);
+  std::printf(
+      "Notes: counts are exact for our kernels' loop structures (stores\n"
+      "for conv/deconv and elementwise kernels match the paper exactly;\n"
+      "load/flop totals depend on the Cin/Cout the authors assumed for\n"
+      "the 32-channel input, which Table 6 does not state — ours uses\n"
+      "Cin = Cout = 32). The scatter row quantifies the extra traffic\n"
+      "the REF refactoring removes; the paper reports no counts for it.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Table 7 — "Execution time profile of entire DDnet with different
+// optimizations": the cumulative Baseline / +REF / +PF / +LU ablation.
+//
+// Every stage is a genuinely different code path (scatter vs gather
+// deconvolution, volatile-reload vs cached loop bounds, generic vs
+// fully-unrolled multiply-add loops) — the CPU column is *measured* by
+// running all four; the other platforms are projected from the
+// per-variant op counts through the device model.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ddnet_timing.h"
+#include "hetero/ddnet_counts.h"
+#include "hetero/device_model.h"
+
+using namespace ccovid;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  index_t px = 0;
+  nn::DDnetConfig cfg = bench::bench_inference_config(
+      args.paper_scale && !args.quick, &px);
+  if (args.quick) {
+    cfg.base_channels = 4;
+    cfg.growth = 4;
+    px = 64;
+  }
+
+  const ops::KernelOptions stages[4] = {
+      ops::KernelOptions::baseline(), ops::KernelOptions::refactored(),
+      ops::KernelOptions::refactored_prefetch(), ops::KernelOptions::all()};
+  const char* stage_names[4] = {"Baseline", "+REF", "+REF+PF",
+                                "+REF+PF+LU"};
+
+  bench::print_header(
+      "Table 7: whole-DDnet execution time under cumulative kernel "
+      "optimizations (REF = deconv refactoring, PF = prefetch, LU = "
+      "loop unrolling)");
+  std::printf("DDnet base=%lld growth=%lld, input %lldx%lld\n\n",
+              (long long)cfg.base_channels, (long long)cfg.growth,
+              (long long)px, (long long)px);
+
+  // --- measured CPU ablation ---
+  std::printf("Local CPU, measured (seconds):\n");
+  std::printf("  %-12s %-10s %-10s %-10s %-10s\n", "", "total", "conv",
+              "deconv", "other");
+  double cpu_measured[4] = {};
+  for (int s = 0; s < 4; ++s) {
+    // Min of two repetitions to shrug off scheduler noise.
+    auto m = bench::measure_ddnet_cpu(cfg, px, px, stages[s]);
+    const auto m2 = bench::measure_ddnet_cpu(cfg, px, px, stages[s]);
+    if (m2.total() < m.total()) m = m2;
+    cpu_measured[s] = m.total();
+    std::printf("  %-12s %-10.3f %-10.3f %-10.3f %-10.3f\n",
+                stage_names[s], m.total(), m.conv_s, m.deconv_s,
+                m.other_s);
+  }
+  std::printf("  measured Baseline/full speedup: %.2fx (paper CPU: "
+              "6.51/1.64 = 4.0x)\n\n",
+              cpu_measured[0] / cpu_measured[3]);
+
+  // --- projected ablation for every platform ---
+  const auto counts = hetero::count_ddnet(cfg, px, px);
+  struct PaperRow {
+    const char* name;
+    double t[4];
+  };
+  const PaperRow paper_rows[] = {
+      {"Nvidia GPU V100", {63.82, 0.10, 0.10, 0.10}},
+      {"Nvidia GPU P100", {152.08, 0.29, 0.26, 0.25}},
+      {"AMD Radeon Vega Frontier GPU", {219.60, 0.25, 0.25, 0.25}},
+      {"Nvidia T4", {59.30, 0.32, 0.31, 0.29}},
+      {"Intel Xeon Gold 6128 CPU", {6.51, 1.95, 1.69, 1.64}},
+      {"Intel Arria 10 GX 1150 FPGA", {278.53, 130.62, 127.72, 65.83}},
+  };
+  const char* model_names[6] = {
+      "Nvidia V100 GPU",  "Nvidia P100 GPU",
+      "AMD Radeon Vega Frontier GPU", "Nvidia T4 GPU",
+      "Intel Xeon Gold 6128 CPU", "Intel Arria 10 GX 1150 FPGA"};
+
+  std::printf("Projected (device model), ours | paper:\n");
+  std::printf("%-30s %10s %10s %10s %10s\n", "Platform", "Baseline",
+              "+REF", "+PF", "+LU");
+  bench::print_rule(86);
+  for (int d = 0; d < 6; ++d) {
+    const auto dev = hetero::device_by_name(model_names[d]);
+    double ours[4];
+    for (int s = 0; s < 4; ++s) {
+      ours[s] = hetero::project_network_seconds(dev, counts, stages[s])
+                    .total();
+    }
+    std::printf("%-30s %10.2f %10.2f %10.2f %10.2f   (ours)\n",
+                paper_rows[d].name, ours[0], ours[1], ours[2], ours[3]);
+    std::printf("%-30s %10.2f %10.2f %10.2f %10.2f   (paper)\n", "",
+                paper_rows[d].t[0], paper_rows[d].t[1], paper_rows[d].t[2],
+                paper_rows[d].t[3]);
+  }
+  bench::print_rule(86);
+  std::printf(
+      "Expected shape: REF dominates everywhere (orders of magnitude on\n"
+      "GPUs, ~3-4x on CPU); PF and LU are marginal on CPU/GPU because\n"
+      "the kernels are memory-bound; LU matters most on the FPGA.\n");
+  return 0;
+}

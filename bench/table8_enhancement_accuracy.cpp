@@ -1,0 +1,74 @@
+// Table 8 — "Accuracy results of Enhancement AI in DDnet": MSE and
+// MS-SSIM between the full-dose target Y and (a) the low-dose input X,
+// (b) the DDnet-enhanced f(X), averaged over a held-out test set of
+// synthetic low-dose pairs generated with the paper's §3.1.2 physics
+// chain (Siddon + Beer/Poisson @ 1e6 photons + FBP).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "pipeline/enhancement_ai.h"
+
+using namespace ccovid;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  const index_t px = args.paper_scale ? 512 : args.quick ? 32 : 64;
+  const index_t train_n = args.paper_scale ? 2816 : args.quick ? 6 : 48;
+  const int epochs = args.paper_scale ? 50 : args.quick ? 4 : 25;
+
+  bench::print_header("Table 8: Enhancement AI accuracy (MSE / MS-SSIM)");
+  std::printf(
+      "%lld training pairs at %lldx%lld, %d epochs, composite loss "
+      "MSE + 0.1*(1 - MS-SSIM), Adam lr 1e-4-scaled, x0.8/epoch\n\n",
+      (long long)train_n, (long long)px, (long long)px, epochs);
+
+  Rng rng(2021);
+  data::EnhancementDatasetConfig dcfg;
+  dcfg.image_px = px;
+  dcfg.num_train = train_n;
+  dcfg.num_val = std::max<index_t>(2, train_n / 8);
+  dcfg.num_test = std::max<index_t>(4, train_n / 6);
+  // The paper's b = 1e6 photons refers to 512-pixel resolution; at
+  // reduced resolution the per-ray path intersects fewer, larger pixels,
+  // so we lower the dose to keep a comparable noise level in the image.
+  dcfg.lowdose.photons_per_ray = args.paper_scale ? 1e6 : 5e4;
+
+  const data::EnhancementDataset ds =
+      data::make_enhancement_dataset(dcfg, rng);
+
+  nn::seed_init_rng(7);
+  nn::DDnetConfig net_cfg = nn::DDnetConfig::paper();
+  if (!args.paper_scale) {
+    net_cfg.base_channels = 8;
+    net_cfg.growth = 8;
+    net_cfg.levels = 2;
+    net_cfg.dense_layers = 2;
+  }
+  pipeline::EnhancementAI ai(net_cfg);
+  pipeline::EnhancementTrainConfig tcfg;
+  tcfg.epochs = epochs;
+  tcfg.lr = args.paper_scale ? 1e-4 : 2e-3;
+  tcfg.msssim_scales = args.paper_scale ? 5 : (px >= 44 ? 2 : 1);
+  ai.train(ds, tcfg, rng);
+
+  const pipeline::EnhancementEval eval = ai.evaluate(ds.test);
+
+  std::printf("%-10s %-12s %-12s | %-12s %-12s\n", "", "MSE (ours)",
+              "MS-SSIM", "MSE (paper)", "MS-SSIM");
+  bench::print_rule(66);
+  std::printf("%-10s %-12.5f %10.1f%% | %-12s %10s\n", "Y - X",
+              eval.mse_low, 100.0 * eval.msssim_low, "0.00715", "96.2%");
+  std::printf("%-10s %-12.5f %10.1f%% | %-12s %10s\n", "Y - f(X)",
+              eval.mse_enhanced, 100.0 * eval.msssim_enhanced, "0.00091",
+              "98.7%");
+  bench::print_rule(66);
+  std::printf(
+      "MSE reduction: %.1fx (paper: 7.9x)   MS-SSIM gain: +%.1f pts "
+      "(paper: +2.5)\n",
+      eval.mse_low / std::max(1e-12, eval.mse_enhanced),
+      100.0 * (eval.msssim_enhanced - eval.msssim_low));
+  std::printf(
+      "Expected shape: enhancement cuts MSE by several-fold and lifts "
+      "MS-SSIM toward 1.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// COVID-19 screening clinic: the full Fig. 3 workflow on a synthetic
+// patient cohort — train the three AI stages, then walk incoming
+// "patients" through data preparation, enhancement, lung segmentation
+// and classification, printing a per-patient report like a reading-room
+// worklist.
+#include <cstdio>
+
+#include "ct/hu.h"
+#include "metrics/classification.h"
+#include "pipeline/framework.h"
+
+using namespace ccovid;
+
+int main() {
+  std::printf("ComputeCOVID19+ screening clinic (synthetic cohort)\n");
+  std::printf("===================================================\n");
+
+  Rng rng(42);
+  const index_t px = 32, depth = 8;
+
+  // --- cohorts ---
+  data::ClassificationDatasetConfig ccfg;
+  ccfg.depth = depth;
+  ccfg.image_px = px;
+  ccfg.num_train = 32;
+  ccfg.num_test = 10;
+  ccfg.positive_fraction = 0.4;
+  // Keep GGOs at a clinically proportionate pixel footprint at this
+  // reduced resolution (see data::sample_covid_lesions).
+  ccfg.min_lesion_radius_frac = 4.0 / double(px);
+  std::printf("generating %lld training + %lld incoming patients...\n",
+              (long long)ccfg.num_train, (long long)ccfg.num_test);
+  const data::ClassificationDataset cohort =
+      data::make_classification_dataset(ccfg, rng);
+
+  // --- Enhancement AI ---
+  data::EnhancementDatasetConfig ecfg;
+  ecfg.image_px = px;
+  ecfg.num_train = 10;
+  ecfg.num_val = 2;
+  ecfg.num_test = 0;
+  ecfg.lowdose.photons_per_ray = 5e4;
+  const data::EnhancementDataset eds =
+      data::make_enhancement_dataset(ecfg, rng);
+  nn::seed_init_rng(42);
+  nn::DDnetConfig ncfg = nn::DDnetConfig::tiny();
+  ncfg.base_channels = 8;
+  ncfg.growth = 8;
+  auto enh = std::make_shared<pipeline::EnhancementAI>(ncfg);
+  pipeline::EnhancementTrainConfig etc;
+  etc.epochs = 8;
+  etc.lr = 2e-3;
+  etc.msssim_scales = 1;
+  std::printf("training Enhancement AI (DDnet)...\n");
+  enh->train(eds, etc, rng);
+
+  // --- Segmentation AI ---
+  auto seg = std::make_shared<pipeline::SegmentationAI>();
+  pipeline::SegmentationTrainConfig scfg;
+  scfg.epochs = 8;
+  scfg.lr = 5e-3;
+  std::printf("training Segmentation AI (AH-Net)...\n");
+  seg->train(cohort.train, scfg, rng);
+  const auto seg_eval = seg->evaluate(cohort.test);
+  std::printf("  lung Dice on held-out volumes: %.3f\n", seg_eval.dice);
+
+  // --- Classification AI ---
+  std::vector<Tensor> train_vols;
+  std::vector<int> train_labels;
+  for (const auto& s : cohort.train) {
+    train_vols.push_back(ct::normalize_hu(s.hu).mul(s.lung_mask));
+    train_labels.push_back(s.label);
+  }
+  auto cls = std::make_shared<pipeline::ClassificationAI>();
+  pipeline::ClassificationTrainConfig ctc;
+  ctc.epochs = 20;
+  ctc.lr = 1e-3;
+  std::printf("training Classification AI (3-D DenseNet)...\n");
+  cls->train(train_vols, train_labels, ctc, rng);
+
+  // --- the clinic ---
+  pipeline::ComputeCovid19Pipeline clinic(enh, seg, cls);
+
+  // Calibrate the operating threshold on the training cohort, as the
+  // paper does for Table 9 (their optimal threshold was 0.061 — far
+  // from 0.5, because positives are the minority class).
+  std::vector<Tensor> train_hu;
+  std::vector<int> calib_labels;
+  for (const auto& s : cohort.train) {
+    train_hu.push_back(s.hu);
+    calib_labels.push_back(s.label);
+  }
+  const std::vector<double> calib_scores =
+      clinic.score_volumes(train_hu, /*use_enhancement=*/true);
+  const double threshold =
+      metrics::youden_optimal_threshold(calib_scores, calib_labels);
+  std::printf("\ncalibrated operating threshold (Youden, train): %.3f\n",
+              threshold);
+
+  std::printf("\n%-10s %-14s %-12s %-10s %-8s\n", "patient",
+              "P(COVID-19+)", "call", "truth", "correct");
+  std::vector<double> scores;
+  std::vector<int> labels;
+  int correct = 0;
+  for (std::size_t i = 0; i < cohort.test.size(); ++i) {
+    const auto& patient = cohort.test[i];
+    const pipeline::Diagnosis dx =
+        clinic.diagnose(patient.hu, /*use_enhancement=*/true, threshold);
+    const bool truth = patient.label == 1;
+    const bool right = dx.positive == truth;
+    correct += right ? 1 : 0;
+    scores.push_back(dx.probability);
+    labels.push_back(patient.label);
+    std::printf("#%-9zu %-14.4f %-12s %-10s %-8s\n", i + 1,
+                dx.probability, dx.positive ? "POSITIVE" : "negative",
+                truth ? "POSITIVE" : "negative", right ? "yes" : "NO");
+  }
+  std::printf("\ncohort accuracy @ %.2f: %d/%zu   AUC: %.3f\n", threshold,
+              correct, cohort.test.size(), metrics::auc(scores, labels));
+  std::printf(
+      "(At paper scale — 512x512x128 volumes, 305 training scans — the "
+      "same pipeline reaches the paper's 91%% / 0.942 regime; see "
+      "bench/fig13_accuracy_roc.)\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Distributed data-parallel training walkthrough (§4.1): trains the
+// same DDnet on 1, 2 and 4 "nodes" (in-process replicas synchronized by
+// the ring all-reduce), showing that the replicas stay bit-identical,
+// how much gradient traffic each step moves, and what the interconnect
+// model predicts for cluster wall time.
+#include <cstdio>
+
+#include "autograd/losses.h"
+#include "dist/ddp.h"
+#include "metrics/image_quality.h"
+#include "nn/ddnet.h"
+#include "pipeline/enhancement_ai.h"
+
+using namespace ccovid;
+
+int main() {
+  std::printf("DistributedDataParallel training of Enhancement AI\n");
+  std::printf("==================================================\n");
+
+  Rng rng(5);
+  data::EnhancementDatasetConfig dcfg;
+  dcfg.image_px = 24;
+  dcfg.num_train = 16;
+  dcfg.num_val = 4;
+  dcfg.num_test = 0;
+  dcfg.lowdose.photons_per_ray = 5e4;
+  const data::EnhancementDataset ds =
+      data::make_enhancement_dataset(dcfg, rng);
+
+  nn::DDnetConfig ncfg = nn::DDnetConfig::tiny();
+
+  auto loss_fn = [&ds](nn::Module& model, int /*rank*/,
+                       const std::vector<index_t>& samples) {
+    auto& net = dynamic_cast<nn::DDnet&>(model);
+    autograd::Var total;
+    for (index_t s : samples) {
+      const auto& pair = ds.train[s];
+      autograd::Var x(pair.low.clone().reshape(
+          {1, 1, pair.low.dim(0), pair.low.dim(1)}));
+      autograd::Var loss = autograd::enhancement_loss(
+          net.forward(x),
+          pair.full.clone().reshape(
+              {1, 1, pair.full.dim(0), pair.full.dim(1)}),
+          0.1f, 11, 1);
+      total = total.defined() ? autograd::add(total, loss) : loss;
+    }
+    return autograd::mul_scalar(total,
+                                1.0f / static_cast<real_t>(samples.size()));
+  };
+
+  std::printf("%-7s %-12s %-12s %-16s %-12s\n", "nodes", "loss(last)",
+              "val MS-SSIM", "grad MB/epoch", "model t/epoch");
+  for (int nodes : {1, 2, 4}) {
+    nn::seed_init_rng(5);  // identical init across runs
+    dist::DdpConfig cfg;
+    cfg.world_size = nodes;
+    cfg.per_worker_batch = 1;
+    cfg.lr = 2e-3;
+    dist::DdpTrainer trainer(
+        [&] { return std::make_shared<nn::DDnet>(ncfg); }, cfg);
+
+    Rng erng(100);
+    dist::EpochStats stats{};
+    for (int e = 0; e < 6; ++e) {
+      stats = trainer.train_epoch(dcfg.num_train, loss_fn, erng);
+      trainer.decay_lr();
+    }
+    auto& net = dynamic_cast<nn::DDnet&>(trainer.model(0));
+    net.set_training(false);
+    double msssim = 0.0;
+    for (const auto& pair : ds.val) {
+      msssim += metrics::ms_ssim(pair.full, net.enhance(pair.low), 11,
+                                 1.5, 1.0, 1);
+    }
+    msssim /= ds.val.size();
+    std::printf("%-7d %-12.4f %-12.4f %-16.2f %9.2f s\n", nodes,
+                stats.mean_loss, msssim,
+                stats.allreduce_bytes_per_rank / 1e6,
+                stats.modeled_seconds);
+  }
+  std::printf(
+      "\nNotes: per-epoch modeled time falls with node count but "
+      "sub-linearly (all-reduce each step); gradient traffic per rank "
+      "is ~2*(N-1)/N of the model size per step.\nThe full Table 3 "
+      "reproduction (8 rows, MS-SSIM vs batch) is "
+      "bench/table3_training_scaling.\n");
+  return 0;
+}

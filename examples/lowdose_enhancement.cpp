@@ -1,0 +1,82 @@
+// Dose-sweep study: how reconstruction quality degrades with photon
+// budget and how much of it DDnet enhancement recovers — the scenario
+// the paper's §7 names as its intended stress test ("evaluate the
+// framework with low-dose CT image data").
+//
+// For each blank-scan photon count b in a sweep, the same phantom slices
+// are degraded through the CT chain; one DDnet (trained once at the
+// middle dose) enhances all of them.
+#include <cstdio>
+#include <vector>
+
+#include "metrics/image_quality.h"
+#include "pipeline/enhancement_ai.h"
+
+using namespace ccovid;
+
+int main() {
+  std::printf("Low-dose CT dose sweep with DDnet enhancement\n");
+  std::printf("=============================================\n");
+
+  const index_t px = 48;
+  Rng rng(7);
+
+  // Train once at a middle dose.
+  data::EnhancementDatasetConfig dcfg;
+  dcfg.image_px = px;
+  dcfg.num_train = 16;
+  dcfg.num_val = 2;
+  dcfg.num_test = 0;
+  dcfg.lowdose.photons_per_ray = 5e4;
+  const data::EnhancementDataset ds =
+      data::make_enhancement_dataset(dcfg, rng);
+
+  nn::seed_init_rng(7);
+  nn::DDnetConfig ncfg;
+  ncfg.base_channels = 8;
+  ncfg.growth = 8;
+  ncfg.levels = 2;
+  ncfg.dense_layers = 2;
+  pipeline::EnhancementAI enhancer(ncfg);
+  pipeline::EnhancementTrainConfig tcfg;
+  tcfg.epochs = 15;
+  tcfg.lr = 2e-3;
+  tcfg.msssim_scales = 1;
+  std::printf("training DDnet at b = %.0e photons/ray...\n\n",
+              dcfg.lowdose.photons_per_ray);
+  enhancer.train(ds, tcfg, rng);
+
+  // Sweep doses on fresh evaluation slices.
+  const std::vector<double> doses = {5e3, 2e4, 5e4, 2e5, 1e6};
+  const int eval_slices = 4;
+
+  std::printf("%-12s %-22s %-22s\n", "photons b",
+              "low-dose MSE / MS-SSIM", "enhanced MSE / MS-SSIM");
+  for (double b : doses) {
+    data::LowDoseConfig ld;
+    ld.geometry = ld.geometry.scaled(px);
+    ld.photons_per_ray = b;
+    double mse_low = 0, mse_enh = 0, ms_low = 0, ms_enh = 0;
+    Rng eval_rng(99);
+    for (int i = 0; i < eval_slices; ++i) {
+      const data::Anatomy anatomy = data::Anatomy::sample(eval_rng);
+      const auto lesions = data::sample_covid_lesions(eval_rng);
+      const data::PhantomSlice slice =
+          data::render_slice(px, anatomy, lesions, 0.5);
+      const data::LowDosePair pair =
+          data::make_lowdose_pair(slice.hu, ld, eval_rng);
+      const Tensor enhanced = enhancer.enhance(pair.low);
+      mse_low += metrics::mse(pair.full, pair.low);
+      mse_enh += metrics::mse(pair.full, enhanced);
+      ms_low += metrics::ms_ssim(pair.full, pair.low);
+      ms_enh += metrics::ms_ssim(pair.full, enhanced);
+    }
+    std::printf("%-12.0e %9.5f / %-10.4f %9.5f / %-10.4f\n", b,
+                mse_low / eval_slices, ms_low / eval_slices,
+                mse_enh / eval_slices, ms_enh / eval_slices);
+  }
+  std::printf(
+      "\nExpected: image quality falls as photons drop; enhancement "
+      "recovers a large fraction at every dose, largest at low dose.\n");
+  return 0;
+}

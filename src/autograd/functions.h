@@ -1,0 +1,64 @@
+// Differentiable operations over Var, mirroring the inference kernels in
+// src/ops. Every function computes its forward via the optimized kernels
+// and registers an exact backward closure.
+#pragma once
+
+#include <vector>
+
+#include "autograd/variable.h"
+#include "ops/ops.h"
+
+namespace ccovid::autograd {
+
+// --- convolution family ------------------------------------------------
+Var conv2d(const Var& x, const Var& w, const Var& b, ops::Conv2dParams p,
+           const ops::KernelOptions& opt = ops::KernelOptions::all());
+Var deconv2d(const Var& x, const Var& w, const Var& b, ops::Deconv2dParams p,
+             const ops::KernelOptions& opt = ops::KernelOptions::all());
+Var conv3d(const Var& x, const Var& w, const Var& b, ops::Conv3dParams p);
+Var linear(const Var& x, const Var& w, const Var& b);
+
+// --- normalization ------------------------------------------------------
+/// Batch norm with running-stat tracking. In training mode normalizes by
+/// batch statistics and updates running_mean/var in place (momentum is
+/// the fraction of the new batch statistic); in eval mode uses the
+/// running statistics and records no gradient w.r.t. them.
+Var batch_norm(const Var& x, const Var& gamma, const Var& beta,
+               Tensor& running_mean, Tensor& running_var, bool training,
+               real_t momentum = 0.1f, real_t eps = 1e-5f);
+
+// --- pooling / resampling ----------------------------------------------
+Var max_pool2d(const Var& x, ops::Pool2dParams p);
+Var avg_pool2d(const Var& x, ops::Pool2dParams p);
+Var unpool2d(const Var& x, index_t scale = 2);
+Var max_pool3d(const Var& x, ops::Pool3dParams p);
+Var avg_pool3d(const Var& x, ops::Pool3dParams p);
+Var global_avg_pool3d(const Var& x);
+
+// --- activations ---------------------------------------------------------
+Var relu(const Var& x);
+Var leaky_relu(const Var& x, real_t slope = 0.01f);
+Var sigmoid(const Var& x);
+
+// --- structure ------------------------------------------------------------
+Var concat(const std::vector<Var>& xs);
+Var reshape(const Var& x, Shape shape);
+
+// --- elementwise algebra ---------------------------------------------------
+Var add(const Var& a, const Var& b);
+Var sub(const Var& a, const Var& b);
+Var mul(const Var& a, const Var& b);
+Var div(const Var& a, const Var& b);
+Var add_scalar(const Var& a, real_t s);
+Var mul_scalar(const Var& a, real_t s);
+/// Elementwise power with constant exponent; inputs must be positive
+/// when e is non-integral (callers clamp first).
+Var pow_scalar(const Var& a, real_t e);
+/// max(x, floor): gradient passes only where x > floor.
+Var clamp_min(const Var& a, real_t floor);
+
+// --- reductions --------------------------------------------------------------
+Var sum(const Var& a);
+Var mean(const Var& a);
+
+}  // namespace ccovid::autograd

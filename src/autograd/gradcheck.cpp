@@ -1,0 +1,41 @@
+#include "autograd/gradcheck.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ccovid::autograd {
+
+Tensor numerical_gradient(const std::function<double()>& f, Tensor& x,
+                          double eps) {
+  Tensor g(x.shape());
+  real_t* xp = x.data();
+  real_t* gp = g.data();
+  const index_t n = x.numel();
+  for (index_t i = 0; i < n; ++i) {
+    const real_t orig = xp[i];
+    xp[i] = orig + static_cast<real_t>(eps);
+    const double f_plus = f();
+    xp[i] = orig - static_cast<real_t>(eps);
+    const double f_minus = f();
+    xp[i] = orig;
+    gp[i] = static_cast<real_t>((f_plus - f_minus) / (2.0 * eps));
+  }
+  return g;
+}
+
+double gradient_error(const Tensor& analytic, const Tensor& numerical) {
+  if (analytic.shape() != numerical.shape()) {
+    throw std::invalid_argument("gradient_error: shape mismatch");
+  }
+  const real_t* a = analytic.data();
+  const real_t* b = numerical.data();
+  const index_t n = analytic.numel();
+  double worst = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    const double denom = std::max(1.0, std::fabs(double(b[i])));
+    worst = std::max(worst, std::fabs(double(a[i]) - b[i]) / denom);
+  }
+  return worst;
+}
+
+}  // namespace ccovid::autograd

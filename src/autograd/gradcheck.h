@@ -1,0 +1,21 @@
+// Numerical gradient checking for the autograd test suite: central
+// finite differences of a scalar-valued function against the analytic
+// gradients produced by backward().
+#pragma once
+
+#include <functional>
+
+#include "core/tensor.h"
+
+namespace ccovid::autograd {
+
+/// Central-difference gradient of `f` (a scalar function of the current
+/// contents of `x`): g[i] = (f(x + eps e_i) - f(x - eps e_i)) / (2 eps).
+/// `x` is restored afterwards.
+Tensor numerical_gradient(const std::function<double()>& f, Tensor& x,
+                          double eps = 1e-3);
+
+/// Max elementwise |analytic - numerical| / max(1, |numerical|).
+double gradient_error(const Tensor& analytic, const Tensor& numerical);
+
+}  // namespace ccovid::autograd

@@ -1,0 +1,164 @@
+#include "autograd/losses.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "metrics/image_quality.h"
+
+namespace ccovid::autograd {
+
+namespace {
+
+// (1, 1, k, k) separable Gaussian window as a convolution weight.
+Tensor gaussian_window_2d(index_t size, double sigma) {
+  const Tensor w1 = metrics::gaussian_window(size, sigma);
+  Tensor w2({1, 1, size, size});
+  for (index_t i = 0; i < size; ++i) {
+    for (index_t j = 0; j < size; ++j) {
+      w2.at(0, 0, i, j) = w1.at(i) * w1.at(j);
+    }
+  }
+  return w2;
+}
+
+struct SsimTerms {
+  Var luminance_contrast;  ///< mean of the full SSIM map
+  Var contrast;            ///< mean of the cs map
+};
+
+// One SSIM scale over (N, 1, H, W) batches, "valid" windows.
+SsimTerms ssim_scale(const Var& x, const Var& y, const Var& win, double c1,
+                     double c2) {
+  const ops::Conv2dParams valid{1, 0};
+  const Var undef_bias;
+  const Var mu_x = conv2d(x, win, undef_bias, valid);
+  const Var mu_y = conv2d(y, win, undef_bias, valid);
+  const Var xx = conv2d(mul(x, x), win, undef_bias, valid);
+  const Var yy = conv2d(mul(y, y), win, undef_bias, valid);
+  const Var xy = conv2d(mul(x, y), win, undef_bias, valid);
+
+  const Var mu_xx = mul(mu_x, mu_x);
+  const Var mu_yy = mul(mu_y, mu_y);
+  const Var mu_xy = mul(mu_x, mu_y);
+  const Var var_x = sub(xx, mu_xx);
+  const Var var_y = sub(yy, mu_yy);
+  const Var cov = sub(xy, mu_xy);
+
+  const Var l = div(add_scalar(mul_scalar(mu_xy, 2.0f), real_t(c1)),
+                    add_scalar(add(mu_xx, mu_yy), real_t(c1)));
+  const Var cs = div(add_scalar(mul_scalar(cov, 2.0f), real_t(c2)),
+                     add_scalar(add(var_x, var_y), real_t(c2)));
+  return {mean(mul(l, cs)), mean(cs)};
+}
+
+}  // namespace
+
+Var mse_loss(const Var& pred, const Tensor& target) {
+  if (pred.value().shape() != target.shape()) {
+    throw std::invalid_argument("mse_loss: shape mismatch");
+  }
+  const Var t(target, /*requires_grad=*/false);
+  const Var d = sub(pred, t);
+  return mean(mul(d, d));
+}
+
+Var ms_ssim(const Var& pred, const Tensor& target, index_t window,
+            double sigma, double data_range, int scales) {
+  if (pred.value().rank() != 4 || pred.value().dim(1) != 1) {
+    throw std::invalid_argument("ms_ssim: expected (N, 1, H, W)");
+  }
+  if (pred.value().shape() != target.shape()) {
+    throw std::invalid_argument("ms_ssim: shape mismatch");
+  }
+  static const double kWeights[5] = {0.0448, 0.2856, 0.3001, 0.2363,
+                                     0.1333};
+  if (scales < 1 || scales > 5) {
+    throw std::invalid_argument("ms_ssim: scales in [1, 5]");
+  }
+  // Same usable-scale rule as metrics::ms_ssim.
+  int usable = 0;
+  {
+    index_t m = std::min(pred.value().dim(2), pred.value().dim(3));
+    while (usable < scales && m >= window) {
+      ++usable;
+      m /= 2;
+    }
+  }
+  if (usable == 0) {
+    throw std::invalid_argument("ms_ssim: image smaller than window");
+  }
+  double wsum = 0.0;
+  for (int s = 0; s < usable; ++s) wsum += kWeights[s];
+
+  const double c1 = (0.01 * data_range) * (0.01 * data_range);
+  const double c2 = (0.03 * data_range) * (0.03 * data_range);
+  const Var win(gaussian_window_2d(window, sigma), /*requires_grad=*/false);
+  const ops::Pool2dParams down{2, 2, 0};
+
+  Var x = pred;
+  Var y(target, /*requires_grad=*/false);
+  Var result;
+  for (int s = 0; s < usable; ++s) {
+    const SsimTerms terms = ssim_scale(x, y, win, c1, c2);
+    const double weight = kWeights[s] / wsum;
+    const Var term = (s == usable - 1) ? terms.luminance_contrast
+                                       : terms.contrast;
+    const Var factor =
+        pow_scalar(clamp_min(term, 1e-8f), static_cast<real_t>(weight));
+    result = result.defined() ? mul(result, factor) : factor;
+    if (s + 1 < usable) {
+      x = avg_pool2d(x, down);
+      y = avg_pool2d(y, down);
+    }
+  }
+  return result;
+}
+
+Var enhancement_loss(const Var& pred, const Tensor& target,
+                     real_t msssim_weight, index_t window, int scales) {
+  const Var mse_term = mse_loss(pred, target);
+  const Var ms = ms_ssim(pred, target, window, 1.5, 1.0, scales);
+  // mse + w * (1 - msssim)
+  const Var one_minus = add_scalar(mul_scalar(ms, -1.0f), 1.0f);
+  return add(mse_term, mul_scalar(one_minus, msssim_weight));
+}
+
+Var bce_with_logits_loss(const Var& logits, const Tensor& targets) {
+  if (logits.value().shape() != targets.shape()) {
+    throw std::invalid_argument("bce_with_logits: shape mismatch");
+  }
+  const index_t n = targets.numel();
+  // Stable forward: max(z,0) - z*y + log(1 + exp(-|z|)).
+  Tensor out({1});
+  {
+    const real_t* z = logits.value().data();
+    const real_t* y = targets.data();
+    double acc = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      const double zi = z[i], yi = y[i];
+      acc += std::max(zi, 0.0) - zi * yi + std::log1p(std::exp(-std::fabs(zi)));
+    }
+    out.at(0) = static_cast<real_t>(acc / static_cast<double>(n));
+  }
+  Var y_var = Var::make_node(std::move(out), {logits});
+  if (y_var.requires_grad()) {
+    Tensor t = targets.clone();
+    y_var.set_backward([logits, t, n](const Tensor& g) {
+      // d/dz = (sigmoid(z) - y) / N.
+      Tensor gz(logits.value().shape());
+      const real_t* z = logits.value().data();
+      const real_t* y = t.data();
+      real_t* p = gz.data();
+      const real_t scale = g.at(0) / static_cast<real_t>(n);
+      for (index_t i = 0; i < n; ++i) {
+        const double s = 1.0 / (1.0 + std::exp(-static_cast<double>(z[i])));
+        p[i] = scale * static_cast<real_t>(s - y[i]);
+      }
+      accumulate_grad(logits, gz);
+    });
+  }
+  return y_var;
+}
+
+}  // namespace ccovid::autograd

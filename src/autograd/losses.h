@@ -1,0 +1,36 @@
+// Differentiable loss functions.
+//
+// Enhancement AI trains with the paper's composite loss (Eq. 1):
+//     L = ||y - f(x)||^2 + 0.1 * (1 - MS-SSIM(y, f(x)))
+// The MS-SSIM term is built from autograd primitives (Gaussian-window
+// convolutions, elementwise algebra, average-pool pyramid), so its
+// gradient is exact rather than approximated.
+//
+// Classification AI trains with binary cross-entropy (Eq. 2), fused with
+// the sigmoid for numerical stability.
+#pragma once
+
+#include "autograd/functions.h"
+
+namespace ccovid::autograd {
+
+/// Mean squared error: mean((pred - target)^2). `target` is a constant.
+Var mse_loss(const Var& pred, const Tensor& target);
+
+/// Differentiable MS-SSIM between batched single-channel images
+/// (N, 1, H, W); returns a scalar Var in (0, 1]. Matches
+/// metrics::ms_ssim (same window, weights, pyramid and scale-reduction
+/// rule) so the training loss and the evaluation metric agree.
+Var ms_ssim(const Var& pred, const Tensor& target, index_t window = 11,
+            double sigma = 1.5, double data_range = 1.0, int scales = 5);
+
+/// Eq. (1): MSE + msssim_weight * (1 - MS-SSIM).
+Var enhancement_loss(const Var& pred, const Tensor& target,
+                     real_t msssim_weight = 0.1f, index_t window = 11,
+                     int scales = 5);
+
+/// Eq. (2) fused with sigmoid: -mean(y*log(p) + (1-y)*log(1-p)) with
+/// p = sigmoid(logits). `targets` holds 0/1 labels, same shape as logits.
+Var bce_with_logits_loss(const Var& logits, const Tensor& targets);
+
+}  // namespace ccovid::autograd

@@ -1,0 +1,49 @@
+#include "autograd/optim.h"
+
+#include <cmath>
+
+namespace ccovid::autograd {
+
+Adam::Adam(std::vector<Var> params, double lr, double beta1, double beta2,
+           double eps)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Var& p : params_) {
+    m_.emplace_back(p.value().shape());
+    v_.emplace_back(p.value().shape());
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  const double bc1 = 1.0 - std::pow(beta1_, step_count_);
+  const double bc2 = 1.0 - std::pow(beta2_, step_count_);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Var& p = params_[i];
+    if (!p.has_grad()) continue;
+    const real_t* g = p.grad().data();
+    real_t* w = p.value().data();
+    real_t* m = m_[i].data();
+    real_t* v = v_[i].data();
+    const index_t n = p.value().numel();
+    for (index_t j = 0; j < n; ++j) {
+      m[j] = static_cast<real_t>(beta1_ * m[j] + (1.0 - beta1_) * g[j]);
+      v[j] = static_cast<real_t>(beta2_ * v[j] +
+                                 (1.0 - beta2_) * double(g[j]) * g[j]);
+      const double m_hat = m[j] / bc1;
+      const double v_hat = v[j] / bc2;
+      w[j] -= static_cast<real_t>(lr_ * m_hat / (std::sqrt(v_hat) + eps_));
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Var& p : params_) p.zero_grad();
+}
+
+}  // namespace ccovid::autograd

@@ -1,0 +1,48 @@
+// Optimizers. The paper trains every network with Adam (§3.1.1, §3.3.1):
+// Enhancement AI at lr 1e-4 with the rate exponentially reduced by 0.8
+// each epoch; Classification AI at lr 1e-6.
+#pragma once
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace ccovid::autograd {
+
+class Adam {
+ public:
+  Adam(std::vector<Var> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+
+  /// Applies one Adam update from the gradients currently accumulated in
+  /// the parameters; parameters without a gradient are skipped.
+  void step();
+
+  /// Clears the accumulated gradients of all parameters.
+  void zero_grad();
+
+  double lr() const { return lr_; }
+  void set_lr(double lr) { lr_ = lr; }
+  const std::vector<Var>& params() const { return params_; }
+
+ private:
+  std::vector<Var> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  double lr_, beta1_, beta2_, eps_;
+  long step_count_ = 0;
+};
+
+/// Per-epoch multiplicative learning-rate decay (gamma = 0.8 in the
+/// paper's Enhancement-AI schedule).
+class ExponentialLR {
+ public:
+  ExponentialLR(Adam& opt, double gamma) : opt_(&opt), gamma_(gamma) {}
+  void step() { opt_->set_lr(opt_->lr() * gamma_); }
+
+ private:
+  Adam* opt_;
+  double gamma_;
+};
+
+}  // namespace ccovid::autograd

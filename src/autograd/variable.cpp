@@ -1,0 +1,120 @@
+#include "autograd/variable.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ccovid::autograd {
+
+namespace detail {
+
+void VarImpl::accumulate(const Tensor& g) {
+  if (!grad.defined()) {
+    grad = g.clone();
+  } else {
+    grad.add_(g);
+  }
+}
+
+}  // namespace detail
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}
+
+bool GradMode::enabled() { return g_grad_enabled; }
+void GradMode::set_enabled(bool on) { g_grad_enabled = on; }
+
+NoGradGuard::NoGradGuard() : prev_(GradMode::enabled()) {
+  GradMode::set_enabled(false);
+}
+NoGradGuard::~NoGradGuard() { GradMode::set_enabled(prev_); }
+
+Var::Var(Tensor value, bool requires_grad)
+    : impl_(std::make_shared<detail::VarImpl>()) {
+  impl_->value = std::move(value);
+  impl_->requires_grad = requires_grad;
+}
+
+void Var::zero_grad() {
+  if (impl_ && impl_->grad.defined()) impl_->grad.zero();
+}
+
+Var Var::make_node(Tensor value, std::vector<Var> parents) {
+  Var v;
+  v.impl_ = std::make_shared<detail::VarImpl>();
+  v.impl_->value = std::move(value);
+  bool req = false;
+  for (const Var& p : parents) {
+    if (p.defined() && p.requires_grad()) req = true;
+  }
+  // Only remember parents when a gradient will actually flow.
+  if (req && GradMode::enabled()) {
+    v.impl_->requires_grad = true;
+    for (const Var& p : parents) {
+      if (p.defined()) v.impl_->parents.push_back(p.impl_);
+    }
+  }
+  return v;
+}
+
+void Var::set_backward(std::function<void(const Tensor&)> fn) {
+  if (impl_ && impl_->requires_grad && GradMode::enabled()) {
+    impl_->backward_fn = std::move(fn);
+  }
+}
+
+Var Var::detach() const {
+  Var v(impl_->value, false);
+  return v;
+}
+
+void Var::backward() {
+  if (!defined()) throw std::runtime_error("backward on undefined Var");
+  if (value().numel() != 1) {
+    throw std::runtime_error(
+        "backward() without seed requires a scalar output; shape is " +
+        shape().str());
+  }
+  backward(Tensor::ones(shape()));
+}
+
+void Var::backward(const Tensor& seed) {
+  if (!defined()) throw std::runtime_error("backward on undefined Var");
+  if (seed.shape() != shape()) {
+    throw std::invalid_argument("backward: seed shape mismatch");
+  }
+  // Iterative post-order DFS for the topological order.
+  std::vector<detail::VarImpl*> order;
+  std::unordered_set<detail::VarImpl*> visited;
+  std::vector<std::pair<detail::VarImpl*, std::size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      detail::VarImpl* child = node->parents[next_child].get();
+      ++next_child;
+      if (visited.insert(child).second) stack.emplace_back(child, 0);
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  impl_->accumulate(seed);
+  // Reverse topological (root first).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    detail::VarImpl* node = *it;
+    if (node->backward_fn && node->grad.defined()) {
+      node->backward_fn(node->grad);
+      // Release the closure (and the activations it captures) once used;
+      // a second backward over the same graph is not supported.
+      node->backward_fn = nullptr;
+    }
+  }
+}
+
+void accumulate_grad(const Var& v, const Tensor& g) {
+  if (v.defined() && v.impl()->requires_grad) v.impl()->accumulate(g);
+}
+
+}  // namespace ccovid::autograd

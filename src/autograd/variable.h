@@ -1,0 +1,98 @@
+// Tape-based reverse-mode automatic differentiation over Tensor.
+//
+// A Var wraps a value plus (when gradients are enabled and required) a
+// node in the dynamically-built computation DAG. Calling backward() on a
+// scalar Var topologically sorts the DAG and runs each node's backward
+// function, accumulating gradients into every contributing Var — the
+// leaf parameters of the network modules among them.
+//
+// Ownership: nodes own their parents via shared_ptr, so the graph (and
+// the activations captured by backward closures) lives exactly as long
+// as some downstream Var needs it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace ccovid::autograd {
+
+namespace detail {
+
+struct VarImpl {
+  Tensor value;
+  Tensor grad;  ///< undefined until first accumulation
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<VarImpl>> parents;
+  /// Accumulates parent gradients given this node's output gradient.
+  std::function<void(const Tensor&)> backward_fn;
+
+  void accumulate(const Tensor& g);
+};
+
+}  // namespace detail
+
+/// Global gradient-recording switch. Disable around pure inference to
+/// skip graph construction entirely.
+class GradMode {
+ public:
+  static bool enabled();
+  static void set_enabled(bool on);
+};
+
+/// RAII no-grad region (cf. torch::NoGradGuard).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+class Var {
+ public:
+  Var() = default;
+  /// Leaf variable (parameter when requires_grad, constant otherwise).
+  explicit Var(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+  const Tensor& value() const { return impl_->value; }
+  Tensor& value() { return impl_->value; }
+  const Shape& shape() const { return impl_->value.shape(); }
+
+  bool requires_grad() const { return impl_ && impl_->requires_grad; }
+
+  /// Gradient accumulated by backward(); undefined tensor before any
+  /// backward pass touched this Var.
+  const Tensor& grad() const { return impl_->grad; }
+  Tensor& grad() { return impl_->grad; }
+  bool has_grad() const { return impl_ && impl_->grad.defined(); }
+  void zero_grad();
+
+  /// Reverse-mode sweep from this Var. Seeds with ones for a scalar
+  /// (numel == 1); pass an explicit seed otherwise.
+  void backward();
+  void backward(const Tensor& seed);
+
+  /// Detached copy: same value, no graph history.
+  Var detach() const;
+
+  // --- graph-construction plumbing (used by functions.cpp) ---
+  static Var make_node(Tensor value, std::vector<Var> parents);
+  void set_backward(std::function<void(const Tensor&)> fn);
+  const std::shared_ptr<detail::VarImpl>& impl() const { return impl_; }
+
+ private:
+  std::shared_ptr<detail::VarImpl> impl_;
+};
+
+/// Adds `g` into the gradient buffer of `v` (allocating on first use).
+/// No-op when v does not require (or propagate) gradients.
+void accumulate_grad(const Var& v, const Tensor& g);
+
+}  // namespace ccovid::autograd

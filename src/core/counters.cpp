@@ -1,0 +1,21 @@
+#include "core/counters.h"
+
+#include <sstream>
+
+namespace ccovid {
+
+std::string OpCounters::str() const {
+  std::ostringstream os;
+  os << "loads=" << global_loads << " stores=" << global_stores
+     << " flops=" << flops;
+  return os.str();
+}
+
+OpCounters& tls_counters() {
+  thread_local OpCounters counters;
+  return counters;
+}
+
+void reset_tls_counters() { tls_counters().reset(); }
+
+}  // namespace ccovid

@@ -1,0 +1,40 @@
+// Operation counters for the Table 6 reproduction.
+//
+// The paper obtains its global-memory load/store and floating-point
+// operation counts "by implementing counters in each kernel" (§5,
+// Table 6, footnote 2). We do the same: the instrumented kernel variants
+// in src/ops accumulate into a thread-local OpCounters that can be
+// collected into a global tally. The fast (non-instrumented) kernels
+// never touch these, so production inference pays nothing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+
+namespace ccovid {
+
+struct OpCounters {
+  std::uint64_t global_loads = 0;   ///< reads from tensor storage
+  std::uint64_t global_stores = 0;  ///< writes to tensor storage
+  std::uint64_t flops = 0;          ///< floating-point mul/add/div/cmp ops
+
+  OpCounters& operator+=(const OpCounters& o) {
+    global_loads += o.global_loads;
+    global_stores += o.global_stores;
+    flops += o.flops;
+    return *this;
+  }
+  void reset() { *this = OpCounters{}; }
+
+  std::string str() const;
+};
+
+/// Per-thread active counter used by instrumented kernels; never null.
+OpCounters& tls_counters();
+
+/// Zeroes the calling thread's counter.
+void reset_tls_counters();
+
+}  // namespace ccovid

@@ -1,0 +1,29 @@
+// Minimal image / table output: binary PGM for figure panels (Fig. 12's
+// enhanced images and difference maps) and CSV series for loss curves and
+// ROC points (Figs. 11 and 13).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace ccovid {
+
+/// Writes a 2-D tensor (H, W) as an 8-bit binary PGM, linearly mapping
+/// [lo, hi] -> [0, 255] (values clamped). When lo == hi the image min/max
+/// are used.
+void write_pgm(const std::string& path, const Tensor& image, real_t lo = 0,
+               real_t hi = 0);
+
+/// Reads a binary (P5) 8-bit PGM back into a (H, W) tensor scaled to
+/// [0, 1]; used by tests to round-trip figure outputs.
+Tensor read_pgm(const std::string& path);
+
+/// Writes rows of doubles with a header line, e.g. loss curves:
+/// write_csv("fig11a.csv", {"epoch","train","val"}, rows).
+void write_csv(const std::string& path,
+               const std::vector<std::string>& header,
+               const std::vector<std::vector<double>>& rows);
+
+}  // namespace ccovid

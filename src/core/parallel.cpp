@@ -1,0 +1,82 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace ccovid {
+
+namespace {
+
+std::atomic<int> g_num_threads{0};  // 0 = "use default"
+
+int default_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+#endif
+}
+
+}  // namespace
+
+int num_threads() {
+  const int n = g_num_threads.load(std::memory_order_relaxed);
+  return n > 0 ? n : default_threads();
+}
+
+void set_num_threads(int n) {
+  g_num_threads.store(n, std::memory_order_relaxed);
+}
+
+void parallel_for(index_t begin, index_t end,
+                  const std::function<void(index_t)>& body, index_t grain) {
+  if (end <= begin) return;
+  const index_t n = end - begin;
+  const int threads = num_threads();
+  if (threads <= 1 || n < grain) {
+    for (index_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads(threads)
+  for (index_t i = begin; i < end; ++i) body(i);
+#else
+  for (index_t i = begin; i < end; ++i) body(i);
+#endif
+}
+
+void parallel_for_blocked(index_t begin, index_t end,
+                          const std::function<void(index_t, index_t)>& body,
+                          index_t grain) {
+  if (end <= begin) return;
+  const index_t n = end - begin;
+  const int threads = num_threads();
+  if (threads <= 1 || n <= grain) {
+    body(begin, end);
+    return;
+  }
+  const index_t chunks = std::min<index_t>(threads, (n + grain - 1) / grain);
+  const index_t chunk = (n + chunks - 1) / chunks;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads(static_cast<int>(chunks))
+  for (index_t c = 0; c < chunks; ++c) {
+    const index_t lo = begin + c * chunk;
+    const index_t hi = std::min(end, lo + chunk);
+    if (lo < hi) body(lo, hi);
+  }
+#else
+  for (index_t c = 0; c < chunks; ++c) {
+    const index_t lo = begin + c * chunk;
+    const index_t hi = std::min(end, lo + chunk);
+    if (lo < hi) body(lo, hi);
+  }
+#endif
+}
+
+}  // namespace ccovid

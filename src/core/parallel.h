@@ -1,0 +1,37 @@
+// Shared-memory parallelism primitives.
+//
+// Kernels call parallel_for(), which maps to an OpenMP parallel loop when
+// built with CCOVID_ENABLE_OPENMP and degrades to a serial loop otherwise.
+// The thread count is process-global and settable at runtime so benchmarks
+// can sweep it (Table 4's CPU row) and the distributed trainer can pin its
+// replica threads without oversubscription.
+#pragma once
+
+#include <functional>
+
+#include "core/types.h"
+
+namespace ccovid {
+
+/// Number of worker threads parallel_for uses. Defaults to the hardware
+/// concurrency (or OMP_NUM_THREADS when set).
+int num_threads();
+
+/// Overrides the worker count for subsequent parallel_for calls.
+/// n <= 0 resets to the default.
+void set_num_threads(int n);
+
+/// Runs body(i) for i in [begin, end). Iterations must be independent.
+/// `grain` is the minimum chunk per thread; loops smaller than `grain`
+/// run serially to avoid fork/join overhead on tiny tensors.
+void parallel_for(index_t begin, index_t end,
+                  const std::function<void(index_t)>& body,
+                  index_t grain = 1024);
+
+/// Blocked variant: body(lo, hi) receives contiguous ranges. Preferred in
+/// hot kernels — one std::function call per block, not per element.
+void parallel_for_blocked(index_t begin, index_t end,
+                          const std::function<void(index_t, index_t)>& body,
+                          index_t grain = 1);
+
+}  // namespace ccovid

@@ -1,0 +1,120 @@
+#include "core/random.h"
+
+#include <cmath>
+
+namespace ccovid {
+
+namespace {
+
+// splitmix64: seeds the xoshiro state from a single 64-bit value.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+index_t Rng::uniform_int(index_t lo, index_t hi) {
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<index_t>(next_u64() % span);
+}
+
+double Rng::gaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  have_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  return mean + stddev * gaussian();
+}
+
+std::uint64_t Rng::poisson(double lambda) {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 64.0) {
+    // Knuth: multiply uniforms until falling below e^-lambda.
+    const double limit = std::exp(-lambda);
+    double prod = uniform();
+    std::uint64_t k = 0;
+    while (prod > limit) {
+      prod *= uniform();
+      ++k;
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // photon-count regime (lambda up to 1e6) used by the CT simulator.
+  const double x = gaussian(lambda, std::sqrt(lambda)) + 0.5;
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x);
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+Rng Rng::split(std::uint64_t stream_id) {
+  std::uint64_t mix = s_[0] ^ (stream_id * 0xD2B74407B1CE6E93ull);
+  // Advance own state so successive splits differ.
+  mix ^= next_u64();
+  return Rng(mix);
+}
+
+void Rng::fill_gaussian(Tensor& t, double mean, double stddev) {
+  real_t* p = t.data();
+  const index_t n = t.numel();
+  for (index_t i = 0; i < n; ++i) {
+    p[i] = static_cast<real_t>(gaussian(mean, stddev));
+  }
+}
+
+void Rng::fill_uniform(Tensor& t, double lo, double hi) {
+  real_t* p = t.data();
+  const index_t n = t.numel();
+  for (index_t i = 0; i < n; ++i) {
+    p[i] = static_cast<real_t>(uniform(lo, hi));
+  }
+}
+
+}  // namespace ccovid

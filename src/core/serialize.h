@@ -1,0 +1,27 @@
+// Binary tensor and checkpoint serialization. Trained models (DDnet,
+// classifier, segmenter) are saved as a named map of tensors so the
+// benchmark binaries can reuse weights trained by the examples instead
+// of retraining.
+//
+// Format (little-endian):
+//   magic "CC19TNSR" | u32 version | u32 count
+//   repeated: u32 name_len | name bytes | u32 rank | i64 dims[rank]
+//             | f32 data[numel]
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/tensor.h"
+
+namespace ccovid {
+
+using TensorMap = std::map<std::string, Tensor>;
+
+void save_tensor_map(const std::string& path, const TensorMap& tensors);
+TensorMap load_tensor_map(const std::string& path);
+
+void save_tensor(const std::string& path, const Tensor& t);
+Tensor load_tensor(const std::string& path);
+
+}  // namespace ccovid

@@ -1,0 +1,101 @@
+// Tensor: a dense, contiguous, row-major float32 array with shared
+// ownership of its storage. This is the single data container used by
+// the CT substrate, the NN kernels, and the autograd layer.
+//
+// Design notes (per the C++ Core Guidelines):
+//  * storage is owned via shared_ptr with a custom aligned deleter —
+//    no raw owning pointers anywhere;
+//  * copies are shallow (shared storage); `clone()` deep-copies;
+//  * kernels take raw `const real_t*`/`real_t*` obtained via data(),
+//    keeping hot loops free of abstraction overhead.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/shape.h"
+#include "core/types.h"
+
+namespace ccovid {
+
+class Tensor {
+ public:
+  /// Empty tensor: rank 0, no storage. numel() == 1 is *not* implied;
+  /// use defined() to check.
+  Tensor() = default;
+
+  /// Allocates zero-initialized storage of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Convenience: Tensor({n, c, h, w}).
+  Tensor(std::initializer_list<index_t> dims) : Tensor(Shape(dims)) {}
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, real_t value);
+  static Tensor ones(Shape shape) { return full(std::move(shape), 1.0f); }
+  /// Builds a tensor from explicit values (row-major); size must match.
+  static Tensor from_vector(Shape shape, const std::vector<real_t>& v);
+
+  bool defined() const { return storage_ != nullptr; }
+  const Shape& shape() const { return shape_; }
+  int rank() const { return shape_.rank(); }
+  index_t dim(int i) const { return shape_[i]; }
+  index_t numel() const { return shape_.numel(); }
+
+  real_t* data() { return storage_.get(); }
+  const real_t* data() const { return storage_.get(); }
+
+  /// Element access by multi-index (debug-checked). Hot loops should use
+  /// data() + manual offsets instead.
+  template <typename... Ix>
+  real_t& at(Ix... ix) {
+    return storage_.get()[shape_.offset(ix...)];
+  }
+  template <typename... Ix>
+  real_t at(Ix... ix) const {
+    return storage_.get()[shape_.offset(ix...)];
+  }
+
+  /// Deep copy with fresh storage.
+  Tensor clone() const;
+
+  /// Same storage, new shape; numel must be preserved.
+  Tensor reshape(Shape new_shape) const;
+
+  void fill(real_t value);
+  void zero() { fill(0.0f); }
+
+  /// Elementwise in-place helpers used by optimizers and losses.
+  Tensor& add_(const Tensor& other, real_t alpha = 1.0f);
+  Tensor& mul_(real_t scalar);
+  Tensor& mul_(const Tensor& other);
+
+  /// Elementwise out-of-place arithmetic (shapes must match).
+  Tensor add(const Tensor& other) const;
+  Tensor sub(const Tensor& other) const;
+  Tensor mul(const Tensor& other) const;
+
+  /// Reductions.
+  real_t sum() const;
+  real_t mean() const;
+  real_t min() const;
+  real_t max() const;
+  /// Largest |x|; useful in tests and gradient clipping.
+  real_t abs_max() const;
+
+  /// Copies values out into a std::vector (tests & serialization).
+  std::vector<real_t> to_vector() const;
+
+ private:
+  Shape shape_;
+  std::shared_ptr<real_t[]> storage_;
+};
+
+/// True when every pair of elements differs by at most `atol + rtol*|b|`.
+bool allclose(const Tensor& a, const Tensor& b, real_t rtol = 1e-5f,
+              real_t atol = 1e-6f);
+
+/// Maximum absolute elementwise difference (shapes must match).
+real_t max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace ccovid

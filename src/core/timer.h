@@ -1,0 +1,65 @@
+// Wall-clock timing used by the benchmark harness. Mirrors the paper's
+// "event-based" kernel timing (Table 5): each kernel invocation is
+// bracketed and accumulated per kernel name.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace ccovid {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Seconds since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates per-kernel execution time, keyed by kernel name
+/// ("convolution", "deconvolution", "other"). Not thread-safe; each
+/// benchmark uses one profile on its main thread.
+class KernelProfile {
+ public:
+  void add(const std::string& kernel, double seconds) {
+    totals_[kernel] += seconds;
+  }
+  double total(const std::string& kernel) const {
+    auto it = totals_.find(kernel);
+    return it == totals_.end() ? 0.0 : it->second;
+  }
+  double grand_total() const {
+    double t = 0.0;
+    for (const auto& [k, v] : totals_) t += v;
+    return t;
+  }
+  const std::map<std::string, double>& totals() const { return totals_; }
+  void reset() { totals_.clear(); }
+
+ private:
+  std::map<std::string, double> totals_;
+};
+
+/// RAII helper: adds elapsed time to `profile[kernel]` on destruction.
+class ScopedKernelTimer {
+ public:
+  ScopedKernelTimer(KernelProfile& profile, std::string kernel)
+      : profile_(profile), kernel_(std::move(kernel)) {}
+  ~ScopedKernelTimer() { profile_.add(kernel_, timer_.seconds()); }
+  ScopedKernelTimer(const ScopedKernelTimer&) = delete;
+  ScopedKernelTimer& operator=(const ScopedKernelTimer&) = delete;
+
+ private:
+  KernelProfile& profile_;
+  std::string kernel_;
+  WallTimer timer_;
+};
+
+}  // namespace ccovid

@@ -1,0 +1,29 @@
+// Basic scalar types and compiler annotations shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace ccovid {
+
+/// Index type used for tensor extents and loop bounds. Signed so that
+/// reverse loops and OpenMP canonical loop forms are straightforward.
+using index_t = std::int64_t;
+
+/// All network and CT math is single precision, matching the paper
+/// (HU data is converted to float32 in [0,1] before entering DDnet).
+using real_t = float;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define CCOVID_RESTRICT __restrict__
+#define CCOVID_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define CCOVID_RESTRICT
+#define CCOVID_ALWAYS_INLINE inline
+#endif
+
+/// Alignment (bytes) for tensor storage; one x86 cache line, and wide
+/// enough for any SIMD width GCC auto-vectorizes to.
+inline constexpr std::size_t kTensorAlignment = 64;
+
+}  // namespace ccovid

@@ -1,0 +1,138 @@
+#include "ct/fbp.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/parallel.h"
+#include "ct/fft.h"
+
+namespace ccovid::ct {
+
+namespace {
+
+// Band-limited spatial-domain Ram-Lak kernel (Kak & Slaney eq. 61):
+//   h(0) = 1/(4 du^2), h(n odd) = -1/(pi n du)^2, h(n even) = 0.
+// Laid out circularly over a power-of-two length for FFT convolution.
+std::vector<double> ramp_kernel_circular(index_t len, double du,
+                                         RampFilter filter) {
+  std::vector<double> h(static_cast<std::size_t>(len), 0.0);
+  h[0] = 1.0 / (4.0 * du * du);
+  for (index_t n = 1; n < len / 2; ++n) {
+    double v = 0.0;
+    if (n % 2 == 1) {
+      const double d = M_PI * static_cast<double>(n) * du;
+      v = -1.0 / (d * d);
+    }
+    if (filter == RampFilter::kSheppLogan) {
+      // Shepp-Logan: h_SL(n) = -2 / (pi^2 du^2 (4 n^2 - 1)).
+      const double nn = static_cast<double>(n);
+      v = -2.0 / (M_PI * M_PI * du * du * (4.0 * nn * nn - 1.0));
+    }
+    h[static_cast<std::size_t>(n)] = v;
+    h[static_cast<std::size_t>(len - n)] = v;  // symmetric wrap
+  }
+  if (filter == RampFilter::kSheppLogan) {
+    h[0] = 2.0 / (M_PI * M_PI * du * du);
+  }
+  return h;
+}
+
+}  // namespace
+
+Tensor filter_sinogram(const Tensor& sinogram, const FanBeamGeometry& g,
+                       RampFilter filter) {
+  if (sinogram.rank() != 2 || sinogram.dim(0) != g.num_views ||
+      sinogram.dim(1) != g.num_dets) {
+    throw std::invalid_argument("filter_sinogram: sinogram/geometry mismatch");
+  }
+  const index_t nd = g.num_dets;
+  // Ramp filtering happens on the *virtual detector at the isocenter*
+  // (Kak & Slaney ch. 3): physical detector coordinates u at distance
+  // SDD map to s = u * SOD/SDD, so the filter spacing is ds, not du.
+  // Using du here under-scales the reconstruction by SOD/SDD.
+  const double ds = g.det_spacing() * g.sod_mm / g.sdd_mm;
+  // Zero-pad to 2x next power of two to avoid circular wrap-around.
+  const index_t padded = next_pow2(2 * nd);
+  const auto kernel = ramp_kernel_circular(padded, ds, filter);
+
+  Tensor out(sinogram.shape());
+  const real_t* ip = sinogram.data();
+  real_t* op = out.data();
+
+  parallel_for(
+      0, g.num_views,
+      [&](index_t v) {
+        std::vector<double> row(static_cast<std::size_t>(padded), 0.0);
+        // Cosine pre-weight: p' = p * SDD / sqrt(SDD^2 + u^2).
+        for (index_t d = 0; d < nd; ++d) {
+          const double u = g.det_coord(d);
+          const double w = g.sdd_mm / std::hypot(g.sdd_mm, u);
+          row[static_cast<std::size_t>(d)] =
+              static_cast<double>(ip[v * nd + d]) * w;
+        }
+        const auto filtered = fft_convolve_circular(row, kernel);
+        for (index_t d = 0; d < nd; ++d) {
+          op[v * nd + d] =
+              static_cast<real_t>(filtered[static_cast<std::size_t>(d)] * ds);
+        }
+      },
+      /*grain=*/1);
+  return out;
+}
+
+Tensor backproject(const Tensor& filtered, const FanBeamGeometry& g) {
+  const index_t n = g.image_px;
+  const index_t nd = g.num_dets;
+  const double px = g.pixel_size();
+  const double du = g.det_spacing();
+  const double dbeta = 2.0 * M_PI / static_cast<double>(g.num_views);
+  Tensor image({n, n});
+  const real_t* sp = filtered.data();
+  real_t* op = image.data();
+
+  // Precompute per-view trigonometry.
+  std::vector<double> cosb(static_cast<std::size_t>(g.num_views));
+  std::vector<double> sinb(static_cast<std::size_t>(g.num_views));
+  for (index_t v = 0; v < g.num_views; ++v) {
+    cosb[v] = std::cos(g.view_angle(v));
+    sinb[v] = std::sin(g.view_angle(v));
+  }
+
+  parallel_for(
+      0, n,
+      [&](index_t iy) {
+        const double y = -g.fov_mm / 2.0 + (iy + 0.5) * px;
+        for (index_t ix = 0; ix < n; ++ix) {
+          const double x = -g.fov_mm / 2.0 + (ix + 0.5) * px;
+          double acc = 0.0;
+          for (index_t v = 0; v < g.num_views; ++v) {
+            const double cb = cosb[v], sb = sinb[v];
+            // Distance of the pixel along the central ray axis.
+            const double L = g.sod_mm - (x * cb + y * sb);
+            if (L <= 1e-6) continue;
+            // Lateral offset and flat-detector coordinate.
+            const double t = -x * sb + y * cb;
+            const double u = g.sdd_mm * t / L;
+            const double dpos = (u + g.det_width_mm / 2.0) / du - 0.5;
+            const index_t d0 = static_cast<index_t>(std::floor(dpos));
+            if (d0 < 0 || d0 + 1 >= nd) continue;
+            const double frac = dpos - static_cast<double>(d0);
+            const double p = (1.0 - frac) * sp[v * nd + d0] +
+                             frac * sp[v * nd + d0 + 1];
+            const double inv_w = g.sod_mm / L;  // U^-1 distance weight
+            acc += p * inv_w * inv_w;
+          }
+          op[iy * n + ix] = static_cast<real_t>(acc * dbeta / 2.0);
+        }
+      },
+      /*grain=*/1);
+  return image;
+}
+
+Tensor fbp_reconstruct(const Tensor& sinogram, const FanBeamGeometry& g,
+                       RampFilter filter) {
+  return backproject(filter_sinogram(sinogram, g, filter), g);
+}
+
+}  // namespace ccovid::ct

@@ -1,0 +1,33 @@
+// Filtered back projection for the flat-panel fan-beam geometry —
+// the reconstruction the paper applies to the simulated low-dose
+// projections (§3.1.2, Fig. 8).
+//
+// Pipeline: cosine pre-weighting -> ramp filtering along the detector
+// (band-limited Ram-Lak kernel applied by FFT, optional Shepp-Logan
+// apodization) -> distance-weighted backprojection with linear detector
+// interpolation.
+#pragma once
+
+#include "core/tensor.h"
+#include "ct/geometry.h"
+
+namespace ccovid::ct {
+
+enum class RampFilter {
+  kRamLak,      ///< pure band-limited ramp
+  kSheppLogan,  ///< ramp * sinc apodization (less noise amplification)
+};
+
+/// Filters one sinogram row set: input/output (num_views, num_dets).
+Tensor filter_sinogram(const Tensor& sinogram, const FanBeamGeometry& g,
+                       RampFilter filter = RampFilter::kRamLak);
+
+/// Backprojects a *filtered* sinogram onto the image grid; returns
+/// attenuation values (1/mm) on (image_px, image_px).
+Tensor backproject(const Tensor& filtered, const FanBeamGeometry& g);
+
+/// Full FBP reconstruction: filter + backproject.
+Tensor fbp_reconstruct(const Tensor& sinogram, const FanBeamGeometry& g,
+                       RampFilter filter = RampFilter::kRamLak);
+
+}  // namespace ccovid::ct

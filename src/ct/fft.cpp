@@ -1,0 +1,70 @@
+#include "ct/fft.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ccovid::ct {
+
+bool is_pow2(index_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+index_t next_pow2(index_t n) {
+  index_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::vector<cplx>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (!is_pow2(static_cast<index_t>(n))) {
+    throw std::invalid_argument("fft: length must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterfly stages.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * M_PI / static_cast<double>(len) *
+                       (inverse ? 1.0 : -1.0);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const cplx u = data[i + j];
+        const cplx v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= inv_n;
+  }
+}
+
+std::vector<double> fft_convolve_circular(const std::vector<double>& a,
+                                          const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("fft_convolve_circular: size mismatch");
+  }
+  const std::size_t n = a.size();
+  std::vector<cplx> fa(n), fb(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fa[i] = cplx(a[i], 0.0);
+    fb[i] = cplx(b[i], 0.0);
+  }
+  fft(fa, false);
+  fft(fb, false);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  fft(fa, true);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = fa[i].real();
+  return out;
+}
+
+}  // namespace ccovid::ct

@@ -1,0 +1,29 @@
+// Minimal iterative radix-2 FFT used by the filtered-back-projection
+// ramp filter. Implemented from scratch (no external FFT dependency).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "core/types.h"
+
+namespace ccovid::ct {
+
+using cplx = std::complex<double>;
+
+/// True iff n is a power of two (and > 0).
+bool is_pow2(index_t n);
+
+/// Smallest power of two >= n.
+index_t next_pow2(index_t n);
+
+/// In-place iterative Cooley–Tukey FFT. `data.size()` must be a power of
+/// two. `inverse` applies the conjugate transform and the 1/N scale.
+void fft(std::vector<cplx>& data, bool inverse);
+
+/// Circular convolution of two real sequences of equal power-of-two
+/// length via the FFT (used to apply the ramp-filter kernel).
+std::vector<double> fft_convolve_circular(const std::vector<double>& a,
+                                          const std::vector<double>& b);
+
+}  // namespace ccovid::ct

@@ -1,0 +1,63 @@
+// Fan-beam CT acquisition geometry, configured by default with the
+// paper's simulation parameters (§3.1.2): source-to-detector distance
+// 1500 mm, source-to-isocenter 1000 mm, 720 views over 360 degrees,
+// 1024 detector pixels, monochromatic 60 keV source.
+#pragma once
+
+#include <cmath>
+
+#include "core/types.h"
+
+namespace ccovid::ct {
+
+struct FanBeamGeometry {
+  double sdd_mm = 1500.0;       ///< source-to-detector distance
+  double sod_mm = 1000.0;       ///< source-to-isocenter distance
+  index_t num_views = 720;      ///< evenly spaced over 360 degrees
+  index_t num_dets = 1024;      ///< flat-panel detector cells
+  double det_width_mm = 600.0;  ///< total active detector width
+  index_t image_px = 512;       ///< reconstruction grid (square)
+  double fov_mm = 360.0;        ///< reconstructed field of view
+
+  double det_spacing() const {
+    return det_width_mm / static_cast<double>(num_dets);
+  }
+  double pixel_size() const {
+    return fov_mm / static_cast<double>(image_px);
+  }
+  /// View angle (radians) of view index v.
+  double view_angle(index_t v) const {
+    return 2.0 * M_PI * static_cast<double>(v) /
+           static_cast<double>(num_views);
+  }
+  /// Centered physical detector coordinate (mm) of detector cell d.
+  double det_coord(index_t d) const {
+    return (static_cast<double>(d) + 0.5) * det_spacing() -
+           det_width_mm / 2.0;
+  }
+
+  /// Scaled copy preserving angular coverage: reduces the grid, the
+  /// detector count and the view count proportionally. Used for tests
+  /// and the reduced-scale benchmark configurations.
+  FanBeamGeometry scaled(index_t image_px_new) const {
+    FanBeamGeometry g = *this;
+    const double f = static_cast<double>(image_px_new) /
+                     static_cast<double>(image_px);
+    g.image_px = image_px_new;
+    g.num_dets = static_cast<index_t>(
+        std::max<double>(32.0, std::round(num_dets * f)));
+    g.num_views = static_cast<index_t>(
+        std::max<double>(64.0, std::round(num_views * f)));
+    return g;
+  }
+
+  bool valid() const {
+    return sdd_mm > sod_mm && sod_mm > fov_mm / 2.0 && num_views > 0 &&
+           num_dets > 1 && image_px > 1 && fov_mm > 0;
+  }
+};
+
+/// The paper's geometry at full 512x512 scale.
+inline FanBeamGeometry paper_geometry() { return FanBeamGeometry{}; }
+
+}  // namespace ccovid::ct

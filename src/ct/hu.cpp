@@ -1,0 +1,60 @@
+#include "ct/hu.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ccovid::ct {
+
+Tensor mu_to_hu(const Tensor& mu, double mu_water) {
+  Tensor hu(mu.shape());
+  const real_t* ip = mu.data();
+  real_t* op = hu.data();
+  const index_t n = mu.numel();
+  for (index_t i = 0; i < n; ++i) {
+    op[i] = static_cast<real_t>(1000.0 * (ip[i] - mu_water) / mu_water);
+  }
+  return hu;
+}
+
+Tensor hu_to_mu(const Tensor& hu, double mu_water) {
+  Tensor mu(hu.shape());
+  const real_t* ip = hu.data();
+  real_t* op = mu.data();
+  const index_t n = hu.numel();
+  for (index_t i = 0; i < n; ++i) {
+    op[i] = static_cast<real_t>(
+        std::max(0.0, mu_water * (1.0 + static_cast<double>(ip[i]) / 1000.0)));
+  }
+  return mu;
+}
+
+Tensor normalize_hu(const Tensor& hu, double lo_hu, double hi_hu) {
+  if (hi_hu <= lo_hu) throw std::invalid_argument("normalize_hu: bad window");
+  Tensor unit(hu.shape());
+  const real_t* ip = hu.data();
+  real_t* op = unit.data();
+  const index_t n = hu.numel();
+  const double inv = 1.0 / (hi_hu - lo_hu);
+  for (index_t i = 0; i < n; ++i) {
+    op[i] = static_cast<real_t>(
+        std::clamp((static_cast<double>(ip[i]) - lo_hu) * inv, 0.0, 1.0));
+  }
+  return unit;
+}
+
+Tensor denormalize_hu(const Tensor& unit, double lo_hu, double hi_hu) {
+  if (hi_hu <= lo_hu) {
+    throw std::invalid_argument("denormalize_hu: bad window");
+  }
+  Tensor hu(unit.shape());
+  const real_t* ip = unit.data();
+  real_t* op = hu.data();
+  const index_t n = unit.numel();
+  for (index_t i = 0; i < n; ++i) {
+    op[i] = static_cast<real_t>(lo_hu +
+                                static_cast<double>(ip[i]) * (hi_hu - lo_hu));
+  }
+  return hu;
+}
+
+}  // namespace ccovid::ct

@@ -1,0 +1,30 @@
+// Hounsfield-unit conversions. The CT substrate works in linear
+// attenuation (1/mm) at the paper's monochromatic 60 keV; networks work
+// either in HU (Classification AI, §3.3.1) or normalized [0, 1]
+// (Enhancement AI, §3.1.1).
+#pragma once
+
+#include "core/tensor.h"
+
+namespace ccovid::ct {
+
+/// Linear attenuation of water at 60 keV, 1/mm.
+inline constexpr double kMuWater60KeV = 0.0206;
+
+/// HU = 1000 * (mu - mu_water) / mu_water.
+Tensor mu_to_hu(const Tensor& mu, double mu_water = kMuWater60KeV);
+
+/// mu = mu_water * (1 + HU / 1000), clamped at zero attenuation.
+Tensor hu_to_mu(const Tensor& hu, double mu_water = kMuWater60KeV);
+
+/// Affine window [lo_hu, hi_hu] -> [0, 1], clamped — the float
+/// normalization applied before Enhancement AI "to avoid integer
+/// overflow" (§3.1.1). Defaults cover the full 12-bit CT range.
+Tensor normalize_hu(const Tensor& hu, double lo_hu = -1024.0,
+                    double hi_hu = 1023.0);
+
+/// Inverse of normalize_hu (values outside [0,1] extrapolate).
+Tensor denormalize_hu(const Tensor& unit, double lo_hu = -1024.0,
+                      double hi_hu = 1023.0);
+
+}  // namespace ccovid::ct

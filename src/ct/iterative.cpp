@@ -1,0 +1,172 @@
+#include "ct/iterative.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ct/siddon.h"
+
+namespace ccovid::ct {
+
+namespace {
+
+// Siddon traversal reporting (pixel, segment length) pairs. Mirrors the
+// stepping logic of siddon_line_integral; kept separate so the hot
+// forward-projection path stays callback-free.
+template <typename Visit>
+void siddon_walk(const FanBeamGeometry& g, double sx, double sy, double ex,
+                 double ey, Visit&& visit) {
+  const index_t n = g.image_px;
+  const double px = g.pixel_size();
+  const double x0 = -g.fov_mm / 2.0;
+  const double y0 = -g.fov_mm / 2.0;
+
+  const double dx = ex - sx;
+  const double dy = ey - sy;
+  const double len = std::hypot(dx, dy);
+  if (len <= 0.0) return;
+
+  double a_min = 0.0, a_max = 1.0;
+  const auto clip = [&](double p0, double d, double lo, double hi) {
+    if (d == 0.0) return p0 >= lo && p0 <= hi;
+    double a1 = (lo - p0) / d;
+    double a2 = (hi - p0) / d;
+    if (a1 > a2) std::swap(a1, a2);
+    a_min = std::max(a_min, a1);
+    a_max = std::min(a_max, a2);
+    return true;
+  };
+  if (!clip(sx, dx, x0, x0 + g.fov_mm)) return;
+  if (!clip(sy, dy, y0, y0 + g.fov_mm)) return;
+  if (a_min >= a_max) return;
+
+  const double eps = 1e-12;
+  double a = a_min;
+  double ax = std::numeric_limits<double>::infinity();
+  double ay = std::numeric_limits<double>::infinity();
+  double dax = std::numeric_limits<double>::infinity();
+  double day = std::numeric_limits<double>::infinity();
+  if (dx != 0.0) {
+    dax = px / std::fabs(dx);
+    const double k = (sx + a * dx - x0) / px;
+    const double next_plane =
+        dx > 0 ? std::floor(k + 1.0 - eps) : std::ceil(k - 1.0 + eps);
+    ax = ((x0 + next_plane * px) - sx) / dx;
+    if (ax < a + eps) ax += dax;
+  }
+  if (dy != 0.0) {
+    day = px / std::fabs(dy);
+    const double k = (sy + a * dy - y0) / px;
+    const double next_plane =
+        dy > 0 ? std::floor(k + 1.0 - eps) : std::ceil(k - 1.0 + eps);
+    ay = ((y0 + next_plane * px) - sy) / dy;
+    if (ay < a + eps) ay += day;
+  }
+
+  while (a < a_max - eps) {
+    const double a_next = std::min({ax, ay, a_max});
+    const double seg = (a_next - a) * len;
+    if (seg > 0.0) {
+      const double mid = 0.5 * (a + a_next);
+      const index_t ix =
+          static_cast<index_t>(std::floor((sx + mid * dx - x0) / px));
+      const index_t iy =
+          static_cast<index_t>(std::floor((sy + mid * dy - y0) / px));
+      if (ix >= 0 && ix < n && iy >= 0 && iy < n) visit(ix, iy, seg);
+    }
+    if (a_next == ax) ax += dax;
+    if (a_next == ay) ay += day;
+    a = a_next;
+  }
+}
+
+template <typename PerRay>
+void for_each_ray(const FanBeamGeometry& g, PerRay&& per_ray) {
+  for (index_t v = 0; v < g.num_views; ++v) {
+    const double beta = g.view_angle(v);
+    const double cb = std::cos(beta), sb = std::sin(beta);
+    const double sx = g.sod_mm * cb;
+    const double sy = g.sod_mm * sb;
+    const double ccx = (g.sod_mm - g.sdd_mm) * cb;
+    const double ccy = (g.sod_mm - g.sdd_mm) * sb;
+    for (index_t d = 0; d < g.num_dets; ++d) {
+      const double u = g.det_coord(d);
+      per_ray(v, d, sx, sy, ccx - u * sb, ccy + u * cb);
+    }
+  }
+}
+
+}  // namespace
+
+Tensor back_project_adjoint(const Tensor& sinogram,
+                            const FanBeamGeometry& g) {
+  if (sinogram.rank() != 2 || sinogram.dim(0) != g.num_views ||
+      sinogram.dim(1) != g.num_dets) {
+    throw std::invalid_argument("back_project_adjoint: shape mismatch");
+  }
+  Tensor image({g.image_px, g.image_px});
+  real_t* img = image.data();
+  const real_t* sp = sinogram.data();
+  const index_t n = g.image_px;
+  for_each_ray(g, [&](index_t v, index_t d, double sx, double sy,
+                      double ex, double ey) {
+    const double value = sp[v * g.num_dets + d];
+    if (value == 0.0) return;
+    siddon_walk(g, sx, sy, ex, ey,
+                [&](index_t ix, index_t iy, double seg) {
+                  img[iy * n + ix] += static_cast<real_t>(value * seg);
+                });
+  });
+  return image;
+}
+
+SirtResult sirt_reconstruct(const Tensor& sinogram,
+                            const FanBeamGeometry& g, SirtConfig cfg,
+                            const Tensor& initial) {
+  if (cfg.iterations < 1) {
+    throw std::invalid_argument("sirt_reconstruct: iterations < 1");
+  }
+  // Row sums R = A 1 (per-ray total intersection length) and column
+  // sums C = A^T 1 (per-pixel total ray coverage).
+  const Tensor ones_img = Tensor::ones({g.image_px, g.image_px});
+  const Tensor row_sums = forward_project(ones_img, g);
+  const Tensor ones_sino = Tensor::ones({g.num_views, g.num_dets});
+  const Tensor col_sums = back_project_adjoint(ones_sino, g);
+
+  Tensor x = initial.defined() ? initial.clone()
+                               : Tensor({g.image_px, g.image_px});
+  if (x.shape() != ones_img.shape()) {
+    throw std::invalid_argument("sirt_reconstruct: bad initial image");
+  }
+
+  SirtResult result;
+  const index_t n_rays = sinogram.numel();
+  const index_t n_pix = x.numel();
+  for (int it = 0; it < cfg.iterations; ++it) {
+    // Residual r = y - A x, scaled by R^-1.
+    const Tensor ax = forward_project(x, g);
+    Tensor resid(sinogram.shape());
+    double norm = 0.0;
+    for (index_t i = 0; i < n_rays; ++i) {
+      const double r = double(sinogram.data()[i]) - ax.data()[i];
+      norm += r * r;
+      const double rs = row_sums.data()[i];
+      resid.data()[i] = rs > 1e-9 ? static_cast<real_t>(r / rs) : 0.0f;
+    }
+    result.residuals.push_back(std::sqrt(norm));
+    // x += lambda * C^-1 A^T resid.
+    const Tensor update = back_project_adjoint(resid, g);
+    for (index_t i = 0; i < n_pix; ++i) {
+      const double cs = col_sums.data()[i];
+      if (cs > 1e-9) {
+        x.data()[i] += static_cast<real_t>(cfg.relaxation *
+                                           update.data()[i] / cs);
+      }
+      if (cfg.nonnegativity && x.data()[i] < 0.0f) x.data()[i] = 0.0f;
+    }
+  }
+  result.image = std::move(x);
+  return result;
+}
+
+}  // namespace ccovid::ct

@@ -1,0 +1,40 @@
+#include "ct/noise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ccovid::ct {
+
+Tensor apply_poisson_noise(const Tensor& sinogram, const NoiseModel& model,
+                           Rng& rng) {
+  if (model.blank_scan_photons <= 0.0) {
+    throw std::invalid_argument("apply_poisson_noise: b must be positive");
+  }
+  Tensor noisy(sinogram.shape());
+  const real_t* ip = sinogram.data();
+  real_t* op = noisy.data();
+  const index_t n = sinogram.numel();
+  const double b = model.blank_scan_photons;
+  for (index_t i = 0; i < n; ++i) {
+    const double lambda = b * std::exp(-static_cast<double>(ip[i]));
+    const double counts =
+        std::max<double>(1.0, static_cast<double>(rng.poisson(lambda)));
+    op[i] = static_cast<real_t>(-std::log(counts / b));
+  }
+  return noisy;
+}
+
+Tensor expected_counts(const Tensor& sinogram, const NoiseModel& model) {
+  Tensor counts(sinogram.shape());
+  const real_t* ip = sinogram.data();
+  real_t* op = counts.data();
+  const index_t n = sinogram.numel();
+  for (index_t i = 0; i < n; ++i) {
+    op[i] = static_cast<real_t>(model.blank_scan_photons *
+                                std::exp(-static_cast<double>(ip[i])));
+  }
+  return counts;
+}
+
+}  // namespace ccovid::ct

@@ -1,0 +1,25 @@
+// Projection-domain photon noise per §3.1.2: Beer's law transmission
+// with Poisson statistics, P_i ~ Poisson(b_i * exp(-l_i)), no electronic
+// readout noise. The paper sets b_i = 1e6 photons uniformly per ray.
+#pragma once
+
+#include "core/random.h"
+#include "core/tensor.h"
+
+namespace ccovid::ct {
+
+struct NoiseModel {
+  double blank_scan_photons = 1e6;  ///< b_i, photons per ray
+};
+
+/// Applies Beer's-law Poisson noise to a sinogram of line integrals,
+/// returning the noisy line integrals -ln(P_i / b_i). Zero counts are
+/// clamped to one photon (photon starvation floor).
+Tensor apply_poisson_noise(const Tensor& sinogram, const NoiseModel& model,
+                           Rng& rng);
+
+/// Expected detector counts b * exp(-l) without sampling (tests and
+/// dose sweeps).
+Tensor expected_counts(const Tensor& sinogram, const NoiseModel& model);
+
+}  // namespace ccovid::ct

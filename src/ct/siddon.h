@@ -1,0 +1,21 @@
+// Siddon's ray-driven forward projector (Siddon 1985), the projection
+// method the paper uses to synthesize low-dose data (§3.1.2). Computes
+// exact radiological path lengths of each source-to-detector-cell ray
+// through the square attenuation grid.
+#pragma once
+
+#include "core/tensor.h"
+#include "ct/geometry.h"
+
+namespace ccovid::ct {
+
+/// Line integral of `mu` (attenuation, 1/mm, image grid (N, N) over the
+/// geometry's FOV) along the segment from `sx,sy` to `ex,ey` (mm).
+double siddon_line_integral(const Tensor& mu, const FanBeamGeometry& g,
+                            double sx, double sy, double ex, double ey);
+
+/// Full fan-beam sinogram: output (num_views, num_dets) of line
+/// integrals (dimensionless attenuation path products).
+Tensor forward_project(const Tensor& mu, const FanBeamGeometry& g);
+
+}  // namespace ccovid::ct

@@ -1,0 +1,61 @@
+#include "ct/sparse_view.h"
+
+#include <stdexcept>
+
+namespace ccovid::ct {
+
+Tensor decimate_views(const Tensor& sinogram, const FanBeamGeometry& g,
+                      index_t factor, FanBeamGeometry* sparse_geometry) {
+  if (sinogram.rank() != 2 || sinogram.dim(0) != g.num_views ||
+      sinogram.dim(1) != g.num_dets) {
+    throw std::invalid_argument("decimate_views: sinogram mismatch");
+  }
+  if (factor < 1 || g.num_views % factor != 0) {
+    throw std::invalid_argument(
+        "decimate_views: factor must divide num_views");
+  }
+  const index_t kept = g.num_views / factor;
+  Tensor sparse({kept, g.num_dets});
+  for (index_t v = 0; v < kept; ++v) {
+    std::copy(sinogram.data() + (v * factor) * g.num_dets,
+              sinogram.data() + (v * factor + 1) * g.num_dets,
+              sparse.data() + v * g.num_dets);
+  }
+  if (sparse_geometry != nullptr) {
+    *sparse_geometry = g;
+    sparse_geometry->num_views = kept;
+  }
+  return sparse;
+}
+
+Tensor inpaint_views(const Tensor& sparse_sinogram,
+                     const FanBeamGeometry& full_geometry, index_t factor) {
+  const index_t kept = sparse_sinogram.dim(0);
+  const index_t nd = sparse_sinogram.dim(1);
+  if (kept * factor != full_geometry.num_views ||
+      nd != full_geometry.num_dets) {
+    throw std::invalid_argument("inpaint_views: geometry mismatch");
+  }
+  Tensor full({full_geometry.num_views, nd});
+  const real_t* sp = sparse_sinogram.data();
+  real_t* fp = full.data();
+  for (index_t v = 0; v < kept; ++v) {
+    const index_t next = (v + 1) % kept;  // circular in angle
+    // The kept view itself.
+    std::copy(sp + v * nd, sp + (v + 1) * nd, fp + (v * factor) * nd);
+    // Linear interpolation for the skipped views between v and v+1.
+    for (index_t s = 1; s < factor; ++s) {
+      const real_t t =
+          static_cast<real_t>(s) / static_cast<real_t>(factor);
+      real_t* row = fp + (v * factor + s) * nd;
+      const real_t* a = sp + v * nd;
+      const real_t* b = sp + next * nd;
+      for (index_t d = 0; d < nd; ++d) {
+        row[d] = (1.0f - t) * a[d] + t * b[d];
+      }
+    }
+  }
+  return full;
+}
+
+}  // namespace ccovid::ct

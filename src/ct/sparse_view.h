@@ -1,0 +1,27 @@
+// Sparse-view CT utilities. DDnet was originally designed for
+// sparse-view reconstruction (Zhang et al. 2018, the paper's ref [45]),
+// and §6.3 cites sinogram completion as the classical remedy; these
+// helpers let the ablation benches reproduce that setting: decimate the
+// view set, reconstruct (with streak artifacts), optionally inpaint the
+// missing views by angular interpolation, or repair in the image domain
+// with DDnet.
+#pragma once
+
+#include "core/tensor.h"
+#include "ct/geometry.h"
+
+namespace ccovid::ct {
+
+/// Keeps every `factor`-th view of a (num_views, num_dets) sinogram.
+/// Returns the decimated sinogram; `sparse_geometry` receives the
+/// matching geometry (num_views / factor, same detector).
+Tensor decimate_views(const Tensor& sinogram, const FanBeamGeometry& g,
+                      index_t factor, FanBeamGeometry* sparse_geometry);
+
+/// Sinogram completion: expands a decimated sinogram back to the full
+/// view count by linear interpolation between adjacent kept views
+/// (angular direction, circular wrap). The classical §6.3 baseline.
+Tensor inpaint_views(const Tensor& sparse_sinogram,
+                     const FanBeamGeometry& full_geometry, index_t factor);
+
+}  // namespace ccovid::ct

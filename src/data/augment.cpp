@@ -1,0 +1,43 @@
+#include "data/augment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccovid::data {
+
+Tensor augment_volume(const Tensor& volume, const AugmentConfig& cfg,
+                      Rng& rng) {
+  Tensor out = volume.clone();
+  real_t* p = out.data();
+  const index_t n = out.numel();
+
+  if (rng.bernoulli(cfg.noise_prob)) {
+    const double stddev = std::sqrt(cfg.noise_variance);
+    for (index_t i = 0; i < n; ++i) {
+      p[i] += static_cast<real_t>(rng.gaussian(0.0, stddev));
+    }
+  }
+  if (rng.bernoulli(cfg.contrast_prob)) {
+    // Gamma-style contrast about the volume mean.
+    const double gamma =
+        rng.uniform(1.0 - cfg.contrast_range, 1.0 + cfg.contrast_range);
+    const real_t mean = out.mean();
+    for (index_t i = 0; i < n; ++i) {
+      p[i] = mean + static_cast<real_t>(
+                        std::copysign(std::pow(std::fabs(double(p[i] - mean)),
+                                               gamma),
+                                      double(p[i] - mean)));
+    }
+  }
+  {
+    // Intensity scale oscillation, magnitude 0.1 (always applied).
+    const double scale = rng.uniform(1.0 - cfg.intensity_magnitude,
+                                     1.0 + cfg.intensity_magnitude);
+    for (index_t i = 0; i < n; ++i) {
+      p[i] = static_cast<real_t>(p[i] * scale);
+    }
+  }
+  return out;
+}
+
+}  // namespace ccovid::data

@@ -1,0 +1,24 @@
+// Training-time augmentations for Classification AI (§3.3.1): Gaussian
+// noise added with probability 0.75 (variance 0.1), contrast adjusted
+// with probability 0.5, and intensity scaled with magnitude 0.1. Applied
+// to normalized [0,1]-ish volume data.
+#pragma once
+
+#include "core/random.h"
+#include "core/tensor.h"
+
+namespace ccovid::data {
+
+struct AugmentConfig {
+  double noise_prob = 0.75;
+  double noise_variance = 0.1;
+  double contrast_prob = 0.5;
+  double contrast_range = 0.25;   ///< gamma in [1 - r, 1 + r]
+  double intensity_magnitude = 0.1;
+};
+
+/// Returns an augmented copy; the input is untouched.
+Tensor augment_volume(const Tensor& volume, const AugmentConfig& cfg,
+                      Rng& rng);
+
+}  // namespace ccovid::data

@@ -1,0 +1,36 @@
+#include "data/lowdose.h"
+
+#include <stdexcept>
+
+#include "ct/hu.h"
+#include "ct/siddon.h"
+
+namespace ccovid::data {
+
+LowDosePair make_lowdose_pair(const Tensor& hu_slice,
+                              const LowDoseConfig& cfg, Rng& rng) {
+  if (hu_slice.rank() != 2 || hu_slice.dim(0) != cfg.geometry.image_px ||
+      hu_slice.dim(1) != cfg.geometry.image_px) {
+    throw std::invalid_argument("make_lowdose_pair: slice/geometry mismatch");
+  }
+  const Tensor mu = ct::hu_to_mu(hu_slice);
+  const Tensor sino = ct::forward_project(mu, cfg.geometry);
+  const ct::NoiseModel noise{cfg.photons_per_ray};
+  const Tensor noisy = ct::apply_poisson_noise(sino, noise, rng);
+  const Tensor recon_mu = ct::fbp_reconstruct(noisy, cfg.geometry);
+  const Tensor recon_hu = ct::mu_to_hu(recon_mu);
+
+  LowDosePair pair;
+  pair.low = ct::normalize_hu(recon_hu, cfg.hu_window_lo, cfg.hu_window_hi);
+  pair.full = ct::normalize_hu(hu_slice, cfg.hu_window_lo, cfg.hu_window_hi);
+  return pair;
+}
+
+Tensor noiseless_fbp(const Tensor& hu_slice, const LowDoseConfig& cfg) {
+  const Tensor mu = ct::hu_to_mu(hu_slice);
+  const Tensor sino = ct::forward_project(mu, cfg.geometry);
+  const Tensor recon_mu = ct::fbp_reconstruct(sino, cfg.geometry);
+  return ct::mu_to_hu(recon_mu);
+}
+
+}  // namespace ccovid::data

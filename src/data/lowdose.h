@@ -1,0 +1,36 @@
+// Low-dose CT pair synthesis — the paper's §3.1.2 procedure end to end:
+// ground-truth HU slice -> attenuation -> Siddon fan-beam projections ->
+// Beer's-law Poisson noise (b photons/ray) -> FBP reconstruction ->
+// HU -> [0,1] normalization. The pair (X = low-dose reconstruction,
+// Y = normalized ground truth) is the training unit of Enhancement AI.
+#pragma once
+
+#include "core/random.h"
+#include "ct/fbp.h"
+#include "ct/geometry.h"
+#include "ct/noise.h"
+
+namespace ccovid::data {
+
+struct LowDosePair {
+  Tensor low;   ///< X: noisy low-dose FBP reconstruction, [0, 1]
+  Tensor full;  ///< Y: ground-truth image, [0, 1]
+};
+
+struct LowDoseConfig {
+  ct::FanBeamGeometry geometry;       ///< defaults = paper geometry
+  double photons_per_ray = 1e6;      ///< b_i of §3.1.2
+  double hu_window_lo = -1024.0;
+  double hu_window_hi = 1023.0;
+};
+
+/// Full physics chain for one HU slice (must be geometry.image_px
+/// square).
+LowDosePair make_lowdose_pair(const Tensor& hu_slice,
+                              const LowDoseConfig& cfg, Rng& rng);
+
+/// Noise-free FBP of the same slice — isolates reconstruction error from
+/// photon noise (used by tests and the dose-sweep ablation).
+Tensor noiseless_fbp(const Tensor& hu_slice, const LowDoseConfig& cfg);
+
+}  // namespace ccovid::data

@@ -1,0 +1,227 @@
+#include "data/phantom.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccovid::data {
+
+namespace {
+
+constexpr double kAirHu = -1000.0;
+constexpr double kBoneHu = 700.0;
+
+// Cheap value-noise texture: hashes lattice coordinates and bilinearly
+// interpolates, giving smooth per-patient parenchyma texture.
+double hash_noise(std::uint64_t seed, index_t x, index_t y) {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(x) * 0x9E3779B97F4A7C15ull;
+  h ^= static_cast<std::uint64_t>(y) * 0xC2B2AE3D27D4EB4Full;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 32;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+}
+
+double value_noise(std::uint64_t seed, double x, double y, double freq) {
+  const double fx = x * freq, fy = y * freq;
+  const index_t x0 = static_cast<index_t>(std::floor(fx));
+  const index_t y0 = static_cast<index_t>(std::floor(fy));
+  const double tx = fx - static_cast<double>(x0);
+  const double ty = fy - static_cast<double>(y0);
+  const double v00 = hash_noise(seed, x0, y0);
+  const double v10 = hash_noise(seed, x0 + 1, y0);
+  const double v01 = hash_noise(seed, x0, y0 + 1);
+  const double v11 = hash_noise(seed, x0 + 1, y0 + 1);
+  const double a = v00 + (v10 - v00) * tx;
+  const double b = v01 + (v11 - v01) * tx;
+  return a + (b - a) * ty;  // [0, 1)
+}
+
+bool inside_ellipse(double x, double y, double cx, double cy, double rx,
+                    double ry) {
+  const double dx = (x - cx) / rx;
+  const double dy = (y - cy) / ry;
+  return dx * dx + dy * dy <= 1.0;
+}
+
+}  // namespace
+
+Anatomy Anatomy::sample(Rng& rng) {
+  Anatomy a;
+  a.body_rx = rng.uniform(0.40, 0.46);
+  a.body_ry = rng.uniform(0.30, 0.36);
+  a.lung_rx = rng.uniform(0.16, 0.20);
+  a.lung_ry = rng.uniform(0.20, 0.26);
+  a.lung_cx = rng.uniform(0.19, 0.23);
+  a.lung_cy = rng.uniform(-0.03, 0.03);
+  a.heart_r = rng.uniform(0.08, 0.11);
+  a.spine_r = rng.uniform(0.04, 0.055);
+  a.tissue_hu = rng.uniform(20.0, 60.0);
+  a.lung_hu = rng.uniform(-870.0, -780.0);
+  a.num_vessels = static_cast<int>(rng.uniform_int(6, 14));
+  a.texture_seed = rng.next_u64();
+  return a;
+}
+
+std::vector<Lesion> sample_covid_lesions(Rng& rng,
+                                         double min_radius_frac) {
+  std::vector<Lesion> lesions;
+  const int count = static_cast<int>(rng.uniform_int(2, 6));
+  for (int i = 0; i < count; ++i) {
+    Lesion l;
+    // Peripheral, bilateral distribution: bias towards the outer half of
+    // a lung, random side.
+    const double side = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    const double ang = rng.uniform(0.0, 2.0 * M_PI);
+    const double rad = rng.uniform(0.45, 0.95);  // outer fraction of lung
+    l.cx = side * 0.21 + std::cos(ang) * rad * 0.14;
+    l.cy = std::sin(ang) * rad * 0.18;
+    l.cz = rng.uniform(0.25, 0.75);
+    l.r = std::max(min_radius_frac, rng.uniform(0.035, 0.09));
+    // GGO raises aerated lung towards -400; consolidation towards 0.
+    l.delta_hu = rng.bernoulli(0.3) ? rng.uniform(650.0, 850.0)   // consol.
+                                    : rng.uniform(300.0, 500.0);  // GGO
+    l.crazy_paving = rng.bernoulli(0.4);
+    lesions.push_back(l);
+  }
+  return lesions;
+}
+
+PhantomSlice render_slice(index_t n, const Anatomy& an,
+                          const std::vector<Lesion>& lesions, double z) {
+  PhantomSlice out{Tensor({n, n}), Tensor({n, n})};
+  real_t* hu = out.hu.data();
+  real_t* mask = out.lung_mask.data();
+
+  // Lungs taper towards the apex/base: scale by a smooth arch in z.
+  const double taper = std::sqrt(
+      std::max(0.0, 1.0 - std::pow(2.0 * (z - 0.5), 2.0)));
+  const double lrx = an.lung_rx * (0.35 + 0.65 * taper);
+  const double lry = an.lung_ry * (0.35 + 0.65 * taper);
+
+  for (index_t iy = 0; iy < n; ++iy) {
+    // Normalized coordinates in [-0.5, 0.5].
+    const double y = (static_cast<double>(iy) + 0.5) / n - 0.5;
+    for (index_t ix = 0; ix < n; ++ix) {
+      const double x = (static_cast<double>(ix) + 0.5) / n - 0.5;
+      double v = kAirHu;
+      bool in_lung = false;
+
+      if (inside_ellipse(x, y, 0.0, 0.0, an.body_rx, an.body_ry)) {
+        v = an.tissue_hu +
+            30.0 * (value_noise(an.texture_seed ^ 0x51CE, x + 2.0, y + 2.0,
+                                24.0) -
+                    0.5);
+        // Spine (posterior) and sternum (anterior).
+        if (inside_ellipse(x, y, 0.0, an.body_ry * 0.72, an.spine_r,
+                           an.spine_r)) {
+          v = kBoneHu;
+        } else if (inside_ellipse(x, y, 0.0, -an.body_ry * 0.82,
+                                  an.spine_r * 0.7, an.spine_r * 0.4)) {
+          v = kBoneHu * 0.8;
+        } else {
+          for (int side = -1; side <= 1; side += 2) {
+            if (inside_ellipse(x, y, side * an.lung_cx, an.lung_cy, lrx,
+                               lry)) {
+              in_lung = true;
+              // Parenchyma with fine texture.
+              v = an.lung_hu +
+                  35.0 * (value_noise(an.texture_seed, x + side, y, 60.0) -
+                          0.5);
+              break;
+            }
+          }
+          // Heart (medial, slightly anterior-left) overrides lung border.
+          if (!in_lung && inside_ellipse(x, y, -0.04, -0.05, an.heart_r,
+                                         an.heart_r * 1.15)) {
+            v = an.tissue_hu + 10.0;
+          }
+        }
+      }
+
+      if (in_lung) {
+        // Pulmonary vessels: sparse bright threads; thresholded ridge of
+        // a coarse noise field gives connected filament-like structures.
+        const double vess =
+            value_noise(an.texture_seed ^ 0x7E55ull, x + 4.0, y + 4.0,
+                        10.0 + an.num_vessels);
+        if (std::fabs(vess - 0.5) < 0.012) {
+          v += 650.0;  // vessel lumen approaches soft tissue density
+        }
+        // Lesions.
+        for (const Lesion& l : lesions) {
+          const double dz = (z - l.cz) / (l.r * 2.2);
+          const double dx = (x - l.cx) / l.r;
+          const double dy = (y - l.cy) / l.r;
+          const double d2 = dx * dx + dy * dy + dz * dz;
+          if (d2 <= 1.0) {
+            // Smooth falloff towards the rim; GGO keeps some aeration.
+            double add = l.delta_hu * (1.0 - 0.6 * d2);
+            if (l.crazy_paving) {
+              add *= 0.75 + 0.5 * value_noise(an.texture_seed ^ 0xCAFE,
+                                              x * 3.0, y * 3.0, 90.0);
+            }
+            v += add;
+          }
+        }
+        mask[iy * n + ix] = 1.0f;
+      }
+      hu[iy * n + ix] = static_cast<real_t>(std::clamp(v, -1024.0, 1023.0));
+    }
+  }
+  return out;
+}
+
+PhantomVolume make_volume(index_t depth, index_t n, bool covid_positive,
+                          Rng& rng, double min_lesion_radius_frac) {
+  const Anatomy anatomy = Anatomy::sample(rng);
+  const std::vector<Lesion> lesions =
+      covid_positive ? sample_covid_lesions(rng, min_lesion_radius_frac)
+                     : std::vector<Lesion>{};
+  PhantomVolume vol{Tensor({depth, n, n}), Tensor({depth, n, n}),
+                    covid_positive ? 1 : 0};
+  for (index_t d = 0; d < depth; ++d) {
+    const double z = (static_cast<double>(d) + 0.5) / depth;
+    PhantomSlice s = render_slice(n, anatomy, lesions, z);
+    std::copy(s.hu.data(), s.hu.data() + n * n, vol.hu.data() + d * n * n);
+    std::copy(s.lung_mask.data(), s.lung_mask.data() + n * n,
+              vol.lung_mask.data() + d * n * n);
+  }
+  return vol;
+}
+
+Tensor add_circular_fov_artifact(const Tensor& hu_slice, double outside_hu) {
+  const index_t n = hu_slice.dim(0);
+  Tensor out = hu_slice.clone();
+  real_t* p = out.data();
+  const double r2 = 0.25;  // inscribed circle in normalized coords
+  for (index_t iy = 0; iy < n; ++iy) {
+    const double y = (static_cast<double>(iy) + 0.5) / n - 0.5;
+    for (index_t ix = 0; ix < n; ++ix) {
+      const double x = (static_cast<double>(ix) + 0.5) / n - 0.5;
+      if (x * x + y * y > r2) {
+        p[iy * n + ix] = static_cast<real_t>(outside_hu);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor remove_circular_fov_artifact(const Tensor& hu_slice) {
+  const index_t n = hu_slice.dim(0);
+  Tensor out = hu_slice.clone();
+  real_t* p = out.data();
+  const double r2 = 0.25;
+  for (index_t iy = 0; iy < n; ++iy) {
+    const double y = (static_cast<double>(iy) + 0.5) / n - 0.5;
+    for (index_t ix = 0; ix < n; ++ix) {
+      const double x = (static_cast<double>(ix) + 0.5) / n - 0.5;
+      if (x * x + y * y > r2) {
+        p[iy * n + ix] = -1000.0f;  // air
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ccovid::data

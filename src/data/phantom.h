@@ -1,0 +1,80 @@
+// Procedural chest CT phantoms — the clinical-data substitute (DESIGN.md
+// §1). Generates anatomically-structured HU rasters: elliptical thorax,
+// two air-filled lungs, spine/sternum bone, heart, pulmonary vessels,
+// and — for COVID-positive cases — the hallmark abnormalities the paper
+// lists in Fig. 1: peripheral ground-glass opacities (GGO), crazy-paving
+// texture and denser consolidations. Ground-truth lung masks and labels
+// come for free, which is what lets us train/evaluate Segmentation and
+// Classification AI without clinical data.
+#pragma once
+
+#include "core/random.h"
+#include "core/tensor.h"
+
+namespace ccovid::data {
+
+/// Randomized per-patient anatomy; sampled once per phantom so every
+/// slice of a volume is coherent.
+struct Anatomy {
+  double body_rx, body_ry;      ///< thorax half-axes (fraction of FOV)
+  double lung_rx, lung_ry;      ///< lung half-axes
+  double lung_cx, lung_cy;      ///< lung center offsets
+  double heart_r;               ///< heart radius
+  double spine_r;               ///< vertebra radius
+  double tissue_hu;             ///< soft-tissue baseline (around +40)
+  double lung_hu;               ///< healthy aerated lung (around -820)
+  int num_vessels;
+  std::uint64_t texture_seed;   ///< per-patient noise stream
+
+  static Anatomy sample(Rng& rng);
+};
+
+/// One focal COVID lesion (GGO / consolidation).
+struct Lesion {
+  double cx, cy, cz;  ///< center (fractions: xy of FOV, z of volume)
+  double r;           ///< radius (fraction of FOV)
+  double delta_hu;    ///< opacity added to lung parenchyma
+  bool crazy_paving;  ///< superimpose septal-thickening texture
+};
+
+struct PhantomSlice {
+  Tensor hu;         ///< (n, n) Hounsfield units
+  Tensor lung_mask;  ///< (n, n) binary ground-truth lung foreground
+};
+
+/// Renders the axial slice at relative height z in [0, 1] (lungs taper
+/// towards 0 and 1). `lesions` may be empty (healthy).
+PhantomSlice render_slice(index_t n, const Anatomy& anatomy,
+                          const std::vector<Lesion>& lesions, double z);
+
+/// Samples a COVID-like lesion set: 2-6 predominantly peripheral,
+/// bilateral GGOs, occasionally consolidating. `min_radius_frac` floors
+/// the lesion radius (fraction of FOV): clinically GGOs span 1-3 cm —
+/// dozens of pixels at the paper's 512px — so reduced-resolution
+/// experiments pass e.g. 4.0/n to keep lesions resolvable instead of
+/// letting them shrink below the pixel grid.
+std::vector<Lesion> sample_covid_lesions(Rng& rng,
+                                         double min_radius_frac = 0.0);
+
+struct PhantomVolume {
+  Tensor hu;         ///< (d, n, n)
+  Tensor lung_mask;  ///< (d, n, n)
+  int label;         ///< 1 = COVID-positive
+};
+
+/// Full coherent volume; positive cases receive sampled lesions (with
+/// the given minimum radius — see sample_covid_lesions).
+PhantomVolume make_volume(index_t depth, index_t n, bool covid_positive,
+                          Rng& rng, double min_lesion_radius_frac = 0.0);
+
+/// Adds the circular reconstruction-FOV artifact some sources exhibit
+/// (Fig. 5 left): pixels outside the inscribed circle are set to
+/// `outside_hu` (a non-physical padding value).
+Tensor add_circular_fov_artifact(const Tensor& hu_slice,
+                                 double outside_hu = -2000.0);
+
+/// Data-preparation step of §2.1 / Fig. 5: replaces the non-physical
+/// padding outside the inscribed circle with air (-1000 HU).
+Tensor remove_circular_fov_artifact(const Tensor& hu_slice);
+
+}  // namespace ccovid::data

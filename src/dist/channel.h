@@ -1,0 +1,50 @@
+// Blocking point-to-point message channel — the primitive under the
+// in-process message-passing runtime. Semantics follow MPI two-sided
+// messaging (cooperative send/recv, FIFO per (source, tag) pair), per
+// the message-passing model the HPC guides describe.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/types.h"
+
+namespace ccovid::dist {
+
+using Message = std::vector<real_t>;
+
+class Channel {
+ public:
+  /// Enqueues a message (moves the payload).
+  void send(Message msg) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(msg));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until a message is available; FIFO order.
+  Message recv() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !queue_.empty(); });
+    Message msg = std::move(queue_.front());
+    queue_.pop_front();
+    return msg;
+  }
+
+  /// Non-blocking probe.
+  bool has_message() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return !queue_.empty();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace ccovid::dist

@@ -1,0 +1,151 @@
+#include "dist/comm.h"
+
+#include <stdexcept>
+
+namespace ccovid::dist {
+
+World::World(int world_size) : size_(world_size), bytes_(world_size) {
+  if (world_size < 1) throw std::invalid_argument("World: size must be >= 1");
+  channels_.resize(static_cast<std::size_t>(size_) * size_);
+  for (auto& c : channels_) c = std::make_unique<Channel>();
+  for (auto& b : bytes_) b.store(0);
+}
+
+void World::send(int from, int to, Message msg) {
+  if (from < 0 || from >= size_ || to < 0 || to >= size_) {
+    throw std::invalid_argument("World::send: bad rank");
+  }
+  channels_[static_cast<std::size_t>(from) * size_ + to]->send(
+      std::move(msg));
+}
+
+Message World::recv(int at, int from) {
+  if (at < 0 || at >= size_ || from < 0 || from >= size_) {
+    throw std::invalid_argument("World::recv: bad rank");
+  }
+  return channels_[static_cast<std::size_t>(from) * size_ + at]->recv();
+}
+
+void World::barrier() {
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  const int gen = barrier_generation_;
+  if (++barrier_count_ == size_) {
+    barrier_count_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [this, gen] { return gen != barrier_generation_; });
+  }
+}
+
+void World::all_reduce_sum(int rank, std::vector<real_t>& data) {
+  const int n = size_;
+  if (n == 1) return;
+  const index_t len = static_cast<index_t>(data.size());
+  // Chunk boundaries: chunk c covers [off[c], off[c+1]).
+  std::vector<index_t> off(static_cast<std::size_t>(n) + 1);
+  for (int c = 0; c <= n; ++c) {
+    off[c] = len * c / n;
+  }
+  const int next = (rank + 1) % n;
+  const int prev = (rank + n - 1) % n;
+  const auto chunk_of = [&](int c) {
+    return ((c % n) + n) % n;
+  };
+
+  // Phase 1 — reduce-scatter: after n-1 steps rank r holds the full sum
+  // of chunk (r+1) mod n.
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_c = chunk_of(rank - s);
+    const int recv_c = chunk_of(rank - s - 1);
+    Message out(data.begin() + off[send_c], data.begin() + off[send_c + 1]);
+    bytes_[rank].fetch_add(out.size() * sizeof(real_t));
+    send(rank, next, std::move(out));
+    Message in = recv(rank, prev);
+    real_t* dst = data.data() + off[recv_c];
+    for (std::size_t i = 0; i < in.size(); ++i) dst[i] += in[i];
+  }
+  // Phase 2 — all-gather: circulate the reduced chunks.
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_c = chunk_of(rank + 1 - s);
+    const int recv_c = chunk_of(rank - s);
+    Message out(data.begin() + off[send_c], data.begin() + off[send_c + 1]);
+    bytes_[rank].fetch_add(out.size() * sizeof(real_t));
+    send(rank, next, std::move(out));
+    Message in = recv(rank, prev);
+    real_t* dst = data.data() + off[recv_c];
+    for (std::size_t i = 0; i < in.size(); ++i) dst[i] = in[i];
+  }
+}
+
+void World::broadcast(int rank, int root, std::vector<real_t>& data) {
+  if (size_ == 1) return;
+  if (root < 0 || root >= size_) {
+    throw std::invalid_argument("World::broadcast: bad root");
+  }
+  if (rank == root) {
+    for (int r = 0; r < size_; ++r) {
+      if (r == root) continue;
+      Message out(data.begin(), data.end());
+      bytes_[rank].fetch_add(out.size() * sizeof(real_t));
+      send(rank, r, std::move(out));
+    }
+  } else {
+    Message in = recv(rank, root);
+    if (in.size() != data.size()) {
+      throw std::runtime_error("World::broadcast: length mismatch");
+    }
+    std::copy(in.begin(), in.end(), data.begin());
+  }
+}
+
+void World::reduce_sum(int rank, int root, std::vector<real_t>& data) {
+  if (size_ == 1) return;
+  if (root < 0 || root >= size_) {
+    throw std::invalid_argument("World::reduce_sum: bad root");
+  }
+  if (rank == root) {
+    for (int r = 0; r < size_; ++r) {
+      if (r == root) continue;
+      Message in = recv(rank, r);
+      if (in.size() != data.size()) {
+        throw std::runtime_error("World::reduce_sum: length mismatch");
+      }
+      for (std::size_t i = 0; i < in.size(); ++i) data[i] += in[i];
+    }
+  } else {
+    Message out(data.begin(), data.end());
+    bytes_[rank].fetch_add(out.size() * sizeof(real_t));
+    send(rank, root, std::move(out));
+  }
+}
+
+void World::all_gather(int rank, const std::vector<real_t>& data,
+                       std::vector<real_t>& out) {
+  const std::size_t len = data.size();
+  out.resize(len * static_cast<std::size_t>(size_));
+  std::copy(data.begin(), data.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(len) * rank);
+  if (size_ == 1) return;
+  // Ring circulation: after size-1 steps every rank has every chunk.
+  const int next = (rank + 1) % size_;
+  const int prev = (rank + size_ - 1) % size_;
+  int have = rank;  // chunk most recently received / owned
+  for (int s = 0; s < size_ - 1; ++s) {
+    Message out_msg(out.begin() + static_cast<std::ptrdiff_t>(len) * have,
+                    out.begin() + static_cast<std::ptrdiff_t>(len) *
+                                      (have + 1));
+    bytes_[rank].fetch_add(out_msg.size() * sizeof(real_t));
+    send(rank, next, std::move(out_msg));
+    Message in = recv(rank, prev);
+    have = ((prev - s) % size_ + size_) % size_;
+    std::copy(in.begin(), in.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(len) * have);
+  }
+}
+
+std::uint64_t World::bytes_sent(int rank) const {
+  return bytes_[rank].load();
+}
+
+}  // namespace ccovid::dist

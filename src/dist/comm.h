@@ -1,0 +1,68 @@
+// In-process message-passing world: N ranks (threads) exchanging typed
+// float payloads over point-to-point channels, with barrier and ring
+// all-reduce collectives. This is the gloo/MPI stand-in used by the
+// distributed data-parallel trainer (§4.1): the semantics (cooperative
+// two-sided messaging, synchronous collectives) match, only the
+// transport is shared memory.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "dist/channel.h"
+
+namespace ccovid::dist {
+
+class World {
+ public:
+  explicit World(int world_size);
+
+  int size() const { return size_; }
+
+  /// Point-to-point: FIFO per (from, to) pair.
+  void send(int from, int to, Message msg);
+  Message recv(int at, int from);
+
+  /// Blocks until all ranks arrive (reusable).
+  void barrier();
+
+  /// Ring all-reduce (reduce-scatter + all-gather, Baidu-style): every
+  /// rank calls this with its local buffer; on return every buffer holds
+  /// the elementwise sum across ranks. Buffers must be the same length.
+  /// Tracks the total bytes a real interconnect would have moved per
+  /// rank (for the communication model).
+  void all_reduce_sum(int rank, std::vector<real_t>& data);
+
+  /// Broadcast from `root`: every rank calls with a same-length buffer;
+  /// on return all buffers equal the root's. Linear fan-out over the
+  /// point-to-point channels (how DDP ships initial weights).
+  void broadcast(int rank, int root, std::vector<real_t>& data);
+
+  /// Reduce-to-root: root's buffer receives the elementwise sum; other
+  /// ranks' buffers are unchanged.
+  void reduce_sum(int rank, int root, std::vector<real_t>& data);
+
+  /// All-gather: rank r contributes `data`; on return `out` holds the
+  /// world-ordered concatenation on every rank.
+  void all_gather(int rank, const std::vector<real_t>& data,
+                  std::vector<real_t>& out);
+
+  /// Bytes sent per rank over all collectives so far.
+  std::uint64_t bytes_sent(int rank) const;
+
+ private:
+  int size_;
+  // channels_[from * size + to]
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::atomic<std::uint64_t>> bytes_;
+
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  int barrier_generation_ = 0;
+};
+
+}  // namespace ccovid::dist

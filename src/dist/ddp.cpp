@@ -1,0 +1,176 @@
+#include "dist/ddp.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "core/parallel.h"
+#include "core/timer.h"
+
+#include <ctime>
+
+namespace ccovid::dist {
+
+double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+}
+
+DdpTrainer::DdpTrainer(const ModelFactory& factory, DdpConfig cfg)
+    : cfg_(cfg), world_(cfg.world_size) {
+  if (cfg_.world_size < 1 || cfg_.per_worker_batch < 1) {
+    throw std::invalid_argument("DdpTrainer: bad config");
+  }
+  for (int r = 0; r < cfg_.world_size; ++r) {
+    models_.push_back(factory());
+    optims_.push_back(std::make_unique<autograd::Adam>(
+        models_[r]->parameters(), cfg_.lr));
+  }
+  // Rank 0 broadcasts its initial weights through the communicator so
+  // every replica starts identical — exactly how DDP bootstraps.
+  if (cfg_.world_size > 1) {
+    const index_t len = gradient_elements();
+    std::vector<std::thread> threads;
+    for (int r = 0; r < cfg_.world_size; ++r) {
+      threads.emplace_back([this, r, len] {
+        std::vector<real_t> flat(static_cast<std::size_t>(len));
+        auto params = models_[r]->parameters();
+        if (r == 0) {
+          index_t off = 0;
+          for (auto& p : params) {
+            const index_t n = p.value().numel();
+            std::memcpy(flat.data() + off, p.value().data(),
+                        static_cast<std::size_t>(n) * sizeof(real_t));
+            off += n;
+          }
+        }
+        world_.broadcast(r, /*root=*/0, flat);
+        if (r != 0) {
+          index_t off = 0;
+          for (auto& p : params) {
+            const index_t n = p.value().numel();
+            std::memcpy(p.value().data(), flat.data() + off,
+                        static_cast<std::size_t>(n) * sizeof(real_t));
+            off += n;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    // Non-learnable buffers (running stats) start identical via direct
+    // copy; they are not synchronized during training, as in DDP.
+    for (int r = 1; r < cfg_.world_size; ++r) {
+      models_[r]->copy_parameters_from(*models_[0]);
+    }
+  }
+}
+
+index_t DdpTrainer::gradient_elements() const {
+  index_t n = 0;
+  for (const auto& p : models_[0]->parameters()) n += p.value().numel();
+  return n;
+}
+
+void DdpTrainer::decay_lr() {
+  for (auto& o : optims_) o->set_lr(o->lr() * cfg_.lr_decay);
+}
+
+EpochStats DdpTrainer::train_epoch(index_t dataset_size,
+                                   const LossFn& loss_fn, Rng& rng) {
+  const int world = cfg_.world_size;
+  const index_t global_batch = world * cfg_.per_worker_batch;
+  if (dataset_size < global_batch) {
+    throw std::invalid_argument(
+        "train_epoch: dataset smaller than one global batch");
+  }
+  // Shuffle once per epoch (rank-identical, as DistributedSampler does).
+  std::vector<index_t> order(static_cast<std::size_t>(dataset_size));
+  std::iota(order.begin(), order.end(), 0);
+  for (index_t i = dataset_size - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.uniform_int(0, i)]);
+  }
+  const index_t steps = dataset_size / global_batch;
+  const index_t grad_len = gradient_elements();
+
+  std::vector<double> rank_loss(world, 0.0);
+  std::vector<double> rank_cpu(world, 0.0);
+  WallTimer wall;
+
+  auto worker = [&](int rank) {
+    const double cpu0 = thread_cpu_seconds();
+    std::vector<real_t> flat(static_cast<std::size_t>(grad_len));
+    for (index_t s = 0; s < steps; ++s) {
+      // This rank's shard of the global batch.
+      std::vector<index_t> shard;
+      shard.reserve(cfg_.per_worker_batch);
+      const index_t base = s * global_batch + rank * cfg_.per_worker_batch;
+      for (index_t i = 0; i < cfg_.per_worker_batch; ++i) {
+        shard.push_back(order[base + i]);
+      }
+      autograd::Var loss = loss_fn(*models_[rank], rank, shard);
+      rank_loss[rank] += static_cast<double>(loss.value().at(0));
+      optims_[rank]->zero_grad();
+      loss.backward();
+
+      // Flatten gradients in deterministic parameter order.
+      auto params = models_[rank]->parameters();
+      index_t off = 0;
+      for (auto& p : params) {
+        const index_t n = p.value().numel();
+        if (p.has_grad()) {
+          std::memcpy(flat.data() + off, p.grad().data(),
+                      static_cast<std::size_t>(n) * sizeof(real_t));
+        } else {
+          std::fill_n(flat.data() + off, n, 0.0f);
+        }
+        off += n;
+      }
+      world_.all_reduce_sum(rank, flat);
+      // Average and scatter back.
+      const real_t inv = 1.0f / static_cast<real_t>(world);
+      off = 0;
+      for (auto& p : params) {
+        const index_t n = p.value().numel();
+        if (p.has_grad()) {
+          real_t* g = p.grad().data();
+          for (index_t i = 0; i < n; ++i) g[i] = flat[off + i] * inv;
+        }
+        off += n;
+      }
+      optims_[rank]->step();
+    }
+    rank_cpu[rank] = thread_cpu_seconds() - cpu0;
+  };
+
+  if (world == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(world);
+    for (int r = 0; r < world; ++r) threads.emplace_back(worker, r);
+    for (auto& t : threads) t.join();
+  }
+
+  EpochStats stats;
+  stats.steps = steps;
+  stats.wall_seconds = wall.seconds();
+  double loss_sum = 0.0;
+  double cpu_max = 0.0;
+  for (int r = 0; r < world; ++r) {
+    loss_sum += rank_loss[r];
+    cpu_max = std::max(cpu_max, rank_cpu[r]);
+  }
+  stats.mean_loss = loss_sum / (static_cast<double>(world) * steps);
+  const std::uint64_t grad_bytes =
+      static_cast<std::uint64_t>(grad_len) * sizeof(real_t);
+  stats.allreduce_bytes_per_rank = grad_bytes * steps;
+  stats.modeled_seconds =
+      cpu_max + static_cast<double>(steps) *
+                    cfg_.net.allreduce_seconds(grad_bytes, world);
+  return stats;
+}
+
+}  // namespace ccovid::dist

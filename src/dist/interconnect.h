@@ -1,0 +1,24 @@
+// Analytical interconnect cost model used to convert the in-process DDP
+// run into modeled cluster wall time (Table 3). Parameters default to a
+// 10 GbE cluster like Virginia Tech's Infer nodes (T4 GPU per node).
+#pragma once
+
+#include <cstdint>
+
+namespace ccovid::dist {
+
+struct InterconnectModel {
+  double latency_s = 50e-6;       ///< per-message latency
+  double bandwidth_Bps = 1.25e9;  ///< 10 GbE payload bandwidth
+
+  /// Ring all-reduce time for `bytes` across `world` ranks:
+  /// 2*(world-1) steps, each moving bytes/world and paying latency.
+  double allreduce_seconds(std::uint64_t bytes, int world) const {
+    if (world <= 1) return 0.0;
+    const double steps = 2.0 * (world - 1);
+    const double chunk = static_cast<double>(bytes) / world;
+    return steps * (latency_s + chunk / bandwidth_Bps);
+  }
+};
+
+}  // namespace ccovid::dist

@@ -1,0 +1,84 @@
+#include "hetero/ddnet_counts.h"
+
+#include "ops/instrumented.h"
+
+namespace ccovid::hetero {
+
+namespace {
+
+struct Acc {
+  NetworkCounts counts;
+
+  void conv(index_t cin, index_t h, index_t w, index_t cout, index_t k) {
+    counts.conv += ops::count_conv2d(1, cin, h, w, cout, k,
+                                     ops::Conv2dParams::same(k));
+    counts.conv_launches += 1;
+  }
+  void deconv(index_t cin, index_t h, index_t w, index_t cout, index_t k) {
+    counts.deconv_gather += ops::count_deconv2d_gather(
+        1, cin, h, w, cout, k, ops::Deconv2dParams::same(k));
+    counts.deconv_scatter += ops::count_deconv2d_scatter(
+        1, cin, h, w, cout, k, ops::Deconv2dParams::same(k));
+    counts.deconv_launches += 1;
+  }
+  void bn_lrelu(index_t c, index_t h, index_t w) {
+    counts.other += ops::count_batch_norm(1, c, h * w);
+    counts.other += ops::count_leaky_relu(c * h * w);
+    counts.other_launches += 2;
+  }
+  void pool(index_t c, index_t h, index_t w) {
+    counts.other += ops::count_max_pool2d(1, c, h, w, {3, 2, 1});
+    counts.other_launches += 1;
+  }
+  void unpool(index_t c, index_t h, index_t w) {
+    counts.other += ops::count_unpool2d(1, c, h, w, 2);
+    counts.other_launches += 1;
+  }
+};
+
+}  // namespace
+
+NetworkCounts count_ddnet(const nn::DDnetConfig& cfg, index_t h, index_t w) {
+  Acc a;
+  const index_t base = cfg.base_channels;
+  const index_t g = cfg.growth;
+
+  // Stem: 7x7 conv + BN + leaky-ReLU at full resolution.
+  a.conv(cfg.in_channels, h, w, base, 7);
+  a.bn_lrelu(base, h, w);
+
+  index_t lh = h, lw = w;
+  for (int level = 0; level < cfg.levels; ++level) {
+    a.pool(base, lh, lw);
+    lh /= 2;
+    lw /= 2;
+    // Dense block: each layer is BN + lrelu + 1x1 conv (2g) + BN +
+    // lrelu + 5x5 conv (g) on the growing concatenation.
+    index_t c = base;
+    for (int l = 0; l < cfg.dense_layers; ++l) {
+      a.bn_lrelu(c, lh, lw);
+      a.conv(c, lh, lw, 4 * g, 1);
+      a.bn_lrelu(4 * g, lh, lw);
+      a.conv(4 * g, lh, lw, g, 5);
+      c += g;
+    }
+    // Transition 1x1 back to trunk width.
+    a.conv(c, lh, lw, base, 1);
+    a.bn_lrelu(base, lh, lw);
+  }
+
+  for (int level = 0; level < cfg.levels; ++level) {
+    const bool is_output = (level == cfg.levels - 1);
+    a.unpool(base, lh, lw);
+    lh *= 2;
+    lw *= 2;
+    // concat(base + base) -> deconv5 -> 2*base -> deconv1.
+    a.deconv(2 * base, lh, lw, 2 * base, 5);
+    a.bn_lrelu(2 * base, lh, lw);
+    a.deconv(2 * base, lh, lw, is_output ? cfg.out_channels : base, 1);
+    if (!is_output) a.bn_lrelu(base, lh, lw);
+  }
+  return a.counts;
+}
+
+}  // namespace ccovid::hetero

@@ -1,0 +1,19 @@
+// Layer-by-layer operation counting for a whole DDnet, driving the
+// Table 4/5/7 projections and the Table 6 report. Walks the exact layer
+// sequence of nn::DDnet (stem, per-level pool + dense block + transition,
+// decoder unpool + deconv pair) and accumulates the instrumented counts
+// per kernel class, in both the gather (REF) and scatter (baseline)
+// deconvolution formulations.
+#pragma once
+
+#include "hetero/device_model.h"
+#include "nn/ddnet.h"
+
+namespace ccovid::hetero {
+
+/// Counts for one DDnet forward pass on an (h, w) single-channel image.
+/// "conv" covers all 2-D convolutions; "other" covers pooling,
+/// un-pooling, batch norm and leaky-ReLU (the paper's "other kernels").
+NetworkCounts count_ddnet(const nn::DDnetConfig& cfg, index_t h, index_t w);
+
+}  // namespace ccovid::hetero

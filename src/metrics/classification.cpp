@@ -1,0 +1,138 @@
+#include "metrics/classification.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace ccovid::metrics {
+
+namespace {
+
+void check_inputs(const std::vector<double>& scores,
+                  const std::vector<int>& labels) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("classification: scores/labels size mismatch");
+  }
+  if (scores.empty()) {
+    throw std::invalid_argument("classification: empty inputs");
+  }
+  for (int l : labels) {
+    if (l != 0 && l != 1) {
+      throw std::invalid_argument("classification: labels must be 0/1");
+    }
+  }
+}
+
+}  // namespace
+
+double ConfusionMatrix::accuracy() const {
+  const index_t t = total();
+  return t == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(t);
+}
+
+double ConfusionMatrix::tpr() const {
+  const index_t p = tp + fn;
+  return p == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(p);
+}
+
+double ConfusionMatrix::fpr() const {
+  const index_t n = fp + tn;
+  return n == 0 ? 0.0 : static_cast<double>(fp) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::precision() const {
+  const index_t d = tp + fp;
+  return d == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(d);
+}
+
+double ConfusionMatrix::f1() const {
+  const double p = precision();
+  const double r = tpr();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+ConfusionMatrix confusion_at_threshold(const std::vector<double>& scores,
+                                       const std::vector<int>& labels,
+                                       double threshold) {
+  check_inputs(scores, labels);
+  ConfusionMatrix m;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const bool pred = scores[i] >= threshold;
+    if (labels[i] == 1) {
+      pred ? ++m.tp : ++m.fn;
+    } else {
+      pred ? ++m.fp : ++m.tn;
+    }
+  }
+  return m;
+}
+
+std::vector<RocPoint> roc_curve(const std::vector<double>& scores,
+                                const std::vector<int>& labels) {
+  check_inputs(scores, labels);
+  std::set<double> distinct(scores.begin(), scores.end());
+  std::vector<RocPoint> pts;
+  pts.reserve(distinct.size() + 2);
+  // Threshold above every score: nothing predicted positive.
+  pts.push_back({*distinct.rbegin() + 1.0, 0.0, 0.0});
+  for (auto it = distinct.rbegin(); it != distinct.rend(); ++it) {
+    const ConfusionMatrix m = confusion_at_threshold(scores, labels, *it);
+    pts.push_back({*it, m.fpr(), m.tpr()});
+  }
+  std::sort(pts.begin(), pts.end(), [](const RocPoint& a, const RocPoint& b) {
+    if (a.fpr != b.fpr) return a.fpr < b.fpr;
+    return a.tpr < b.tpr;
+  });
+  return pts;
+}
+
+double auc(const std::vector<RocPoint>& roc) {
+  double area = 0.0;
+  for (std::size_t i = 1; i < roc.size(); ++i) {
+    const double dx = roc[i].fpr - roc[i - 1].fpr;
+    area += dx * 0.5 * (roc[i].tpr + roc[i - 1].tpr);
+  }
+  return area;
+}
+
+double auc(const std::vector<double>& scores,
+           const std::vector<int>& labels) {
+  return auc(roc_curve(scores, labels));
+}
+
+double youden_optimal_threshold(const std::vector<double>& scores,
+                                const std::vector<int>& labels) {
+  check_inputs(scores, labels);
+  std::set<double> distinct(scores.begin(), scores.end());
+  double best_j = -2.0;
+  double best_t = 0.5;
+  for (double t : distinct) {
+    const ConfusionMatrix m = confusion_at_threshold(scores, labels, t);
+    const double j = m.tpr() - m.fpr();
+    if (j > best_j) {
+      best_j = j;
+      best_t = t;
+    }
+  }
+  return best_t;
+}
+
+double best_accuracy(const std::vector<double>& scores,
+                     const std::vector<int>& labels,
+                     double* best_threshold) {
+  check_inputs(scores, labels);
+  std::set<double> distinct(scores.begin(), scores.end());
+  double best_acc = -1.0;
+  double best_t = 0.5;
+  for (double t : distinct) {
+    const double acc = confusion_at_threshold(scores, labels, t).accuracy();
+    if (acc > best_acc) {
+      best_acc = acc;
+      best_t = t;
+    }
+  }
+  if (best_threshold != nullptr) *best_threshold = best_t;
+  return best_acc;
+}
+
+}  // namespace ccovid::metrics

@@ -1,0 +1,61 @@
+// Classification metrics for §5.2: accuracy (Eq. 3), TPR/FPR (Eqs. 4-5),
+// the ROC curve and its AUC, the confusion matrix (Table 9), and the
+// optimal operating threshold (the paper reports 0.061).
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace ccovid::metrics {
+
+struct ConfusionMatrix {
+  index_t tp = 0;
+  index_t fp = 0;
+  index_t fn = 0;
+  index_t tn = 0;
+
+  index_t total() const { return tp + fp + fn + tn; }
+  /// Eq. (3): (TP + TN) / all.
+  double accuracy() const;
+  /// Eq. (4): sensitivity / recall — the paper's headline 91%.
+  double tpr() const;
+  /// Eq. (5).
+  double fpr() const;
+  double specificity() const { return 1.0 - fpr(); }
+  double precision() const;
+  double f1() const;
+};
+
+/// Thresholds `scores` at `threshold` (score >= threshold => positive)
+/// against binary ground-truth `labels` (1 = COVID-positive).
+ConfusionMatrix confusion_at_threshold(const std::vector<double>& scores,
+                                       const std::vector<int>& labels,
+                                       double threshold);
+
+struct RocPoint {
+  double threshold;
+  double fpr;
+  double tpr;
+};
+
+/// ROC points swept over every distinct score (plus the (0,0)/(1,1)
+/// endpoints), sorted by increasing FPR.
+std::vector<RocPoint> roc_curve(const std::vector<double>& scores,
+                                const std::vector<int>& labels);
+
+/// Area under the ROC curve by trapezoidal integration; equals the
+/// Mann-Whitney U statistic up to ties.
+double auc(const std::vector<RocPoint>& roc);
+double auc(const std::vector<double>& scores, const std::vector<int>& labels);
+
+/// Threshold maximizing Youden's J = TPR - FPR (the "optimal threshold"
+/// of Table 9).
+double youden_optimal_threshold(const std::vector<double>& scores,
+                                const std::vector<int>& labels);
+
+/// Accuracy at the accuracy-maximizing threshold; used for Fig. 13a.
+double best_accuracy(const std::vector<double>& scores,
+                     const std::vector<int>& labels, double* best_threshold);
+
+}  // namespace ccovid::metrics

@@ -1,0 +1,198 @@
+#include "metrics/image_quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ccovid::metrics {
+
+namespace {
+
+// Separable Gaussian filtration with zero-padding-free ("valid")
+// semantics: the output shrinks by window-1, so window statistics never
+// mix with padding, matching the reference SSIM implementation.
+Tensor filter_valid(const Tensor& img, const Tensor& win) {
+  const index_t h = img.dim(0), w = img.dim(1), k = win.dim(0);
+  if (h < k || w < k) {
+    throw std::invalid_argument("ssim: image smaller than window");
+  }
+  const index_t ho = h - k + 1, wo = w - k + 1;
+  Tensor tmp({h, wo});
+  const real_t* ip = img.data();
+  const real_t* wp = win.data();
+  real_t* tp = tmp.data();
+  // Horizontal pass.
+  for (index_t y = 0; y < h; ++y) {
+    for (index_t x = 0; x < wo; ++x) {
+      real_t acc = 0.0f;
+      for (index_t i = 0; i < k; ++i) acc += ip[y * w + x + i] * wp[i];
+      tp[y * wo + x] = acc;
+    }
+  }
+  // Vertical pass.
+  Tensor out({ho, wo});
+  real_t* op = out.data();
+  for (index_t y = 0; y < ho; ++y) {
+    for (index_t x = 0; x < wo; ++x) {
+      real_t acc = 0.0f;
+      for (index_t i = 0; i < k; ++i) acc += tp[(y + i) * wo + x] * wp[i];
+      op[y * wo + x] = acc;
+    }
+  }
+  return out;
+}
+
+void check_pair(const Tensor& a, const Tensor& b, const char* who) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(who) + ": shape mismatch " +
+                                a.shape().str() + " vs " + b.shape().str());
+  }
+  if (a.rank() != 2) {
+    throw std::invalid_argument(std::string(who) + ": expected 2-D images");
+  }
+}
+
+}  // namespace
+
+double mse(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument("mse: shape mismatch");
+  }
+  const real_t* pa = a.data();
+  const real_t* pb = b.data();
+  const index_t n = a.numel();
+  double acc = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(pa[i]) - pb[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(n);
+}
+
+double psnr(const Tensor& a, const Tensor& b) {
+  const double m = mse(a, b);
+  if (m == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(1.0 / m);
+}
+
+Tensor gaussian_window(index_t size, double sigma) {
+  if (size < 1 || sigma <= 0.0) {
+    throw std::invalid_argument("gaussian_window: bad params");
+  }
+  Tensor w({size});
+  const double c = (static_cast<double>(size) - 1.0) / 2.0;
+  double total = 0.0;
+  for (index_t i = 0; i < size; ++i) {
+    const double d = static_cast<double>(i) - c;
+    const double v = std::exp(-d * d / (2.0 * sigma * sigma));
+    w.at(i) = static_cast<real_t>(v);
+    total += v;
+  }
+  w.mul_(static_cast<real_t>(1.0 / total));
+  return w;
+}
+
+SsimComponents ssim(const Tensor& a, const Tensor& b, index_t window,
+                    double sigma, double data_range) {
+  check_pair(a, b, "ssim");
+  const double c1 = (0.01 * data_range) * (0.01 * data_range);
+  const double c2 = (0.03 * data_range) * (0.03 * data_range);
+  const Tensor win = gaussian_window(window, sigma);
+
+  const Tensor mu_a = filter_valid(a, win);
+  const Tensor mu_b = filter_valid(b, win);
+  const Tensor aa = filter_valid(a.mul(a), win);
+  const Tensor bb = filter_valid(b.mul(b), win);
+  const Tensor ab = filter_valid(a.mul(b), win);
+
+  const index_t n = mu_a.numel();
+  const real_t* ma = mu_a.data();
+  const real_t* mb = mu_b.data();
+  const real_t* paa = aa.data();
+  const real_t* pbb = bb.data();
+  const real_t* pab = ab.data();
+
+  double sum_l = 0.0, sum_cs = 0.0, sum_ssim = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    const double mua = ma[i], mub = mb[i];
+    const double var_a = std::max(0.0, double(paa[i]) - mua * mua);
+    const double var_b = std::max(0.0, double(pbb[i]) - mub * mub);
+    const double cov = double(pab[i]) - mua * mub;
+    const double l = (2.0 * mua * mub + c1) / (mua * mua + mub * mub + c1);
+    const double cs = (2.0 * cov + c2) / (var_a + var_b + c2);
+    sum_l += l;
+    sum_cs += cs;
+    sum_ssim += l * cs;
+  }
+  const double inv = 1.0 / static_cast<double>(n);
+  return {sum_l * inv, sum_cs * inv, sum_ssim * inv};
+}
+
+Tensor downsample2x(const Tensor& image) {
+  if (image.rank() != 2) {
+    throw std::invalid_argument("downsample2x: expected 2-D image");
+  }
+  const index_t h = image.dim(0) / 2, w = image.dim(1) / 2;
+  if (h < 1 || w < 1) {
+    throw std::invalid_argument("downsample2x: image too small");
+  }
+  Tensor out({h, w});
+  const real_t* ip = image.data();
+  real_t* op = out.data();
+  const index_t in_w = image.dim(1);
+  for (index_t y = 0; y < h; ++y) {
+    for (index_t x = 0; x < w; ++x) {
+      op[y * w + x] = 0.25f * (ip[(2 * y) * in_w + 2 * x] +
+                               ip[(2 * y) * in_w + 2 * x + 1] +
+                               ip[(2 * y + 1) * in_w + 2 * x] +
+                               ip[(2 * y + 1) * in_w + 2 * x + 1]);
+    }
+  }
+  return out;
+}
+
+double ms_ssim(const Tensor& a, const Tensor& b, index_t window,
+               double sigma, double data_range, int scales) {
+  check_pair(a, b, "ms_ssim");
+  static const double kWeights[5] = {0.0448, 0.2856, 0.3001, 0.2363,
+                                     0.1333};
+  if (scales < 1 || scales > 5) {
+    throw std::invalid_argument("ms_ssim: scales must be in [1, 5]");
+  }
+  // Shrink the pyramid if the image cannot support all requested scales.
+  int usable = scales;
+  {
+    index_t m = std::min(a.dim(0), a.dim(1));
+    usable = 0;
+    while (usable < scales && m >= window) {
+      ++usable;
+      m /= 2;
+    }
+    if (usable == 0) {
+      throw std::invalid_argument("ms_ssim: image smaller than window");
+    }
+  }
+  // Renormalize the weights of the scales actually used so they sum to 1.
+  double wsum = 0.0;
+  for (int s = 0; s < usable; ++s) wsum += kWeights[s];
+
+  Tensor x = a.clone();
+  Tensor y = b.clone();
+  double result = 1.0;
+  for (int s = 0; s < usable; ++s) {
+    const SsimComponents c = ssim(x, y, window, sigma, data_range);
+    const double weight = kWeights[s] / wsum;
+    // Contrast-structure term at every scale; full SSIM (with luminance)
+    // only at the coarsest scale. Negative terms are clamped: they only
+    // occur for pathological anticorrelated inputs.
+    const double term = (s == usable - 1) ? c.ssim : c.contrast;
+    result *= std::pow(std::max(term, 1e-8), weight);
+    if (s + 1 < usable) {
+      x = downsample2x(x);
+      y = downsample2x(y);
+    }
+  }
+  return result;
+}
+
+}  // namespace ccovid::metrics

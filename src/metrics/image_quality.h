@@ -1,0 +1,46 @@
+// Image-quality metrics used to evaluate Enhancement AI (Table 8):
+// mean squared error and the multi-scale structural similarity index
+// (MS-SSIM, Wang et al. 2004), computed exactly as in the reference
+// formulation: 11x11 Gaussian window (sigma 1.5), K1 = 0.01, K2 = 0.03,
+// five scales with the standard weights, dyadic downsampling by 2x2
+// average pooling.
+//
+// Images are single-channel 2-D tensors (H, W) in [0, 1] (data range
+// L = 1), matching the paper's normalization of HU data before DDnet.
+#pragma once
+
+#include "core/tensor.h"
+
+namespace ccovid::metrics {
+
+/// Mean squared error between two same-shape tensors.
+double mse(const Tensor& a, const Tensor& b);
+
+/// Peak signal-to-noise ratio in dB for data range [0, 1].
+double psnr(const Tensor& a, const Tensor& b);
+
+/// Normalized 1-D Gaussian window of the given size and sigma.
+Tensor gaussian_window(index_t size, double sigma);
+
+struct SsimComponents {
+  double luminance;   ///< mean of the l map (top scale only)
+  double contrast;    ///< mean of the cs map
+  double ssim;        ///< mean of the full SSIM map
+};
+
+/// Single-scale SSIM between 2-D images (H, W).
+SsimComponents ssim(const Tensor& a, const Tensor& b, index_t window = 11,
+                    double sigma = 1.5, double data_range = 1.0);
+
+/// Multi-scale SSIM in [0 (typically), 1]. Images must be at least
+/// (window * 2^(scales-1)) in each dimension for the default 5 scales;
+/// the scale count is reduced automatically for smaller images so tests
+/// can run on small tensors.
+double ms_ssim(const Tensor& a, const Tensor& b, index_t window = 11,
+               double sigma = 1.5, double data_range = 1.0, int scales = 5);
+
+/// 2x2 average-pool downsampling of a 2-D image (the MS-SSIM pyramid
+/// step); odd trailing row/column is dropped.
+Tensor downsample2x(const Tensor& image);
+
+}  // namespace ccovid::metrics

@@ -1,0 +1,97 @@
+#include "nn/ahnet.h"
+
+#include <stdexcept>
+
+namespace ccovid::nn {
+
+AhNet::AhNet(AhNetConfig cfg) : cfg_(cfg) {
+  const index_t base = cfg_.base_channels;
+  stem_ = std::make_shared<Conv2d>(cfg_.in_channels, base, 3);
+  stem_bn_ = std::make_shared<BatchNorm>(base);
+  register_module("stem", stem_);
+  register_module("stem_bn", stem_bn_);
+
+  index_t c = base;
+  for (int l = 0; l < cfg_.levels; ++l) {
+    EncLevel e;
+    e.conv = std::make_shared<Conv2d>(c, c * 2, 3);
+    e.bn = std::make_shared<BatchNorm>(c * 2);
+    const std::string tag = "enc" + std::to_string(l) + ".";
+    register_module(tag + "conv", e.conv);
+    register_module(tag + "bn", e.bn);
+    encoder_.push_back(std::move(e));
+    c *= 2;
+  }
+  for (int l = 0; l < cfg_.levels; ++l) {
+    DecLevel d;
+    // Input: unpooled (c) + skip (c/2) channels.
+    d.conv = std::make_shared<Conv2d>(c + c / 2, c / 2, 3);
+    d.bn = std::make_shared<BatchNorm>(c / 2);
+    const std::string tag = "dec" + std::to_string(l) + ".";
+    register_module(tag + "conv", d.conv);
+    register_module(tag + "bn", d.bn);
+    decoder_.push_back(std::move(d));
+    c /= 2;
+  }
+  head_ = std::make_shared<Conv2d>(base, 1, 1);
+  register_module("head", head_);
+}
+
+Var AhNet::forward(const Var& x) const {
+  const index_t div = index_t(1) << cfg_.levels;
+  if (x.value().dim(2) % div != 0 || x.value().dim(3) % div != 0) {
+    throw std::invalid_argument("AhNet: extent must be divisible by " +
+                                std::to_string(div));
+  }
+  const ops::Pool2dParams pool{2, 2, 0};
+
+  Var t = stem_->forward(x);
+  t = stem_bn_->forward(t);
+  t = autograd::leaky_relu(t, cfg_.leaky_slope);
+
+  std::vector<Var> skips;
+  for (int l = 0; l < cfg_.levels; ++l) {
+    skips.push_back(t);
+    t = autograd::max_pool2d(t, pool);
+    t = encoder_[l].conv->forward(t);
+    t = encoder_[l].bn->forward(t);
+    t = autograd::leaky_relu(t, cfg_.leaky_slope);
+  }
+  for (int l = 0; l < cfg_.levels; ++l) {
+    t = autograd::unpool2d(t, 2);
+    t = autograd::concat(
+        {t, skips[static_cast<std::size_t>(cfg_.levels - 1 - l)]});
+    t = decoder_[l].conv->forward(t);
+    t = decoder_[l].bn->forward(t);
+    t = autograd::leaky_relu(t, cfg_.leaky_slope);
+  }
+  return head_->forward(t);
+}
+
+Tensor AhNet::segment_volume(const Tensor& volume) const {
+  if (volume.rank() != 3) {
+    throw std::invalid_argument("segment_volume: expected (D, H, W)");
+  }
+  autograd::NoGradGuard no_grad;
+  const index_t d = volume.dim(0), h = volume.dim(1), w = volume.dim(2);
+  Tensor mask({d, h, w});
+  for (index_t z = 0; z < d; ++z) {
+    Tensor slice({1, 1, h, w});
+    std::copy(volume.data() + z * h * w, volume.data() + (z + 1) * h * w,
+              slice.data());
+    const Var logits = forward(Var(std::move(slice)));
+    const real_t* lp = logits.value().data();
+    real_t* mp = mask.data() + z * h * w;
+    for (index_t i = 0; i < h * w; ++i) mp[i] = lp[i] > 0.0f ? 1.0f : 0.0f;
+  }
+  return mask;
+}
+
+Tensor AhNet::apply_mask(const Tensor& volume, const Tensor& mask) {
+  if (volume.shape() != mask.shape()) {
+    throw std::invalid_argument("apply_mask: shape mismatch");
+  }
+  return volume.mul(mask);
+}
+
+}  // namespace ccovid::nn

@@ -1,0 +1,81 @@
+#include "nn/dense_block.h"
+
+namespace ccovid::nn {
+
+DenseBlock2d::DenseBlock2d(index_t in_channels, index_t growth,
+                           int num_layers, real_t leaky_slope)
+    : slope_(leaky_slope) {
+  index_t c = in_channels;
+  for (int i = 0; i < num_layers; ++i) {
+    Layer l;
+    // DenseNet-BC bottleneck: the 1x1 produces 4*growth feature maps
+    // before the 5x5 growth conv — this width reproduces Table 6's
+    // convolution flop count at the 256^2 scale.
+    l.bn1 = std::make_shared<BatchNorm>(c);
+    l.conv1 = std::make_shared<Conv2d>(c, 4 * growth, 1);
+    l.bn2 = std::make_shared<BatchNorm>(4 * growth);
+    l.conv5 = std::make_shared<Conv2d>(4 * growth, growth, 5);
+    const std::string tag = "layer" + std::to_string(i) + ".";
+    register_module(tag + "bn1", l.bn1);
+    register_module(tag + "conv1", l.conv1);
+    register_module(tag + "bn2", l.bn2);
+    register_module(tag + "conv5", l.conv5);
+    layers_.push_back(std::move(l));
+    c += growth;
+  }
+  out_channels_ = c;
+}
+
+Var DenseBlock2d::forward(const Var& x) const {
+  std::vector<Var> features{x};
+  Var current = x;
+  for (const Layer& l : layers_) {
+    Var h = l.bn1->forward(current);
+    h = autograd::leaky_relu(h, slope_);
+    h = l.conv1->forward(h);
+    h = l.bn2->forward(h);
+    h = autograd::leaky_relu(h, slope_);
+    h = l.conv5->forward(h);
+    features.push_back(h);
+    current = autograd::concat(features);
+  }
+  return current;
+}
+
+void DenseBlock2d::set_kernel_options(const ops::KernelOptions& opt) {
+  for (Layer& l : layers_) {
+    l.conv1->set_kernel_options(opt);
+    l.conv5->set_kernel_options(opt);
+  }
+}
+
+DenseBlock3d::DenseBlock3d(index_t in_channels, index_t growth,
+                           int num_layers) {
+  index_t c = in_channels;
+  for (int i = 0; i < num_layers; ++i) {
+    Layer l;
+    l.bn = std::make_shared<BatchNorm>(c);
+    l.conv = std::make_shared<Conv3d>(c, growth, 3);
+    const std::string tag = "layer" + std::to_string(i) + ".";
+    register_module(tag + "bn", l.bn);
+    register_module(tag + "conv", l.conv);
+    layers_.push_back(std::move(l));
+    c += growth;
+  }
+  out_channels_ = c;
+}
+
+Var DenseBlock3d::forward(const Var& x) const {
+  std::vector<Var> features{x};
+  Var current = x;
+  for (const Layer& l : layers_) {
+    Var h = l.bn->forward(current);
+    h = autograd::relu(h);
+    h = l.conv->forward(h);
+    features.push_back(h);
+    current = autograd::concat(features);
+  }
+  return current;
+}
+
+}  // namespace ccovid::nn

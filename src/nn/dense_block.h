@@ -1,0 +1,57 @@
+// Dense blocks (Huang et al. 2017) as used by DDnet (§2.2.1, Fig. 7) and
+// the 3-D classifier (§2.3.2): densely connected layers whose input is
+// the concatenation of all previous layers' outputs (the "local shortcut
+// connections").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace ccovid::nn {
+
+/// DDnet dense block: `num_layers` layers, each BN -> leaky-ReLU ->
+/// conv1x1 (bottleneck, 2*growth) -> BN -> leaky-ReLU -> conv5x5
+/// (growth), output concatenated with the block input. With the paper's
+/// numbers (input 16, growth 16, 4 layers) the output has 80 channels,
+/// matching Table 2.
+class DenseBlock2d : public Module {
+ public:
+  DenseBlock2d(index_t in_channels, index_t growth, int num_layers = 4,
+               real_t leaky_slope = 0.01f);
+  Var forward(const Var& x) const;
+  index_t out_channels() const { return out_channels_; }
+  /// Propagates the §4.2 optimization stage to every conv in the block.
+  void set_kernel_options(const ops::KernelOptions& opt);
+
+ private:
+  struct Layer {
+    std::shared_ptr<BatchNorm> bn1;
+    std::shared_ptr<Conv2d> conv1;  // 1x1 bottleneck
+    std::shared_ptr<BatchNorm> bn2;
+    std::shared_ptr<Conv2d> conv5;  // 5x5 growth
+  };
+  std::vector<Layer> layers_;
+  index_t out_channels_;
+  real_t slope_;
+};
+
+/// 3-D dense block for the classifier: BN -> ReLU -> conv3x3x3 (growth)
+/// per layer, densely concatenated.
+class DenseBlock3d : public Module {
+ public:
+  DenseBlock3d(index_t in_channels, index_t growth, int num_layers);
+  Var forward(const Var& x) const;
+  index_t out_channels() const { return out_channels_; }
+
+ private:
+  struct Layer {
+    std::shared_ptr<BatchNorm> bn;
+    std::shared_ptr<Conv3d> conv;
+  };
+  std::vector<Layer> layers_;
+  index_t out_channels_;
+};
+
+}  // namespace ccovid::nn

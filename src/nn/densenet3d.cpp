@@ -1,0 +1,86 @@
+#include "nn/densenet3d.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ccovid::nn {
+
+DenseNet3d::DenseNet3d(DenseNet3dConfig cfg) : cfg_(cfg) {
+  stem_ = std::make_shared<Conv3d>(cfg_.in_channels, cfg_.init_channels, 3);
+  stem_bn_ = std::make_shared<BatchNorm>(cfg_.init_channels);
+  register_module("stem", stem_);
+  register_module("stem_bn", stem_bn_);
+
+  index_t c = cfg_.init_channels;
+  for (std::size_t s = 0; s < cfg_.block_layers.size(); ++s) {
+    Stage st;
+    st.block = std::make_shared<DenseBlock3d>(c, cfg_.growth,
+                                              cfg_.block_layers[s]);
+    c = st.block->out_channels();
+    const bool last = (s + 1 == cfg_.block_layers.size());
+    if (!last) {
+      const index_t compressed = std::max<index_t>(
+          1, static_cast<index_t>(static_cast<double>(c) *
+                                  cfg_.compression));
+      st.transition = std::make_shared<Conv3d>(c, compressed, 1);
+      st.bn = std::make_shared<BatchNorm>(compressed);
+      c = compressed;
+    }
+    const std::string tag = "stage" + std::to_string(s) + ".";
+    register_module(tag + "block", st.block);
+    if (st.transition) {
+      register_module(tag + "transition", st.transition);
+      register_module(tag + "bn", st.bn);
+    }
+    stages_.push_back(std::move(st));
+  }
+  head_bn_ = std::make_shared<BatchNorm>(c);
+  fc_ = std::make_shared<Linear>(c, 1);
+  register_module("head_bn", head_bn_);
+  register_module("fc", fc_);
+}
+
+Var DenseNet3d::forward(const Var& x) const {
+  if (x.value().rank() != 5) {
+    throw std::invalid_argument("DenseNet3d: input must be NCDHW");
+  }
+  const ops::Pool3dParams pool{2, 2, 0};
+
+  Var t = stem_->forward(x);
+  t = stem_bn_->forward(t);
+  t = autograd::relu(t);
+  t = autograd::max_pool3d(t, pool);
+
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const Stage& st = stages_[s];
+    t = st.block->forward(t);
+    if (st.transition) {
+      t = st.transition->forward(t);
+      t = st.bn->forward(t);
+      t = autograd::relu(t);
+      // Pool only while all extents still allow it.
+      if (t.value().dim(2) >= 2 && t.value().dim(3) >= 2 &&
+          t.value().dim(4) >= 2) {
+        t = autograd::avg_pool3d(t, pool);
+      }
+    }
+  }
+  t = head_bn_->forward(t);
+  t = autograd::relu(t);
+  t = autograd::global_avg_pool3d(t);
+  return fc_->forward(t);
+}
+
+double DenseNet3d::predict_probability(const Tensor& volume) const {
+  if (volume.rank() != 3) {
+    throw std::invalid_argument("predict_probability: expected (D, H, W)");
+  }
+  autograd::NoGradGuard no_grad;
+  Var in(volume.clone().reshape(
+      {1, 1, volume.dim(0), volume.dim(1), volume.dim(2)}));
+  const Var logit = forward(in);
+  const double z = static_cast<double>(logit.value().at(0, 0));
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+}  // namespace ccovid::nn

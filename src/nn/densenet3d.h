@@ -1,0 +1,63 @@
+// 3-D DenseNet classifier — Classification AI (§2.3.2): DenseNet-121
+// adapted for 3-D volume classification. Four densely connected blocks,
+// each followed by a transition convolution and pooling, then a global
+// pool and a fully-connected head emitting one logit (COVID-positive
+// probability after sigmoid).
+//
+// The block/growth sizes are configurable; densenet121_config() gives
+// the paper-faithful (6, 12, 24, 16) x growth-32 layout, while the
+// default is a compact version sized for CPU-scale experiments.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "nn/dense_block.h"
+
+namespace ccovid::nn {
+
+struct DenseNet3dConfig {
+  index_t in_channels = 1;
+  index_t init_channels = 8;
+  index_t growth = 4;
+  std::array<int, 4> block_layers = {2, 2, 2, 2};
+  /// Transition keeps this fraction of channels (0.5 in DenseNet).
+  double compression = 0.5;
+
+  static DenseNet3dConfig compact() { return DenseNet3dConfig{}; }
+  static DenseNet3dConfig densenet121() {
+    DenseNet3dConfig c;
+    c.init_channels = 64;
+    c.growth = 32;
+    c.block_layers = {6, 12, 24, 16};
+    return c;
+  }
+};
+
+class DenseNet3d : public Module {
+ public:
+  explicit DenseNet3d(DenseNet3dConfig cfg = DenseNet3dConfig::compact());
+
+  /// (N, C, D, H, W) -> (N, 1) logits. Spatial extents must survive the
+  /// 5 halvings (stem pool + 4 block pools): i.e. be at least 32... 2^5,
+  /// though global pooling tolerates any remainder >= 1.
+  Var forward(const Var& x) const;
+
+  /// Probability of COVID-positive for one volume (D, H, W); no grads.
+  double predict_probability(const Tensor& volume) const;
+
+ private:
+  DenseNet3dConfig cfg_;
+  std::shared_ptr<Conv3d> stem_;
+  std::shared_ptr<BatchNorm> stem_bn_;
+  struct Stage {
+    std::shared_ptr<DenseBlock3d> block;
+    std::shared_ptr<Conv3d> transition;  // 1x1x1 compression (null last)
+    std::shared_ptr<BatchNorm> bn;
+  };
+  std::vector<Stage> stages_;
+  std::shared_ptr<BatchNorm> head_bn_;
+  std::shared_ptr<Linear> fc_;
+};
+
+}  // namespace ccovid::nn

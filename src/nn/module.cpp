@@ -1,0 +1,151 @@
+#include "nn/module.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ccovid::nn {
+
+std::vector<Var> Module::parameters() const {
+  std::vector<Var> out;
+  for (const auto& [name, v] : named_parameters()) out.push_back(v);
+  return out;
+}
+
+std::vector<std::pair<std::string, Var>> Module::named_parameters() const {
+  std::vector<std::pair<std::string, Var>> out;
+  collect_params("", out);
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::named_buffers() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  collect_buffers("", out);
+  return out;
+}
+
+void Module::collect_params(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Var>>& out) const {
+  for (const auto& [name, v] : params_) {
+    out.emplace_back(prefix + name, v);
+  }
+  for (const auto& [name, child] : children_) {
+    child->collect_params(prefix + name + ".", out);
+  }
+}
+
+void Module::collect_buffers(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Tensor>>& out) const {
+  for (const auto& [name, t] : buffers_) {
+    out.emplace_back(prefix + name, t);
+  }
+  for (const auto& [name, child] : children_) {
+    child->collect_buffers(prefix + name + ".", out);
+  }
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->set_training(training);
+}
+
+void Module::set_batch_stats_always(bool on) {
+  on_set_batch_stats(on);
+  for (auto& [name, child] : children_) child->set_batch_stats_always(on);
+}
+
+index_t Module::num_parameters() const {
+  index_t n = 0;
+  for (const Var& p : parameters()) n += p.value().numel();
+  return n;
+}
+
+TensorMap Module::state_dict() const {
+  TensorMap dict;
+  for (const auto& [name, v] : named_parameters()) {
+    dict["param." + name] = v.value().clone();
+  }
+  for (const auto& [name, t] : named_buffers()) {
+    dict["buffer." + name] = t.clone();
+  }
+  return dict;
+}
+
+void Module::load_state_dict(const TensorMap& dict) {
+  const auto fetch = [&dict](const std::string& key,
+                             const Shape& shape) -> const Tensor& {
+    auto it = dict.find(key);
+    if (it == dict.end()) {
+      throw std::runtime_error("load_state_dict: missing entry " + key);
+    }
+    if (it->second.shape() != shape) {
+      throw std::runtime_error("load_state_dict: shape mismatch for " + key);
+    }
+    return it->second;
+  };
+  for (auto& [name, v] : named_parameters()) {
+    const Tensor& src = fetch("param." + name, v.value().shape());
+    std::memcpy(v.value().data(), src.data(),
+                static_cast<std::size_t>(src.numel()) * sizeof(real_t));
+  }
+  for (auto& [name, t] : named_buffers()) {
+    const Tensor& src = fetch("buffer." + name, t.shape());
+    // named_buffers returns shallow copies sharing storage with the
+    // registered buffer, so writing through `t` updates the module.
+    Tensor dst = t;
+    std::memcpy(dst.data(), src.data(),
+                static_cast<std::size_t>(src.numel()) * sizeof(real_t));
+  }
+}
+
+void Module::save(const std::string& path) const {
+  save_tensor_map(path, state_dict());
+}
+
+void Module::load(const std::string& path) {
+  load_state_dict(load_tensor_map(path));
+}
+
+void Module::copy_parameters_from(const Module& other) {
+  const auto src = other.named_parameters();
+  auto dst = named_parameters();
+  if (src.size() != dst.size()) {
+    throw std::runtime_error("copy_parameters_from: architecture mismatch");
+  }
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (src[i].second.value().shape() != dst[i].second.value().shape()) {
+      throw std::runtime_error("copy_parameters_from: shape mismatch at " +
+                               dst[i].first);
+    }
+    std::memcpy(dst[i].second.value().data(), src[i].second.value().data(),
+                static_cast<std::size_t>(src[i].second.value().numel()) *
+                    sizeof(real_t));
+  }
+  // Buffers (running stats) travel with the parameters.
+  const auto sbuf = other.named_buffers();
+  auto dbuf = named_buffers();
+  for (std::size_t i = 0; i < sbuf.size() && i < dbuf.size(); ++i) {
+    Tensor dst_t = dbuf[i].second;
+    std::memcpy(dst_t.data(), sbuf[i].second.data(),
+                static_cast<std::size_t>(sbuf[i].second.numel()) *
+                    sizeof(real_t));
+  }
+}
+
+Var Module::register_parameter(const std::string& name, Tensor init) {
+  Var v(std::move(init), /*requires_grad=*/true);
+  params_.emplace_back(name, v);
+  return v;
+}
+
+void Module::register_buffer(const std::string& name, const Tensor& t) {
+  buffers_.emplace_back(name, t);
+}
+
+void Module::register_module(const std::string& name,
+                             std::shared_ptr<Module> m) {
+  children_.emplace_back(name, std::move(m));
+}
+
+}  // namespace ccovid::nn

@@ -1,0 +1,79 @@
+#include "ops/activations.h"
+
+#include <cmath>
+
+#include "core/parallel.h"
+
+namespace ccovid::ops {
+
+namespace {
+
+template <typename F>
+Tensor elementwise(const Tensor& input, F&& f) {
+  Tensor out(input.shape());
+  const real_t* ip = input.data();
+  real_t* op = out.data();
+  const index_t n = input.numel();
+  parallel_for_blocked(0, n, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) op[i] = f(ip[i]);
+  },
+  /*grain=*/65536);
+  return out;
+}
+
+template <typename F>
+Tensor elementwise2(const Tensor& a, const Tensor& b, F&& f) {
+  Tensor out(a.shape());
+  const real_t* pa = a.data();
+  const real_t* pb = b.data();
+  real_t* op = out.data();
+  const index_t n = a.numel();
+  parallel_for_blocked(0, n, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) op[i] = f(pa[i], pb[i]);
+  },
+  /*grain=*/65536);
+  return out;
+}
+
+}  // namespace
+
+Tensor relu(const Tensor& input) {
+  return elementwise(input, [](real_t x) { return x > 0 ? x : 0.0f; });
+}
+
+Tensor relu_backward(const Tensor& grad_out, const Tensor& input) {
+  return elementwise2(grad_out, input,
+                      [](real_t dy, real_t x) { return x > 0 ? dy : 0.0f; });
+}
+
+Tensor leaky_relu(const Tensor& input, real_t slope) {
+  return elementwise(input,
+                     [slope](real_t x) { return x > 0 ? x : slope * x; });
+}
+
+Tensor leaky_relu_backward(const Tensor& grad_out, const Tensor& input,
+                           real_t slope) {
+  return elementwise2(grad_out, input, [slope](real_t dy, real_t x) {
+    return x > 0 ? dy : slope * dy;
+  });
+}
+
+Tensor sigmoid(const Tensor& input) {
+  return elementwise(input, [](real_t x) {
+    // Branch on sign for numerical stability at large |x|.
+    if (x >= 0) {
+      const real_t e = std::exp(-x);
+      return 1.0f / (1.0f + e);
+    }
+    const real_t e = std::exp(x);
+    return e / (1.0f + e);
+  });
+}
+
+Tensor sigmoid_backward(const Tensor& grad_out, const Tensor& output) {
+  return elementwise2(grad_out, output, [](real_t dy, real_t y) {
+    return dy * y * (1.0f - y);
+  });
+}
+
+}  // namespace ccovid::ops

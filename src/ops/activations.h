@@ -1,0 +1,21 @@
+// Elementwise activations and their backward kernels. DDnet uses
+// leaky-ReLU (Table 6); the classifier head uses a sigmoid to produce
+// the COVID-positive probability.
+#pragma once
+
+#include "core/tensor.h"
+
+namespace ccovid::ops {
+
+Tensor relu(const Tensor& input);
+Tensor relu_backward(const Tensor& grad_out, const Tensor& input);
+
+Tensor leaky_relu(const Tensor& input, real_t slope = 0.01f);
+Tensor leaky_relu_backward(const Tensor& grad_out, const Tensor& input,
+                           real_t slope = 0.01f);
+
+Tensor sigmoid(const Tensor& input);
+/// Takes the *output* of sigmoid (dy * y * (1 - y)).
+Tensor sigmoid_backward(const Tensor& grad_out, const Tensor& output);
+
+}  // namespace ccovid::ops

@@ -1,0 +1,174 @@
+#include "ops/batchnorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/parallel.h"
+
+namespace ccovid::ops {
+
+namespace {
+
+struct NCS {
+  index_t n, c, spatial;
+};
+
+NCS split_ncs(const Tensor& t) {
+  if (t.rank() < 2) {
+    throw std::invalid_argument("batch_norm: rank must be >= 2");
+  }
+  index_t spatial = 1;
+  for (int i = 2; i < t.rank(); ++i) spatial *= t.dim(i);
+  return {t.dim(0), t.dim(1), spatial};
+}
+
+void check_param(const Tensor& p, index_t c, const char* name) {
+  if (!p.defined() || p.rank() != 1 || p.dim(0) != c) {
+    throw std::invalid_argument(std::string("batch_norm: ") + name +
+                                " must be (C)");
+  }
+}
+
+}  // namespace
+
+Tensor batch_norm_train(const Tensor& input, const Tensor& gamma,
+                        const Tensor& beta, BatchNormStats& stats,
+                        real_t eps) {
+  const NCS d = split_ncs(input);
+  check_param(gamma, d.c, "gamma");
+  check_param(beta, d.c, "beta");
+
+  stats.mean = Tensor({d.c});
+  stats.var = Tensor({d.c});
+  stats.inv_std = Tensor({d.c});
+  Tensor out(input.shape());
+
+  const real_t* ip = input.data();
+  const real_t* gp = gamma.data();
+  const real_t* bp = beta.data();
+  real_t* mp = stats.mean.data();
+  real_t* vp = stats.var.data();
+  real_t* sp = stats.inv_std.data();
+  real_t* op = out.data();
+  const index_t count = d.n * d.spatial;
+
+  parallel_for(
+      0, d.c,
+      [&](index_t c) {
+        double sum = 0.0, sum_sq = 0.0;
+        for (index_t ni = 0; ni < d.n; ++ni) {
+          const real_t* x = ip + (ni * d.c + c) * d.spatial;
+          for (index_t i = 0; i < d.spatial; ++i) {
+            sum += x[i];
+            sum_sq += static_cast<double>(x[i]) * x[i];
+          }
+        }
+        const double mean = sum / count;
+        const double var = std::max(0.0, sum_sq / count - mean * mean);
+        const real_t inv_std = static_cast<real_t>(1.0 / std::sqrt(var + eps));
+        mp[c] = static_cast<real_t>(mean);
+        vp[c] = static_cast<real_t>(var);
+        sp[c] = inv_std;
+        const real_t scale = gp[c] * inv_std;
+        const real_t shift =
+            bp[c] - scale * static_cast<real_t>(mean);
+        for (index_t ni = 0; ni < d.n; ++ni) {
+          const real_t* x = ip + (ni * d.c + c) * d.spatial;
+          real_t* y = op + (ni * d.c + c) * d.spatial;
+          for (index_t i = 0; i < d.spatial; ++i) {
+            y[i] = scale * x[i] + shift;
+          }
+        }
+      },
+      /*grain=*/1);
+  return out;
+}
+
+Tensor batch_norm_infer(const Tensor& input, const Tensor& gamma,
+                        const Tensor& beta, const Tensor& running_mean,
+                        const Tensor& running_var, real_t eps) {
+  const NCS d = split_ncs(input);
+  check_param(gamma, d.c, "gamma");
+  check_param(beta, d.c, "beta");
+  check_param(running_mean, d.c, "running_mean");
+  check_param(running_var, d.c, "running_var");
+
+  Tensor out(input.shape());
+  const real_t* ip = input.data();
+  real_t* op = out.data();
+  const real_t* gp = gamma.data();
+  const real_t* bp = beta.data();
+  const real_t* mp = running_mean.data();
+  const real_t* vp = running_var.data();
+
+  parallel_for(
+      0, d.n * d.c,
+      [&](index_t plane) {
+        const index_t c = plane % d.c;
+        const real_t inv_std =
+            1.0f / std::sqrt(vp[c] + eps);
+        const real_t scale = gp[c] * inv_std;
+        const real_t shift = bp[c] - scale * mp[c];
+        const real_t* x = ip + plane * d.spatial;
+        real_t* y = op + plane * d.spatial;
+        for (index_t i = 0; i < d.spatial; ++i) y[i] = scale * x[i] + shift;
+      },
+      /*grain=*/1);
+  return out;
+}
+
+BatchNormGrads batch_norm_backward(const Tensor& grad_out,
+                                   const Tensor& input, const Tensor& gamma,
+                                   const BatchNormStats& stats) {
+  const NCS d = split_ncs(input);
+  BatchNormGrads g{Tensor(input.shape()), Tensor({d.c}), Tensor({d.c})};
+
+  const real_t* gop = grad_out.data();
+  const real_t* ip = input.data();
+  const real_t* gp = gamma.data();
+  const real_t* mp = stats.mean.data();
+  const real_t* sp = stats.inv_std.data();
+  real_t* gip = g.grad_input.data();
+  real_t* ggp = g.grad_gamma.data();
+  real_t* gbp = g.grad_beta.data();
+  const index_t count = d.n * d.spatial;
+
+  parallel_for(
+      0, d.c,
+      [&](index_t c) {
+        const real_t mean = mp[c];
+        const real_t inv_std = sp[c];
+        // First pass: sum of dy and sum of dy * xhat.
+        double sum_dy = 0.0, sum_dy_xhat = 0.0;
+        for (index_t ni = 0; ni < d.n; ++ni) {
+          const real_t* dy = gop + (ni * d.c + c) * d.spatial;
+          const real_t* x = ip + (ni * d.c + c) * d.spatial;
+          for (index_t i = 0; i < d.spatial; ++i) {
+            const real_t xhat = (x[i] - mean) * inv_std;
+            sum_dy += dy[i];
+            sum_dy_xhat += static_cast<double>(dy[i]) * xhat;
+          }
+        }
+        ggp[c] = static_cast<real_t>(sum_dy_xhat);
+        gbp[c] = static_cast<real_t>(sum_dy);
+        // Second pass: dx = gamma*inv_std/count *
+        //   (count*dy - sum_dy - xhat*sum_dy_xhat)
+        const real_t k = gp[c] * inv_std / static_cast<real_t>(count);
+        const real_t mdy = static_cast<real_t>(sum_dy);
+        const real_t mdyx = static_cast<real_t>(sum_dy_xhat);
+        for (index_t ni = 0; ni < d.n; ++ni) {
+          const real_t* dy = gop + (ni * d.c + c) * d.spatial;
+          const real_t* x = ip + (ni * d.c + c) * d.spatial;
+          real_t* dx = gip + (ni * d.c + c) * d.spatial;
+          for (index_t i = 0; i < d.spatial; ++i) {
+            const real_t xhat = (x[i] - mean) * inv_std;
+            dx[i] = k * (static_cast<real_t>(count) * dy[i] - mdy -
+                         xhat * mdyx);
+          }
+        }
+      },
+      /*grain=*/1);
+  return g;
+}
+
+}  // namespace ccovid::ops

@@ -1,0 +1,38 @@
+// Batch normalization over the channel dimension (dim 1). Works for any
+// rank >= 2 tensor laid out (N, C, spatial...), so the same kernels serve
+// the 2-D DDnet and the 3-D classifier.
+#pragma once
+
+#include "core/tensor.h"
+
+namespace ccovid::ops {
+
+struct BatchNormStats {
+  Tensor mean;     ///< per-channel batch mean (C)
+  Tensor var;      ///< per-channel biased batch variance (C)
+  Tensor inv_std;  ///< 1 / sqrt(var + eps), cached for backward
+};
+
+/// Training-mode forward: normalizes with batch statistics, returns them
+/// for the backward pass, and folds in the affine (gamma, beta).
+Tensor batch_norm_train(const Tensor& input, const Tensor& gamma,
+                        const Tensor& beta, BatchNormStats& stats,
+                        real_t eps = 1e-5f);
+
+/// Inference-mode forward with running statistics.
+Tensor batch_norm_infer(const Tensor& input, const Tensor& gamma,
+                        const Tensor& beta, const Tensor& running_mean,
+                        const Tensor& running_var, real_t eps = 1e-5f);
+
+struct BatchNormGrads {
+  Tensor grad_input;
+  Tensor grad_gamma;
+  Tensor grad_beta;
+};
+
+/// Backward through the training-mode forward.
+BatchNormGrads batch_norm_backward(const Tensor& grad_out,
+                                   const Tensor& input, const Tensor& gamma,
+                                   const BatchNormStats& stats);
+
+}  // namespace ccovid::ops

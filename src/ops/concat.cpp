@@ -1,0 +1,80 @@
+#include "ops/concat.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ccovid::ops {
+
+Tensor concat_channels(const std::vector<Tensor>& inputs) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("concat_channels: no inputs");
+  }
+  const Tensor& first = inputs.front();
+  if (first.rank() < 2) {
+    throw std::invalid_argument("concat_channels: rank must be >= 2");
+  }
+  index_t total_c = 0;
+  index_t spatial = 1;
+  for (int i = 2; i < first.rank(); ++i) spatial *= first.dim(i);
+  for (const Tensor& t : inputs) {
+    if (t.rank() != first.rank() || t.dim(0) != first.dim(0)) {
+      throw std::invalid_argument("concat_channels: batch/rank mismatch");
+    }
+    for (int i = 2; i < first.rank(); ++i) {
+      if (t.dim(i) != first.dim(i)) {
+        throw std::invalid_argument("concat_channels: spatial mismatch");
+      }
+    }
+    total_c += t.dim(1);
+  }
+  index_t dims[Shape::kMaxRank];
+  for (int i = 0; i < first.rank(); ++i) dims[i] = first.dim(i);
+  dims[1] = total_c;
+  Tensor out{Shape(dims, first.rank())};
+
+  const index_t n = first.dim(0);
+  real_t* op = out.data();
+  for (index_t ni = 0; ni < n; ++ni) {
+    index_t c_off = 0;
+    for (const Tensor& t : inputs) {
+      const index_t c = t.dim(1);
+      std::memcpy(op + (ni * total_c + c_off) * spatial,
+                  t.data() + ni * c * spatial,
+                  static_cast<std::size_t>(c * spatial) * sizeof(real_t));
+      c_off += c;
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor> split_channels(const Tensor& grad,
+                                   const std::vector<index_t>& channels) {
+  index_t total_c = 0;
+  for (index_t c : channels) total_c += c;
+  if (grad.rank() < 2 || grad.dim(1) != total_c) {
+    throw std::invalid_argument("split_channels: channel sum mismatch");
+  }
+  index_t spatial = 1;
+  for (int i = 2; i < grad.rank(); ++i) spatial *= grad.dim(i);
+  const index_t n = grad.dim(0);
+
+  std::vector<Tensor> outs;
+  outs.reserve(channels.size());
+  index_t c_off = 0;
+  for (index_t c : channels) {
+    index_t dims[Shape::kMaxRank];
+    for (int i = 0; i < grad.rank(); ++i) dims[i] = grad.dim(i);
+    dims[1] = c;
+    Tensor t{Shape(dims, grad.rank())};
+    for (index_t ni = 0; ni < n; ++ni) {
+      std::memcpy(t.data() + ni * c * spatial,
+                  grad.data() + (ni * total_c + c_off) * spatial,
+                  static_cast<std::size_t>(c * spatial) * sizeof(real_t));
+    }
+    outs.push_back(std::move(t));
+    c_off += c;
+  }
+  return outs;
+}
+
+}  // namespace ccovid::ops

@@ -1,0 +1,20 @@
+// Channel concatenation — the dense (local) and global shortcut
+// connections of DDnet are concatenations along dim 1 (§2.2.3).
+#pragma once
+
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace ccovid::ops {
+
+/// Concatenates along the channel dimension (dim 1). All inputs must
+/// agree on every other dimension.
+Tensor concat_channels(const std::vector<Tensor>& inputs);
+
+/// Splits a channel-dim gradient back into per-input gradients with the
+/// given channel counts.
+std::vector<Tensor> split_channels(const Tensor& grad,
+                                   const std::vector<index_t>& channels);
+
+}  // namespace ccovid::ops

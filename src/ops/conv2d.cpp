@@ -1,0 +1,334 @@
+#include "ops/conv2d.h"
+
+#include <stdexcept>
+
+#include "core/parallel.h"
+
+namespace ccovid::ops {
+
+namespace {
+
+void check_conv_args(const Tensor& input, const Tensor& weight,
+                     const Tensor& bias, const Conv2dParams& p) {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("conv2d: input must be NCHW, got " +
+                                input.shape().str());
+  }
+  if (weight.rank() != 4 || weight.dim(2) != weight.dim(3)) {
+    throw std::invalid_argument("conv2d: weight must be (Cout,Cin,K,K)");
+  }
+  if (input.dim(1) != weight.dim(1)) {
+    throw std::invalid_argument("conv2d: channel mismatch: input " +
+                                input.shape().str() + " weight " +
+                                weight.shape().str());
+  }
+  if (bias.defined() &&
+      (bias.rank() != 1 || bias.dim(0) != weight.dim(0))) {
+    throw std::invalid_argument("conv2d: bias must be (Cout)");
+  }
+  if (p.stride < 1) throw std::invalid_argument("conv2d: stride < 1");
+  if (p.pad < 0) throw std::invalid_argument("conv2d: negative pad");
+}
+
+// Fixed-K inner kernel; the compiler fully unrolls the K loops.
+template <int K>
+void conv_plane_unrolled(const real_t* CCOVID_RESTRICT in,  // (Cin,H,W)
+                         const real_t* CCOVID_RESTRICT w,   // (Cin,K,K)
+                         real_t* CCOVID_RESTRICT out,       // (Ho,Wo)
+                         index_t cin, index_t h, index_t wdt, index_t ho,
+                         index_t wo, index_t stride, index_t pad,
+                         real_t bias_v) {
+  for (index_t oy = 0; oy < ho; ++oy) {
+    for (index_t ox = 0; ox < wo; ++ox) {
+      real_t acc = bias_v;
+      const index_t iy0 = oy * stride - pad;
+      const index_t ix0 = ox * stride - pad;
+      for (index_t ci = 0; ci < cin; ++ci) {
+        const real_t* inp = in + ci * h * wdt;
+        const real_t* wp = w + ci * K * K;
+#pragma GCC unroll 8
+        for (int ky = 0; ky < K; ++ky) {
+          const index_t iy = iy0 + ky;
+          if (iy < 0 || iy >= h) continue;
+#pragma GCC unroll 8
+          for (int kx = 0; kx < K; ++kx) {
+            const index_t ix = ix0 + kx;
+            if (ix < 0 || ix >= wdt) continue;
+            acc += inp[iy * wdt + ix] * wp[ky * K + kx];
+          }
+        }
+      }
+      out[oy * wo + ox] = acc;
+    }
+  }
+}
+
+// Generic-K kernel with bounds cached in locals (the PF stage).
+void conv_plane_prefetched(const real_t* CCOVID_RESTRICT in,
+                           const real_t* CCOVID_RESTRICT w,
+                           real_t* CCOVID_RESTRICT out, index_t cin,
+                           index_t h, index_t wdt, index_t ho, index_t wo,
+                           index_t k, index_t stride, index_t pad,
+                           real_t bias_v) {
+  const index_t lh = h, lw = wdt, lk = k, ls = stride, lp = pad;
+  for (index_t oy = 0; oy < ho; ++oy) {
+    for (index_t ox = 0; ox < wo; ++ox) {
+      real_t acc = bias_v;
+      const index_t iy0 = oy * ls - lp;
+      const index_t ix0 = ox * ls - lp;
+      for (index_t ci = 0; ci < cin; ++ci) {
+        const real_t* inp = in + ci * lh * lw;
+        const real_t* wp = w + ci * lk * lk;
+        for (index_t ky = 0; ky < lk; ++ky) {
+          const index_t iy = iy0 + ky;
+          if (iy < 0 || iy >= lh) continue;
+          for (index_t kx = 0; kx < lk; ++kx) {
+            const index_t ix = ix0 + kx;
+            if (ix < 0 || ix >= lw) continue;
+            acc += inp[iy * lw + ix] * wp[ky * lk + kx];
+          }
+        }
+      }
+      out[oy * wo + ox] = acc;
+    }
+  }
+}
+
+// Baseline (no PF): every inner iteration re-reads the kernel parameters
+// through a volatile block, modeling the unoptimized OpenCL kernel that
+// fetches sizes from __global argument memory each time. Produces
+// identical results; only the parameter loads differ.
+struct VolatileBounds {
+  volatile index_t h, w, k, stride, pad;
+};
+
+void conv_plane_baseline(const real_t* in, const real_t* w, real_t* out,
+                         index_t cin, const VolatileBounds& b, index_t ho,
+                         index_t wo, real_t bias_v) {
+  for (index_t oy = 0; oy < ho; ++oy) {
+    for (index_t ox = 0; ox < wo; ++ox) {
+      real_t acc = bias_v;
+      for (index_t ci = 0; ci < cin; ++ci) {
+        for (index_t ky = 0; ky < b.k; ++ky) {
+          const index_t iy = oy * b.stride - b.pad + ky;
+          if (iy < 0 || iy >= b.h) continue;
+          for (index_t kx = 0; kx < b.k; ++kx) {
+            const index_t ix = ox * b.stride - b.pad + kx;
+            if (ix < 0 || ix >= b.w) continue;
+            acc += in[ci * b.h * b.w + iy * b.w + ix] *
+                   w[ci * b.k * b.k + ky * b.k + kx];
+          }
+        }
+      }
+      out[oy * wo + ox] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+index_t conv_out_extent(index_t in, index_t ksize, index_t stride,
+                        index_t pad) {
+  return (in + 2 * pad - ksize) / stride + 1;
+}
+
+Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              Conv2dParams p, const KernelOptions& opt) {
+  check_conv_args(input, weight, bias, p);
+  const index_t n = input.dim(0), cin = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  const index_t cout = weight.dim(0), k = weight.dim(2);
+  const index_t ho = conv_out_extent(h, k, p.stride, p.pad);
+  const index_t wo = conv_out_extent(w, k, p.stride, p.pad);
+  if (ho <= 0 || wo <= 0) {
+    throw std::invalid_argument("conv2d: non-positive output extent");
+  }
+  Tensor out({n, cout, ho, wo});
+
+  const real_t* ip = input.data();
+  const real_t* wp = weight.data();
+  const real_t* bp = bias.defined() ? bias.data() : nullptr;
+  real_t* op = out.data();
+
+  parallel_for(
+      0, n * cout,
+      [&](index_t job) {
+        const index_t ni = job / cout;
+        const index_t co = job % cout;
+        const real_t* in_n = ip + ni * cin * h * w;
+        const real_t* w_co = wp + co * cin * k * k;
+        real_t* out_p = op + (ni * cout + co) * ho * wo;
+        const real_t bias_v = bp ? bp[co] : 0.0f;
+        if (opt.unroll) {
+          switch (k) {
+            case 1:
+              conv_plane_unrolled<1>(in_n, w_co, out_p, cin, h, w, ho, wo,
+                                     p.stride, p.pad, bias_v);
+              return;
+            case 3:
+              conv_plane_unrolled<3>(in_n, w_co, out_p, cin, h, w, ho, wo,
+                                     p.stride, p.pad, bias_v);
+              return;
+            case 5:
+              conv_plane_unrolled<5>(in_n, w_co, out_p, cin, h, w, ho, wo,
+                                     p.stride, p.pad, bias_v);
+              return;
+            case 7:
+              conv_plane_unrolled<7>(in_n, w_co, out_p, cin, h, w, ho, wo,
+                                     p.stride, p.pad, bias_v);
+              return;
+            default:
+              break;  // fall through to the prefetched generic kernel
+          }
+        }
+        if (opt.prefetch || opt.unroll) {
+          conv_plane_prefetched(in_n, w_co, out_p, cin, h, w, ho, wo, k,
+                                p.stride, p.pad, bias_v);
+        } else {
+          const VolatileBounds b{h, w, k, p.stride, p.pad};
+          conv_plane_baseline(in_n, w_co, out_p, cin, b, ho, wo, bias_v);
+        }
+      },
+      /*grain=*/1);
+  return out;
+}
+
+Tensor conv2d_reference(const Tensor& input, const Tensor& weight,
+                        const Tensor& bias, Conv2dParams p) {
+  check_conv_args(input, weight, bias, p);
+  const index_t n = input.dim(0), cin = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  const index_t cout = weight.dim(0), k = weight.dim(2);
+  const index_t ho = conv_out_extent(h, k, p.stride, p.pad);
+  const index_t wo = conv_out_extent(w, k, p.stride, p.pad);
+  Tensor out({n, cout, ho, wo});
+  for (index_t ni = 0; ni < n; ++ni) {
+    for (index_t co = 0; co < cout; ++co) {
+      for (index_t oy = 0; oy < ho; ++oy) {
+        for (index_t ox = 0; ox < wo; ++ox) {
+          double acc = bias.defined() ? bias.at(co) : 0.0;
+          for (index_t ci = 0; ci < cin; ++ci) {
+            for (index_t ky = 0; ky < k; ++ky) {
+              for (index_t kx = 0; kx < k; ++kx) {
+                const index_t iy = oy * p.stride - p.pad + ky;
+                const index_t ix = ox * p.stride - p.pad + kx;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= w) continue;
+                acc += static_cast<double>(input.at(ni, ci, iy, ix)) *
+                       weight.at(co, ci, ky, kx);
+              }
+            }
+          }
+          out.at(ni, co, oy, ox) = static_cast<real_t>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor conv2d_backward_input(const Tensor& grad_out, const Tensor& weight,
+                             index_t input_h, index_t input_w,
+                             Conv2dParams p) {
+  const index_t n = grad_out.dim(0), cout = grad_out.dim(1),
+                ho = grad_out.dim(2), wo = grad_out.dim(3);
+  const index_t cin = weight.dim(1), k = weight.dim(2);
+  Tensor gin({n, cin, input_h, input_w});
+  const real_t* gp = grad_out.data();
+  const real_t* wp = weight.data();
+  real_t* op = gin.data();
+
+  // Gather form: each input pixel collects contributions from every
+  // output position whose receptive field covers it — race-free under
+  // (n, ci) parallelism.
+  parallel_for(
+      0, n * cin,
+      [&](index_t job) {
+        const index_t ni = job / cin;
+        const index_t ci = job % cin;
+        real_t* g = op + (ni * cin + ci) * input_h * input_w;
+        const real_t* go_n = gp + ni * cout * ho * wo;
+        for (index_t iy = 0; iy < input_h; ++iy) {
+          for (index_t ix = 0; ix < input_w; ++ix) {
+            real_t acc = 0.0f;
+            for (index_t ky = 0; ky < k; ++ky) {
+              const index_t oy_num = iy + p.pad - ky;
+              if (oy_num < 0 || oy_num % p.stride != 0) continue;
+              const index_t oy = oy_num / p.stride;
+              if (oy >= ho) continue;
+              for (index_t kx = 0; kx < k; ++kx) {
+                const index_t ox_num = ix + p.pad - kx;
+                if (ox_num < 0 || ox_num % p.stride != 0) continue;
+                const index_t ox = ox_num / p.stride;
+                if (ox >= wo) continue;
+                for (index_t co = 0; co < cout; ++co) {
+                  acc += go_n[(co * ho + oy) * wo + ox] *
+                         wp[((co * cin + ci) * k + ky) * k + kx];
+                }
+              }
+            }
+            g[iy * input_w + ix] = acc;
+          }
+        }
+      },
+      /*grain=*/1);
+  return gin;
+}
+
+Tensor conv2d_backward_weight(const Tensor& grad_out, const Tensor& input,
+                              index_t ksize, Conv2dParams p) {
+  const index_t n = grad_out.dim(0), cout = grad_out.dim(1),
+                ho = grad_out.dim(2), wo = grad_out.dim(3);
+  const index_t cin = input.dim(1), h = input.dim(2), w = input.dim(3);
+  Tensor gw({cout, cin, ksize, ksize});
+  const real_t* gp = grad_out.data();
+  const real_t* ip = input.data();
+  real_t* wp = gw.data();
+
+  parallel_for(
+      0, cout * cin,
+      [&](index_t job) {
+        const index_t co = job / cin;
+        const index_t ci = job % cin;
+        for (index_t ky = 0; ky < ksize; ++ky) {
+          for (index_t kx = 0; kx < ksize; ++kx) {
+            double acc = 0.0;
+            for (index_t ni = 0; ni < n; ++ni) {
+              const real_t* go = gp + (ni * cout + co) * ho * wo;
+              const real_t* in_p = ip + (ni * cin + ci) * h * w;
+              for (index_t oy = 0; oy < ho; ++oy) {
+                const index_t iy = oy * p.stride - p.pad + ky;
+                if (iy < 0 || iy >= h) continue;
+                for (index_t ox = 0; ox < wo; ++ox) {
+                  const index_t ix = ox * p.stride - p.pad + kx;
+                  if (ix < 0 || ix >= w) continue;
+                  acc += static_cast<double>(go[oy * wo + ox]) *
+                         in_p[iy * w + ix];
+                }
+              }
+            }
+            wp[((co * cin + ci) * ksize + ky) * ksize + kx] =
+                static_cast<real_t>(acc);
+          }
+        }
+      },
+      /*grain=*/1);
+  return gw;
+}
+
+Tensor conv2d_backward_bias(const Tensor& grad_out) {
+  const index_t n = grad_out.dim(0), cout = grad_out.dim(1),
+                hw = grad_out.dim(2) * grad_out.dim(3);
+  Tensor gb({cout});
+  const real_t* gp = grad_out.data();
+  for (index_t co = 0; co < cout; ++co) {
+    double acc = 0.0;
+    for (index_t ni = 0; ni < n; ++ni) {
+      const real_t* g = gp + (ni * cout + co) * hw;
+      for (index_t i = 0; i < hw; ++i) acc += g[i];
+    }
+    gb.at(co) = static_cast<real_t>(acc);
+  }
+  return gb;
+}
+
+}  // namespace ccovid::ops

@@ -1,0 +1,29 @@
+// 3-D convolution (NCDHW) — substrate for the 3-D DenseNet classifier
+// and the AH-Net-style segmenter (§2.3). Volumes are modest (the
+// classifier downsamples quickly), so a clear direct kernel is used.
+#pragma once
+
+#include "core/tensor.h"
+
+namespace ccovid::ops {
+
+struct Conv3dParams {
+  index_t stride = 1;
+  index_t pad = 0;
+
+  static Conv3dParams same(index_t ksize) { return {1, ksize / 2}; }
+};
+
+/// input (N, Cin, D, H, W), weight (Cout, Cin, K, K, K) cubic filters,
+/// bias (Cout) or undefined. Returns (N, Cout, Do, Ho, Wo).
+Tensor conv3d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              Conv3dParams p);
+
+Tensor conv3d_backward_input(const Tensor& grad_out, const Tensor& weight,
+                             index_t in_d, index_t in_h, index_t in_w,
+                             Conv3dParams p);
+Tensor conv3d_backward_weight(const Tensor& grad_out, const Tensor& input,
+                              index_t ksize, Conv3dParams p);
+Tensor conv3d_backward_bias(const Tensor& grad_out);
+
+}  // namespace ccovid::ops

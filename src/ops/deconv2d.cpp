@@ -1,0 +1,363 @@
+#include "ops/deconv2d.h"
+
+#include <stdexcept>
+
+#include "core/parallel.h"
+
+namespace ccovid::ops {
+
+namespace {
+
+void check_deconv_args(const Tensor& input, const Tensor& weight,
+                       const Tensor& bias, const Deconv2dParams& p) {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("deconv2d: input must be NCHW");
+  }
+  if (weight.rank() != 4 || weight.dim(2) != weight.dim(3)) {
+    throw std::invalid_argument("deconv2d: weight must be (Cin,Cout,K,K)");
+  }
+  if (input.dim(1) != weight.dim(0)) {
+    throw std::invalid_argument("deconv2d: channel mismatch: input " +
+                                input.shape().str() + " weight " +
+                                weight.shape().str());
+  }
+  if (bias.defined() &&
+      (bias.rank() != 1 || bias.dim(0) != weight.dim(1))) {
+    throw std::invalid_argument("deconv2d: bias must be (Cout)");
+  }
+  if (p.stride < 1) throw std::invalid_argument("deconv2d: stride < 1");
+  if (p.pad < 0) throw std::invalid_argument("deconv2d: negative pad");
+}
+
+// --- Scatter baseline (Fig. 9a) -------------------------------------
+//
+// For each input element, the partial products with every filter tap are
+// accumulated straight into the output buffer. The output plane is
+// touched K*K*Cin times per element — the "recurring load and store
+// operations" §4.2.1 identifies. Parallel over (n, co): each thread owns
+// one output plane, so the scatter is race-free.
+void deconv_scatter_plane(const real_t* CCOVID_RESTRICT in,  // (Cin,H,W)
+                          const real_t* CCOVID_RESTRICT w,   // (Cin,Cout,K,K)
+                          real_t* CCOVID_RESTRICT out,       // (Ho,Wo)
+                          index_t cin, index_t cout, index_t co, index_t h,
+                          index_t wdt, index_t ho, index_t wo, index_t k,
+                          index_t stride, index_t pad, real_t bias_v,
+                          bool prefetch) {
+  for (index_t i = 0; i < ho * wo; ++i) out[i] = bias_v;
+  if (prefetch) {
+    const index_t lh = h, lw = wdt, lk = k, ls = stride, lp = pad;
+    for (index_t ci = 0; ci < cin; ++ci) {
+      const real_t* inp = in + ci * lh * lw;
+      const real_t* wp = w + (ci * cout + co) * lk * lk;
+      for (index_t iy = 0; iy < lh; ++iy) {
+        for (index_t ix = 0; ix < lw; ++ix) {
+          const real_t v = inp[iy * lw + ix];
+          const index_t oy0 = iy * ls - lp;
+          const index_t ox0 = ix * ls - lp;
+          for (index_t ky = 0; ky < lk; ++ky) {
+            const index_t oy = oy0 + ky;
+            if (oy < 0 || oy >= ho) continue;
+            for (index_t kx = 0; kx < lk; ++kx) {
+              const index_t ox = ox0 + kx;
+              if (ox < 0 || ox >= wo) continue;
+              out[oy * wo + ox] += v * wp[ky * lk + kx];
+            }
+          }
+        }
+      }
+    }
+    return;
+  }
+  // No-PF flavor: bounds re-read through volatiles each iteration.
+  volatile index_t vh = h, vw = wdt, vk = k, vs = stride, vp = pad;
+  for (index_t ci = 0; ci < cin; ++ci) {
+    for (index_t iy = 0; iy < vh; ++iy) {
+      for (index_t ix = 0; ix < vw; ++ix) {
+        const real_t v = in[ci * vh * vw + iy * vw + ix];
+        for (index_t ky = 0; ky < vk; ++ky) {
+          const index_t oy = iy * vs - vp + ky;
+          if (oy < 0 || oy >= ho) continue;
+          for (index_t kx = 0; kx < vk; ++kx) {
+            const index_t ox = ix * vs - vp + kx;
+            if (ox < 0 || ox >= wo) continue;
+            out[oy * wo + ox] += v * w[(ci * cout + co) * vk * vk + ky * vk + kx];
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- Gather / inverse coefficient mapping (Fig. 9b) ------------------
+//
+// Each output element solves oy = iy*stride - pad + ky for iy, which
+// introduces the integer division + divisibility test the paper flags.
+void deconv_gather_plane(const real_t* CCOVID_RESTRICT in,
+                         const real_t* CCOVID_RESTRICT w,
+                         real_t* CCOVID_RESTRICT out, index_t cin,
+                         index_t cout, index_t co, index_t h, index_t wdt,
+                         index_t ho, index_t wo, index_t k, index_t stride,
+                         index_t pad, real_t bias_v) {
+  const index_t lh = h, lw = wdt, lk = k, ls = stride, lp = pad;
+  for (index_t oy = 0; oy < ho; ++oy) {
+    for (index_t ox = 0; ox < wo; ++ox) {
+      real_t acc = bias_v;
+      for (index_t ky = 0; ky < lk; ++ky) {
+        const index_t iy_num = oy + lp - ky;
+        if (iy_num < 0 || iy_num % ls != 0) continue;
+        const index_t iy = iy_num / ls;
+        if (iy >= lh) continue;
+        for (index_t kx = 0; kx < lk; ++kx) {
+          const index_t ix_num = ox + lp - kx;
+          if (ix_num < 0 || ix_num % ls != 0) continue;
+          const index_t ix = ix_num / ls;
+          if (ix >= lw) continue;
+          for (index_t ci = 0; ci < cin; ++ci) {
+            acc += in[ci * lh * lw + iy * lw + ix] *
+                   w[(ci * cout + co) * lk * lk + ky * lk + kx];
+          }
+        }
+      }
+      out[oy * wo + ox] = acc;
+    }
+  }
+}
+
+// Unrolled stride-1 gather for fixed K: index math collapses to plain
+// offsets — no division, no modulo ("vectorization ... reduces the count
+// of integer division operations", §5.1.3).
+template <int K>
+void deconv_gather_plane_s1(const real_t* CCOVID_RESTRICT in,
+                            const real_t* CCOVID_RESTRICT w,
+                            real_t* CCOVID_RESTRICT out, index_t cin,
+                            index_t cout, index_t co, index_t h,
+                            index_t wdt, index_t ho, index_t wo,
+                            index_t pad, real_t bias_v) {
+  for (index_t oy = 0; oy < ho; ++oy) {
+    for (index_t ox = 0; ox < wo; ++ox) {
+      real_t acc = bias_v;
+      for (index_t ci = 0; ci < cin; ++ci) {
+        const real_t* inp = in + ci * h * wdt;
+        const real_t* wp = w + (ci * cout + co) * K * K;
+#pragma GCC unroll 8
+        for (int ky = 0; ky < K; ++ky) {
+          const index_t iy = oy + pad - ky;
+          if (iy < 0 || iy >= h) continue;
+#pragma GCC unroll 8
+          for (int kx = 0; kx < K; ++kx) {
+            const index_t ix = ox + pad - kx;
+            if (ix < 0 || ix >= wdt) continue;
+            acc += inp[iy * wdt + ix] * wp[ky * K + kx];
+          }
+        }
+      }
+      out[oy * wo + ox] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+index_t deconv_out_extent(index_t in, index_t ksize, index_t stride,
+                          index_t pad) {
+  return (in - 1) * stride - 2 * pad + ksize;
+}
+
+Tensor deconv2d(const Tensor& input, const Tensor& weight,
+                const Tensor& bias, Deconv2dParams p,
+                const KernelOptions& opt) {
+  check_deconv_args(input, weight, bias, p);
+  const index_t n = input.dim(0), cin = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  const index_t cout = weight.dim(1), k = weight.dim(2);
+  const index_t ho = deconv_out_extent(h, k, p.stride, p.pad);
+  const index_t wo = deconv_out_extent(w, k, p.stride, p.pad);
+  if (ho <= 0 || wo <= 0) {
+    throw std::invalid_argument("deconv2d: non-positive output extent");
+  }
+  Tensor out({n, cout, ho, wo});
+
+  const real_t* ip = input.data();
+  const real_t* wp = weight.data();
+  const real_t* bp = bias.defined() ? bias.data() : nullptr;
+  real_t* op = out.data();
+
+  parallel_for(
+      0, n * cout,
+      [&](index_t job) {
+        const index_t ni = job / cout;
+        const index_t co = job % cout;
+        const real_t* in_n = ip + ni * cin * h * w;
+        real_t* out_p = op + (ni * cout + co) * ho * wo;
+        const real_t bias_v = bp ? bp[co] : 0.0f;
+        if (!opt.refactor) {
+          deconv_scatter_plane(in_n, wp, out_p, cin, cout, co, h, w, ho, wo,
+                               k, p.stride, p.pad, bias_v,
+                               opt.prefetch || opt.unroll);
+          return;
+        }
+        if (opt.unroll && p.stride == 1) {
+          switch (k) {
+            case 1:
+              deconv_gather_plane_s1<1>(in_n, wp, out_p, cin, cout, co, h, w,
+                                        ho, wo, p.pad, bias_v);
+              return;
+            case 3:
+              deconv_gather_plane_s1<3>(in_n, wp, out_p, cin, cout, co, h, w,
+                                        ho, wo, p.pad, bias_v);
+              return;
+            case 5:
+              deconv_gather_plane_s1<5>(in_n, wp, out_p, cin, cout, co, h, w,
+                                        ho, wo, p.pad, bias_v);
+              return;
+            default:
+              break;
+          }
+        }
+        deconv_gather_plane(in_n, wp, out_p, cin, cout, co, h, w, ho, wo, k,
+                            p.stride, p.pad, bias_v);
+      },
+      /*grain=*/1);
+  return out;
+}
+
+Tensor deconv2d_reference(const Tensor& input, const Tensor& weight,
+                          const Tensor& bias, Deconv2dParams p) {
+  check_deconv_args(input, weight, bias, p);
+  const index_t n = input.dim(0), cin = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  const index_t cout = weight.dim(1), k = weight.dim(2);
+  const index_t ho = deconv_out_extent(h, k, p.stride, p.pad);
+  const index_t wo = deconv_out_extent(w, k, p.stride, p.pad);
+  Tensor out({n, cout, ho, wo});
+  for (index_t ni = 0; ni < n; ++ni) {
+    for (index_t co = 0; co < cout; ++co) {
+      for (index_t oy = 0; oy < ho; ++oy) {
+        for (index_t ox = 0; ox < wo; ++ox) {
+          double acc = bias.defined() ? bias.at(co) : 0.0;
+          for (index_t ci = 0; ci < cin; ++ci) {
+            for (index_t ky = 0; ky < k; ++ky) {
+              const index_t iy_num = oy + p.pad - ky;
+              if (iy_num < 0 || iy_num % p.stride != 0) continue;
+              const index_t iy = iy_num / p.stride;
+              if (iy >= h) continue;
+              for (index_t kx = 0; kx < k; ++kx) {
+                const index_t ix_num = ox + p.pad - kx;
+                if (ix_num < 0 || ix_num % p.stride != 0) continue;
+                const index_t ix = ix_num / p.stride;
+                if (ix >= w) continue;
+                acc += static_cast<double>(input.at(ni, ci, iy, ix)) *
+                       weight.at(ci, co, ky, kx);
+              }
+            }
+          }
+          out.at(ni, co, oy, ox) = static_cast<real_t>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor deconv2d_backward_input(const Tensor& grad_out, const Tensor& weight,
+                               Deconv2dParams p) {
+  // d(deconv)/d(input): gin[iy,ix] = sum_{co,ky,kx} gout[iy*s - pad + ky]
+  // * w[ci,co,ky,kx] — a direct correlation of grad_out with the weights.
+  const index_t n = grad_out.dim(0), cout = grad_out.dim(1),
+                ho = grad_out.dim(2), wo = grad_out.dim(3);
+  const index_t cin = weight.dim(0), k = weight.dim(2);
+  const index_t h = (ho + 2 * p.pad - k) / p.stride + 1;
+  const index_t w = (wo + 2 * p.pad - k) / p.stride + 1;
+  Tensor gin({n, cin, h, w});
+  const real_t* gp = grad_out.data();
+  const real_t* wp = weight.data();
+  real_t* op = gin.data();
+
+  parallel_for(
+      0, n * cin,
+      [&](index_t job) {
+        const index_t ni = job / cin;
+        const index_t ci = job % cin;
+        real_t* g = op + (ni * cin + ci) * h * w;
+        const real_t* go_n = gp + ni * cout * ho * wo;
+        for (index_t iy = 0; iy < h; ++iy) {
+          for (index_t ix = 0; ix < w; ++ix) {
+            real_t acc = 0.0f;
+            for (index_t ky = 0; ky < k; ++ky) {
+              const index_t oy = iy * p.stride - p.pad + ky;
+              if (oy < 0 || oy >= ho) continue;
+              for (index_t kx = 0; kx < k; ++kx) {
+                const index_t ox = ix * p.stride - p.pad + kx;
+                if (ox < 0 || ox >= wo) continue;
+                for (index_t co = 0; co < cout; ++co) {
+                  acc += go_n[(co * ho + oy) * wo + ox] *
+                         wp[((ci * cout + co) * k + ky) * k + kx];
+                }
+              }
+            }
+            g[iy * w + ix] = acc;
+          }
+        }
+      },
+      /*grain=*/1);
+  return gin;
+}
+
+Tensor deconv2d_backward_weight(const Tensor& grad_out, const Tensor& input,
+                                index_t ksize, Deconv2dParams p) {
+  const index_t n = grad_out.dim(0), cout = grad_out.dim(1),
+                ho = grad_out.dim(2), wo = grad_out.dim(3);
+  const index_t cin = input.dim(1), h = input.dim(2), w = input.dim(3);
+  Tensor gw({cin, cout, ksize, ksize});
+  const real_t* gp = grad_out.data();
+  const real_t* ip = input.data();
+  real_t* wp = gw.data();
+
+  parallel_for(
+      0, cin * cout,
+      [&](index_t job) {
+        const index_t ci = job / cout;
+        const index_t co = job % cout;
+        for (index_t ky = 0; ky < ksize; ++ky) {
+          for (index_t kx = 0; kx < ksize; ++kx) {
+            double acc = 0.0;
+            for (index_t ni = 0; ni < n; ++ni) {
+              const real_t* go = gp + (ni * cout + co) * ho * wo;
+              const real_t* in_p = ip + (ni * cin + ci) * h * w;
+              for (index_t iy = 0; iy < h; ++iy) {
+                const index_t oy = iy * p.stride - p.pad + ky;
+                if (oy < 0 || oy >= ho) continue;
+                for (index_t ix = 0; ix < w; ++ix) {
+                  const index_t ox = ix * p.stride - p.pad + kx;
+                  if (ox < 0 || ox >= wo) continue;
+                  acc += static_cast<double>(in_p[iy * w + ix]) *
+                         go[oy * wo + ox];
+                }
+              }
+            }
+            wp[((ci * cout + co) * ksize + ky) * ksize + kx] =
+                static_cast<real_t>(acc);
+          }
+        }
+      },
+      /*grain=*/1);
+  return gw;
+}
+
+Tensor deconv2d_backward_bias(const Tensor& grad_out) {
+  const index_t n = grad_out.dim(0), cout = grad_out.dim(1),
+                hw = grad_out.dim(2) * grad_out.dim(3);
+  Tensor gb({cout});
+  const real_t* gp = grad_out.data();
+  for (index_t co = 0; co < cout; ++co) {
+    double acc = 0.0;
+    for (index_t ni = 0; ni < n; ++ni) {
+      const real_t* g = gp + (ni * cout + co) * hw;
+      for (index_t i = 0; i < hw; ++i) acc += g[i];
+    }
+    gb.at(co) = static_cast<real_t>(acc);
+  }
+  return gb;
+}
+
+}  // namespace ccovid::ops

@@ -1,0 +1,222 @@
+#include "ops/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/parallel.h"
+
+namespace ccovid::ops {
+
+namespace {
+
+// Cache block sizes: the B panel (kKc x kNc floats) stays L1/L2
+// resident while a block row of A streams through.
+constexpr index_t kMc = 64;
+constexpr index_t kKc = 256;
+constexpr index_t kNc = 256;
+
+// 4x8 register-tiled micro kernel over a K-slice.
+void micro_kernel_4x8(const real_t* CCOVID_RESTRICT a, index_t lda,
+                      const real_t* CCOVID_RESTRICT b, index_t ldb,
+                      real_t* CCOVID_RESTRICT c, index_t ldc,
+                      index_t kc) {
+  real_t acc[4][8] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const real_t b0 = b[p * ldb + 0], b1 = b[p * ldb + 1];
+    const real_t b2 = b[p * ldb + 2], b3 = b[p * ldb + 3];
+    const real_t b4 = b[p * ldb + 4], b5 = b[p * ldb + 5];
+    const real_t b6 = b[p * ldb + 6], b7 = b[p * ldb + 7];
+#pragma GCC unroll 4
+    for (int i = 0; i < 4; ++i) {
+      const real_t ai = a[i * lda + p];
+      acc[i][0] += ai * b0;
+      acc[i][1] += ai * b1;
+      acc[i][2] += ai * b2;
+      acc[i][3] += ai * b3;
+      acc[i][4] += ai * b4;
+      acc[i][5] += ai * b5;
+      acc[i][6] += ai * b6;
+      acc[i][7] += ai * b7;
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 8; ++j) c[i * ldc + j] += acc[i][j];
+  }
+}
+
+// Scalar edge kernel for remainder tiles.
+void edge_kernel(const real_t* a, index_t lda, const real_t* b,
+                 index_t ldb, real_t* c, index_t ldc, index_t mr,
+                 index_t nr, index_t kc) {
+  for (index_t i = 0; i < mr; ++i) {
+    for (index_t j = 0; j < nr; ++j) {
+      real_t acc = 0.0f;
+      for (index_t p = 0; p < kc; ++p) {
+        acc += a[i * lda + p] * b[p * ldb + j];
+      }
+      c[i * ldc + j] += acc;
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm(const real_t* a, const real_t* b, real_t* c, index_t m,
+           index_t k, index_t n) {
+  std::fill_n(c, m * n, 0.0f);
+  // Parallelize across independent row blocks of C.
+  const index_t row_blocks = (m + kMc - 1) / kMc;
+  parallel_for(
+      0, row_blocks,
+      [&](index_t rb) {
+        const index_t i0 = rb * kMc;
+        const index_t i1 = std::min(m, i0 + kMc);
+        for (index_t p0 = 0; p0 < k; p0 += kKc) {
+          const index_t p1 = std::min(k, p0 + kKc);
+          for (index_t j0 = 0; j0 < n; j0 += kNc) {
+            const index_t j1 = std::min(n, j0 + kNc);
+            // Tile the (i0..i1, j0..j1) block with 4x8 micro tiles.
+            index_t i = i0;
+            for (; i + 4 <= i1; i += 4) {
+              index_t j = j0;
+              for (; j + 8 <= j1; j += 8) {
+                micro_kernel_4x8(a + i * k + p0, k, b + p0 * n + j, n,
+                                 c + i * n + j, n, p1 - p0);
+              }
+              if (j < j1) {
+                edge_kernel(a + i * k + p0, k, b + p0 * n + j, n,
+                            c + i * n + j, n, 4, j1 - j, p1 - p0);
+              }
+            }
+            if (i < i1) {
+              edge_kernel(a + i * k + p0, k, b + p0 * n + j0, n,
+                          c + i * n + j0, n, i1 - i, j1 - j0, p1 - p0);
+            }
+          }
+        }
+      },
+      /*grain=*/1);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
+    throw std::invalid_argument("matmul: shapes " + a.shape().str() +
+                                " x " + b.shape().str());
+  }
+  Tensor c({a.dim(0), b.dim(1)});
+  sgemm(a.data(), b.data(), c.data(), a.dim(0), a.dim(1), b.dim(1));
+  return c;
+}
+
+Tensor im2col(const Tensor& input, index_t ksize, Conv2dParams p) {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("im2col: input must be NCHW");
+  }
+  const index_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  const index_t ho = conv_out_extent(h, ksize, p.stride, p.pad);
+  const index_t wo = conv_out_extent(w, ksize, p.stride, p.pad);
+  Tensor cols({n, c * ksize * ksize, ho * wo});
+  const real_t* ip = input.data();
+  real_t* op = cols.data();
+  parallel_for(
+      0, n * c,
+      [&](index_t job) {
+        const index_t ni = job / c;
+        const index_t ci = job % c;
+        const real_t* in_p = ip + (ni * c + ci) * h * w;
+        for (index_t ky = 0; ky < ksize; ++ky) {
+          for (index_t kx = 0; kx < ksize; ++kx) {
+            real_t* row = op + (ni * c * ksize * ksize +
+                                (ci * ksize + ky) * ksize + kx) *
+                                   ho * wo;
+            for (index_t oy = 0; oy < ho; ++oy) {
+              const index_t iy = oy * p.stride - p.pad + ky;
+              for (index_t ox = 0; ox < wo; ++ox) {
+                const index_t ix = ox * p.stride - p.pad + kx;
+                row[oy * wo + ox] =
+                    (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                        ? in_p[iy * w + ix]
+                        : 0.0f;
+              }
+            }
+          }
+        }
+      },
+      /*grain=*/1);
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, index_t channels, index_t h, index_t w,
+              index_t ksize, Conv2dParams p) {
+  const index_t n = cols.dim(0);
+  const index_t ho = conv_out_extent(h, ksize, p.stride, p.pad);
+  const index_t wo = conv_out_extent(w, ksize, p.stride, p.pad);
+  if (cols.dim(1) != channels * ksize * ksize ||
+      cols.dim(2) != ho * wo) {
+    throw std::invalid_argument("col2im: column shape mismatch");
+  }
+  Tensor img({n, channels, h, w});
+  const real_t* ip = cols.data();
+  real_t* op = img.data();
+  parallel_for(
+      0, n * channels,
+      [&](index_t job) {
+        const index_t ni = job / channels;
+        const index_t ci = job % channels;
+        real_t* out_p = op + (ni * channels + ci) * h * w;
+        for (index_t ky = 0; ky < ksize; ++ky) {
+          for (index_t kx = 0; kx < ksize; ++kx) {
+            const real_t* row =
+                ip + (ni * channels * ksize * ksize +
+                      (ci * ksize + ky) * ksize + kx) *
+                         ho * wo;
+            for (index_t oy = 0; oy < ho; ++oy) {
+              const index_t iy = oy * p.stride - p.pad + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (index_t ox = 0; ox < wo; ++ox) {
+                const index_t ix = ox * p.stride - p.pad + kx;
+                if (ix < 0 || ix >= w) continue;
+                out_p[iy * w + ix] += row[oy * wo + ox];
+              }
+            }
+          }
+        }
+      },
+      /*grain=*/1);
+  return img;
+}
+
+Tensor conv2d_gemm(const Tensor& input, const Tensor& weight,
+                   const Tensor& bias, Conv2dParams p) {
+  if (weight.rank() != 4 || weight.dim(1) != input.dim(1)) {
+    throw std::invalid_argument("conv2d_gemm: weight shape mismatch");
+  }
+  const index_t n = input.dim(0), cout = weight.dim(0),
+                k = weight.dim(2);
+  const index_t ho = conv_out_extent(input.dim(2), k, p.stride, p.pad);
+  const index_t wo = conv_out_extent(input.dim(3), k, p.stride, p.pad);
+  const index_t patch = input.dim(1) * k * k;
+
+  const Tensor cols = im2col(input, k, p);
+  Tensor out({n, cout, ho, wo});
+  for (index_t ni = 0; ni < n; ++ni) {
+    // (Cout x patch) @ (patch x Ho*Wo).
+    sgemm(weight.data(), cols.data() + ni * patch * ho * wo,
+          out.data() + ni * cout * ho * wo, cout, patch, ho * wo);
+  }
+  if (bias.defined()) {
+    real_t* op = out.data();
+    for (index_t ni = 0; ni < n; ++ni) {
+      for (index_t co = 0; co < cout; ++co) {
+        const real_t b = bias.at(co);
+        real_t* plane = op + (ni * cout + co) * ho * wo;
+        for (index_t i = 0; i < ho * wo; ++i) plane[i] += b;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ccovid::ops

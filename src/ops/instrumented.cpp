@@ -1,0 +1,202 @@
+#include "ops/instrumented.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ccovid::ops {
+
+namespace {
+
+using u64 = std::uint64_t;
+
+// Number of in-bounds taps per output coordinate along one dimension for
+// a gather loop: tap ky is valid iff 0 <= o*stride - pad + ky < extent.
+std::vector<u64> gather_valid_counts(index_t out_extent, index_t in_extent,
+                                     index_t k, index_t stride,
+                                     index_t pad) {
+  std::vector<u64> v(static_cast<std::size_t>(out_extent), 0);
+  for (index_t o = 0; o < out_extent; ++o) {
+    u64 c = 0;
+    for (index_t kk = 0; kk < k; ++kk) {
+      const index_t i = o * stride - pad + kk;
+      if (i >= 0 && i < in_extent) ++c;
+    }
+    v[static_cast<std::size_t>(o)] = c;
+  }
+  return v;
+}
+
+// For transposed-conv gather: tap valid iff (o + pad - kk) divisible by
+// stride and quotient within the input.
+std::vector<u64> deconv_gather_valid_counts(index_t out_extent,
+                                            index_t in_extent, index_t k,
+                                            index_t stride, index_t pad) {
+  std::vector<u64> v(static_cast<std::size_t>(out_extent), 0);
+  for (index_t o = 0; o < out_extent; ++o) {
+    u64 c = 0;
+    for (index_t kk = 0; kk < k; ++kk) {
+      const index_t num = o + pad - kk;
+      if (num < 0 || num % stride != 0) continue;
+      if (num / stride < in_extent) ++c;
+    }
+    v[static_cast<std::size_t>(o)] = c;
+  }
+  return v;
+}
+
+u64 sum(const std::vector<u64>& v) {
+  u64 s = 0;
+  for (u64 x : v) s += x;
+  return s;
+}
+
+}  // namespace
+
+OpCounters count_conv2d(index_t n, index_t cin, index_t h, index_t w,
+                        index_t cout, index_t k, Conv2dParams p) {
+  const index_t ho = conv_out_extent(h, k, p.stride, p.pad);
+  const index_t wo = conv_out_extent(w, k, p.stride, p.pad);
+  const auto vy = gather_valid_counts(ho, h, k, p.stride, p.pad);
+  const auto vx = gather_valid_counts(wo, w, k, p.stride, p.pad);
+  // Taps per plane are separable: sum_oy sum_ox vy*vx = sum(vy)*sum(vx).
+  const u64 taps_plane = sum(vy) * sum(vx);
+  const u64 taps = static_cast<u64>(n * cout * cin) * taps_plane;
+  OpCounters c;
+  c.global_loads = 2 * taps;  // input element + weight per tap
+  c.global_stores = static_cast<u64>(n * cout * ho * wo);
+  c.flops = 2 * taps;  // multiply + accumulate
+  return c;
+}
+
+OpCounters count_deconv2d_gather(index_t n, index_t cin, index_t h,
+                                 index_t w, index_t cout, index_t k,
+                                 Deconv2dParams p) {
+  const index_t ho = deconv_out_extent(h, k, p.stride, p.pad);
+  const index_t wo = deconv_out_extent(w, k, p.stride, p.pad);
+  const auto vy = deconv_gather_valid_counts(ho, h, k, p.stride, p.pad);
+  const auto vx = deconv_gather_valid_counts(wo, w, k, p.stride, p.pad);
+  const u64 taps = static_cast<u64>(n * cout * cin) * sum(vy) * sum(vx);
+  OpCounters c;
+  c.global_loads = 2 * taps;
+  c.global_stores = static_cast<u64>(n * cout * ho * wo);
+  c.flops = 2 * taps;
+  return c;
+}
+
+OpCounters count_deconv2d_scatter(index_t n, index_t cin, index_t h,
+                                  index_t w, index_t cout, index_t k,
+                                  Deconv2dParams p) {
+  const index_t ho = deconv_out_extent(h, k, p.stride, p.pad);
+  const index_t wo = deconv_out_extent(w, k, p.stride, p.pad);
+  // Scatter taps: for input coordinate i, tap kk lands in-bounds iff
+  // 0 <= i*stride - pad + kk < out_extent — same structure as a gather
+  // over the *input* index space against the output extent.
+  const auto vy = gather_valid_counts(h, ho, k, p.stride, p.pad);
+  const auto vx = gather_valid_counts(w, wo, k, p.stride, p.pad);
+  const u64 taps = static_cast<u64>(n * cout * cin) * sum(vy) * sum(vx);
+  OpCounters c;
+  // Each (co, ci) pass re-reads every input element once; each tap reads
+  // the weight and read-modify-writes the output partial sum.
+  c.global_loads = static_cast<u64>(n * cout * cin * h * w)  // input
+                   + taps                                    // weights
+                   + taps;                                   // output RMW read
+  c.global_stores = taps + static_cast<u64>(n * cout * ho * wo);  // + init
+  c.flops = 2 * taps;
+  return c;
+}
+
+OpCounters count_max_pool2d(index_t n, index_t c, index_t h, index_t w,
+                            Pool2dParams p) {
+  const index_t ho = (h + 2 * p.pad - p.ksize) / p.stride + 1;
+  const index_t wo = (w + 2 * p.pad - p.ksize) / p.stride + 1;
+  const auto vy = gather_valid_counts(ho, h, p.ksize, p.stride, p.pad);
+  const auto vx = gather_valid_counts(wo, w, p.ksize, p.stride, p.pad);
+  const u64 taps = static_cast<u64>(n * c) * sum(vy) * sum(vx);
+  OpCounters cnt;
+  cnt.global_loads = taps;
+  cnt.global_stores = static_cast<u64>(n * c * ho * wo);
+  cnt.flops = 0;  // comparisons are not counted (Table 6 convention)
+  return cnt;
+}
+
+OpCounters count_unpool2d(index_t n, index_t c, index_t h, index_t w,
+                          index_t scale) {
+  const u64 outs = static_cast<u64>(n * c * h * scale * w * scale);
+  OpCounters cnt;
+  cnt.global_loads = 4 * outs;
+  cnt.global_stores = outs;
+  cnt.flops = 7 * outs;  // 4 weighted products + 3 adds
+  return cnt;
+}
+
+OpCounters count_leaky_relu(index_t numel) {
+  OpCounters cnt;
+  cnt.global_loads = static_cast<u64>(numel);
+  cnt.global_stores = static_cast<u64>(numel);
+  cnt.flops = static_cast<u64>(numel);
+  return cnt;
+}
+
+OpCounters count_batch_norm(index_t n, index_t c, index_t spatial) {
+  const u64 elems = static_cast<u64>(n * c * spatial);
+  OpCounters cnt;
+  cnt.global_loads = elems + static_cast<u64>(4 * c);  // x + per-ch params
+  cnt.global_stores = elems;
+  cnt.flops = 2 * elems + static_cast<u64>(5 * c);  // scale*x+shift + prep
+  return cnt;
+}
+
+OpCounters count_conv2d_bruteforce(index_t n, index_t cin, index_t h,
+                                   index_t w, index_t cout, index_t k,
+                                   Conv2dParams p) {
+  const index_t ho = conv_out_extent(h, k, p.stride, p.pad);
+  const index_t wo = conv_out_extent(w, k, p.stride, p.pad);
+  OpCounters c;
+  for (index_t oy = 0; oy < ho; ++oy) {
+    for (index_t ox = 0; ox < wo; ++ox) {
+      for (index_t ky = 0; ky < k; ++ky) {
+        const index_t iy = oy * p.stride - p.pad + ky;
+        if (iy < 0 || iy >= h) continue;
+        for (index_t kx = 0; kx < k; ++kx) {
+          const index_t ix = ox * p.stride - p.pad + kx;
+          if (ix < 0 || ix >= w) continue;
+          c.global_loads += 2;
+          c.flops += 2;
+        }
+      }
+    }
+  }
+  c.global_loads *= static_cast<u64>(n * cout * cin);
+  c.flops *= static_cast<u64>(n * cout * cin);
+  c.global_stores = static_cast<u64>(n * cout * ho * wo);
+  return c;
+}
+
+OpCounters count_deconv2d_gather_bruteforce(index_t n, index_t cin,
+                                            index_t h, index_t w,
+                                            index_t cout, index_t k,
+                                            Deconv2dParams p) {
+  const index_t ho = deconv_out_extent(h, k, p.stride, p.pad);
+  const index_t wo = deconv_out_extent(w, k, p.stride, p.pad);
+  OpCounters c;
+  for (index_t oy = 0; oy < ho; ++oy) {
+    for (index_t ox = 0; ox < wo; ++ox) {
+      for (index_t ky = 0; ky < k; ++ky) {
+        const index_t ny = oy + p.pad - ky;
+        if (ny < 0 || ny % p.stride != 0 || ny / p.stride >= h) continue;
+        for (index_t kx = 0; kx < k; ++kx) {
+          const index_t nx = ox + p.pad - kx;
+          if (nx < 0 || nx % p.stride != 0 || nx / p.stride >= w) continue;
+          c.global_loads += 2;
+          c.flops += 2;
+        }
+      }
+    }
+  }
+  c.global_loads *= static_cast<u64>(n * cout * cin);
+  c.flops *= static_cast<u64>(n * cout * cin);
+  c.global_stores = static_cast<u64>(n * cout * ho * wo);
+  return c;
+}
+
+}  // namespace ccovid::ops

@@ -1,0 +1,68 @@
+// Exact operation counting for Table 6.
+//
+// The paper footnotes Table 6 with "the number of floating-point
+// operations and memory accesses is obtained by implementing counters in
+// each kernel". These functions reproduce that: each one walks the same
+// index space as its kernel and tallies, per in-bounds filter tap, the
+// global loads, global stores and floating-point operations the kernel
+// performs. Boundary handling is exact (padding taps that are skipped by
+// the kernel are not counted). Interior/edge structure is separable, so
+// the walk is O(H + W) per plane rather than O(H * W * K * K).
+//
+// Counting conventions (matching the paper's):
+//   * a "load"/"store" is one float read/written from/to tensor storage;
+//   * a flop is one FP multiply, add, or compare-with-select;
+//   * max-pooling contributes 0 flops (comparisons only), as in Table 6;
+//   * integer index arithmetic is never counted.
+#pragma once
+
+#include "core/counters.h"
+#include "core/tensor.h"
+#include "ops/conv2d.h"
+#include "ops/deconv2d.h"
+#include "ops/pool2d.h"
+
+namespace ccovid::ops {
+
+/// Gather-style direct convolution (the library's conv2d).
+OpCounters count_conv2d(index_t n, index_t cin, index_t h, index_t w,
+                        index_t cout, index_t k, Conv2dParams p);
+
+/// Refactored (gather) deconvolution.
+OpCounters count_deconv2d_gather(index_t n, index_t cin, index_t h,
+                                 index_t w, index_t cout, index_t k,
+                                 Deconv2dParams p);
+
+/// Baseline (scatter) deconvolution with global-memory partial sums; the
+/// extra output-plane read-modify-write traffic is what REF removes.
+OpCounters count_deconv2d_scatter(index_t n, index_t cin, index_t h,
+                                  index_t w, index_t cout, index_t k,
+                                  Deconv2dParams p);
+
+/// Max pooling (0 flops per the paper's convention).
+OpCounters count_max_pool2d(index_t n, index_t c, index_t h, index_t w,
+                            Pool2dParams p);
+
+/// Bilinear un-pooling: 4 loads, 1 store, 7 flops per output element
+/// (4 muls + 3 adds).
+OpCounters count_unpool2d(index_t n, index_t c, index_t h, index_t w,
+                          index_t scale);
+
+/// Leaky-ReLU: 1 load, 1 store, 1 flop per element.
+OpCounters count_leaky_relu(index_t numel);
+
+/// Inference batch normalization: 1 load, 1 store, 2 flops per element
+/// plus the per-channel scale/shift preparation (5 flops, 4 loads).
+OpCounters count_batch_norm(index_t n, index_t c, index_t spatial);
+
+/// Brute-force tap-walking versions used by tests to validate the
+/// separable fast counts above. O(output * K * K); keep shapes small.
+OpCounters count_conv2d_bruteforce(index_t n, index_t cin, index_t h,
+                                   index_t w, index_t cout, index_t k,
+                                   Conv2dParams p);
+OpCounters count_deconv2d_gather_bruteforce(index_t n, index_t cin,
+                                            index_t h, index_t w,
+                                            index_t cout, index_t k,
+                                            Deconv2dParams p);
+
+}  // namespace ccovid::ops

@@ -1,0 +1,39 @@
+// Kernel optimization flags mirroring §4.2 of the paper.
+//
+// The paper's ablation (Table 7) times the full DDnet under four
+// cumulative configurations: Baseline, +REF (deconvolution refactoring
+// via inverse coefficient mapping), +PF (memory prefetching of loop
+// bounds), +LU (loop unrolling of the multiply-add loop by the filter
+// size). Every configuration is a real, separately implemented code path
+// here, selected at run time.
+#pragma once
+
+#include <string>
+
+namespace ccovid::ops {
+
+struct KernelOptions {
+  /// Gather-style deconvolution (inverse coefficient mapping, Fig. 9b)
+  /// instead of the scatter baseline with global-memory partial sums
+  /// (Fig. 9a).
+  bool refactor = true;
+  /// Cache loop bounds / filter parameters in locals before the hot loop.
+  bool prefetch = true;
+  /// Fully unroll the multiply-add loop for the 5x5 and 1x1 filter sizes.
+  bool unroll = true;
+
+  static KernelOptions baseline() { return {false, false, false}; }
+  static KernelOptions refactored() { return {true, false, false}; }
+  static KernelOptions refactored_prefetch() { return {true, true, false}; }
+  static KernelOptions all() { return {true, true, true}; }
+
+  std::string str() const {
+    std::string s = "baseline";
+    if (refactor) s += "+REF";
+    if (prefetch) s += "+PF";
+    if (unroll) s += "+LU";
+    return s;
+  }
+};
+
+}  // namespace ccovid::ops

@@ -1,0 +1,90 @@
+#include "ops/linear.h"
+
+#include <stdexcept>
+
+#include "core/parallel.h"
+
+namespace ccovid::ops {
+
+Tensor linear(const Tensor& input, const Tensor& weight,
+              const Tensor& bias) {
+  if (input.rank() != 2 || weight.rank() != 2 ||
+      input.dim(1) != weight.dim(1)) {
+    throw std::invalid_argument("linear: shapes " + input.shape().str() +
+                                " x " + weight.shape().str());
+  }
+  const index_t n = input.dim(0), in_f = input.dim(1), out_f = weight.dim(0);
+  if (bias.defined() && (bias.rank() != 1 || bias.dim(0) != out_f)) {
+    throw std::invalid_argument("linear: bias must be (Out)");
+  }
+  Tensor out({n, out_f});
+  const real_t* ip = input.data();
+  const real_t* wp = weight.data();
+  const real_t* bp = bias.defined() ? bias.data() : nullptr;
+  real_t* op = out.data();
+  parallel_for(
+      0, n,
+      [&](index_t ni) {
+        const real_t* x = ip + ni * in_f;
+        real_t* y = op + ni * out_f;
+        for (index_t o = 0; o < out_f; ++o) {
+          const real_t* w = wp + o * in_f;
+          real_t acc = bp ? bp[o] : 0.0f;
+          for (index_t i = 0; i < in_f; ++i) acc += x[i] * w[i];
+          y[o] = acc;
+        }
+      },
+      /*grain=*/1);
+  return out;
+}
+
+Tensor linear_backward_input(const Tensor& grad_out, const Tensor& weight) {
+  const index_t n = grad_out.dim(0), out_f = grad_out.dim(1),
+                in_f = weight.dim(1);
+  Tensor gin({n, in_f});
+  const real_t* gp = grad_out.data();
+  const real_t* wp = weight.data();
+  real_t* op = gin.data();
+  for (index_t ni = 0; ni < n; ++ni) {
+    const real_t* dy = gp + ni * out_f;
+    real_t* dx = op + ni * in_f;
+    for (index_t o = 0; o < out_f; ++o) {
+      const real_t g = dy[o];
+      const real_t* w = wp + o * in_f;
+      for (index_t i = 0; i < in_f; ++i) dx[i] += g * w[i];
+    }
+  }
+  return gin;
+}
+
+Tensor linear_backward_weight(const Tensor& grad_out, const Tensor& input) {
+  const index_t n = grad_out.dim(0), out_f = grad_out.dim(1),
+                in_f = input.dim(1);
+  Tensor gw({out_f, in_f});
+  const real_t* gp = grad_out.data();
+  const real_t* ip = input.data();
+  real_t* wp = gw.data();
+  for (index_t ni = 0; ni < n; ++ni) {
+    const real_t* dy = gp + ni * out_f;
+    const real_t* x = ip + ni * in_f;
+    for (index_t o = 0; o < out_f; ++o) {
+      const real_t g = dy[o];
+      real_t* w = wp + o * in_f;
+      for (index_t i = 0; i < in_f; ++i) w[i] += g * x[i];
+    }
+  }
+  return gw;
+}
+
+Tensor linear_backward_bias(const Tensor& grad_out) {
+  const index_t n = grad_out.dim(0), out_f = grad_out.dim(1);
+  Tensor gb({out_f});
+  const real_t* gp = grad_out.data();
+  real_t* bp = gb.data();
+  for (index_t ni = 0; ni < n; ++ni) {
+    for (index_t o = 0; o < out_f; ++o) bp[o] += gp[ni * out_f + o];
+  }
+  return gb;
+}
+
+}  // namespace ccovid::ops

@@ -1,0 +1,15 @@
+// Fully-connected layer: the classifier head of the 3-D DenseNet.
+#pragma once
+
+#include "core/tensor.h"
+
+namespace ccovid::ops {
+
+/// y = x @ W^T + b with x (N, In), W (Out, In), b (Out) or undefined.
+Tensor linear(const Tensor& input, const Tensor& weight, const Tensor& bias);
+
+Tensor linear_backward_input(const Tensor& grad_out, const Tensor& weight);
+Tensor linear_backward_weight(const Tensor& grad_out, const Tensor& input);
+Tensor linear_backward_bias(const Tensor& grad_out);
+
+}  // namespace ccovid::ops

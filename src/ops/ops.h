@@ -1,0 +1,15 @@
+// Umbrella header for the kernel library.
+#pragma once
+
+#include "ops/activations.h"
+#include "ops/batchnorm.h"
+#include "ops/concat.h"
+#include "ops/conv2d.h"
+#include "ops/conv3d.h"
+#include "ops/deconv2d.h"
+#include "ops/instrumented.h"
+#include "ops/kernel_options.h"
+#include "ops/linear.h"
+#include "ops/pool2d.h"
+#include "ops/pool3d.h"
+#include "ops/unpool2d.h"

@@ -1,0 +1,38 @@
+// 2-D pooling. DDnet's pooling layers are 3x3/stride-2 with "same"-style
+// padding 1, halving each spatial dimension (512 -> 256 -> ... -> 32).
+// Max pooling keeps argmax indices for the backward pass; average pooling
+// is provided for the classifier's transition layers.
+#pragma once
+
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace ccovid::ops {
+
+struct Pool2dParams {
+  index_t ksize = 3;
+  index_t stride = 2;
+  index_t pad = 1;
+};
+
+struct MaxPool2dResult {
+  Tensor output;
+  /// Flat (h*w) index of the winning input element per output element,
+  /// same layout as output; used by max_pool2d_backward.
+  std::vector<index_t> argmax;
+};
+
+MaxPool2dResult max_pool2d(const Tensor& input, Pool2dParams p);
+
+/// Routes grad_out back to the argmax positions.
+Tensor max_pool2d_backward(const Tensor& grad_out,
+                           const std::vector<index_t>& argmax,
+                           index_t input_h, index_t input_w);
+
+Tensor avg_pool2d(const Tensor& input, Pool2dParams p);
+
+Tensor avg_pool2d_backward(const Tensor& grad_out, Pool2dParams p,
+                           index_t input_h, index_t input_w);
+
+}  // namespace ccovid::ops

@@ -1,0 +1,108 @@
+#include "ops/unpool2d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/parallel.h"
+
+namespace ccovid::ops {
+
+namespace {
+
+struct Lerp {
+  index_t lo, hi;
+  real_t w_lo, w_hi;
+};
+
+// Half-pixel-center source coordinate, clamped to the valid range.
+Lerp make_lerp(index_t o, index_t scale, index_t in_extent) {
+  const double src =
+      (static_cast<double>(o) + 0.5) / static_cast<double>(scale) - 0.5;
+  const double clamped = std::clamp(src, 0.0, double(in_extent - 1));
+  const index_t lo = static_cast<index_t>(std::floor(clamped));
+  const index_t hi = std::min(lo + 1, in_extent - 1);
+  const real_t w_hi = static_cast<real_t>(clamped - double(lo));
+  return {lo, hi, 1.0f - w_hi, w_hi};
+}
+
+}  // namespace
+
+Tensor unpool2d_bilinear(const Tensor& input, index_t scale) {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("unpool2d: input must be NCHW");
+  }
+  if (scale < 1) throw std::invalid_argument("unpool2d: scale < 1");
+  const index_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  const index_t ho = h * scale, wo = w * scale;
+  Tensor out({n, c, ho, wo});
+  const real_t* ip = input.data();
+  real_t* op = out.data();
+
+  // Interpolation weights depend only on the output coordinate; compute
+  // once per row/column.
+  std::vector<Lerp> ly(static_cast<std::size_t>(ho)),
+      lx(static_cast<std::size_t>(wo));
+  for (index_t oy = 0; oy < ho; ++oy) ly[oy] = make_lerp(oy, scale, h);
+  for (index_t ox = 0; ox < wo; ++ox) lx[ox] = make_lerp(ox, scale, w);
+
+  parallel_for(
+      0, n * c,
+      [&](index_t plane) {
+        const real_t* in_p = ip + plane * h * w;
+        real_t* out_p = op + plane * ho * wo;
+        for (index_t oy = 0; oy < ho; ++oy) {
+          const Lerp& y = ly[oy];
+          for (index_t ox = 0; ox < wo; ++ox) {
+            const Lerp& x = lx[ox];
+            out_p[oy * wo + ox] =
+                y.w_lo * (x.w_lo * in_p[y.lo * w + x.lo] +
+                          x.w_hi * in_p[y.lo * w + x.hi]) +
+                y.w_hi * (x.w_lo * in_p[y.hi * w + x.lo] +
+                          x.w_hi * in_p[y.hi * w + x.hi]);
+          }
+        }
+      },
+      /*grain=*/1);
+  return out;
+}
+
+Tensor unpool2d_bilinear_backward(const Tensor& grad_out, index_t scale,
+                                  index_t input_h, index_t input_w) {
+  const index_t n = grad_out.dim(0), c = grad_out.dim(1),
+                ho = grad_out.dim(2), wo = grad_out.dim(3);
+  if (ho != input_h * scale || wo != input_w * scale) {
+    throw std::invalid_argument("unpool2d_backward: size mismatch");
+  }
+  Tensor gin({n, c, input_h, input_w});
+  const real_t* gp = grad_out.data();
+  real_t* op = gin.data();
+
+  std::vector<Lerp> ly(static_cast<std::size_t>(ho)),
+      lx(static_cast<std::size_t>(wo));
+  for (index_t oy = 0; oy < ho; ++oy) ly[oy] = make_lerp(oy, scale, input_h);
+  for (index_t ox = 0; ox < wo; ++ox) lx[ox] = make_lerp(ox, scale, input_w);
+
+  parallel_for(
+      0, n * c,
+      [&](index_t plane) {
+        const real_t* g = gp + plane * ho * wo;
+        real_t* out = op + plane * input_h * input_w;
+        for (index_t oy = 0; oy < ho; ++oy) {
+          const Lerp& y = ly[oy];
+          for (index_t ox = 0; ox < wo; ++ox) {
+            const Lerp& x = lx[ox];
+            const real_t v = g[oy * wo + ox];
+            out[y.lo * input_w + x.lo] += y.w_lo * x.w_lo * v;
+            out[y.lo * input_w + x.hi] += y.w_lo * x.w_hi * v;
+            out[y.hi * input_w + x.lo] += y.w_hi * x.w_lo * v;
+            out[y.hi * input_w + x.hi] += y.w_hi * x.w_hi * v;
+          }
+        }
+      },
+      /*grain=*/1);
+  return gin;
+}
+
+}  // namespace ccovid::ops

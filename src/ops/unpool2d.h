@@ -1,0 +1,19 @@
+// Un-pooling: bilinear interpolation upsampling by an integer scale
+// factor (DDnet uses 2), as described in §2.2.2. Uses half-pixel-center
+// sampling (align_corners = false), so the operation is exactly the
+// adjoint of its backward pass.
+#pragma once
+
+#include "core/tensor.h"
+
+namespace ccovid::ops {
+
+/// (N, C, H, W) -> (N, C, H*scale, W*scale) via bilinear interpolation.
+Tensor unpool2d_bilinear(const Tensor& input, index_t scale = 2);
+
+/// Adjoint: distributes each output gradient across the (up to) four
+/// source pixels with the interpolation weights.
+Tensor unpool2d_bilinear_backward(const Tensor& grad_out, index_t scale,
+                                  index_t input_h, index_t input_w);
+
+}  // namespace ccovid::ops

@@ -1,0 +1,99 @@
+#include "pipeline/classification_ai.h"
+
+#include <stdexcept>
+
+#include "autograd/optim.h"
+
+namespace ccovid::pipeline {
+
+namespace {
+
+autograd::Var volume_to_batch(const Tensor& volume) {
+  return autograd::Var(volume.clone().reshape(
+      {1, 1, volume.dim(0), volume.dim(1), volume.dim(2)}));
+}
+
+}  // namespace
+
+ClassificationAI::ClassificationAI(nn::DenseNet3dConfig cfg) : net_(cfg) {
+  // Volumes are classified one at a time (batch 1), so inference uses
+  // per-sample normalization statistics — running statistics trained at
+  // batch 1 are not representative (see Module::set_batch_stats_always).
+  net_.set_batch_stats_always(true);
+}
+
+std::vector<ClassifierEpochLog> ClassificationAI::train(
+    const std::vector<Tensor>& volumes, const std::vector<int>& labels,
+    const ClassificationTrainConfig& cfg, Rng& rng,
+    const std::vector<Tensor>* val_volumes,
+    const std::vector<int>* val_labels) {
+  if (volumes.empty() || volumes.size() != labels.size()) {
+    throw std::invalid_argument("ClassificationAI::train: bad inputs");
+  }
+  autograd::Adam opt(net_.parameters(), cfg.lr);
+  std::vector<ClassifierEpochLog> logs;
+  std::vector<index_t> order(volumes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    net_.set_training(true);
+    for (index_t i = static_cast<index_t>(order.size()) - 1; i > 0; --i) {
+      std::swap(order[i], order[rng.uniform_int(0, i)]);
+    }
+    double train_loss = 0.0;
+    for (index_t idx : order) {
+      Tensor input = cfg.augment
+                         ? data::augment_volume(volumes[idx],
+                                                cfg.augment_cfg, rng)
+                         : volumes[idx].clone();
+      autograd::Var logits = net_.forward(volume_to_batch(input));
+      Tensor target({1, 1});
+      target.at(0, 0) = static_cast<real_t>(labels[idx]);
+      autograd::Var loss = autograd::bce_with_logits_loss(logits, target);
+      opt.zero_grad();
+      loss.backward();
+      opt.step();
+      train_loss += static_cast<double>(loss.value().at(0));
+    }
+    train_loss /= static_cast<double>(order.size());
+
+    double val_loss = train_loss;
+    if (val_volumes != nullptr && !val_volumes->empty()) {
+      autograd::NoGradGuard no_grad;
+      net_.set_training(false);
+      double total = 0.0;
+      for (std::size_t i = 0; i < val_volumes->size(); ++i) {
+        autograd::Var logits =
+            net_.forward(volume_to_batch((*val_volumes)[i]));
+        Tensor target({1, 1});
+        target.at(0, 0) = static_cast<real_t>((*val_labels)[i]);
+        total += static_cast<double>(
+            autograd::bce_with_logits_loss(logits, target).value().at(0));
+      }
+      val_loss = total / static_cast<double>(val_volumes->size());
+    }
+    logs.push_back({epoch + 1, train_loss, val_loss});
+  }
+  net_.set_training(false);
+  return logs;
+}
+
+double ClassificationAI::predict(const Tensor& volume) const {
+  return net_.predict_probability(volume);
+}
+
+ClassificationScores ClassificationAI::score_all(
+    const std::vector<Tensor>& volumes,
+    const std::vector<int>& labels) const {
+  if (volumes.size() != labels.size()) {
+    throw std::invalid_argument("score_all: size mismatch");
+  }
+  ClassificationScores s;
+  for (std::size_t i = 0; i < volumes.size(); ++i) {
+    s.probabilities.push_back(predict(volumes[i]));
+    s.labels.push_back(labels[i]);
+  }
+  return s;
+}
+
+}  // namespace ccovid::pipeline

@@ -1,0 +1,69 @@
+// Classification AI (§2.3.2, §3.3): the 3-D DenseNet that scores a CT
+// volume as COVID-positive or negative. Trained with binary
+// cross-entropy (Eq. 2), Adam, and the §3.3.1 augmentations (Gaussian
+// noise p=0.75, contrast p=0.5, intensity scale 0.1).
+#pragma once
+
+#include <vector>
+
+#include "autograd/losses.h"
+#include "data/augment.h"
+#include "data/dataset.h"
+#include "nn/densenet3d.h"
+
+namespace ccovid::pipeline {
+
+struct ClassificationTrainConfig {
+  int epochs = 10;
+  /// The paper uses 1e-6 for its large model over 100 epochs; the
+  /// compact default needs a proportionally larger rate.
+  double lr = 1e-3;
+  bool augment = true;
+  data::AugmentConfig augment_cfg;
+
+  static ClassificationTrainConfig paper() {
+    ClassificationTrainConfig c;
+    c.epochs = 100;
+    c.lr = 1e-6;
+    return c;
+  }
+};
+
+struct ClassifierEpochLog {
+  int epoch;
+  double train_loss;
+  double val_loss;  ///< equals train_loss when no validation set given
+};
+
+struct ClassificationScores {
+  std::vector<double> probabilities;  ///< sigmoid score per volume
+  std::vector<int> labels;            ///< ground truth
+};
+
+class ClassificationAI {
+ public:
+  explicit ClassificationAI(
+      nn::DenseNet3dConfig cfg = nn::DenseNet3dConfig::compact());
+
+  /// Trains on normalized volumes; returns per-epoch losses (Fig. 11b).
+  /// `volumes` should already be segmentation-masked when reproducing
+  /// the full pipeline.
+  std::vector<ClassifierEpochLog> train(
+      const std::vector<Tensor>& volumes, const std::vector<int>& labels,
+      const ClassificationTrainConfig& cfg, Rng& rng,
+      const std::vector<Tensor>* val_volumes = nullptr,
+      const std::vector<int>* val_labels = nullptr);
+
+  /// COVID-positive probability of one normalized volume (D, H, W).
+  double predict(const Tensor& volume) const;
+
+  ClassificationScores score_all(const std::vector<Tensor>& volumes,
+                                 const std::vector<int>& labels) const;
+
+  nn::DenseNet3d& network() { return net_; }
+
+ private:
+  nn::DenseNet3d net_;
+};
+
+}  // namespace ccovid::pipeline

@@ -1,0 +1,59 @@
+#include "pipeline/framework.h"
+
+#include <stdexcept>
+
+#include "ct/hu.h"
+#include "data/dataset.h"
+
+namespace ccovid::pipeline {
+
+ComputeCovid19Pipeline::ComputeCovid19Pipeline(
+    std::shared_ptr<EnhancementAI> enhancement,
+    std::shared_ptr<SegmentationAI> segmentation,
+    std::shared_ptr<ClassificationAI> classification)
+    : enhancement_(std::move(enhancement)),
+      segmentation_(std::move(segmentation)),
+      classification_(std::move(classification)) {
+  if (!enhancement_ || !segmentation_ || !classification_) {
+    throw std::invalid_argument("pipeline: null stage");
+  }
+}
+
+Tensor ComputeCovid19Pipeline::prepare(const Tensor& volume_hu,
+                                       bool use_enhancement) const {
+  if (volume_hu.rank() != 3) {
+    throw std::invalid_argument("diagnose: expected a (D, H, W) HU volume");
+  }
+  // §2.1 preparation: strip circular-FOV padding, then normalize.
+  const Tensor cleaned = data::remove_circular_fov_volume(volume_hu);
+  Tensor norm = ct::normalize_hu(cleaned);
+  if (use_enhancement) {
+    norm = enhancement_->enhance_volume(norm);
+  }
+  // §3.2: lung mask multiplied into the scan.
+  return segmentation_->segment_and_mask(norm);
+}
+
+Diagnosis ComputeCovid19Pipeline::diagnose(const Tensor& volume_hu,
+                                           bool use_enhancement,
+                                           double threshold) const {
+  const Tensor masked = prepare(volume_hu, use_enhancement);
+  Diagnosis d;
+  d.threshold = threshold;
+  d.probability = classification_->predict(masked);
+  d.positive = d.probability >= threshold;
+  return d;
+}
+
+std::vector<double> ComputeCovid19Pipeline::score_volumes(
+    const std::vector<Tensor>& volumes_hu, bool use_enhancement) const {
+  std::vector<double> scores;
+  scores.reserve(volumes_hu.size());
+  for (const Tensor& v : volumes_hu) {
+    scores.push_back(
+        classification_->predict(prepare(v, use_enhancement)));
+  }
+  return scores;
+}
+
+}  // namespace ccovid::pipeline

@@ -1,0 +1,55 @@
+// ComputeCOVID19+ — the end-to-end framework of Fig. 3 / Fig. 4:
+//   data preparation -> Enhancement AI -> Segmentation AI ->
+//   Classification AI -> positive/negative call.
+//
+// The enhancement stage is optional per diagnosis, which is exactly the
+// comparison §5.2.3 evaluates (original vs enhanced scans through the
+// same analysis stack).
+#pragma once
+
+#include <memory>
+
+#include "metrics/classification.h"
+#include "pipeline/classification_ai.h"
+#include "pipeline/enhancement_ai.h"
+#include "pipeline/segmentation_ai.h"
+
+namespace ccovid::pipeline {
+
+struct Diagnosis {
+  double probability = 0.0;  ///< COVID-positive score
+  bool positive = false;     ///< probability >= threshold
+  double threshold = 0.5;
+};
+
+class ComputeCovid19Pipeline {
+ public:
+  ComputeCovid19Pipeline(std::shared_ptr<EnhancementAI> enhancement,
+                         std::shared_ptr<SegmentationAI> segmentation,
+                         std::shared_ptr<ClassificationAI> classification);
+
+  /// Full §2.1 preparation + workflow on a raw HU volume (D, H, W):
+  /// removes circular-FOV padding, normalizes, optionally enhances every
+  /// slice, segments and masks the lungs, classifies.
+  Diagnosis diagnose(const Tensor& volume_hu, bool use_enhancement,
+                     double threshold = 0.5) const;
+
+  /// Scores a set of volumes for ROC analysis (Fig. 13): returns the
+  /// per-volume probabilities with/without the enhancement stage chosen
+  /// by `use_enhancement`.
+  std::vector<double> score_volumes(const std::vector<Tensor>& volumes_hu,
+                                    bool use_enhancement) const;
+
+  EnhancementAI& enhancement() { return *enhancement_; }
+  SegmentationAI& segmentation() { return *segmentation_; }
+  ClassificationAI& classification() { return *classification_; }
+
+ private:
+  Tensor prepare(const Tensor& volume_hu, bool use_enhancement) const;
+
+  std::shared_ptr<EnhancementAI> enhancement_;
+  std::shared_ptr<SegmentationAI> segmentation_;
+  std::shared_ptr<ClassificationAI> classification_;
+};
+
+}  // namespace ccovid::pipeline

@@ -1,0 +1,106 @@
+#include "pipeline/segmentation_ai.h"
+
+#include <stdexcept>
+
+#include "autograd/optim.h"
+
+#include "ct/hu.h"
+
+namespace ccovid::pipeline {
+
+SegmentationAI::SegmentationAI(nn::AhNetConfig cfg) : net_(cfg) {
+  // Slice-wise batch-1 training; per-sample statistics at inference for
+  // the same reason as ClassificationAI.
+  net_.set_batch_stats_always(true);
+}
+
+std::vector<double> SegmentationAI::train(
+    const std::vector<data::VolumeSample>& volumes,
+    const SegmentationTrainConfig& cfg, Rng& rng) {
+  if (volumes.empty()) {
+    throw std::invalid_argument("SegmentationAI::train: no volumes");
+  }
+  autograd::Adam opt(net_.parameters(), cfg.lr);
+  std::vector<double> losses;
+  net_.set_training(true);
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    double total = 0.0;
+    index_t count = 0;
+    for (const auto& vol : volumes) {
+      const index_t d = vol.hu.dim(0), h = vol.hu.dim(1), w = vol.hu.dim(2);
+      // One random slice per volume per epoch keeps epochs cheap while
+      // covering the z range over training.
+      const index_t z = rng.uniform_int(0, d - 1);
+      const Tensor norm = ct::normalize_hu(vol.hu);
+      Tensor slice({1, 1, h, w});
+      std::copy(norm.data() + z * h * w, norm.data() + (z + 1) * h * w,
+                slice.data());
+      Tensor target({1, 1, h, w});
+      std::copy(vol.lung_mask.data() + z * h * w,
+                vol.lung_mask.data() + (z + 1) * h * w, target.data());
+
+      autograd::Var logits = net_.forward(autograd::Var(std::move(slice)));
+      autograd::Var loss = autograd::bce_with_logits_loss(logits, target);
+      opt.zero_grad();
+      loss.backward();
+      opt.step();
+      total += static_cast<double>(loss.value().at(0));
+      ++count;
+    }
+    losses.push_back(total / static_cast<double>(count));
+  }
+  net_.set_training(false);
+  return losses;
+}
+
+Tensor SegmentationAI::segment(const Tensor& volume) const {
+  return net_.segment_volume(volume);
+}
+
+Tensor SegmentationAI::segment_and_mask(const Tensor& volume) const {
+  return nn::AhNet::apply_mask(volume, segment(volume));
+}
+
+double SegmentationAI::dice(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument("dice: shape mismatch");
+  }
+  const real_t* pa = a.data();
+  const real_t* pb = b.data();
+  const index_t n = a.numel();
+  double inter = 0.0, total = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    const bool fa = pa[i] > 0.5f, fb = pb[i] > 0.5f;
+    inter += (fa && fb) ? 1.0 : 0.0;
+    total += (fa ? 1.0 : 0.0) + (fb ? 1.0 : 0.0);
+  }
+  return total == 0.0 ? 1.0 : 2.0 * inter / total;
+}
+
+SegmentationEval SegmentationAI::evaluate(
+    const std::vector<data::VolumeSample>& volumes) const {
+  if (volumes.empty()) {
+    throw std::invalid_argument("SegmentationAI::evaluate: no volumes");
+  }
+  SegmentationEval e;
+  for (const auto& vol : volumes) {
+    const Tensor norm = ct::normalize_hu(vol.hu);
+    const Tensor mask = segment(norm);
+    e.dice += dice(mask, vol.lung_mask);
+    const real_t* pm = mask.data();
+    const real_t* pt = vol.lung_mask.data();
+    index_t correct = 0;
+    for (index_t i = 0; i < mask.numel(); ++i) {
+      correct += ((pm[i] > 0.5f) == (pt[i] > 0.5f)) ? 1 : 0;
+    }
+    e.pixel_accuracy +=
+        static_cast<double>(correct) / static_cast<double>(mask.numel());
+  }
+  const double inv = 1.0 / static_cast<double>(volumes.size());
+  e.dice *= inv;
+  e.pixel_accuracy *= inv;
+  return e;
+}
+
+}  // namespace ccovid::pipeline

@@ -1,0 +1,53 @@
+// Segmentation AI (§2.3.1, §3.2): the AH-Net-style lung segmenter.
+// The paper uses Nvidia Clara's pre-trained model; we train ours on
+// phantom slices whose ground-truth lung masks are known analytically
+// (see DESIGN.md §1). Output: binary foreground map multiplied into the
+// scan.
+#pragma once
+
+#include <vector>
+
+#include "autograd/losses.h"
+#include "data/dataset.h"
+#include "nn/ahnet.h"
+
+namespace ccovid::pipeline {
+
+struct SegmentationTrainConfig {
+  int epochs = 8;
+  double lr = 1e-3;
+};
+
+struct SegmentationEval {
+  double dice = 0.0;            ///< mean Dice coefficient over volumes
+  double pixel_accuracy = 0.0;  ///< mean foreground/background accuracy
+};
+
+class SegmentationAI {
+ public:
+  explicit SegmentationAI(nn::AhNetConfig cfg = nn::AhNetConfig{});
+
+  /// Trains slice-wise on volumes with ground-truth masks (pixel BCE);
+  /// returns per-epoch mean training loss.
+  std::vector<double> train(const std::vector<data::VolumeSample>& volumes,
+                            const SegmentationTrainConfig& cfg, Rng& rng);
+
+  /// Binary lung mask of a normalized [0,1] volume (D, H, W).
+  Tensor segment(const Tensor& volume) const;
+
+  /// Masked ("segmented") scan: volume * mask (§3.2).
+  Tensor segment_and_mask(const Tensor& volume) const;
+
+  SegmentationEval evaluate(
+      const std::vector<data::VolumeSample>& volumes) const;
+
+  nn::AhNet& network() { return net_; }
+
+  /// Dice coefficient between binary masks.
+  static double dice(const Tensor& a, const Tensor& b);
+
+ private:
+  nn::AhNet net_;
+};
+
+}  // namespace ccovid::pipeline

@@ -1,0 +1,399 @@
+// Autograd engine: every differentiable op is checked against central
+// finite differences; graph mechanics (shared nodes, grad accumulation,
+// no-grad mode) and the Adam optimizer are exercised.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/functions.h"
+#include "autograd/gradcheck.h"
+#include "autograd/optim.h"
+#include "core/random.h"
+
+namespace ccovid::autograd {
+namespace {
+
+Tensor random_tensor(Shape s, std::uint64_t seed, double stddev = 1.0) {
+  Rng rng(seed);
+  Tensor t(std::move(s));
+  rng.fill_gaussian(t, 0.0, stddev);
+  return t;
+}
+
+// Generic scalar-output gradcheck harness: builds loss = mean(op(x)) and
+// compares x's analytic gradient with finite differences.
+template <typename Fn>
+void check_unary_grad(Shape shape, Fn&& op, std::uint64_t seed,
+                      double tol = 2e-2) {
+  Tensor x_val = random_tensor(shape, seed, 0.5);
+  auto scalar_fn = [&]() {
+    Var x(x_val.clone());
+    Var x_req(x_val, true);
+    (void)x;
+    Var y = op(x_req);
+    return static_cast<double>(mean(y).value().at(0));
+  };
+  const Tensor num = numerical_gradient(scalar_fn, x_val, 1e-3);
+
+  Var x(x_val, true);
+  Var loss = mean(op(x));
+  loss.backward();
+  ASSERT_TRUE(x.has_grad());
+  EXPECT_LT(gradient_error(x.grad(), num), tol);
+}
+
+TEST(Autograd, LeafRequiresGradFlag) {
+  Var a(Tensor::ones({2}), true);
+  Var b(Tensor::ones({2}), false);
+  EXPECT_TRUE(a.requires_grad());
+  EXPECT_FALSE(b.requires_grad());
+  Var c = add(a, b);
+  EXPECT_TRUE(c.requires_grad());
+  Var d = add(b, b);
+  EXPECT_FALSE(d.requires_grad());
+}
+
+TEST(Autograd, BackwardRequiresScalar) {
+  Var a(Tensor::ones({2, 2}), true);
+  EXPECT_THROW(a.backward(), std::runtime_error);
+}
+
+TEST(Autograd, SimpleChainGradient) {
+  // loss = mean((2x + 1)^2); dloss/dx = 4(2x+1)/N.
+  Tensor x_val = Tensor::from_vector({2}, {0.5f, -1.0f});
+  Var x(x_val, true);
+  Var y = add_scalar(mul_scalar(x, 2.0f), 1.0f);
+  Var loss = mean(mul(y, y));
+  loss.backward();
+  EXPECT_NEAR(x.grad().at(0), 4.0 * 2.0 / 2.0, 1e-5);
+  EXPECT_NEAR(x.grad().at(1), 4.0 * -1.0 / 2.0, 1e-5);
+}
+
+TEST(Autograd, SharedNodeAccumulatesBothPaths) {
+  // loss = mean(x*x + x) — x used twice; grad = (2x + 1)/N.
+  Tensor x_val = Tensor::from_vector({1}, {3.0f});
+  Var x(x_val, true);
+  Var loss = mean(add(mul(x, x), x));
+  loss.backward();
+  EXPECT_NEAR(x.grad().at(0), 7.0, 1e-5);
+}
+
+TEST(Autograd, NoGradGuardSkipsGraph) {
+  Var x(Tensor::ones({2}), true);
+  {
+    NoGradGuard guard;
+    Var y = mul(x, x);
+    EXPECT_FALSE(y.requires_grad());
+  }
+  Var z = mul(x, x);
+  EXPECT_TRUE(z.requires_grad());
+}
+
+TEST(Autograd, ZeroGradClears) {
+  Var x(Tensor::ones({2}), true);
+  Var loss = mean(x);
+  loss.backward();
+  EXPECT_TRUE(x.has_grad());
+  x.zero_grad();
+  EXPECT_FLOAT_EQ(x.grad().abs_max(), 0.0f);
+}
+
+TEST(Autograd, DetachCutsHistory) {
+  Var x(Tensor::ones({2}), true);
+  Var y = mul_scalar(x, 3.0f).detach();
+  EXPECT_FALSE(y.requires_grad());
+}
+
+// ------------------------------------------------------ elementwise ops
+TEST(AutogradGrad, Add) {
+  check_unary_grad({2, 3}, [](const Var& x) { return add(x, x); }, 1);
+}
+
+TEST(AutogradGrad, SubAndMulScalar) {
+  check_unary_grad(
+      {2, 3},
+      [](const Var& x) { return sub(mul_scalar(x, 2.0f), x); }, 2);
+}
+
+TEST(AutogradGrad, MulElementwise) {
+  check_unary_grad({2, 3}, [](const Var& x) { return mul(x, x); }, 3);
+}
+
+TEST(AutogradGrad, Div) {
+  check_unary_grad(
+      {2, 3},
+      [](const Var& x) {
+        return div(x, add_scalar(mul(x, x), 2.0f));
+      },
+      4);
+}
+
+TEST(AutogradGrad, PowScalar) {
+  // Keep inputs positive: pow over clamp.
+  check_unary_grad(
+      {2, 3},
+      [](const Var& x) {
+        return pow_scalar(add_scalar(clamp_min(x, 0.0f), 0.5f), 0.3f);
+      },
+      5);
+}
+
+TEST(AutogradGrad, ClampMin) {
+  check_unary_grad({3, 3}, [](const Var& x) { return clamp_min(x, 0.1f); },
+                   6);
+}
+
+TEST(AutogradGrad, SumReduction) {
+  Tensor x_val = random_tensor({4}, 7);
+  Var x(x_val, true);
+  Var s = sum(x);
+  s.backward();
+  for (index_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(x.grad().at(i), 1.0f);
+}
+
+// --------------------------------------------------------- activations
+TEST(AutogradGrad, Relu) {
+  check_unary_grad({3, 4}, [](const Var& x) { return relu(x); }, 8);
+}
+
+TEST(AutogradGrad, LeakyRelu) {
+  check_unary_grad({3, 4},
+                   [](const Var& x) { return leaky_relu(x, 0.01f); }, 9);
+}
+
+TEST(AutogradGrad, Sigmoid) {
+  check_unary_grad({3, 4}, [](const Var& x) { return sigmoid(x); }, 10,
+                   3e-2);
+}
+
+// -------------------------------------------------------- conv / linear
+TEST(AutogradGrad, Conv2dInputAndWeight) {
+  Tensor x_val = random_tensor({1, 2, 5, 5}, 11, 0.5);
+  Tensor w_val = random_tensor({3, 2, 3, 3}, 12, 0.5);
+  Tensor b_val = random_tensor({3}, 13, 0.5);
+
+  auto loss_value = [&]() {
+    Var x(x_val);
+    Var w(w_val);
+    Var b(b_val);
+    return static_cast<double>(
+        mean(conv2d(x, w, b, ops::Conv2dParams::same(3))).value().at(0));
+  };
+  const Tensor num_x = numerical_gradient(loss_value, x_val, 1e-3);
+  const Tensor num_w = numerical_gradient(loss_value, w_val, 1e-3);
+  const Tensor num_b = numerical_gradient(loss_value, b_val, 1e-3);
+
+  Var x(x_val, true), w(w_val, true), b(b_val, true);
+  Var loss = mean(conv2d(x, w, b, ops::Conv2dParams::same(3)));
+  loss.backward();
+  EXPECT_LT(gradient_error(x.grad(), num_x), 2e-2);
+  EXPECT_LT(gradient_error(w.grad(), num_w), 2e-2);
+  EXPECT_LT(gradient_error(b.grad(), num_b), 2e-2);
+}
+
+TEST(AutogradGrad, Deconv2dInputAndWeight) {
+  Tensor x_val = random_tensor({1, 2, 4, 4}, 14, 0.5);
+  Tensor w_val = random_tensor({2, 3, 3, 3}, 15, 0.5);
+
+  auto loss_value = [&]() {
+    Var x(x_val);
+    Var w(w_val);
+    return static_cast<double>(
+        mean(deconv2d(x, w, Var(), ops::Deconv2dParams::same(3)))
+            .value()
+            .at(0));
+  };
+  const Tensor num_x = numerical_gradient(loss_value, x_val, 1e-3);
+  const Tensor num_w = numerical_gradient(loss_value, w_val, 1e-3);
+
+  Var x(x_val, true), w(w_val, true);
+  Var loss = mean(deconv2d(x, w, Var(), ops::Deconv2dParams::same(3)));
+  loss.backward();
+  EXPECT_LT(gradient_error(x.grad(), num_x), 2e-2);
+  EXPECT_LT(gradient_error(w.grad(), num_w), 2e-2);
+}
+
+TEST(AutogradGrad, Conv3d) {
+  Tensor x_val = random_tensor({1, 1, 3, 3, 3}, 16, 0.5);
+  Tensor w_val = random_tensor({2, 1, 2, 2, 2}, 17, 0.5);
+  auto loss_value = [&]() {
+    Var x(x_val);
+    Var w(w_val);
+    return static_cast<double>(
+        mean(conv3d(x, w, Var(), ops::Conv3dParams{1, 0})).value().at(0));
+  };
+  const Tensor num_x = numerical_gradient(loss_value, x_val, 1e-3);
+  const Tensor num_w = numerical_gradient(loss_value, w_val, 1e-3);
+  Var x(x_val, true), w(w_val, true);
+  Var loss = mean(conv3d(x, w, Var(), ops::Conv3dParams{1, 0}));
+  loss.backward();
+  EXPECT_LT(gradient_error(x.grad(), num_x), 2e-2);
+  EXPECT_LT(gradient_error(w.grad(), num_w), 2e-2);
+}
+
+TEST(AutogradGrad, Linear) {
+  Tensor x_val = random_tensor({2, 3}, 18);
+  Tensor w_val = random_tensor({4, 3}, 19);
+  auto loss_value = [&]() {
+    Var x(x_val);
+    Var w(w_val);
+    return static_cast<double>(mean(linear(x, w, Var())).value().at(0));
+  };
+  const Tensor num_w = numerical_gradient(loss_value, w_val, 1e-3);
+  Var x(x_val, true), w(w_val, true);
+  Var loss = mean(linear(x, w, Var()));
+  loss.backward();
+  EXPECT_LT(gradient_error(w.grad(), num_w), 2e-2);
+}
+
+// -------------------------------------------------- pooling / resampling
+TEST(AutogradGrad, MaxPool2d) {
+  check_unary_grad(
+      {1, 1, 6, 6},
+      [](const Var& x) { return max_pool2d(x, ops::Pool2dParams{2, 2, 0}); },
+      20);
+}
+
+TEST(AutogradGrad, AvgPool2d) {
+  check_unary_grad(
+      {1, 2, 6, 6},
+      [](const Var& x) { return avg_pool2d(x, ops::Pool2dParams{2, 2, 0}); },
+      21);
+}
+
+TEST(AutogradGrad, Unpool2d) {
+  check_unary_grad({1, 1, 4, 4},
+                   [](const Var& x) { return unpool2d(x, 2); }, 22);
+}
+
+TEST(AutogradGrad, MaxPool3d) {
+  check_unary_grad(
+      {1, 1, 4, 4, 4},
+      [](const Var& x) { return max_pool3d(x, ops::Pool3dParams{2, 2, 0}); },
+      23);
+}
+
+TEST(AutogradGrad, GlobalAvgPool3d) {
+  check_unary_grad({1, 2, 2, 3, 3},
+                   [](const Var& x) { return global_avg_pool3d(x); }, 24);
+}
+
+// ------------------------------------------------------------ structure
+TEST(AutogradGrad, Concat) {
+  Tensor a_val = random_tensor({1, 2, 3, 3}, 25);
+  Tensor b_val = random_tensor({1, 3, 3, 3}, 26);
+  auto loss_value = [&]() {
+    Var a(a_val), b(b_val);
+    return static_cast<double>(mean(concat({a, b})).value().at(0));
+  };
+  const Tensor num_a = numerical_gradient(loss_value, a_val, 1e-3);
+  Var a(a_val, true), b(b_val, true);
+  Var loss = mean(concat({a, b}));
+  loss.backward();
+  EXPECT_LT(gradient_error(a.grad(), num_a), 2e-2);
+  EXPECT_TRUE(b.has_grad());
+}
+
+TEST(AutogradGrad, Reshape) {
+  check_unary_grad({2, 6}, [](const Var& x) {
+    return reshape(x, Shape{3, 4});
+  }, 27);
+}
+
+TEST(AutogradGrad, BatchNormTraining) {
+  Tensor x_val = random_tensor({2, 2, 3, 3}, 28);
+  Tensor gamma_val = Tensor::from_vector({2}, {1.3f, 0.6f});
+  Tensor beta_val = Tensor::from_vector({2}, {0.1f, -0.4f});
+
+  auto loss_value = [&]() {
+    Var x(x_val);
+    Var g(gamma_val);
+    Var b(beta_val);
+    Tensor rm({2}), rv = Tensor::ones({2});
+    // Weight the output so the loss is not trivially mean-invariant.
+    Var y = batch_norm(x, g, b, rm, rv, true);
+    return static_cast<double>(mean(mul(y, y)).value().at(0));
+  };
+  const Tensor num_x = numerical_gradient(loss_value, x_val, 1e-3);
+  const Tensor num_g = numerical_gradient(loss_value, gamma_val, 1e-3);
+
+  Var x(x_val, true), g(gamma_val, true), b(beta_val, true);
+  Tensor rm({2}), rv = Tensor::ones({2});
+  Var y = batch_norm(x, g, b, rm, rv, true);
+  Var loss = mean(mul(y, y));
+  loss.backward();
+  EXPECT_LT(gradient_error(x.grad(), num_x), 5e-2);
+  EXPECT_LT(gradient_error(g.grad(), num_g), 5e-2);
+}
+
+TEST(AutogradGrad, BatchNormEvalMode) {
+  Tensor x_val = random_tensor({1, 2, 3, 3}, 29);
+  Tensor gamma_val = Tensor::from_vector({2}, {2.0f, 0.5f});
+  Tensor beta_val = Tensor::zeros({2});
+  Tensor rm = Tensor::from_vector({2}, {0.1f, -0.2f});
+  Tensor rv = Tensor::from_vector({2}, {1.5f, 0.7f});
+
+  auto loss_value = [&]() {
+    Var x(x_val);
+    Var g(gamma_val);
+    Var b(beta_val);
+    Tensor rm2 = rm.clone(), rv2 = rv.clone();
+    Var y = batch_norm(x, g, b, rm2, rv2, false);
+    return static_cast<double>(mean(mul(y, y)).value().at(0));
+  };
+  const Tensor num_x = numerical_gradient(loss_value, x_val, 1e-3);
+
+  Var x(x_val, true), g(gamma_val, true), b(beta_val, true);
+  Tensor rm2 = rm.clone(), rv2 = rv.clone();
+  Var y = batch_norm(x, g, b, rm2, rv2, false);
+  Var loss = mean(mul(y, y));
+  loss.backward();
+  EXPECT_LT(gradient_error(x.grad(), num_x), 3e-2);
+}
+
+TEST(AutogradGrad, BatchNormUpdatesRunningStats) {
+  Tensor x_val = random_tensor({4, 1, 4, 4}, 30, 2.0);
+  Var x(x_val), g(Tensor::ones({1})), b(Tensor::zeros({1}));
+  Tensor rm({1}), rv = Tensor::ones({1});
+  batch_norm(x, g, b, rm, rv, true, 1.0f);  // momentum 1: adopt batch stats
+  EXPECT_NEAR(rm.at(0), x_val.mean(), 1e-4);
+  EXPECT_GT(rv.at(0), 1.0f);  // stddev-2 data -> variance ~4
+}
+
+// -------------------------------------------------------------- optimizer
+TEST(Adam, MinimizesQuadratic) {
+  // minimize mean((x - 3)^2).
+  Var x(Tensor::zeros({4}), true);
+  Adam opt({x}, 0.1);
+  for (int i = 0; i < 300; ++i) {
+    Var loss = mean(mul(add_scalar(x, -3.0f), add_scalar(x, -3.0f)));
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+  }
+  for (index_t i = 0; i < 4; ++i) EXPECT_NEAR(x.value().at(i), 3.0f, 0.05);
+}
+
+TEST(Adam, SkipsParamsWithoutGrad) {
+  Var used(Tensor::zeros({1}), true);
+  Var unused(Tensor::full({1}, 5.0f), true);
+  Adam opt({used, unused}, 0.1);
+  Var loss = mean(mul(used, used));
+  opt.zero_grad();
+  loss.backward();
+  opt.step();
+  EXPECT_FLOAT_EQ(unused.value().at(0), 5.0f);
+}
+
+TEST(Adam, ExponentialDecaySchedule) {
+  Var x(Tensor::zeros({1}), true);
+  Adam opt({x}, 1e-4);  // the paper's Enhancement-AI learning rate
+  ExponentialLR sched(opt, 0.8);
+  sched.step();
+  EXPECT_NEAR(opt.lr(), 8e-5, 1e-12);
+  sched.step();
+  EXPECT_NEAR(opt.lr(), 6.4e-5, 1e-12);
+}
+
+}  // namespace
+}  // namespace ccovid::autograd

@@ -1,0 +1,100 @@
+// Benchmark-harness support: flag parsing, hh:mm:ss formatting, and the
+// measured-DDnet timing walk (whose per-class totals feed Tables 4/5/7),
+// plus structural fidelity of the paper-scale DDnet against Table 2.
+#include <gtest/gtest.h>
+
+#include "../bench/bench_common.h"
+#include "../bench/ddnet_timing.h"
+#include "nn/ddnet.h"
+
+namespace ccovid {
+namespace {
+
+TEST(BenchArgs, DefaultsAndFlags) {
+  const char* argv1[] = {"prog"};
+  const auto a = bench::Args::parse(1, const_cast<char**>(argv1));
+  EXPECT_FALSE(a.paper_scale);
+  EXPECT_FALSE(a.quick);
+  EXPECT_EQ(a.out_dir, ".");
+
+  const char* argv2[] = {"prog", "--quick", "--out-dir", "/tmp/x",
+                         "--paper-scale"};
+  const auto b = bench::Args::parse(5, const_cast<char**>(argv2));
+  EXPECT_TRUE(b.paper_scale);
+  EXPECT_TRUE(b.quick);
+  EXPECT_EQ(b.out_dir, "/tmp/x");
+}
+
+TEST(BenchFormat, HmsMatchesPaperStyle) {
+  // The paper prints Table 3 runtimes as hh:mm:ss.
+  EXPECT_EQ(bench::format_hms(0.0), "0:00:00");
+  EXPECT_EQ(bench::format_hms(61.0), "0:01:01");
+  EXPECT_EQ(bench::format_hms(3661.4), "1:01:01");
+  EXPECT_EQ(bench::format_hms(15.0 * 3600 + 14 * 60 + 46), "15:14:46");
+}
+
+TEST(DdnetTiming, BreakdownCoversAllKernelClasses) {
+  nn::DDnetConfig cfg = nn::DDnetConfig::tiny();
+  const auto m =
+      bench::measure_ddnet_cpu(cfg, 16, 16, ops::KernelOptions::all());
+  EXPECT_GT(m.conv_s, 0.0);
+  EXPECT_GT(m.deconv_s, 0.0);
+  EXPECT_GT(m.other_s, 0.0);
+  EXPECT_NEAR(m.total(), m.conv_s + m.deconv_s + m.other_s, 1e-12);
+}
+
+TEST(DdnetTiming, RefactoredNotSlowerThanBaselineDeconv) {
+  // On any machine the gather deconvolution should not lose to the
+  // volatile-reload scatter baseline by more than measurement noise.
+  nn::DDnetConfig cfg;
+  cfg.base_channels = 8;
+  cfg.growth = 8;
+  cfg.levels = 2;
+  cfg.dense_layers = 2;
+  const auto base =
+      bench::measure_ddnet_cpu(cfg, 64, 64, ops::KernelOptions::baseline());
+  const auto full =
+      bench::measure_ddnet_cpu(cfg, 64, 64, ops::KernelOptions::all());
+  EXPECT_LT(full.deconv_s, base.deconv_s * 1.25);
+  EXPECT_LT(full.total(), base.total() * 1.25);
+}
+
+// --------------------------------------------------- Table 2 structure
+TEST(Table2, PaperDDnetParameterShapes) {
+  nn::seed_init_rng(1);
+  nn::DDnet net(nn::DDnetConfig::paper());
+  std::map<std::string, Shape> shapes;
+  for (const auto& [name, v] : net.named_parameters()) {
+    shapes.emplace(name, v.shape());
+  }
+  // Convolution 1: 7x7 stem, 1 -> 16 channels.
+  EXPECT_EQ(shapes.at("stem.weight"), Shape({16, 1, 7, 7}));
+  // Dense layers: 1x1 bottleneck to 64, then 5x5 to growth 16.
+  EXPECT_EQ(shapes.at("enc0.block.layer0.conv1.weight"),
+            Shape({64, 16, 1, 1}));
+  EXPECT_EQ(shapes.at("enc0.block.layer0.conv5.weight"),
+            Shape({16, 64, 5, 5}));
+  // Last dense layer input: 16 + 3*16 = 64 channels.
+  EXPECT_EQ(shapes.at("enc0.block.layer3.conv1.weight"),
+            Shape({64, 64, 1, 1}));
+  // Transition ("Convolution 2"): 80 -> 16, 1x1 (Table 2's 256x256x80 ->
+  // 256x256x16).
+  EXPECT_EQ(shapes.at("enc0.transition.weight"), Shape({16, 80, 1, 1}));
+  // Decoder: 5x5 deconv at 32 channels, 1x1 deconv back to 16; the
+  // output stage's 1x1 emits a single channel (Table 2's 512x512x1).
+  EXPECT_EQ(shapes.at("dec0.deconv5.weight"), Shape({32, 32, 5, 5}));
+  EXPECT_EQ(shapes.at("dec0.deconv1.weight"), Shape({32, 16, 1, 1}));
+  EXPECT_EQ(shapes.at("dec3.deconv1.weight"), Shape({32, 1, 1, 1}));
+}
+
+TEST(Table2, PoolingChainHalvesFiveOctaves) {
+  // 512 -> 256 -> 128 -> 64 -> 32, the Table 2 spatial ladder.
+  index_t e = 512;
+  for (int level = 0; level < 4; ++level) {
+    e = ops::conv_out_extent(e, 3, 2, 1);  // DDnet 3x3/s2/p1 pooling
+  }
+  EXPECT_EQ(e, 32);
+}
+
+}  // namespace
+}  // namespace ccovid

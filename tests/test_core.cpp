@@ -1,0 +1,353 @@
+// Core substrate tests: shapes, tensors, RNG statistics, parallel_for,
+// counters, image/CSV IO, serialization.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/counters.h"
+#include "core/image_io.h"
+#include "core/parallel.h"
+#include "core/random.h"
+#include "core/serialize.h"
+#include "core/tensor.h"
+#include "core/timer.h"
+
+namespace ccovid {
+namespace {
+
+// ---------------------------------------------------------------- Shape
+TEST(Shape, BasicProperties) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[2], 4);
+  EXPECT_EQ(s.stride(2), 1);
+  EXPECT_EQ(s.stride(1), 4);
+  EXPECT_EQ(s.stride(0), 12);
+}
+
+TEST(Shape, OffsetIsRowMajor) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.offset(0, 0, 0), 0);
+  EXPECT_EQ(s.offset(0, 0, 1), 1);
+  EXPECT_EQ(s.offset(0, 1, 0), 4);
+  EXPECT_EQ(s.offset(1, 0, 0), 12);
+  EXPECT_EQ(s.offset(1, 2, 3), 23);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(Shape, RejectsNegativeExtent) {
+  EXPECT_THROW(Shape({-1, 2}), std::invalid_argument);
+}
+
+TEST(Shape, ScalarShape) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, StrPrintsDims) { EXPECT_EQ(Shape({5, 7}).str(), "[5, 7]"); }
+
+// --------------------------------------------------------------- Tensor
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({3, 4});
+  for (index_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(Tensor, FullAndOnes) {
+  Tensor t = Tensor::full({2, 2}, 3.5f);
+  EXPECT_EQ(t.at(1, 1), 3.5f);
+  EXPECT_EQ(Tensor::ones({4}).sum(), 4.0f);
+}
+
+TEST(Tensor, CopyIsShallowCloneIsDeep) {
+  Tensor a({2, 2});
+  Tensor b = a;          // shallow
+  Tensor c = a.clone();  // deep
+  a.at(0, 0) = 7.0f;
+  EXPECT_EQ(b.at(0, 0), 7.0f);
+  EXPECT_EQ(c.at(0, 0), 0.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = a.reshape({3, 2});
+  EXPECT_EQ(b.at(2, 1), 6.0f);
+  EXPECT_THROW(a.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ArithmeticOps) {
+  Tensor a = Tensor::from_vector({3}, {1, 2, 3});
+  Tensor b = Tensor::from_vector({3}, {4, 5, 6});
+  EXPECT_EQ(a.add(b).sum(), 21.0f);
+  EXPECT_EQ(b.sub(a).sum(), 9.0f);
+  EXPECT_EQ(a.mul(b).sum(), 4.0f + 10.0f + 18.0f);
+  a.add_(b, 2.0f);
+  EXPECT_EQ(a.at(0), 9.0f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor a = Tensor::from_vector({4}, {-3, 1, 2, 0});
+  EXPECT_EQ(a.min(), -3.0f);
+  EXPECT_EQ(a.max(), 2.0f);
+  EXPECT_EQ(a.mean(), 0.0f);
+  EXPECT_EQ(a.abs_max(), 3.0f);
+}
+
+TEST(Tensor, SumUsesDoubleAccumulation) {
+  // 1e7 values of 0.1 in float accumulation drifts badly; double is fine.
+  Tensor a = Tensor::full({1000, 1000}, 0.1f);
+  EXPECT_NEAR(a.sum(), 1e5, 10.0);
+}
+
+TEST(Tensor, AllcloseAndMaxDiff) {
+  Tensor a = Tensor::full({4}, 1.0f);
+  Tensor b = Tensor::full({4}, 1.0f + 1e-7f);
+  EXPECT_TRUE(allclose(a, b));
+  b.at(2) = 2.0f;
+  EXPECT_FALSE(allclose(a, b));
+  EXPECT_NEAR(max_abs_diff(a, b), 1.0f, 1e-5);
+}
+
+TEST(Tensor, FromVectorSizeMismatchThrows) {
+  EXPECT_THROW(Tensor::from_vector({2, 2}, {1, 2, 3}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ Rng
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(2);
+  bool seen[5] = {};
+  for (int i = 0; i < 1000; ++i) seen[rng.uniform_int(0, 4)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(3);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, PoissonSmallLambdaMoments) {
+  Rng rng(4);
+  const double lambda = 5.0;
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double p = static_cast<double>(rng.poisson(lambda));
+    sum += p;
+    sum_sq += p * p;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, lambda, 0.1);
+  EXPECT_NEAR(var, lambda, 0.2);
+}
+
+TEST(Rng, PoissonLargeLambdaMoments) {
+  Rng rng(5);
+  const double lambda = 1e6;  // the paper's blank-scan photon count
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double p = static_cast<double>(rng.poisson(lambda));
+    sum += p;
+    sum_sq += p * p;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean / lambda, 1.0, 1e-3);
+  EXPECT_NEAR(var / lambda, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(6);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.75) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.75, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng parent(7);
+  Rng a = parent.split(0);
+  Rng b = parent.split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, FillGaussianMatchesRequestedStdDev) {
+  Rng rng(8);
+  Tensor t({10000});
+  rng.fill_gaussian(t, 0.0, 0.01);  // the paper's filter init
+  double sum_sq = 0.0;
+  for (index_t i = 0; i < t.numel(); ++i) {
+    sum_sq += static_cast<double>(t.data()[i]) * t.data()[i];
+  }
+  EXPECT_NEAR(std::sqrt(sum_sq / t.numel()), 0.01, 0.001);
+}
+
+// ------------------------------------------------------------- parallel
+TEST(Parallel, ForCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  parallel_for(0, 257, [&](index_t i) { hits[i]++; }, /*grain=*/16);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, BlockedCoversRangeOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h = 0;
+  parallel_for_blocked(0, 1000, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) hits[i]++;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](index_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, ThreadCountOverride) {
+  const int original = num_threads();
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  set_num_threads(0);
+  EXPECT_EQ(num_threads(), original);
+}
+
+// ------------------------------------------------------------- counters
+TEST(Counters, AccumulateAndReset) {
+  reset_tls_counters();
+  tls_counters().global_loads += 10;
+  tls_counters().flops += 5;
+  EXPECT_EQ(tls_counters().global_loads, 10u);
+  OpCounters other;
+  other.global_stores = 3;
+  tls_counters() += other;
+  EXPECT_EQ(tls_counters().global_stores, 3u);
+  reset_tls_counters();
+  EXPECT_EQ(tls_counters().global_loads, 0u);
+}
+
+// ---------------------------------------------------------------- timer
+TEST(Timer, KernelProfileAccumulates) {
+  KernelProfile prof;
+  prof.add("convolution", 1.5);
+  prof.add("convolution", 0.5);
+  prof.add("other", 0.25);
+  EXPECT_DOUBLE_EQ(prof.total("convolution"), 2.0);
+  EXPECT_DOUBLE_EQ(prof.grand_total(), 2.25);
+  prof.reset();
+  EXPECT_DOUBLE_EQ(prof.grand_total(), 0.0);
+}
+
+TEST(Timer, ScopedTimerRecordsNonNegative) {
+  KernelProfile prof;
+  { ScopedKernelTimer t(prof, "k"); }
+  EXPECT_GE(prof.total("k"), 0.0);
+}
+
+// ------------------------------------------------------------------- IO
+TEST(ImageIO, PgmRoundTrip) {
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "ccovid_test_roundtrip.pgm";
+  Tensor img({8, 16});
+  for (index_t y = 0; y < 8; ++y) {
+    for (index_t x = 0; x < 16; ++x) {
+      img.at(y, x) = static_cast<real_t>(x) / 15.0f;
+    }
+  }
+  write_pgm(path, img, 0.0f, 1.0f);
+  Tensor back = read_pgm(path);
+  EXPECT_EQ(back.shape(), img.shape());
+  EXPECT_LT(max_abs_diff(back, img), 1.0f / 255.0f + 1e-5f);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIO, PgmRejectsNon2d) {
+  Tensor t({2, 2, 2});
+  EXPECT_THROW(write_pgm("/tmp/x.pgm", t), std::invalid_argument);
+}
+
+TEST(ImageIO, CsvWritesHeaderAndRows) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "ccovid_test.csv";
+  write_csv(path, {"a", "b"}, {{1.0, 2.0}, {3.0, 4.5}});
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ serialize
+TEST(Serialize, TensorMapRoundTrip) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "ccovid_test.tnsr";
+  TensorMap m;
+  m["a"] = Tensor::from_vector({2, 2}, {1, 2, 3, 4});
+  m["b.weight"] = Tensor::full({3}, -0.5f);
+  save_tensor_map(path, m);
+  TensorMap back = load_tensor_map(path);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_TRUE(allclose(back["a"], m["a"]));
+  EXPECT_TRUE(allclose(back["b.weight"], m["b.weight"]));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, SingleTensorRoundTrip) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "ccovid_single.tnsr";
+  Tensor t = Tensor::from_vector({5}, {5, 4, 3, 2, 1});
+  save_tensor(path, t);
+  EXPECT_TRUE(allclose(load_tensor(path), t));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, BadMagicThrows) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "ccovid_bad.tnsr";
+  std::ofstream(path) << "not a tensor file at all";
+  EXPECT_THROW(load_tensor_map(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ccovid

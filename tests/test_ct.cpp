@@ -1,0 +1,332 @@
+// CT substrate (§3.1.2's simulation chain): FFT identities, Siddon line
+// integrals, Beer's-law Poisson statistics, FBP reconstruction fidelity,
+// HU conversions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/random.h"
+#include "ct/fbp.h"
+#include "ct/fft.h"
+#include "ct/geometry.h"
+#include "ct/hu.h"
+#include "ct/noise.h"
+#include "ct/siddon.h"
+
+namespace ccovid::ct {
+namespace {
+
+// ------------------------------------------------------------------ FFT
+TEST(Fft, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(768));
+  EXPECT_EQ(next_pow2(1000), 1024);
+  EXPECT_EQ(next_pow2(1024), 1024);
+}
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  Rng rng(1);
+  std::vector<cplx> data(256);
+  std::vector<cplx> orig(256);
+  for (auto& x : data) x = cplx(rng.gaussian(), rng.gaussian());
+  orig = data;
+  fft(data, false);
+  fft(data, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), orig[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), orig[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, DeltaHasFlatSpectrum) {
+  std::vector<cplx> data(64, cplx(0, 0));
+  data[0] = cplx(1, 0);
+  fft(data, false);
+  for (const auto& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  Rng rng(2);
+  std::vector<cplx> data(128);
+  double time_energy = 0.0;
+  for (auto& x : data) {
+    x = cplx(rng.gaussian(), 0.0);
+    time_energy += std::norm(x);
+  }
+  fft(data, false);
+  double freq_energy = 0.0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / data.size(), time_energy, 1e-6 * time_energy);
+}
+
+TEST(Fft, RejectsNonPow2) {
+  std::vector<cplx> data(100);
+  EXPECT_THROW(fft(data, false), std::invalid_argument);
+}
+
+TEST(Fft, CircularConvolutionMatchesDirect) {
+  const std::vector<double> a = {1, 2, 3, 4, 0, 0, 0, 0};
+  const std::vector<double> b = {0.5, 0.25, 0, 0, 0, 0, 0, 0};
+  const auto c = fft_convolve_circular(a, b);
+  // Direct circular convolution.
+  for (std::size_t n = 0; n < a.size(); ++n) {
+    double expect = 0.0;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      expect += a[k] * b[(n - k + a.size()) % a.size()];
+    }
+    EXPECT_NEAR(c[n], expect, 1e-9);
+  }
+}
+
+// ------------------------------------------------------------- geometry
+TEST(Geometry, PaperDefaults) {
+  const FanBeamGeometry g = paper_geometry();
+  EXPECT_DOUBLE_EQ(g.sdd_mm, 1500.0);   // §3.1.2
+  EXPECT_DOUBLE_EQ(g.sod_mm, 1000.0);
+  EXPECT_EQ(g.num_views, 720);
+  EXPECT_EQ(g.num_dets, 1024);
+  EXPECT_EQ(g.image_px, 512);
+  EXPECT_TRUE(g.valid());
+}
+
+TEST(Geometry, DetectorCoordsCentered) {
+  const FanBeamGeometry g = paper_geometry();
+  EXPECT_NEAR(g.det_coord(0) + g.det_coord(g.num_dets - 1), 0.0, 1e-9);
+  EXPECT_LT(g.det_coord(0), 0.0);
+}
+
+TEST(Geometry, ScaledKeepsValidity) {
+  const FanBeamGeometry g = paper_geometry().scaled(64);
+  EXPECT_EQ(g.image_px, 64);
+  EXPECT_TRUE(g.valid());
+  EXPECT_LT(g.num_views, 720);
+}
+
+// --------------------------------------------------------------- Siddon
+TEST(Siddon, RayThroughUniformDiscMatchesChordLength) {
+  FanBeamGeometry g = paper_geometry().scaled(64);
+  const index_t n = g.image_px;
+  const double mu0 = 0.02;
+  // Uniform disc of radius r_mm at the center.
+  const double r_frac = 0.3;
+  Tensor mu({n, n});
+  for (index_t iy = 0; iy < n; ++iy) {
+    for (index_t ix = 0; ix < n; ++ix) {
+      const double x = (ix + 0.5) / n - 0.5;
+      const double y = (iy + 0.5) / n - 0.5;
+      if (x * x + y * y <= r_frac * r_frac) {
+        mu.at(iy, ix) = static_cast<real_t>(mu0);
+      }
+    }
+  }
+  // A ray through the center crosses a full diameter.
+  const double sx = g.sod_mm, sy = 0.0;
+  const double ex = g.sod_mm - g.sdd_mm, ey = 0.0;
+  const double integral = siddon_line_integral(mu, g, sx, sy, ex, ey);
+  const double expect = 2.0 * r_frac * g.fov_mm * mu0;
+  EXPECT_NEAR(integral, expect, expect * 0.03);
+}
+
+TEST(Siddon, EmptyImageIntegratesToZero) {
+  FanBeamGeometry g = paper_geometry().scaled(32);
+  Tensor mu({32, 32});
+  EXPECT_DOUBLE_EQ(
+      siddon_line_integral(mu, g, g.sod_mm, 0, -g.sdd_mm + g.sod_mm, 0),
+      0.0);
+}
+
+TEST(Siddon, RayMissingGridIsZero) {
+  FanBeamGeometry g = paper_geometry().scaled(32);
+  Tensor mu = Tensor::full({32, 32}, 1.0f);
+  // A ray far outside the FOV.
+  const double integral =
+      siddon_line_integral(mu, g, g.sod_mm, 500.0, -500.0, 500.0);
+  EXPECT_DOUBLE_EQ(integral, 0.0);
+}
+
+TEST(Siddon, SinogramSymmetricForCenteredDisc) {
+  // A centered disc looks identical from every view angle.
+  FanBeamGeometry g = paper_geometry().scaled(32);
+  const index_t n = g.image_px;
+  Tensor mu({n, n});
+  for (index_t iy = 0; iy < n; ++iy) {
+    for (index_t ix = 0; ix < n; ++ix) {
+      const double x = (ix + 0.5) / n - 0.5;
+      const double y = (iy + 0.5) / n - 0.5;
+      if (x * x + y * y <= 0.09) mu.at(iy, ix) = 0.02f;
+    }
+  }
+  const Tensor sino = forward_project(mu, g);
+  // Compare view 0 with a quarter-turn view.
+  const index_t v2 = g.num_views / 4;
+  double max_diff = 0.0;
+  for (index_t d = 0; d < g.num_dets; ++d) {
+    max_diff = std::max(max_diff,
+                        std::fabs(double(sino.at(index_t(0), d)) -
+                                  sino.at(v2, d)));
+  }
+  EXPECT_LT(max_diff, 0.08 * sino.max());
+}
+
+// ---------------------------------------------------------------- noise
+TEST(Noise, ZeroIntegralGivesNearZeroNoise) {
+  // exp(0) = b counts; relative Poisson error ~ 1/sqrt(1e6) = 0.1%.
+  Tensor sino = Tensor::zeros({16, 16});
+  Rng rng(3);
+  const Tensor noisy = apply_poisson_noise(sino, NoiseModel{1e6}, rng);
+  EXPECT_LT(noisy.abs_max(), 0.01);
+}
+
+TEST(Noise, VarianceScalesInverselyWithPhotons) {
+  // Projection-domain noise variance ~ e^l / b.
+  Tensor sino = Tensor::full({64, 64}, 2.0f);
+  Rng rng1(4), rng2(4);
+  const Tensor noisy_low = apply_poisson_noise(sino, NoiseModel{1e4}, rng1);
+  const Tensor noisy_high = apply_poisson_noise(sino, NoiseModel{1e6}, rng2);
+  double var_low = 0.0, var_high = 0.0;
+  for (index_t i = 0; i < sino.numel(); ++i) {
+    var_low += std::pow(noisy_low.data()[i] - 2.0, 2);
+    var_high += std::pow(noisy_high.data()[i] - 2.0, 2);
+  }
+  EXPECT_GT(var_low, 20.0 * var_high);
+}
+
+TEST(Noise, UnbiasedInMeanForModerateAttenuation) {
+  Tensor sino = Tensor::full({128, 128}, 1.5f);
+  Rng rng(5);
+  const Tensor noisy = apply_poisson_noise(sino, NoiseModel{1e6}, rng);
+  EXPECT_NEAR(noisy.mean(), 1.5, 0.005);
+}
+
+TEST(Noise, ExpectedCountsBeerLaw) {
+  Tensor sino = Tensor::from_vector({1, 2}, {0.0f, std::log(2.0f)});
+  const Tensor counts = expected_counts(sino, NoiseModel{1000.0});
+  EXPECT_NEAR(counts.at(0, 0), 1000.0, 1e-3);
+  EXPECT_NEAR(counts.at(0, 1), 500.0, 1e-1);
+}
+
+TEST(Noise, RejectsNonPositivePhotons) {
+  Tensor sino({2, 2});
+  Rng rng(6);
+  EXPECT_THROW(apply_poisson_noise(sino, NoiseModel{0.0}, rng),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ FBP
+TEST(Fbp, ReconstructsUniformDisc) {
+  FanBeamGeometry g = paper_geometry().scaled(64);
+  const index_t n = g.image_px;
+  const double mu0 = 0.02;
+  Tensor mu({n, n});
+  for (index_t iy = 0; iy < n; ++iy) {
+    for (index_t ix = 0; ix < n; ++ix) {
+      const double x = (ix + 0.5) / n - 0.5;
+      const double y = (iy + 0.5) / n - 0.5;
+      if (x * x + y * y <= 0.09) mu.at(iy, ix) = static_cast<real_t>(mu0);
+    }
+  }
+  const Tensor sino = forward_project(mu, g);
+  const Tensor recon = fbp_reconstruct(sino, g);
+
+  // Interior value should recover mu0 within a few percent; RMSE over
+  // the disc interior should be small.
+  double center_mean = 0.0;
+  index_t count = 0;
+  for (index_t iy = n / 2 - 4; iy < n / 2 + 4; ++iy) {
+    for (index_t ix = n / 2 - 4; ix < n / 2 + 4; ++ix) {
+      center_mean += recon.at(iy, ix);
+      ++count;
+    }
+  }
+  center_mean /= count;
+  EXPECT_NEAR(center_mean, mu0, 0.15 * mu0);
+  // Air outside stays near zero.
+  EXPECT_NEAR(recon.at(2, 2), 0.0, 0.1 * mu0);
+}
+
+TEST(Fbp, SheppLoganFilterAlsoReconstructs) {
+  FanBeamGeometry g = paper_geometry().scaled(48);
+  const index_t n = g.image_px;
+  Tensor mu({n, n});
+  for (index_t iy = n / 3; iy < 2 * n / 3; ++iy) {
+    for (index_t ix = n / 3; ix < 2 * n / 3; ++ix) {
+      mu.at(iy, ix) = 0.02f;
+    }
+  }
+  const Tensor sino = forward_project(mu, g);
+  const Tensor recon = fbp_reconstruct(sino, g, RampFilter::kSheppLogan);
+  EXPECT_NEAR(recon.at(n / 2, n / 2), 0.02, 0.005);
+}
+
+TEST(Fbp, NoisyReconstructionWorseThanNoiseless) {
+  FanBeamGeometry g = paper_geometry().scaled(48);
+  const index_t n = g.image_px;
+  Tensor mu({n, n});
+  for (index_t iy = 0; iy < n; ++iy) {
+    for (index_t ix = 0; ix < n; ++ix) {
+      const double x = (ix + 0.5) / n - 0.5;
+      const double y = (iy + 0.5) / n - 0.5;
+      if (x * x + y * y <= 0.12) mu.at(iy, ix) = 0.02f;
+    }
+  }
+  const Tensor sino = forward_project(mu, g);
+  Rng rng(7);
+  const Tensor noisy = apply_poisson_noise(sino, NoiseModel{5e3}, rng);
+  const Tensor recon_clean = fbp_reconstruct(sino, g);
+  const Tensor recon_noisy = fbp_reconstruct(noisy, g);
+  double err_clean = 0.0, err_noisy = 0.0;
+  for (index_t i = 0; i < mu.numel(); ++i) {
+    err_clean += std::pow(double(recon_clean.data()[i]) - mu.data()[i], 2);
+    err_noisy += std::pow(double(recon_noisy.data()[i]) - mu.data()[i], 2);
+  }
+  EXPECT_GT(err_noisy, 1.5 * err_clean);
+}
+
+TEST(Fbp, SinogramGeometryMismatchThrows) {
+  FanBeamGeometry g = paper_geometry().scaled(32);
+  Tensor bad({10, 10});
+  EXPECT_THROW(filter_sinogram(bad, g), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- HU
+TEST(Hu, WaterIsZeroHu) {
+  Tensor mu = Tensor::full({2, 2}, static_cast<real_t>(kMuWater60KeV));
+  const Tensor hu = mu_to_hu(mu);
+  EXPECT_NEAR(hu.at(0, 0), 0.0, 1e-3);
+}
+
+TEST(Hu, AirIsMinus1000) {
+  Tensor mu = Tensor::zeros({1, 1});
+  EXPECT_NEAR(mu_to_hu(mu).at(0, 0), -1000.0, 1e-3);
+}
+
+TEST(Hu, RoundTripMuHuMu) {
+  Rng rng(8);
+  Tensor mu({8, 8});
+  rng.fill_uniform(mu, 0.0, 0.04);
+  const Tensor back = hu_to_mu(mu_to_hu(mu));
+  EXPECT_LT(max_abs_diff(back, mu), 1e-5f);
+}
+
+TEST(Hu, NormalizeClampsAndScales) {
+  const Tensor hu = Tensor::from_vector({4}, {-2000, -1024, 0, 2000});
+  const Tensor unit = normalize_hu(hu);
+  EXPECT_FLOAT_EQ(unit.at(0), 0.0f);  // clamped
+  EXPECT_FLOAT_EQ(unit.at(1), 0.0f);
+  EXPECT_NEAR(unit.at(2), 0.5f, 0.01);
+  EXPECT_FLOAT_EQ(unit.at(3), 1.0f);  // clamped
+}
+
+TEST(Hu, NormalizeDenormalizeRoundTrip) {
+  const Tensor hu = Tensor::from_vector({3}, {-500, 0, 500});
+  const Tensor back = denormalize_hu(normalize_hu(hu));
+  EXPECT_LT(max_abs_diff(back, hu), 0.5f);
+}
+
+}  // namespace
+}  // namespace ccovid::ct

@@ -1,0 +1,303 @@
+// Extension substrates: the SIRT iterative reconstructor with its exact
+// Siddon adjoint, and the U-Net comparator denoiser.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/losses.h"
+#include "autograd/optim.h"
+#include "core/random.h"
+#include "ct/iterative.h"
+#include "ct/fbp.h"
+#include "ct/sparse_view.h"
+#include "ct/siddon.h"
+#include "metrics/image_quality.h"
+#include "nn/unet.h"
+
+namespace ccovid {
+namespace {
+
+Tensor disc_phantom(index_t n, double radius_frac, real_t value) {
+  Tensor mu({n, n});
+  for (index_t iy = 0; iy < n; ++iy) {
+    for (index_t ix = 0; ix < n; ++ix) {
+      const double x = (ix + 0.5) / n - 0.5;
+      const double y = (iy + 0.5) / n - 0.5;
+      if (x * x + y * y <= radius_frac * radius_frac) {
+        mu.at(iy, ix) = value;
+      }
+    }
+  }
+  return mu;
+}
+
+// ------------------------------------------------------------- adjoint
+TEST(SiddonAdjoint, InnerProductIdentity) {
+  // <A x, y> == <x, A^T y>: the defining property of the adjoint, and
+  // what SIRT's convergence relies on.
+  ct::FanBeamGeometry g = ct::paper_geometry().scaled(24);
+  Rng rng(1);
+  Tensor x({g.image_px, g.image_px});
+  rng.fill_uniform(x, 0.0, 0.05);
+  Tensor y({g.num_views, g.num_dets});
+  rng.fill_uniform(y, 0.0, 1.0);
+
+  const Tensor ax = ct::forward_project(x, g);
+  const Tensor aty = ct::back_project_adjoint(y, g);
+
+  double lhs = 0.0, rhs = 0.0;
+  for (index_t i = 0; i < ax.numel(); ++i) {
+    lhs += static_cast<double>(ax.data()[i]) * y.data()[i];
+  }
+  for (index_t i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x.data()[i]) * aty.data()[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-4 * std::fabs(lhs));
+}
+
+TEST(SiddonAdjoint, ZeroSinogramGivesZeroImage) {
+  ct::FanBeamGeometry g = ct::paper_geometry().scaled(16);
+  const Tensor zero({g.num_views, g.num_dets});
+  EXPECT_FLOAT_EQ(ct::back_project_adjoint(zero, g).abs_max(), 0.0f);
+}
+
+TEST(SiddonAdjoint, ShapeMismatchThrows) {
+  ct::FanBeamGeometry g = ct::paper_geometry().scaled(16);
+  Tensor bad({3, 3});
+  EXPECT_THROW(ct::back_project_adjoint(bad, g), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- SIRT
+TEST(Sirt, ResidualDecreasesMonotonically) {
+  ct::FanBeamGeometry g = ct::paper_geometry().scaled(24);
+  const Tensor mu = disc_phantom(24, 0.3, 0.02f);
+  const Tensor sino = ct::forward_project(mu, g);
+  ct::SirtConfig cfg;
+  cfg.iterations = 8;
+  const auto result = ct::sirt_reconstruct(sino, g, cfg);
+  ASSERT_EQ(result.residuals.size(), 8u);
+  for (std::size_t i = 1; i < result.residuals.size(); ++i) {
+    EXPECT_LE(result.residuals[i], result.residuals[i - 1] * 1.001)
+        << "iteration " << i;
+  }
+}
+
+TEST(Sirt, ReconstructsDiscInterior) {
+  ct::FanBeamGeometry g = ct::paper_geometry().scaled(32);
+  const Tensor mu = disc_phantom(32, 0.3, 0.02f);
+  const Tensor sino = ct::forward_project(mu, g);
+  ct::SirtConfig cfg;
+  cfg.iterations = 30;
+  const auto result = ct::sirt_reconstruct(sino, g, cfg);
+  double center = 0.0;
+  for (index_t iy = 14; iy < 18; ++iy) {
+    for (index_t ix = 14; ix < 18; ++ix) {
+      center += result.image.at(iy, ix);
+    }
+  }
+  EXPECT_NEAR(center / 16.0, 0.02, 0.004);
+}
+
+TEST(Sirt, WarmStartFromFbpConvergesFaster) {
+  ct::FanBeamGeometry g = ct::paper_geometry().scaled(24);
+  const Tensor mu = disc_phantom(24, 0.25, 0.02f);
+  const Tensor sino = ct::forward_project(mu, g);
+  ct::SirtConfig cfg;
+  cfg.iterations = 3;
+  const auto cold = ct::sirt_reconstruct(sino, g, cfg);
+  const auto warm = ct::sirt_reconstruct(sino, g, cfg, mu /* oracle */);
+  EXPECT_LT(warm.residuals.front(), cold.residuals.front());
+}
+
+TEST(Sirt, NonnegativityClamp) {
+  ct::FanBeamGeometry g = ct::paper_geometry().scaled(16);
+  const Tensor mu = disc_phantom(16, 0.3, 0.02f);
+  Tensor sino = ct::forward_project(mu, g);
+  // Corrupt with strong negative noise so unclamped SIRT would go
+  // negative.
+  Rng rng(2);
+  for (index_t i = 0; i < sino.numel(); ++i) {
+    sino.data()[i] += static_cast<real_t>(rng.gaussian(0, 0.2));
+  }
+  ct::SirtConfig cfg;
+  cfg.iterations = 5;
+  cfg.nonnegativity = true;
+  const auto result = ct::sirt_reconstruct(sino, g, cfg);
+  EXPECT_GE(result.image.min(), 0.0f);
+}
+
+TEST(Sirt, RejectsBadConfig) {
+  ct::FanBeamGeometry g = ct::paper_geometry().scaled(16);
+  Tensor sino({g.num_views, g.num_dets});
+  ct::SirtConfig cfg;
+  cfg.iterations = 0;
+  EXPECT_THROW(ct::sirt_reconstruct(sino, g, cfg), std::invalid_argument);
+}
+
+TEST(Sirt, HandlesNoisyDataBetterThanRawBackprojection) {
+  // A smoke property: SIRT image correlates with the phantom.
+  ct::FanBeamGeometry g = ct::paper_geometry().scaled(24);
+  const Tensor mu = disc_phantom(24, 0.3, 0.02f);
+  Tensor sino = ct::forward_project(mu, g);
+  Rng rng(3);
+  for (index_t i = 0; i < sino.numel(); ++i) {
+    sino.data()[i] += static_cast<real_t>(rng.gaussian(0, 0.05));
+  }
+  ct::SirtConfig cfg;
+  cfg.iterations = 15;
+  const auto result = ct::sirt_reconstruct(sino, g, cfg);
+  EXPECT_LT(metrics::mse(result.image, mu), 1e-4);
+}
+
+// --------------------------------------------------------- sparse view
+TEST(SparseView, DecimationKeepsEveryNthView) {
+  ct::FanBeamGeometry g = ct::paper_geometry().scaled(16);
+  g.num_views = 64;
+  Tensor sino({64, g.num_dets});
+  for (index_t v = 0; v < 64; ++v) {
+    for (index_t d = 0; d < g.num_dets; ++d) {
+      sino.at(v, d) = static_cast<real_t>(v);
+    }
+  }
+  ct::FanBeamGeometry gs;
+  const Tensor sparse = ct::decimate_views(sino, g, 4, &gs);
+  EXPECT_EQ(gs.num_views, 16);
+  EXPECT_EQ(sparse.dim(0), 16);
+  EXPECT_FLOAT_EQ(sparse.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(sparse.at(1, 0), 4.0f);
+  EXPECT_FLOAT_EQ(sparse.at(15, 0), 60.0f);
+}
+
+TEST(SparseView, DecimationRejectsNonDivisor) {
+  ct::FanBeamGeometry g = ct::paper_geometry().scaled(16);
+  g.num_views = 64;
+  Tensor sino({64, g.num_dets});
+  EXPECT_THROW(ct::decimate_views(sino, g, 5, nullptr),
+               std::invalid_argument);
+}
+
+TEST(SparseView, InpaintingInterpolatesLinearly) {
+  ct::FanBeamGeometry g = ct::paper_geometry().scaled(16);
+  g.num_views = 8;
+  Tensor sparse({2, g.num_dets});
+  for (index_t d = 0; d < g.num_dets; ++d) {
+    sparse.at(0, d) = 0.0f;
+    sparse.at(1, d) = 4.0f;
+  }
+  const Tensor full = ct::inpaint_views(sparse, g, 4);
+  EXPECT_EQ(full.dim(0), 8);
+  EXPECT_FLOAT_EQ(full.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(full.at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(full.at(3, 0), 3.0f);
+  EXPECT_FLOAT_EQ(full.at(4, 0), 4.0f);
+  // Circular wrap: views between index 4 (value 4) and index 0 (value 0).
+  EXPECT_FLOAT_EQ(full.at(6, 0), 2.0f);
+}
+
+TEST(SparseView, RoundTripIdentityAtFactorOne) {
+  ct::FanBeamGeometry g = ct::paper_geometry().scaled(16);
+  g.num_views = 16;
+  Rng rng(20);
+  Tensor sino({16, g.num_dets});
+  rng.fill_uniform(sino, 0.0, 1.0);
+  ct::FanBeamGeometry gs;
+  const Tensor sparse = ct::decimate_views(sino, g, 1, &gs);
+  EXPECT_TRUE(allclose(sparse, sino));
+  EXPECT_TRUE(allclose(ct::inpaint_views(sparse, g, 1), sino));
+}
+
+TEST(SparseView, SparseReconstructionIsWorseThanFull) {
+  ct::FanBeamGeometry g = ct::paper_geometry().scaled(32);
+  g.num_views = 128;
+  const Tensor mu = disc_phantom(32, 0.3, 0.02f);
+  const Tensor sino = ct::forward_project(mu, g);
+  ct::FanBeamGeometry gs;
+  const Tensor sparse = ct::decimate_views(sino, g, 8, &gs);
+  const Tensor full_recon = ct::fbp_reconstruct(sino, g);
+  const Tensor sparse_recon = ct::fbp_reconstruct(sparse, gs);
+  EXPECT_GT(metrics::mse(sparse_recon, mu), metrics::mse(full_recon, mu));
+}
+
+TEST(SparseView, InpaintingBeatsPlainSparse) {
+  ct::FanBeamGeometry g = ct::paper_geometry().scaled(32);
+  g.num_views = 128;
+  const Tensor mu = disc_phantom(32, 0.3, 0.02f);
+  const Tensor sino = ct::forward_project(mu, g);
+  ct::FanBeamGeometry gs;
+  const Tensor sparse = ct::decimate_views(sino, g, 8, &gs);
+  const Tensor recon_sparse = ct::fbp_reconstruct(sparse, gs);
+  const Tensor recon_inpaint =
+      ct::fbp_reconstruct(ct::inpaint_views(sparse, g, 8), g);
+  EXPECT_LT(metrics::mse(recon_inpaint, mu), metrics::mse(recon_sparse, mu));
+}
+
+// ---------------------------------------------------------------- UNet
+TEST(UNet, PreservesShape) {
+  nn::seed_init_rng(4);
+  nn::UNetDenoiser net;
+  net.set_training(false);
+  Rng rng(5);
+  Tensor img({16, 24});
+  rng.fill_uniform(img, 0.0, 1.0);
+  const Tensor out = net.enhance(img);
+  EXPECT_EQ(out.shape(), img.shape());
+}
+
+TEST(UNet, ResidualInitNearIdentity) {
+  nn::seed_init_rng(6);
+  nn::UNetDenoiser net;  // residual=true, N(0, 0.01) weights
+  net.set_training(false);
+  Rng rng(7);
+  Tensor img({16, 16});
+  rng.fill_uniform(img, 0.3, 0.7);
+  EXPECT_LT(max_abs_diff(net.enhance(img), img), 0.5f);
+}
+
+TEST(UNet, RejectsIndivisibleExtent) {
+  nn::seed_init_rng(8);
+  nn::UNetDenoiser net;
+  Rng rng(9);
+  Tensor img({10, 10});
+  EXPECT_THROW(net.enhance(img), std::invalid_argument);
+}
+
+TEST(UNet, TrainsToDenoise) {
+  nn::seed_init_rng(10);
+  nn::UNetDenoiser net;
+  Rng rng(11);
+  Tensor target({1, 1, 16, 16});
+  rng.fill_uniform(target, 0.2, 0.8);
+  Tensor noisy = target.clone();
+  for (index_t i = 0; i < noisy.numel(); ++i) {
+    noisy.data()[i] += static_cast<real_t>(rng.gaussian(0, 0.15));
+  }
+  autograd::Adam opt(net.parameters(), 2e-3);
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 12; ++step) {
+    autograd::Var pred = net.forward(autograd::Var(noisy.clone()));
+    autograd::Var loss = autograd::mse_loss(pred, target);
+    if (step == 0) first = loss.value().at(0);
+    last = loss.value().at(0);
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST(UNet, StateDictRoundTrip) {
+  nn::seed_init_rng(12);
+  nn::UNetDenoiser a;
+  nn::seed_init_rng(999);
+  nn::UNetDenoiser b;
+  b.load_state_dict(a.state_dict());
+  Rng rng(13);
+  Tensor img({16, 16});
+  rng.fill_uniform(img, 0.0, 1.0);
+  a.set_training(false);
+  b.set_training(false);
+  EXPECT_TRUE(allclose(a.enhance(img), b.enhance(img), 1e-5f, 1e-5f));
+}
+
+}  // namespace
+}  // namespace ccovid

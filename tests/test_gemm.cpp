@@ -1,0 +1,149 @@
+// Blocked GEMM and the im2col convolution path: correctness against
+// naive matrix multiply and the direct convolution kernels, including
+// the awkward remainder shapes the register tiling must handle.
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "ops/gemm.h"
+
+namespace ccovid::ops {
+namespace {
+
+Tensor random_tensor(Shape s, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(s));
+  rng.fill_gaussian(t, 0.0, 1.0);
+  return t;
+}
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const index_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (index_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a.at(i, p)) * b.at(p, j);
+      }
+      c.at(i, j) = static_cast<real_t>(acc);
+    }
+  }
+  return c;
+}
+
+struct GemmCase {
+  index_t m, k, n;
+};
+
+class GemmSweep : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmSweep, MatchesNaive) {
+  const GemmCase c = GetParam();
+  const Tensor a = random_tensor({c.m, c.k}, 1);
+  const Tensor b = random_tensor({c.k, c.n}, 2);
+  const Tensor fast = matmul(a, b);
+  const Tensor ref = naive_matmul(a, b);
+  EXPECT_TRUE(allclose(fast, ref, 1e-3f, 1e-3f))
+      << "m=" << c.m << " k=" << c.k << " n=" << c.n
+      << " diff=" << max_abs_diff(fast, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Values(GemmCase{1, 1, 1},      // degenerate
+                      GemmCase{4, 8, 8},      // exactly one micro tile
+                      GemmCase{5, 7, 9},      // all-remainder edges
+                      GemmCase{16, 16, 16},   // tile-aligned
+                      GemmCase{3, 300, 11},   // k crosses kKc
+                      GemmCase{70, 20, 260},  // m crosses kMc, n crosses kNc
+                      GemmCase{64, 256, 256},  // exact block boundaries
+                      GemmCase{65, 257, 257}));  // one past each boundary
+
+TEST(Gemm, IdentityMatrix) {
+  const index_t n = 12;
+  Tensor eye({n, n});
+  for (index_t i = 0; i < n; ++i) eye.at(i, i) = 1.0f;
+  const Tensor x = random_tensor({n, n}, 3);
+  EXPECT_TRUE(allclose(matmul(eye, x), x, 1e-6f, 1e-6f));
+  EXPECT_TRUE(allclose(matmul(x, eye), x, 1e-6f, 1e-6f));
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  const Tensor a = Tensor::zeros({2, 3});
+  const Tensor b = Tensor::zeros({4, 2});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- im2col
+TEST(Im2col, PatchLayout) {
+  // 1x1x3x3 image, k=2, stride 1, no pad -> 4 patches of 4 values.
+  const Tensor img = Tensor::from_vector({1, 1, 3, 3},
+                                         {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const Tensor cols = im2col(img, 2, Conv2dParams{1, 0});
+  EXPECT_EQ(cols.shape(), Shape({1, 4, 4}));
+  // Row 0 is tap (ky=0,kx=0) over the 2x2 output grid: {1,2,4,5}.
+  EXPECT_FLOAT_EQ(cols.at(0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(cols.at(0, 0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(cols.at(0, 0, 2), 4.0f);
+  EXPECT_FLOAT_EQ(cols.at(0, 0, 3), 5.0f);
+  // Row 3 is tap (1,1): {5,6,8,9}.
+  EXPECT_FLOAT_EQ(cols.at(0, 3, 0), 5.0f);
+  EXPECT_FLOAT_EQ(cols.at(0, 3, 3), 9.0f);
+}
+
+TEST(Im2col, PaddingContributesZeros) {
+  const Tensor img = Tensor::ones({1, 1, 2, 2});
+  const Tensor cols = im2col(img, 3, Conv2dParams{1, 1});
+  // Corner output (0,0): only taps over in-bounds pixels are 1.
+  double total = 0.0;
+  for (index_t r = 0; r < 9; ++r) total += cols.at(0, r, 0);
+  EXPECT_DOUBLE_EQ(total, 4.0);  // 2x2 of the 3x3 window in bounds
+}
+
+TEST(Im2col, Col2imIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)>.
+  Rng rng(4);
+  const Tensor x = random_tensor({1, 2, 5, 5}, 5);
+  const Conv2dParams p{2, 1};
+  const Tensor cx = im2col(x, 3, p);
+  Tensor y(cx.shape());
+  rng.fill_gaussian(y, 0.0, 1.0);
+  const Tensor xty = col2im(y, 2, 5, 5, 3, p);
+  double lhs = 0.0, rhs = 0.0;
+  for (index_t i = 0; i < cx.numel(); ++i) {
+    lhs += static_cast<double>(cx.data()[i]) * y.data()[i];
+  }
+  for (index_t i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x.data()[i]) * xty.data()[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+struct ConvCase {
+  index_t n, cin, h, w, cout, k, stride, pad;
+};
+
+class GemmConvSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(GemmConvSweep, MatchesDirectConvolution) {
+  const ConvCase c = GetParam();
+  const Tensor input = random_tensor({c.n, c.cin, c.h, c.w}, 6);
+  const Tensor weight = random_tensor({c.cout, c.cin, c.k, c.k}, 7);
+  const Tensor bias = random_tensor({c.cout}, 8);
+  const Conv2dParams p{c.stride, c.pad};
+  const Tensor direct = conv2d(input, weight, bias, p);
+  const Tensor gemm = conv2d_gemm(input, weight, bias, p);
+  EXPECT_TRUE(allclose(gemm, direct, 1e-3f, 1e-3f))
+      << "diff=" << max_abs_diff(gemm, direct);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmConvSweep,
+    ::testing::Values(ConvCase{1, 1, 8, 8, 1, 3, 1, 1},
+                      ConvCase{1, 3, 12, 12, 8, 5, 1, 2},  // DDnet 5x5
+                      ConvCase{2, 2, 9, 7, 4, 3, 2, 1},
+                      ConvCase{1, 4, 16, 16, 16, 1, 1, 0},  // pointwise
+                      ConvCase{1, 1, 20, 20, 2, 7, 1, 3})); // stem 7x7
+
+}  // namespace
+}  // namespace ccovid::ops

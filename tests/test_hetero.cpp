@@ -1,0 +1,159 @@
+// Heterogeneous-platform model: the Table 4 device table, roofline
+// projection properties, and the qualitative shapes the paper reports
+// (platform ranking follows memory bandwidth; the REF refactoring
+// dominates the deconvolution ablation; PF/LU are marginal on CPU/GPU).
+#include <gtest/gtest.h>
+
+#include "hetero/ddnet_counts.h"
+#include "hetero/device_model.h"
+
+namespace ccovid::hetero {
+namespace {
+
+TEST(Devices, TableFourRoster) {
+  const auto devices = paper_devices();
+  ASSERT_EQ(devices.size(), 6u);
+  EXPECT_EQ(devices[0].name, "Nvidia V100 GPU");
+  EXPECT_EQ(devices[5].name, "Intel Arria 10 GX 1150 FPGA");
+  // Bandwidths from Table 4.
+  EXPECT_DOUBLE_EQ(device_by_name("Nvidia V100 GPU").bandwidth_GBps, 900);
+  EXPECT_DOUBLE_EQ(device_by_name("Nvidia T4 GPU").bandwidth_GBps, 320);
+  EXPECT_DOUBLE_EQ(
+      device_by_name("Intel Xeon Gold 6128 CPU").bandwidth_GBps, 119);
+}
+
+TEST(Devices, UnknownNameThrows) {
+  EXPECT_THROW(device_by_name("Cray-1"), std::invalid_argument);
+}
+
+TEST(Devices, FpgaFlagsSet) {
+  const DeviceSpec fpga = device_by_name("Intel Arria 10 GX 1150 FPGA");
+  EXPECT_TRUE(fpga.is_fpga);
+  EXPECT_GT(fpga.reconfig_overhead_s, 0.0);
+  EXPECT_LT(fpga.bandwidth_GBps, 3.0);  // "< 3" in Table 4
+}
+
+OpCounters memory_bound_counters() {
+  OpCounters c;
+  c.global_loads = 1'000'000'000;
+  c.global_stores = 50'000'000;
+  c.flops = 100'000'000;  // low arithmetic intensity
+  return c;
+}
+
+TEST(Projection, MemoryBoundTimeTracksBandwidth) {
+  // §5.1.3's observation: for memory-bound kernels the platform ranking
+  // follows bandwidth. V100 > P100 > Vega > T4 > CPU in bandwidth =>
+  // ascending projected time.
+  const auto counters = memory_bound_counters();
+  const ops::KernelOptions opt = ops::KernelOptions::all();
+  double prev = 0.0;
+  for (const char* name :
+       {"Nvidia V100 GPU", "Nvidia T4 GPU", "Intel Xeon Gold 6128 CPU",
+        "Intel Arria 10 GX 1150 FPGA"}) {
+    const double t = project_kernel_seconds(
+        device_by_name(name), counters, KernelKind::kConvolution, opt, 1);
+    EXPECT_GT(t, prev) << name;
+    prev = t;
+  }
+}
+
+TEST(Projection, ScatterBaselineSlowerThanGather) {
+  const auto counters = memory_bound_counters();
+  for (const auto& dev : paper_devices()) {
+    const double refactored = project_kernel_seconds(
+        dev, counters, KernelKind::kDeconvolution,
+        ops::KernelOptions::refactored(), 1);
+    const double baseline = project_kernel_seconds(
+        dev, counters, KernelKind::kDeconvolution,
+        ops::KernelOptions::baseline(), 1);
+    EXPECT_GT(baseline, refactored) << dev.name;
+  }
+}
+
+TEST(Projection, PrefetchAndUnrollAreMarginalOnGpu) {
+  // Paper Table 7: on GPUs, +PF and +LU change runtimes by at most a few
+  // tens of percent while +REF changes them by orders of magnitude.
+  const auto counters = memory_bound_counters();
+  const DeviceSpec v100 = device_by_name("Nvidia V100 GPU");
+  const double ref = project_kernel_seconds(
+      v100, counters, KernelKind::kDeconvolution,
+      ops::KernelOptions::refactored(), 1);
+  const double all = project_kernel_seconds(
+      v100, counters, KernelKind::kDeconvolution, ops::KernelOptions::all(),
+      1);
+  const double baseline = project_kernel_seconds(
+      v100, counters, KernelKind::kDeconvolution,
+      ops::KernelOptions::baseline(), 1);
+  EXPECT_LT(ref / all, 1.5);        // PF+LU: small
+  EXPECT_GT(baseline / all, 50.0);  // REF: orders of magnitude
+}
+
+TEST(Projection, LaunchOverheadAdds) {
+  OpCounters tiny;
+  tiny.global_loads = 100;
+  tiny.flops = 100;
+  const DeviceSpec v100 = device_by_name("Nvidia V100 GPU");
+  const double one = project_kernel_seconds(
+      v100, tiny, KernelKind::kOther, ops::KernelOptions::all(), 1);
+  const double many = project_kernel_seconds(
+      v100, tiny, KernelKind::kOther, ops::KernelOptions::all(), 100);
+  EXPECT_NEAR(many - one, 99 * v100.launch_overhead_s, 1e-9);
+}
+
+TEST(Projection, FpgaReconfigurationIncluded) {
+  const auto counts = count_ddnet(nn::DDnetConfig::tiny(), 16, 16);
+  const DeviceSpec fpga = device_by_name("Intel Arria 10 GX 1150 FPGA");
+  const auto breakdown =
+      project_network_seconds(fpga, counts, ops::KernelOptions::all());
+  EXPECT_GE(breakdown.other_s, 2.0 * fpga.reconfig_overhead_s);
+}
+
+TEST(Projection, NetworkBreakdownSumsToTotal) {
+  const auto counts = count_ddnet(nn::DDnetConfig::tiny(), 32, 32);
+  const DeviceSpec cpu = device_by_name("Intel Xeon Gold 6128 CPU");
+  const auto b = project_network_seconds(cpu, counts,
+                                         ops::KernelOptions::all());
+  EXPECT_DOUBLE_EQ(b.total(), b.conv_s + b.deconv_s + b.other_s);
+  EXPECT_GT(b.total(), 0.0);
+}
+
+TEST(Projection, PaperScaleV100InferenceSubSecond) {
+  // With the paper's DDnet at 512x512, the V100 projection should land
+  // in the sub-second regime Table 4 reports (0.10 s OpenCL).
+  const auto counts = count_ddnet(nn::DDnetConfig::paper(), 512, 512);
+  const DeviceSpec v100 = device_by_name("Nvidia V100 GPU");
+  const auto b =
+      project_network_seconds(v100, counts, ops::KernelOptions::all());
+  EXPECT_LT(b.total(), 1.0);
+  EXPECT_GT(b.total(), 0.01);
+}
+
+TEST(Projection, AblationMonotonicallyImproves) {
+  // Baseline >= +REF >= +REF+PF >= +REF+PF+LU on every platform
+  // (cumulative optimizations never hurt in the model, matching the
+  // monotone rows of Table 7).
+  const auto counts = count_ddnet(nn::DDnetConfig::paper(), 64, 64);
+  for (const auto& dev : paper_devices()) {
+    const double t0 =
+        project_network_seconds(dev, counts, ops::KernelOptions::baseline())
+            .total();
+    const double t1 =
+        project_network_seconds(dev, counts,
+                                ops::KernelOptions::refactored())
+            .total();
+    const double t2 = project_network_seconds(
+                          dev, counts,
+                          ops::KernelOptions::refactored_prefetch())
+                          .total();
+    const double t3 =
+        project_network_seconds(dev, counts, ops::KernelOptions::all())
+            .total();
+    EXPECT_GE(t0, t1) << dev.name;
+    EXPECT_GE(t1, t2) << dev.name;
+    EXPECT_GE(t2, t3) << dev.name;
+  }
+}
+
+}  // namespace
+}  // namespace ccovid::hetero

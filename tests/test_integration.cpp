@@ -1,0 +1,176 @@
+// End-to-end integration: the Fig. 4 workflow at miniature scale —
+// synthesize phantoms, run the low-dose physics chain, train all three
+// AI stages, and push volumes through the full ComputeCOVID19+ pipeline
+// with and without Enhancement AI.
+#include <gtest/gtest.h>
+
+#include "ct/hu.h"
+#include "dist/ddp.h"
+#include "metrics/classification.h"
+#include "nn/layers.h"
+#include "pipeline/framework.h"
+
+namespace ccovid {
+namespace {
+
+using pipeline::ClassificationAI;
+using pipeline::ComputeCovid19Pipeline;
+using pipeline::EnhancementAI;
+using pipeline::SegmentationAI;
+
+TEST(Integration, FullWorkflowEndToEnd) {
+  nn::seed_init_rng(1);
+  Rng rng(2);
+
+  // --- data preparation (§2.1) ---
+  data::ClassificationDatasetConfig dcfg;
+  dcfg.depth = 4;
+  dcfg.image_px = 16;
+  dcfg.num_train = 10;
+  dcfg.num_test = 8;
+  dcfg.positive_fraction = 0.5;
+  const data::ClassificationDataset cds =
+      data::make_classification_dataset(dcfg, rng);
+
+  // --- enhancement (trained on low-dose pairs) ---
+  data::EnhancementDatasetConfig ecfg;
+  ecfg.image_px = 16;
+  ecfg.num_train = 4;
+  ecfg.num_val = 1;
+  ecfg.num_test = 1;
+  ecfg.lowdose.photons_per_ray = 5e4;
+  const data::EnhancementDataset eds =
+      data::make_enhancement_dataset(ecfg, rng);
+
+  auto enh = std::make_shared<EnhancementAI>(nn::DDnetConfig::tiny());
+  pipeline::EnhancementTrainConfig etc;
+  etc.epochs = 3;
+  etc.lr = 2e-3;
+  etc.msssim_scales = 1;
+  const auto elogs = enh->train(eds, etc, rng);
+  EXPECT_EQ(elogs.size(), 3u);
+
+  // --- segmentation ---
+  auto seg = std::make_shared<SegmentationAI>();
+  pipeline::SegmentationTrainConfig scfg;
+  scfg.epochs = 4;
+  scfg.lr = 5e-3;
+  seg->train(cds.train, scfg, rng);
+
+  // --- classification (on masked volumes, §3.2) ---
+  std::vector<Tensor> train_vols;
+  std::vector<int> train_labels;
+  for (const auto& s : cds.train) {
+    const Tensor norm = ct::normalize_hu(s.hu);
+    // Ground-truth masking during training (most controlled setting).
+    train_vols.push_back(norm.mul(s.lung_mask));
+    train_labels.push_back(s.label);
+  }
+  auto cls = std::make_shared<ClassificationAI>();
+  pipeline::ClassificationTrainConfig ccfg;
+  ccfg.epochs = 4;
+  ccfg.lr = 2e-3;
+  ccfg.augment = false;
+  cls->train(train_vols, train_labels, ccfg, rng);
+
+  // --- full pipeline on the held-out volumes ---
+  ComputeCovid19Pipeline pipe(enh, seg, cls);
+  std::vector<Tensor> test_vols;
+  std::vector<int> test_labels;
+  for (const auto& s : cds.test) {
+    test_vols.push_back(s.hu);
+    test_labels.push_back(s.label);
+  }
+  const auto scores_orig = pipe.score_volumes(test_vols, false);
+  const auto scores_enh = pipe.score_volumes(test_vols, true);
+  ASSERT_EQ(scores_orig.size(), test_vols.size());
+  ASSERT_EQ(scores_enh.size(), test_vols.size());
+  for (std::size_t i = 0; i < scores_orig.size(); ++i) {
+    EXPECT_GE(scores_orig[i], 0.0);
+    EXPECT_LE(scores_orig[i], 1.0);
+    EXPECT_GE(scores_enh[i], 0.0);
+    EXPECT_LE(scores_enh[i], 1.0);
+  }
+  // The metrics machinery digests the scores (Fig. 13 apparatus).
+  const double auc_orig = metrics::auc(scores_orig, test_labels);
+  EXPECT_GE(auc_orig, 0.0);
+  EXPECT_LE(auc_orig, 1.0);
+  const double t = metrics::youden_optimal_threshold(scores_orig, test_labels);
+  const auto cm = metrics::confusion_at_threshold(scores_orig, test_labels, t);
+  EXPECT_EQ(cm.total(), static_cast<index_t>(test_labels.size()));
+}
+
+TEST(Integration, DistributedEnhancementTrainingConverges) {
+  // The Table 3 machinery end to end at miniature scale: 2-node DDP
+  // over real low-dose pairs.
+  nn::seed_init_rng(3);
+  Rng rng(4);
+  data::EnhancementDatasetConfig ecfg;
+  ecfg.image_px = 16;
+  ecfg.num_train = 4;
+  ecfg.num_val = 0;
+  ecfg.num_test = 0;
+  ecfg.lowdose.photons_per_ray = 5e4;
+  const data::EnhancementDataset ds =
+      data::make_enhancement_dataset(ecfg, rng);
+
+  dist::DdpConfig cfg;
+  cfg.world_size = 2;
+  cfg.per_worker_batch = 1;
+  cfg.lr = 2e-3;
+  dist::DdpTrainer trainer(
+      [] { return std::make_shared<nn::DDnet>(nn::DDnetConfig::tiny()); },
+      cfg);
+
+  auto loss_fn = [&ds](nn::Module& model, int /*rank*/,
+                       const std::vector<index_t>& samples) {
+    auto& net = dynamic_cast<nn::DDnet&>(model);
+    autograd::Var total;
+    for (index_t s : samples) {
+      const auto& pair = ds.train[s];
+      autograd::Var x(pair.low.clone().reshape(
+          {1, 1, pair.low.dim(0), pair.low.dim(1)}));
+      autograd::Var pred = net.forward(x);
+      autograd::Var loss = autograd::enhancement_loss(
+          pred,
+          pair.full.clone().reshape({1, 1, pair.full.dim(0),
+                                     pair.full.dim(1)}),
+          0.1f, 11, 1);
+      total = total.defined() ? autograd::add(total, loss) : loss;
+    }
+    return autograd::mul_scalar(total,
+                                1.0f / static_cast<real_t>(samples.size()));
+  };
+
+  const auto first = trainer.train_epoch(4, loss_fn, rng);
+  dist::EpochStats last{};
+  for (int e = 0; e < 3; ++e) {
+    last = trainer.train_epoch(4, loss_fn, rng);
+    trainer.decay_lr();
+  }
+  EXPECT_LT(last.mean_loss, first.mean_loss);
+  EXPECT_GT(last.modeled_seconds, 0.0);
+}
+
+TEST(Integration, ModelCheckpointRoundTripThroughPipeline) {
+  nn::seed_init_rng(5);
+  Rng rng(6);
+  const std::string path = "/tmp/ccovid_integration_ddnet.tnsr";
+  auto enh = std::make_shared<EnhancementAI>(nn::DDnetConfig::tiny());
+  enh->network().set_training(false);
+  Tensor slice({16, 16});
+  rng.fill_uniform(slice, 0.0, 1.0);
+  const Tensor before = enh->enhance(slice);
+  enh->network().save(path);
+
+  nn::seed_init_rng(777);  // different init
+  auto enh2 = std::make_shared<EnhancementAI>(nn::DDnetConfig::tiny());
+  enh2->network().load(path);
+  enh2->network().set_training(false);
+  const Tensor after = enh2->enhance(slice);
+  EXPECT_TRUE(allclose(before, after, 1e-5f, 1e-5f));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ccovid

@@ -1,0 +1,202 @@
+// Loss functions: the composite Eq.-1 enhancement loss (MSE +
+// 0.1*(1 - MS-SSIM)) with its exact autograd gradient, and the Eq.-2
+// binary cross-entropy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.h"
+#include "autograd/losses.h"
+#include "autograd/optim.h"
+#include "core/random.h"
+#include "metrics/image_quality.h"
+
+namespace ccovid::autograd {
+namespace {
+
+Tensor random_image_batch(index_t h, index_t w, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t({1, 1, h, w});
+  rng.fill_uniform(t, 0.2, 0.8);
+  return t;
+}
+
+TEST(MseLoss, ZeroForEqualInputs) {
+  const Tensor t = random_image_batch(8, 8, 1);
+  Var pred(t.clone(), true);
+  Var loss = mse_loss(pred, t);
+  EXPECT_NEAR(loss.value().at(0), 0.0, 1e-7);
+}
+
+TEST(MseLoss, MatchesMetricValue) {
+  const Tensor a = random_image_batch(8, 8, 2);
+  const Tensor b = random_image_batch(8, 8, 3);
+  Var pred(a.clone());
+  const double loss_v = mse_loss(pred, b).value().at(0);
+  // metrics::mse works on 2-D images; reshape.
+  const double metric_v = metrics::mse(a.clone().reshape({8, 8}),
+                                       b.clone().reshape({8, 8}));
+  EXPECT_NEAR(loss_v, metric_v, 1e-6);
+}
+
+TEST(MseLoss, GradientIsTwoDeltaOverN) {
+  Tensor target = Tensor::zeros({1, 1, 2, 2});
+  Tensor pred_val = Tensor::full({1, 1, 2, 2}, 0.5f);
+  Var pred(pred_val, true);
+  Var loss = mse_loss(pred, target);
+  loss.backward();
+  // d/dp mean((p - t)^2) = 2(p - t)/N = 2*0.5/4.
+  for (index_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(pred.grad().data()[i], 0.25f, 1e-6);
+  }
+}
+
+TEST(MsSsimVar, OneForIdenticalImages) {
+  const Tensor t = random_image_batch(32, 32, 4);
+  Var pred(t.clone(), true);
+  Var ms = ms_ssim(pred, t);
+  EXPECT_NEAR(ms.value().at(0), 1.0, 1e-4);
+}
+
+TEST(MsSsimVar, MatchesMetricImplementation) {
+  const Tensor a = random_image_batch(48, 48, 5);
+  Tensor b = a.clone();
+  Rng rng(6);
+  for (index_t i = 0; i < b.numel(); ++i) {
+    b.data()[i] += static_cast<real_t>(rng.gaussian(0, 0.05));
+  }
+  Var pred(a.clone());
+  const double var_v = ms_ssim(pred, b).value().at(0);
+  const double metric_v = metrics::ms_ssim(a.clone().reshape({48, 48}),
+                                           b.clone().reshape({48, 48}));
+  EXPECT_NEAR(var_v, metric_v, 5e-3);
+}
+
+TEST(MsSsimVar, GradientMatchesNumerical) {
+  // Small image (single scale) keeps the finite-difference loop cheap.
+  Tensor target = random_image_batch(12, 12, 7);
+  Tensor pred_val = target.clone();
+  Rng rng(8);
+  for (index_t i = 0; i < pred_val.numel(); ++i) {
+    pred_val.data()[i] += static_cast<real_t>(rng.gaussian(0, 0.05));
+  }
+  auto f = [&]() {
+    Var p(pred_val);
+    return static_cast<double>(ms_ssim(p, target, 11, 1.5, 1.0, 1)
+                                   .value()
+                                   .at(0));
+  };
+  const Tensor num = numerical_gradient(f, pred_val, 1e-3);
+  Var p(pred_val, true);
+  Var ms = ms_ssim(p, target, 11, 1.5, 1.0, 1);
+  ms.backward();
+  EXPECT_LT(gradient_error(p.grad(), num), 5e-2);
+}
+
+TEST(EnhancementLoss, ZeroAtPerfectReconstruction) {
+  const Tensor t = random_image_batch(32, 32, 9);
+  Var pred(t.clone(), true);
+  Var loss = enhancement_loss(pred, t);
+  EXPECT_NEAR(loss.value().at(0), 0.0, 1e-4);
+}
+
+TEST(EnhancementLoss, CombinesTermsWithPaperWeight) {
+  const Tensor target = random_image_batch(32, 32, 10);
+  Tensor noisy = target.clone();
+  Rng rng(11);
+  for (index_t i = 0; i < noisy.numel(); ++i) {
+    noisy.data()[i] += static_cast<real_t>(rng.gaussian(0, 0.1));
+  }
+  Var pred(noisy);
+  const double total = enhancement_loss(pred, target).value().at(0);
+  Var pred2(noisy);
+  const double mse_v = mse_loss(pred2, target).value().at(0);
+  Var pred3(noisy);
+  const double ms_v = ms_ssim(pred3, target).value().at(0);
+  EXPECT_NEAR(total, mse_v + 0.1 * (1.0 - ms_v), 1e-5);  // Eq. (1)
+}
+
+TEST(EnhancementLoss, GradientDescentImprovesImage) {
+  // Directly optimizing the pixels of a noisy image under the composite
+  // loss must increase MS-SSIM against the target.
+  const Tensor target = random_image_batch(16, 16, 12);
+  Tensor noisy = target.clone();
+  Rng rng(13);
+  for (index_t i = 0; i < noisy.numel(); ++i) {
+    noisy.data()[i] += static_cast<real_t>(rng.gaussian(0, 0.2));
+  }
+  Var img(noisy.clone(), true);
+  Adam opt({img}, 0.02);
+  const double before = enhancement_loss(Var(img.value().clone()), target, 0.1f, 11, 1)
+                            .value()
+                            .at(0);
+  for (int i = 0; i < 50; ++i) {
+    Var loss = enhancement_loss(img, target, 0.1f, 11, 1);
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+  }
+  const double after = enhancement_loss(Var(img.value().clone()), target, 0.1f, 11, 1)
+                           .value()
+                           .at(0);
+  EXPECT_LT(after, before * 0.2);
+}
+
+// --------------------------------------------------------------- BCE
+TEST(BceLoss, KnownValues) {
+  // logits 0 -> p = 0.5 -> loss = ln 2 regardless of the label.
+  Tensor logits_val = Tensor::zeros({2, 1});
+  Tensor targets = Tensor::from_vector({2, 1}, {1.0f, 0.0f});
+  Var logits(logits_val);
+  EXPECT_NEAR(bce_with_logits_loss(logits, targets).value().at(0),
+              std::log(2.0), 1e-6);
+}
+
+TEST(BceLoss, ConfidentCorrectIsSmall) {
+  Tensor logits_val = Tensor::from_vector({2, 1}, {10.0f, -10.0f});
+  Tensor targets = Tensor::from_vector({2, 1}, {1.0f, 0.0f});
+  Var logits(logits_val);
+  EXPECT_LT(bce_with_logits_loss(logits, targets).value().at(0), 1e-3);
+}
+
+TEST(BceLoss, ConfidentWrongIsLarge) {
+  Tensor logits_val = Tensor::from_vector({1, 1}, {-10.0f});
+  Tensor targets = Tensor::from_vector({1, 1}, {1.0f});
+  Var logits(logits_val);
+  EXPECT_GT(bce_with_logits_loss(logits, targets).value().at(0), 9.0);
+}
+
+TEST(BceLoss, StableAtExtremeLogits) {
+  Tensor logits_val = Tensor::from_vector({2, 1}, {500.0f, -500.0f});
+  Tensor targets = Tensor::from_vector({2, 1}, {0.0f, 1.0f});
+  Var logits(logits_val);
+  const double v = bce_with_logits_loss(logits, targets).value().at(0);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_NEAR(v, 500.0, 1.0);
+}
+
+TEST(BceLoss, GradientMatchesNumerical) {
+  Tensor logits_val = Tensor::from_vector({3, 1}, {0.5f, -1.0f, 2.0f});
+  Tensor targets = Tensor::from_vector({3, 1}, {1.0f, 0.0f, 1.0f});
+  auto f = [&]() {
+    Var l(logits_val);
+    return static_cast<double>(
+        bce_with_logits_loss(l, targets).value().at(0));
+  };
+  const Tensor num = numerical_gradient(f, logits_val, 1e-4);
+  Var logits(logits_val, true);
+  Var loss = bce_with_logits_loss(logits, targets);
+  loss.backward();
+  EXPECT_LT(gradient_error(logits.grad(), num), 1e-2);
+}
+
+TEST(BceLoss, GradientIsSigmoidMinusTarget) {
+  Tensor logits_val = Tensor::from_vector({1, 1}, {0.0f});
+  Tensor targets = Tensor::from_vector({1, 1}, {1.0f});
+  Var logits(logits_val, true);
+  bce_with_logits_loss(logits, targets).backward();
+  EXPECT_NEAR(logits.grad().at(0, 0), 0.5 - 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ccovid::autograd

@@ -1,0 +1,271 @@
+// Image-quality and classification metrics (§5.2's measurement
+// apparatus): SSIM/MS-SSIM invariants, ROC/AUC properties, confusion
+// matrix identities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/random.h"
+#include "metrics/classification.h"
+#include "metrics/image_quality.h"
+
+namespace ccovid::metrics {
+namespace {
+
+Tensor random_image(index_t h, index_t w, std::uint64_t seed,
+                    double lo = 0.0, double hi = 1.0) {
+  Rng rng(seed);
+  Tensor t({h, w});
+  rng.fill_uniform(t, lo, hi);
+  return t;
+}
+
+// ------------------------------------------------------------ MSE/PSNR
+TEST(Mse, ZeroForIdenticalImages) {
+  const Tensor a = random_image(16, 16, 1);
+  EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+}
+
+TEST(Mse, KnownValue) {
+  const Tensor a = Tensor::zeros({2, 2});
+  const Tensor b = Tensor::full({2, 2}, 0.5f);
+  EXPECT_NEAR(mse(a, b), 0.25, 1e-7);
+}
+
+TEST(Mse, Symmetric) {
+  const Tensor a = random_image(8, 8, 2);
+  const Tensor b = random_image(8, 8, 3);
+  EXPECT_DOUBLE_EQ(mse(a, b), mse(b, a));
+}
+
+TEST(Psnr, InfiniteForIdentical) {
+  const Tensor a = random_image(8, 8, 4);
+  EXPECT_TRUE(std::isinf(psnr(a, a)));
+}
+
+TEST(Psnr, KnownValue) {
+  const Tensor a = Tensor::zeros({4, 4});
+  const Tensor b = Tensor::full({4, 4}, 0.1f);
+  EXPECT_NEAR(psnr(a, b), 20.0, 1e-6);  // -10 log10(0.01)
+}
+
+// ----------------------------------------------------------------- SSIM
+TEST(GaussianWindow, NormalizedAndSymmetric) {
+  const Tensor w = gaussian_window(11, 1.5);
+  EXPECT_NEAR(w.sum(), 1.0f, 1e-6);
+  for (index_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(w.at(i), w.at(10 - i), 1e-7);
+  }
+  EXPECT_GT(w.at(5), w.at(0));
+}
+
+TEST(Ssim, OneForIdenticalImages) {
+  const Tensor a = random_image(32, 32, 5);
+  const SsimComponents c = ssim(a, a);
+  EXPECT_NEAR(c.ssim, 1.0, 1e-6);
+  EXPECT_NEAR(c.luminance, 1.0, 1e-6);
+  EXPECT_NEAR(c.contrast, 1.0, 1e-6);
+}
+
+TEST(Ssim, SymmetricInArguments) {
+  const Tensor a = random_image(24, 24, 6);
+  const Tensor b = random_image(24, 24, 7);
+  EXPECT_NEAR(ssim(a, b).ssim, ssim(b, a).ssim, 1e-9);
+}
+
+TEST(Ssim, DecreasesWithNoise) {
+  const Tensor a = random_image(32, 32, 8);
+  Rng rng(9);
+  Tensor small_noise = a.clone();
+  Tensor big_noise = a.clone();
+  for (index_t i = 0; i < a.numel(); ++i) {
+    small_noise.data()[i] += static_cast<real_t>(rng.gaussian(0, 0.01));
+    big_noise.data()[i] += static_cast<real_t>(rng.gaussian(0, 0.2));
+  }
+  const double s_small = ssim(a, small_noise).ssim;
+  const double s_big = ssim(a, big_noise).ssim;
+  EXPECT_GT(s_small, s_big);
+  EXPECT_GT(s_small, 0.9);
+  EXPECT_LT(s_big, 0.9);
+}
+
+TEST(Ssim, BoundedAboveByOne) {
+  const Tensor a = random_image(20, 20, 10);
+  const Tensor b = random_image(20, 20, 11);
+  EXPECT_LE(ssim(a, b).ssim, 1.0 + 1e-9);
+}
+
+TEST(Ssim, RejectsImageSmallerThanWindow) {
+  const Tensor a = random_image(8, 8, 12);
+  EXPECT_THROW(ssim(a, a, 11), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- MS-SSIM
+TEST(MsSsim, OneForIdentical) {
+  const Tensor a = random_image(64, 64, 13);
+  EXPECT_NEAR(ms_ssim(a, a), 1.0, 1e-5);
+}
+
+TEST(MsSsim, AutoReducesScalesForSmallImages) {
+  // 32x32 supports 2 scales of an 11-tap window; must not throw.
+  const Tensor a = random_image(32, 32, 14);
+  const Tensor b = random_image(32, 32, 15);
+  const double v = ms_ssim(a, b);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LE(v, 1.0 + 1e-9);
+}
+
+TEST(MsSsim, OrdersImagesByDegradation) {
+  const Tensor a = random_image(64, 64, 16);
+  Rng rng(17);
+  Tensor mild = a.clone();
+  Tensor severe = a.clone();
+  for (index_t i = 0; i < a.numel(); ++i) {
+    mild.data()[i] += static_cast<real_t>(rng.gaussian(0, 0.02));
+    severe.data()[i] += static_cast<real_t>(rng.gaussian(0, 0.3));
+  }
+  EXPECT_GT(ms_ssim(a, mild), ms_ssim(a, severe));
+}
+
+TEST(MsSsim, ThrowsWhenTooSmallForWindow) {
+  const Tensor a = random_image(8, 8, 18);
+  EXPECT_THROW(ms_ssim(a, a, 11), std::invalid_argument);
+}
+
+TEST(Downsample2x, AveragesQuads) {
+  const Tensor a = Tensor::from_vector({2, 2}, {1, 3, 5, 7});
+  const Tensor d = downsample2x(a);
+  ASSERT_EQ(d.numel(), 1);
+  EXPECT_FLOAT_EQ(d.at(0, 0), 4.0f);
+}
+
+// ---------------------------------------------------- confusion matrix
+TEST(Confusion, CountsAndDerivedRates) {
+  // Scores: two clear positives, one missed positive, one false alarm.
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.7, 0.1, 0.05};
+  const std::vector<int> labels = {1, 1, 1, 0, 0, 0};
+  const ConfusionMatrix m = confusion_at_threshold(scores, labels, 0.5);
+  EXPECT_EQ(m.tp, 2);
+  EXPECT_EQ(m.fn, 1);
+  EXPECT_EQ(m.fp, 1);
+  EXPECT_EQ(m.tn, 2);
+  EXPECT_NEAR(m.accuracy(), 4.0 / 6.0, 1e-9);   // Eq. (3)
+  EXPECT_NEAR(m.tpr(), 2.0 / 3.0, 1e-9);        // Eq. (4)
+  EXPECT_NEAR(m.fpr(), 1.0 / 3.0, 1e-9);        // Eq. (5)
+  EXPECT_NEAR(m.specificity(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Confusion, ThresholdSweepMonotonicity) {
+  const std::vector<double> scores = {0.1, 0.4, 0.35, 0.8};
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const auto low = confusion_at_threshold(scores, labels, 0.0);
+  const auto high = confusion_at_threshold(scores, labels, 1.01);
+  EXPECT_EQ(low.tp + low.fp, 4);   // everything positive
+  EXPECT_EQ(high.tn + high.fn, 4); // everything negative
+}
+
+TEST(Confusion, MismatchedSizesThrow) {
+  EXPECT_THROW(confusion_at_threshold({0.5}, {1, 0}, 0.5),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- ROC/AUC
+TEST(Roc, PerfectClassifierAucIsOne) {
+  const std::vector<double> scores = {0.9, 0.8, 0.7, 0.3, 0.2, 0.1};
+  const std::vector<int> labels = {1, 1, 1, 0, 0, 0};
+  EXPECT_NEAR(auc(scores, labels), 1.0, 1e-9);
+}
+
+TEST(Roc, ReversedClassifierAucIsZero) {
+  const std::vector<double> scores = {0.1, 0.2, 0.3, 0.7, 0.8, 0.9};
+  const std::vector<int> labels = {1, 1, 1, 0, 0, 0};
+  EXPECT_NEAR(auc(scores, labels), 0.0, 1e-9);
+}
+
+TEST(Roc, RandomScoresNearHalf) {
+  Rng rng(19);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 4000; ++i) {
+    scores.push_back(rng.uniform());
+    labels.push_back(rng.bernoulli(0.4) ? 1 : 0);
+  }
+  EXPECT_NEAR(auc(scores, labels), 0.5, 0.03);
+}
+
+TEST(Roc, CurveIsMonotonicallyNondecreasing) {
+  Rng rng(20);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    labels.push_back(rng.bernoulli(0.5) ? 1 : 0);
+    scores.push_back(rng.uniform() * 0.5 + labels.back() * 0.3);
+  }
+  const auto curve = roc_curve(scores, labels);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr - 1e-12);
+  }
+  EXPECT_NEAR(curve.front().fpr, 0.0, 1e-12);
+  EXPECT_NEAR(curve.back().tpr, 1.0, 1e-12);
+}
+
+TEST(Roc, AucEqualsMannWhitneyOnSeparableData) {
+  // AUC should equal P(score_pos > score_neg) for tie-free data.
+  const std::vector<double> scores = {0.9, 0.6, 0.4, 0.8, 0.3, 0.1};
+  const std::vector<int> labels = {1, 1, 1, 0, 0, 0};
+  double pairs_won = 0.0;
+  int pairs = 0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (labels[i] != 1) continue;
+    for (std::size_t j = 0; j < scores.size(); ++j) {
+      if (labels[j] != 0) continue;
+      ++pairs;
+      pairs_won += scores[i] > scores[j] ? 1.0 : 0.0;
+    }
+  }
+  EXPECT_NEAR(auc(scores, labels), pairs_won / pairs, 1e-9);
+}
+
+TEST(Youden, FindsSeparatingThreshold) {
+  const std::vector<double> scores = {0.9, 0.85, 0.8, 0.2, 0.15, 0.1};
+  const std::vector<int> labels = {1, 1, 1, 0, 0, 0};
+  const double t = youden_optimal_threshold(scores, labels);
+  const ConfusionMatrix m = confusion_at_threshold(scores, labels, t);
+  EXPECT_EQ(m.tp, 3);
+  EXPECT_EQ(m.fp, 0);
+}
+
+TEST(Youden, LowThresholdForMinorityPositives) {
+  // When positives score moderately but negatives score very low, the
+  // optimal threshold lands well below 0.5 — the Table 9 situation
+  // (paper threshold: 0.061).
+  std::vector<double> scores;
+  std::vector<int> labels;
+  Rng rng(21);
+  for (int i = 0; i < 36; ++i) {  // positives, scores ~ U[0.1, 0.5]
+    scores.push_back(rng.uniform(0.1, 0.5));
+    labels.push_back(1);
+  }
+  for (int i = 0; i < 59; ++i) {  // negatives, scores ~ U[0.0, 0.08]
+    scores.push_back(rng.uniform(0.0, 0.08));
+    labels.push_back(0);
+  }
+  const double t = youden_optimal_threshold(scores, labels);
+  EXPECT_LT(t, 0.2);
+  EXPECT_GT(confusion_at_threshold(scores, labels, t).accuracy(), 0.95);
+}
+
+TEST(BestAccuracy, BeatsFixedHalfThreshold) {
+  const std::vector<double> scores = {0.45, 0.4, 0.35, 0.3, 0.1, 0.05};
+  const std::vector<int> labels = {1, 1, 1, 0, 0, 0};
+  double t = 0.0;
+  const double acc = best_accuracy(scores, labels, &t);
+  EXPECT_NEAR(acc, 1.0, 1e-9);
+  EXPECT_LT(t, 0.5);
+  EXPECT_GE(acc,
+            confusion_at_threshold(scores, labels, 0.5).accuracy());
+}
+
+}  // namespace
+}  // namespace ccovid::metrics

@@ -1,0 +1,191 @@
+// End-to-end gradient checks through whole networks: for a miniature
+// DDnet, DenseNet-3D, AH-Net and U-Net, perturb sampled weights and
+// compare central-difference loss derivatives against the analytic
+// gradients from backward(). This validates the composed graph —
+// dense-block concatenation fan-out, global shortcuts, batch-norm
+// statistics, residual adds — not just individual ops.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.h"
+#include "autograd/losses.h"
+#include "nn/ahnet.h"
+#include "nn/ddnet.h"
+#include "nn/densenet3d.h"
+#include "nn/unet.h"
+
+namespace ccovid {
+namespace {
+
+// Checks d(loss)/d(theta_i) for a weight entry sampled from every
+// parameter tensor of the model. Networks with max-pooling and
+// (leaky-)ReLU are only piecewise differentiable: a perturbation that
+// flips an argmax or crosses a kink makes the central difference invalid
+// at that point, so a small fraction of sampled entries is allowed to
+// disagree — the rest must match tightly.
+template <typename LossFn>
+void check_model_gradients(nn::Module& model, LossFn&& loss_fn,
+                           double eps, double tol) {
+  // Analytic pass.
+  autograd::Var loss = loss_fn();
+  loss.backward();
+
+  Rng pick(123);
+  int checked = 0;
+  int mismatched = 0;
+  std::string first_mismatch;
+  for (auto& [name, param] : model.named_parameters()) {
+    ASSERT_TRUE(param.has_grad()) << name << " received no gradient";
+    Tensor& w = param.value();
+    const index_t idx = pick.uniform_int(0, w.numel() - 1);
+    const real_t analytic = param.grad().data()[idx];
+
+    const real_t orig = w.data()[idx];
+    w.data()[idx] = orig + static_cast<real_t>(eps);
+    const double f_plus = static_cast<double>(loss_fn().value().at(0));
+    w.data()[idx] = orig - static_cast<real_t>(eps);
+    const double f_minus = static_cast<double>(loss_fn().value().at(0));
+    w.data()[idx] = orig;
+
+    const double numeric = (f_plus - f_minus) / (2.0 * eps);
+    const double scale = std::max(1.0, std::fabs(numeric));
+    ++checked;
+    if (std::fabs(analytic - numeric) > tol * scale) {
+      ++mismatched;
+      if (first_mismatch.empty()) {
+        first_mismatch = name + ": analytic " + std::to_string(analytic) +
+                         " vs numeric " + std::to_string(numeric);
+      }
+    }
+  }
+  // Allow up to ~15% kink-crossing samples; everything else must agree.
+  EXPECT_LE(mismatched, std::max(1, checked * 15 / 100))
+      << "first mismatch: " << first_mismatch;
+}
+
+TEST(ModelGradients, DDnetCompositeLoss) {
+  nn::seed_init_rng(1);
+  nn::DDnetConfig cfg;
+  cfg.base_channels = 2;
+  cfg.growth = 2;
+  cfg.levels = 1;
+  cfg.dense_layers = 1;
+  nn::DDnet net(cfg);
+  net.set_training(true);
+
+  Rng rng(2);
+  Tensor input({1, 1, 12, 12});
+  Tensor target({1, 1, 12, 12});
+  rng.fill_uniform(input, 0.2, 0.8);
+  rng.fill_uniform(target, 0.2, 0.8);
+
+  auto loss_fn = [&]() {
+    autograd::Var x(input.clone());
+    autograd::Var pred = net.forward(x);
+    return autograd::enhancement_loss(pred, target, 0.1f, 11, 1);
+  };
+  check_model_gradients(net, loss_fn, 5e-3, 5e-2);
+}
+
+TEST(ModelGradients, DDnetNoResidual) {
+  nn::seed_init_rng(3);
+  nn::DDnetConfig cfg;
+  cfg.base_channels = 2;
+  cfg.growth = 2;
+  cfg.levels = 1;
+  cfg.dense_layers = 1;
+  cfg.residual = false;
+  nn::DDnet net(cfg);
+  net.set_training(true);
+  Rng rng(4);
+  Tensor input({1, 1, 8, 8});
+  Tensor target({1, 1, 8, 8});
+  rng.fill_uniform(input, 0.2, 0.8);
+  rng.fill_uniform(target, 0.2, 0.8);
+  auto loss_fn = [&]() {
+    autograd::Var pred = net.forward(autograd::Var(input.clone()));
+    return autograd::mse_loss(pred, target);
+  };
+  check_model_gradients(net, loss_fn, 5e-3, 5e-2);
+}
+
+TEST(ModelGradients, DenseNet3dBceLoss) {
+  nn::seed_init_rng(5);
+  nn::DenseNet3dConfig cfg;
+  cfg.init_channels = 2;
+  cfg.growth = 2;
+  cfg.block_layers = {1, 1, 1, 1};
+  nn::DenseNet3d net(cfg);
+  net.set_training(true);
+  Rng rng(6);
+  Tensor vol({1, 1, 4, 8, 8});
+  rng.fill_uniform(vol, 0.0, 1.0);
+  Tensor label({1, 1});
+  label.at(0, 0) = 1.0f;
+  auto loss_fn = [&]() {
+    autograd::Var logits = net.forward(autograd::Var(vol.clone()));
+    return autograd::bce_with_logits_loss(logits, label);
+  };
+  check_model_gradients(net, loss_fn, 1e-2, 8e-2);
+}
+
+TEST(ModelGradients, AhNetPixelBce) {
+  nn::seed_init_rng(7);
+  nn::AhNetConfig cfg;
+  cfg.base_channels = 2;
+  cfg.levels = 1;
+  nn::AhNet net(cfg);
+  net.set_training(true);
+  Rng rng(8);
+  Tensor slice({1, 1, 8, 8});
+  rng.fill_uniform(slice, 0.0, 1.0);
+  Tensor mask({1, 1, 8, 8});
+  for (index_t i = 20; i < 44; ++i) mask.data()[i] = 1.0f;
+  auto loss_fn = [&]() {
+    autograd::Var logits = net.forward(autograd::Var(slice.clone()));
+    return autograd::bce_with_logits_loss(logits, mask);
+  };
+  check_model_gradients(net, loss_fn, 5e-3, 5e-2);
+}
+
+TEST(ModelGradients, UNetMseLoss) {
+  nn::seed_init_rng(9);
+  nn::UNetConfig cfg;
+  cfg.base_channels = 2;
+  cfg.levels = 1;
+  nn::UNetDenoiser net(cfg);
+  net.set_training(true);
+  Rng rng(10);
+  Tensor input({1, 1, 8, 8});
+  Tensor target({1, 1, 8, 8});
+  rng.fill_uniform(input, 0.2, 0.8);
+  rng.fill_uniform(target, 0.2, 0.8);
+  auto loss_fn = [&]() {
+    autograd::Var pred = net.forward(autograd::Var(input.clone()));
+    return autograd::mse_loss(pred, target);
+  };
+  check_model_gradients(net, loss_fn, 5e-3, 5e-2);
+}
+
+TEST(ModelGradients, EveryDDnetParameterReceivesGradient) {
+  // A disconnected layer (gradient never reaching a parameter) is a
+  // wiring bug the shape tests cannot catch.
+  nn::seed_init_rng(11);
+  nn::DDnet net(nn::DDnetConfig::tiny());
+  net.set_training(true);
+  Rng rng(12);
+  Tensor input({1, 1, 16, 16});
+  Tensor target({1, 1, 16, 16});
+  rng.fill_uniform(input, 0.2, 0.8);
+  rng.fill_uniform(target, 0.2, 0.8);
+  autograd::Var pred = net.forward(autograd::Var(input));
+  autograd::Var loss = autograd::enhancement_loss(pred, target, 0.1f, 11, 1);
+  loss.backward();
+  for (const auto& [name, p] : net.named_parameters()) {
+    EXPECT_TRUE(p.has_grad()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ccovid

@@ -1,0 +1,204 @@
+// Convolution kernels: every optimization stage must agree with the
+// reference implementation across a parameterized sweep of filter sizes,
+// strides, paddings and channel counts; gradient kernels must match
+// numerical differentiation.
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.h"
+#include "core/random.h"
+#include "ops/conv2d.h"
+#include "ops/conv3d.h"
+#include "ops/linear.h"
+
+namespace ccovid::ops {
+namespace {
+
+Tensor random_tensor(Shape s, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(s));
+  rng.fill_gaussian(t, 0.0, 1.0);
+  return t;
+}
+
+struct ConvCase {
+  index_t n, cin, h, w, cout, k, stride, pad;
+};
+
+class Conv2dSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(Conv2dSweep, AllVariantsMatchReference) {
+  const ConvCase c = GetParam();
+  const Tensor input = random_tensor({c.n, c.cin, c.h, c.w}, 1);
+  const Tensor weight = random_tensor({c.cout, c.cin, c.k, c.k}, 2);
+  const Tensor bias = random_tensor({c.cout}, 3);
+  const Conv2dParams p{c.stride, c.pad};
+
+  const Tensor ref = conv2d_reference(input, weight, bias, p);
+  for (const KernelOptions& opt :
+       {KernelOptions::baseline(), KernelOptions::refactored(),
+        KernelOptions::refactored_prefetch(), KernelOptions::all()}) {
+    const Tensor out = conv2d(input, weight, bias, p, opt);
+    EXPECT_TRUE(allclose(out, ref, 1e-4f, 1e-4f))
+        << "variant " << opt.str() << " diff " << max_abs_diff(out, ref);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Conv2dSweep,
+    ::testing::Values(
+        ConvCase{1, 1, 8, 8, 1, 1, 1, 0},    // pointwise
+        ConvCase{1, 1, 9, 9, 2, 3, 1, 1},    // 3x3 same
+        ConvCase{1, 2, 12, 12, 3, 5, 1, 2},  // DDnet 5x5 same
+        ConvCase{1, 1, 16, 16, 2, 7, 1, 3},  // DDnet stem 7x7
+        ConvCase{2, 3, 10, 8, 4, 3, 2, 1},   // strided, rectangular
+        ConvCase{1, 2, 7, 7, 2, 3, 3, 0},    // stride 3, no pad
+        ConvCase{1, 4, 6, 6, 8, 2, 1, 0},    // even filter (generic path)
+        ConvCase{3, 1, 5, 5, 1, 5, 1, 2}));  // batch > 1
+
+TEST(Conv2d, OutputExtentFormula) {
+  EXPECT_EQ(conv_out_extent(512, 7, 1, 3), 512);
+  EXPECT_EQ(conv_out_extent(512, 3, 2, 1), 256);  // DDnet pooling geometry
+  EXPECT_EQ(conv_out_extent(5, 3, 1, 0), 3);
+}
+
+TEST(Conv2d, IdentityKernelPreservesImage) {
+  const Tensor input = random_tensor({1, 1, 6, 6}, 4);
+  Tensor weight({1, 1, 1, 1});
+  weight.at(0, 0, 0, 0) = 1.0f;
+  const Tensor out = conv2d(input, weight, Tensor(), Conv2dParams{1, 0});
+  EXPECT_TRUE(allclose(out, input));
+}
+
+TEST(Conv2d, BiasIsAdded) {
+  const Tensor input = Tensor::zeros({1, 1, 4, 4});
+  Tensor weight({2, 1, 3, 3});
+  Tensor bias = Tensor::from_vector({2}, {1.5f, -2.0f});
+  const Tensor out = conv2d(input, weight, bias, Conv2dParams::same(3));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 2, 2), 1.5f);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 2, 2), -2.0f);
+}
+
+TEST(Conv2d, ChannelMismatchThrows) {
+  const Tensor input = Tensor::zeros({1, 2, 4, 4});
+  const Tensor weight = Tensor::zeros({1, 3, 3, 3});
+  EXPECT_THROW(conv2d(input, weight, Tensor(), Conv2dParams::same(3)),
+               std::invalid_argument);
+}
+
+TEST(Conv2d, BackwardInputMatchesNumerical) {
+  Tensor input = random_tensor({1, 2, 6, 6}, 5);
+  const Tensor weight = random_tensor({3, 2, 3, 3}, 6);
+  const Conv2dParams p{1, 1};
+  // Scalar objective: sum of outputs. dL/dy = ones.
+  auto f = [&]() {
+    return static_cast<double>(
+        conv2d_reference(input, weight, Tensor(), p).sum());
+  };
+  const Tensor num = autograd::numerical_gradient(f, input, 1e-2);
+  const Tensor gout =
+      Tensor::ones({1, 3, conv_out_extent(6, 3, 1, 1),
+                    conv_out_extent(6, 3, 1, 1)});
+  const Tensor ana = conv2d_backward_input(gout, weight, 6, 6, p);
+  EXPECT_LT(autograd::gradient_error(ana, num), 2e-2);
+}
+
+TEST(Conv2d, BackwardWeightMatchesNumerical) {
+  const Tensor input = random_tensor({2, 2, 5, 5}, 7);
+  Tensor weight = random_tensor({2, 2, 3, 3}, 8);
+  const Conv2dParams p{2, 1};
+  auto f = [&]() {
+    return static_cast<double>(
+        conv2d_reference(input, weight, Tensor(), p).sum());
+  };
+  const Tensor num = autograd::numerical_gradient(f, weight, 1e-2);
+  const index_t oe = conv_out_extent(5, 3, 2, 1);
+  const Tensor gout = Tensor::ones({2, 2, oe, oe});
+  const Tensor ana = conv2d_backward_weight(gout, input, 3, p);
+  EXPECT_LT(autograd::gradient_error(ana, num), 2e-2);
+}
+
+TEST(Conv2d, BackwardBiasSumsGradient) {
+  Tensor gout({2, 3, 2, 2});
+  gout.fill(0.5f);
+  const Tensor gb = conv2d_backward_bias(gout);
+  ASSERT_EQ(gb.dim(0), 3);
+  for (index_t c = 0; c < 3; ++c) EXPECT_FLOAT_EQ(gb.at(c), 4.0f);  // 2*2*2*0.5
+}
+
+// -------------------------------------------------------------- conv3d
+TEST(Conv3d, IdentityPointwise) {
+  const Tensor input = random_tensor({1, 1, 3, 4, 5}, 9);
+  Tensor weight({1, 1, 1, 1, 1});
+  weight.at(0, 0, 0, 0, 0) = 1.0f;
+  const Tensor out = conv3d(input, weight, Tensor(), Conv3dParams{1, 0});
+  EXPECT_TRUE(allclose(out, input));
+}
+
+TEST(Conv3d, MatchesManualComputationForSmallCase) {
+  // 2x2x2 input, 2x2x2 filter, valid conv -> single output = dot product.
+  const Tensor input = random_tensor({1, 1, 2, 2, 2}, 10);
+  const Tensor weight = random_tensor({1, 1, 2, 2, 2}, 11);
+  const Tensor out = conv3d(input, weight, Tensor(), Conv3dParams{1, 0});
+  ASSERT_EQ(out.numel(), 1);
+  double expect = 0.0;
+  for (index_t i = 0; i < 8; ++i) {
+    expect += static_cast<double>(input.data()[i]) * weight.data()[i];
+  }
+  EXPECT_NEAR(out.at(0, 0, 0, 0, 0), expect, 1e-5);
+}
+
+TEST(Conv3d, BackwardInputMatchesNumerical) {
+  Tensor input = random_tensor({1, 1, 4, 4, 4}, 12);
+  const Tensor weight = random_tensor({2, 1, 3, 3, 3}, 13);
+  const Conv3dParams p{1, 1};
+  auto f = [&]() {
+    return static_cast<double>(conv3d(input, weight, Tensor(), p).sum());
+  };
+  const Tensor num = autograd::numerical_gradient(f, input, 1e-2);
+  const Tensor gout = Tensor::ones({1, 2, 4, 4, 4});
+  const Tensor ana = conv3d_backward_input(gout, weight, 4, 4, 4, p);
+  EXPECT_LT(autograd::gradient_error(ana, num), 2e-2);
+}
+
+TEST(Conv3d, BackwardWeightMatchesNumerical) {
+  const Tensor input = random_tensor({1, 2, 3, 3, 3}, 14);
+  Tensor weight = random_tensor({1, 2, 2, 2, 2}, 15);
+  const Conv3dParams p{1, 0};
+  auto f = [&]() {
+    return static_cast<double>(conv3d(input, weight, Tensor(), p).sum());
+  };
+  const Tensor num = autograd::numerical_gradient(f, weight, 1e-2);
+  const Tensor gout = Tensor::ones({1, 1, 2, 2, 2});
+  const Tensor ana = conv3d_backward_weight(gout, input, 2, p);
+  EXPECT_LT(autograd::gradient_error(ana, num), 2e-2);
+}
+
+// -------------------------------------------------------------- linear
+TEST(Linear, MatchesManualMatmul) {
+  const Tensor x = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor w = Tensor::from_vector({2, 3}, {1, 0, 0, 0, 1, 0});
+  const Tensor b = Tensor::from_vector({2}, {10, 20});
+  const Tensor y = linear(x, w, b);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 14.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 1), 25.0f);
+}
+
+TEST(Linear, BackwardMatchesNumerical) {
+  Tensor x = random_tensor({3, 4}, 16);
+  Tensor w = random_tensor({2, 4}, 17);
+  auto f = [&]() {
+    return static_cast<double>(linear(x, w, Tensor()).sum());
+  };
+  const Tensor num_x = autograd::numerical_gradient(f, x, 1e-2);
+  const Tensor num_w = autograd::numerical_gradient(f, w, 1e-2);
+  const Tensor gout = Tensor::ones({3, 2});
+  EXPECT_LT(autograd::gradient_error(linear_backward_input(gout, w), num_x),
+            2e-2);
+  EXPECT_LT(autograd::gradient_error(linear_backward_weight(gout, x), num_w),
+            2e-2);
+}
+
+}  // namespace
+}  // namespace ccovid::ops

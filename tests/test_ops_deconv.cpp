@@ -1,0 +1,171 @@
+// Deconvolution kernels: the scatter baseline (Fig. 9a) and the
+// refactored gather (Fig. 9b) must be numerically identical across a
+// parameterized sweep — the optimization study's correctness invariant —
+// and the transposed convolution must be the exact adjoint of the
+// forward convolution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.h"
+#include "core/random.h"
+#include "ops/conv2d.h"
+#include "ops/deconv2d.h"
+
+namespace ccovid::ops {
+namespace {
+
+Tensor random_tensor(Shape s, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(s));
+  rng.fill_gaussian(t, 0.0, 1.0);
+  return t;
+}
+
+struct DeconvCase {
+  index_t n, cin, h, w, cout, k, stride, pad;
+};
+
+class Deconv2dSweep : public ::testing::TestWithParam<DeconvCase> {};
+
+TEST_P(Deconv2dSweep, ScatterGatherAndUnrolledAgree) {
+  const DeconvCase c = GetParam();
+  const Tensor input = random_tensor({c.n, c.cin, c.h, c.w}, 21);
+  const Tensor weight = random_tensor({c.cin, c.cout, c.k, c.k}, 22);
+  const Tensor bias = random_tensor({c.cout}, 23);
+  const Deconv2dParams p{c.stride, c.pad};
+
+  const Tensor ref = deconv2d_reference(input, weight, bias, p);
+  for (const KernelOptions& opt :
+       {KernelOptions::baseline(),             // scatter, no PF
+        KernelOptions{false, true, false},     // scatter + PF
+        KernelOptions::refactored(),           // gather
+        KernelOptions::all()}) {               // gather + unrolled
+    const Tensor out = deconv2d(input, weight, bias, p, opt);
+    EXPECT_TRUE(allclose(out, ref, 1e-4f, 1e-4f))
+        << "variant " << opt.str() << " diff " << max_abs_diff(out, ref);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Deconv2dSweep,
+    ::testing::Values(
+        DeconvCase{1, 1, 6, 6, 1, 1, 1, 0},   // pointwise
+        DeconvCase{1, 2, 8, 8, 3, 5, 1, 2},   // DDnet 5x5 stride-1 same
+        DeconvCase{1, 1, 8, 8, 2, 3, 1, 1},   // 3x3 same (unrolled path)
+        DeconvCase{1, 2, 5, 5, 2, 4, 2, 1},   // stride-2 upsampling
+        DeconvCase{2, 3, 4, 6, 2, 3, 2, 0},   // batch, rectangular
+        DeconvCase{1, 1, 3, 3, 1, 5, 3, 2},   // stride 3 (division path)
+        DeconvCase{1, 4, 7, 7, 4, 5, 1, 2})); // wider channels
+
+TEST(Deconv2d, OutputExtentFormula) {
+  EXPECT_EQ(deconv_out_extent(8, 5, 1, 2), 8);   // DDnet "same"
+  EXPECT_EQ(deconv_out_extent(4, 4, 2, 1), 8);   // classic 2x upsample
+  EXPECT_EQ(deconv_out_extent(3, 3, 1, 0), 5);   // full
+}
+
+TEST(Deconv2d, StrideOneSameSizePreservedForDDnetShapes) {
+  // DDnet's deconvolution layers keep spatial size (Table 2).
+  const Tensor input = random_tensor({1, 16, 16, 16}, 24);
+  const Tensor weight = random_tensor({16, 32, 5, 5}, 25);
+  const Tensor out =
+      deconv2d(input, weight, Tensor(), Deconv2dParams::same(5));
+  EXPECT_EQ(out.dim(1), 32);
+  EXPECT_EQ(out.dim(2), 16);
+  EXPECT_EQ(out.dim(3), 16);
+}
+
+TEST(Deconv2d, AdjointOfConvolution) {
+  // <conv(x), y> == <x, deconv(y)> with shared weights: transposed
+  // convolution is the exact adjoint of convolution.
+  const index_t k = 3, stride = 2, pad = 1;
+  const Tensor x = random_tensor({1, 2, 7, 7}, 26);
+  // conv weight (Cout=3, Cin=2, k, k); deconv uses (Cin=3 -> Cout=2).
+  const Tensor w_conv = random_tensor({3, 2, k, k}, 27);
+  const Tensor cx =
+      conv2d(x, w_conv, Tensor(), Conv2dParams{stride, pad});
+  const Tensor y = random_tensor(cx.shape(), 28);
+
+  // Re-layout conv weight (Cout,Cin,k,k) -> deconv weight (Cin',Cout',k,k)
+  // where deconv maps y (3 ch) -> x-space (2 ch): element w[co][ci] goes
+  // to wd[co][ci] in ConvTranspose layout (in=3, out=2).
+  Tensor w_deconv({3, 2, k, k});
+  for (index_t a = 0; a < 3; ++a) {
+    for (index_t b = 0; b < 2; ++b) {
+      for (index_t i = 0; i < k; ++i) {
+        for (index_t j = 0; j < k; ++j) {
+          w_deconv.at(a, b, i, j) = w_conv.at(a, b, i, j);
+        }
+      }
+    }
+  }
+  const Tensor dy =
+      deconv2d(y, w_deconv, Tensor(), Deconv2dParams{stride, pad});
+  ASSERT_EQ(dy.shape(), x.shape());
+
+  double lhs = 0.0, rhs = 0.0;
+  for (index_t i = 0; i < cx.numel(); ++i) {
+    lhs += static_cast<double>(cx.data()[i]) * y.data()[i];
+  }
+  for (index_t i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x.data()[i]) * dy.data()[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3 * std::max(1.0, std::fabs(lhs)));
+}
+
+TEST(Deconv2d, BiasIsAdded) {
+  const Tensor input = Tensor::zeros({1, 1, 4, 4});
+  Tensor weight({1, 2, 3, 3});
+  const Tensor bias = Tensor::from_vector({2}, {0.25f, -1.0f});
+  const Tensor out =
+      deconv2d(input, weight, bias, Deconv2dParams::same(3));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1, 1), 0.25f);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1, 1), -1.0f);
+}
+
+TEST(Deconv2d, ChannelMismatchThrows) {
+  const Tensor input = Tensor::zeros({1, 2, 4, 4});
+  const Tensor weight = Tensor::zeros({3, 1, 3, 3});
+  EXPECT_THROW(deconv2d(input, weight, Tensor(), Deconv2dParams::same(3)),
+               std::invalid_argument);
+}
+
+TEST(Deconv2d, BackwardInputMatchesNumerical) {
+  Tensor input = random_tensor({1, 2, 5, 5}, 29);
+  const Tensor weight = random_tensor({2, 2, 3, 3}, 30);
+  const Deconv2dParams p{1, 1};
+  auto f = [&]() {
+    return static_cast<double>(
+        deconv2d_reference(input, weight, Tensor(), p).sum());
+  };
+  const Tensor num = autograd::numerical_gradient(f, input, 1e-2);
+  const Tensor gout = Tensor::ones({1, 2, 5, 5});
+  const Tensor ana = deconv2d_backward_input(gout, weight, p);
+  EXPECT_LT(autograd::gradient_error(ana, num), 2e-2);
+}
+
+TEST(Deconv2d, BackwardWeightMatchesNumerical) {
+  const Tensor input = random_tensor({1, 2, 4, 4}, 31);
+  Tensor weight = random_tensor({2, 3, 3, 3}, 32);
+  const Deconv2dParams p{2, 1};
+  auto f = [&]() {
+    return static_cast<double>(
+        deconv2d_reference(input, weight, Tensor(), p).sum());
+  };
+  const Tensor num = autograd::numerical_gradient(f, weight, 1e-2);
+  const index_t oe = deconv_out_extent(4, 3, 2, 1);
+  const Tensor gout = Tensor::ones({1, 3, oe, oe});
+  const Tensor ana = deconv2d_backward_weight(gout, input, 3, p);
+  EXPECT_LT(autograd::gradient_error(ana, num), 2e-2);
+}
+
+TEST(Deconv2d, BackwardBiasSumsGradient) {
+  Tensor gout({1, 2, 3, 3});
+  gout.fill(1.0f);
+  const Tensor gb = deconv2d_backward_bias(gout);
+  EXPECT_FLOAT_EQ(gb.at(0), 9.0f);
+  EXPECT_FLOAT_EQ(gb.at(1), 9.0f);
+}
+
+}  // namespace
+}  // namespace ccovid::ops

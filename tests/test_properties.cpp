@@ -1,0 +1,233 @@
+// Randomized property tests: algebraic invariants that must hold for
+// arbitrary inputs — linearity of the convolution/projection operators,
+// metric ranges, serialization round trips — swept over seeds with
+// parameterized suites.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/losses.h"
+#include "core/random.h"
+#include "core/serialize.h"
+#include "ct/fbp.h"
+#include "data/phantom.h"
+#include "ct/hu.h"
+#include "ct/siddon.h"
+#include "data/augment.h"
+#include "metrics/image_quality.h"
+#include "nn/ddnet.h"
+#include "ops/ops.h"
+
+namespace ccovid {
+namespace {
+
+Tensor random_tensor(Shape s, Rng& rng, double lo = -1.0, double hi = 1.0) {
+  Tensor t(std::move(s));
+  rng.fill_uniform(t, lo, hi);
+  return t;
+}
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, Conv2dIsLinear) {
+  Rng rng(GetParam());
+  const Tensor x = random_tensor({1, 2, 7, 7}, rng);
+  const Tensor y = random_tensor({1, 2, 7, 7}, rng);
+  const Tensor w = random_tensor({3, 2, 3, 3}, rng);
+  const real_t a = static_cast<real_t>(rng.uniform(-2.0, 2.0));
+  const ops::Conv2dParams p = ops::Conv2dParams::same(3);
+
+  // conv(a*x + y) == a*conv(x) + conv(y)  (no bias).
+  Tensor ax_y = x.clone();
+  ax_y.mul_(a);
+  ax_y.add_(y);
+  const Tensor lhs = ops::conv2d(ax_y, w, Tensor(), p);
+  Tensor rhs = ops::conv2d(x, w, Tensor(), p);
+  rhs.mul_(a);
+  rhs.add_(ops::conv2d(y, w, Tensor(), p));
+  EXPECT_LT(max_abs_diff(lhs, rhs), 1e-3f);
+}
+
+TEST_P(SeedSweep, Deconv2dIsLinear) {
+  Rng rng(GetParam() + 100);
+  const Tensor x = random_tensor({1, 2, 6, 6}, rng);
+  const Tensor y = random_tensor({1, 2, 6, 6}, rng);
+  const Tensor w = random_tensor({2, 2, 3, 3}, rng);
+  const ops::Deconv2dParams p = ops::Deconv2dParams::same(3);
+  const Tensor lhs = ops::deconv2d(x.add(y), w, Tensor(), p);
+  const Tensor rhs =
+      ops::deconv2d(x, w, Tensor(), p).add(ops::deconv2d(y, w, Tensor(), p));
+  EXPECT_LT(max_abs_diff(lhs, rhs), 1e-3f);
+}
+
+TEST_P(SeedSweep, ForwardProjectionIsLinearAndPositive) {
+  Rng rng(GetParam() + 200);
+  ct::FanBeamGeometry g = ct::paper_geometry().scaled(16);
+  const Tensor x = random_tensor({16, 16}, rng, 0.0, 0.05);
+  const Tensor y = random_tensor({16, 16}, rng, 0.0, 0.05);
+  const Tensor sx = ct::forward_project(x, g);
+  const Tensor sy = ct::forward_project(y, g);
+  const Tensor sxy = ct::forward_project(x.add(y), g);
+  EXPECT_LT(max_abs_diff(sxy, sx.add(sy)), 1e-3f);
+  EXPECT_GE(sx.min(), 0.0f);  // nonneg attenuation -> nonneg integrals
+}
+
+TEST_P(SeedSweep, FbpIsLinear) {
+  Rng rng(GetParam() + 300);
+  ct::FanBeamGeometry g = ct::paper_geometry().scaled(16);
+  const Tensor s1 = random_tensor({g.num_views, g.num_dets}, rng, 0.0, 1.0);
+  const Tensor s2 = random_tensor({g.num_views, g.num_dets}, rng, 0.0, 1.0);
+  const Tensor lhs = ct::fbp_reconstruct(s1.add(s2), g);
+  const Tensor rhs =
+      ct::fbp_reconstruct(s1, g).add(ct::fbp_reconstruct(s2, g));
+  EXPECT_LT(max_abs_diff(lhs, rhs), 1e-2f * std::max(1.0f, rhs.abs_max()));
+}
+
+TEST_P(SeedSweep, MsSsimBounded) {
+  Rng rng(GetParam() + 400);
+  const Tensor a = random_tensor({32, 32}, rng, 0.0, 1.0);
+  const Tensor b = random_tensor({32, 32}, rng, 0.0, 1.0);
+  const double v = metrics::ms_ssim(a, b);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LE(v, 1.0 + 1e-9);
+  EXPECT_NEAR(metrics::ms_ssim(a, a), 1.0, 1e-5);
+}
+
+TEST_P(SeedSweep, SigmoidComplement) {
+  Rng rng(GetParam() + 500);
+  const Tensor x = random_tensor({16}, rng, -8.0, 8.0);
+  Tensor neg = x.clone();
+  neg.mul_(-1.0f);
+  const Tensor s = ops::sigmoid(x);
+  const Tensor sn = ops::sigmoid(neg);
+  for (index_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(s.data()[i] + sn.data()[i], 1.0f, 1e-5);
+  }
+}
+
+TEST_P(SeedSweep, SerializationRoundTripRandomShapes) {
+  Rng rng(GetParam() + 600);
+  const index_t dims[3] = {rng.uniform_int(1, 7), rng.uniform_int(1, 7),
+                           rng.uniform_int(1, 7)};
+  Tensor t{Shape(dims, 3)};
+  rng.fill_gaussian(t, 0.0, 10.0);
+  const std::string path =
+      "/tmp/ccovid_prop_" + std::to_string(GetParam()) + ".tnsr";
+  save_tensor(path, t);
+  EXPECT_TRUE(allclose(load_tensor(path), t, 0.0f, 0.0f));
+  std::remove(path.c_str());
+}
+
+TEST_P(SeedSweep, NormalizeHuIdempotentInRange) {
+  Rng rng(GetParam() + 700);
+  const Tensor hu = random_tensor({8, 8}, rng, -1024.0, 1023.0);
+  const Tensor once = ct::normalize_hu(hu);
+  const Tensor back = ct::denormalize_hu(once);
+  EXPECT_LT(max_abs_diff(back, hu), 0.5f);
+}
+
+TEST_P(SeedSweep, PoolingNeverInventsValues) {
+  Rng rng(GetParam() + 800);
+  const Tensor x = random_tensor({1, 2, 9, 9}, rng);
+  const auto res = ops::max_pool2d(x, {3, 2, 1});
+  EXPECT_LE(res.output.max(), x.max());
+  const Tensor avg = ops::avg_pool2d(x, {3, 2, 1});
+  // Averages are bounded by extrema (padding counts as zero, so extend
+  // the bound to include 0).
+  EXPECT_LE(avg.max(), std::max(x.max(), 0.0f) + 1e-6f);
+  EXPECT_GE(avg.min(), std::min(x.min(), 0.0f) - 1e-6f);
+}
+
+TEST_P(SeedSweep, DdnetForwardIsDeterministic) {
+  nn::seed_init_rng(GetParam() + 900);
+  nn::DDnet net(nn::DDnetConfig::tiny());
+  net.set_training(false);
+  Rng rng(GetParam());
+  Tensor img({16, 16});
+  rng.fill_uniform(img, 0.0, 1.0);
+  EXPECT_TRUE(allclose(net.enhance(img), net.enhance(img), 0.0f, 0.0f));
+}
+
+TEST_P(SeedSweep, AugmentIntensityScaleKeepsSign) {
+  Rng rng(GetParam() + 1000);
+  data::AugmentConfig cfg;
+  cfg.noise_prob = 0.0;
+  cfg.contrast_prob = 0.0;
+  cfg.intensity_magnitude = 0.1;
+  const Tensor vol = random_tensor({2, 4, 4}, rng, 0.1, 1.0);
+  const Tensor aug = data::augment_volume(vol, cfg, rng);
+  for (index_t i = 0; i < vol.numel(); ++i) {
+    EXPECT_GT(aug.data()[i], 0.0f);
+    EXPECT_NEAR(aug.data()[i] / vol.data()[i], 1.0, 0.11);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+// --- non-parameterized cross-module properties -------------------------
+
+TEST(Property, ConvBiasEqualsPostAdd) {
+  Rng rng(55);
+  const Tensor x = random_tensor({1, 2, 6, 6}, rng);
+  const Tensor w = random_tensor({3, 2, 3, 3}, rng);
+  Tensor bias({3});
+  rng.fill_uniform(bias, -1.0, 1.0);
+  const ops::Conv2dParams p = ops::Conv2dParams::same(3);
+  const Tensor with_bias = ops::conv2d(x, w, bias, p);
+  Tensor no_bias = ops::conv2d(x, w, Tensor(), p);
+  for (index_t c = 0; c < 3; ++c) {
+    for (index_t i = 0; i < 36; ++i) {
+      no_bias.data()[c * 36 + i] += bias.at(c);
+    }
+  }
+  EXPECT_LT(max_abs_diff(with_bias, no_bias), 1e-5f);
+}
+
+TEST(Property, MinLesionRadiusHonored) {
+  Rng rng(56);
+  for (int trial = 0; trial < 10; ++trial) {
+    for (const auto& l : data::sample_covid_lesions(rng, 0.12)) {
+      EXPECT_GE(l.r, 0.12);
+    }
+  }
+}
+
+TEST(Property, PositiveVolumesDifferFromHealthyOnlyInLungs) {
+  // Same RNG stream drives anatomy; lesions must not modify tissue
+  // outside the lung mask.
+  Rng rng_a(57), rng_b(57);
+  const data::Anatomy anatomy_a = data::Anatomy::sample(rng_a);
+  const data::Anatomy anatomy_b = data::Anatomy::sample(rng_b);
+  Rng lrng(58);
+  const auto lesions = data::sample_covid_lesions(lrng, 0.1);
+  const auto healthy = data::render_slice(48, anatomy_a, {}, 0.5);
+  const auto sick = data::render_slice(48, anatomy_b, lesions, 0.5);
+  for (index_t i = 0; i < healthy.hu.numel(); ++i) {
+    if (healthy.lung_mask.data()[i] < 0.5f) {
+      EXPECT_FLOAT_EQ(healthy.hu.data()[i], sick.hu.data()[i]);
+    }
+  }
+}
+
+TEST(Property, EnhancementLossUpperBoundsMse) {
+  // L = MSE + 0.1*(1 - MS-SSIM) >= MSE since MS-SSIM <= 1.
+  Rng rng(59);
+  Tensor target({1, 1, 16, 16});
+  rng.fill_uniform(target, 0.0, 1.0);
+  Tensor pred_t = target.clone();
+  for (index_t i = 0; i < pred_t.numel(); ++i) {
+    pred_t.data()[i] += static_cast<real_t>(rng.gaussian(0, 0.1));
+  }
+  autograd::Var pred(pred_t);
+  const double composite =
+      autograd::enhancement_loss(pred, target, 0.1f, 11, 1).value().at(0);
+  autograd::Var pred2(pred_t);
+  const double mse_only =
+      autograd::mse_loss(pred2, target).value().at(0);
+  EXPECT_GE(composite, mse_only - 1e-7);
+}
+
+}  // namespace
+}  // namespace ccovid

@@ -1,0 +1,81 @@
+// ccovid_diagnose — run the full ComputeCOVID19+ pipeline on a volume
+// produced by ccovid_sim, using models trained by ccovid_train.
+//
+//   ccovid_diagnose --models models --input patient.tnsr
+//                   [--threshold 0.35] [--no-enhance]
+//
+// Prints the diagnosis (and, when the input carries a ground-truth
+// label, whether the call was correct).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/serialize.h"
+#include "pipeline/framework.h"
+
+using namespace ccovid;
+
+int main(int argc, char** argv) {
+  std::string models = "models";
+  std::string input = "patient.tnsr";
+  double threshold = 0.35;
+  bool use_enhancement = true;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--models") && i + 1 < argc) {
+      models = argv[++i];
+    } else if (!std::strcmp(argv[i], "--input") && i + 1 < argc) {
+      input = argv[++i];
+    } else if (!std::strcmp(argv[i], "--threshold") && i + 1 < argc) {
+      threshold = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--no-enhance")) {
+      use_enhancement = false;
+    } else {
+      std::printf(
+          "usage: ccovid_diagnose --models D --input F "
+          "[--threshold T] [--no-enhance]\n");
+      return !std::strcmp(argv[i], "--help") ? 0 : 1;
+    }
+  }
+
+  // Architectures must match ccovid_train's configurations.
+  nn::DDnetConfig ncfg;
+  ncfg.base_channels = 8;
+  ncfg.growth = 8;
+  ncfg.levels = 2;
+  ncfg.dense_layers = 2;
+  auto enh = std::make_shared<pipeline::EnhancementAI>(ncfg);
+  auto seg = std::make_shared<pipeline::SegmentationAI>();
+  auto cls = std::make_shared<pipeline::ClassificationAI>();
+  enh->network().load(models + "/ddnet.tnsr");
+  seg->network().load(models + "/ahnet.tnsr");
+  cls->network().load(models + "/densenet3d.tnsr");
+  enh->network().set_training(false);
+  seg->network().set_training(false);
+  cls->network().set_training(false);
+
+  const TensorMap patient = load_tensor_map(input);
+  const auto it = patient.find("hu");
+  if (it == patient.end()) {
+    std::fprintf(stderr, "input %s has no 'hu' volume\n", input.c_str());
+    return 1;
+  }
+
+  pipeline::ComputeCovid19Pipeline clinic(enh, seg, cls);
+  const pipeline::Diagnosis dx =
+      clinic.diagnose(it->second, use_enhancement, threshold);
+
+  std::printf("ComputeCOVID19+ report for %s\n", input.c_str());
+  std::printf("  enhancement        : %s\n",
+              use_enhancement ? "on (DDnet)" : "off");
+  std::printf("  P(COVID-19+)       : %.4f\n", dx.probability);
+  std::printf("  decision @ %.2f    : %s\n", threshold,
+              dx.positive ? "POSITIVE" : "negative");
+  const auto label_it = patient.find("label");
+  if (label_it != patient.end()) {
+    const bool truth = label_it->second.at(0) > 0.5f;
+    std::printf("  ground truth       : %s (%s)\n",
+                truth ? "POSITIVE" : "negative",
+                truth == dx.positive ? "correct" : "MISSED");
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// ccovid_train — train the three ComputeCOVID19+ models on synthetic
+// data and save their weights for ccovid_diagnose.
+//
+//   ccovid_train --out-dir models [--px 32] [--depth 8] [--volumes 40]
+//                [--epochs 16] [--seed 7]
+//
+// Produces models/ddnet.tnsr, models/ahnet.tnsr, models/densenet3d.tnsr
+// plus a models/manifest.txt recording the configurations.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "ct/hu.h"
+#include "pipeline/classification_ai.h"
+#include "pipeline/enhancement_ai.h"
+#include "pipeline/segmentation_ai.h"
+
+using namespace ccovid;
+
+int main(int argc, char** argv) {
+  std::string out_dir = "models";
+  index_t px = 32, depth = 8, volumes = 40;
+  int epochs = 16;
+  std::uint64_t seed = 7;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--out-dir") && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--px") && i + 1 < argc) {
+      px = std::atoll(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--depth") && i + 1 < argc) {
+      depth = std::atoll(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--volumes") && i + 1 < argc) {
+      volumes = std::atoll(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--epochs") && i + 1 < argc) {
+      epochs = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::printf(
+          "usage: ccovid_train --out-dir D [--px N] [--depth D] "
+          "[--volumes V] [--epochs E] [--seed S]\n");
+      return !std::strcmp(argv[i], "--help") ? 0 : 1;
+    }
+  }
+
+  Rng rng(seed);
+  nn::seed_init_rng(seed);
+
+  // --- cohort ---
+  data::ClassificationDatasetConfig ccfg;
+  ccfg.depth = depth;
+  ccfg.image_px = px;
+  ccfg.num_train = volumes;
+  ccfg.num_test = 0;
+  ccfg.min_lesion_radius_frac = 4.0 / double(px);
+  std::printf("generating %lld training volumes...\n", (long long)volumes);
+  const data::ClassificationDataset cds =
+      data::make_classification_dataset(ccfg, rng);
+
+  // --- Enhancement AI ---
+  data::EnhancementDatasetConfig ecfg;
+  ecfg.image_px = px;
+  ecfg.num_train = std::max<index_t>(12, volumes / 2);
+  ecfg.num_val = 2;
+  ecfg.num_test = 0;
+  ecfg.lowdose.photons_per_ray = 2e4;
+  const data::EnhancementDataset eds =
+      data::make_enhancement_dataset(ecfg, rng);
+  nn::DDnetConfig ncfg;
+  ncfg.base_channels = 8;
+  ncfg.growth = 8;
+  ncfg.levels = 2;
+  ncfg.dense_layers = 2;
+  pipeline::EnhancementAI enh(ncfg);
+  pipeline::EnhancementTrainConfig etc;
+  etc.epochs = epochs;
+  etc.lr = 2e-3;
+  etc.msssim_scales = 1;
+  std::printf("training Enhancement AI (%d epochs)...\n", etc.epochs);
+  enh.train(eds, etc, rng);
+  enh.network().save(out_dir + "/ddnet.tnsr");
+
+  // --- Segmentation AI ---
+  pipeline::SegmentationAI seg;
+  pipeline::SegmentationTrainConfig scfg;
+  scfg.epochs = std::max(6, epochs / 2);
+  scfg.lr = 5e-3;
+  std::printf("training Segmentation AI (%d epochs)...\n", scfg.epochs);
+  seg.train(cds.train, scfg, rng);
+  seg.network().save(out_dir + "/ahnet.tnsr");
+
+  // --- Classification AI ---
+  std::vector<Tensor> vols;
+  std::vector<int> labels;
+  for (const auto& s : cds.train) {
+    vols.push_back(ct::normalize_hu(s.hu).mul(s.lung_mask));
+    labels.push_back(s.label);
+  }
+  pipeline::ClassificationAI cls;
+  pipeline::ClassificationTrainConfig ctc;
+  ctc.epochs = epochs;
+  ctc.lr = 1e-3;
+  std::printf("training Classification AI (%d epochs)...\n", ctc.epochs);
+  cls.train(vols, labels, ctc, rng);
+  cls.network().save(out_dir + "/densenet3d.tnsr");
+
+  std::ofstream manifest(out_dir + "/manifest.txt");
+  manifest << "px " << px << "\ndepth " << depth << "\nvolumes " << volumes
+           << "\nepochs " << epochs << "\nseed " << seed << "\n";
+  std::printf("models written to %s/\n", out_dir.c_str());
+  return 0;
+}
