@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_enhancer.dir/ablation_enhancer.cpp.o"
+  "CMakeFiles/ablation_enhancer.dir/ablation_enhancer.cpp.o.d"
+  "ablation_enhancer"
+  "ablation_enhancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_enhancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

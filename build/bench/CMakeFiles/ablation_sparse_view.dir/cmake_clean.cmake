@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sparse_view.dir/ablation_sparse_view.cpp.o"
+  "CMakeFiles/ablation_sparse_view.dir/ablation_sparse_view.cpp.o.d"
+  "ablation_sparse_view"
+  "ablation_sparse_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sparse_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_loss_curves.dir/fig11_loss_curves.cpp.o"
+  "CMakeFiles/fig11_loss_curves.dir/fig11_loss_curves.cpp.o.d"
+  "fig11_loss_curves"
+  "fig11_loss_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_loss_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_enhancement_visual.dir/fig12_enhancement_visual.cpp.o"
+  "CMakeFiles/fig12_enhancement_visual.dir/fig12_enhancement_visual.cpp.o.d"
+  "fig12_enhancement_visual"
+  "fig12_enhancement_visual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_enhancement_visual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_accuracy_roc.dir/fig13_accuracy_roc.cpp.o"
+  "CMakeFiles/fig13_accuracy_roc.dir/fig13_accuracy_roc.cpp.o.d"
+  "fig13_accuracy_roc"
+  "fig13_accuracy_roc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_accuracy_roc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

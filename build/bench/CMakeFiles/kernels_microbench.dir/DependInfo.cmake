@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/kernels_microbench.cpp" "bench/CMakeFiles/kernels_microbench.dir/kernels_microbench.cpp.o" "gcc" "bench/CMakeFiles/kernels_microbench.dir/kernels_microbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/ccovid_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/ct/CMakeFiles/ccovid_ct.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ccovid_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/ccovid_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccovid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ccovid_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/ccovid_autograd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

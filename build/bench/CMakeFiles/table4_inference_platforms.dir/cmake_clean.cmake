@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_inference_platforms.dir/table4_inference_platforms.cpp.o"
+  "CMakeFiles/table4_inference_platforms.dir/table4_inference_platforms.cpp.o.d"
+  "table4_inference_platforms"
+  "table4_inference_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_inference_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_kernel_breakdown.dir/table5_kernel_breakdown.cpp.o"
+  "CMakeFiles/table5_kernel_breakdown.dir/table5_kernel_breakdown.cpp.o.d"
+  "table5_kernel_breakdown"
+  "table5_kernel_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_kernel_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_op_counts.dir/table6_op_counts.cpp.o"
+  "CMakeFiles/table6_op_counts.dir/table6_op_counts.cpp.o.d"
+  "table6_op_counts"
+  "table6_op_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_op_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table7_optimization_ablation.cpp" "bench/CMakeFiles/table7_optimization_ablation.dir/table7_optimization_ablation.cpp.o" "gcc" "bench/CMakeFiles/table7_optimization_ablation.dir/table7_optimization_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/ccovid_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ccovid_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/hetero/CMakeFiles/ccovid_hetero.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ccovid_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ccovid_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/ccovid_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ct/CMakeFiles/ccovid_ct.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ccovid_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/ccovid_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccovid_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_optimization_ablation.dir/table7_optimization_ablation.cpp.o"
+  "CMakeFiles/table7_optimization_ablation.dir/table7_optimization_ablation.cpp.o.d"
+  "table7_optimization_ablation"
+  "table7_optimization_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_optimization_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

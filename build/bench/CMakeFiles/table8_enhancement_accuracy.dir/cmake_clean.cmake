@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_enhancement_accuracy.dir/table8_enhancement_accuracy.cpp.o"
+  "CMakeFiles/table8_enhancement_accuracy.dir/table8_enhancement_accuracy.cpp.o.d"
+  "table8_enhancement_accuracy"
+  "table8_enhancement_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_enhancement_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

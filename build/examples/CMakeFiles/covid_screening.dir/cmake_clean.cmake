@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covid_screening.dir/covid_screening.cpp.o"
+  "CMakeFiles/covid_screening.dir/covid_screening.cpp.o.d"
+  "covid_screening"
+  "covid_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covid_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_inference.dir/hetero_inference.cpp.o"
+  "CMakeFiles/hetero_inference.dir/hetero_inference.cpp.o.d"
+  "hetero_inference"
+  "hetero_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowdose_enhancement.dir/lowdose_enhancement.cpp.o"
+  "CMakeFiles/lowdose_enhancement.dir/lowdose_enhancement.cpp.o.d"
+  "lowdose_enhancement"
+  "lowdose_enhancement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowdose_enhancement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lowdose_enhancement.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/functions.cpp" "src/autograd/CMakeFiles/ccovid_autograd.dir/functions.cpp.o" "gcc" "src/autograd/CMakeFiles/ccovid_autograd.dir/functions.cpp.o.d"
+  "/root/repo/src/autograd/gradcheck.cpp" "src/autograd/CMakeFiles/ccovid_autograd.dir/gradcheck.cpp.o" "gcc" "src/autograd/CMakeFiles/ccovid_autograd.dir/gradcheck.cpp.o.d"
+  "/root/repo/src/autograd/losses.cpp" "src/autograd/CMakeFiles/ccovid_autograd.dir/losses.cpp.o" "gcc" "src/autograd/CMakeFiles/ccovid_autograd.dir/losses.cpp.o.d"
+  "/root/repo/src/autograd/optim.cpp" "src/autograd/CMakeFiles/ccovid_autograd.dir/optim.cpp.o" "gcc" "src/autograd/CMakeFiles/ccovid_autograd.dir/optim.cpp.o.d"
+  "/root/repo/src/autograd/variable.cpp" "src/autograd/CMakeFiles/ccovid_autograd.dir/variable.cpp.o" "gcc" "src/autograd/CMakeFiles/ccovid_autograd.dir/variable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops/CMakeFiles/ccovid_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ccovid_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccovid_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

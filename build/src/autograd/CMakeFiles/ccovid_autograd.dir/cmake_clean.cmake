@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccovid_autograd.dir/functions.cpp.o"
+  "CMakeFiles/ccovid_autograd.dir/functions.cpp.o.d"
+  "CMakeFiles/ccovid_autograd.dir/gradcheck.cpp.o"
+  "CMakeFiles/ccovid_autograd.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/ccovid_autograd.dir/losses.cpp.o"
+  "CMakeFiles/ccovid_autograd.dir/losses.cpp.o.d"
+  "CMakeFiles/ccovid_autograd.dir/optim.cpp.o"
+  "CMakeFiles/ccovid_autograd.dir/optim.cpp.o.d"
+  "CMakeFiles/ccovid_autograd.dir/variable.cpp.o"
+  "CMakeFiles/ccovid_autograd.dir/variable.cpp.o.d"
+  "libccovid_autograd.a"
+  "libccovid_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccovid_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

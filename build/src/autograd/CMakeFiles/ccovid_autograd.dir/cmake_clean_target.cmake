@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccovid_autograd.a"
+)

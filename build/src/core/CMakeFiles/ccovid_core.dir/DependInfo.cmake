@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/counters.cpp" "src/core/CMakeFiles/ccovid_core.dir/counters.cpp.o" "gcc" "src/core/CMakeFiles/ccovid_core.dir/counters.cpp.o.d"
+  "/root/repo/src/core/image_io.cpp" "src/core/CMakeFiles/ccovid_core.dir/image_io.cpp.o" "gcc" "src/core/CMakeFiles/ccovid_core.dir/image_io.cpp.o.d"
+  "/root/repo/src/core/parallel.cpp" "src/core/CMakeFiles/ccovid_core.dir/parallel.cpp.o" "gcc" "src/core/CMakeFiles/ccovid_core.dir/parallel.cpp.o.d"
+  "/root/repo/src/core/random.cpp" "src/core/CMakeFiles/ccovid_core.dir/random.cpp.o" "gcc" "src/core/CMakeFiles/ccovid_core.dir/random.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/ccovid_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/ccovid_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/shape.cpp" "src/core/CMakeFiles/ccovid_core.dir/shape.cpp.o" "gcc" "src/core/CMakeFiles/ccovid_core.dir/shape.cpp.o.d"
+  "/root/repo/src/core/tensor.cpp" "src/core/CMakeFiles/ccovid_core.dir/tensor.cpp.o" "gcc" "src/core/CMakeFiles/ccovid_core.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccovid_core.dir/counters.cpp.o"
+  "CMakeFiles/ccovid_core.dir/counters.cpp.o.d"
+  "CMakeFiles/ccovid_core.dir/image_io.cpp.o"
+  "CMakeFiles/ccovid_core.dir/image_io.cpp.o.d"
+  "CMakeFiles/ccovid_core.dir/parallel.cpp.o"
+  "CMakeFiles/ccovid_core.dir/parallel.cpp.o.d"
+  "CMakeFiles/ccovid_core.dir/random.cpp.o"
+  "CMakeFiles/ccovid_core.dir/random.cpp.o.d"
+  "CMakeFiles/ccovid_core.dir/serialize.cpp.o"
+  "CMakeFiles/ccovid_core.dir/serialize.cpp.o.d"
+  "CMakeFiles/ccovid_core.dir/shape.cpp.o"
+  "CMakeFiles/ccovid_core.dir/shape.cpp.o.d"
+  "CMakeFiles/ccovid_core.dir/tensor.cpp.o"
+  "CMakeFiles/ccovid_core.dir/tensor.cpp.o.d"
+  "libccovid_core.a"
+  "libccovid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccovid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ct/fbp.cpp" "src/ct/CMakeFiles/ccovid_ct.dir/fbp.cpp.o" "gcc" "src/ct/CMakeFiles/ccovid_ct.dir/fbp.cpp.o.d"
+  "/root/repo/src/ct/fft.cpp" "src/ct/CMakeFiles/ccovid_ct.dir/fft.cpp.o" "gcc" "src/ct/CMakeFiles/ccovid_ct.dir/fft.cpp.o.d"
+  "/root/repo/src/ct/hu.cpp" "src/ct/CMakeFiles/ccovid_ct.dir/hu.cpp.o" "gcc" "src/ct/CMakeFiles/ccovid_ct.dir/hu.cpp.o.d"
+  "/root/repo/src/ct/iterative.cpp" "src/ct/CMakeFiles/ccovid_ct.dir/iterative.cpp.o" "gcc" "src/ct/CMakeFiles/ccovid_ct.dir/iterative.cpp.o.d"
+  "/root/repo/src/ct/noise.cpp" "src/ct/CMakeFiles/ccovid_ct.dir/noise.cpp.o" "gcc" "src/ct/CMakeFiles/ccovid_ct.dir/noise.cpp.o.d"
+  "/root/repo/src/ct/siddon.cpp" "src/ct/CMakeFiles/ccovid_ct.dir/siddon.cpp.o" "gcc" "src/ct/CMakeFiles/ccovid_ct.dir/siddon.cpp.o.d"
+  "/root/repo/src/ct/sparse_view.cpp" "src/ct/CMakeFiles/ccovid_ct.dir/sparse_view.cpp.o" "gcc" "src/ct/CMakeFiles/ccovid_ct.dir/sparse_view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccovid_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccovid_ct.dir/fbp.cpp.o"
+  "CMakeFiles/ccovid_ct.dir/fbp.cpp.o.d"
+  "CMakeFiles/ccovid_ct.dir/fft.cpp.o"
+  "CMakeFiles/ccovid_ct.dir/fft.cpp.o.d"
+  "CMakeFiles/ccovid_ct.dir/hu.cpp.o"
+  "CMakeFiles/ccovid_ct.dir/hu.cpp.o.d"
+  "CMakeFiles/ccovid_ct.dir/iterative.cpp.o"
+  "CMakeFiles/ccovid_ct.dir/iterative.cpp.o.d"
+  "CMakeFiles/ccovid_ct.dir/noise.cpp.o"
+  "CMakeFiles/ccovid_ct.dir/noise.cpp.o.d"
+  "CMakeFiles/ccovid_ct.dir/siddon.cpp.o"
+  "CMakeFiles/ccovid_ct.dir/siddon.cpp.o.d"
+  "CMakeFiles/ccovid_ct.dir/sparse_view.cpp.o"
+  "CMakeFiles/ccovid_ct.dir/sparse_view.cpp.o.d"
+  "libccovid_ct.a"
+  "libccovid_ct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccovid_ct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccovid_ct.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/augment.cpp" "src/data/CMakeFiles/ccovid_data.dir/augment.cpp.o" "gcc" "src/data/CMakeFiles/ccovid_data.dir/augment.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/ccovid_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/ccovid_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/lowdose.cpp" "src/data/CMakeFiles/ccovid_data.dir/lowdose.cpp.o" "gcc" "src/data/CMakeFiles/ccovid_data.dir/lowdose.cpp.o.d"
+  "/root/repo/src/data/phantom.cpp" "src/data/CMakeFiles/ccovid_data.dir/phantom.cpp.o" "gcc" "src/data/CMakeFiles/ccovid_data.dir/phantom.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccovid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ct/CMakeFiles/ccovid_ct.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccovid_data.dir/augment.cpp.o"
+  "CMakeFiles/ccovid_data.dir/augment.cpp.o.d"
+  "CMakeFiles/ccovid_data.dir/dataset.cpp.o"
+  "CMakeFiles/ccovid_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/ccovid_data.dir/lowdose.cpp.o"
+  "CMakeFiles/ccovid_data.dir/lowdose.cpp.o.d"
+  "CMakeFiles/ccovid_data.dir/phantom.cpp.o"
+  "CMakeFiles/ccovid_data.dir/phantom.cpp.o.d"
+  "libccovid_data.a"
+  "libccovid_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccovid_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccovid_dist.dir/comm.cpp.o"
+  "CMakeFiles/ccovid_dist.dir/comm.cpp.o.d"
+  "CMakeFiles/ccovid_dist.dir/ddp.cpp.o"
+  "CMakeFiles/ccovid_dist.dir/ddp.cpp.o.d"
+  "libccovid_dist.a"
+  "libccovid_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccovid_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

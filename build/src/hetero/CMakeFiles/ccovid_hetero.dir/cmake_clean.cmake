@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccovid_hetero.dir/ddnet_counts.cpp.o"
+  "CMakeFiles/ccovid_hetero.dir/ddnet_counts.cpp.o.d"
+  "CMakeFiles/ccovid_hetero.dir/device_model.cpp.o"
+  "CMakeFiles/ccovid_hetero.dir/device_model.cpp.o.d"
+  "libccovid_hetero.a"
+  "libccovid_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccovid_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

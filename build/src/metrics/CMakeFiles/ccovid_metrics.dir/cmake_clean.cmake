@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccovid_metrics.dir/classification.cpp.o"
+  "CMakeFiles/ccovid_metrics.dir/classification.cpp.o.d"
+  "CMakeFiles/ccovid_metrics.dir/image_quality.cpp.o"
+  "CMakeFiles/ccovid_metrics.dir/image_quality.cpp.o.d"
+  "libccovid_metrics.a"
+  "libccovid_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccovid_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/ahnet.cpp" "src/nn/CMakeFiles/ccovid_nn.dir/ahnet.cpp.o" "gcc" "src/nn/CMakeFiles/ccovid_nn.dir/ahnet.cpp.o.d"
+  "/root/repo/src/nn/ddnet.cpp" "src/nn/CMakeFiles/ccovid_nn.dir/ddnet.cpp.o" "gcc" "src/nn/CMakeFiles/ccovid_nn.dir/ddnet.cpp.o.d"
+  "/root/repo/src/nn/dense_block.cpp" "src/nn/CMakeFiles/ccovid_nn.dir/dense_block.cpp.o" "gcc" "src/nn/CMakeFiles/ccovid_nn.dir/dense_block.cpp.o.d"
+  "/root/repo/src/nn/densenet3d.cpp" "src/nn/CMakeFiles/ccovid_nn.dir/densenet3d.cpp.o" "gcc" "src/nn/CMakeFiles/ccovid_nn.dir/densenet3d.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/ccovid_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/ccovid_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/ccovid_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/ccovid_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/unet.cpp" "src/nn/CMakeFiles/ccovid_nn.dir/unet.cpp.o" "gcc" "src/nn/CMakeFiles/ccovid_nn.dir/unet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/ccovid_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/ccovid_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ccovid_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccovid_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

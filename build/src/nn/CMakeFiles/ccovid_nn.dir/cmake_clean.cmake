@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccovid_nn.dir/ahnet.cpp.o"
+  "CMakeFiles/ccovid_nn.dir/ahnet.cpp.o.d"
+  "CMakeFiles/ccovid_nn.dir/ddnet.cpp.o"
+  "CMakeFiles/ccovid_nn.dir/ddnet.cpp.o.d"
+  "CMakeFiles/ccovid_nn.dir/dense_block.cpp.o"
+  "CMakeFiles/ccovid_nn.dir/dense_block.cpp.o.d"
+  "CMakeFiles/ccovid_nn.dir/densenet3d.cpp.o"
+  "CMakeFiles/ccovid_nn.dir/densenet3d.cpp.o.d"
+  "CMakeFiles/ccovid_nn.dir/layers.cpp.o"
+  "CMakeFiles/ccovid_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/ccovid_nn.dir/module.cpp.o"
+  "CMakeFiles/ccovid_nn.dir/module.cpp.o.d"
+  "CMakeFiles/ccovid_nn.dir/unet.cpp.o"
+  "CMakeFiles/ccovid_nn.dir/unet.cpp.o.d"
+  "libccovid_nn.a"
+  "libccovid_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccovid_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/activations.cpp" "src/ops/CMakeFiles/ccovid_ops.dir/activations.cpp.o" "gcc" "src/ops/CMakeFiles/ccovid_ops.dir/activations.cpp.o.d"
+  "/root/repo/src/ops/batchnorm.cpp" "src/ops/CMakeFiles/ccovid_ops.dir/batchnorm.cpp.o" "gcc" "src/ops/CMakeFiles/ccovid_ops.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/ops/concat.cpp" "src/ops/CMakeFiles/ccovid_ops.dir/concat.cpp.o" "gcc" "src/ops/CMakeFiles/ccovid_ops.dir/concat.cpp.o.d"
+  "/root/repo/src/ops/conv2d.cpp" "src/ops/CMakeFiles/ccovid_ops.dir/conv2d.cpp.o" "gcc" "src/ops/CMakeFiles/ccovid_ops.dir/conv2d.cpp.o.d"
+  "/root/repo/src/ops/conv3d.cpp" "src/ops/CMakeFiles/ccovid_ops.dir/conv3d.cpp.o" "gcc" "src/ops/CMakeFiles/ccovid_ops.dir/conv3d.cpp.o.d"
+  "/root/repo/src/ops/deconv2d.cpp" "src/ops/CMakeFiles/ccovid_ops.dir/deconv2d.cpp.o" "gcc" "src/ops/CMakeFiles/ccovid_ops.dir/deconv2d.cpp.o.d"
+  "/root/repo/src/ops/gemm.cpp" "src/ops/CMakeFiles/ccovid_ops.dir/gemm.cpp.o" "gcc" "src/ops/CMakeFiles/ccovid_ops.dir/gemm.cpp.o.d"
+  "/root/repo/src/ops/instrumented.cpp" "src/ops/CMakeFiles/ccovid_ops.dir/instrumented.cpp.o" "gcc" "src/ops/CMakeFiles/ccovid_ops.dir/instrumented.cpp.o.d"
+  "/root/repo/src/ops/linear.cpp" "src/ops/CMakeFiles/ccovid_ops.dir/linear.cpp.o" "gcc" "src/ops/CMakeFiles/ccovid_ops.dir/linear.cpp.o.d"
+  "/root/repo/src/ops/pool2d.cpp" "src/ops/CMakeFiles/ccovid_ops.dir/pool2d.cpp.o" "gcc" "src/ops/CMakeFiles/ccovid_ops.dir/pool2d.cpp.o.d"
+  "/root/repo/src/ops/pool3d.cpp" "src/ops/CMakeFiles/ccovid_ops.dir/pool3d.cpp.o" "gcc" "src/ops/CMakeFiles/ccovid_ops.dir/pool3d.cpp.o.d"
+  "/root/repo/src/ops/unpool2d.cpp" "src/ops/CMakeFiles/ccovid_ops.dir/unpool2d.cpp.o" "gcc" "src/ops/CMakeFiles/ccovid_ops.dir/unpool2d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccovid_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccovid_ops.dir/activations.cpp.o"
+  "CMakeFiles/ccovid_ops.dir/activations.cpp.o.d"
+  "CMakeFiles/ccovid_ops.dir/batchnorm.cpp.o"
+  "CMakeFiles/ccovid_ops.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/ccovid_ops.dir/concat.cpp.o"
+  "CMakeFiles/ccovid_ops.dir/concat.cpp.o.d"
+  "CMakeFiles/ccovid_ops.dir/conv2d.cpp.o"
+  "CMakeFiles/ccovid_ops.dir/conv2d.cpp.o.d"
+  "CMakeFiles/ccovid_ops.dir/conv3d.cpp.o"
+  "CMakeFiles/ccovid_ops.dir/conv3d.cpp.o.d"
+  "CMakeFiles/ccovid_ops.dir/deconv2d.cpp.o"
+  "CMakeFiles/ccovid_ops.dir/deconv2d.cpp.o.d"
+  "CMakeFiles/ccovid_ops.dir/gemm.cpp.o"
+  "CMakeFiles/ccovid_ops.dir/gemm.cpp.o.d"
+  "CMakeFiles/ccovid_ops.dir/instrumented.cpp.o"
+  "CMakeFiles/ccovid_ops.dir/instrumented.cpp.o.d"
+  "CMakeFiles/ccovid_ops.dir/linear.cpp.o"
+  "CMakeFiles/ccovid_ops.dir/linear.cpp.o.d"
+  "CMakeFiles/ccovid_ops.dir/pool2d.cpp.o"
+  "CMakeFiles/ccovid_ops.dir/pool2d.cpp.o.d"
+  "CMakeFiles/ccovid_ops.dir/pool3d.cpp.o"
+  "CMakeFiles/ccovid_ops.dir/pool3d.cpp.o.d"
+  "CMakeFiles/ccovid_ops.dir/unpool2d.cpp.o"
+  "CMakeFiles/ccovid_ops.dir/unpool2d.cpp.o.d"
+  "libccovid_ops.a"
+  "libccovid_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccovid_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/classification_ai.cpp" "src/pipeline/CMakeFiles/ccovid_pipeline.dir/classification_ai.cpp.o" "gcc" "src/pipeline/CMakeFiles/ccovid_pipeline.dir/classification_ai.cpp.o.d"
+  "/root/repo/src/pipeline/enhancement_ai.cpp" "src/pipeline/CMakeFiles/ccovid_pipeline.dir/enhancement_ai.cpp.o" "gcc" "src/pipeline/CMakeFiles/ccovid_pipeline.dir/enhancement_ai.cpp.o.d"
+  "/root/repo/src/pipeline/framework.cpp" "src/pipeline/CMakeFiles/ccovid_pipeline.dir/framework.cpp.o" "gcc" "src/pipeline/CMakeFiles/ccovid_pipeline.dir/framework.cpp.o.d"
+  "/root/repo/src/pipeline/segmentation_ai.cpp" "src/pipeline/CMakeFiles/ccovid_pipeline.dir/segmentation_ai.cpp.o" "gcc" "src/pipeline/CMakeFiles/ccovid_pipeline.dir/segmentation_ai.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/ccovid_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ccovid_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ccovid_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/ct/CMakeFiles/ccovid_ct.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/ccovid_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/ccovid_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccovid_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccovid_pipeline.dir/classification_ai.cpp.o"
+  "CMakeFiles/ccovid_pipeline.dir/classification_ai.cpp.o.d"
+  "CMakeFiles/ccovid_pipeline.dir/enhancement_ai.cpp.o"
+  "CMakeFiles/ccovid_pipeline.dir/enhancement_ai.cpp.o.d"
+  "CMakeFiles/ccovid_pipeline.dir/framework.cpp.o"
+  "CMakeFiles/ccovid_pipeline.dir/framework.cpp.o.d"
+  "CMakeFiles/ccovid_pipeline.dir/segmentation_ai.cpp.o"
+  "CMakeFiles/ccovid_pipeline.dir/segmentation_ai.cpp.o.d"
+  "libccovid_pipeline.a"
+  "libccovid_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccovid_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instrumented.dir/test_instrumented.cpp.o"
+  "CMakeFiles/test_instrumented.dir/test_instrumented.cpp.o.d"
+  "test_instrumented"
+  "test_instrumented.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instrumented.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

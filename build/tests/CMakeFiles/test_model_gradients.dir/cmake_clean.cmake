@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_gradients.dir/test_model_gradients.cpp.o"
+  "CMakeFiles/test_model_gradients.dir/test_model_gradients.cpp.o.d"
+  "test_model_gradients"
+  "test_model_gradients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_gradients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

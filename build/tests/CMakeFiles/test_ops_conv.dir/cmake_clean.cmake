@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops_conv.dir/test_ops_conv.cpp.o"
+  "CMakeFiles/test_ops_conv.dir/test_ops_conv.cpp.o.d"
+  "test_ops_conv"
+  "test_ops_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops_deconv.dir/test_ops_deconv.cpp.o"
+  "CMakeFiles/test_ops_deconv.dir/test_ops_deconv.cpp.o.d"
+  "test_ops_deconv"
+  "test_ops_deconv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops_deconv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

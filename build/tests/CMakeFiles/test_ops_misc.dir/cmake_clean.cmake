@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops_misc.dir/test_ops_misc.cpp.o"
+  "CMakeFiles/test_ops_misc.dir/test_ops_misc.cpp.o.d"
+  "test_ops_misc"
+  "test_ops_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

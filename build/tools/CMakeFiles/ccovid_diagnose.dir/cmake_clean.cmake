@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccovid_diagnose.dir/ccovid_diagnose.cpp.o"
+  "CMakeFiles/ccovid_diagnose.dir/ccovid_diagnose.cpp.o.d"
+  "ccovid_diagnose"
+  "ccovid_diagnose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccovid_diagnose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccovid_sim.dir/ccovid_sim.cpp.o"
+  "CMakeFiles/ccovid_sim.dir/ccovid_sim.cpp.o.d"
+  "ccovid_sim"
+  "ccovid_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccovid_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccovid_train.dir/ccovid_train.cpp.o"
+  "CMakeFiles/ccovid_train.dir/ccovid_train.cpp.o.d"
+  "ccovid_train"
+  "ccovid_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccovid_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
