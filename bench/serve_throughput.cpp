@@ -1,0 +1,401 @@
+// serve_throughput — closed- and open-loop load generation against the
+// serve::InferenceServer, sweeping worker count × micro-batch size ×
+// offered load on one fixed phantom workload, and verifying that the
+// diagnoses are bitwise-identical no matter the concurrency.
+//
+// Execution model: each request runs the real (reduced-scale) pipeline
+// on the CPU to produce a verifiable diagnosis, and the worker then
+// blocks for the projected accelerator residency of the paper-scale
+// DDnet on the chosen Table-4 device (roofline device model ×
+// slices/volume) — the synchronous device-offload a production
+// deployment of the paper's GPU/OpenCL stack would pay. --stall-ms
+// overrides the projection; --stall-ms 0 benchmarks pure-CPU serving
+// (on a single-core host, worker scaling is then bound by Amdahl, which
+// is exactly what the report will show).
+//
+// Closed loop: C = max(4, 2·workers·batch) submitters, each holding at
+// most one request in flight — measures capacity. Open loop: requests
+// arrive on a fixed-rate clock regardless of completions (0.7×, 1.0×,
+// 1.4× the measured capacity of the largest configuration) against a
+// short admission queue — measures latency degradation and rejection
+// under overload.
+//
+// Emits a human-readable table and serve_throughput.json in --out-dir.
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/phantom.h"
+#include "hetero/ddnet_counts.h"
+#include "nn/layers.h"
+#include "serve/server.h"
+
+using namespace ccovid;
+
+namespace {
+
+struct RunReport {
+  std::string mode;  // "closed" / "open"
+  int workers = 0;
+  std::size_t batch = 0;
+  int concurrency = 0;       // closed loop
+  double offered_vps = 0.0;  // open loop
+  double elapsed_s = 0.0;
+  double achieved_vps = 0.0;
+  std::uint64_t submitted = 0, completed = 0, rejected = 0, timed_out = 0;
+  double mean_batch = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;  // total latency, seconds
+  double queue_p95 = 0.0;
+};
+
+struct Workload {
+  std::vector<data::PhantomVolume> patients;
+  int rounds = 1;  // each patient is submitted `rounds` times per run
+  std::size_t submissions() const { return patients.size() * rounds; }
+};
+
+std::shared_ptr<const pipeline::ComputeCovid19Pipeline> build_pipeline() {
+  nn::seed_init_rng(1);
+  auto enh = std::make_shared<pipeline::EnhancementAI>(
+      nn::DDnetConfig::tiny());
+  auto seg = std::make_shared<pipeline::SegmentationAI>();
+  auto cls = std::make_shared<pipeline::ClassificationAI>();
+  enh->network().set_training(false);
+  seg->network().set_training(false);
+  cls->network().set_training(false);
+  return std::make_shared<const pipeline::ComputeCovid19Pipeline>(enh, seg,
+                                                                  cls);
+}
+
+serve::ServerOptions server_options(int workers, std::size_t batch,
+                                    double stall_s,
+                                    std::size_t queue_cap) {
+  serve::ServerOptions opt;
+  opt.workers = workers;
+  opt.max_batch = batch;
+  opt.batch_delay = std::chrono::microseconds(2000);
+  opt.queue_capacity = queue_cap;
+  opt.device_stall_s = stall_s;
+  return opt;
+}
+
+void fill_latencies(const serve::InferenceServer& server, RunReport& r) {
+  const serve::ServerStats& s = server.stats();
+  r.completed = s.completed.load();
+  r.rejected = s.rejected_queue_full.load();
+  r.timed_out = s.timed_out.load();
+  r.submitted = s.submitted.load();
+  r.mean_batch = s.batches.load() == 0
+                     ? 0.0
+                     : static_cast<double>(s.batched_volumes.load()) /
+                           static_cast<double>(s.batches.load());
+  r.p50 = s.total.quantile(0.50);
+  r.p95 = s.total.quantile(0.95);
+  r.p99 = s.total.quantile(0.99);
+  r.queue_p95 = s.queue_wait.quantile(0.95);
+}
+
+// `probs[i]` receives the probability of submission i (volume i %
+// patients). Returns the run report.
+RunReport run_closed_loop(
+    const std::shared_ptr<const pipeline::ComputeCovid19Pipeline>& pipe,
+    const Workload& w, int workers, std::size_t batch, double stall_s,
+    std::vector<double>& probs) {
+  serve::InferenceServer server(
+      pipe, server_options(workers, batch, stall_s, 256));
+  const int concurrency =
+      std::max<int>(4, 2 * workers * static_cast<int>(batch));
+  const std::size_t n = w.submissions();
+  probs.assign(n, -1.0);
+
+  std::atomic<std::size_t> next{0};
+  WallTimer wall;
+  std::vector<std::thread> submitters;
+  submitters.reserve(concurrency);
+  for (int c = 0; c < concurrency; ++c) {
+    submitters.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= n) break;
+        serve::ServeOptions sopt;
+        sopt.use_enhancement = true;
+        auto fut = server.submit(
+            w.patients[i % w.patients.size()].hu, sopt);
+        const serve::DiagnoseResponse r = fut.get();
+        if (r.status == serve::RequestStatus::kOk) {
+          probs[i] = r.diagnosis.probability;
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  const double elapsed = wall.seconds();
+  server.shutdown();
+
+  RunReport r;
+  r.mode = "closed";
+  r.workers = workers;
+  r.batch = batch;
+  r.concurrency = concurrency;
+  r.elapsed_s = elapsed;
+  fill_latencies(server, r);
+  r.achieved_vps = static_cast<double>(r.completed) / elapsed;
+  return r;
+}
+
+RunReport run_open_loop(
+    const std::shared_ptr<const pipeline::ComputeCovid19Pipeline>& pipe,
+    const Workload& w, int workers, std::size_t batch, double stall_s,
+    double offered_vps, std::vector<double>& probs) {
+  // Short queue + deadline: overload turns into fast-fail rejections and
+  // timeouts instead of unbounded waiting.
+  serve::ServerOptions opt = server_options(workers, batch, stall_s, 4);
+  opt.default_deadline = std::chrono::milliseconds(2000);
+  serve::InferenceServer server(pipe, opt);
+
+  const std::size_t n = w.submissions();
+  probs.assign(n, -1.0);
+  const auto interval = std::chrono::duration<double>(1.0 / offered_vps);
+
+  std::vector<std::future<serve::DiagnoseResponse>> futures;
+  futures.reserve(n);
+  WallTimer wall;
+  const auto start = serve::Clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<serve::Clock::duration>(
+                    interval * static_cast<double>(i)));
+    serve::ServeOptions sopt;
+    sopt.use_enhancement = true;
+    futures.push_back(
+        server.submit(w.patients[i % w.patients.size()].hu, sopt));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const serve::DiagnoseResponse r = futures[i].get();
+    if (r.status == serve::RequestStatus::kOk) {
+      probs[i] = r.diagnosis.probability;
+    }
+  }
+  const double elapsed = wall.seconds();
+  server.shutdown();
+
+  RunReport r;
+  r.mode = "open";
+  r.workers = workers;
+  r.batch = batch;
+  r.offered_vps = offered_vps;
+  r.elapsed_s = elapsed;
+  fill_latencies(server, r);
+  r.achieved_vps = static_cast<double>(r.completed) / elapsed;
+  return r;
+}
+
+void append_run_json(std::string& out, const RunReport& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"mode\":\"%s\",\"workers\":%d,\"batch\":%zu,"
+      "\"concurrency\":%d,\"offered_vps\":%.3f,\"elapsed_s\":%.4f,"
+      "\"achieved_vps\":%.3f,\"submitted\":%llu,\"completed\":%llu,"
+      "\"rejected\":%llu,\"timed_out\":%llu,\"mean_batch\":%.3f,"
+      "\"p50_s\":%.6f,\"p95_s\":%.6f,\"p99_s\":%.6f,"
+      "\"queue_wait_p95_s\":%.6f}",
+      r.mode.c_str(), r.workers, r.batch, r.concurrency, r.offered_vps,
+      r.elapsed_s, r.achieved_vps,
+      static_cast<unsigned long long>(r.submitted),
+      static_cast<unsigned long long>(r.completed),
+      static_cast<unsigned long long>(r.rejected),
+      static_cast<unsigned long long>(r.timed_out), r.mean_batch, r.p50,
+      r.p95, r.p99, r.queue_p95);
+  out += buf;
+}
+
+void print_run(const RunReport& r) {
+  std::printf(
+      "%-6s w=%d b=%zu %-18s %7.2f vps  p50=%6.1fms p95=%6.1fms "
+      "p99=%6.1fms  done=%llu rej=%llu to=%llu  mb=%.2f\n",
+      r.mode.c_str(), r.workers, r.batch,
+      r.mode == "closed"
+          ? ("C=" + std::to_string(r.concurrency)).c_str()
+          : ("offered=" + std::to_string(static_cast<int>(r.offered_vps)) +
+             "/s")
+                .c_str(),
+      r.achieved_vps, 1e3 * r.p50, 1e3 * r.p95, 1e3 * r.p99,
+      static_cast<unsigned long long>(r.completed),
+      static_cast<unsigned long long>(r.rejected),
+      static_cast<unsigned long long>(r.timed_out), r.mean_batch);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  double stall_ms = -1.0;  // <0 = derive from the device model
+  std::string device = "V100";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--stall-ms") && i + 1 < argc) {
+      stall_ms = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--device") && i + 1 < argc) {
+      device = argv[++i];
+    }
+  }
+
+  index_t depth = 4, px = 16;
+  std::size_t num_patients = 12;
+  Workload w;
+  w.rounds = 2;
+  if (args.quick) {
+    // Enough submissions that batch-2 micro-batches keep all 4 workers
+    // of the largest configuration busy (8 batches over 4 workers).
+    num_patients = 8;
+    w.rounds = 2;
+  } else if (args.paper_scale) {
+    depth = 8;
+    px = 32;
+    num_patients = 16;
+    w.rounds = 2;
+  }
+
+  // Fixed seed: the workload (and hence every diagnosis) is fully
+  // deterministic; the bitwise check below depends on it.
+  Rng rng(7);
+  for (std::size_t i = 0; i < num_patients; ++i) {
+    w.patients.push_back(data::make_volume(depth, px, i % 2 == 1, rng));
+  }
+
+  // Emulated accelerator residency: projected paper-scale (512²) DDnet
+  // per-slice time on the chosen Table-4 device × slices per volume.
+  std::string device_full = "(override)";
+  if (stall_ms < 0.0) {
+    hetero::DeviceSpec spec{};
+    bool found = false;
+    for (const auto& d : hetero::paper_devices()) {
+      if (d.name.find(device) != std::string::npos) {
+        spec = d;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown --device %s\n", device.c_str());
+      return 1;
+    }
+    device_full = spec.name;
+    const hetero::NetworkCounts counts =
+        hetero::count_ddnet(nn::DDnetConfig::paper(), 512, 512);
+    const double per_slice =
+        hetero::project_network_seconds(spec, counts,
+                                        ops::KernelOptions::all())
+            .total();
+    stall_ms = 1e3 * per_slice * static_cast<double>(depth);
+  }
+  const double stall_s = stall_ms * 1e-3;
+
+  bench::print_header("serve_throughput: batching inference server");
+  std::printf(
+      "workload: %zu phantom volumes (%lldx%lldx%lld) x %d rounds, "
+      "enhancement on\n"
+      "device residency emulation: %.1f ms/volume (%s)\n\n",
+      w.patients.size(), (long long)depth, (long long)px, (long long)px,
+      w.rounds, stall_ms, device_full.c_str());
+
+  auto pipe = build_pipeline();
+
+  const std::vector<int> worker_sweep =
+      args.quick ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4};
+  const std::vector<std::size_t> batch_sweep =
+      args.quick ? std::vector<std::size_t>{2}
+                 : std::vector<std::size_t>{1, 4};
+
+  std::vector<RunReport> runs;
+  std::vector<std::vector<double>> all_probs;
+
+  for (std::size_t b : batch_sweep) {
+    for (int wk : worker_sweep) {
+      std::vector<double> probs;
+      runs.push_back(run_closed_loop(pipe, w, wk, b, stall_s, probs));
+      all_probs.push_back(std::move(probs));
+      print_run(runs.back());
+    }
+  }
+
+  // Capacity of the largest configuration drives the open-loop rates.
+  double capacity = 0.0, vps1 = 0.0, vps4 = 0.0;
+  const std::size_t ref_batch = batch_sweep.back();
+  for (const auto& r : runs) {
+    capacity = std::max(capacity, r.achieved_vps);
+    if (r.batch == ref_batch && r.workers == 1) vps1 = r.achieved_vps;
+    if (r.batch == ref_batch && r.workers == 4) vps4 = r.achieved_vps;
+  }
+
+  if (!args.quick) {
+    std::printf("\n");
+    // 0.7x/1.0x show steady-state latency; 1.4x shows queueing delay;
+    // 2.5x drives the short admission queue into rejection/timeout.
+    for (double mult : {0.7, 1.0, 1.4, 2.5}) {
+      std::vector<double> probs;
+      runs.push_back(run_open_loop(pipe, w, worker_sweep.back(),
+                                   batch_sweep.back(), stall_s,
+                                   mult * capacity, probs));
+      all_probs.push_back(std::move(probs));
+      print_run(runs.back());
+    }
+  }
+
+  // Determinism: every completed submission of volume v must produce the
+  // same bits in every run (open-loop runs may have rejected some).
+  bool deterministic = true;
+  const std::size_t n = w.submissions();
+  std::vector<double> reference(w.patients.size(), -1.0);
+  for (const auto& probs : all_probs) {
+    for (std::size_t i = 0; i < probs.size() && i < n; ++i) {
+      if (probs[i] < 0.0) continue;  // not completed in this run
+      double& ref = reference[i % w.patients.size()];
+      if (ref < 0.0) {
+        ref = probs[i];
+      } else if (probs[i] != ref) {  // bitwise comparison, intentional
+        deterministic = false;
+      }
+    }
+  }
+
+  const double speedup = vps1 > 0.0 ? vps4 / vps1 : 0.0;
+  std::printf(
+      "\nclosed-loop capacity: %.2f vps; 4-worker vs 1-worker speedup "
+      "(batch %zu): %.2fx\nresults bitwise-identical across "
+      "configurations: %s\n",
+      capacity, ref_batch, speedup, deterministic ? "yes" : "NO");
+
+  std::string json = "{\"workload\":{";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"patients\":%zu,\"rounds\":%d,\"depth\":%lld,"
+                "\"px\":%lld,\"stall_ms\":%.3f,\"device\":\"%s\"},",
+                w.patients.size(), w.rounds, (long long)depth,
+                (long long)px, stall_ms, device_full.c_str());
+  json += buf;
+  json += "\"runs\":[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (i) json += ",";
+    append_run_json(json, runs[i]);
+  }
+  std::snprintf(buf, sizeof(buf),
+                "],\"speedup_4v1_closed\":%.3f,\"deterministic\":%s}",
+                speedup, deterministic ? "true" : "false");
+  json += buf;
+
+  const std::string path = args.out_dir + "/serve_throughput.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    std::printf("report: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  }
+  return 0;
+}

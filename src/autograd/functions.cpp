@@ -160,12 +160,17 @@ Var batch_norm(const Var& x, const Var& gamma, const Var& beta,
       ops::batch_norm_train(x.value(), gamma.value(), beta.value(), *stats,
                             eps);
   // Update running statistics (out-of-graph side effect, as in PyTorch).
-  const index_t c = gamma.value().dim(0);
-  for (index_t ch = 0; ch < c; ++ch) {
-    running_mean.at(ch) = (1.0f - momentum) * running_mean.at(ch) +
-                          momentum * stats->mean.at(ch);
-    running_var.at(ch) =
-        (1.0f - momentum) * running_var.at(ch) + momentum * stats->var.at(ch);
+  // momentum == 0 is the eval-mode batch-stats path (see
+  // BatchNorm::forward): the update would be a no-op, and skipping it
+  // keeps concurrent inference threads from racing on the buffers.
+  if (momentum != 0.0f) {
+    const index_t c = gamma.value().dim(0);
+    for (index_t ch = 0; ch < c; ++ch) {
+      running_mean.at(ch) = (1.0f - momentum) * running_mean.at(ch) +
+                            momentum * stats->mean.at(ch);
+      running_var.at(ch) = (1.0f - momentum) * running_var.at(ch) +
+                           momentum * stats->var.at(ch);
+    }
   }
   Var y = Var::make_node(std::move(out), {x, gamma, beta});
   if (y.requires_grad()) {

@@ -14,6 +14,8 @@ namespace {
 
 std::atomic<int> g_num_threads{0};  // 0 = "use default"
 
+thread_local int t_num_threads = 0;  // per-thread override; 0 = none
+
 int default_threads() {
 #ifdef _OPENMP
   return omp_get_max_threads();
@@ -26,6 +28,7 @@ int default_threads() {
 }  // namespace
 
 int num_threads() {
+  if (t_num_threads > 0) return t_num_threads;
   const int n = g_num_threads.load(std::memory_order_relaxed);
   return n > 0 ? n : default_threads();
 }
@@ -33,6 +36,10 @@ int num_threads() {
 void set_num_threads(int n) {
   g_num_threads.store(n, std::memory_order_relaxed);
 }
+
+int thread_num_threads() { return t_num_threads; }
+
+void set_thread_num_threads(int n) { t_num_threads = n > 0 ? n : 0; }
 
 void parallel_for(index_t begin, index_t end,
                   const std::function<void(index_t)>& body, index_t grain) {

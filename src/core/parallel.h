@@ -21,6 +21,31 @@ int num_threads();
 /// n <= 0 resets to the default.
 void set_num_threads(int n);
 
+/// Calling thread's override of num_threads(); 0 = no override. Serving
+/// worker threads pin this to 1 so nested parallel_for calls inside
+/// kernels run serially — N workers × default_threads would oversubscribe
+/// the machine, and per-worker-serial kernels keep results bit-identical
+/// for any worker count.
+int thread_num_threads();
+
+/// Sets the calling thread's override. n <= 0 clears it.
+void set_thread_num_threads(int n);
+
+/// RAII pin of the calling thread's parallel_for width (restores the
+/// previous override on destruction).
+class ParallelPin {
+ public:
+  explicit ParallelPin(int n) : prev_(thread_num_threads()) {
+    set_thread_num_threads(n);
+  }
+  ~ParallelPin() { set_thread_num_threads(prev_); }
+  ParallelPin(const ParallelPin&) = delete;
+  ParallelPin& operator=(const ParallelPin&) = delete;
+
+ private:
+  int prev_;
+};
+
 /// Runs body(i) for i in [begin, end). Iterations must be independent.
 /// `grain` is the minimum chunk per thread; loops smaller than `grain`
 /// run serially to avoid fork/join overhead on tiny tensors.

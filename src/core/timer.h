@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace ccovid {
@@ -24,26 +25,38 @@ class WallTimer {
 };
 
 /// Accumulates per-kernel execution time, keyed by kernel name
-/// ("convolution", "deconvolution", "other"). Not thread-safe; each
-/// benchmark uses one profile on its main thread.
+/// ("convolution", "deconvolution", "other"). Thread-safe: worker
+/// threads of the serving runtime add() into one shared profile, so
+/// every accessor takes the profile lock; totals() therefore returns a
+/// snapshot by value rather than a reference into the live map.
 class KernelProfile {
  public:
   void add(const std::string& kernel, double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
     totals_[kernel] += seconds;
   }
   double total(const std::string& kernel) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = totals_.find(kernel);
     return it == totals_.end() ? 0.0 : it->second;
   }
   double grand_total() const {
+    std::lock_guard<std::mutex> lock(mu_);
     double t = 0.0;
     for (const auto& [k, v] : totals_) t += v;
     return t;
   }
-  const std::map<std::string, double>& totals() const { return totals_; }
-  void reset() { totals_.clear(); }
+  std::map<std::string, double> totals() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return totals_;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    totals_.clear();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, double> totals_;
 };
 

@@ -2,8 +2,10 @@
 
 #include <stdexcept>
 
+#include "core/timer.h"
 #include "ct/hu.h"
 #include "data/dataset.h"
+#include "serve/worker_pool.h"
 
 namespace ccovid::pipeline {
 
@@ -20,39 +22,80 @@ ComputeCovid19Pipeline::ComputeCovid19Pipeline(
 }
 
 Tensor ComputeCovid19Pipeline::prepare(const Tensor& volume_hu,
-                                       bool use_enhancement) const {
+                                       bool use_enhancement,
+                                       StageTimes* times) const {
   if (volume_hu.rank() != 3) {
     throw std::invalid_argument("diagnose: expected a (D, H, W) HU volume");
   }
+  WallTimer timer;
   // §2.1 preparation: strip circular-FOV padding, then normalize.
   const Tensor cleaned = data::remove_circular_fov_volume(volume_hu);
   Tensor norm = ct::normalize_hu(cleaned);
+  if (times) times->prepare_s = timer.seconds();
   if (use_enhancement) {
+    timer.reset();
     norm = enhancement_->enhance_volume(norm);
+    if (times) times->enhance_s = timer.seconds();
   }
   // §3.2: lung mask multiplied into the scan.
-  return segmentation_->segment_and_mask(norm);
+  timer.reset();
+  Tensor masked = segmentation_->segment_and_mask(norm);
+  if (times) times->segment_s = timer.seconds();
+  return masked;
 }
 
 Diagnosis ComputeCovid19Pipeline::diagnose(const Tensor& volume_hu,
                                            bool use_enhancement,
-                                           double threshold) const {
-  const Tensor masked = prepare(volume_hu, use_enhancement);
+                                           double threshold,
+                                           StageTimes* times) const {
+  const Tensor masked = prepare(volume_hu, use_enhancement, times);
+  WallTimer timer;
   Diagnosis d;
   d.threshold = threshold;
   d.probability = classification_->predict(masked);
   d.positive = d.probability >= threshold;
+  if (times) times->classify_s = timer.seconds();
   return d;
 }
 
-std::vector<double> ComputeCovid19Pipeline::score_volumes(
-    const std::vector<Tensor>& volumes_hu, bool use_enhancement) const {
-  std::vector<double> scores;
-  scores.reserve(volumes_hu.size());
-  for (const Tensor& v : volumes_hu) {
-    scores.push_back(
-        classification_->predict(prepare(v, use_enhancement)));
+std::vector<Diagnosis> ComputeCovid19Pipeline::diagnose_batch(
+    const std::vector<BatchItem>& items,
+    std::vector<StageTimes>* times) const {
+  if (times) times->assign(items.size(), StageTimes{});
+  std::vector<Diagnosis> out;
+  out.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const BatchItem& item = items[i];
+    if (item.volume_hu == nullptr) {
+      throw std::invalid_argument("diagnose_batch: null volume");
+    }
+    out.push_back(diagnose(*item.volume_hu, item.use_enhancement,
+                           item.threshold,
+                           times ? &(*times)[i] : nullptr));
   }
+  return out;
+}
+
+std::vector<double> ComputeCovid19Pipeline::score_volumes(
+    const std::vector<Tensor>& volumes_hu, bool use_enhancement,
+    int workers) const {
+  std::vector<double> scores(volumes_hu.size(), 0.0);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < volumes_hu.size(); ++i) {
+      scores[i] = classification_->predict(
+          prepare(volumes_hu[i], use_enhancement, nullptr));
+    }
+    return scores;
+  }
+  serve::WorkerPool::Options popt;
+  popt.workers = workers;
+  popt.inner_threads = 1;
+  serve::WorkerPool pool(popt);
+  pool.for_each(static_cast<index_t>(volumes_hu.size()),
+                [&](index_t i) {
+                  scores[i] = classification_->predict(
+                      prepare(volumes_hu[i], use_enhancement, nullptr));
+                });
   return scores;
 }
 

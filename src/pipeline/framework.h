@@ -22,6 +22,27 @@ struct Diagnosis {
   double threshold = 0.5;
 };
 
+/// Wall-clock seconds spent in each workflow stage of one diagnosis —
+/// the per-stage breakdown the serving runtime aggregates into its
+/// latency histograms.
+struct StageTimes {
+  double prepare_s = 0.0;   ///< FOV cleanup + HU normalization (§2.1)
+  double enhance_s = 0.0;   ///< DDnet slice enhancement (0 when off)
+  double segment_s = 0.0;   ///< lung segmentation + masking (§3.2)
+  double classify_s = 0.0;  ///< 3-D DenseNet scoring (§3.3)
+  double total() const {
+    return prepare_s + enhance_s + segment_s + classify_s;
+  }
+};
+
+/// One request of a coalesced micro-batch (see serve::InferenceServer).
+/// The volume pointer must outlive the diagnose_batch call.
+struct BatchItem {
+  const Tensor* volume_hu = nullptr;
+  bool use_enhancement = true;
+  double threshold = 0.5;
+};
+
 class ComputeCovid19Pipeline {
  public:
   ComputeCovid19Pipeline(std::shared_ptr<EnhancementAI> enhancement,
@@ -30,22 +51,41 @@ class ComputeCovid19Pipeline {
 
   /// Full §2.1 preparation + workflow on a raw HU volume (D, H, W):
   /// removes circular-FOV padding, normalizes, optionally enhances every
-  /// slice, segments and masks the lungs, classifies.
+  /// slice, segments and masks the lungs, classifies. When `times` is
+  /// non-null the per-stage wall-clock breakdown is written there.
+  /// Thread-safe once every stage network is in eval mode (inference
+  /// never mutates the models), so concurrent diagnoses may share one
+  /// pipeline instance.
   Diagnosis diagnose(const Tensor& volume_hu, bool use_enhancement,
-                     double threshold = 0.5) const;
+                     double threshold = 0.5,
+                     StageTimes* times = nullptr) const;
+
+  /// Batch entry point used by the serving runtime: diagnoses every
+  /// item in order on the calling thread. Each volume is processed
+  /// independently, so results are bitwise-identical to per-item
+  /// diagnose() calls no matter how requests were coalesced. `times`,
+  /// when non-null, receives one StageTimes per item.
+  std::vector<Diagnosis> diagnose_batch(
+      const std::vector<BatchItem>& items,
+      std::vector<StageTimes>* times = nullptr) const;
 
   /// Scores a set of volumes for ROC analysis (Fig. 13): returns the
   /// per-volume probabilities with/without the enhancement stage chosen
-  /// by `use_enhancement`.
+  /// by `use_enhancement`. `workers` > 1 fans the volumes out over a
+  /// serve::WorkerPool whose workers run kernels single-threaded — the
+  /// same primitive (and hence the same numerics) as the inference
+  /// server; the result is identical to the sequential path.
   std::vector<double> score_volumes(const std::vector<Tensor>& volumes_hu,
-                                    bool use_enhancement) const;
+                                    bool use_enhancement,
+                                    int workers = 1) const;
 
   EnhancementAI& enhancement() { return *enhancement_; }
   SegmentationAI& segmentation() { return *segmentation_; }
   ClassificationAI& classification() { return *classification_; }
 
  private:
-  Tensor prepare(const Tensor& volume_hu, bool use_enhancement) const;
+  Tensor prepare(const Tensor& volume_hu, bool use_enhancement,
+                 StageTimes* times) const;
 
   std::shared_ptr<EnhancementAI> enhancement_;
   std::shared_ptr<SegmentationAI> segmentation_;

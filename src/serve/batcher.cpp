@@ -1,0 +1,39 @@
+#include "serve/batcher.h"
+
+#include <utility>
+
+namespace ccovid::serve {
+
+std::vector<RequestPtr> DynamicBatcher::next_batch() {
+  std::vector<RequestPtr> batch;
+
+  RequestPtr first = std::move(held_);
+  if (!first) {
+    auto popped = queue_.pop();  // blocks; nullopt = closed and drained
+    if (!popped) return batch;
+    first = std::move(*popped);
+  }
+  const Clock::time_point flush_at = Clock::now() + opt_.max_delay;
+  batch.push_back(std::move(first));
+
+  while (batch.size() < opt_.max_batch) {
+    const auto now = Clock::now();
+    if (now >= flush_at) break;
+    // Grab immediately-available companions without waiting; only sleep
+    // on the queue when it is momentarily empty.
+    auto next = queue_.try_pop();
+    if (!next) {
+      next = queue_.pop_for(flush_at - now);
+      if (!next) break;  // deadline hit or queue closed
+    }
+    if ((*next)->compatible(*batch.front())) {
+      batch.push_back(std::move(*next));
+    } else {
+      held_ = std::move(*next);  // seeds the next batch
+      break;
+    }
+  }
+  return batch;
+}
+
+}  // namespace ccovid::serve

@@ -1,0 +1,42 @@
+// Dynamic micro-batcher: coalesces compatible queued requests into
+// batches bounded by max_batch (flush on size) and max_delay (flush on
+// deadline) — the two-knob policy of production model servers. An
+// incompatible request (different session or enhancement setting) closes
+// the current batch and is held over as the seed of the next one, so
+// ordering is preserved and nothing is starved.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+#include "serve/bounded_queue.h"
+#include "serve/request.h"
+
+namespace ccovid::serve {
+
+struct BatcherOptions {
+  std::size_t max_batch = 4;
+  /// How long a formed-but-unfilled batch may wait for companions.
+  std::chrono::microseconds max_delay{2000};
+};
+
+class DynamicBatcher {
+ public:
+  DynamicBatcher(BoundedQueue<RequestPtr>& queue, BatcherOptions opt)
+      : queue_(queue), opt_(opt) {}
+
+  /// Blocks for the next micro-batch. The first request is waited for
+  /// indefinitely; once one arrives, companions are collected until the
+  /// batch is full, max_delay elapses, or an incompatible request shows
+  /// up. Returns an empty vector exactly once: when the queue is closed
+  /// and fully drained (shutdown).
+  std::vector<RequestPtr> next_batch();
+
+ private:
+  BoundedQueue<RequestPtr>& queue_;
+  BatcherOptions opt_;
+  RequestPtr held_;  ///< incompatible request carried into the next batch
+};
+
+}  // namespace ccovid::serve

@@ -1,0 +1,122 @@
+// Bounded multi-producer / multi-consumer queue — the admission-control
+// primitive of the serving runtime (DESIGN.md "Serving"). A full queue
+// rejects instead of blocking producers by default (try_push), which is
+// what turns overload into fast-fail backpressure rather than unbounded
+// latency growth; consumers block. close() makes the queue drain-only:
+// pushes fail, pops keep returning the remaining items and then signal
+// exhaustion — this is what graceful shutdown rides on.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ccovid::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking admit. False when the queue is full or closed — the
+  /// value is NOT consumed on failure (rvalue-ref parameter), so callers
+  /// keep ownership and can e.g. fulfil the request's promise with a
+  /// rejection.
+  bool try_push(T&& v) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || q_.size() >= capacity_) return false;
+      q_.push_back(std::move(v));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking admit: waits while full. False when the queue is closed
+  /// (the value is not consumed).
+  bool push(T&& v) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock,
+                     [this] { return closed_ || q_.size() < capacity_; });
+      if (closed_) return false;
+      q_.push_back(std::move(v));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and
+  /// drained (nullopt).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !q_.empty(); });
+    return pop_locked();
+  }
+
+  /// Like pop() but gives up after `timeout`; nullopt on timeout too.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, timeout,
+                        [this] { return closed_ || !q_.empty(); });
+    return pop_locked();
+  }
+
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Stops admissions; pending items remain poppable (drain semantics).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  // Pre: mu_ held and (closed_ || !q_.empty()).
+  std::optional<T> pop_locked() {
+    if (q_.empty()) return std::nullopt;  // closed and drained
+    T v = std::move(q_.front());
+    q_.pop_front();
+    not_full_.notify_one();
+    return v;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_, not_full_;
+  std::deque<T> q_;
+  const std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace ccovid::serve

@@ -1,0 +1,87 @@
+// Request/response types of the inference-serving runtime.
+//
+// A client submits one raw HU volume plus ServeOptions and receives a
+// std::future<DiagnoseResponse>. Internally the server moves Request
+// objects (volume handle + promise + admission timestamp) through the
+// bounded queue into the dynamic batcher and onto the worker pool.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "core/tensor.h"
+#include "pipeline/framework.h"
+
+namespace ccovid::serve {
+
+using Clock = std::chrono::steady_clock;
+
+enum class RequestStatus {
+  kOk,        ///< diagnosis completed
+  kRejected,  ///< admission queue full (backpressure fast-fail)
+  kTimedOut,  ///< deadline expired before a worker picked the batch up
+  kShutdown,  ///< submitted after shutdown began
+  kError,     ///< pipeline threw (unknown session, bad volume, ...)
+};
+
+inline const char* to_string(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kRejected: return "rejected";
+    case RequestStatus::kTimedOut: return "timed_out";
+    case RequestStatus::kShutdown: return "shutdown";
+    case RequestStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+struct ServeOptions {
+  std::string session = "default";  ///< model set in the SessionRegistry
+  bool use_enhancement = true;      ///< run the DDnet stage (§5.2.3 knob)
+  double threshold = 0.5;
+  /// Drop the request unexecuted if it waits longer than this before a
+  /// worker starts its batch. zero = no deadline.
+  std::chrono::milliseconds deadline{0};
+};
+
+struct DiagnoseResponse {
+  RequestStatus status = RequestStatus::kError;
+  pipeline::Diagnosis diagnosis;     ///< valid when status == kOk
+  pipeline::StageTimes stages;       ///< per-stage pipeline breakdown
+  double queue_s = 0.0;              ///< admission -> worker pickup
+  double execute_s = 0.0;            ///< this request's batch execution
+  double total_s = 0.0;              ///< admission -> response
+  std::uint64_t request_id = 0;
+  std::size_t batch_size = 0;        ///< micro-batch the request rode in
+  std::string error;                 ///< set when status == kError
+};
+
+/// Internal queue entry. The Tensor member is a shallow copy (shared
+/// storage), so admission never copies voxel data.
+struct Request {
+  std::uint64_t id = 0;
+  Tensor volume_hu;
+  ServeOptions options;
+  Clock::time_point submit_time;
+  std::promise<DiagnoseResponse> promise;
+
+  bool expired(Clock::time_point now) const {
+    return options.deadline.count() > 0 &&
+           now - submit_time > options.deadline;
+  }
+
+  /// Two requests may share a micro-batch when they hit the same model
+  /// session with the same workflow shape (enhancement on/off). The
+  /// decision threshold is per-request and does not affect batching.
+  bool compatible(const Request& other) const {
+    return options.session == other.options.session &&
+           options.use_enhancement == other.options.use_enhancement;
+  }
+};
+
+using RequestPtr = std::unique_ptr<Request>;
+
+}  // namespace ccovid::serve

@@ -1,0 +1,225 @@
+#include "serve/server.h"
+
+#include <exception>
+#include <utility>
+
+namespace ccovid::serve {
+
+void SessionRegistry::add(
+    const std::string& name,
+    std::shared_ptr<const pipeline::ComputeCovid19Pipeline> p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_[name] = std::move(p);
+}
+
+std::shared_ptr<const pipeline::ComputeCovid19Pipeline>
+SessionRegistry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> SessionRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(sessions_.size());
+  for (const auto& [name, p] : sessions_) out.push_back(name);
+  return out;
+}
+
+InferenceServer::InferenceServer(SessionRegistry registry, ServerOptions opt)
+    : opt_(opt),
+      registry_(std::move(registry)),
+      queue_(opt.queue_capacity),
+      batcher_(queue_, BatcherOptions{opt.max_batch, opt.batch_delay}),
+      // Pool backlog of 1: the batcher pre-stages at most one batch, so
+      // overload accumulates in the admission queue (where rejection and
+      // deadline triage apply) instead of hiding in the pool.
+      pool_(WorkerPool::Options{opt.workers, opt.inner_threads, 1}),
+      start_time_(Clock::now()) {
+  batcher_thread_ = std::thread([this] { batcher_loop(); });
+}
+
+InferenceServer::InferenceServer(
+    std::shared_ptr<const pipeline::ComputeCovid19Pipeline> pipeline,
+    ServerOptions opt)
+    : InferenceServer(
+          [&pipeline] {
+            SessionRegistry r;
+            r.add("default", std::move(pipeline));
+            return r;
+          }(),
+          opt) {}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+double InferenceServer::uptime_s() const {
+  return std::chrono::duration<double>(Clock::now() - start_time_).count();
+}
+
+std::string InferenceServer::stats_json() const {
+  return stats_.json(queue_depth(), uptime_s());
+}
+
+void InferenceServer::respond(RequestPtr req, DiagnoseResponse r) {
+  r.request_id = req->id;
+  r.total_s =
+      std::chrono::duration<double>(Clock::now() - req->submit_time).count();
+  req->promise.set_value(std::move(r));
+}
+
+std::future<DiagnoseResponse> InferenceServer::submit(const Tensor& volume_hu,
+                                                      ServeOptions options) {
+  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+  if (options.deadline.count() == 0) {
+    options.deadline = opt_.default_deadline;
+  }
+
+  auto req = std::make_unique<Request>();
+  req->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  req->volume_hu = volume_hu;  // shallow copy, shared storage
+  req->options = std::move(options);
+  req->submit_time = Clock::now();
+  std::future<DiagnoseResponse> fut = req->promise.get_future();
+
+  if (!accepting_.load(std::memory_order_acquire)) {
+    stats_.rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+    DiagnoseResponse r;
+    r.status = RequestStatus::kShutdown;
+    respond(std::move(req), std::move(r));
+    return fut;
+  }
+  if (!queue_.try_push(std::move(req))) {
+    // try_push leaves ownership with us on failure: overload fast-fail.
+    stats_.rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
+    DiagnoseResponse r;
+    r.status = RequestStatus::kRejected;
+    respond(std::move(req), std::move(r));
+    return fut;
+  }
+  stats_.admitted.fetch_add(1, std::memory_order_relaxed);
+  return fut;
+}
+
+void InferenceServer::batcher_loop() {
+  while (true) {
+    std::vector<RequestPtr> batch = batcher_.next_batch();
+    if (batch.empty()) break;  // queue closed and drained
+    stats_.batches.fetch_add(1, std::memory_order_relaxed);
+    stats_.batched_volumes.fetch_add(batch.size(),
+                                     std::memory_order_relaxed);
+    // Wrap the batch in a shared_ptr: std::function requires copyable
+    // callables. submit() blocks when every worker is busy and the
+    // backlog is full — backpressure reaching back to the admission
+    // queue.
+    auto shared =
+        std::make_shared<std::vector<RequestPtr>>(std::move(batch));
+    pool_.submit([this, shared] { execute_batch(std::move(*shared)); });
+  }
+}
+
+void InferenceServer::execute_batch(std::vector<RequestPtr> batch) {
+  const Clock::time_point exec_start = Clock::now();
+
+  // Deadline triage before any compute.
+  std::vector<RequestPtr> live;
+  live.reserve(batch.size());
+  for (auto& req : batch) {
+    if (req->expired(exec_start)) {
+      stats_.timed_out.fetch_add(1, std::memory_order_relaxed);
+      DiagnoseResponse r;
+      r.status = RequestStatus::kTimedOut;
+      r.queue_s = std::chrono::duration<double>(exec_start -
+                                                req->submit_time)
+                      .count();
+      respond(std::move(req), std::move(r));
+    } else {
+      live.push_back(std::move(req));
+    }
+  }
+  if (live.empty()) return;
+
+  auto fail_all = [&](const std::string& message) {
+    for (auto& req : live) {
+      stats_.failed.fetch_add(1, std::memory_order_relaxed);
+      DiagnoseResponse r;
+      r.status = RequestStatus::kError;
+      r.error = message;
+      respond(std::move(req), std::move(r));
+    }
+  };
+
+  const auto model = registry_.find(live.front()->options.session);
+  if (!model) {
+    fail_all("unknown session: " + live.front()->options.session);
+    return;
+  }
+
+  std::vector<pipeline::BatchItem> items;
+  items.reserve(live.size());
+  for (const auto& req : live) {
+    items.push_back({&req->volume_hu, req->options.use_enhancement,
+                     req->options.threshold});
+  }
+
+  std::vector<pipeline::StageTimes> times;
+  std::vector<pipeline::Diagnosis> results;
+  try {
+    results = model->diagnose_batch(items, &times);
+  } catch (const std::exception& e) {
+    fail_all(e.what());
+    return;
+  }
+
+  if (opt_.device_stall_s > 0.0) {
+    // Emulated accelerator residency: the worker blocks as it would on
+    // a synchronous device queue running the paper-scale model.
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        opt_.device_stall_s * static_cast<double>(live.size())));
+  }
+
+  const double execute_s =
+      std::chrono::duration<double>(Clock::now() - exec_start).count();
+
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    stats_.completed.fetch_add(1, std::memory_order_relaxed);
+    DiagnoseResponse r;
+    r.status = RequestStatus::kOk;
+    r.diagnosis = results[i];
+    r.stages = times[i];
+    r.queue_s = std::chrono::duration<double>(exec_start -
+                                              live[i]->submit_time)
+                    .count();
+    r.execute_s = execute_s;
+    r.batch_size = live.size();
+
+    stats_.queue_wait.record(r.queue_s);
+    stats_.execute.record(execute_s);
+    stats_.prepare.record(times[i].prepare_s);
+    if (items[i].use_enhancement) stats_.enhance.record(times[i].enhance_s);
+    stats_.segment.record(times[i].segment_s);
+    stats_.classify.record(times[i].classify_s);
+    stats_.stage_totals.add("prepare", times[i].prepare_s);
+    stats_.stage_totals.add("enhance", times[i].enhance_s);
+    stats_.stage_totals.add("segment", times[i].segment_s);
+    stats_.stage_totals.add("classify", times[i].classify_s);
+
+    const Clock::time_point done = Clock::now();
+    stats_.total.record(
+        std::chrono::duration<double>(done - live[i]->submit_time).count());
+    respond(std::move(live[i]), std::move(r));
+  }
+}
+
+void InferenceServer::shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (shut_down_) return;
+  shut_down_ = true;
+
+  accepting_.store(false, std::memory_order_release);
+  queue_.close();  // batcher drains the remainder, then exits
+  if (batcher_thread_.joinable()) batcher_thread_.join();
+  pool_.shutdown();  // drains dispatched batches, then joins workers
+}
+
+}  // namespace ccovid::serve

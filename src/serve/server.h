@@ -1,0 +1,137 @@
+// InferenceServer — the batching inference-serving runtime tying the
+// subsystem together:
+//
+//   submit() ──► BoundedQueue (admission control, fast-fail when full)
+//                   │ batcher thread
+//                   ▼
+//             DynamicBatcher (flush on max_batch or max_delay)
+//                   │ one job per micro-batch
+//                   ▼
+//             WorkerPool (N workers, kernels pinned single-threaded)
+//                   │ ComputeCovid19Pipeline::diagnose_batch
+//                   ▼
+//             promise fulfilment + ServerStats
+//
+// Model weights are shared immutably: every worker reads the same
+// pipeline instance out of the SessionRegistry (inference is const and
+// eval-mode networks are never written — see pipeline/framework.h), so
+// N workers cost one copy of the weights. Per-request scratch lives on
+// the worker's stack, and each worker's kernels run single-threaded
+// (core/parallel thread pin), which keeps diagnoses bitwise-identical
+// for any worker count and any batch composition.
+//
+// shutdown() is graceful: admissions stop, everything already admitted
+// is drained through the batcher and workers, then threads join.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/bounded_queue.h"
+#include "serve/request.h"
+#include "serve/stats.h"
+#include "serve/worker_pool.h"
+
+namespace ccovid::serve {
+
+/// Named, immutable model sets. Registered pipelines must already be in
+/// eval mode (every network set_training(false)); the registry hands out
+/// shared const pointers so workers can only read.
+class SessionRegistry {
+ public:
+  SessionRegistry() = default;
+  /// Movable so a populated registry can be handed to the server (the
+  /// mutex member deletes the default move).
+  SessionRegistry(SessionRegistry&& other) noexcept {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    sessions_ = std::move(other.sessions_);
+  }
+
+  void add(const std::string& name,
+           std::shared_ptr<const pipeline::ComputeCovid19Pipeline> p);
+  std::shared_ptr<const pipeline::ComputeCovid19Pipeline> find(
+      const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const pipeline::ComputeCovid19Pipeline>>
+      sessions_;
+};
+
+struct ServerOptions {
+  std::size_t queue_capacity = 64;  ///< admission queue bound
+  std::size_t max_batch = 4;
+  std::chrono::microseconds batch_delay{2000};
+  int workers = 1;
+  /// parallel_for width inside each worker (see WorkerPool::Options).
+  int inner_threads = 1;
+  /// Applied to requests whose own deadline is zero. zero = none.
+  std::chrono::milliseconds default_deadline{0};
+  /// Emulated accelerator residency per volume (seconds): workers sleep
+  /// this long per batched volume after computing the result, modeling
+  /// the blocking device offload of the paper's GPU/FPGA deployments
+  /// (projected by hetero::device_model). 0 = pure-CPU serving.
+  double device_stall_s = 0.0;
+};
+
+class InferenceServer {
+ public:
+  InferenceServer(SessionRegistry registry, ServerOptions opt);
+  /// Single-model convenience: registers `pipeline` as "default".
+  InferenceServer(
+      std::shared_ptr<const pipeline::ComputeCovid19Pipeline> pipeline,
+      ServerOptions opt);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Admits one raw HU volume. Always returns a valid future; overload
+  /// and shutdown are reported through DiagnoseResponse::status rather
+  /// than exceptions. The tensor is shallow-copied (shared storage).
+  std::future<DiagnoseResponse> submit(const Tensor& volume_hu,
+                                       ServeOptions options = {});
+
+  /// Graceful: stops admissions, drains queue + in-flight batches,
+  /// joins all threads. Idempotent; also run by the destructor.
+  void shutdown();
+
+  bool accepting() const {
+    return accepting_.load(std::memory_order_acquire);
+  }
+  std::size_t queue_depth() const { return queue_.size(); }
+  const ServerOptions& options() const { return opt_; }
+  ServerStats& stats() { return stats_; }
+  const ServerStats& stats() const { return stats_; }
+  double uptime_s() const;
+  /// ServerStats::json with live queue depth and uptime filled in.
+  std::string stats_json() const;
+
+ private:
+  void batcher_loop();
+  void execute_batch(std::vector<RequestPtr> batch);
+  static void respond(RequestPtr req, DiagnoseResponse r);
+
+  ServerOptions opt_;
+  SessionRegistry registry_;
+  ServerStats stats_;
+  BoundedQueue<RequestPtr> queue_;
+  DynamicBatcher batcher_;
+  WorkerPool pool_;
+  std::thread batcher_thread_;
+  std::atomic<bool> accepting_{true};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::mutex shutdown_mu_;
+  bool shut_down_ = false;
+  Clock::time_point start_time_;
+};
+
+}  // namespace ccovid::serve

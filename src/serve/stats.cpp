@@ -1,0 +1,175 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ccovid::serve {
+
+namespace {
+
+constexpr double kBase = 1e-6;   // first bucket lower bound: 1 µs
+constexpr double kRatio = 1.25;  // geometric bucket growth
+
+std::uint64_t to_ns(double seconds) {
+  if (seconds <= 0.0) return 0;
+  return static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+void atomic_min(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int LatencyHistogram::bucket_of(double seconds) {
+  if (seconds <= kBase) return 0;
+  const int b =
+      static_cast<int>(std::log(seconds / kBase) / std::log(kRatio)) + 1;
+  return std::min(b, kBuckets - 1);
+}
+
+double LatencyHistogram::bucket_lower(int b) {
+  return b == 0 ? 0.0 : kBase * std::pow(kRatio, b - 1);
+}
+
+void LatencyHistogram::record(double seconds) {
+  if (seconds < 0.0 || !std::isfinite(seconds)) seconds = 0.0;
+  buckets_[bucket_of(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t ns = to_ns(seconds);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  atomic_min(min_ns_, ns);
+  atomic_max(max_ns_, ns);
+}
+
+double LatencyHistogram::min_seconds() const {
+  const std::uint64_t ns = min_ns_.load(std::memory_order_relaxed);
+  return ns == UINT64_MAX ? 0.0 : 1e-9 * static_cast<double>(ns);
+}
+
+double LatencyHistogram::max_seconds() const {
+  return 1e-9 * static_cast<double>(max_ns_.load(std::memory_order_relaxed));
+}
+
+double LatencyHistogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank && seen > 0) {
+      const double lo = std::max(bucket_lower(b), min_seconds());
+      const double hi = b + 1 < kBuckets
+                            ? std::min(bucket_lower(b + 1), max_seconds())
+                            : max_seconds();
+      if (lo <= 0.0) return hi;
+      return std::sqrt(lo * std::max(hi, lo));  // geometric midpoint
+    }
+  }
+  return max_seconds();
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  min_ns_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+void ServerStats::reset() {
+  submitted = admitted = rejected_queue_full = rejected_shutdown = 0;
+  timed_out = completed = failed = batches = batched_volumes = 0;
+  queue_wait.reset();
+  execute.reset();
+  total.reset();
+  prepare.reset();
+  enhance.reset();
+  segment.reset();
+  classify.reset();
+  stage_totals.reset();
+}
+
+void append_histogram_json(std::string& out, const char* name,
+                           const LatencyHistogram& h) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"%s\":{\"count\":%llu,\"mean_s\":%.6f,\"p50_s\":%.6f,"
+                "\"p95_s\":%.6f,\"p99_s\":%.6f,\"max_s\":%.6f}",
+                name, static_cast<unsigned long long>(h.count()),
+                h.mean_seconds(), h.quantile(0.50), h.quantile(0.95),
+                h.quantile(0.99), h.max_seconds());
+  out += buf;
+}
+
+std::string ServerStats::json(std::size_t queue_depth,
+                              double uptime_s) const {
+  char buf[512];
+  std::string out = "{";
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"submitted\":%llu,\"admitted\":%llu,\"rejected_queue_full\":%llu,"
+      "\"rejected_shutdown\":%llu,\"timed_out\":%llu,\"completed\":%llu,"
+      "\"failed\":%llu,\"batches\":%llu,\"batched_volumes\":%llu,"
+      "\"mean_batch_size\":%.3f,\"queue_depth\":%zu,\"uptime_s\":%.3f,"
+      "\"throughput_vps\":%.3f,",
+      static_cast<unsigned long long>(submitted.load()),
+      static_cast<unsigned long long>(admitted.load()),
+      static_cast<unsigned long long>(rejected_queue_full.load()),
+      static_cast<unsigned long long>(rejected_shutdown.load()),
+      static_cast<unsigned long long>(timed_out.load()),
+      static_cast<unsigned long long>(completed.load()),
+      static_cast<unsigned long long>(failed.load()),
+      static_cast<unsigned long long>(batches.load()),
+      static_cast<unsigned long long>(batched_volumes.load()),
+      batches.load() == 0
+          ? 0.0
+          : static_cast<double>(batched_volumes.load()) /
+                static_cast<double>(batches.load()),
+      queue_depth, uptime_s,
+      uptime_s > 0.0
+          ? static_cast<double>(completed.load()) / uptime_s
+          : 0.0);
+  out += buf;
+
+  out += "\"latency\":{";
+  append_histogram_json(out, "queue_wait", queue_wait);
+  out += ",";
+  append_histogram_json(out, "execute", execute);
+  out += ",";
+  append_histogram_json(out, "total", total);
+  out += "},\"stages\":{";
+  append_histogram_json(out, "prepare", prepare);
+  out += ",";
+  append_histogram_json(out, "enhance", enhance);
+  out += ",";
+  append_histogram_json(out, "segment", segment);
+  out += ",";
+  append_histogram_json(out, "classify", classify);
+  out += "},\"stage_totals_s\":{";
+  bool first = true;
+  for (const auto& [stage, seconds] : stage_totals.totals()) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%.6f", first ? "" : ",",
+                  stage.c_str(), seconds);
+    out += buf;
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace ccovid::serve

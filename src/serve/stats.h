@@ -1,0 +1,102 @@
+// Observability surface of the serving runtime: lock-free latency
+// histograms with quantile extraction, monotonic counters, and a JSON
+// snapshot. This is the thread-safe generalization of the benchmark
+// harness's KernelProfile/OpCounters machinery (src/core/timer.h,
+// src/core/counters.h): KernelProfile (now mutex-guarded) still keeps
+// the cumulative per-stage seconds, while LatencyHistogram adds the
+// p50/p95/p99 view a server needs and plain atomics count admissions.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/timer.h"
+
+namespace ccovid::serve {
+
+/// Geometric-bucket latency histogram: 96 buckets with ratio 1.25
+/// starting at 1 µs (~2.1 ks span, <= 25% relative quantile error).
+/// record() is wait-free (one atomic add per sample), so worker threads
+/// log every request without contending.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 96;
+
+  void record(double seconds);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum_seconds() const {
+    return 1e-9 * static_cast<double>(sum_ns_.load(std::memory_order_relaxed));
+  }
+  double mean_seconds() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum_seconds() / static_cast<double>(n);
+  }
+  double min_seconds() const;
+  double max_seconds() const;
+
+  /// Latency at quantile q in [0, 1] (0.5 = p50). Returns the geometric
+  /// midpoint of the containing bucket; 0 when empty.
+  double quantile(double q) const;
+
+  void reset();
+
+ private:
+  static int bucket_of(double seconds);
+  static double bucket_lower(int b);
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+  std::atomic<std::uint64_t> min_ns_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// Counters + histograms shared by every server thread.
+struct ServerStats {
+  // Admission accounting.
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> rejected_queue_full{0};
+  std::atomic<std::uint64_t> rejected_shutdown{0};
+  std::atomic<std::uint64_t> timed_out{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> failed{0};
+  // Batching accounting.
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> batched_volumes{0};
+
+  // End-to-end request latencies.
+  LatencyHistogram queue_wait;  ///< admission -> worker pickup
+  LatencyHistogram execute;     ///< batch execution (per request)
+  LatencyHistogram total;       ///< admission -> response
+
+  // Pipeline-stage latencies (per completed request).
+  LatencyHistogram prepare;
+  LatencyHistogram enhance;
+  LatencyHistogram segment;
+  LatencyHistogram classify;
+
+  /// Cumulative per-stage seconds, KernelProfile-style ("prepare",
+  /// "enhance", "segment", "classify") — the Table-5-like view.
+  KernelProfile stage_totals;
+
+  void reset();
+
+  /// JSON object with every counter, each histogram's
+  /// count/mean/p50/p95/p99/max, per-stage totals, plus the
+  /// caller-supplied gauges (live queue depth, uptime; throughput is
+  /// completed / uptime).
+  std::string json(std::size_t queue_depth, double uptime_s) const;
+};
+
+/// Appends one histogram as `"name":{...}` to `out` (exposed for the
+/// bench's per-run reports).
+void append_histogram_json(std::string& out, const char* name,
+                           const LatencyHistogram& h);
+
+}  // namespace ccovid::serve

@@ -1,0 +1,132 @@
+// Fixed-size worker pool executing queued jobs. Shared by the inference
+// server (each job = one micro-batch) and by
+// ComputeCovid19Pipeline::score_volumes' parallel path, so the ROC bench
+// and the serving runtime exercise the same concurrency primitive.
+//
+// Each worker pins its thread-local parallel_for width (default 1):
+// kernels called from a worker run serially instead of forking a nested
+// OpenMP team, which (a) avoids oversubscribing the machine at
+// workers × num_threads and (b) makes results bit-identical regardless
+// of the worker count — the determinism the serving tests assert.
+//
+// The job queue is bounded: submit() blocks when all workers are busy
+// and the backlog is full, which propagates backpressure up to the
+// server's admission queue instead of buffering unboundedly.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/parallel.h"
+#include "core/types.h"
+#include "serve/bounded_queue.h"
+
+namespace ccovid::serve {
+
+class WorkerPool {
+ public:
+  struct Options {
+    int workers = 1;
+    /// Thread-local parallel_for width inside each worker; 0 leaves the
+    /// process default (nested kernel parallelism, non-deterministic
+    /// only in the sense of oversubscription — results stay per-volume
+    /// deterministic, but 1 is the production setting).
+    int inner_threads = 1;
+    /// Job backlog bound; 0 = 2 * workers.
+    std::size_t queue_capacity = 0;
+  };
+
+  explicit WorkerPool(Options opt)
+      : opt_(opt.workers < 1 ? Options{1, opt.inner_threads, opt.queue_capacity}
+                             : opt),
+        jobs_(opt_.queue_capacity == 0
+                  ? 2 * static_cast<std::size_t>(opt_.workers)
+                  : opt_.queue_capacity) {
+    threads_.reserve(static_cast<std::size_t>(opt_.workers));
+    for (int w = 0; w < opt_.workers; ++w) {
+      threads_.emplace_back([this] { run_worker(); });
+    }
+  }
+
+  ~WorkerPool() { shutdown(); }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int size() const { return opt_.workers; }
+
+  /// Enqueues a job; blocks while the backlog is full (backpressure).
+  /// False once shutdown() has been called.
+  bool submit(std::function<void()> job) {
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    if (!jobs_.push(std::move(job))) {
+      finish_one();
+      return false;
+    }
+    return true;
+  }
+
+  /// Blocks until every submitted job has finished.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  /// Convenience parallel map: runs fn(i) for i in [0, n) on the pool
+  /// and blocks until all iterations complete. Iterations must be
+  /// independent. Exceptions inside fn terminate (jobs are detached
+  /// units); callers wanting per-item errors should catch inside fn.
+  void for_each(index_t n, const std::function<void(index_t)>& fn) {
+    for (index_t i = 0; i < n; ++i) {
+      submit([&fn, i] { fn(i); });
+    }
+    wait_idle();
+  }
+
+  /// Drains the backlog, then joins every worker. Idempotent.
+  void shutdown() {
+    bool expected = false;
+    if (!stopping_.compare_exchange_strong(expected, true)) {
+      for (auto& t : threads_) {
+        if (t.joinable()) t.join();
+      }
+      return;
+    }
+    jobs_.close();
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+ private:
+  void run_worker() {
+    ParallelPin pin(opt_.inner_threads);
+    while (auto job = jobs_.pop()) {
+      (*job)();
+      finish_one();
+    }
+  }
+
+  void finish_one() {
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(idle_mu_);
+      idle_cv_.notify_all();
+    }
+  }
+
+  Options opt_;
+  BoundedQueue<std::function<void()>> jobs_;
+  std::vector<std::thread> threads_;
+  std::atomic<index_t> pending_{0};
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace ccovid::serve

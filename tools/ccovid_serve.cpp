@@ -1,0 +1,244 @@
+// ccovid_serve — run the batching inference-serving runtime against a
+// stream of phantom CT volumes (or models trained by ccovid_train).
+//
+//   ccovid_serve [--volumes N] [--depth D] [--size PX] [--seed S]
+//                [--workers W] [--batch B] [--batch-delay-us U]
+//                [--queue-cap Q] [--deadline-ms MS] [--stall-ms MS]
+//                [--interval-ms MS] [--threshold T] [--no-enhance]
+//                [--models DIR] [--json PATH]
+//
+// Without --models the pipeline uses seeded randomly-initialized compact
+// networks (deterministic, self-contained demo); with --models it loads
+// the ccovid_train weights like ccovid_diagnose does. Volumes alternate
+// healthy / COVID-positive phantoms, are submitted --interval-ms apart
+// (0 = as fast as possible, exercising admission backpressure), and the
+// run ends with a graceful drain plus a ServerStats JSON dump.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/phantom.h"
+#include "nn/layers.h"
+#include "serve/server.h"
+
+using namespace ccovid;
+
+namespace {
+
+struct ToolArgs {
+  int volumes = 8;
+  index_t depth = 4;
+  index_t size = 16;
+  std::uint64_t seed = 42;
+  int workers = 2;
+  std::size_t batch = 4;
+  long batch_delay_us = 2000;
+  std::size_t queue_cap = 16;
+  long deadline_ms = 0;
+  double stall_ms = 0.0;
+  long interval_ms = 0;
+  double threshold = 0.35;
+  bool use_enhancement = true;
+  std::string models;  // empty = seeded random init
+  std::string json_path;
+};
+
+void usage() {
+  std::printf(
+      "usage: ccovid_serve [--volumes N] [--depth D] [--size PX]\n"
+      "                    [--seed S] [--workers W] [--batch B]\n"
+      "                    [--batch-delay-us U] [--queue-cap Q]\n"
+      "                    [--deadline-ms MS] [--stall-ms MS]\n"
+      "                    [--interval-ms MS] [--threshold T]\n"
+      "                    [--no-enhance] [--models DIR] [--json PATH]\n");
+}
+
+bool parse(int argc, char** argv, ToolArgs& a) {
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* arg = argv[i];
+    const char* v = nullptr;
+    if (!std::strcmp(arg, "--volumes")) {
+      if (!(v = next(arg))) return false;
+      a.volumes = std::atoi(v);
+    } else if (!std::strcmp(arg, "--depth")) {
+      if (!(v = next(arg))) return false;
+      a.depth = std::atoll(v);
+    } else if (!std::strcmp(arg, "--size")) {
+      if (!(v = next(arg))) return false;
+      a.size = std::atoll(v);
+    } else if (!std::strcmp(arg, "--seed")) {
+      if (!(v = next(arg))) return false;
+      a.seed = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--workers")) {
+      if (!(v = next(arg))) return false;
+      a.workers = std::atoi(v);
+    } else if (!std::strcmp(arg, "--batch")) {
+      if (!(v = next(arg))) return false;
+      a.batch = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--batch-delay-us")) {
+      if (!(v = next(arg))) return false;
+      a.batch_delay_us = std::atol(v);
+    } else if (!std::strcmp(arg, "--queue-cap")) {
+      if (!(v = next(arg))) return false;
+      a.queue_cap = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--deadline-ms")) {
+      if (!(v = next(arg))) return false;
+      a.deadline_ms = std::atol(v);
+    } else if (!std::strcmp(arg, "--stall-ms")) {
+      if (!(v = next(arg))) return false;
+      a.stall_ms = std::atof(v);
+    } else if (!std::strcmp(arg, "--interval-ms")) {
+      if (!(v = next(arg))) return false;
+      a.interval_ms = std::atol(v);
+    } else if (!std::strcmp(arg, "--threshold")) {
+      if (!(v = next(arg))) return false;
+      a.threshold = std::atof(v);
+    } else if (!std::strcmp(arg, "--no-enhance")) {
+      a.use_enhancement = false;
+    } else if (!std::strcmp(arg, "--models")) {
+      if (!(v = next(arg))) return false;
+      a.models = v;
+    } else if (!std::strcmp(arg, "--json")) {
+      if (!(v = next(arg))) return false;
+      a.json_path = v;
+    } else {
+      usage();
+      return std::strcmp(arg, "--help") == 0 ? (std::exit(0), false)
+                                             : false;
+    }
+  }
+  return true;
+}
+
+std::shared_ptr<const pipeline::ComputeCovid19Pipeline> build_pipeline(
+    const ToolArgs& a) {
+  // Architectures match ccovid_train / ccovid_diagnose.
+  nn::DDnetConfig ncfg;
+  ncfg.base_channels = 8;
+  ncfg.growth = 8;
+  ncfg.levels = 2;
+  ncfg.dense_layers = 2;
+  nn::seed_init_rng(a.seed);
+  auto enh = std::make_shared<pipeline::EnhancementAI>(ncfg);
+  auto seg = std::make_shared<pipeline::SegmentationAI>();
+  auto cls = std::make_shared<pipeline::ClassificationAI>();
+  if (!a.models.empty()) {
+    try {
+      enh->network().load(a.models + "/ddnet.tnsr");
+      seg->network().load(a.models + "/ahnet.tnsr");
+      cls->network().load(a.models + "/densenet3d.tnsr");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ccovid_serve: cannot load models from %s: %s\n",
+                   a.models.c_str(), e.what());
+      return nullptr;
+    }
+  }
+  // The registry only serves eval-mode (immutable) models.
+  enh->network().set_training(false);
+  seg->network().set_training(false);
+  cls->network().set_training(false);
+  return std::make_shared<const pipeline::ComputeCovid19Pipeline>(enh, seg,
+                                                                  cls);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ToolArgs a;
+  if (!parse(argc, argv, a)) return 1;
+
+  serve::ServerOptions opt;
+  opt.queue_capacity = a.queue_cap;
+  opt.max_batch = a.batch;
+  opt.batch_delay = std::chrono::microseconds(a.batch_delay_us);
+  opt.workers = a.workers;
+  opt.default_deadline = std::chrono::milliseconds(a.deadline_ms);
+  opt.device_stall_s = a.stall_ms * 1e-3;
+
+  std::printf("ccovid_serve: %d worker(s), batch<=%zu/%ldus, queue cap %zu"
+              "%s%s\n",
+              opt.workers, opt.max_batch, a.batch_delay_us,
+              opt.queue_capacity,
+              a.models.empty() ? ", seeded random-init models"
+                               : ", models from ",
+              a.models.c_str());
+
+  auto pipe = build_pipeline(a);
+  if (!pipe) return 1;
+  serve::InferenceServer server(std::move(pipe), opt);
+
+  // Phantom stream: alternating negative / positive patients.
+  Rng rng(a.seed);
+  std::vector<data::PhantomVolume> patients;
+  patients.reserve(a.volumes);
+  for (int i = 0; i < a.volumes; ++i) {
+    patients.push_back(
+        data::make_volume(a.depth, a.size, i % 2 == 1, rng));
+  }
+
+  serve::ServeOptions sopt;
+  sopt.use_enhancement = a.use_enhancement;
+  sopt.threshold = a.threshold;
+
+  std::vector<std::future<serve::DiagnoseResponse>> futures;
+  futures.reserve(patients.size());
+  WallTimer wall;
+  for (const auto& p : patients) {
+    futures.push_back(server.submit(p.hu, sopt));
+    if (a.interval_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(a.interval_ms));
+    }
+  }
+
+  int correct = 0, completed = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const serve::DiagnoseResponse r = futures[i].get();
+    const bool truth = patients[i].label != 0;
+    if (r.status == serve::RequestStatus::kOk) {
+      ++completed;
+      const bool ok = truth == r.diagnosis.positive;
+      correct += ok;
+      std::printf(
+          "  #%-3llu %-9s P=%.4f -> %-8s truth=%-8s batch=%zu "
+          "queue=%.1fms exec=%.1fms total=%.1fms\n",
+          static_cast<unsigned long long>(r.request_id),
+          serve::to_string(r.status), r.diagnosis.probability,
+          r.diagnosis.positive ? "POSITIVE" : "negative",
+          truth ? "POSITIVE" : "negative", r.batch_size, 1e3 * r.queue_s,
+          1e3 * r.execute_s, 1e3 * r.total_s);
+    } else {
+      std::printf("  #%-3llu %-9s %s\n",
+                  static_cast<unsigned long long>(r.request_id),
+                  serve::to_string(r.status), r.error.c_str());
+    }
+  }
+  const double elapsed = wall.seconds();
+  server.shutdown();
+
+  std::printf("\n%d/%zu completed (%d calls correct) in %.2fs — "
+              "%.2f volumes/s\n",
+              completed, futures.size(), correct, elapsed,
+              completed / elapsed);
+  const std::string stats = server.stats_json();
+  std::printf("stats: %s\n", stats.c_str());
+  if (!a.json_path.empty()) {
+    std::FILE* f = std::fopen(a.json_path.c_str(), "w");
+    if (f) {
+      std::fprintf(f, "%s\n", stats.c_str());
+      std::fclose(f);
+      std::printf("stats written to %s\n", a.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", a.json_path.c_str());
+    }
+  }
+  return 0;
+}
