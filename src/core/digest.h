@@ -1,0 +1,40 @@
+// FNV-1a 64-bit digests over raw bytes and tensor storage — the shared
+// fingerprint primitive of (a) the golden-trace test harness (bitwise
+// regression detection across refactors, tests/test_golden.cpp) and
+// (b) the guarded dist transport (per-message checksums detecting
+// bit-flipped payloads, src/dist/comm.h). FNV-1a is not cryptographic;
+// it is cheap, dependency-free, and collision-resistant enough for
+// corruption detection and change detection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/tensor.h"
+
+namespace ccovid {
+
+inline constexpr std::uint64_t kFnv1aOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+/// FNV-1a over `size` bytes, chainable via `h`.
+inline std::uint64_t fnv1a64(const void* data, std::size_t size,
+                             std::uint64_t h = kFnv1aOffset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<std::uint64_t>(p[i]);
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+/// Digest of a tensor's element bytes (shape is NOT mixed in; callers
+/// comparing digests implicitly compare equal-shaped outputs).
+inline std::uint64_t fnv1a64(const Tensor& t,
+                             std::uint64_t h = kFnv1aOffset) {
+  if (t.numel() == 0 || t.data() == nullptr) return h;
+  return fnv1a64(t.data(),
+                 static_cast<std::size_t>(t.numel()) * sizeof(real_t), h);
+}
+
+}  // namespace ccovid

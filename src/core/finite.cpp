@@ -1,0 +1,26 @@
+#include "core/finite.h"
+
+#include <cmath>
+
+namespace ccovid {
+
+index_t count_nonfinite(const Tensor& t) {
+  if (t.data() == nullptr) return 0;
+  index_t bad = 0;
+  const real_t* p = t.data();
+  const index_t n = t.numel();
+  for (index_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) ++bad;
+  }
+  return bad;
+}
+
+void finite_check(const Tensor& t, const char* stage) {
+  const index_t bad = count_nonfinite(t);
+  if (bad > 0) {
+    throw StageError(stage, std::to_string(bad) +
+                                " non-finite element(s) in stage output");
+  }
+}
+
+}  // namespace ccovid

@@ -1,0 +1,36 @@
+// Non-finite sentinels. A NaN produced deep inside a kernel (or injected
+// by a failpoint) propagates silently through every downstream stage and
+// surfaces as a garbage diagnosis; finite_check() converts that silent
+// propagation into a typed StageError at the stage boundary where it
+// first appeared, which is what the serving runtime's retry/degrade
+// logic and the chaos harness key on.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "core/tensor.h"
+#include "core/types.h"
+
+namespace ccovid {
+
+/// Typed error carrying the `layer.component` name of the stage whose
+/// output failed validation (naming convention shared with failpoints,
+/// see src/fault/failpoint.h).
+class StageError : public std::runtime_error {
+ public:
+  StageError(std::string stage, const std::string& message)
+      : std::runtime_error(stage + ": " + message), stage_(std::move(stage)) {}
+  const std::string& stage() const { return stage_; }
+
+ private:
+  std::string stage_;
+};
+
+/// Number of NaN/Inf elements in `t` (0 for empty tensors).
+index_t count_nonfinite(const Tensor& t);
+
+/// Throws StageError(stage) when `t` contains any NaN/Inf element.
+void finite_check(const Tensor& t, const char* stage);
+
+}  // namespace ccovid

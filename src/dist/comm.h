@@ -10,11 +10,61 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "dist/channel.h"
 
 namespace ccovid::dist {
+
+/// Transport verification knobs. Disabled (the default), send/recv are
+/// the bare shared-memory fast path. Enabled, every send stamps an
+/// FNV-1a payload checksum and every recv verifies checksum + sequence
+/// order under a timeout, converting silent transport faults (dropped /
+/// duplicated / reordered / bit-flipped messages — injected via the
+/// dist.msg.* failpoints or otherwise) into typed CommError throws
+/// instead of hangs or silent divergence.
+struct GuardOptions {
+  bool enabled = false;
+  /// recv gives up after this long (a dropped message upstream shows up
+  /// here as a timeout, unblocking the collective).
+  double recv_timeout_s = 2.0;
+};
+
+class CommError : public std::runtime_error {
+ public:
+  /// A dropped message has no kind of its own: it surfaces as kTimeout
+  /// (nothing ever arrives) or kOutOfOrder (a successor arrives first).
+  enum class Kind { kTimeout, kDuplicate, kOutOfOrder, kCorrupt };
+
+  CommError(Kind kind, int at, int from, const std::string& detail)
+      : std::runtime_error("CommError[" + kind_name(kind) + "] recv at rank " +
+                           std::to_string(at) + " from rank " +
+                           std::to_string(from) + ": " + detail),
+        kind_(kind),
+        at_(at),
+        from_(from) {}
+
+  Kind kind() const { return kind_; }
+  int at() const { return at_; }
+  int from() const { return from_; }
+
+  static std::string kind_name(Kind k) {
+    switch (k) {
+      case Kind::kTimeout: return "timeout";
+      case Kind::kDuplicate: return "duplicate";
+      case Kind::kOutOfOrder: return "out_of_order";
+      case Kind::kCorrupt: return "corrupt";
+    }
+    return "?";
+  }
+
+ private:
+  Kind kind_;
+  int at_;
+  int from_;
+};
 
 class World {
  public:
@@ -53,7 +103,18 @@ class World {
   /// Bytes sent per rank over all collectives so far.
   std::uint64_t bytes_sent(int rank) const;
 
+  /// Enables/disables guarded transport for subsequent send/recv calls.
+  /// Set before the ranks start communicating — not thread-safe against
+  /// in-flight traffic.
+  void set_guard(GuardOptions g) { guard_ = g; }
+  const GuardOptions& guard() const { return guard_; }
+
  private:
+  Channel& channel(int from, int to) {
+    return *channels_[static_cast<std::size_t>(from) * size_ + to];
+  }
+
+  GuardOptions guard_;
   int size_;
   // channels_[from * size + to]
   std::vector<std::unique_ptr<Channel>> channels_;

@@ -6,9 +6,12 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/finite.h"
 #include "core/parallel.h"
 #include "core/timer.h"
+#include "fault/failpoint.h"
 
+#include <cmath>
 #include <ctime>
 
 namespace ccovid::dist {
@@ -24,6 +27,7 @@ DdpTrainer::DdpTrainer(const ModelFactory& factory, DdpConfig cfg)
   if (cfg_.world_size < 1 || cfg_.per_worker_batch < 1) {
     throw std::invalid_argument("DdpTrainer: bad config");
   }
+  world_.set_guard(cfg_.guard);
   for (int r = 0; r < cfg_.world_size; ++r) {
     models_.push_back(factory());
     optims_.push_back(std::make_unique<autograd::Adam>(
@@ -34,32 +38,42 @@ DdpTrainer::DdpTrainer(const ModelFactory& factory, DdpConfig cfg)
   if (cfg_.world_size > 1) {
     const index_t len = gradient_elements();
     std::vector<std::thread> threads;
+    std::vector<std::exception_ptr> errors(
+        static_cast<std::size_t>(cfg_.world_size));
     for (int r = 0; r < cfg_.world_size; ++r) {
-      threads.emplace_back([this, r, len] {
-        std::vector<real_t> flat(static_cast<std::size_t>(len));
-        auto params = models_[r]->parameters();
-        if (r == 0) {
-          index_t off = 0;
-          for (auto& p : params) {
-            const index_t n = p.value().numel();
-            std::memcpy(flat.data() + off, p.value().data(),
-                        static_cast<std::size_t>(n) * sizeof(real_t));
-            off += n;
+      threads.emplace_back([this, r, len, &errors] {
+        fault::ScopedThreadOrdinal ordinal(r);
+        try {
+          std::vector<real_t> flat(static_cast<std::size_t>(len));
+          auto params = models_[r]->parameters();
+          if (r == 0) {
+            index_t off = 0;
+            for (auto& p : params) {
+              const index_t n = p.value().numel();
+              std::memcpy(flat.data() + off, p.value().data(),
+                          static_cast<std::size_t>(n) * sizeof(real_t));
+              off += n;
+            }
           }
-        }
-        world_.broadcast(r, /*root=*/0, flat);
-        if (r != 0) {
-          index_t off = 0;
-          for (auto& p : params) {
-            const index_t n = p.value().numel();
-            std::memcpy(p.value().data(), flat.data() + off,
-                        static_cast<std::size_t>(n) * sizeof(real_t));
-            off += n;
+          world_.broadcast(r, /*root=*/0, flat);
+          if (r != 0) {
+            index_t off = 0;
+            for (auto& p : params) {
+              const index_t n = p.value().numel();
+              std::memcpy(p.value().data(), flat.data() + off,
+                          static_cast<std::size_t>(n) * sizeof(real_t));
+              off += n;
+            }
           }
+        } catch (...) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
         }
       });
     }
     for (auto& t : threads) t.join();
+    for (auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
     // Non-learnable buffers (running stats) start identical via direct
     // copy; they are not synchronized during training, as in DDP.
     for (int r = 1; r < cfg_.world_size; ++r) {
@@ -99,10 +113,15 @@ EpochStats DdpTrainer::train_epoch(index_t dataset_size,
   std::vector<double> rank_cpu(world, 0.0);
   WallTimer wall;
 
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(world));
   auto worker = [&](int rank) {
+    fault::ScopedThreadOrdinal ordinal(rank);
     const double cpu0 = thread_cpu_seconds();
     std::vector<real_t> flat(static_cast<std::size_t>(grad_len));
     for (index_t s = 0; s < steps; ++s) {
+      // Straggler injection: thread(R)*delay(...) stalls rank R at the
+      // step boundary, modeling a slow node the collectives must absorb.
+      CCOVID_FAILPOINT("dist.rank.straggler");
       // This rank's shard of the global batch.
       std::vector<index_t> shard;
       shard.reserve(cfg_.per_worker_batch);
@@ -128,7 +147,28 @@ EpochStats DdpTrainer::train_epoch(index_t dataset_size,
         }
         off += n;
       }
+      // Local-gradient poisoning BEFORE the all-reduce: the sum carries
+      // the NaN/flipped bits to every rank, the worst silent-divergence
+      // scenario check_finite_grads exists to catch.
+      if (auto f = CCOVID_FAILPOINT_FIRED("dist.grad.corrupt")) {
+        if (f.action == fault::Action::kNan) {
+          fault::inject_nonfinite(flat.data(), flat.size(), f.seed, f.count);
+        } else {
+          fault::corrupt_bytes(flat.data(), flat.size() * sizeof(real_t),
+                               f.seed, f.count);
+        }
+      }
       world_.all_reduce_sum(rank, flat);
+      if (cfg_.check_finite_grads) {
+        for (const real_t g : flat) {
+          if (!std::isfinite(g)) {
+            throw StageError("dist.grad.allreduce",
+                             "non-finite gradient after all-reduce at rank " +
+                                 std::to_string(rank) + ", step " +
+                                 std::to_string(s));
+          }
+        }
+      }
       // Average and scatter back.
       const real_t inv = 1.0f / static_cast<real_t>(world);
       off = 0;
@@ -144,14 +184,26 @@ EpochStats DdpTrainer::train_epoch(index_t dataset_size,
     }
     rank_cpu[rank] = thread_cpu_seconds() - cpu0;
   };
+  auto guarded_worker = [&](int rank) {
+    try {
+      worker(rank);
+    } catch (...) {
+      errors[static_cast<std::size_t>(rank)] = std::current_exception();
+    }
+  };
 
   if (world == 1) {
-    worker(0);
+    guarded_worker(0);
   } else {
     std::vector<std::thread> threads;
     threads.reserve(world);
-    for (int r = 0; r < world; ++r) threads.emplace_back(worker, r);
+    for (int r = 0; r < world; ++r) threads.emplace_back(guarded_worker, r);
     for (auto& t : threads) t.join();
+  }
+  // Every rank joined (guard timeouts bound the wait when a peer died
+  // mid-collective); now surface the first failure as a typed error.
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
   }
 
   EpochStats stats;

@@ -30,6 +30,15 @@ struct DdpConfig {
   double lr = 1e-4;           ///< Enhancement AI default (§3.1.1)
   double lr_decay = 0.8;      ///< exponential per-epoch decay (§3.1.1)
   InterconnectModel net;
+  /// Transport verification (see dist/comm.h): enabled, transport
+  /// faults surface as CommError from train_epoch instead of hanging
+  /// the collective or silently desynchronizing replicas.
+  GuardOptions guard;
+  /// Scan the averaged gradient after each all-reduce and throw a typed
+  /// StageError("dist.grad.allreduce") on NaN/Inf — a poisoned gradient
+  /// reaches every rank through the sum, so training either converges
+  /// or raises; it never silently diverges.
+  bool check_finite_grads = false;
 };
 
 struct EpochStats {

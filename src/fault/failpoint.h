@@ -1,0 +1,280 @@
+// Deterministic fault-injection (failpoint) subsystem.
+//
+// A failpoint is a named hook compiled into a hot path:
+//
+//   CCOVID_FAILPOINT("serve.batcher.flush");            // side effects only
+//   if (auto f = CCOVID_FAILPOINT_FIRED("serve.queue.admit")) { ... }
+//
+// Disabled cost: one relaxed atomic load of a global armed counter — no
+// lock, no map lookup, no allocation (the registry handle is resolved
+// once per call site and cached in a function-local static, and only
+// ever resolved while at least one failpoint is armed). Compiling with
+// -DCCOVID_DISABLE_FAILPOINTS removes the hooks entirely (macros expand
+// to nothing), for builds that must not carry even the atomic load.
+//
+// Failpoints are armed with seed-driven *schedules* parsed from a spec
+// string (CLI flag `--failpoints`, or Registry::configure in tests):
+//
+//   name=spec[;name=spec...]
+//   spec    := term ('*' term)*          one optional trigger, one
+//                                        optional thread filter, at most
+//                                        one action (default: error)
+//   trigger := once | nth(K) | every(K) | after(K) | times(K) | prob(P)
+//   filter  := thread(I)                 only fires on the thread whose
+//                                        ScopedThreadOrdinal == I
+//   action  := error | abort | delay(D) | corrupt(N) | nan(N) | off
+//   D       := float suffixed s|ms|us    e.g. delay(30ms)
+//
+// Examples:
+//   serve.queue.admit=prob(0.3)*error
+//   serve.worker.exec=nth(2)*delay(50ms)
+//   dist.rank.straggler=thread(1)*every(2)*delay(10ms)
+//   pipeline.enhance.output=every(1)*nan(4)
+//
+// Determinism: probabilistic triggers draw from a PRNG seeded from
+// (registry seed, failpoint name) at arm time and advanced once per
+// eligible hit, and every fire carries a per-fire `seed` derived from
+// (arm seed, fire index) — so a given schedule seed reproduces the same
+// fault sequence, byte corruptions included, on every run. `once` and
+// `nth` are one-shot (disarm after firing); the other triggers are
+// sticky. Naming convention: `layer.component.event`, matching the
+// stage names used by StageError (core/finite.h).
+//
+// Actions `delay` and `abort` execute inline inside eval(); `error`,
+// `corrupt`, and `nan` are returned to the call site, which interprets
+// them (inject an error return, damage a payload via corrupt_bytes(),
+// poison a tensor via inject_nonfinite()).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/random.h"
+
+namespace ccovid {
+class Tensor;
+}
+
+namespace ccovid::fault {
+
+enum class Action : std::uint8_t {
+  kNone,     ///< not fired
+  kError,    ///< call site should take its failure path
+  kDelay,    ///< stall (already slept inside eval())
+  kCorrupt,  ///< call site should corrupt `count` payload bytes
+  kNan,      ///< call site should poison `count` tensor elements
+  kAbort,    ///< std::abort() (executed inside eval())
+};
+
+const char* to_string(Action a);
+
+/// Result of evaluating a failpoint: empty (action == kNone) when the
+/// failpoint is disarmed or its trigger did not fire.
+struct Fired {
+  Action action = Action::kNone;
+  double delay_s = 0.0;      ///< delay actions: stall already applied
+  std::uint64_t seed = 0;    ///< deterministic per-fire seed
+  std::uint32_t count = 1;   ///< corrupt(N) bytes / nan(N) elements
+  explicit operator bool() const { return action != Action::kNone; }
+};
+
+/// Parsed schedule (see the grammar above).
+struct Schedule {
+  enum class Trigger : std::uint8_t {
+    kAlways,
+    kOnce,
+    kNth,
+    kEvery,
+    kAfter,
+    kTimes,
+    kProb,
+  };
+  Trigger trigger = Trigger::kAlways;
+  std::uint64_t k = 1;     ///< nth/every/after/times argument
+  double p = 1.0;          ///< prob argument
+  int thread = -1;         ///< -1 = any thread; else required ordinal
+  Action action = Action::kError;
+  double delay_s = 0.0;
+  std::uint32_t count = 1;
+
+  bool one_shot() const {
+    return trigger == Trigger::kOnce || trigger == Trigger::kNth;
+  }
+};
+
+/// Parses one spec (the part after `name=`). Throws std::invalid_argument
+/// with a grammar hint on malformed input.
+Schedule parse_schedule(const std::string& spec);
+
+class Registry;
+
+/// One named failpoint. Created on first arm/hit, never destroyed (call
+/// sites cache a reference), counters survive disarm so injected faults
+/// remain attributable after the schedule completes.
+class Failpoint {
+ public:
+  explicit Failpoint(std::string name) : name_(std::move(name)) {}
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  /// Hot path (reached only while >= 1 failpoint is armed): counts the
+  /// hit, applies the schedule, performs delay/abort inline, returns the
+  /// action for the call site to interpret.
+  Fired eval();
+
+  const std::string& name() const { return name_; }
+  std::uint64_t hits() const;
+  std::uint64_t fires() const;
+  bool armed() const;
+
+ private:
+  friend class Registry;
+  void arm_locked(const Schedule& s, std::uint64_t registry_seed);
+  bool disarm_locked();  ///< returns true if it was armed
+
+  const std::string name_;
+  mutable std::mutex mu_;
+  Schedule sched_;
+  bool armed_ = false;
+  std::uint64_t hits_ = 0;      ///< every eval()
+  std::uint64_t eligible_ = 0;  ///< evals passing the thread filter, armed
+  std::uint64_t fires_ = 0;
+  std::uint64_t arm_seed_ = 0;
+  Rng rng_{0};  ///< prob-trigger stream, reseeded at arm time
+};
+
+/// Process-global failpoint registry.
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// True while at least one failpoint is armed — the only check on the
+  /// disabled hot path.
+  static bool any_armed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Call-site handle (creates the failpoint on demand). The returned
+  /// reference is stable for the process lifetime.
+  Failpoint& handle(const char* name);
+
+  /// Arms `name` with `spec` (grammar above). `off` disarms. Throws
+  /// std::invalid_argument on parse errors.
+  void arm(const std::string& name, const std::string& spec);
+
+  /// Arms every `name=spec` entry of a ';'-separated list (the
+  /// `--failpoints` CLI payload). Returns the number of entries applied.
+  int configure(const std::string& specs);
+
+  void disarm(const std::string& name);
+
+  /// Disarms everything and zeroes all counters. Failpoint objects (and
+  /// cached call-site references) stay valid.
+  void reset();
+
+  /// Schedule seed mixed into every armed failpoint's PRNG and per-fire
+  /// seeds. Applies to subsequent arm() calls.
+  void set_seed(std::uint64_t seed);
+  std::uint64_t seed() const;
+
+  struct Counter {
+    std::string name;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+    bool armed = false;
+  };
+  /// Snapshot of every failpoint that is armed or has been hit.
+  std::vector<Counter> counters() const;
+
+  /// {"name":{"hits":H,"fires":F,"armed":B},...} over counters(); "{}"
+  /// when nothing was armed or hit — callers splice this into stats
+  /// JSON so injected failures stay distinguishable from organic ones.
+  std::string json() const;
+
+ private:
+  Registry() = default;
+  friend class Failpoint;
+  static std::atomic<int> armed_count_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Failpoint>> points_;
+  std::uint64_t seed_ = 0x5eedfa11u;
+};
+
+// ------------------------------------------------------ thread ordinals
+
+/// Deterministic thread identity for `thread(I)` filters: serve workers
+/// register their worker index, DDP ranks their rank. -1 when unset.
+int thread_ordinal();
+
+class ScopedThreadOrdinal {
+ public:
+  explicit ScopedThreadOrdinal(int ordinal);
+  ~ScopedThreadOrdinal();
+  ScopedThreadOrdinal(const ScopedThreadOrdinal&) = delete;
+  ScopedThreadOrdinal& operator=(const ScopedThreadOrdinal&) = delete;
+
+ private:
+  int prev_;
+};
+
+// ------------------------------------------------- injection utilities
+
+/// Deterministically flips one bit in each of `n` bytes of `data`
+/// chosen by `seed` (positions and bit indices from a splitmix64
+/// stream). No-op on empty buffers.
+void corrupt_bytes(void* data, std::size_t size, std::uint64_t seed,
+                   std::uint32_t n);
+
+/// Sets `n` elements (positions chosen by `seed`) to NaN / +-Inf.
+void inject_nonfinite(real_t* data, std::size_t count, std::uint64_t seed,
+                      std::uint32_t n);
+void inject_nonfinite(Tensor& t, std::uint64_t seed, std::uint32_t n);
+
+/// True when failpoint hooks are compiled in (i.e. the translation unit
+/// observing this value was built without CCOVID_DISABLE_FAILPOINTS).
+#ifdef CCOVID_DISABLE_FAILPOINTS
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+}  // namespace ccovid::fault
+
+// ------------------------------------------------------------- macros
+
+#ifdef CCOVID_DISABLE_FAILPOINTS
+
+#define CCOVID_FAILPOINT_FIRED(name) (::ccovid::fault::Fired{})
+#define CCOVID_FAILPOINT(name) \
+  do {                         \
+  } while (0)
+
+#else
+
+/// Expression yielding fault::Fired. `name` must be a string literal;
+/// the registry handle is resolved once per call site and cached.
+#define CCOVID_FAILPOINT_FIRED(name)                                  \
+  (::ccovid::fault::Registry::any_armed()                             \
+       ? ([]() -> ::ccovid::fault::Failpoint& {                       \
+           static ::ccovid::fault::Failpoint& ccovid_fp_ =            \
+               ::ccovid::fault::Registry::instance().handle(name);    \
+           return ccovid_fp_;                                         \
+         }())                                                         \
+             .eval()                                                  \
+       : ::ccovid::fault::Fired{})
+
+/// Statement form: delay/abort actions execute inline, everything else
+/// is ignored. Use for pure stall/crash sites.
+#define CCOVID_FAILPOINT(name)                  \
+  do {                                          \
+    (void)CCOVID_FAILPOINT_FIRED(name);         \
+  } while (0)
+
+#endif  // CCOVID_DISABLE_FAILPOINTS

@@ -1,10 +1,13 @@
 #include "pipeline/framework.h"
 
+#include <cmath>
 #include <stdexcept>
 
+#include "core/finite.h"
 #include "core/timer.h"
 #include "ct/hu.h"
 #include "data/dataset.h"
+#include "fault/failpoint.h"
 #include "serve/worker_pool.h"
 
 namespace ccovid::pipeline {
@@ -32,15 +35,26 @@ Tensor ComputeCovid19Pipeline::prepare(const Tensor& volume_hu,
   const Tensor cleaned = data::remove_circular_fov_volume(volume_hu);
   Tensor norm = ct::normalize_hu(cleaned);
   if (times) times->prepare_s = timer.seconds();
+  finite_check(norm, "pipeline.prepare.output");
   if (use_enhancement) {
     timer.reset();
     norm = enhancement_->enhance_volume(norm);
     if (times) times->enhance_s = timer.seconds();
+    // NaN sentinel after the AI stage most prone to numeric blow-up; the
+    // failpoint simulates that blow-up (nan(K) schedules) so retry /
+    // degrade handling can be exercised without breaking the network.
+    if (auto f = CCOVID_FAILPOINT_FIRED("pipeline.enhance.output")) {
+      if (f.action == fault::Action::kNan) {
+        fault::inject_nonfinite(norm, f.seed, f.count);
+      }
+    }
+    finite_check(norm, "pipeline.enhance.output");
   }
   // §3.2: lung mask multiplied into the scan.
   timer.reset();
   Tensor masked = segmentation_->segment_and_mask(norm);
   if (times) times->segment_s = timer.seconds();
+  finite_check(masked, "pipeline.segment.output");
   return masked;
 }
 
@@ -53,6 +67,10 @@ Diagnosis ComputeCovid19Pipeline::diagnose(const Tensor& volume_hu,
   Diagnosis d;
   d.threshold = threshold;
   d.probability = classification_->predict(masked);
+  if (!std::isfinite(d.probability)) {
+    throw StageError("pipeline.classify.output",
+                     "non-finite diagnosis probability");
+  }
   d.positive = d.probability >= threshold;
   if (times) times->classify_s = timer.seconds();
   return d;

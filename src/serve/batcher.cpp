@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "fault/failpoint.h"
+
 namespace ccovid::serve {
 
 std::vector<RequestPtr> DynamicBatcher::next_batch() {
@@ -33,6 +35,10 @@ std::vector<RequestPtr> DynamicBatcher::next_batch() {
       break;
     }
   }
+  // Flush-delay injection point: delay schedules here hold a formed
+  // batch past request deadlines (the "deadline storm" chaos scenario —
+  // worker-side triage must then time the whole batch out, not hang).
+  CCOVID_FAILPOINT("serve.batcher.flush");
   return batch;
 }
 

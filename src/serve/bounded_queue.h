@@ -17,6 +17,16 @@
 
 namespace ccovid::serve {
 
+/// Outcome of BoundedQueue::try_pop_for — unlike pop_for()'s nullopt,
+/// this distinguishes "nothing arrived in time" (kTimeout, the starvation
+/// signal the chaos harness polls on) from "queue closed and drained"
+/// (kClosed, normal shutdown).
+enum class PopState {
+  kItem,     ///< an item was delivered
+  kTimeout,  ///< queue still open but nothing arrived within the timeout
+  kClosed,   ///< closed and fully drained: no item will ever arrive
+};
+
 template <typename T>
 class BoundedQueue {
  public:
@@ -69,6 +79,26 @@ class BoundedQueue {
     not_empty_.wait_for(lock, timeout,
                         [this] { return closed_ || !q_.empty(); });
     return pop_locked();
+  }
+
+  /// Timed pop that reports WHY it returned: kItem (out was assigned),
+  /// kTimeout (queue open, nothing arrived — caller may keep waiting or
+  /// flag starvation), or kClosed (drained; stop consuming). pop_for()
+  /// cannot make this distinction, which is what lets fault-injection
+  /// tests bound their wait instead of hanging the binary on a stalled
+  /// producer.
+  template <typename Rep, typename Period>
+  PopState try_pop_for(T& out, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, timeout,
+                        [this] { return closed_ || !q_.empty(); });
+    if (!q_.empty()) {
+      out = std::move(q_.front());
+      q_.pop_front();
+      not_full_.notify_one();
+      return PopState::kItem;
+    }
+    return closed_ ? PopState::kClosed : PopState::kTimeout;
   }
 
   std::optional<T> try_pop() {

@@ -57,6 +57,13 @@ struct DiagnoseResponse {
   std::uint64_t request_id = 0;
   std::size_t batch_size = 0;        ///< micro-batch the request rode in
   std::string error;                 ///< set when status == kError
+  /// True when the batch only completed after the server dropped the
+  /// enhancement stage (ServerOptions::degrade_on_failure): the result
+  /// is valid but came from the reduced workflow.
+  bool degraded = false;
+  /// Failed execution attempts before this response (retry-with-backoff
+  /// plus the degraded retry, when they happened).
+  int retries = 0;
 };
 
 /// Internal queue entry. The Tensor member is a shallow copy (shared

@@ -3,6 +3,9 @@
 #include <exception>
 #include <utility>
 
+#include "core/finite.h"
+#include "fault/failpoint.h"
+
 namespace ccovid::serve {
 
 void SessionRegistry::add(
@@ -58,7 +61,12 @@ double InferenceServer::uptime_s() const {
 }
 
 std::string InferenceServer::stats_json() const {
-  return stats_.json(queue_depth(), uptime_s());
+  std::string out = stats_.json(queue_depth(), uptime_s());
+  // Injected-fault counters ride along so operators (and the chaos
+  // harness) can tell injected failures from organic ones.
+  const std::string fp = fault::Registry::instance().json();
+  if (fp != "{}") out.insert(out.size() - 1, ",\"failpoints\":" + fp);
+  return out;
 }
 
 void InferenceServer::respond(RequestPtr req, DiagnoseResponse r) {
@@ -89,7 +97,14 @@ std::future<DiagnoseResponse> InferenceServer::submit(const Tensor& volume_hu,
     respond(std::move(req), std::move(r));
     return fut;
   }
-  if (!queue_.try_push(std::move(req))) {
+  // Admission fault: error schedules simulate queue exhaustion without
+  // needing real overload (the request takes the same rejection path);
+  // delay schedules stall the submitter so real overload can build.
+  bool inject_reject = false;
+  if (auto f = CCOVID_FAILPOINT_FIRED("serve.queue.admit")) {
+    inject_reject = f.action == fault::Action::kError;
+  }
+  if (inject_reject || !queue_.try_push(std::move(req))) {
     // try_push leaves ownership with us on failure: overload fast-fail.
     stats_.rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
     DiagnoseResponse r;
@@ -162,13 +177,47 @@ void InferenceServer::execute_batch(std::vector<RequestPtr> batch) {
                      req->options.threshold});
   }
 
+  // Execution with retry-with-backoff and optional graceful degradation:
+  // transient faults (injected or organic) are retried max_retries times
+  // with doubling sleeps; if the batch still fails and degradation is
+  // enabled, it runs once more with the enhancement stage dropped and
+  // responses flagged degraded. Only then does the client see kError.
   std::vector<pipeline::StageTimes> times;
   std::vector<pipeline::Diagnosis> results;
-  try {
-    results = model->diagnose_batch(items, &times);
-  } catch (const std::exception& e) {
-    fail_all(e.what());
-    return;
+  int attempts_failed = 0;
+  bool degraded = false;
+  auto backoff = opt_.retry_backoff;
+  for (;;) {
+    try {
+      if (auto f = CCOVID_FAILPOINT_FIRED("serve.worker.exec")) {
+        if (f.action == fault::Action::kError ||
+            f.action == fault::Action::kCorrupt) {
+          throw StageError("serve.worker.exec", "injected execution fault");
+        }
+      }
+      times.clear();
+      results = model->diagnose_batch(items, &times);
+      break;
+    } catch (const std::exception& e) {
+      ++attempts_failed;
+      if (attempts_failed <= opt_.max_retries) {
+        stats_.retried.fetch_add(1, std::memory_order_relaxed);
+        if (backoff.count() > 0) {
+          std::this_thread::sleep_for(backoff);
+          backoff *= 2;
+        }
+        continue;
+      }
+      if (opt_.degrade_on_failure && !degraded &&
+          items.front().use_enhancement) {
+        degraded = true;
+        for (auto& item : items) item.use_enhancement = false;
+        stats_.retried.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      fail_all(e.what());
+      return;
+    }
   }
 
   if (opt_.device_stall_s > 0.0) {
@@ -183,8 +232,11 @@ void InferenceServer::execute_batch(std::vector<RequestPtr> batch) {
 
   for (std::size_t i = 0; i < live.size(); ++i) {
     stats_.completed.fetch_add(1, std::memory_order_relaxed);
+    if (degraded) stats_.degraded.fetch_add(1, std::memory_order_relaxed);
     DiagnoseResponse r;
     r.status = RequestStatus::kOk;
+    r.degraded = degraded;
+    r.retries = attempts_failed;
     r.diagnosis = results[i];
     r.stages = times[i];
     r.queue_s = std::chrono::duration<double>(exec_start -

@@ -80,6 +80,16 @@ struct ServerOptions {
   /// the blocking device offload of the paper's GPU/FPGA deployments
   /// (projected by hetero::device_model). 0 = pure-CPU serving.
   double device_stall_s = 0.0;
+  /// Failed batch executions are retried up to this many times before
+  /// degrading or failing; transient faults (device glitch, injected
+  /// failpoint) resolve without surfacing to clients. 0 = fail fast.
+  int max_retries = 0;
+  /// Sleep before the first retry; doubles on each subsequent one.
+  std::chrono::milliseconds retry_backoff{10};
+  /// After retries are exhausted, re-run the batch once with the DDnet
+  /// enhancement stage disabled (the §5.2.3 reduced workflow) instead of
+  /// failing — responses carry degraded=true so clients can tell.
+  bool degrade_on_failure = false;
 };
 
 class InferenceServer {

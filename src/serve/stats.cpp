@@ -93,7 +93,8 @@ void LatencyHistogram::reset() {
 
 void ServerStats::reset() {
   submitted = admitted = rejected_queue_full = rejected_shutdown = 0;
-  timed_out = completed = failed = batches = batched_volumes = 0;
+  timed_out = completed = failed = retried = degraded = 0;
+  batches = batched_volumes = 0;
   queue_wait.reset();
   execute.reset();
   total.reset();
@@ -118,13 +119,14 @@ void append_histogram_json(std::string& out, const char* name,
 
 std::string ServerStats::json(std::size_t queue_depth,
                               double uptime_s) const {
-  char buf[512];
+  char buf[768];
   std::string out = "{";
   std::snprintf(
       buf, sizeof(buf),
       "\"submitted\":%llu,\"admitted\":%llu,\"rejected_queue_full\":%llu,"
       "\"rejected_shutdown\":%llu,\"timed_out\":%llu,\"completed\":%llu,"
-      "\"failed\":%llu,\"batches\":%llu,\"batched_volumes\":%llu,"
+      "\"failed\":%llu,\"retried\":%llu,\"degraded\":%llu,"
+      "\"batches\":%llu,\"batched_volumes\":%llu,"
       "\"mean_batch_size\":%.3f,\"queue_depth\":%zu,\"uptime_s\":%.3f,"
       "\"throughput_vps\":%.3f,",
       static_cast<unsigned long long>(submitted.load()),
@@ -134,6 +136,8 @@ std::string ServerStats::json(std::size_t queue_depth,
       static_cast<unsigned long long>(timed_out.load()),
       static_cast<unsigned long long>(completed.load()),
       static_cast<unsigned long long>(failed.load()),
+      static_cast<unsigned long long>(retried.load()),
+      static_cast<unsigned long long>(degraded.load()),
       static_cast<unsigned long long>(batches.load()),
       static_cast<unsigned long long>(batched_volumes.load()),
       batches.load() == 0

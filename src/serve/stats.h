@@ -66,6 +66,10 @@ struct ServerStats {
   std::atomic<std::uint64_t> timed_out{0};
   std::atomic<std::uint64_t> completed{0};
   std::atomic<std::uint64_t> failed{0};
+  // Resilience accounting: batch execution retries taken, and completed
+  // requests served by the degraded (enhancement-off) workflow.
+  std::atomic<std::uint64_t> retried{0};
+  std::atomic<std::uint64_t> degraded{0};
   // Batching accounting.
   std::atomic<std::uint64_t> batches{0};
   std::atomic<std::uint64_t> batched_volumes{0};

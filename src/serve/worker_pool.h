@@ -23,6 +23,7 @@
 
 #include "core/parallel.h"
 #include "core/types.h"
+#include "fault/failpoint.h"
 #include "serve/bounded_queue.h"
 
 namespace ccovid::serve {
@@ -48,7 +49,7 @@ class WorkerPool {
                   : opt_.queue_capacity) {
     threads_.reserve(static_cast<std::size_t>(opt_.workers));
     for (int w = 0; w < opt_.workers; ++w) {
-      threads_.emplace_back([this] { run_worker(); });
+      threads_.emplace_back([this, w] { run_worker(w); });
     }
   }
 
@@ -105,9 +106,13 @@ class WorkerPool {
   }
 
  private:
-  void run_worker() {
+  void run_worker(int index) {
     ParallelPin pin(opt_.inner_threads);
+    // Deterministic identity for thread(I) failpoint filters: the worker
+    // index, not OS-level arrival order.
+    fault::ScopedThreadOrdinal ordinal(index);
     while (auto job = jobs_.pop()) {
+      CCOVID_FAILPOINT("serve.worker.stall");
       (*job)();
       finish_one();
     }

@@ -1,0 +1,313 @@
+// Serve-runtime chaos suite: runs the full InferenceServer loop under
+// seeded failpoint schedules and asserts the invariants that matter —
+// every admitted request gets exactly one response (none lost), faults
+// surface as typed statuses (never hangs), shutdown always drains, and
+// fault-free requests still complete. Five of the scenarios are
+// value-deterministic: single worker, serialized submission, and
+// seed-driven schedules make the full (status, degraded, retries,
+// probability) trace bitwise-reproducible, which each test checks by
+// running its scenario twice and comparing FNV-1a trace digests.
+//
+// The ctest TIMEOUT on this binary is the deadlock backstop: a hung
+// drain or lost promise fails the suite instead of wedging CI.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/digest.h"
+#include "data/phantom.h"
+#include "fault/failpoint.h"
+#include "nn/layers.h"
+#include "serve/server.h"
+
+namespace ccovid {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::shared_ptr<const pipeline::ComputeCovid19Pipeline> tiny_pipeline() {
+  nn::seed_init_rng(3);
+  auto enh = std::make_shared<pipeline::EnhancementAI>(nn::DDnetConfig::tiny());
+  auto seg = std::make_shared<pipeline::SegmentationAI>();
+  auto cls = std::make_shared<pipeline::ClassificationAI>();
+  enh->network().set_training(false);
+  seg->network().set_training(false);
+  cls->network().set_training(false);
+  return std::make_shared<const pipeline::ComputeCovid19Pipeline>(enh, seg,
+                                                                  cls);
+}
+
+std::vector<data::PhantomVolume> tiny_volumes(std::size_t n) {
+  Rng rng(11);
+  std::vector<data::PhantomVolume> vols;
+  for (std::size_t i = 0; i < n; ++i) {
+    vols.push_back(data::make_volume(2, 8, i % 2 == 1, rng));
+  }
+  return vols;
+}
+
+struct ScenarioResult {
+  std::vector<serve::DiagnoseResponse> responses;
+  std::string stats_json;
+  /// FNV-1a over the per-request (status, degraded, retries,
+  /// probability-bits) trace — the bitwise-reproducibility witness.
+  std::uint64_t trace_digest = kFnv1aOffset;
+};
+
+// Submits `n` requests strictly one-at-a-time (wait for each response
+// before the next submit): with workers=1 and max_batch=1 every
+// failpoint evaluation happens in a deterministic order, so seeded
+// schedules replay identically. Responses must arrive within 30s each —
+// a miss means a lost or wedged request.
+ScenarioResult run_serialized(const std::string& failpoints,
+                              std::uint64_t seed, serve::ServerOptions opt,
+                              std::size_t n, bool use_enhancement = true) {
+  fault::Registry::instance().reset();
+  fault::Registry::instance().set_seed(seed);
+  ScenarioResult out;
+  const auto vols = tiny_volumes(n);
+  {
+    serve::InferenceServer server(tiny_pipeline(), opt);
+    fault::Registry::instance().configure(failpoints);
+    for (std::size_t i = 0; i < n; ++i) {
+      serve::ServeOptions so;
+      so.use_enhancement = use_enhancement;
+      auto fut = server.submit(vols[i].hu, so);
+      if (fut.wait_for(30s) != std::future_status::ready) {
+        ADD_FAILURE() << "request " << i << " never resolved (lost/wedged)";
+        fault::Registry::instance().reset();
+        return out;
+      }
+      out.responses.push_back(fut.get());
+    }
+    out.stats_json = server.stats_json();
+    server.shutdown();
+  }
+  for (const auto& r : out.responses) {
+    const unsigned char status = static_cast<unsigned char>(r.status);
+    const unsigned char degraded = r.degraded ? 1 : 0;
+    out.trace_digest = fnv1a64(&status, 1, out.trace_digest);
+    out.trace_digest = fnv1a64(&degraded, 1, out.trace_digest);
+    out.trace_digest = fnv1a64(&r.retries, sizeof(r.retries),
+                               out.trace_digest);
+    if (r.status == serve::RequestStatus::kOk) {
+      const double p = r.diagnosis.probability;
+      out.trace_digest = fnv1a64(&p, sizeof(p), out.trace_digest);
+    }
+  }
+  fault::Registry::instance().reset();
+  return out;
+}
+
+serve::ServerOptions serialized_options() {
+  serve::ServerOptions opt;
+  opt.workers = 1;
+  opt.max_batch = 1;
+  opt.batch_delay = std::chrono::microseconds(100);
+  return opt;
+}
+
+class ChaosServe : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Registry::instance().reset(); }
+  void TearDown() override { fault::Registry::instance().reset(); }
+};
+
+// Schedule 1: probabilistic admission rejections. Every request still
+// resolves (rejected OR completed), and the seeded reject pattern is
+// identical across runs.
+TEST_F(ChaosServe, AdmissionRejectionStormIsSeedDeterministic) {
+  const std::string fp = "serve.queue.admit=prob(0.4)*error";
+  const auto a = run_serialized(fp, 2024, serialized_options(), 12);
+  ASSERT_EQ(a.responses.size(), 12u);
+  std::size_t rejected = 0, completed = 0;
+  for (const auto& r : a.responses) {
+    ASSERT_TRUE(r.status == serve::RequestStatus::kRejected ||
+                r.status == serve::RequestStatus::kOk)
+        << "unexpected status " << serve::to_string(r.status);
+    (r.status == serve::RequestStatus::kRejected ? rejected : completed)++;
+  }
+  EXPECT_GT(rejected, 0u);  // p=0.4 over 12 submissions
+  EXPECT_GT(completed, 0u);
+  EXPECT_NE(a.stats_json.find("\"serve.queue.admit\""), std::string::npos)
+      << "injected faults must be attributable in stats: " << a.stats_json;
+
+  const auto b = run_serialized(fp, 2024, serialized_options(), 12);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  const auto c = run_serialized(fp, 77, serialized_options(), 12);
+  EXPECT_NE(a.trace_digest, c.trace_digest) << "seed must steer the storm";
+}
+
+// Schedule 2: one transient execution fault absorbed by retry — clients
+// never see it, stats do.
+TEST_F(ChaosServe, TransientExecFaultAbsorbedByRetry) {
+  auto opt = serialized_options();
+  opt.max_retries = 2;
+  opt.retry_backoff = std::chrono::milliseconds(1);
+  const std::string fp = "serve.worker.exec=nth(2)*error";
+  const auto a = run_serialized(fp, 5, opt, 4);
+  ASSERT_EQ(a.responses.size(), 4u);
+  for (const auto& r : a.responses) {
+    EXPECT_EQ(r.status, serve::RequestStatus::kOk) << r.error;
+    EXPECT_FALSE(r.degraded);
+  }
+  // Exactly one batch needed exactly one retry.
+  EXPECT_NE(a.stats_json.find("\"retried\":1"), std::string::npos)
+      << a.stats_json;
+  EXPECT_NE(a.stats_json.find("\"completed\":4"), std::string::npos);
+
+  const auto b = run_serialized(fp, 5, opt, 4);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+}
+
+// Schedule 3: sticky NaN injection after the enhancement stage — the
+// finite_check guard turns it into StageError, retries keep failing,
+// and graceful degradation reruns without enhancement. Clients get
+// valid (finite) but degraded=true responses.
+TEST_F(ChaosServe, EnhanceNanTriggersGracefulDegradation) {
+  auto opt = serialized_options();
+  opt.max_retries = 1;
+  opt.retry_backoff = std::chrono::milliseconds(1);
+  opt.degrade_on_failure = true;
+  const std::string fp = "pipeline.enhance.output=every(1)*nan(4)";
+  const auto a = run_serialized(fp, 9, opt, 3);
+  ASSERT_EQ(a.responses.size(), 3u);
+  for (const auto& r : a.responses) {
+    EXPECT_EQ(r.status, serve::RequestStatus::kOk) << r.error;
+    EXPECT_TRUE(r.degraded);
+    EXPECT_GE(r.retries, 1);
+    EXPECT_TRUE(std::isfinite(r.diagnosis.probability));
+  }
+  EXPECT_NE(a.stats_json.find("\"degraded\":3"), std::string::npos)
+      << a.stats_json;
+
+  const auto b = run_serialized(fp, 9, opt, 3);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+}
+
+// Schedule 4: sticky execution fault with retries exhausted and no
+// degradation — every request fails TYPED (kError with the injected
+// message), none lost, the server survives.
+TEST_F(ChaosServe, ExhaustedRetriesFailTyped) {
+  auto opt = serialized_options();
+  opt.max_retries = 1;
+  opt.retry_backoff = std::chrono::milliseconds(1);
+  const std::string fp = "serve.worker.exec=error";
+  const auto a = run_serialized(fp, 31, opt, 3);
+  ASSERT_EQ(a.responses.size(), 3u);
+  for (const auto& r : a.responses) {
+    EXPECT_EQ(r.status, serve::RequestStatus::kError);
+    EXPECT_NE(r.error.find("injected execution fault"), std::string::npos);
+  }
+  EXPECT_NE(a.stats_json.find("\"failed\":3"), std::string::npos)
+      << a.stats_json;
+
+  const auto b = run_serialized(fp, 31, opt, 3);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+}
+
+// Schedule 5: mixed probabilistic admission + execution faults with
+// retry enabled — the compound seeded trace still replays bitwise.
+TEST_F(ChaosServe, CompoundFaultScheduleIsSeedDeterministic) {
+  auto opt = serialized_options();
+  opt.max_retries = 3;
+  opt.retry_backoff = std::chrono::milliseconds(1);
+  const std::string fp =
+      "serve.queue.admit=prob(0.25)*error;serve.worker.exec=prob(0.5)*error";
+  const auto a = run_serialized(fp, 4242, opt, 10);
+  ASSERT_EQ(a.responses.size(), 10u);
+  for (const auto& r : a.responses) {
+    ASSERT_TRUE(r.status == serve::RequestStatus::kRejected ||
+                r.status == serve::RequestStatus::kOk ||
+                r.status == serve::RequestStatus::kError)
+        << serve::to_string(r.status);
+  }
+  const auto b = run_serialized(fp, 4242, opt, 10);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+}
+
+// Schedule 6 (timing-sensitive — invariants only, no digest): the
+// batcher sits on every formed batch longer than the request deadline.
+// Worker-side triage must time the requests out; nothing may hang or
+// get lost, and shutdown must still drain.
+TEST_F(ChaosServe, BatcherFlushDelayDeadlineStorm) {
+  fault::Registry::instance().set_seed(1);
+  serve::ServerOptions opt;
+  opt.workers = 2;
+  opt.max_batch = 2;
+  opt.batch_delay = std::chrono::microseconds(200);
+  opt.default_deadline = std::chrono::milliseconds(10);
+  const auto vols = tiny_volumes(8);
+  std::vector<std::future<serve::DiagnoseResponse>> futs;
+  std::size_t timed_out = 0, completed = 0;
+  {
+    serve::InferenceServer server(tiny_pipeline(), opt);
+    fault::Registry::instance().configure(
+        "serve.batcher.flush=every(1)*delay(40ms)");
+    for (std::size_t i = 0; i < 8; ++i) futs.push_back(server.submit(vols[i].hu));
+    server.shutdown();  // must drain: every promise resolves below
+  }
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(0ms), std::future_status::ready)
+        << "request lost across shutdown drain";
+    const auto r = f.get();
+    ASSERT_TRUE(r.status == serve::RequestStatus::kTimedOut ||
+                r.status == serve::RequestStatus::kOk)
+        << serve::to_string(r.status);
+    (r.status == serve::RequestStatus::kTimedOut ? timed_out : completed)++;
+  }
+  EXPECT_GT(timed_out, 0u) << "40ms flush stall vs 10ms deadline";
+}
+
+// Schedule 7 (timing-sensitive): a stalling worker plus the timed
+// try_pop_for starvation probe — the probe reports kTimeout while the
+// producer stalls instead of hanging, then delivers, then reports
+// kClosed after close.
+TEST_F(ChaosServe, TryPopForDetectsStarvationWithoutHanging) {
+  fault::Registry::instance().set_seed(1);
+  serve::BoundedQueue<int> q(4);
+  // Starved queue: nothing arrives -> kTimeout, bounded wait.
+  int item = 0;
+  EXPECT_EQ(q.try_pop_for(item, 20ms), serve::PopState::kTimeout);
+
+  fault::Registry::instance().configure(
+      "serve.worker.stall=once*delay(30ms)");
+  std::thread producer([&q] {
+    fault::ScopedThreadOrdinal ordinal(0);
+    CCOVID_FAILPOINT("serve.worker.stall");  // armed: 30ms stall
+    int v = 7;
+    q.push(std::move(v));
+  });
+  // Bounded polling loop: tolerates the stall without unbounded block.
+  serve::PopState st = serve::PopState::kTimeout;
+  for (int tries = 0; tries < 100 && st == serve::PopState::kTimeout;
+       ++tries) {
+    st = q.try_pop_for(item, 10ms);
+  }
+  producer.join();
+  EXPECT_EQ(st, serve::PopState::kItem);
+  EXPECT_EQ(item, 7);
+  q.close();
+  EXPECT_EQ(q.try_pop_for(item, 1ms), serve::PopState::kClosed);
+}
+
+// Fault counters must disappear from stats when nothing was armed —
+// organic runs stay organic.
+TEST_F(ChaosServe, NoFailpointsMeansNoFailpointStats) {
+  const auto a = run_serialized("", 1, serialized_options(), 2);
+  EXPECT_EQ(a.stats_json.find("failpoints"), std::string::npos);
+  for (const auto& r : a.responses) {
+    EXPECT_EQ(r.status, serve::RequestStatus::kOk);
+    EXPECT_EQ(r.retries, 0);
+  }
+}
+
+}  // namespace
+}  // namespace ccovid

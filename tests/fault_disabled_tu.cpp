@@ -1,0 +1,19 @@
+// Compiled as part of test_fault with the failpoint hooks forced OFF in
+// this translation unit only — proving that CCOVID_DISABLE_FAILPOINTS
+// compiles the macros out entirely: a hook inside this TU never fires
+// (and never even consults the registry), no matter what is armed.
+#define CCOVID_DISABLE_FAILPOINTS 1
+#include "fault/failpoint.h"
+
+namespace ccovid::fault_test {
+
+bool disabled_tu_compiled_in() { return ccovid::fault::kCompiledIn; }
+
+// Same failpoint name the enabled-TU tests arm; returns whether the
+// hook fired (it must not — the macro expands to an empty Fired).
+bool disabled_tu_hook_fires() {
+  auto f = CCOVID_FAILPOINT_FIRED("test.disabled.site");
+  return static_cast<bool>(f);
+}
+
+}  // namespace ccovid::fault_test

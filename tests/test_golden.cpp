@@ -1,0 +1,158 @@
+// Golden-trace harness: FNV-1a digests of per-stage outputs for fixed
+// seeds, pinned single-threaded so every run of the same build is
+// bitwise identical. A digest mismatch means a refactor changed the
+// numerics — intentionally or not.
+//
+// Regenerating after an INTENTIONAL numeric change:
+//   ./tests/test_golden --update-golden
+// rewrites tests/golden/digests.txt in the source tree (the path is
+// baked in at configure time); commit the updated file together with
+// the change that moved the numbers.
+//
+// This binary defines its own main() (gtest_main's archive member is
+// not pulled in) to host the --update-golden flag.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/digest.h"
+#include "core/parallel.h"
+#include "core/random.h"
+#include "core/tensor.h"
+#include "ct/fbp.h"
+#include "ct/geometry.h"
+#include "ct/siddon.h"
+#include "data/phantom.h"
+#include "nn/ddnet.h"
+#include "nn/layers.h"
+#include "pipeline/framework.h"
+
+namespace ccovid {
+namespace {
+
+#ifndef CCOVID_GOLDEN_FILE
+#error "CCOVID_GOLDEN_FILE must point at tests/golden/digests.txt"
+#endif
+
+bool g_update = false;
+std::map<std::string, std::uint64_t> g_computed;
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+const std::map<std::string, std::uint64_t>& stored_digests() {
+  static const auto* stored = [] {
+    auto* m = new std::map<std::string, std::uint64_t>();
+    std::ifstream in(CCOVID_GOLDEN_FILE);
+    std::string name, hex;
+    while (in >> name >> hex) {
+      (*m)[name] = std::stoull(hex, nullptr, 16);
+    }
+    return m;
+  }();
+  return *stored;
+}
+
+void check_golden(const std::string& name, std::uint64_t digest) {
+  g_computed[name] = digest;
+  if (g_update) {
+    SUCCEED() << name << " recomputed: " << hex64(digest);
+    return;
+  }
+  const auto& stored = stored_digests();
+  const auto it = stored.find(name);
+  ASSERT_NE(it, stored.end())
+      << "no golden digest recorded for '" << name
+      << "'.\nRun `./tests/test_golden --update-golden` and commit "
+      << CCOVID_GOLDEN_FILE;
+  EXPECT_EQ(hex64(digest), hex64(it->second))
+      << "'" << name << "' output changed bitwise. If the numeric change "
+      << "is intentional, regenerate with `./tests/test_golden "
+      << "--update-golden` and commit " << CCOVID_GOLDEN_FILE
+      << "; otherwise this is a regression.";
+}
+
+// Every case pins kernels single-threaded: the digests assert bitwise
+// equality, which parallel reduction orders would break.
+
+TEST(Golden, DdnetForward) {
+  ParallelPin pin(1);
+  nn::seed_init_rng(3);
+  nn::DDnet net(nn::DDnetConfig::tiny());
+  net.set_training(false);
+  Tensor x({16, 16});
+  Rng rng(5);
+  rng.fill_uniform(x, 0.0, 1.0);
+  check_golden("ddnet_forward_tiny_s3_in16", fnv1a64(net.enhance(x)));
+}
+
+TEST(Golden, FbpReconstruction) {
+  ParallelPin pin(1);
+  const ct::FanBeamGeometry g = ct::paper_geometry().scaled(32);
+  const index_t n = g.image_px;
+  Tensor mu({n, n});
+  for (index_t iy = 0; iy < n; ++iy) {
+    for (index_t ix = 0; ix < n; ++ix) {
+      const double x = (ix + 0.5) / static_cast<double>(n) - 0.5;
+      const double y = (iy + 0.5) / static_cast<double>(n) - 0.5;
+      if (x * x + y * y <= 0.09) mu.at(iy, ix) = 0.02f;
+    }
+  }
+  const Tensor sino = ct::forward_project(mu, g);
+  std::uint64_t h = fnv1a64(sino);
+  h = fnv1a64(ct::fbp_reconstruct(sino, g), h);
+  check_golden("fbp_disc32_sino_and_recon", h);
+}
+
+TEST(Golden, FullDiagnose) {
+  ParallelPin pin(1);
+  nn::seed_init_rng(3);
+  auto enh = std::make_shared<pipeline::EnhancementAI>(nn::DDnetConfig::tiny());
+  auto seg = std::make_shared<pipeline::SegmentationAI>();
+  auto cls = std::make_shared<pipeline::ClassificationAI>();
+  enh->network().set_training(false);
+  seg->network().set_training(false);
+  cls->network().set_training(false);
+  const pipeline::ComputeCovid19Pipeline pipe(enh, seg, cls);
+
+  Rng rng(11);
+  const data::PhantomVolume vol = data::make_volume(2, 8, true, rng);
+  // Digest the full-workflow AND the enhancement-off probability bits:
+  // a drift in any stage moves at least one of them.
+  std::uint64_t h = kFnv1aOffset;
+  for (const bool enhance : {true, false}) {
+    const pipeline::Diagnosis d = pipe.diagnose(vol.hu, enhance, 0.5, nullptr);
+    h = fnv1a64(&d.probability, sizeof(d.probability), h);
+    const unsigned char pos = d.positive ? 1 : 0;
+    h = fnv1a64(&pos, 1, h);
+  }
+  check_golden("diagnose_tiny_s3_vol8", h);
+}
+
+}  // namespace
+}  // namespace ccovid
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") ccovid::g_update = true;
+  }
+  const int rc = RUN_ALL_TESTS();
+  if (ccovid::g_update && rc == 0) {
+    std::ofstream out(CCOVID_GOLDEN_FILE, std::ios::trunc);
+    for (const auto& [name, digest] : ccovid::g_computed) {
+      out << name << " " << ccovid::hex64(digest) << "\n";
+    }
+    std::printf("rewrote %s with %zu digest(s)\n", CCOVID_GOLDEN_FILE,
+                ccovid::g_computed.size());
+  }
+  return rc;
+}

@@ -4,12 +4,15 @@
 // parameterized suites.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "autograd/losses.h"
 #include "core/random.h"
 #include "core/serialize.h"
 #include "ct/fbp.h"
+#include "ct/fft.h"
 #include "data/phantom.h"
 #include "ct/hu.h"
 #include "ct/siddon.h"
@@ -159,6 +162,48 @@ TEST_P(SeedSweep, AugmentIntensityScaleKeepsSign) {
   for (index_t i = 0; i < vol.numel(); ++i) {
     EXPECT_GT(aug.data()[i], 0.0f);
     EXPECT_NEAR(aug.data()[i] / vol.data()[i], 1.0, 0.11);
+  }
+}
+
+TEST_P(SeedSweep, FftRoundTripRandomLengths) {
+  // inverse(forward(x)) == x for random power-of-two lengths and random
+  // data — the invariant the ramp filter's convolution rides on.
+  Rng rng(GetParam() + 800);
+  for (int trial = 0; trial < 4; ++trial) {
+    const index_t n = index_t{1} << (1 + static_cast<int>(rng.uniform(0, 8)));
+    ASSERT_TRUE(ct::is_pow2(n));
+    std::vector<ct::cplx> data(static_cast<std::size_t>(n));
+    double scale = 0.0;
+    for (auto& c : data) {
+      c = ct::cplx(rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0));
+      scale = std::max(scale, std::abs(c));
+    }
+    const std::vector<ct::cplx> original = data;
+    ct::fft(data, false);
+    ct::fft(data, true);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9 * (1.0 + scale));
+      EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9 * (1.0 + scale));
+    }
+  }
+}
+
+TEST_P(SeedSweep, SiddonRaySumSymmetricUnderEndpointSwap) {
+  // The attenuation line integral is direction-independent: traversing
+  // source->detector and detector->source must cross the same pixel
+  // segments, so the sums agree to floating-point accumulation error.
+  Rng rng(GetParam() + 900);
+  const ct::FanBeamGeometry g = ct::paper_geometry().scaled(16);
+  Tensor mu({16, 16});
+  rng.fill_uniform(mu, 0.0, 0.05);
+  const double r = 0.6 * g.fov_mm;
+  for (int ray = 0; ray < 8; ++ray) {
+    const double sx = rng.uniform(-r, r), sy = rng.uniform(-r, r);
+    const double ex = rng.uniform(-r, r), ey = rng.uniform(-r, r);
+    const double fwd = ct::siddon_line_integral(mu, g, sx, sy, ex, ey);
+    const double rev = ct::siddon_line_integral(mu, g, ex, ey, sx, sy);
+    EXPECT_NEAR(fwd, rev, 1e-6 * (1.0 + std::fabs(fwd)))
+        << "ray (" << sx << "," << sy << ")->(" << ex << "," << ey << ")";
   }
 }
 

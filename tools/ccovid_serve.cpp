@@ -6,6 +6,15 @@
 //                [--queue-cap Q] [--deadline-ms MS] [--stall-ms MS]
 //                [--interval-ms MS] [--threshold T] [--no-enhance]
 //                [--models DIR] [--json PATH]
+//                [--failpoints SPECS] [--fault-seed S]
+//                [--retries N] [--degrade]
+//
+// --failpoints arms seeded fault schedules (grammar in DESIGN.md, e.g.
+// "serve.worker.exec=prob(0.2)*error;serve.queue.admit=nth(3)") so the
+// runtime's retry/degradation behavior can be exercised from the shell;
+// --fault-seed pins the schedule RNG (defaults to --seed), and
+// --retries/--degrade turn on retry-with-backoff and the reduced
+// (enhancement-off) fallback workflow.
 //
 // Without --models the pipeline uses seeded randomly-initialized compact
 // networks (deterministic, self-contained demo); with --models it loads
@@ -20,6 +29,7 @@
 #include <vector>
 
 #include "data/phantom.h"
+#include "fault/failpoint.h"
 #include "nn/layers.h"
 #include "serve/server.h"
 
@@ -43,6 +53,10 @@ struct ToolArgs {
   bool use_enhancement = true;
   std::string models;  // empty = seeded random init
   std::string json_path;
+  std::string failpoints;       // empty = no fault injection
+  std::uint64_t fault_seed = 0; // 0 = reuse --seed
+  int retries = 0;
+  bool degrade = false;
 };
 
 void usage() {
@@ -52,7 +66,9 @@ void usage() {
       "                    [--batch-delay-us U] [--queue-cap Q]\n"
       "                    [--deadline-ms MS] [--stall-ms MS]\n"
       "                    [--interval-ms MS] [--threshold T]\n"
-      "                    [--no-enhance] [--models DIR] [--json PATH]\n");
+      "                    [--no-enhance] [--models DIR] [--json PATH]\n"
+      "                    [--failpoints SPECS] [--fault-seed S]\n"
+      "                    [--retries N] [--degrade]\n");
 }
 
 bool parse(int argc, char** argv, ToolArgs& a) {
@@ -110,6 +126,17 @@ bool parse(int argc, char** argv, ToolArgs& a) {
     } else if (!std::strcmp(arg, "--json")) {
       if (!(v = next(arg))) return false;
       a.json_path = v;
+    } else if (!std::strcmp(arg, "--failpoints")) {
+      if (!(v = next(arg))) return false;
+      a.failpoints = v;
+    } else if (!std::strcmp(arg, "--fault-seed")) {
+      if (!(v = next(arg))) return false;
+      a.fault_seed = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--retries")) {
+      if (!(v = next(arg))) return false;
+      a.retries = std::atoi(v);
+    } else if (!std::strcmp(arg, "--degrade")) {
+      a.degrade = true;
     } else {
       usage();
       return std::strcmp(arg, "--help") == 0 ? (std::exit(0), false)
@@ -163,6 +190,27 @@ int main(int argc, char** argv) {
   opt.workers = a.workers;
   opt.default_deadline = std::chrono::milliseconds(a.deadline_ms);
   opt.device_stall_s = a.stall_ms * 1e-3;
+  opt.max_retries = a.retries;
+  opt.degrade_on_failure = a.degrade;
+
+  if (!a.failpoints.empty()) {
+    const std::uint64_t fseed = a.fault_seed ? a.fault_seed : a.seed;
+    fault::Registry::instance().set_seed(fseed);
+    try {
+      const int n = fault::Registry::instance().configure(a.failpoints);
+      std::printf("failpoints: %d schedule(s) armed, fault seed %llu\n", n,
+                  static_cast<unsigned long long>(fseed));
+      if (!fault::kCompiledIn) {
+        std::fprintf(stderr,
+                     "ccovid_serve: warning: this binary was built with "
+                     "CCOVID_DISABLE_FAILPOINTS; armed schedules cannot "
+                     "fire\n");
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ccovid_serve: %s\n", e.what());
+      return 1;
+    }
+  }
 
   std::printf("ccovid_serve: %d worker(s), batch<=%zu/%ldus, queue cap %zu"
               "%s%s\n",
@@ -209,12 +257,14 @@ int main(int argc, char** argv) {
       correct += ok;
       std::printf(
           "  #%-3llu %-9s P=%.4f -> %-8s truth=%-8s batch=%zu "
-          "queue=%.1fms exec=%.1fms total=%.1fms\n",
+          "queue=%.1fms exec=%.1fms total=%.1fms%s%s\n",
           static_cast<unsigned long long>(r.request_id),
           serve::to_string(r.status), r.diagnosis.probability,
           r.diagnosis.positive ? "POSITIVE" : "negative",
           truth ? "POSITIVE" : "negative", r.batch_size, 1e3 * r.queue_s,
-          1e3 * r.execute_s, 1e3 * r.total_s);
+          1e3 * r.execute_s, 1e3 * r.total_s,
+          r.retries > 0 ? " [retried]" : "",
+          r.degraded ? " [degraded]" : "");
     } else {
       std::printf("  #%-3llu %-9s %s\n",
                   static_cast<unsigned long long>(r.request_id),
