@@ -2,13 +2,26 @@
 // convolution/deconvolution optimization stages, pooling/unpooling,
 // batch norm, the CT chain (Siddon, ramp filter, FBP), MS-SSIM, and the
 // ring all-reduce.
+//
+// Thread-scaling sweep: `kernels_microbench --scaling-json OUT.json`
+// skips google-benchmark and instead times the hot inference kernels
+// (plus a full DDnet forward) at 1/2/4/8 task-engine lanes, writing a
+// machine-readable {op, threads, ns_per_iter} table. CI and
+// EXPERIMENTS.md track that file (BENCH_kernels.json) across PRs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <string>
 #include <thread>
+#include <vector>
 
+#include "core/parallel.h"
 #include "core/random.h"
 #include "ct/fbp.h"
 #include "ct/siddon.h"
+#include "ddnet_timing.h"
 #include "dist/comm.h"
 #include "metrics/image_quality.h"
 #include "ops/gemm.h"
@@ -148,6 +161,138 @@ void BM_RingAllReduce(benchmark::State& state) {
                           world);
 }
 
+// ------------------------------------------------ thread scaling
+
+// Median-of-reps wall time of one call to `body`, in nanoseconds.
+// Adaptive iteration count keeps each rep around a few milliseconds so
+// the sweep finishes quickly at every width.
+template <typename Body>
+double time_ns_per_iter(Body&& body) {
+  using clock = std::chrono::steady_clock;
+  const auto once = [&] {
+    const auto t0 = clock::now();
+    body();
+    return std::chrono::duration<double, std::nano>(clock::now() - t0)
+        .count();
+  };
+  double probe = once();  // also serves as warm-up
+  int iters = 1;
+  if (probe < 2e6) iters = static_cast<int>(2e6 / (probe + 1.0)) + 1;
+  if (iters > 200) iters = 200;
+  std::vector<double> reps;
+  for (int r = 0; r < 3; ++r) {
+    const auto t0 = clock::now();
+    for (int i = 0; i < iters; ++i) body();
+    reps.push_back(
+        std::chrono::duration<double, std::nano>(clock::now() - t0)
+            .count() /
+        iters);
+  }
+  std::sort(reps.begin(), reps.end());
+  return reps[1];
+}
+
+struct ScalingRow {
+  std::string op;
+  int threads;
+  double ns_per_iter;
+};
+
+// Times every op at widths 1/2/4/8 and writes the JSON artifact. The
+// engine's workers are shared across widths; ParallelPin caps how many
+// lanes each dispatch may use without touching global configuration.
+int run_scaling_sweep(const std::string& path) {
+  std::vector<ScalingRow> rows;
+  const int widths[] = {1, 2, 4, 8};
+
+  const Tensor cx = random_tensor({1, 16, 64, 64}, 1);
+  const Tensor cw = random_tensor({16, 16, 5, 5}, 2);
+  const Tensor cb = random_tensor({16}, 3);
+  const Tensor ga = random_tensor({128, 128}, 4);
+  const Tensor gb = random_tensor({128, 128}, 5);
+  const ct::FanBeamGeometry geom = ct::paper_geometry().scaled(64);
+  const Tensor mu = random_tensor({64, 64}, 10);
+  const Tensor sino = ct::forward_project(mu, geom);
+  index_t ddnet_px = 0;
+  const nn::DDnetConfig ddnet_cfg =
+      bench::bench_inference_config(false, &ddnet_px);
+
+  for (const int t : widths) {
+    ParallelPin pin(t);
+    rows.push_back({"conv2d_unrolled_64", t, time_ns_per_iter([&] {
+                      benchmark::DoNotOptimize(ops::conv2d(
+                          cx, cw, cb, ops::Conv2dParams::same(5),
+                          ops::KernelOptions::all()));
+                    })});
+    rows.push_back({"deconv2d_gather_64", t, time_ns_per_iter([&] {
+                      benchmark::DoNotOptimize(ops::deconv2d(
+                          cx, cw, cb, ops::Deconv2dParams::same(5),
+                          ops::KernelOptions::all()));
+                    })});
+    rows.push_back({"conv2d_gemm_64", t, time_ns_per_iter([&] {
+                      benchmark::DoNotOptimize(ops::conv2d_gemm(
+                          cx, cw, cb, ops::Conv2dParams::same(5)));
+                    })});
+    rows.push_back({"sgemm_128", t, time_ns_per_iter([&] {
+                      benchmark::DoNotOptimize(ops::matmul(ga, gb));
+                    })});
+    rows.push_back({"siddon_forward_64", t, time_ns_per_iter([&] {
+                      benchmark::DoNotOptimize(
+                          ct::forward_project(mu, geom));
+                    })});
+    rows.push_back({"fbp_reconstruct_64", t, time_ns_per_iter([&] {
+                      benchmark::DoNotOptimize(
+                          ct::fbp_reconstruct(sino, geom));
+                    })});
+    rows.push_back(
+        {"ddnet_forward_128", t, time_ns_per_iter([&] {
+           benchmark::DoNotOptimize(bench::measure_ddnet_cpu(
+               ddnet_cfg, ddnet_px, ddnet_px, ops::KernelOptions::all()));
+         })});
+    std::printf("width %d done (%zu rows)\n", t, rows.size());
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\"bench\":\"kernels_microbench\",");
+  std::fprintf(f, "\"hardware_concurrency\":%u,\"results\":[",
+               std::thread::hardware_concurrency());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "%s{\"op\":\"%s\",\"threads\":%d,\"ns_per_iter\":%.1f}",
+                 i ? "," : "", rows[i].op.c_str(), rows[i].threads,
+                 rows[i].ns_per_iter);
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+void BM_SgemmThreads(benchmark::State& state) {
+  const Tensor a = random_tensor({128, 128}, 4);
+  const Tensor b = random_tensor({128, 128}, 5);
+  ParallelPin pin(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * 128 * 128 * 2);
+}
+
+void BM_Conv2dThreads(benchmark::State& state) {
+  const Tensor x = random_tensor({1, 16, 64, 64}, 1);
+  const Tensor w = random_tensor({16, 16, 5, 5}, 2);
+  const Tensor b = random_tensor({16}, 3);
+  ParallelPin pin(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::conv2d(x, w, b,
+                                         ops::Conv2dParams::same(5),
+                                         ops::KernelOptions::all()));
+  }
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_Conv2d, baseline, ops::KernelOptions::baseline())
@@ -174,5 +319,18 @@ BENCHMARK(BM_SiddonProjection)->Arg(32)->Arg(64);
 BENCHMARK(BM_FbpReconstruct)->Arg(32)->Arg(64);
 BENCHMARK(BM_MsSsim)->Arg(64)->Arg(128);
 BENCHMARK(BM_RingAllReduce)->Arg(2)->Arg(4);
+BENCHMARK(BM_SgemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_Conv2dThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
-BENCHMARK_MAIN();
+// Custom main so `--scaling-json PATH` can bypass google-benchmark and
+// run the JSON-emitting sweep instead.
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--scaling-json") == 0) {
+    return run_scaling_sweep(argc >= 3 ? argv[2] : "BENCH_kernels.json");
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -236,11 +236,14 @@ int main(int argc, char** argv) {
   const auto args = bench::Args::parse(argc, argv);
   double stall_ms = -1.0;  // <0 = derive from the device model
   std::string device = "V100";
+  std::string json_name = "serve_throughput.json";
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--stall-ms") && i + 1 < argc) {
       stall_ms = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--device") && i + 1 < argc) {
       device = argv[++i];
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_name = argv[++i];  // e.g. BENCH_serve.json for CI tracking
     }
   }
 
@@ -388,7 +391,7 @@ int main(int argc, char** argv) {
                 speedup, deterministic ? "true" : "false");
   json += buf;
 
-  const std::string path = args.out_dir + "/serve_throughput.json";
+  const std::string path = args.out_dir + "/" + json_name;
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f) {
     std::fprintf(f, "%s\n", json.c_str());

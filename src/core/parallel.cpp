@@ -1,12 +1,10 @@
 #include "core/parallel.h"
 
-#include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <thread>
 
-#ifdef _OPENMP
-#include <omp.h>
-#endif
+#include "core/task_engine.h"
 
 namespace ccovid {
 
@@ -16,13 +14,21 @@ std::atomic<int> g_num_threads{0};  // 0 = "use default"
 
 thread_local int t_num_threads = 0;  // per-thread override; 0 = none
 
+int env_threads(const char* name) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return 0;
+  const int v = std::atoi(s);
+  return v > 0 ? v : 0;
+}
+
 int default_threads() {
-#ifdef _OPENMP
-  return omp_get_max_threads();
-#else
-  const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : static_cast<int>(hc);
-#endif
+  static const int cached = [] {
+    if (const int v = env_threads("CCOVID_NUM_THREADS")) return v;
+    if (const int v = env_threads("OMP_NUM_THREADS")) return v;
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+  }();
+  return cached;
 }
 
 }  // namespace
@@ -35,55 +41,23 @@ int num_threads() {
 
 void set_num_threads(int n) {
   g_num_threads.store(n, std::memory_order_relaxed);
+  // Grow the worker pool eagerly so the first timed kernel after a
+  // sweep step does not pay thread-spawn latency.
+  if (n > 1) TaskEngine::instance().ensure_workers(n);
 }
 
 int thread_num_threads() { return t_num_threads; }
 
 void set_thread_num_threads(int n) { t_num_threads = n > 0 ? n : 0; }
 
-void parallel_for(index_t begin, index_t end,
-                  const std::function<void(index_t)>& body, index_t grain) {
-  if (end <= begin) return;
-  const index_t n = end - begin;
-  const int threads = num_threads();
-  if (threads <= 1 || n < grain) {
-    for (index_t i = begin; i < end; ++i) body(i);
-    return;
-  }
-#ifdef _OPENMP
-#pragma omp parallel for schedule(static) num_threads(threads)
-  for (index_t i = begin; i < end; ++i) body(i);
-#else
-  for (index_t i = begin; i < end; ++i) body(i);
-#endif
+namespace detail {
+
+void parallel_dispatch(index_t begin, index_t end, index_t chunk,
+                       void (*fn)(void*, index_t, index_t), void* ctx,
+                       int width) {
+  TaskEngine::instance().parallel_range(begin, end, chunk, fn, ctx, width);
 }
 
-void parallel_for_blocked(index_t begin, index_t end,
-                          const std::function<void(index_t, index_t)>& body,
-                          index_t grain) {
-  if (end <= begin) return;
-  const index_t n = end - begin;
-  const int threads = num_threads();
-  if (threads <= 1 || n <= grain) {
-    body(begin, end);
-    return;
-  }
-  const index_t chunks = std::min<index_t>(threads, (n + grain - 1) / grain);
-  const index_t chunk = (n + chunks - 1) / chunks;
-#ifdef _OPENMP
-#pragma omp parallel for schedule(static) num_threads(static_cast<int>(chunks))
-  for (index_t c = 0; c < chunks; ++c) {
-    const index_t lo = begin + c * chunk;
-    const index_t hi = std::min(end, lo + chunk);
-    if (lo < hi) body(lo, hi);
-  }
-#else
-  for (index_t c = 0; c < chunks; ++c) {
-    const index_t lo = begin + c * chunk;
-    const index_t hi = std::min(end, lo + chunk);
-    if (lo < hi) body(lo, hi);
-  }
-#endif
-}
+}  // namespace detail
 
 }  // namespace ccovid

@@ -1,31 +1,45 @@
 // Shared-memory parallelism primitives.
 //
-// Kernels call parallel_for(), which maps to an OpenMP parallel loop when
-// built with CCOVID_ENABLE_OPENMP and degrades to a serial loop otherwise.
-// The thread count is process-global and settable at runtime so benchmarks
-// can sweep it (Table 4's CPU row) and the distributed trainer can pin its
-// replica threads without oversubscription.
+// Kernels call parallel_for() / parallel_for_blocked(), which dispatch
+// into the in-house work-stealing TaskEngine (core/task_engine.h) — the
+// only parallel backend; OpenMP is not used and not required. The loop
+// body is passed by reference through a captureless trampoline: no
+// std::function, no per-element indirect call, and loops at or below
+// `grain` run inline before any type erasure.
+//
+// Determinism: the engine splits [begin, end) into chunks whose
+// boundaries depend only on (range, grain) — never on the thread count —
+// and every chunk owns a disjoint index range. Any body whose per-index
+// result is deterministic therefore produces bitwise-identical output at
+// 1, 2, or 64 threads (asserted by tests/test_golden.cpp).
+//
+// The thread count is process-global and settable at runtime
+// (set_num_threads / CCOVID_NUM_THREADS) so benchmarks can sweep it
+// (Table 4's CPU row); ParallelPin gives a per-thread cap the serving
+// runtime uses as a per-request concurrency limit on the shared engine.
 #pragma once
 
-#include <functional>
+#include <algorithm>
+#include <memory>
+#include <type_traits>
 
 #include "core/types.h"
 
 namespace ccovid {
 
-/// Number of worker threads parallel_for uses. Defaults to the hardware
-/// concurrency (or OMP_NUM_THREADS when set).
+/// Number of lanes parallel_for may use. Defaults to the hardware
+/// concurrency, overridable by CCOVID_NUM_THREADS (or OMP_NUM_THREADS,
+/// honoured for compatibility with older scripts).
 int num_threads();
 
-/// Overrides the worker count for subsequent parallel_for calls.
+/// Overrides the lane count for subsequent parallel_for calls.
 /// n <= 0 resets to the default.
 void set_num_threads(int n);
 
-/// Calling thread's override of num_threads(); 0 = no override. Serving
-/// worker threads pin this to 1 so nested parallel_for calls inside
-/// kernels run serially — N workers × default_threads would oversubscribe
-/// the machine, and per-worker-serial kernels keep results bit-identical
-/// for any worker count.
+/// Calling thread's override of num_threads(); 0 = no override. Under
+/// the shared engine this is a concurrency CAP for loops launched by
+/// this thread, not a partition: pinned loops still run on common
+/// workers, they just occupy at most this many lanes at once.
 int thread_num_threads();
 
 /// Sets the calling thread's override. n <= 0 clears it.
@@ -46,17 +60,71 @@ class ParallelPin {
   int prev_;
 };
 
-/// Runs body(i) for i in [begin, end). Iterations must be independent.
-/// `grain` is the minimum chunk per thread; loops smaller than `grain`
-/// run serially to avoid fork/join overhead on tiny tensors.
-void parallel_for(index_t begin, index_t end,
-                  const std::function<void(index_t)>& body,
-                  index_t grain = 1024);
+namespace detail {
 
-/// Blocked variant: body(lo, hi) receives contiguous ranges. Preferred in
-/// hot kernels — one std::function call per block, not per element.
-void parallel_for_blocked(index_t begin, index_t end,
-                          const std::function<void(index_t, index_t)>& body,
-                          index_t grain = 1);
+/// Engine dispatch for a type-erased chunk body (plain function pointer,
+/// not std::function). Defined in parallel.cpp.
+void parallel_dispatch(index_t begin, index_t end, index_t chunk,
+                       void (*fn)(void*, index_t, index_t), void* ctx,
+                       int width);
+
+/// Chunk size as a pure function of (n, grain): the larger of the
+/// caller's grain and n/4096, so degenerate grains on huge ranges don't
+/// drown the engine in chunk claims. Thread count must NEVER enter this
+/// formula — chunk boundaries are part of the determinism contract.
+inline index_t chunk_size(index_t n, index_t grain) {
+  if (grain < 1) grain = 1;
+  return std::max<index_t>(grain, (n + 4095) / 4096);
+}
+
+}  // namespace detail
+
+/// Runs body(i) for i in [begin, end). Iterations must be independent.
+/// `grain` is both the serial cutoff (n < grain runs inline on the
+/// calling thread with zero dispatch overhead) and the scheduling
+/// granularity (indices per engine chunk).
+template <typename Body>
+inline void parallel_for(index_t begin, index_t end, Body&& body,
+                         index_t grain = 1024) {
+  if (end <= begin) return;
+  using B = std::remove_reference_t<Body>;
+  const index_t n = end - begin;
+  if (n < grain || num_threads() <= 1) {
+    for (index_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  auto* fn = +[](void* ctx, index_t lo, index_t hi) {
+    B& b = *static_cast<B*>(const_cast<void*>(ctx));
+    for (index_t i = lo; i < hi; ++i) b(i);
+  };
+  detail::parallel_dispatch(
+      begin, end, detail::chunk_size(n, grain), fn,
+      const_cast<void*>(static_cast<const void*>(std::addressof(body))),
+      num_threads());
+}
+
+/// Blocked variant: body(lo, hi) receives contiguous ranges. Preferred
+/// in elementwise kernels — one dispatch per block, and the inner loop
+/// stays vectorizable. `grain` is the block size (and serial cutoff:
+/// n <= grain runs body(begin, end) inline).
+template <typename Body>
+inline void parallel_for_blocked(index_t begin, index_t end, Body&& body,
+                                 index_t grain = 1) {
+  if (end <= begin) return;
+  using B = std::remove_reference_t<Body>;
+  const index_t n = end - begin;
+  if (n <= grain || num_threads() <= 1) {
+    body(begin, end);
+    return;
+  }
+  auto* fn = +[](void* ctx, index_t lo, index_t hi) {
+    B& b = *static_cast<B*>(const_cast<void*>(ctx));
+    b(lo, hi);
+  };
+  detail::parallel_dispatch(
+      begin, end, detail::chunk_size(n, grain), fn,
+      const_cast<void*>(static_cast<const void*>(std::addressof(body))),
+      num_threads());
+}
 
 }  // namespace ccovid

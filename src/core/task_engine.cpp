@@ -1,0 +1,354 @@
+#include "core/task_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace ccovid {
+
+namespace {
+
+// Job-slot states. A slot cycles FREE -> SETUP -> ACTIVE -> DRAINING ->
+// FREE; only the master (the thread that claimed the slot) moves it out
+// of FREE and back.
+enum : int { kFree = 0, kSetup = 1, kActive = 2, kDraining = 3 };
+
+constexpr int kSlots = 64;
+// Bounded yield-spin before a thread parks on a condition variable.
+// Deliberately modest: on machines with fewer cores than lanes the
+// spinners must cede the core to whoever holds real work.
+constexpr int kSpinIters = 64;
+
+struct alignas(64) Job {
+  // Immutable while ACTIVE; written by the master during SETUP and read
+  // by workers only after an acquire load observes ACTIVE.
+  TaskEngine::RangeFn fn = nullptr;
+  void* ctx = nullptr;
+  index_t begin = 0;
+  index_t end = 0;
+  index_t chunk = 1;
+  // Atomic because help_board peeks at it BEFORE attaching (to skip
+  // exhausted jobs cheaply); that peek may race a master re-initializing
+  // the recycled slot. The value read is advisory only — the post-attach
+  // state re-check is the authoritative gate — so relaxed order is
+  // enough; atomicity just keeps the unsynchronized peek defined.
+  std::atomic<index_t> n_chunks{0};
+  int cap = 0;  // max threads on this job, 0 = unlimited
+
+  std::atomic<int> state{kFree};
+  std::atomic<index_t> next{0};       // next chunk index to claim
+  std::atomic<index_t> done{0};       // chunks fully executed
+  std::atomic<std::uint32_t> claimants{0};  // threads attached (incl. master)
+  std::atomic<bool> cancelled{false};
+  std::atomic<bool> has_error{false};
+  std::exception_ptr error;
+
+  // Master parks here waiting for done == n_chunks.
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+struct EngineState {
+  Job board[kSlots];
+
+  // Wake protocol: any publication (job or task) bumps `epoch` under
+  // `wake_mu` and notifies; parked workers wait for an epoch change
+  // relative to the snapshot they took BEFORE their last failed scan,
+  // so a publication racing the scan always wakes them.
+  std::atomic<std::uint64_t> epoch{0};
+  std::mutex wake_mu;
+  std::condition_variable wake_cv;
+
+  // Detached-task queue (TaskEngine::submit).
+  std::mutex task_mu;
+  std::deque<std::function<void()>> tasks;
+  std::atomic<int> tasks_outstanding{0};  // queued + running
+  std::condition_variable tasks_idle_cv;
+
+  std::mutex spawn_mu;
+  std::atomic<int> n_workers{0};
+};
+
+thread_local bool t_on_worker = false;
+thread_local std::uint64_t t_rng = 0;
+
+// Leaky singleton: workers hold pointers into this forever, so it is
+// never destroyed (clean under LSan — still reachable at exit).
+EngineState* state() {
+  static EngineState* const s = new EngineState();
+  return s;
+}
+
+std::uint64_t next_rand() {
+  // xorshift64*; seeded per thread in worker_loop / lazily for masters.
+  if (t_rng == 0) {
+    t_rng = std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1;
+  }
+  std::uint64_t x = t_rng;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  t_rng = x;
+  return x * 0x2545f4914f6cdd1dULL;
+}
+
+// Claims and executes chunks of `j` until none remain. Returns true if
+// at least one chunk was claimed. Caller must hold a claimant count.
+bool work_on(Job& j) {
+  bool did = false;
+  for (;;) {
+    const index_t k = j.next.fetch_add(1, std::memory_order_relaxed);
+    if (k >= j.n_chunks.load(std::memory_order_relaxed)) break;
+    did = true;
+    if (!j.cancelled.load(std::memory_order_relaxed)) {
+      const index_t lo = j.begin + k * j.chunk;
+      const index_t hi = std::min(j.end, lo + j.chunk);
+      try {
+        j.fn(j.ctx, lo, hi);
+      } catch (...) {
+        if (!j.has_error.exchange(true, std::memory_order_acq_rel)) {
+          j.error = std::current_exception();
+        }
+        j.cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+    // Cancelled chunks still count towards done so the master's wait
+    // terminates; their work is simply skipped.
+    const index_t d = j.done.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (d == j.n_chunks.load(std::memory_order_relaxed)) {
+      {
+        std::lock_guard<std::mutex> lk(j.mu);
+      }
+      j.cv.notify_all();
+    }
+  }
+  return did;
+}
+
+// One board sweep in this thread's PRNG order. Returns true if any
+// chunk was executed.
+bool help_board(EngineState* g) {
+  bool did = false;
+  const std::uint32_t start =
+      static_cast<std::uint32_t>(next_rand() % kSlots);
+  for (int i = 0; i < kSlots; ++i) {
+    Job& j = g->board[(start + i) % kSlots];
+    if (j.state.load(std::memory_order_acquire) != kActive) continue;
+    if (j.next.load(std::memory_order_relaxed) >=
+        j.n_chunks.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    // Attach BEFORE the authoritative checks: the master's release
+    // protocol (DRAINING, then CAS claimants 1 -> 0, then FREE) makes a
+    // post-release increment synchronize with the master's CAS, so the
+    // re-check below reliably sees a non-ACTIVE state and we detach
+    // without ever touching the slot's work fields.
+    const std::uint32_t c =
+        j.claimants.fetch_add(1, std::memory_order_acq_rel);
+    if (j.state.load(std::memory_order_acquire) == kActive &&
+        (j.cap == 0 || static_cast<int>(c) < j.cap)) {
+      did |= work_on(j);
+    }
+    j.claimants.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  return did;
+}
+
+bool run_one_task(EngineState* g) {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lk(g->task_mu);
+    if (g->tasks.empty()) return false;
+    task = std::move(g->tasks.front());
+    g->tasks.pop_front();
+  }
+  task();  // an escaping exception terminates: tasks have no waiter
+  if (g->tasks_outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    {
+      std::lock_guard<std::mutex> lk(g->task_mu);
+    }
+    g->tasks_idle_cv.notify_all();
+  }
+  return true;
+}
+
+void wake_workers(EngineState* g) {
+  {
+    std::lock_guard<std::mutex> lk(g->wake_mu);
+    g->epoch.fetch_add(1, std::memory_order_release);
+  }
+  g->wake_cv.notify_all();
+}
+
+void worker_loop(EngineState* g, int index) {
+  t_on_worker = true;
+  t_rng = (static_cast<std::uint64_t>(index) + 2) * 0x9e3779b97f4a7c15ULL;
+  for (;;) {
+    // Snapshot the epoch BEFORE scanning: if a master publishes while we
+    // scan (and we miss it), its epoch bump invalidates this snapshot
+    // and the park below returns immediately.
+    const std::uint64_t epoch = g->epoch.load(std::memory_order_acquire);
+    bool did = help_board(g);
+    did |= run_one_task(g);
+    if (did) continue;
+    bool woke = false;
+    for (int s = 0; s < kSpinIters; ++s) {
+      if (g->epoch.load(std::memory_order_acquire) != epoch) {
+        woke = true;
+        break;
+      }
+      std::this_thread::yield();
+    }
+    if (woke) continue;
+    std::unique_lock<std::mutex> lk(g->wake_mu);
+    g->wake_cv.wait(lk, [&] {
+      return g->epoch.load(std::memory_order_relaxed) != epoch;
+    });
+  }
+}
+
+}  // namespace
+
+TaskEngine& TaskEngine::instance() {
+  static TaskEngine* const e =
+      new (::operator new(sizeof(TaskEngine))) TaskEngine();
+  (void)state();
+  return *e;
+}
+
+void TaskEngine::ensure_workers(int threads) {
+  if (threads <= 1) return;
+  EngineState* g = state();
+  const int want = threads - 1;  // the calling lane participates
+  if (g->n_workers.load(std::memory_order_acquire) >= want) return;
+  std::lock_guard<std::mutex> lk(g->spawn_mu);
+  while (g->n_workers.load(std::memory_order_relaxed) < want) {
+    const int index = g->n_workers.load(std::memory_order_relaxed);
+    std::thread(worker_loop, g, index).detach();
+    g->n_workers.fetch_add(1, std::memory_order_release);
+  }
+}
+
+int TaskEngine::worker_count() const {
+  return state()->n_workers.load(std::memory_order_acquire);
+}
+
+bool TaskEngine::on_worker_thread() { return t_on_worker; }
+
+void TaskEngine::parallel_range(index_t begin, index_t end, index_t chunk,
+                                RangeFn fn, void* ctx, int cap) {
+  if (end <= begin) return;
+  if (chunk <= 0) chunk = 1;
+  const index_t n = end - begin;
+  const index_t n_chunks = (n + chunk - 1) / chunk;
+  if (n_chunks <= 1) {
+    fn(ctx, begin, end);
+    return;
+  }
+  if (cap > 1) ensure_workers(cap);
+  EngineState* g = state();
+  Job* j = nullptr;
+  for (int i = 0; i < kSlots; ++i) {
+    int expected = kFree;
+    if (g->board[i].state.compare_exchange_strong(
+            expected, kSetup, std::memory_order_acq_rel)) {
+      j = &g->board[i];
+      break;
+    }
+  }
+  if (!j) {
+    // Board full (64 concurrent loops) — correctness fallback: run the
+    // whole range inline. Chunk boundaries are unchanged, so results
+    // are still identical.
+    for (index_t k = 0; k < n_chunks; ++k) {
+      const index_t lo = begin + k * chunk;
+      fn(ctx, lo, std::min(end, lo + chunk));
+    }
+    return;
+  }
+  j->fn = fn;
+  j->ctx = ctx;
+  j->begin = begin;
+  j->end = end;
+  j->chunk = chunk;
+  j->n_chunks.store(n_chunks, std::memory_order_relaxed);
+  j->cap = cap;
+  j->next.store(0, std::memory_order_relaxed);
+  j->done.store(0, std::memory_order_relaxed);
+  j->cancelled.store(false, std::memory_order_relaxed);
+  j->has_error.store(false, std::memory_order_relaxed);
+  j->error = nullptr;
+  // fetch_add, NOT store: a worker that attached to the slot's previous
+  // life may still be about to decrement; a store would erase its
+  // pending decrement and underflow the count.
+  j->claimants.fetch_add(1, std::memory_order_acq_rel);
+  j->state.store(kActive, std::memory_order_release);
+  wake_workers(g);
+
+  work_on(*j);  // the master claims chunks like everyone else
+
+  if (j->done.load(std::memory_order_acquire) != n_chunks) {
+    for (int s = 0; s < kSpinIters &&
+                    j->done.load(std::memory_order_acquire) != n_chunks;
+         ++s) {
+      std::this_thread::yield();
+    }
+    if (j->done.load(std::memory_order_acquire) != n_chunks) {
+      std::unique_lock<std::mutex> lk(j->mu);
+      j->cv.wait(lk, [&] {
+        return j->done.load(std::memory_order_acquire) == n_chunks;
+      });
+    }
+  }
+
+  // Release protocol (order matters — see help_board):
+  //   1. leave ACTIVE so new attachers fail their re-check,
+  //   2. CAS claimants 1 -> 0 (retry while stragglers are attached;
+  //      the CAS is the release operation a late attacher's acquire
+  //      fetch_add synchronizes with),
+  //   3. only then return the slot to FREE for reuse.
+  j->state.store(kDraining, std::memory_order_release);
+  for (;;) {
+    std::uint32_t one = 1;
+    if (j->claimants.compare_exchange_weak(one, 0,
+                                           std::memory_order_acq_rel)) {
+      break;
+    }
+    std::this_thread::yield();
+  }
+  std::exception_ptr err;
+  if (j->has_error.load(std::memory_order_acquire)) err = j->error;
+  j->error = nullptr;
+  j->fn = nullptr;
+  j->ctx = nullptr;
+  j->state.store(kFree, std::memory_order_release);
+  if (err) std::rethrow_exception(err);
+}
+
+void TaskEngine::submit(std::function<void()> task) {
+  EngineState* g = state();
+  ensure_workers(2);  // at least one worker so tasks make progress
+  {
+    std::lock_guard<std::mutex> lk(g->task_mu);
+    g->tasks.push_back(std::move(task));
+    g->tasks_outstanding.fetch_add(1, std::memory_order_relaxed);
+  }
+  wake_workers(g);
+}
+
+void TaskEngine::wait_tasks_idle() {
+  EngineState* g = state();
+  while (run_one_task(g)) {  // help drain instead of just blocking
+  }
+  std::unique_lock<std::mutex> lk(g->task_mu);
+  g->tasks_idle_cv.wait(lk, [&] {
+    return g->tasks_outstanding.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace ccovid

@@ -1,0 +1,92 @@
+// TaskEngine: the process-wide work-stealing execution engine backing
+// every parallel_for in the library (OpenMP is gone — see
+// core/parallel.h for the loop-facing API).
+//
+// Design
+// ------
+//  * One persistent pool of workers, grown lazily to the largest width
+//    ever requested and parked (condition variable) when idle. Workers
+//    spin briefly before parking so back-to-back kernel launches — the
+//    steady state of a DDnet forward pass — never pay a futex wake.
+//  * Data-parallel loops are published to a fixed board of job slots
+//    (static storage, so a worker can never touch freed memory). Each
+//    job splits its index range into chunks whose size depends ONLY on
+//    (range, grain) — never on the thread count — and workers claim
+//    chunks with one fetch_add. Any thread, including the submitting
+//    one, may execute any chunk: scheduling is dynamic, results are
+//    bitwise independent of both width and claim order because every
+//    chunk owns a disjoint slice of the output.
+//  * Workers visit the job board in a per-thread PRNG order (seeded by
+//    the worker index), the classic work-stealing trick that keeps
+//    concurrent jobs from convoying on slot 0.
+//  * A job carries a concurrency cap: at most `cap` threads work on it
+//    simultaneously. The serving runtime uses this (via ParallelPin) as
+//    its per-request limit — four request executors share one engine
+//    and saturate the machine instead of statically partitioning it.
+//  * Exceptions thrown by a chunk are captured (first wins), remaining
+//    chunks are skipped, and the exception is rethrown on the thread
+//    that submitted the loop.
+//  * submit() enqueues a detached task; tasks may submit further tasks
+//    and may run parallel loops (workers that wait on a nested loop
+//    keep executing that loop's chunks, so progress never depends on a
+//    free worker).
+//
+// Lifetime: the engine is a leaky singleton — workers are parked, never
+// joined, and the heap they hold stays reachable, so process exit is
+// clean under LeakSanitizer without any shutdown ordering hazards.
+#pragma once
+
+#include <functional>
+
+#include "core/types.h"
+
+namespace ccovid {
+
+class TaskEngine {
+ public:
+  /// Chunk executor: fn(ctx, lo, hi) must process indices [lo, hi).
+  using RangeFn = void (*)(void* ctx, index_t lo, index_t hi);
+
+  static TaskEngine& instance();
+
+  /// Runs fn over [begin, end) in chunks of `chunk` indices, blocking
+  /// until every chunk finished. At most `cap` threads (0 = unlimited)
+  /// work on this loop concurrently; the calling thread always
+  /// participates. Rethrows the first exception a chunk raised.
+  /// The chunk partition is a pure function of (begin, end, chunk), so
+  /// results that are deterministic per index are bitwise identical at
+  /// every thread count.
+  void parallel_range(index_t begin, index_t end, index_t chunk,
+                      RangeFn fn, void* ctx, int cap);
+
+  /// Ensures at least `threads` lanes (the caller plus threads-1
+  /// workers) exist. Called by set_num_threads; growing is cheap and
+  /// the pool never shrinks (parked workers cost nothing but memory).
+  void ensure_workers(int threads);
+
+  /// Enqueues a detached task. Tasks run on engine workers, may submit
+  /// further tasks, and may run parallel loops. Exceptions escaping a
+  /// task terminate the process (tasks have no waiter to rethrow to) —
+  /// catch inside the task if failure is expected.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished. Parallel
+  /// loops are not tasks; they are always complete when parallel_range
+  /// returns.
+  void wait_tasks_idle();
+
+  /// Number of spawned workers (excluding callers). For tests/stats.
+  int worker_count() const;
+
+  /// True when the calling thread is an engine worker.
+  static bool on_worker_thread();
+
+  TaskEngine(const TaskEngine&) = delete;
+  TaskEngine& operator=(const TaskEngine&) = delete;
+
+ private:
+  TaskEngine() = default;
+  ~TaskEngine() = delete;  // leaky singleton, never destroyed
+};
+
+}  // namespace ccovid

@@ -7,23 +7,26 @@
 #include <new>
 #include <stdexcept>
 
+#include "core/alloc_cache.h"
+
 namespace ccovid {
 
 namespace {
 
 std::shared_ptr<real_t[]> allocate_aligned(index_t n) {
   if (n == 0) n = 1;  // keep a valid pointer for rank-0 / empty extents
-  void* p = nullptr;
   const std::size_t bytes =
       static_cast<std::size_t>(n) * sizeof(real_t);
-  // aligned_alloc requires size to be a multiple of alignment.
   const std::size_t padded =
       (bytes + kTensorAlignment - 1) / kTensorAlignment * kTensorAlignment;
-  p = std::aligned_alloc(kTensorAlignment, padded);
-  if (p == nullptr) throw std::bad_alloc();
+  // Exact-size block pool: steady-state inference cycles through the
+  // same tensor shapes, so after warm-up this recycles instead of
+  // touching the heap. Recycled blocks hold stale data — the memset
+  // preserves the constructor's zero-init contract.
+  void* p = cache_aligned_alloc(padded);
   std::memset(p, 0, padded);
   return std::shared_ptr<real_t[]>(static_cast<real_t*>(p),
-                                   [](real_t* q) { std::free(q); });
+                                   [](real_t* q) { cache_aligned_free(q); });
 }
 
 void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {

@@ -7,7 +7,7 @@
 namespace ccovid {
 
 /// Index type used for tensor extents and loop bounds. Signed so that
-/// reverse loops and OpenMP canonical loop forms are straightforward.
+/// reverse loops and subtraction-heavy bound arithmetic stay simple.
 using index_t = std::int64_t;
 
 /// All network and CT math is single precision, matching the paper

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/arena.h"
 #include "core/parallel.h"
 #include "ct/fft.h"
 
@@ -55,6 +56,10 @@ Tensor filter_sinogram(const Tensor& sinogram, const FanBeamGeometry& g,
   // Zero-pad to 2x next power of two to avoid circular wrap-around.
   const index_t padded = next_pow2(2 * nd);
   const auto kernel = ramp_kernel_circular(padded, ds, filter);
+  // The kernel spectrum is view-independent: transform it once and let
+  // every view reuse it (bitwise identical to transforming per view).
+  std::vector<cplx> fkernel(static_cast<std::size_t>(padded));
+  fft_real_forward(kernel.data(), padded, fkernel.data());
 
   Tensor out(sinogram.shape());
   const real_t* ip = sinogram.data();
@@ -63,18 +68,24 @@ Tensor filter_sinogram(const Tensor& sinogram, const FanBeamGeometry& g,
   parallel_for(
       0, g.num_views,
       [&](index_t v) {
-        std::vector<double> row(static_cast<std::size_t>(padded), 0.0);
+        // Per-view scratch lives in the executing thread's arena: after
+        // the first view a thread filters, its chunks are warm and the
+        // loop never touches the heap again.
+        ArenaScope scope;
+        double* row = scope.alloc_doubles(padded);
+        double* filtered = scope.alloc_doubles(padded);
+        auto* work = static_cast<cplx*>(
+            scope.alloc(static_cast<std::size_t>(padded) * sizeof(cplx)));
+        std::fill_n(row, padded, 0.0);
         // Cosine pre-weight: p' = p * SDD / sqrt(SDD^2 + u^2).
         for (index_t d = 0; d < nd; ++d) {
           const double u = g.det_coord(d);
           const double w = g.sdd_mm / std::hypot(g.sdd_mm, u);
-          row[static_cast<std::size_t>(d)] =
-              static_cast<double>(ip[v * nd + d]) * w;
+          row[d] = static_cast<double>(ip[v * nd + d]) * w;
         }
-        const auto filtered = fft_convolve_circular(row, kernel);
+        fft_convolve_with(row, fkernel.data(), padded, filtered, work);
         for (index_t d = 0; d < nd; ++d) {
-          op[v * nd + d] =
-              static_cast<real_t>(filtered[static_cast<std::size_t>(d)] * ds);
+          op[v * nd + d] = static_cast<real_t>(filtered[d] * ds);
         }
       },
       /*grain=*/1);

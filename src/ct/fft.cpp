@@ -13,11 +13,12 @@ index_t next_pow2(index_t n) {
   return p;
 }
 
-void fft(std::vector<cplx>& data, bool inverse) {
-  const std::size_t n = data.size();
-  if (!is_pow2(static_cast<index_t>(n))) {
+void fft(cplx* raw, index_t len, bool inverse) {
+  const std::size_t n = static_cast<std::size_t>(len);
+  if (!is_pow2(len)) {
     throw std::invalid_argument("fft: length must be a power of two");
   }
+  cplx* CCOVID_RESTRICT data = raw;
   // Bit-reversal permutation.
   for (std::size_t i = 1, j = 0; i < n; ++i) {
     std::size_t bit = n >> 1;
@@ -43,8 +44,25 @@ void fft(std::vector<cplx>& data, bool inverse) {
   }
   if (inverse) {
     const double inv_n = 1.0 / static_cast<double>(n);
-    for (auto& x : data) x *= inv_n;
+    for (std::size_t i = 0; i < n; ++i) data[i] *= inv_n;
   }
+}
+
+void fft(std::vector<cplx>& data, bool inverse) {
+  fft(data.data(), static_cast<index_t>(data.size()), inverse);
+}
+
+void fft_real_forward(const double* a, index_t n, cplx* out) {
+  for (index_t i = 0; i < n; ++i) out[i] = cplx(a[i], 0.0);
+  fft(out, n, false);
+}
+
+void fft_convolve_with(const double* a, const cplx* fb, index_t n,
+                       double* out, cplx* work) {
+  fft_real_forward(a, n, work);
+  for (index_t i = 0; i < n; ++i) work[i] *= fb[i];
+  fft(work, n, true);
+  for (index_t i = 0; i < n; ++i) out[i] = work[i].real();
 }
 
 std::vector<double> fft_convolve_circular(const std::vector<double>& a,
@@ -52,18 +70,12 @@ std::vector<double> fft_convolve_circular(const std::vector<double>& a,
   if (a.size() != b.size()) {
     throw std::invalid_argument("fft_convolve_circular: size mismatch");
   }
-  const std::size_t n = a.size();
-  std::vector<cplx> fa(n), fb(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    fa[i] = cplx(a[i], 0.0);
-    fb[i] = cplx(b[i], 0.0);
-  }
-  fft(fa, false);
-  fft(fb, false);
-  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
-  fft(fa, true);
-  std::vector<double> out(n);
-  for (std::size_t i = 0; i < n; ++i) out[i] = fa[i].real();
+  const index_t n = static_cast<index_t>(a.size());
+  std::vector<cplx> fb(a.size());
+  fft_real_forward(b.data(), n, fb.data());
+  std::vector<cplx> work(a.size());
+  std::vector<double> out(a.size());
+  fft_convolve_with(a.data(), fb.data(), n, out.data(), work.data());
   return out;
 }
 

@@ -17,9 +17,25 @@ bool is_pow2(index_t n);
 /// Smallest power of two >= n.
 index_t next_pow2(index_t n);
 
+/// In-place iterative Cooley–Tukey FFT over caller storage. `n` must be
+/// a power of two. `inverse` applies the conjugate transform and the
+/// 1/N scale. Raw-buffer form so hot loops can run it on arena scratch.
+void fft(cplx* data, index_t n, bool inverse);
+
 /// In-place iterative Cooley–Tukey FFT. `data.size()` must be a power of
 /// two. `inverse` applies the conjugate transform and the 1/N scale.
 void fft(std::vector<cplx>& data, bool inverse);
+
+/// Forward transform of a real sequence into caller storage (`out` gets
+/// the n complex spectrum values).
+void fft_real_forward(const double* a, index_t n, cplx* out);
+
+/// out[i] = (IFFT(FFT(a) .* fb))[i].real() for a real sequence `a` and a
+/// precomputed spectrum `fb` (from fft_real_forward). `work` is caller
+/// scratch of n cplx values. All-raw form: zero allocations, so the FBP
+/// ramp filter can run per-view entirely from arena memory.
+void fft_convolve_with(const double* a, const cplx* fb, index_t n,
+                       double* out, cplx* work);
 
 /// Circular convolution of two real sequences of equal power-of-two
 /// length via the FFT (used to apply the ramp-filter kernel).

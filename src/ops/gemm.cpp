@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/arena.h"
 #include "core/parallel.h"
 
 namespace ccovid::ops {
@@ -70,28 +71,50 @@ void sgemm(const real_t* a, const real_t* b, real_t* c, index_t m,
   parallel_for(
       0, row_blocks,
       [&](index_t rb) {
+        // Per-thread arena scratch for the packed B panels: each full
+        // 8-wide column strip of the (kc x nc) block is copied into a
+        // contiguous kc x 8 tile (ldb = 8), so the micro kernel streams
+        // B with unit stride instead of jumping n floats per row. The
+        // multiply-add order is unchanged — packing moves bytes, not
+        // the FP summation — so results stay bitwise identical.
+        ArenaScope scope;
+        real_t* bpack = scope.alloc_floats(kKc * kNc);
         const index_t i0 = rb * kMc;
         const index_t i1 = std::min(m, i0 + kMc);
         for (index_t p0 = 0; p0 < k; p0 += kKc) {
           const index_t p1 = std::min(k, p0 + kKc);
+          const index_t kc = p1 - p0;
           for (index_t j0 = 0; j0 < n; j0 += kNc) {
             const index_t j1 = std::min(n, j0 + kNc);
+            const index_t panels = (j1 - j0) / 8;  // full 8-wide strips
+            for (index_t t = 0; t < panels; ++t) {
+              const real_t* CCOVID_RESTRICT src = b + p0 * n + j0 + t * 8;
+              real_t* CCOVID_RESTRICT dst = bpack + t * kc * 8;
+              for (index_t p = 0; p < kc; ++p) {
+                for (int jj = 0; jj < 8; ++jj) {
+                  dst[p * 8 + jj] = src[p * n + jj];
+                }
+              }
+            }
             // Tile the (i0..i1, j0..j1) block with 4x8 micro tiles.
             index_t i = i0;
             for (; i + 4 <= i1; i += 4) {
               index_t j = j0;
               for (; j + 8 <= j1; j += 8) {
-                micro_kernel_4x8(a + i * k + p0, k, b + p0 * n + j, n,
-                                 c + i * n + j, n, p1 - p0);
+                micro_kernel_4x8(a + i * k + p0, k,
+                                 bpack + ((j - j0) / 8) * kc * 8, 8,
+                                 c + i * n + j, n, kc);
               }
               if (j < j1) {
+                // Narrow edge columns read B unpacked; the scalar edge
+                // kernel is not leading-dimension sensitive.
                 edge_kernel(a + i * k + p0, k, b + p0 * n + j, n,
-                            c + i * n + j, n, 4, j1 - j, p1 - p0);
+                            c + i * n + j, n, 4, j1 - j, kc);
               }
             }
             if (i < i1) {
               edge_kernel(a + i * k + p0, k, b + p0 * n + j0, n,
-                          c + i * n + j0, n, i1 - i, j1 - j0, p1 - p0);
+                          c + i * n + j0, n, i1 - i, j1 - j0, kc);
             }
           }
         }
@@ -109,17 +132,18 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   return c;
 }
 
-Tensor im2col(const Tensor& input, index_t ksize, Conv2dParams p) {
-  if (input.rank() != 4) {
-    throw std::invalid_argument("im2col: input must be NCHW");
-  }
+namespace {
+
+// Shared implementation of im2col writing into caller-owned storage —
+// either a Tensor (public im2col) or arena scratch (conv2d_gemm's hot
+// path, which must not touch the heap in steady state).
+void im2col_into(const Tensor& input, index_t ksize, Conv2dParams p,
+                 real_t* op) {
   const index_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
                 w = input.dim(3);
   const index_t ho = conv_out_extent(h, ksize, p.stride, p.pad);
   const index_t wo = conv_out_extent(w, ksize, p.stride, p.pad);
-  Tensor cols({n, c * ksize * ksize, ho * wo});
   const real_t* ip = input.data();
-  real_t* op = cols.data();
   parallel_for(
       0, n * c,
       [&](index_t job) {
@@ -145,6 +169,21 @@ Tensor im2col(const Tensor& input, index_t ksize, Conv2dParams p) {
         }
       },
       /*grain=*/1);
+}
+
+}  // namespace
+
+Tensor im2col(const Tensor& input, index_t ksize, Conv2dParams p) {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("im2col: input must be NCHW");
+  }
+  const index_t ho =
+      conv_out_extent(input.dim(2), ksize, p.stride, p.pad);
+  const index_t wo =
+      conv_out_extent(input.dim(3), ksize, p.stride, p.pad);
+  Tensor cols(
+      {input.dim(0), input.dim(1) * ksize * ksize, ho * wo});
+  im2col_into(input, ksize, p, cols.data());
   return cols;
 }
 
@@ -199,11 +238,17 @@ Tensor conv2d_gemm(const Tensor& input, const Tensor& weight,
   const index_t wo = conv_out_extent(input.dim(3), k, p.stride, p.pad);
   const index_t patch = input.dim(1) * k * k;
 
-  const Tensor cols = im2col(input, k, p);
+  // The column matrix is pure scratch: stage it in the calling
+  // thread's arena (workers inside the parallel loops may read it —
+  // the arena only dictates who frees) so steady-state inference never
+  // allocates here.
+  ArenaScope scope;
+  real_t* cols = scope.alloc_floats(n * patch * ho * wo);
+  im2col_into(input, k, p, cols);
   Tensor out({n, cout, ho, wo});
   for (index_t ni = 0; ni < n; ++ni) {
     // (Cout x patch) @ (patch x Ho*Wo).
-    sgemm(weight.data(), cols.data() + ni * patch * ho * wo,
+    sgemm(weight.data(), cols + ni * patch * ho * wo,
           out.data() + ni * cout * ho * wo, cout, patch, ho * wo);
   }
   if (bias.defined()) {

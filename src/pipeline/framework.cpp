@@ -107,6 +107,9 @@ std::vector<double> ComputeCovid19Pipeline::score_volumes(
   }
   serve::WorkerPool::Options popt;
   popt.workers = workers;
+  // Outer volume-level parallelism already covers the requested width;
+  // capping kernels at one engine lane per volume keeps total
+  // concurrency at `workers` as the caller sized it.
   popt.inner_threads = 1;
   serve::WorkerPool pool(popt);
   pool.for_each(static_cast<index_t>(volumes_hu.size()),

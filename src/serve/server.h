@@ -71,8 +71,10 @@ struct ServerOptions {
   std::size_t max_batch = 4;
   std::chrono::microseconds batch_delay{2000};
   int workers = 1;
-  /// parallel_for width inside each worker (see WorkerPool::Options).
-  int inner_threads = 1;
+  /// Per-request cap on shared-engine lanes for kernels inside a batch
+  /// (see WorkerPool::Options). 0 = uncapped: all workers' kernels
+  /// load-balance over one engine and saturate the machine.
+  int inner_threads = 0;
   /// Applied to requests whose own deadline is zero. zero = none.
   std::chrono::milliseconds default_deadline{0};
   /// Emulated accelerator residency per volume (seconds): workers sleep

@@ -3,11 +3,15 @@
 // ComputeCovid19Pipeline::score_volumes' parallel path, so the ROC bench
 // and the serving runtime exercise the same concurrency primitive.
 //
-// Each worker pins its thread-local parallel_for width (default 1):
-// kernels called from a worker run serially instead of forking a nested
-// OpenMP team, which (a) avoids oversubscribing the machine at
-// workers × num_threads and (b) makes results bit-identical regardless
-// of the worker count — the determinism the serving tests assert.
+// Pool threads are ORCHESTRATORS, not compute lanes: a job may sleep in
+// retry backoff or a device stall, so the pool keeps its own OS threads
+// instead of borrowing the TaskEngine's workers (a sleeping job must
+// never occupy a compute lane). The kernels a job calls fan out into
+// the shared engine; `inner_threads` is the per-job concurrency CAP on
+// that engine (via ParallelPin), not a partition. The default (0 = no
+// cap) lets a 4-worker server saturate every core through one shared
+// pool; results stay bit-identical for any worker count and any cap
+// because the engine's chunk boundaries depend only on (range, grain).
 //
 // The job queue is bounded: submit() blocks when all workers are busy
 // and the backlog is full, which propagates backpressure up to the
@@ -32,11 +36,13 @@ class WorkerPool {
  public:
   struct Options {
     int workers = 1;
-    /// Thread-local parallel_for width inside each worker; 0 leaves the
-    /// process default (nested kernel parallelism, non-deterministic
-    /// only in the sense of oversubscription — results stay per-volume
-    /// deterministic, but 1 is the production setting).
-    int inner_threads = 1;
+    /// Per-job cap on TaskEngine lanes for kernels called from a worker
+    /// (thread-local parallel_for width). 0 = uncapped: kernels use the
+    /// full shared engine, which dynamic chunk-claiming load-balances
+    /// across concurrent jobs. Set to 1 to force serial kernels (e.g.
+    /// when outer batch parallelism alone already covers the machine).
+    /// Results are bit-identical under every setting.
+    int inner_threads = 0;
     /// Job backlog bound; 0 = 2 * workers.
     std::size_t queue_capacity = 0;
   };

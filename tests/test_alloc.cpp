@@ -1,0 +1,230 @@
+// Zero-allocation steady-state suite: the allocation-counting hook
+// (core/alloc_cache.h) asserts that after warm-up, inference — from a
+// single conv2d up to full ccovid_serve request handling — performs no
+// fresh system-heap allocations. Recycled cache hits are free to happen;
+// what must stay flat is the count of allocations that reach the OS.
+//
+// Under ASan/TSan (or CCOVID_DISABLE_ALLOC_CACHE=1) the cache is
+// inactive and these tests skip: the property is then unmeasurable, and
+// sanitizer runs are about finding bugs, not allocation counts.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "core/alloc_cache.h"
+#include "core/arena.h"
+#include "core/parallel.h"
+#include "core/random.h"
+#include "core/tensor.h"
+#include "data/phantom.h"
+#include "nn/ddnet.h"
+#include "nn/layers.h"
+#include "ops/gemm.h"
+#include "serve/server.h"
+
+namespace ccovid {
+namespace {
+
+// ------------------------------------------------------------- arena
+
+TEST(Arena, ScopeRewindsAndChunksAreRetained) {
+  ScratchArena& arena = this_thread_arena();
+  {
+    ArenaScope scope;
+    real_t* a = scope.alloc_floats(1000);
+    ASSERT_NE(a, nullptr);
+    a[0] = 1.0f;
+    a[999] = 2.0f;
+  }
+  const std::size_t cap_after_first = arena.capacity();
+  EXPECT_GT(cap_after_first, 0u);
+  for (int i = 0; i < 16; ++i) {
+    ArenaScope scope;
+    real_t* a = scope.alloc_floats(1000);
+    double* d = scope.alloc_doubles(500);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(d, nullptr);
+  }
+  // Same-footprint scopes must reuse the warmed chunk, not grow.
+  EXPECT_EQ(arena.capacity(), cap_after_first);
+}
+
+TEST(Arena, NestedScopesAreLifo) {
+  ArenaScope outer;
+  real_t* a = outer.alloc_floats(64);
+  a[0] = 7.0f;
+  {
+    ArenaScope inner;
+    real_t* b = inner.alloc_floats(64);
+    b[0] = 9.0f;  // lives in the region above `a`
+  }
+  // After the inner scope rewound, the outer allocation is intact and
+  // the next outer allocation reuses the rewound region.
+  real_t* c = outer.alloc_floats(64);
+  EXPECT_EQ(a[0], 7.0f);
+  EXPECT_NE(a, c);
+}
+
+TEST(Arena, AlignmentIs64Bytes) {
+  ArenaScope scope;
+  for (int i = 0; i < 8; ++i) {
+    void* p = scope.alloc(40);  // deliberately not a multiple of 64
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  }
+}
+
+// ------------------------------------------------------- block pools
+
+TEST(AllocCache, TensorStorageIsRecycled) {
+  if (!alloc_cache_active()) {
+    GTEST_SKIP() << "alloc cache inactive (sanitizer build or disabled)";
+  }
+  const real_t* first;
+  {
+    Tensor t({64, 64});
+    t.at(0, 0) = 5.0f;
+    first = t.data();
+  }
+  Tensor again({64, 64});
+  // Exact-size pool: the freed block comes straight back...
+  EXPECT_EQ(again.data(), first);
+  // ...and the constructor's zero-init contract still holds.
+  EXPECT_EQ(again.at(0, 0), 0.0f);
+  EXPECT_EQ(again.abs_max(), 0.0f);
+}
+
+TEST(AllocCache, StatsMoveWhenCacheIsExercised) {
+  if (!alloc_cache_active()) {
+    GTEST_SKIP() << "alloc cache inactive (sanitizer build or disabled)";
+  }
+  const AllocCacheStats before = alloc_cache_stats();
+  for (int i = 0; i < 4; ++i) {
+    Tensor t({33, 17});
+    t.fill(1.0f);
+  }
+  const AllocCacheStats after = alloc_cache_stats();
+  EXPECT_GT(after.cached_frees, before.cached_frees);
+  EXPECT_GT(after.cached_allocs + after.fresh_system_allocs,
+            before.cached_allocs + before.fresh_system_allocs);
+}
+
+// ------------------------------------------- steady-state: kernels
+
+// Runs `iters` iterations of `body` after `warmup` warm-up iterations
+// and returns how many fresh system allocations the measured window
+// performed.
+template <typename Body>
+std::uint64_t fresh_allocs_steady_state(int warmup, int iters,
+                                        Body&& body) {
+  for (int i = 0; i < warmup; ++i) body();
+  const std::uint64_t before = fresh_system_allocs();
+  for (int i = 0; i < iters; ++i) body();
+  return fresh_system_allocs() - before;
+}
+
+TEST(AllocCache, MatmulSteadyStateIsAllocationFree) {
+  if (!alloc_cache_active()) {
+    GTEST_SKIP() << "alloc cache inactive (sanitizer build or disabled)";
+  }
+  ParallelPin pin(1);  // deterministic single-thread arena usage
+  Rng rng(3);
+  Tensor a({48, 96}), b({96, 32});
+  rng.fill_uniform(a, -1.0, 1.0);
+  rng.fill_uniform(b, -1.0, 1.0);
+  const std::uint64_t fresh = fresh_allocs_steady_state(
+      3, 8, [&] { Tensor c = ops::matmul(a, b); });
+  EXPECT_EQ(fresh, 0u) << "matmul allocated from the system heap in "
+                          "steady state";
+}
+
+TEST(AllocCache, Conv2dGemmSteadyStateIsAllocationFree) {
+  if (!alloc_cache_active()) {
+    GTEST_SKIP() << "alloc cache inactive (sanitizer build or disabled)";
+  }
+  ParallelPin pin(1);
+  Rng rng(5);
+  Tensor x({1, 4, 24, 24}), w({8, 4, 3, 3}), bias({8});
+  rng.fill_uniform(x, 0.0, 1.0);
+  rng.fill_uniform(w, -0.3, 0.3);
+  const std::uint64_t fresh = fresh_allocs_steady_state(3, 8, [&] {
+    Tensor y = ops::conv2d_gemm(x, w, bias, {1, 1});
+  });
+  EXPECT_EQ(fresh, 0u) << "conv2d_gemm allocated from the system heap "
+                          "in steady state";
+}
+
+TEST(AllocCache, DdnetEnhanceSteadyStateIsAllocationFree) {
+  if (!alloc_cache_active()) {
+    GTEST_SKIP() << "alloc cache inactive (sanitizer build or disabled)";
+  }
+  ParallelPin pin(1);
+  nn::seed_init_rng(3);
+  nn::DDnet net(nn::DDnetConfig::tiny());
+  net.set_training(false);
+  Tensor x({16, 16});
+  Rng rng(5);
+  rng.fill_uniform(x, 0.0, 1.0);
+  const std::uint64_t fresh =
+      fresh_allocs_steady_state(3, 8, [&] { Tensor y = net.enhance(x); });
+  EXPECT_EQ(fresh, 0u) << "DDnet forward allocated from the system heap "
+                          "in steady state";
+}
+
+// --------------------------------------------- steady-state: serving
+
+TEST(AllocCache, ServeRequestHandlingSteadyStateIsAllocationFree) {
+  if (!alloc_cache_active()) {
+    GTEST_SKIP() << "alloc cache inactive (sanitizer build or disabled)";
+  }
+  nn::seed_init_rng(3);
+  auto enh =
+      std::make_shared<pipeline::EnhancementAI>(nn::DDnetConfig::tiny());
+  auto seg = std::make_shared<pipeline::SegmentationAI>();
+  auto cls = std::make_shared<pipeline::ClassificationAI>();
+  enh->network().set_training(false);
+  seg->network().set_training(false);
+  cls->network().set_training(false);
+  auto pipe = std::make_shared<const pipeline::ComputeCovid19Pipeline>(
+      enh, seg, cls);
+
+  Rng rng(11);
+  const data::PhantomVolume vol = data::make_volume(2, 8, true, rng);
+
+  // One worker with serial kernels: every measured allocation happens on
+  // the same two long-lived threads (batcher + worker), whose arenas and
+  // pools the warm-up below fills. max_batch 1 keeps the micro-batch
+  // shape (and so every container size on the hot path) independent of
+  // scheduling timing — with larger batches, a batch composition the
+  // warm-up never produced would show up as a fresh allocation.
+  serve::ServerOptions opt;
+  opt.workers = 1;
+  opt.inner_threads = 1;
+  opt.max_batch = 1;
+  serve::InferenceServer server(pipe, opt);
+
+  // Closed loop with one request in flight: a burst would let the
+  // admission queue's depth (and with it deque block allocations) vary
+  // with scheduling timing, so a loaded machine could grow it past
+  // anything the warm-up ever saw.
+  const auto drive = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      if (server.submit(vol.hu).get().status != serve::RequestStatus::kOk) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  ASSERT_TRUE(drive(8));  // warm-up: arenas, pools, queue nodes
+  ASSERT_TRUE(drive(8));
+  const std::uint64_t before = fresh_system_allocs();
+  ASSERT_TRUE(drive(8));
+  const std::uint64_t fresh = fresh_system_allocs() - before;
+  server.shutdown();
+  EXPECT_EQ(fresh, 0u)
+      << "steady-state request handling reached the system heap";
+}
+
+}  // namespace
+}  // namespace ccovid

@@ -1,7 +1,10 @@
 // Golden-trace harness: FNV-1a digests of per-stage outputs for fixed
-// seeds, pinned single-threaded so every run of the same build is
-// bitwise identical. A digest mismatch means a refactor changed the
-// numerics — intentionally or not.
+// seeds. Every case recomputes its digest at kernel widths 1, 2 and 8
+// and requires all three to agree before comparing against the stored
+// value: the task engine partitions ranges as a pure function of
+// (range, grain), so thread count must never move a bit. A digest
+// mismatch means a refactor changed the numerics — intentionally or
+// not.
 //
 // Regenerating after an INTENTIONAL numeric change:
 //   ./tests/test_golden --update-golden
@@ -80,22 +83,39 @@ void check_golden(const std::string& name, std::uint64_t digest) {
       << "; otherwise this is a regression.";
 }
 
-// Every case pins kernels single-threaded: the digests assert bitwise
-// equality, which parallel reduction orders would break.
+// Computes `body()`'s digest under kernel widths 1, 2 and 8, asserts
+// the three agree bitwise (the engine's width-independence contract),
+// and returns the shared value for the golden comparison.
+template <typename Body>
+std::uint64_t digest_across_widths(Body&& body) {
+  std::uint64_t at1 = 0;
+  for (const int width : {1, 2, 8}) {
+    ParallelPin pin(width);
+    const std::uint64_t h = body();
+    if (width == 1) {
+      at1 = h;
+    } else {
+      EXPECT_EQ(hex64(h), hex64(at1))
+          << "digest moved between width 1 and width " << width
+          << ": chunk partition leaked thread count into the numerics";
+    }
+  }
+  return at1;
+}
 
 TEST(Golden, DdnetForward) {
-  ParallelPin pin(1);
   nn::seed_init_rng(3);
   nn::DDnet net(nn::DDnetConfig::tiny());
   net.set_training(false);
   Tensor x({16, 16});
   Rng rng(5);
   rng.fill_uniform(x, 0.0, 1.0);
-  check_golden("ddnet_forward_tiny_s3_in16", fnv1a64(net.enhance(x)));
+  const std::uint64_t h =
+      digest_across_widths([&] { return fnv1a64(net.enhance(x)); });
+  check_golden("ddnet_forward_tiny_s3_in16", h);
 }
 
 TEST(Golden, FbpReconstruction) {
-  ParallelPin pin(1);
   const ct::FanBeamGeometry g = ct::paper_geometry().scaled(32);
   const index_t n = g.image_px;
   Tensor mu({n, n});
@@ -106,14 +126,15 @@ TEST(Golden, FbpReconstruction) {
       if (x * x + y * y <= 0.09) mu.at(iy, ix) = 0.02f;
     }
   }
-  const Tensor sino = ct::forward_project(mu, g);
-  std::uint64_t h = fnv1a64(sino);
-  h = fnv1a64(ct::fbp_reconstruct(sino, g), h);
+  const std::uint64_t h = digest_across_widths([&] {
+    const Tensor sino = ct::forward_project(mu, g);
+    std::uint64_t d = fnv1a64(sino);
+    return fnv1a64(ct::fbp_reconstruct(sino, g), d);
+  });
   check_golden("fbp_disc32_sino_and_recon", h);
 }
 
 TEST(Golden, FullDiagnose) {
-  ParallelPin pin(1);
   nn::seed_init_rng(3);
   auto enh = std::make_shared<pipeline::EnhancementAI>(nn::DDnetConfig::tiny());
   auto seg = std::make_shared<pipeline::SegmentationAI>();
@@ -127,13 +148,17 @@ TEST(Golden, FullDiagnose) {
   const data::PhantomVolume vol = data::make_volume(2, 8, true, rng);
   // Digest the full-workflow AND the enhancement-off probability bits:
   // a drift in any stage moves at least one of them.
-  std::uint64_t h = kFnv1aOffset;
-  for (const bool enhance : {true, false}) {
-    const pipeline::Diagnosis d = pipe.diagnose(vol.hu, enhance, 0.5, nullptr);
-    h = fnv1a64(&d.probability, sizeof(d.probability), h);
-    const unsigned char pos = d.positive ? 1 : 0;
-    h = fnv1a64(&pos, 1, h);
-  }
+  const std::uint64_t h = digest_across_widths([&] {
+    std::uint64_t d = kFnv1aOffset;
+    for (const bool enhance : {true, false}) {
+      const pipeline::Diagnosis dx =
+          pipe.diagnose(vol.hu, enhance, 0.5, nullptr);
+      d = fnv1a64(&dx.probability, sizeof(dx.probability), d);
+      const unsigned char pos = dx.positive ? 1 : 0;
+      d = fnv1a64(&pos, 1, d);
+    }
+    return d;
+  });
   check_golden("diagnose_tiny_s3_vol8", h);
 }
 

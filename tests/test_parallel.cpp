@@ -1,0 +1,246 @@
+// TaskEngine / parallel_for unit suite: scheduling semantics the rest
+// of the library depends on — coverage at any width, width-independent
+// chunk boundaries, exception propagation, nested submission, and the
+// per-thread cap that the serving runtime uses as its request limit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/parallel.h"
+#include "core/task_engine.h"
+
+namespace ccovid {
+namespace {
+
+// Restores the process-global width on scope exit so suites don't leak
+// configuration into each other.
+struct WidthGuard {
+  explicit WidthGuard(int n) { set_num_threads(n); }
+  ~WidthGuard() { set_num_threads(0); }
+};
+
+TEST(Parallel, EmptyRangeRunsNothing) {
+  std::atomic<int> calls{0};
+  parallel_for(5, 5, [&](index_t) { calls.fetch_add(1); }, 1);
+  parallel_for(7, 3, [&](index_t) { calls.fetch_add(1); }, 1);
+  parallel_for_blocked(2, 2, [&](index_t, index_t) { calls.fetch_add(1); },
+                       1);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Parallel, CoversEveryIndexAtWidth8) {
+  WidthGuard width(8);
+  constexpr index_t kN = 10 * 1000 + 7;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  parallel_for(0, kN, [&](index_t i) { hits[i].fetch_add(1); },
+               /*grain=*/64);
+  for (index_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Parallel, BlockedPartitionIsWidthIndependent) {
+  // The determinism contract: chunk boundaries are a pure function of
+  // (range, grain). Collect them at width 1 and width 8 and compare.
+  const auto partition = [](int width) {
+    WidthGuard guard(width);
+    std::mutex mu;
+    std::set<std::pair<index_t, index_t>> blocks;
+    parallel_for_blocked(
+        0, 100000,
+        [&](index_t lo, index_t hi) {
+          std::lock_guard<std::mutex> lk(mu);
+          blocks.emplace(lo, hi);
+        },
+        /*grain=*/512);
+    return blocks;
+  };
+  const auto at1 = partition(1);
+  const auto at8 = partition(8);
+  // Width 1 runs the whole range as one inline block; width 8 must tile
+  // the identical index space exactly once.
+  index_t covered = 0;
+  index_t expected_next = 0;
+  for (const auto& [lo, hi] : at8) {
+    EXPECT_EQ(lo, expected_next);
+    expected_next = hi;
+    covered += hi - lo;
+  }
+  EXPECT_EQ(covered, 100000);
+  ASSERT_EQ(at1.size(), 1u);
+  EXPECT_EQ(*at1.begin(), (std::pair<index_t, index_t>{0, 100000}));
+}
+
+TEST(Parallel, SerialCutoffStaysInline) {
+  WidthGuard width(8);
+  const auto caller = std::this_thread::get_id();
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  parallel_for(
+      0, 100,
+      [&](index_t) {
+        std::lock_guard<std::mutex> lk(mu);
+        ids.insert(std::this_thread::get_id());
+      },
+      /*grain=*/1024);  // n < grain: must not reach the engine
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(*ids.begin(), caller);
+}
+
+TEST(Parallel, ExceptionPropagatesToCaller) {
+  WidthGuard width(4);
+  EXPECT_THROW(
+      parallel_for(
+          0, 1000,
+          [&](index_t i) {
+            if (i == 613) throw std::runtime_error("chunk failure");
+          },
+          /*grain=*/8),
+      std::runtime_error);
+  // The engine must stay healthy after a failed loop.
+  std::atomic<index_t> sum{0};
+  parallel_for(0, 1000, [&](index_t i) { sum.fetch_add(i); },
+               /*grain=*/8);
+  EXPECT_EQ(sum.load(), 1000 * 999 / 2);
+}
+
+TEST(Parallel, ExceptionInsideBlockedBody) {
+  WidthGuard width(4);
+  EXPECT_THROW(parallel_for_blocked(
+                   0, 100000,
+                   [&](index_t lo, index_t) {
+                     if (lo == 0) throw std::logic_error("bad block");
+                   },
+                   /*grain=*/512),
+               std::logic_error);
+}
+
+TEST(Parallel, NestedParallelForInsideBody) {
+  WidthGuard width(4);
+  std::atomic<index_t> total{0};
+  parallel_for(
+      0, 8,
+      [&](index_t) {
+        parallel_for(0, 1000, [&](index_t j) { total.fetch_add(j); },
+                     /*grain=*/64);
+      },
+      /*grain=*/1);
+  EXPECT_EQ(total.load(), 8 * (1000 * 999) / 2);
+}
+
+TEST(TaskEngine, SubmitRunsOnWorkerThread) {
+  auto& engine = TaskEngine::instance();
+  std::atomic<bool> on_worker{false};
+  std::atomic<bool> ran{false};
+  engine.submit([&] {
+    on_worker.store(TaskEngine::on_worker_thread());
+    ran.store(true);
+  });
+  // Poll rather than wait_tasks_idle(): the waiter helps drain the
+  // queue, so waiting immediately could run the task on this (master)
+  // thread and defeat the point of the assertion.
+  for (int i = 0; i < 2000 && !ran.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  engine.wait_tasks_idle();
+  ASSERT_TRUE(ran.load());
+  EXPECT_TRUE(on_worker.load());
+  EXPECT_FALSE(TaskEngine::on_worker_thread());
+}
+
+TEST(TaskEngine, NestedSubmitFromWorker) {
+  auto& engine = TaskEngine::instance();
+  std::atomic<int> stage{0};
+  engine.submit([&] {
+    stage.fetch_add(1);
+    engine.submit([&] {
+      stage.fetch_add(10);
+      // Grandchild: tasks may keep spawning tasks.
+      engine.submit([&] { stage.fetch_add(100); });
+    });
+  });
+  engine.wait_tasks_idle();
+  EXPECT_EQ(stage.load(), 111);
+}
+
+TEST(TaskEngine, ParallelLoopInsideSubmittedTask) {
+  auto& engine = TaskEngine::instance();
+  WidthGuard width(4);
+  std::atomic<index_t> sum{0};
+  engine.submit([&] {
+    parallel_for(0, 5000, [&](index_t i) { sum.fetch_add(i); },
+                 /*grain=*/64);
+  });
+  engine.wait_tasks_idle();
+  EXPECT_EQ(sum.load(), 5000 * 4999 / 2);
+}
+
+TEST(TaskEngine, WorkersGrowToRequestedWidth) {
+  set_num_threads(4);
+  EXPECT_GE(TaskEngine::instance().worker_count(), 3);
+  set_num_threads(0);
+}
+
+// Steal-fairness smoke test: with sleeping chunk bodies (so the master
+// cedes the CPU mid-job) at least one chunk must be claimed by a thread
+// other than the master. Sleeps keep this robust on single-core hosts.
+TEST(TaskEngine, StealFairnessSmoke) {
+  WidthGuard width(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  for (int attempt = 0; attempt < 5 && ids.size() < 2; ++attempt) {
+    parallel_for(
+        0, 32,
+        [&](index_t) {
+          {
+            std::lock_guard<std::mutex> lk(mu);
+            ids.insert(std::this_thread::get_id());
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        },
+        /*grain=*/1);
+  }
+  EXPECT_GE(ids.size(), 2u)
+      << "no worker ever stole a chunk across 5 sleeping loops";
+}
+
+TEST(TaskEngine, ParallelPinCapsLanesNotResults) {
+  WidthGuard width(8);
+  std::vector<int> out(4096, 0);
+  const auto run = [&] {
+    parallel_for(0, 4096, [&](index_t i) { out[i] = static_cast<int>(i); },
+                 /*grain=*/64);
+  };
+  run();
+  const std::vector<int> uncapped = out;
+  std::fill(out.begin(), out.end(), 0);
+  {
+    ParallelPin pin(1);  // capped: runs serially on this thread
+    EXPECT_EQ(thread_num_threads(), 1);
+    run();
+  }
+  EXPECT_EQ(thread_num_threads(), 0);
+  EXPECT_EQ(out, uncapped);
+}
+
+TEST(TaskEngine, ParallelPinNestsAndRestores) {
+  ParallelPin outer(3);
+  EXPECT_EQ(num_threads(), 3);
+  {
+    ParallelPin inner(2);
+    EXPECT_EQ(num_threads(), 2);
+  }
+  EXPECT_EQ(num_threads(), 3);
+}
+
+}  // namespace
+}  // namespace ccovid

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <string>
 
+#include "core/parallel.h"
 #include "core/serialize.h"
 #include "pipeline/framework.h"
 
@@ -29,10 +30,12 @@ int main(int argc, char** argv) {
       threshold = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--no-enhance")) {
       use_enhancement = false;
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      set_num_threads(std::atoi(argv[++i]));
     } else {
       std::printf(
           "usage: ccovid_diagnose --models D --input F "
-          "[--threshold T] [--no-enhance]\n");
+          "[--threshold T] [--no-enhance] [--threads N]\n");
       return !std::strcmp(argv[i], "--help") ? 0 : 1;
     }
   }

@@ -68,7 +68,7 @@ void usage() {
       "                    [--interval-ms MS] [--threshold T]\n"
       "                    [--no-enhance] [--models DIR] [--json PATH]\n"
       "                    [--failpoints SPECS] [--fault-seed S]\n"
-      "                    [--retries N] [--degrade]\n");
+      "                    [--retries N] [--degrade] [--threads N]\n");
 }
 
 bool parse(int argc, char** argv, ToolArgs& a) {
@@ -137,6 +137,9 @@ bool parse(int argc, char** argv, ToolArgs& a) {
       a.retries = std::atoi(v);
     } else if (!std::strcmp(arg, "--degrade")) {
       a.degrade = true;
+    } else if (!std::strcmp(arg, "--threads")) {
+      if (!(v = next(arg))) return false;
+      set_num_threads(std::atoi(v));
     } else {
       usage();
       return std::strcmp(arg, "--help") == 0 ? (std::exit(0), false)

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "core/image_io.h"
+#include "core/parallel.h"
 #include "core/serialize.h"
 #include "ct/hu.h"
 #include "data/lowdose.h"
@@ -44,10 +45,12 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (!std::strcmp(argv[i], "--photons") && i + 1 < argc) {
       photons = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      set_num_threads(std::atoi(argv[++i]));
     } else {
       std::printf(
           "usage: ccovid_sim --out F [--covid] [--depth D] [--px N] "
-          "[--seed S] [--photons B] [--pgm-dir DIR]\n");
+          "[--seed S] [--photons B] [--pgm-dir DIR] [--threads N]\n");
       return !std::strcmp(argv[i], "--help") ? 0 : 1;
     }
   }

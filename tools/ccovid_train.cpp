@@ -11,6 +11,7 @@
 #include <fstream>
 #include <string>
 
+#include "core/parallel.h"
 #include "ct/hu.h"
 #include "pipeline/classification_ai.h"
 #include "pipeline/enhancement_ai.h"
@@ -36,10 +37,12 @@ int main(int argc, char** argv) {
       epochs = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      set_num_threads(std::atoi(argv[++i]));
     } else {
       std::printf(
           "usage: ccovid_train --out-dir D [--px N] [--depth D] "
-          "[--volumes V] [--epochs E] [--seed S]\n");
+          "[--volumes V] [--epochs E] [--seed S] [--threads N]\n");
       return !std::strcmp(argv[i], "--help") ? 0 : 1;
     }
   }
