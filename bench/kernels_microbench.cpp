@@ -26,6 +26,8 @@
 #include "metrics/image_quality.h"
 #include "ops/gemm.h"
 #include "ops/ops.h"
+#include "trace/export.h"
+#include "trace/trace.h"
 
 using namespace ccovid;
 
@@ -201,7 +203,13 @@ struct ScalingRow {
 // Times every op at widths 1/2/4/8 and writes the JSON artifact. The
 // engine's workers are shared across widths; ParallelPin caps how many
 // lanes each dispatch may use without touching global configuration.
-int run_scaling_sweep(const std::string& path) {
+int run_scaling_sweep(const std::string& path, bool trace_on) {
+  if (trace_on) {
+    // The sweep emits ~1e5 spans; a deeper ring keeps wraparound losses
+    // out of the aggregate.
+    trace::set_ring_capacity(1 << 17);
+    trace::set_level(1);
+  }
   std::vector<ScalingRow> rows;
   const int widths[] = {1, 2, 4, 8};
 
@@ -252,6 +260,15 @@ int run_scaling_sweep(const std::string& path) {
     std::printf("width %d done (%zu rows)\n", t, rows.size());
   }
 
+  std::string trace_json;
+  if (trace_on) {
+    const trace::Snapshot snap = trace::snapshot();
+    std::printf("\ntrace spans (merged across threads):\n%s",
+                trace::table(trace::aggregate(snap)).c_str());
+    trace_json = trace::summary_json(snap);
+    trace::set_level(0);
+  }
+
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -265,7 +282,9 @@ int run_scaling_sweep(const std::string& path) {
                  i ? "," : "", rows[i].op.c_str(), rows[i].threads,
                  rows[i].ns_per_iter);
   }
-  std::fprintf(f, "]}\n");
+  std::fprintf(f, "]");
+  if (!trace_json.empty()) std::fprintf(f, ",\"trace\":%s", trace_json.c_str());
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
   return 0;
@@ -325,8 +344,21 @@ BENCHMARK(BM_Conv2dThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 // Custom main so `--scaling-json PATH` can bypass google-benchmark and
 // run the JSON-emitting sweep instead.
 int main(int argc, char** argv) {
+  // --trace enables span collection during the sweep: the aggregated
+  // per-span table is printed and a "trace" summary object is merged
+  // into the JSON artifact. Leave it off for committed BENCH numbers.
+  bool trace_on = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_on = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
   if (argc >= 2 && std::strcmp(argv[1], "--scaling-json") == 0) {
-    return run_scaling_sweep(argc >= 3 ? argv[2] : "BENCH_kernels.json");
+    return run_scaling_sweep(argc >= 3 ? argv[2] : "BENCH_kernels.json",
+                             trace_on);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

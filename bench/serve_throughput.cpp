@@ -33,6 +33,8 @@
 #include "hetero/ddnet_counts.h"
 #include "nn/layers.h"
 #include "serve/server.h"
+#include "trace/export.h"
+#include "trace/trace.h"
 
 using namespace ccovid;
 
@@ -237,6 +239,7 @@ int main(int argc, char** argv) {
   double stall_ms = -1.0;  // <0 = derive from the device model
   std::string device = "V100";
   std::string json_name = "serve_throughput.json";
+  bool trace_on = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--stall-ms") && i + 1 < argc) {
       stall_ms = std::atof(argv[++i]);
@@ -244,7 +247,13 @@ int main(int argc, char** argv) {
       device = argv[++i];
     } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
       json_name = argv[++i];  // e.g. BENCH_serve.json for CI tracking
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      trace_on = true;  // leave off for committed BENCH numbers
     }
+  }
+  if (trace_on) {
+    trace::set_ring_capacity(1 << 17);
+    trace::set_level(1);
   }
 
   index_t depth = 4, px = 16;
@@ -387,9 +396,18 @@ int main(int argc, char** argv) {
     append_run_json(json, runs[i]);
   }
   std::snprintf(buf, sizeof(buf),
-                "],\"speedup_4v1_closed\":%.3f,\"deterministic\":%s}",
+                "],\"speedup_4v1_closed\":%.3f,\"deterministic\":%s",
                 speedup, deterministic ? "true" : "false");
   json += buf;
+  if (trace_on) {
+    // Per-span summary over the whole sweep, merged across every
+    // submitter/batcher/worker thread before quantile extraction.
+    const trace::Snapshot snap = trace::snapshot();
+    std::printf("\ntrace spans (merged across threads):\n%s",
+                trace::table(trace::aggregate(snap)).c_str());
+    json += ",\"trace\":" + trace::summary_json(snap);
+  }
+  json += "}";
 
   const std::string path = args.out_dir + "/" + json_name;
   std::FILE* f = std::fopen(path.c_str(), "w");

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# CI driver: release build + full suite, a runtime budget on the fast
+# suite, then the sanitizer presets over the concurrency-heavy suites —
+# including test_trace, whose snapshot-while-writing test is the one the
+# trace ring's relaxed-atomic slot design exists to keep race-free.
+#
+# Environment knobs:
+#   FAST_BUDGET_S  fast-suite wall-clock budget in seconds (default 120)
+#   SKIP_SANITIZERS=1  release build + budget check only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+FAST_BUDGET_S=${FAST_BUDGET_S:-120}
+
+cmake --preset default
+cmake --build --preset default -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+# Budget check: the sanitizer loops below iterate on `ctest -L fast`,
+# so the fast suite staying fast is itself a CI invariant.
+start=$(date +%s)
+ctest --test-dir build -L fast --output-on-failure
+elapsed=$(( $(date +%s) - start ))
+echo "fast suite: ${elapsed}s (budget ${FAST_BUDGET_S}s)"
+if [ "$elapsed" -gt "$FAST_BUDGET_S" ]; then
+  echo "error: 'ctest -L fast' took ${elapsed}s, over the ${FAST_BUDGET_S}s budget" >&2
+  exit 1
+fi
+
+if [ "${SKIP_SANITIZERS:-0}" = "1" ]; then
+  echo "SKIP_SANITIZERS=1: done."
+  exit 0
+fi
+
+for preset in tsan asan; do
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j"$JOBS"
+  ctest --preset "$preset-fast"
+  ctest --preset "$preset-trace"
+done

@@ -1,6 +1,8 @@
 #include "core/task_engine.h"
 
 #include <algorithm>
+
+#include "trace/trace.h"
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -152,7 +154,10 @@ bool help_board(EngineState* g) {
         j.claimants.fetch_add(1, std::memory_order_acq_rel);
     if (j.state.load(std::memory_order_acquire) == kActive &&
         (j.cap == 0 || static_cast<int>(c) < j.cap)) {
-      did |= work_on(j);
+      if (work_on(j)) {
+        did = true;
+        TRACE_INSTANT_V("engine.steal");
+      }
     }
     j.claimants.fetch_sub(1, std::memory_order_acq_rel);
   }
@@ -205,6 +210,7 @@ void worker_loop(EngineState* g, int index) {
       std::this_thread::yield();
     }
     if (woke) continue;
+    TRACE_INSTANT_V("engine.park");
     std::unique_lock<std::mutex> lk(g->wake_mu);
     g->wake_cv.wait(lk, [&] {
       return g->epoch.load(std::memory_order_relaxed) != epoch;
@@ -287,6 +293,9 @@ void TaskEngine::parallel_range(index_t begin, index_t end, index_t chunk,
   // life may still be about to decrement; a store would erase its
   // pending decrement and underflow the count.
   j->claimants.fetch_add(1, std::memory_order_acq_rel);
+  // Publish-through-drain on the master: covers the job's whole lifetime
+  // (wake, own chunks, straggler wait) without touching worker lanes.
+  TRACE_SPAN_V("engine.dispatch");
   j->state.store(kActive, std::memory_order_release);
   wake_workers(g);
 

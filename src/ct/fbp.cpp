@@ -7,6 +7,7 @@
 #include "core/arena.h"
 #include "core/parallel.h"
 #include "ct/fft.h"
+#include "trace/trace.h"
 
 namespace ccovid::ct {
 
@@ -43,6 +44,7 @@ std::vector<double> ramp_kernel_circular(index_t len, double du,
 
 Tensor filter_sinogram(const Tensor& sinogram, const FanBeamGeometry& g,
                        RampFilter filter) {
+  TRACE_SPAN("ct.fbp.filter");
   if (sinogram.rank() != 2 || sinogram.dim(0) != g.num_views ||
       sinogram.dim(1) != g.num_dets) {
     throw std::invalid_argument("filter_sinogram: sinogram/geometry mismatch");
@@ -93,6 +95,7 @@ Tensor filter_sinogram(const Tensor& sinogram, const FanBeamGeometry& g,
 }
 
 Tensor backproject(const Tensor& filtered, const FanBeamGeometry& g) {
+  TRACE_SPAN("ct.fbp.backproject");
   const index_t n = g.image_px;
   const index_t nd = g.num_dets;
   const double px = g.pixel_size();

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include "trace/trace.h"
 
 namespace ccovid::ct {
 
@@ -59,6 +60,7 @@ void fft_real_forward(const double* a, index_t n, cplx* out) {
 
 void fft_convolve_with(const double* a, const cplx* fb, index_t n,
                        double* out, cplx* work) {
+  TRACE_SPAN("ct.fft.convolve");
   fft_real_forward(a, n, work);
   for (index_t i = 0; i < n; ++i) work[i] *= fb[i];
   fft(work, n, true);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "trace/trace.h"
 
 namespace ccovid::ct {
 
@@ -91,6 +92,7 @@ double siddon_line_integral(const Tensor& mu, const FanBeamGeometry& g,
 }
 
 Tensor forward_project(const Tensor& mu, const FanBeamGeometry& g) {
+  TRACE_SPAN("ct.siddon.forward");
   if (!g.valid()) throw std::invalid_argument("forward_project: bad geometry");
   if (mu.rank() != 2 || mu.dim(0) != g.image_px || mu.dim(1) != g.image_px) {
     throw std::invalid_argument("forward_project: image must be (N, N) = " +

@@ -10,6 +10,7 @@
 #include "core/parallel.h"
 #include "core/timer.h"
 #include "fault/failpoint.h"
+#include "trace/trace.h"
 
 #include <cmath>
 #include <ctime>
@@ -116,6 +117,9 @@ EpochStats DdpTrainer::train_epoch(index_t dataset_size,
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(world));
   auto worker = [&](int rank) {
     fault::ScopedThreadOrdinal ordinal(rank);
+    // Rank as correlation id: each rank's spans form one lane in the
+    // chrome view, so straggler stalls and allreduce waits line up.
+    trace::ScopedCorrelation lane(static_cast<std::uint64_t>(rank) + 1);
     const double cpu0 = thread_cpu_seconds();
     std::vector<real_t> flat(static_cast<std::size_t>(grad_len));
     for (index_t s = 0; s < steps; ++s) {
@@ -129,23 +133,26 @@ EpochStats DdpTrainer::train_epoch(index_t dataset_size,
       for (index_t i = 0; i < cfg_.per_worker_batch; ++i) {
         shard.push_back(order[base + i]);
       }
-      autograd::Var loss = loss_fn(*models_[rank], rank, shard);
-      rank_loss[rank] += static_cast<double>(loss.value().at(0));
-      optims_[rank]->zero_grad();
-      loss.backward();
+      {
+        TRACE_SPAN("ddp.compute");
+        autograd::Var loss = loss_fn(*models_[rank], rank, shard);
+        rank_loss[rank] += static_cast<double>(loss.value().at(0));
+        optims_[rank]->zero_grad();
+        loss.backward();
 
-      // Flatten gradients in deterministic parameter order.
-      auto params = models_[rank]->parameters();
-      index_t off = 0;
-      for (auto& p : params) {
-        const index_t n = p.value().numel();
-        if (p.has_grad()) {
-          std::memcpy(flat.data() + off, p.grad().data(),
-                      static_cast<std::size_t>(n) * sizeof(real_t));
-        } else {
-          std::fill_n(flat.data() + off, n, 0.0f);
+        // Flatten gradients in deterministic parameter order.
+        auto params = models_[rank]->parameters();
+        index_t off = 0;
+        for (auto& p : params) {
+          const index_t n = p.value().numel();
+          if (p.has_grad()) {
+            std::memcpy(flat.data() + off, p.grad().data(),
+                        static_cast<std::size_t>(n) * sizeof(real_t));
+          } else {
+            std::fill_n(flat.data() + off, n, 0.0f);
+          }
+          off += n;
         }
-        off += n;
       }
       // Local-gradient poisoning BEFORE the all-reduce: the sum carries
       // the NaN/flipped bits to every rank, the worst silent-divergence
@@ -158,20 +165,25 @@ EpochStats DdpTrainer::train_epoch(index_t dataset_size,
                                f.seed, f.count);
         }
       }
-      world_.all_reduce_sum(rank, flat);
-      if (cfg_.check_finite_grads) {
-        for (const real_t g : flat) {
-          if (!std::isfinite(g)) {
-            throw StageError("dist.grad.allreduce",
-                             "non-finite gradient after all-reduce at rank " +
-                                 std::to_string(rank) + ", step " +
-                                 std::to_string(s));
+      {
+        TRACE_SPAN("ddp.allreduce");
+        world_.all_reduce_sum(rank, flat);
+        if (cfg_.check_finite_grads) {
+          for (const real_t g : flat) {
+            if (!std::isfinite(g)) {
+              throw StageError("dist.grad.allreduce",
+                               "non-finite gradient after all-reduce at rank " +
+                                   std::to_string(rank) + ", step " +
+                                   std::to_string(s));
+            }
           }
         }
       }
       // Average and scatter back.
+      TRACE_SPAN("ddp.apply");
+      auto params = models_[rank]->parameters();
       const real_t inv = 1.0f / static_cast<real_t>(world);
-      off = 0;
+      index_t off = 0;
       for (auto& p : params) {
         const index_t n = p.value().numel();
         if (p.has_grad()) {

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "core/tensor.h"
+#include "trace/trace.h"
 
 namespace ccovid::fault {
 
@@ -242,6 +243,12 @@ Fired Failpoint::eval() {
         (sched_.trigger == Schedule::Trigger::kTimes && fires_ >= sched_.k);
     if (done && disarm_locked()) Registry::armed_count_.fetch_sub(1);
   }
+  // Fires show up in traces as instants named after the site, carrying
+  // the per-fire seed as the correlation id — chaos runs can match every
+  // injected fault to the request/rank timeline it landed in. name_ is
+  // never destroyed (failpoints leak by design), so c_str() is a valid
+  // trace name.
+  if (f) TRACE_INSTANT_ID(name_.c_str(), f.seed);
   // Side-effect actions run outside the lock so stalled threads don't
   // serialize other failpoint evaluations.
   if (f.action == Action::kDelay && f.delay_s > 0.0) {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "trace/trace.h"
 
 namespace ccovid::ops {
 
@@ -34,6 +35,7 @@ void check_param(const Tensor& p, index_t c, const char* name) {
 Tensor batch_norm_train(const Tensor& input, const Tensor& gamma,
                         const Tensor& beta, BatchNormStats& stats,
                         real_t eps) {
+  TRACE_SPAN("ops.batch_norm_train");
   const NCS d = split_ncs(input);
   check_param(gamma, d.c, "gamma");
   check_param(beta, d.c, "beta");
@@ -87,6 +89,7 @@ Tensor batch_norm_train(const Tensor& input, const Tensor& gamma,
 Tensor batch_norm_infer(const Tensor& input, const Tensor& gamma,
                         const Tensor& beta, const Tensor& running_mean,
                         const Tensor& running_var, real_t eps) {
+  TRACE_SPAN("ops.batch_norm_infer");
   const NCS d = split_ncs(input);
   check_param(gamma, d.c, "gamma");
   check_param(beta, d.c, "beta");

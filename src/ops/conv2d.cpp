@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "trace/trace.h"
 
 namespace ccovid::ops {
 
@@ -135,6 +136,7 @@ index_t conv_out_extent(index_t in, index_t ksize, index_t stride,
 Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
               Conv2dParams p, const KernelOptions& opt) {
   check_conv_args(input, weight, bias, p);
+  TRACE_SPAN("ops.conv2d");
   const index_t n = input.dim(0), cin = input.dim(1), h = input.dim(2),
                 w = input.dim(3);
   const index_t cout = weight.dim(0), k = weight.dim(2);

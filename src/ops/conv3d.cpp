@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "trace/trace.h"
 
 namespace ccovid::ops {
 
@@ -37,6 +38,7 @@ void check_args(const Tensor& input, const Tensor& weight,
 Tensor conv3d(const Tensor& input, const Tensor& weight, const Tensor& bias,
               Conv3dParams p) {
   check_args(input, weight, bias, p);
+  TRACE_SPAN("ops.conv3d");
   const index_t n = input.dim(0), cin = input.dim(1), d = input.dim(2),
                 h = input.dim(3), w = input.dim(4);
   const index_t cout = weight.dim(0), k = weight.dim(2);

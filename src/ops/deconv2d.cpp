@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "trace/trace.h"
 
 namespace ccovid::ops {
 
@@ -167,6 +168,7 @@ Tensor deconv2d(const Tensor& input, const Tensor& weight,
                 const Tensor& bias, Deconv2dParams p,
                 const KernelOptions& opt) {
   check_deconv_args(input, weight, bias, p);
+  TRACE_SPAN("ops.deconv2d");
   const index_t n = input.dim(0), cin = input.dim(1), h = input.dim(2),
                 w = input.dim(3);
   const index_t cout = weight.dim(1), k = weight.dim(2);

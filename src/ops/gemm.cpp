@@ -6,6 +6,7 @@
 
 #include "core/arena.h"
 #include "core/parallel.h"
+#include "trace/trace.h"
 
 namespace ccovid::ops {
 
@@ -123,6 +124,7 @@ void sgemm(const real_t* a, const real_t* b, real_t* c, index_t m,
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
+  TRACE_SPAN("ops.gemm.matmul");
   if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
     throw std::invalid_argument("matmul: shapes " + a.shape().str() +
                                 " x " + b.shape().str());
@@ -229,6 +231,7 @@ Tensor col2im(const Tensor& cols, index_t channels, index_t h, index_t w,
 
 Tensor conv2d_gemm(const Tensor& input, const Tensor& weight,
                    const Tensor& bias, Conv2dParams p) {
+  TRACE_SPAN("ops.conv2d.gemm");
   if (weight.rank() != 4 || weight.dim(1) != input.dim(1)) {
     throw std::invalid_argument("conv2d_gemm: weight shape mismatch");
   }

@@ -3,11 +3,13 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "trace/trace.h"
 
 namespace ccovid::ops {
 
 Tensor linear(const Tensor& input, const Tensor& weight,
               const Tensor& bias) {
+  TRACE_SPAN("ops.linear");
   if (input.rank() != 2 || weight.rank() != 2 ||
       input.dim(1) != weight.dim(1)) {
     throw std::invalid_argument("linear: shapes " + input.shape().str() +

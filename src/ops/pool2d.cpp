@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "trace/trace.h"
 
 namespace ccovid::ops {
 
@@ -25,6 +26,7 @@ void check_pool_args(const Tensor& input, const Pool2dParams& p) {
 }  // namespace
 
 MaxPool2dResult max_pool2d(const Tensor& input, Pool2dParams p) {
+  TRACE_SPAN("ops.max_pool2d");
   check_pool_args(input, p);
   const index_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
                 w = input.dim(3);
@@ -96,6 +98,7 @@ Tensor max_pool2d_backward(const Tensor& grad_out,
 }
 
 Tensor avg_pool2d(const Tensor& input, Pool2dParams p) {
+  TRACE_SPAN("ops.avg_pool2d");
   check_pool_args(input, p);
   const index_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
                 w = input.dim(3);

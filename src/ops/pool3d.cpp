@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "trace/trace.h"
 
 namespace ccovid::ops {
 
@@ -25,6 +26,7 @@ void check_args(const Tensor& input, const Pool3dParams& p) {
 }  // namespace
 
 MaxPool3dResult max_pool3d(const Tensor& input, Pool3dParams p) {
+  TRACE_SPAN("ops.max_pool3d");
   check_args(input, p);
   const index_t n = input.dim(0), c = input.dim(1), d = input.dim(2),
                 h = input.dim(3), w = input.dim(4);
@@ -100,6 +102,7 @@ Tensor max_pool3d_backward(const Tensor& grad_out,
 }
 
 Tensor avg_pool3d(const Tensor& input, Pool3dParams p) {
+  TRACE_SPAN("ops.avg_pool3d");
   check_args(input, p);
   const index_t n = input.dim(0), c = input.dim(1), d = input.dim(2),
                 h = input.dim(3), w = input.dim(4);
@@ -180,6 +183,7 @@ Tensor avg_pool3d_backward(const Tensor& grad_out, Pool3dParams p,
 }
 
 Tensor global_avg_pool3d(const Tensor& input) {
+  TRACE_SPAN("ops.global_avg_pool3d");
   if (input.rank() != 5) {
     throw std::invalid_argument("global_avg_pool3d: input must be NCDHW");
   }

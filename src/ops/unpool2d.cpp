@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "trace/trace.h"
 
 namespace ccovid::ops {
 
@@ -29,6 +30,7 @@ Lerp make_lerp(index_t o, index_t scale, index_t in_extent) {
 }  // namespace
 
 Tensor unpool2d_bilinear(const Tensor& input, index_t scale) {
+  TRACE_SPAN("ops.unpool2d");
   if (input.rank() != 4) {
     throw std::invalid_argument("unpool2d: input must be NCHW");
   }

@@ -9,6 +9,7 @@
 #include "data/dataset.h"
 #include "fault/failpoint.h"
 #include "serve/worker_pool.h"
+#include "trace/trace.h"
 
 namespace ccovid::pipeline {
 
@@ -31,14 +32,21 @@ Tensor ComputeCovid19Pipeline::prepare(const Tensor& volume_hu,
     throw std::invalid_argument("diagnose: expected a (D, H, W) HU volume");
   }
   WallTimer timer;
-  // §2.1 preparation: strip circular-FOV padding, then normalize.
-  const Tensor cleaned = data::remove_circular_fov_volume(volume_hu);
-  Tensor norm = ct::normalize_hu(cleaned);
+  Tensor norm;
+  {
+    TRACE_SPAN("pipeline.prepare");
+    // §2.1 preparation: strip circular-FOV padding, then normalize.
+    const Tensor cleaned = data::remove_circular_fov_volume(volume_hu);
+    norm = ct::normalize_hu(cleaned);
+  }
   if (times) times->prepare_s = timer.seconds();
   finite_check(norm, "pipeline.prepare.output");
   if (use_enhancement) {
     timer.reset();
-    norm = enhancement_->enhance_volume(norm);
+    {
+      TRACE_SPAN("pipeline.enhance");
+      norm = enhancement_->enhance_volume(norm);
+    }
     if (times) times->enhance_s = timer.seconds();
     // NaN sentinel after the AI stage most prone to numeric blow-up; the
     // failpoint simulates that blow-up (nan(K) schedules) so retry /
@@ -52,7 +60,11 @@ Tensor ComputeCovid19Pipeline::prepare(const Tensor& volume_hu,
   }
   // §3.2: lung mask multiplied into the scan.
   timer.reset();
-  Tensor masked = segmentation_->segment_and_mask(norm);
+  Tensor masked;
+  {
+    TRACE_SPAN("pipeline.segment");
+    masked = segmentation_->segment_and_mask(norm);
+  }
   if (times) times->segment_s = timer.seconds();
   finite_check(masked, "pipeline.segment.output");
   return masked;
@@ -66,7 +78,10 @@ Diagnosis ComputeCovid19Pipeline::diagnose(const Tensor& volume_hu,
   WallTimer timer;
   Diagnosis d;
   d.threshold = threshold;
-  d.probability = classification_->predict(masked);
+  {
+    TRACE_SPAN("pipeline.classify");
+    d.probability = classification_->predict(masked);
+  }
   if (!std::isfinite(d.probability)) {
     throw StageError("pipeline.classify.output",
                      "non-finite diagnosis probability");

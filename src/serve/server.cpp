@@ -5,6 +5,8 @@
 
 #include "core/finite.h"
 #include "fault/failpoint.h"
+#include "trace/export.h"
+#include "trace/trace.h"
 
 namespace ccovid::serve {
 
@@ -66,6 +68,14 @@ std::string InferenceServer::stats_json() const {
   // harness) can tell injected failures from organic ones.
   const std::string fp = fault::Registry::instance().json();
   if (fp != "{}") out.insert(out.size() - 1, ",\"failpoints\":" + fp);
+  // Trace summary (per-span count/total/p50/p99): aggregation merges
+  // every thread's ring into one duration set per span name BEFORE
+  // extracting quantiles, so the reported percentiles are workload
+  // quantiles even when inner threads outnumber workers.
+  if (trace::enabled()) {
+    out.insert(out.size() - 1,
+               ",\"trace\":" + trace::summary_json(trace::snapshot()));
+  }
   return out;
 }
 
@@ -85,6 +95,10 @@ std::future<DiagnoseResponse> InferenceServer::submit(const Tensor& volume_hu,
 
   auto req = std::make_unique<Request>();
   req->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  // Admission span on the submitter thread; the worker re-emits the same
+  // request id from execute/respond, stitching the request's timeline
+  // across threads.
+  TRACE_SPAN_ID("serve.admit", req->id);
   req->volume_hu = volume_hu;  // shallow copy, shared storage
   req->options = std::move(options);
   req->submit_time = Clock::now();
@@ -120,6 +134,10 @@ void InferenceServer::batcher_loop() {
   while (true) {
     std::vector<RequestPtr> batch = batcher_.next_batch();
     if (batch.empty()) break;  // queue closed and drained
+    // Dispatch span carries the batch's first request id and covers the
+    // (possibly blocking) hand-off to the pool, so backpressure stalls
+    // are visible on the batcher lane.
+    TRACE_SPAN_ID("serve.batch.dispatch", batch.front()->id);
     stats_.batches.fetch_add(1, std::memory_order_relaxed);
     stats_.batched_volumes.fetch_add(batch.size(),
                                      std::memory_order_relaxed);
@@ -134,6 +152,10 @@ void InferenceServer::batcher_loop() {
 }
 
 void InferenceServer::execute_batch(std::vector<RequestPtr> batch) {
+  TRACE_SPAN_ID("serve.batch.execute", batch.front()->id);
+  // Nested pipeline/op/ct spans on this worker inherit the lead request
+  // id, so kernel time is attributable to the batch that ran it.
+  trace::ScopedCorrelation corr(batch.front()->id);
   const Clock::time_point exec_start = Clock::now();
 
   // Deadline triage before any compute.
@@ -201,6 +223,7 @@ void InferenceServer::execute_batch(std::vector<RequestPtr> batch) {
     } catch (const std::exception& e) {
       ++attempts_failed;
       if (attempts_failed <= opt_.max_retries) {
+        TRACE_INSTANT_ID("serve.retry", live.front()->id);
         stats_.retried.fetch_add(1, std::memory_order_relaxed);
         if (backoff.count() > 0) {
           std::this_thread::sleep_for(backoff);
@@ -211,6 +234,7 @@ void InferenceServer::execute_batch(std::vector<RequestPtr> batch) {
       if (opt_.degrade_on_failure && !degraded &&
           items.front().use_enhancement) {
         degraded = true;
+        TRACE_INSTANT_ID("serve.degraded", live.front()->id);
         for (auto& item : items) item.use_enhancement = false;
         stats_.retried.fetch_add(1, std::memory_order_relaxed);
         continue;
@@ -231,6 +255,7 @@ void InferenceServer::execute_batch(std::vector<RequestPtr> batch) {
       std::chrono::duration<double>(Clock::now() - exec_start).count();
 
   for (std::size_t i = 0; i < live.size(); ++i) {
+    TRACE_SPAN_ID("serve.respond", live[i]->id);
     stats_.completed.fetch_add(1, std::memory_order_relaxed);
     if (degraded) stats_.degraded.fetch_add(1, std::memory_order_relaxed);
     DiagnoseResponse r;

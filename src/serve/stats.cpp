@@ -83,6 +83,19 @@ double LatencyHistogram::quantile(double q) const {
   return max_seconds();
 }
 
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+    if (n) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_ns_.fetch_add(other.sum_ns_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  atomic_min(min_ns_, other.min_ns_.load(std::memory_order_relaxed));
+  atomic_max(max_ns_, other.max_ns_.load(std::memory_order_relaxed));
+}
+
 void LatencyHistogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);

@@ -43,6 +43,13 @@ class LatencyHistogram {
   /// midpoint of the containing bucket; 0 when empty.
   double quantile(double q) const;
 
+  /// Folds `other`'s samples into this histogram. Per-worker histograms
+  /// MUST be merged before quantile extraction — a quantile of
+  /// per-worker quantiles is not a quantile of the workload (workers see
+  /// different load mixes). Safe against concurrent record() on either
+  /// side; the merged view is then a consistent superset snapshot.
+  void merge(const LatencyHistogram& other);
+
   void reset();
 
  private:

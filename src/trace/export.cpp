@@ -1,0 +1,168 @@
+#include "trace/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+namespace ccovid::trace {
+namespace {
+
+// Trace names are internal identifiers ("serve.request", failpoint
+// sites) — escaping quotes/backslashes/control bytes is all JSON needs.
+void append_escaped(std::string& out, const char* s) {
+  for (; *s; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += static_cast<char>(c);
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+// Fixed-notation seconds with ns resolution: decimal (not %g) so the
+// vclock golden output stays byte-stable across libc float formatting.
+void append_seconds(std::string& out, double s) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9f", s);
+  out += buf;
+}
+
+}  // namespace
+
+std::string chrome_json(const Snapshot& snap) {
+  std::string out;
+  out.reserve(128 + snap.events.size() * 96);
+  out += "[\n";
+  bool first = true;
+  for (const Event& e : snap.events) {
+    if (!first) out += ",\n";
+    first = false;
+    // ts/dur are µs (chrome's unit); ns-precision survives as fractions.
+    const double ts_us = static_cast<double>(e.t0_ns) / 1000.0;
+    const double dur_us = static_cast<double>(e.t1_ns - e.t0_ns) / 1000.0;
+    out += "{\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\",\"cat\":\"ccovid\",\"ph\":\"";
+    out += (e.kind == Kind::kInstant ? 'i' : 'X');
+    out += "\",\"pid\":1,\"tid\":";
+    append_u64(out, e.tid);
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f", ts_us);
+    out += buf;
+    if (e.kind == Kind::kInstant) {
+      out += ",\"s\":\"t\"";
+    } else {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", dur_us);
+      out += buf;
+    }
+    out += ",\"args\":{\"id\":";
+    append_u64(out, e.id);
+    out += ",\"depth\":";
+    append_u64(out, e.depth);
+    out += "}}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+bool write_chrome_json(const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  const std::string json = chrome_json(snapshot());
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return static_cast<bool>(f);
+}
+
+std::vector<SpanStat> aggregate(const Snapshot& snap) {
+  // Merge every thread's durations per name BEFORE extracting quantiles:
+  // quantiles of per-thread quantiles are not quantiles of the workload.
+  std::map<std::string, std::vector<std::uint64_t>> durations;
+  for (const Event& e : snap.events) {
+    if (e.kind != Kind::kSpan) continue;
+    durations[e.name].push_back(e.t1_ns - e.t0_ns);
+  }
+  std::vector<SpanStat> stats;
+  stats.reserve(durations.size());
+  for (auto& [name, ds] : durations) {
+    std::sort(ds.begin(), ds.end());
+    SpanStat st;
+    st.name = name;
+    st.count = ds.size();
+    std::uint64_t total = 0;
+    for (std::uint64_t d : ds) total += d;
+    st.total_s = 1e-9 * static_cast<double>(total);
+    auto nearest_rank = [&](double q) {
+      const std::size_t idx = std::min(
+          ds.size() - 1,
+          static_cast<std::size_t>(q * static_cast<double>(ds.size())));
+      return 1e-9 * static_cast<double>(ds[idx]);
+    };
+    st.p50_s = nearest_rank(0.50);
+    st.p99_s = nearest_rank(0.99);
+    stats.push_back(std::move(st));
+  }
+  std::sort(stats.begin(), stats.end(), [](const SpanStat& a, const SpanStat& b) {
+    if (a.total_s != b.total_s) return a.total_s > b.total_s;
+    return a.name < b.name;
+  });
+  return stats;
+}
+
+std::string table(const std::vector<SpanStat>& stats) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-32s %10s %12s %12s %12s\n", "span",
+                "count", "total_s", "p50_us", "p99_us");
+  out += line;
+  for (const SpanStat& st : stats) {
+    std::snprintf(line, sizeof(line),
+                  "%-32s %10" PRIu64 " %12.6f %12.3f %12.3f\n",
+                  st.name.c_str(), st.count, st.total_s, st.p50_s * 1e6,
+                  st.p99_s * 1e6);
+    out += line;
+  }
+  return out;
+}
+
+std::string summary_json(const Snapshot& snap) {
+  const std::vector<SpanStat> stats = aggregate(snap);
+  std::string out = "{\"events\":";
+  append_u64(out, snap.events.size());
+  out += ",\"dropped\":";
+  append_u64(out, snap.dropped);
+  out += ",\"spans\":[";
+  bool first = true;
+  for (const SpanStat& st : stats) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, st.name.c_str());
+    out += "\",\"count\":";
+    append_u64(out, st.count);
+    out += ",\"total_s\":";
+    append_seconds(out, st.total_s);
+    out += ",\"p50_s\":";
+    append_seconds(out, st.p50_s);
+    out += ",\"p99_s\":";
+    append_seconds(out, st.p99_s);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ccovid::trace

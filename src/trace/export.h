@@ -1,0 +1,48 @@
+// Exporters over a trace Snapshot: chrome://tracing JSON, an aggregated
+// per-span table (count/total/p50/p99), and a machine-readable summary
+// object for splicing into BENCH_*.json / serve stats JSON.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace ccovid::trace {
+
+/// Chrome trace-event JSON ("Trace Event Format", array-of-events form):
+/// spans become "X" complete events with ts/dur in µs, instants become
+/// "i" events; correlation ids land in args.id. Load via chrome://tracing
+/// or https://ui.perfetto.dev.
+std::string chrome_json(const Snapshot& snap);
+
+/// snapshot() + chrome_json() + write to `path`. Returns false (and
+/// writes nothing) on I/O failure.
+bool write_chrome_json(const std::string& path);
+
+/// Aggregated statistics for one span name, merged across ALL threads
+/// before quantile extraction (per-thread quantiles would skew p99 when
+/// workers see different load; see DESIGN.md §8).
+struct SpanStat {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+};
+
+/// Per-name stats over every span in the snapshot (instants are skipped
+/// — they have no duration), sorted by descending total time. Quantiles
+/// are nearest-rank over the merged duration set.
+std::vector<SpanStat> aggregate(const Snapshot& snap);
+
+/// Human-readable fixed-width table of aggregate(), one row per span.
+std::string table(const std::vector<SpanStat>& stats);
+
+/// JSON object (no trailing newline) of the form
+///   {"events":N,"dropped":D,"spans":[{"name":...,"count":...,
+///    "total_s":...,"p50_s":...,"p99_s":...},...]}
+/// for merging into BENCH_*.json and serve stats output.
+std::string summary_json(const Snapshot& snap);
+
+}  // namespace ccovid::trace

@@ -13,6 +13,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -25,6 +27,7 @@
 #include "fault/failpoint.h"
 #include "nn/ddnet.h"
 #include "nn/layers.h"
+#include "trace/trace.h"
 
 namespace ccovid {
 namespace {
@@ -247,6 +250,50 @@ TEST_F(ChaosDdp, GuardIsCleanOnFaultFreeTraffic) {
   const Outcome a = run_ddp_scenario(fp, 17, cfg);
   ASSERT_EQ(a.kind, Outcome::Kind::kCompleted);
   EXPECT_TRUE(a.lock_step);
+}
+
+}  // namespace
+}  // namespace ccovid
+
+namespace ccovid {
+namespace {
+
+// Tracing x DDP: failpoint fires surface as instants at their site, and
+// the step phases (compute / allreduce / apply) appear as spans on
+// per-rank lanes — each worker's ScopedCorrelation stamps rank+1 into
+// its spans, so a two-rank run shows exactly lanes {1, 2}.
+TEST_F(ChaosDdp, TraceRecordsFailpointFiresAndStepPhases) {
+  trace::set_level(1);
+  trace::clear();
+  const std::string fp = "dist.rank.straggler=thread(1)*every(2)*delay(1ms)";
+  const Outcome a = run_ddp_scenario(fp, 21, two_rank_config());
+  const trace::Snapshot snap = trace::snapshot();
+  trace::set_level(0);
+  trace::clear();
+  ASSERT_EQ(a.kind, Outcome::Kind::kCompleted);
+  EXPECT_TRUE(a.lock_step);
+
+  std::size_t fires = 0;
+  std::set<std::uint64_t> compute_lanes, allreduce_lanes, apply_lanes;
+  for (const auto& e : snap.events) {
+    if (e.name == nullptr) continue;
+    if (std::strcmp(e.name, "dist.rank.straggler") == 0) {
+      EXPECT_EQ(e.kind, trace::Kind::kInstant);
+      EXPECT_NE(e.id, 0u);  // per-fire seed
+      ++fires;
+    } else if (std::strcmp(e.name, "ddp.compute") == 0) {
+      compute_lanes.insert(e.id);
+    } else if (std::strcmp(e.name, "ddp.allreduce") == 0) {
+      allreduce_lanes.insert(e.id);
+    } else if (std::strcmp(e.name, "ddp.apply") == 0) {
+      apply_lanes.insert(e.id);
+    }
+  }
+  EXPECT_GT(fires, 0u) << "every(2) over 4 steps must fire on rank 1";
+  const std::set<std::uint64_t> want{1, 2};
+  EXPECT_EQ(compute_lanes, want);
+  EXPECT_EQ(allreduce_lanes, want);
+  EXPECT_EQ(apply_lanes, want);
 }
 
 }  // namespace

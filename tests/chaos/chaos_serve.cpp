@@ -15,8 +15,10 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <future>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,6 +28,7 @@
 #include "fault/failpoint.h"
 #include "nn/layers.h"
 #include "serve/server.h"
+#include "trace/trace.h"
 
 namespace ccovid {
 namespace {
@@ -296,6 +299,69 @@ TEST_F(ChaosServe, TryPopForDetectsStarvationWithoutHanging) {
   EXPECT_EQ(item, 7);
   q.close();
   EXPECT_EQ(q.try_pop_for(item, 1ms), serve::PopState::kClosed);
+}
+
+// Schedule 8: tracing x fault injection. Every fired failpoint must
+// surface in the trace as an instant named after its site and stamped
+// with the per-fire seed (fault/failpoint.cpp emits it on fire), and
+// the worker's resilience decisions emit serve.retry / serve.degraded
+// events. The (site, seed) multiset replays bitwise under the same
+// schedule seed.
+TEST_F(ChaosServe, FiredFailpointsAppearInTraceWithSiteAndSeed) {
+  auto opt = serialized_options();
+  opt.max_retries = 1;
+  opt.retry_backoff = std::chrono::milliseconds(1);
+  opt.degrade_on_failure = true;
+  const std::string fp = "pipeline.enhance.output=every(1)*nan(4)";
+
+  struct TraceCounts {
+    std::multiset<std::uint64_t> fire_seeds;
+    std::size_t retries = 0;
+    std::size_t degrades = 0;
+  };
+  auto traced_run = [&](ScenarioResult& res) {
+    trace::set_level(1);
+    trace::clear();
+    res = run_serialized(fp, 9, opt, 3);
+    const trace::Snapshot snap = trace::snapshot();
+    trace::set_level(0);
+    TraceCounts tc;
+    for (const auto& e : snap.events) {
+      if (e.name == nullptr) continue;
+      if (std::strcmp(e.name, "pipeline.enhance.output") == 0) {
+        EXPECT_EQ(e.kind, trace::Kind::kInstant);
+        EXPECT_NE(e.id, 0u) << "fire must carry its per-fire seed";
+        tc.fire_seeds.insert(e.id);
+      } else if (std::strcmp(e.name, "serve.retry") == 0) {
+        ++tc.retries;
+      } else if (std::strcmp(e.name, "serve.degraded") == 0) {
+        ++tc.degrades;
+      }
+    }
+    return tc;
+  };
+
+  ScenarioResult a;
+  const TraceCounts ta = traced_run(a);
+  ASSERT_EQ(a.responses.size(), 3u);
+  for (const auto& r : a.responses) {
+    ASSERT_EQ(r.status, serve::RequestStatus::kOk) << r.error;
+    EXPECT_TRUE(r.degraded);
+  }
+  // Per request: attempt 1 fires, the retry fires again, the degraded
+  // rerun skips enhancement entirely — two fires, one retry event, one
+  // degraded event each.
+  EXPECT_EQ(ta.fire_seeds.size(), 6u);
+  EXPECT_EQ(ta.retries, 3u);
+  EXPECT_EQ(ta.degrades, 3u);
+
+  ScenarioResult b;
+  const TraceCounts tb = traced_run(b);
+  EXPECT_EQ(ta.fire_seeds, tb.fire_seeds)
+      << "per-fire seeds must replay under the same schedule seed";
+  EXPECT_EQ(tb.retries, 3u);
+  EXPECT_EQ(tb.degrades, 3u);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
 }
 
 // Fault counters must disappear from stats when nothing was armed —

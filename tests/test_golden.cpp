@@ -33,6 +33,7 @@
 #include "nn/ddnet.h"
 #include "nn/layers.h"
 #include "pipeline/framework.h"
+#include "trace/trace.h"
 
 namespace ccovid {
 namespace {
@@ -83,23 +84,36 @@ void check_golden(const std::string& name, std::uint64_t digest) {
       << "; otherwise this is a regression.";
 }
 
-// Computes `body()`'s digest under kernel widths 1, 2 and 8, asserts
-// the three agree bitwise (the engine's width-independence contract),
-// and returns the shared value for the golden comparison.
+// Computes `body()`'s digest under kernel widths 1, 2 and 8 — each
+// width once with tracing off and once fully enabled (level 2, which
+// also records task-engine scheduling events) — asserts all six agree
+// bitwise, and returns the shared value for the golden comparison.
+// Width independence is the engine's partition contract; trace
+// independence is the tracing subsystem's only-reads-clocks contract
+// (spans must never perturb numerics).
 template <typename Body>
 std::uint64_t digest_across_widths(Body&& body) {
   std::uint64_t at1 = 0;
+  bool have_reference = false;
   for (const int width : {1, 2, 8}) {
     ParallelPin pin(width);
-    const std::uint64_t h = body();
-    if (width == 1) {
-      at1 = h;
-    } else {
-      EXPECT_EQ(hex64(h), hex64(at1))
-          << "digest moved between width 1 and width " << width
-          << ": chunk partition leaked thread count into the numerics";
+    for (const int trace_level : {0, 2}) {
+      trace::set_level(trace_level);
+      const std::uint64_t h = body();
+      trace::set_level(0);
+      if (!have_reference) {
+        at1 = h;
+        have_reference = true;
+      } else {
+        EXPECT_EQ(hex64(h), hex64(at1))
+            << "digest moved at width " << width << ", trace level "
+            << trace_level
+            << ": either the chunk partition leaked thread count into "
+               "the numerics or tracing perturbed a kernel";
+      }
     }
   }
+  trace::clear();  // drop the bulk events before the next case
   return at1;
 }
 

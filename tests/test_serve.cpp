@@ -170,6 +170,37 @@ TEST(LatencyHistogram, QuantilesWithinBucketError) {
   EXPECT_EQ(h.quantile(0.5), 0.0);
 }
 
+TEST(LatencyHistogram, MergeFoldsSamplesBeforeQuantileExtraction) {
+  // Regression: percentiles must be extracted from the MERGED sample
+  // set, never computed per worker and then combined — a quantile of
+  // per-worker quantiles is not a quantile of the workload. Two workers
+  // with disjoint load mixes make the difference unmissable.
+  serve::LatencyHistogram fast_worker, slow_worker;
+  for (int i = 0; i < 100; ++i) fast_worker.record(1e-3);   // 1 ms
+  for (int i = 0; i < 100; ++i) slow_worker.record(100e-3); // 100 ms
+  // Per-worker p99s are ~1ms and ~100ms; any combination of those two
+  // numbers (mean: ~50ms) misstates the workload.
+  serve::LatencyHistogram merged;
+  merged.merge(fast_worker);
+  merged.merge(slow_worker);
+  EXPECT_EQ(merged.count(), 200u);
+  EXPECT_NEAR(merged.min_seconds(), 1e-3, 1e-4);
+  EXPECT_NEAR(merged.max_seconds(), 100e-3, 1e-3);
+  EXPECT_NEAR(merged.sum_seconds(), 100 * 1e-3 + 100 * 100e-3, 1e-3);
+  // Workload truth: 50% of requests were fast, so p25 sits on the fast
+  // mode and p99 on the slow mode (25% geometric-bucket error bound).
+  EXPECT_NEAR(merged.quantile(0.25), 1e-3, 0.25e-3);
+  EXPECT_NEAR(merged.quantile(0.99), 100e-3, 25e-3);
+  // A wrongly averaged per-worker p99 would land near 50ms — assert the
+  // merged view is nowhere near it.
+  EXPECT_GT(merged.quantile(0.99), 75e-3);
+  // Merging into a non-empty histogram accumulates rather than replaces.
+  serve::LatencyHistogram more;
+  more.record(1e-3);
+  more.merge(merged);
+  EXPECT_EQ(more.count(), 201u);
+}
+
 TEST(KernelProfile, ConcurrentAddsAreLossless) {
   KernelProfile prof;
   constexpr int kThreads = 8, kAdds = 500;
@@ -235,6 +266,10 @@ TEST(InferenceServer, CompletesAndReportsStats) {
   const std::string json = server.stats_json();
   EXPECT_NE(json.find("\"completed\":4"), std::string::npos);
   EXPECT_NE(json.find("\"total\""), std::string::npos);
+  // The JSON percentiles come from the single merged histogram: its
+  // sample count must equal the workload (all workers' completions),
+  // not any one worker's share.
+  EXPECT_NE(json.find("\"total\":{\"count\":4"), std::string::npos) << json;
 }
 
 TEST(InferenceServer, BackpressureRejectsWhenQueueFull) {

@@ -13,12 +13,15 @@
 #include "core/parallel.h"
 #include "core/serialize.h"
 #include "pipeline/framework.h"
+#include "trace/export.h"
+#include "trace/trace.h"
 
 using namespace ccovid;
 
 int main(int argc, char** argv) {
   std::string models = "models";
   std::string input = "patient.tnsr";
+  std::string trace_out;
   double threshold = 0.35;
   bool use_enhancement = true;
   for (int i = 1; i < argc; ++i) {
@@ -32,10 +35,14 @@ int main(int argc, char** argv) {
       use_enhancement = false;
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       set_num_threads(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc) {
+      trace_out = argv[++i];
+      trace::set_level(1);
     } else {
       std::printf(
           "usage: ccovid_diagnose --models D --input F "
-          "[--threshold T] [--no-enhance] [--threads N]\n");
+          "[--threshold T] [--no-enhance] [--threads N]\n"
+          "                [--trace-out PATH]\n");
       return !std::strcmp(argv[i], "--help") ? 0 : 1;
     }
   }
@@ -79,6 +86,14 @@ int main(int argc, char** argv) {
     std::printf("  ground truth       : %s (%s)\n",
                 truth ? "POSITIVE" : "negative",
                 truth == dx.positive ? "correct" : "MISSED");
+  }
+  if (!trace_out.empty()) {
+    if (trace::write_chrome_json(trace_out)) {
+      std::printf("trace written to %s (chrome://tracing)\n",
+                  trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+    }
   }
   return 0;
 }

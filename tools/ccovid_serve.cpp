@@ -32,6 +32,8 @@
 #include "fault/failpoint.h"
 #include "nn/layers.h"
 #include "serve/server.h"
+#include "trace/export.h"
+#include "trace/trace.h"
 
 using namespace ccovid;
 
@@ -57,6 +59,7 @@ struct ToolArgs {
   std::uint64_t fault_seed = 0; // 0 = reuse --seed
   int retries = 0;
   bool degrade = false;
+  std::string trace_out;  // empty = tracing off
 };
 
 void usage() {
@@ -68,7 +71,8 @@ void usage() {
       "                    [--interval-ms MS] [--threshold T]\n"
       "                    [--no-enhance] [--models DIR] [--json PATH]\n"
       "                    [--failpoints SPECS] [--fault-seed S]\n"
-      "                    [--retries N] [--degrade] [--threads N]\n");
+      "                    [--retries N] [--degrade] [--threads N]\n"
+      "                    [--trace-out PATH]\n");
 }
 
 bool parse(int argc, char** argv, ToolArgs& a) {
@@ -140,6 +144,10 @@ bool parse(int argc, char** argv, ToolArgs& a) {
     } else if (!std::strcmp(arg, "--threads")) {
       if (!(v = next(arg))) return false;
       set_num_threads(std::atoi(v));
+    } else if (!std::strcmp(arg, "--trace-out")) {
+      if (!(v = next(arg))) return false;
+      a.trace_out = v;
+      trace::set_level(1);
     } else {
       usage();
       return std::strcmp(arg, "--help") == 0 ? (std::exit(0), false)
@@ -283,6 +291,10 @@ int main(int argc, char** argv) {
               completed / elapsed);
   const std::string stats = server.stats_json();
   std::printf("stats: %s\n", stats.c_str());
+  if (trace::enabled()) {
+    std::printf("\ntrace spans (merged across threads):\n%s",
+                trace::table(trace::aggregate(trace::snapshot())).c_str());
+  }
   if (!a.json_path.empty()) {
     std::FILE* f = std::fopen(a.json_path.c_str(), "w");
     if (f) {
@@ -291,6 +303,14 @@ int main(int argc, char** argv) {
       std::printf("stats written to %s\n", a.json_path.c_str());
     } else {
       std::fprintf(stderr, "cannot write %s\n", a.json_path.c_str());
+    }
+  }
+  if (!a.trace_out.empty()) {
+    if (trace::write_chrome_json(a.trace_out)) {
+      std::printf("trace written to %s (chrome://tracing)\n",
+                  a.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", a.trace_out.c_str());
     }
   }
   return 0;

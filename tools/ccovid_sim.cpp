@@ -20,12 +20,15 @@
 #include "ct/hu.h"
 #include "data/lowdose.h"
 #include "data/phantom.h"
+#include "trace/export.h"
+#include "trace/trace.h"
 
 using namespace ccovid;
 
 int main(int argc, char** argv) {
   std::string out = "patient.tnsr";
   std::string pgm_dir;
+  std::string trace_out;
   bool covid = false;
   index_t depth = 16, px = 64;
   std::uint64_t seed = 1;
@@ -47,10 +50,14 @@ int main(int argc, char** argv) {
       photons = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       set_num_threads(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc) {
+      trace_out = argv[++i];
+      trace::set_level(1);
     } else {
       std::printf(
           "usage: ccovid_sim --out F [--covid] [--depth D] [--px N] "
-          "[--seed S] [--photons B] [--pgm-dir DIR] [--threads N]\n");
+          "[--seed S] [--photons B] [--pgm-dir DIR] [--threads N]\n"
+          "                 [--trace-out PATH]\n");
       return !std::strcmp(argv[i], "--help") ? 0 : 1;
     }
   }
@@ -92,5 +99,13 @@ int main(int argc, char** argv) {
   map["label"] = label;
   save_tensor_map(out, map);
   std::printf("wrote %s (label=%d)\n", out.c_str(), vol.label);
+  if (!trace_out.empty()) {
+    if (trace::write_chrome_json(trace_out)) {
+      std::printf("trace written to %s (chrome://tracing)\n",
+                  trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+    }
+  }
   return 0;
 }

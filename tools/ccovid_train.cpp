@@ -2,27 +2,36 @@
 // data and save their weights for ccovid_diagnose.
 //
 //   ccovid_train --out-dir models [--px 32] [--depth 8] [--volumes 40]
-//                [--epochs 16] [--seed 7]
+//                [--epochs 16] [--seed 7] [--ranks 1]
+//
+// With --ranks R > 1 the Enhancement AI trains through dist::DdpTrainer
+// (R modeled nodes, ring all-reduce each step); with --trace-out the
+// per-rank ddp.compute/allreduce/apply lanes land in the chrome trace.
 //
 // Produces models/ddnet.tnsr, models/ahnet.tnsr, models/densenet3d.tnsr
 // plus a models/manifest.txt recording the configurations.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "core/parallel.h"
 #include "ct/hu.h"
+#include "dist/ddp.h"
 #include "pipeline/classification_ai.h"
 #include "pipeline/enhancement_ai.h"
 #include "pipeline/segmentation_ai.h"
+#include "trace/export.h"
+#include "trace/trace.h"
 
 using namespace ccovid;
 
 int main(int argc, char** argv) {
   std::string out_dir = "models";
+  std::string trace_out;
   index_t px = 32, depth = 8, volumes = 40;
-  int epochs = 16;
+  int epochs = 16, ranks = 1;
   std::uint64_t seed = 7;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--out-dir") && i + 1 < argc) {
@@ -39,10 +48,16 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       set_num_threads(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--ranks") && i + 1 < argc) {
+      ranks = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc) {
+      trace_out = argv[++i];
+      trace::set_level(1);
     } else {
       std::printf(
           "usage: ccovid_train --out-dir D [--px N] [--depth D] "
-          "[--volumes V] [--epochs E] [--seed S] [--threads N]\n");
+          "[--volumes V] [--epochs E] [--seed S] [--threads N]\n"
+          "                   [--ranks R] [--trace-out PATH]\n");
       return !std::strcmp(argv[i], "--help") ? 0 : 1;
     }
   }
@@ -81,8 +96,47 @@ int main(int argc, char** argv) {
   etc.lr = 2e-3;
   etc.msssim_scales = 1;
   std::printf("training Enhancement AI (%d epochs)...\n", etc.epochs);
-  enh.train(eds, etc, rng);
-  enh.network().save(out_dir + "/ddnet.tnsr");
+  if (ranks > 1) {
+    // Multi-node path: one DDnet replica per modeled rank, gradients
+    // synchronized by ring all-reduce. Lock-step Adam updates keep the
+    // replicas bit-identical, so saving rank 0 saves the cluster model.
+    dist::DdpConfig dcfg;
+    dcfg.world_size = ranks;
+    dcfg.per_worker_batch = 1;
+    dcfg.lr = etc.lr;
+    dcfg.lr_decay = etc.lr_decay;
+    dist::DdpTrainer trainer(
+        [&ncfg] { return std::make_shared<nn::DDnet>(ncfg); }, dcfg);
+    auto loss_fn = [&eds, &etc](nn::Module& model, int /*rank*/,
+                                const std::vector<index_t>& samples) {
+      auto& net = dynamic_cast<nn::DDnet&>(model);
+      autograd::Var total;
+      for (const index_t s : samples) {
+        const auto& pair = eds.train[s];
+        autograd::Var x(pair.low.clone().reshape(
+            {1, 1, pair.low.dim(0), pair.low.dim(1)}));
+        autograd::Var loss = autograd::enhancement_loss(
+            net.forward(x),
+            pair.full.clone().reshape(
+                {1, 1, pair.full.dim(0), pair.full.dim(1)}),
+            etc.msssim_weight, 11, etc.msssim_scales);
+        total = total.defined() ? autograd::add(total, loss) : loss;
+      }
+      return autograd::mul_scalar(
+          total, 1.0f / static_cast<real_t>(samples.size()));
+    };
+    for (int e = 0; e < etc.epochs; ++e) {
+      const dist::EpochStats st = trainer.train_epoch(
+          static_cast<index_t>(eds.train.size()), loss_fn, rng);
+      trainer.decay_lr();
+      std::printf("  epoch %d/%d loss %.5f (modeled cluster %.2fs)\n",
+                  e + 1, etc.epochs, st.mean_loss, st.modeled_seconds);
+    }
+    dynamic_cast<nn::DDnet&>(trainer.model(0)).save(out_dir + "/ddnet.tnsr");
+  } else {
+    enh.train(eds, etc, rng);
+    enh.network().save(out_dir + "/ddnet.tnsr");
+  }
 
   // --- Segmentation AI ---
   pipeline::SegmentationAI seg;
@@ -110,7 +164,16 @@ int main(int argc, char** argv) {
 
   std::ofstream manifest(out_dir + "/manifest.txt");
   manifest << "px " << px << "\ndepth " << depth << "\nvolumes " << volumes
-           << "\nepochs " << epochs << "\nseed " << seed << "\n";
+           << "\nepochs " << epochs << "\nseed " << seed << "\nranks "
+           << ranks << "\n";
   std::printf("models written to %s/\n", out_dir.c_str());
+  if (!trace_out.empty()) {
+    if (trace::write_chrome_json(trace_out)) {
+      std::printf("trace written to %s (chrome://tracing)\n",
+                  trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+    }
+  }
   return 0;
 }
