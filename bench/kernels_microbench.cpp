@@ -19,6 +19,7 @@
 
 #include "core/parallel.h"
 #include "core/random.h"
+#include "core/simd.h"
 #include "ct/fbp.h"
 #include "ct/siddon.h"
 #include "ddnet_timing.h"
@@ -260,6 +261,42 @@ int run_scaling_sweep(const std::string& path, bool trace_on) {
     std::printf("width %d done (%zu rows)\n", t, rows.size());
   }
 
+  // SIMD backend sweep: the same hot ops at width 1, once per available
+  // instruction-set backend. Rows are keyed "<op>_simd_<backend>" so the
+  // bench gate tracks each backend's regression independently; the
+  // scalar rows double as the baseline for the vectorization speedups
+  // recorded in EXPERIMENTS.md.
+  {
+    ParallelPin pin(1);
+    const simd::Backend prev = simd::active_backend();
+    for (const simd::Backend be :
+         {simd::Backend::kScalar, simd::Backend::kSse2,
+          simd::Backend::kAvx2}) {
+      if (!simd::backend_available(be)) continue;
+      simd::set_backend(be);
+      const std::string suffix = std::string("_simd_") + simd::backend_name(be);
+      rows.push_back({"sgemm_128" + suffix, 1, time_ns_per_iter([&] {
+                        benchmark::DoNotOptimize(ops::matmul(ga, gb));
+                      })});
+      rows.push_back({"conv2d_gemm_64" + suffix, 1, time_ns_per_iter([&] {
+                        benchmark::DoNotOptimize(ops::conv2d_gemm(
+                            cx, cw, cb, ops::Conv2dParams::same(5)));
+                      })});
+      rows.push_back({"conv2d_unrolled_64" + suffix, 1, time_ns_per_iter([&] {
+                        benchmark::DoNotOptimize(ops::conv2d(
+                            cx, cw, cb, ops::Conv2dParams::same(5),
+                            ops::KernelOptions::all()));
+                      })});
+      rows.push_back({"fbp_reconstruct_64" + suffix, 1, time_ns_per_iter([&] {
+                        benchmark::DoNotOptimize(
+                            ct::fbp_reconstruct(sino, geom));
+                      })});
+      std::printf("simd backend %s done (%zu rows)\n",
+                  simd::backend_name(be), rows.size());
+    }
+    simd::set_backend(prev);
+  }
+
   std::string trace_json;
   if (trace_on) {
     const trace::Snapshot snap = trace::snapshot();
@@ -298,6 +335,37 @@ void BM_SgemmThreads(benchmark::State& state) {
     benchmark::DoNotOptimize(ops::matmul(a, b));
   }
   state.SetItemsProcessed(state.iterations() * 128 * 128 * 128 * 2);
+}
+
+void BM_SgemmSimd(benchmark::State& state, simd::Backend be) {
+  if (!simd::backend_available(be)) {
+    state.SkipWithError("backend unavailable on this CPU/build");
+    return;
+  }
+  const simd::Backend prev = simd::set_backend(be);
+  const Tensor a = random_tensor({128, 128}, 4);
+  const Tensor b = random_tensor({128, 128}, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * 128 * 128 * 2);
+  simd::set_backend(prev);
+}
+
+void BM_Conv2dGemmSimd(benchmark::State& state, simd::Backend be) {
+  if (!simd::backend_available(be)) {
+    state.SkipWithError("backend unavailable on this CPU/build");
+    return;
+  }
+  const simd::Backend prev = simd::set_backend(be);
+  const Tensor x = random_tensor({1, 16, 64, 64}, 1);
+  const Tensor w = random_tensor({16, 16, 5, 5}, 2);
+  const Tensor b = random_tensor({16}, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops::conv2d_gemm(x, w, b, ops::Conv2dParams::same(5)));
+  }
+  simd::set_backend(prev);
 }
 
 void BM_Conv2dThreads(benchmark::State& state) {
@@ -340,6 +408,12 @@ BENCHMARK(BM_MsSsim)->Arg(64)->Arg(128);
 BENCHMARK(BM_RingAllReduce)->Arg(2)->Arg(4);
 BENCHMARK(BM_SgemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 BENCHMARK(BM_Conv2dThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK_CAPTURE(BM_SgemmSimd, scalar, simd::Backend::kScalar);
+BENCHMARK_CAPTURE(BM_SgemmSimd, sse2, simd::Backend::kSse2);
+BENCHMARK_CAPTURE(BM_SgemmSimd, avx2, simd::Backend::kAvx2);
+BENCHMARK_CAPTURE(BM_Conv2dGemmSimd, scalar, simd::Backend::kScalar);
+BENCHMARK_CAPTURE(BM_Conv2dGemmSimd, sse2, simd::Backend::kSse2);
+BENCHMARK_CAPTURE(BM_Conv2dGemmSimd, avx2, simd::Backend::kAvx2);
 
 // Custom main so `--scaling-json PATH` can bypass google-benchmark and
 // run the JSON-emitting sweep instead.

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: fresh run vs committed BENCH_*.json baselines.
+
+Usage:
+  check_bench.py --baseline BENCH_kernels.json --fresh fresh.json \
+                 [--tolerance 0.15] [--kind kernels|serve]
+
+Compares a freshly generated benchmark artifact against the committed
+baseline and exits non-zero when any tracked metric regressed by more
+than the tolerance (default 15%). Two artifact kinds are understood:
+
+  kernels  kernels_microbench --scaling-json output:
+           {"results": [{"op", "threads", "ns_per_iter"}, ...]}
+           keyed by (op, threads); ns_per_iter lower-is-better.
+
+  serve    serve_throughput --json output:
+           {"runs": [{"mode", "workers", "batch", ..., "achieved_vps",
+                      "p50_s", ...}, ...]}
+           keyed by (mode, workers, batch); achieved_vps
+           higher-is-better, p50_s lower-is-better.
+
+Rows present on only one side are reported but never fail the gate
+(new ops appear, old ones retire — that is what updating the baseline
+is for). The waiver / update flow is documented in EXPERIMENTS.md:
+regenerate the artifact on an idle machine and commit it alongside the
+change that moved the numbers, with the reason in the commit message.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def compare_rows(pairs, tolerance):
+    """pairs: [(key, metric, baseline, fresh, lower_is_better)].
+
+    Returns the failure count, printing one line per metric."""
+    failures = 0
+    for key, metric, base, fresh, lower in pairs:
+        if base is None or fresh is None or base == 0:
+            continue
+        ratio = fresh / base
+        # Normalize so regressed > 1 regardless of metric direction.
+        regress = ratio if lower else 1.0 / ratio if ratio else float("inf")
+        status = "ok"
+        if regress > 1.0 + tolerance:
+            status = "REGRESSED"
+            failures += 1
+        delta = (ratio - 1.0) * 100.0
+        print(f"  {status:9s} {key} {metric}: {base:.6g} -> {fresh:.6g} "
+              f"({delta:+.1f}%)")
+    return failures
+
+
+def check_kernels(baseline, fresh, tolerance):
+    base_rows = {(r["op"], r["threads"]): r for r in baseline.get("results", [])}
+    fresh_rows = {(r["op"], r["threads"]): r for r in fresh.get("results", [])}
+    pairs = []
+    for key in sorted(base_rows.keys() & fresh_rows.keys()):
+        pairs.append((f"{key[0]}@t{key[1]}", "ns_per_iter",
+                      base_rows[key]["ns_per_iter"],
+                      fresh_rows[key]["ns_per_iter"], True))
+    for key in sorted(base_rows.keys() - fresh_rows.keys()):
+        print(f"  note: baseline-only row {key} (retired op?)")
+    for key in sorted(fresh_rows.keys() - base_rows.keys()):
+        print(f"  note: new row {key} (not yet in baseline)")
+    return compare_rows(pairs, tolerance)
+
+
+def check_serve(baseline, fresh, tolerance):
+    def key(r):
+        return (r.get("mode"), r.get("workers"), r.get("batch"))
+
+    base_rows = {key(r): r for r in baseline.get("runs", [])}
+    fresh_rows = {key(r): r for r in fresh.get("runs", [])}
+    pairs = []
+    for k in sorted(base_rows.keys() & fresh_rows.keys(),
+                    key=lambda t: tuple(str(x) for x in t)):
+        label = f"{k[0]}/w{k[1]}/b{k[2]}"
+        b, f = base_rows[k], fresh_rows[k]
+        pairs.append((label, "achieved_vps", b.get("achieved_vps"),
+                      f.get("achieved_vps"), False))
+        pairs.append((label, "p50_s", b.get("p50_s"), f.get("p50_s"), True))
+    for k in sorted(base_rows.keys() - fresh_rows.keys(),
+                    key=lambda t: tuple(str(x) for x in t)):
+        print(f"  note: baseline-only run {k}")
+    for k in sorted(fresh_rows.keys() - base_rows.keys(),
+                    key=lambda t: tuple(str(x) for x in t)):
+        print(f"  note: new run {k} (not yet in baseline)")
+    return compare_rows(pairs, tolerance)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_*.json to compare against")
+    ap.add_argument("--fresh", required=True,
+                    help="artifact produced by this run")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional regression (default 0.15)")
+    ap.add_argument("--kind", choices=["kernels", "serve"], default=None,
+                    help="artifact schema; inferred from contents if omitted")
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    kind = args.kind
+    if kind is None:
+        kind = "serve" if "runs" in baseline else "kernels"
+
+    print(f"check_bench: {kind} artifact, tolerance {args.tolerance:.0%}")
+    print(f"  baseline: {args.baseline}")
+    print(f"  fresh   : {args.fresh}")
+    if kind == "kernels":
+        failures = check_kernels(baseline, fresh, args.tolerance)
+    else:
+        failures = check_serve(baseline, fresh, args.tolerance)
+
+    if failures:
+        print(f"check_bench: FAILED — {failures} metric(s) regressed more "
+              f"than {args.tolerance:.0%}.")
+        print("If the regression is expected, regenerate the baseline and "
+              "commit it (see EXPERIMENTS.md, 'Bench gate').")
+        return 1
+    print("check_bench: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,13 +8,37 @@
 #   FAST_BUDGET_S  fast-suite wall-clock budget in seconds (default 120)
 #   SKIP_SANITIZERS=1  release build + budget check only
 set -euo pipefail
+set -o pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 FAST_BUDGET_S=${FAST_BUDGET_S:-120}
 
-cmake --preset default
-cmake --build --preset default -j"$JOBS"
+# Name of the preset currently being driven, for the failure trap: a
+# plain `set -e` exit says nothing about WHICH preset died, and the
+# tsan/asan loop makes that the first question every triage asks.
+CURRENT_PRESET=default
+trap 'status=$?; if [ "$status" -ne 0 ]; then
+        echo "ci.sh: FAILED (exit $status) while driving preset '\''${CURRENT_PRESET}'\''" >&2
+      fi' EXIT
+
+# run_preset NAME — configure + build + full ctest for one configure
+# preset. Each stage is checked explicitly so a configure failure (bad
+# generator, missing toolchain) exits non-zero instead of letting a
+# stale build tree masquerade as a pass.
+run_preset() {
+  CURRENT_PRESET=$1
+  if ! cmake --preset "$1"; then
+    echo "ci.sh: configure failed for preset '$1'" >&2
+    exit 1
+  fi
+  if ! cmake --build --preset "$1" -j"$JOBS"; then
+    echo "ci.sh: build failed for preset '$1'" >&2
+    exit 1
+  fi
+}
+
+run_preset default
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
 # Budget check: the sanitizer loops below iterate on `ctest -L fast`,
@@ -30,12 +54,13 @@ fi
 
 if [ "${SKIP_SANITIZERS:-0}" = "1" ]; then
   echo "SKIP_SANITIZERS=1: done."
+  CURRENT_PRESET=done
   exit 0
 fi
 
 for preset in tsan asan; do
-  cmake --preset "$preset"
-  cmake --build --preset "$preset" -j"$JOBS"
+  run_preset "$preset"
   ctest --preset "$preset-fast"
   ctest --preset "$preset-trace"
 done
+CURRENT_PRESET=done

@@ -1,0 +1,160 @@
+// Runtime backend selection: CPUID caps what the machine can run,
+// CCOVID_SIMD (or set_backend_spec from the CLI tools) narrows it, and
+// the winner is published once through an atomic table pointer. After
+// the first resolution a kernel call costs one acquire load.
+#include "core/simd.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ccovid::simd {
+
+// Defined in the per-backend TUs; sse2/avx2 return nullptr when the
+// target architecture (or compiler flags) cannot produce them.
+const KernelTable* scalar_kernel_table();
+const KernelTable* sse2_kernel_table();
+const KernelTable* avx2_kernel_table();
+
+namespace {
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+bool cpu_supports(Backend b) {
+#if defined(__x86_64__) || defined(_M_X64)
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kSse2:
+      return true;  // architectural baseline on x86-64
+    case Backend::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+  }
+  return false;
+#else
+  return b == Backend::kScalar;
+#endif
+}
+
+const KernelTable* compiled_table(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return scalar_kernel_table();
+    case Backend::kSse2:
+      return sse2_kernel_table();
+    case Backend::kAvx2:
+      return avx2_kernel_table();
+  }
+  return nullptr;
+}
+
+// Best available backend at or below `cap`.
+const KernelTable* best_table(Backend cap) {
+  for (int b = static_cast<int>(cap); b >= 0; --b) {
+    const Backend k = static_cast<Backend>(b);
+    if (cpu_supports(k)) {
+      if (const KernelTable* t = compiled_table(k)) return t;
+    }
+  }
+  return scalar_kernel_table();  // always compiled
+}
+
+const KernelTable* resolve_default() {
+  Backend cap = Backend::kAvx2;
+  if (const char* env = std::getenv("CCOVID_SIMD")) {
+    Backend req;
+    bool is_auto = false;
+    if (!parse_backend(env, &req, &is_auto)) {
+      std::fprintf(stderr,
+                   "CCOVID_SIMD: unknown backend '%s' "
+                   "(want scalar|sse2|avx2|auto); using auto\n",
+                   env);
+    } else if (!is_auto) {
+      cap = req;
+      if (!backend_available(req)) {
+        std::fprintf(stderr,
+                     "CCOVID_SIMD: backend '%s' unavailable on this "
+                     "host; falling back\n",
+                     backend_name(req));
+      }
+    }
+  }
+  return best_table(cap);
+}
+
+}  // namespace
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kSse2:
+      return "sse2";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool parse_backend(const std::string& spec, Backend* out, bool* is_auto) {
+  *is_auto = false;
+  if (spec == "auto") {
+    *is_auto = true;
+    return true;
+  }
+  if (spec == "scalar") {
+    *out = Backend::kScalar;
+    return true;
+  }
+  if (spec == "sse2") {
+    *out = Backend::kSse2;
+    return true;
+  }
+  if (spec == "avx2") {
+    *out = Backend::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+bool backend_available(Backend b) {
+  return cpu_supports(b) && compiled_table(b) != nullptr;
+}
+
+Backend set_backend(Backend b) {
+  const KernelTable* t = best_table(b);
+  g_active.store(t, std::memory_order_release);
+  return active_backend();
+}
+
+bool set_backend_spec(const std::string& spec) {
+  Backend req;
+  bool is_auto = false;
+  if (!parse_backend(spec, &req, &is_auto)) return false;
+  g_active.store(best_table(is_auto ? Backend::kAvx2 : req),
+                 std::memory_order_release);
+  return true;
+}
+
+const KernelTable* table_for(Backend b) {
+  if (!cpu_supports(b)) return nullptr;
+  return compiled_table(b);
+}
+
+const KernelTable& kernels() {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (!t) {
+    // Benign race: concurrent first calls resolve to the same table.
+    t = resolve_default();
+    g_active.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+Backend active_backend() {
+  const KernelTable& t = kernels();
+  if (&t == avx2_kernel_table()) return Backend::kAvx2;
+  if (&t == sse2_kernel_table()) return Backend::kSse2;
+  return Backend::kScalar;
+}
+
+}  // namespace ccovid::simd

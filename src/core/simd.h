@@ -1,0 +1,163 @@
+// Fixed-width portable SIMD layer with runtime backend dispatch.
+//
+// Every vector kernel in the library is written once, against an
+// 8-lane f32 vector abstraction (`V::v8`), and compiled three times
+// into per-backend translation units:
+//
+//   scalar  — plain C++ over a float[8] struct (always available; the
+//             compiler may still auto-vectorize it, which is fine:
+//             auto-vectorization never reassociates FP math at -O2)
+//   sse2    — two __m128 halves (x86-64 baseline)
+//   avx2    — one __m256 (requires AVX2; selected only when the CPU
+//             reports it)
+//
+// One backend is chosen at first use: CPUID caps the candidates, the
+// `CCOVID_SIMD=scalar|sse2|avx2|auto` environment variable (or the
+// `--simd` flag on the CLI tools via set_backend_spec) narrows them.
+//
+// THE LANE-DETERMINISM CONTRACT
+//
+// Golden digests must be bitwise-identical across scalar/sse2/avx2 and
+// across task-engine widths. Two rules make that hold:
+//
+//  1. Per-output vectorization preserves scalar order. Kernels assign
+//     one OUTPUT element per lane (8 output pixels, 8 GEMM columns);
+//     each lane accumulates its own taps in exactly the order the
+//     scalar code does. `madd(acc, a, b)` is specified as acc + (a*b)
+//     with TWO roundings — hardware FMA contraction is deliberately
+//     not used, because its single rounding would split scalar and
+//     AVX2 results. The kernels are memory-bound; the spare multiply
+//     port is not the bottleneck.
+//
+//  2. Cross-lane reductions use the canonical strided-lane tree.
+//     When a kernel must sum across lanes (dot products), elements are
+//     assigned to lanes round-robin (element i -> lane i%8, tails
+//     zero-filled) and reduced with the fixed tree
+//         q_i = l_i + l_{i+4}           (i = 0..3)
+//         r_0 = q_0 + q_2,  r_1 = q_1 + q_3
+//         sum = r_0 + r_1
+//     in every backend, including the scalar emulation. The scalar
+//     fallback therefore computes the SAME 8 virtual partial sums and
+//     the SAME reduction tree as the widest backend — not a sequential
+//     sum that happens to be close.
+//
+// Instrumented op/byte counts (ops/instrumented.h) model logical taps,
+// not instructions, so the roofline inputs are backend-independent.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "core/types.h"
+
+namespace ccovid::simd {
+
+/// Width of the virtual vector: every backend exposes exactly 8 f32
+/// lanes, whatever the underlying register width.
+inline constexpr int kLanes = 8;
+
+enum class Backend : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Dispatch table of vector kernels. One instance per compiled backend;
+/// `kernels()` returns the active one. Entries marked "probe_" exist
+/// for tests/test_simd.cpp to pin per-primitive bitwise equality across
+/// backends; they are trivial wrappers over the lane primitives.
+struct KernelTable {
+  const char* name;  // "scalar" / "sse2" / "avx2"
+
+  /// C[0..4)x[0..8) += A (4 x kc, row stride lda) * B packed (kc x 8,
+  /// unit-stride rows). Lane j accumulates column j sequentially over
+  /// the K dimension — identical order to the scalar microkernel.
+  void (*sgemm_micro_4x8)(const float* a, index_t lda, const float* bpack,
+                          float* c, index_t ldc, index_t kc);
+
+  /// One stride-1 conv2d output row (direct form): out[ox] for
+  /// ox in [0, wo), taps in ascending (ci, ky, kx) order per output.
+  /// `wstride` is the float distance between consecutive ci slices of
+  /// the (k x k) filter. Border columns run a scalar path with the
+  /// same tap order; interior columns run 8 outputs per vector.
+  void (*conv2d_row_s1)(const float* in, const float* wgt, index_t wstride,
+                        float* out, index_t cin, index_t h, index_t w,
+                        index_t k, index_t oy, index_t pad, index_t wo,
+                        float bias);
+
+  /// One stride-1 deconv2d (gather form) output row: iy = oy + pad - ky,
+  /// ix = ox + pad - kx, taps in ascending (ci, ky, kx) order.
+  void (*deconv2d_row_s1)(const float* in, const float* wgt,
+                          index_t wstride, float* out, index_t cin,
+                          index_t h, index_t w, index_t k, index_t oy,
+                          index_t pad, index_t wo, float bias);
+
+  /// y[i] = scale * x[i] + shift — the batch-norm (+ folded affine)
+  /// epilogue.
+  void (*scale_shift)(const float* x, float* y, index_t n, float scale,
+                      float shift);
+
+  /// y[i] = max(x[i], 0) with maxps NaN/-0 semantics (NaN -> 0).
+  void (*relu)(const float* x, float* y, index_t n);
+
+  /// y[i] = x[i] > 0 ? x[i] : slope * x[i].
+  void (*leaky_relu)(const float* x, float* y, index_t n, float slope);
+
+  /// y[i] += v — conv bias epilogue.
+  void (*add_scalar)(float* y, index_t n, float v);
+
+  /// In-place complex multiply over interleaved (re, im) f64 pairs:
+  /// a[i] *= b[i] with re' = re_a*re_b - im_a*im_b and
+  /// im' = im_a*re_b + re_a*im_b — the FBP ramp-filter spectrum
+  /// product. Element-wise, so lane determinism is order-free; every
+  /// backend keeps the exact mul/sub/add pairing above.
+  void (*cmul)(double* a, const double* b, index_t n);
+
+  /// Canonical lane-deterministic dot product: strided 8-lane partials
+  /// + the fixed reduction tree (see header comment).
+  float (*dot)(const float* a, const float* b, index_t n);
+
+  // ----- test probes (8-wide in/out arrays) -------------------------
+  void (*probe_madd)(const float* a, const float* b, const float* c,
+                     float* out);                           // c + a*b
+  void (*probe_mul)(const float* a, const float* b, float* out);
+  void (*probe_add)(const float* a, const float* b, float* out);
+  void (*probe_min)(const float* a, const float* b, float* out);
+  void (*probe_max)(const float* a, const float* b, float* out);
+  float (*probe_reduce)(const float* a);  // fixed-tree sum of 8 lanes
+  void (*probe_load_partial)(const float* p, index_t n, float* out);
+};
+
+/// Human-readable backend name ("scalar"/"sse2"/"avx2").
+const char* backend_name(Backend b);
+
+/// Parses "scalar", "sse2", "avx2" or "auto". Returns false on any
+/// other spelling. `is_auto` is set when the spec was "auto" (in which
+/// case `out` is left untouched).
+bool parse_backend(const std::string& spec, Backend* out, bool* is_auto);
+
+/// True when the backend is both compiled into this binary and
+/// supported by the executing CPU.
+bool backend_available(Backend b);
+
+/// Selects a backend explicitly. Unavailable requests clamp to the
+/// best available backend at or below the request; the effective
+/// choice is returned.
+Backend set_backend(Backend b);
+
+/// Parses a CCOVID_SIMD-style spec and applies it ("auto" re-runs the
+/// default CPUID pick). Returns false (and changes nothing) on an
+/// invalid spec — the CLI tools turn that into a usage error.
+bool set_backend_spec(const std::string& spec);
+
+/// The backend the next kernel call will use (resolving the
+/// environment override and CPUID on first call).
+Backend active_backend();
+
+/// Per-backend table, independent of the active selection: nullptr
+/// when the backend is not compiled in or the CPU lacks it. Used by
+/// tests to compare backends side by side.
+const KernelTable* table_for(Backend b);
+
+/// Active dispatch table. First call resolves CCOVID_SIMD + CPUID;
+/// afterwards it is one acquire load. Fetch the reference once per op,
+/// outside inner loops.
+const KernelTable& kernels();
+
+}  // namespace ccovid::simd

@@ -1,0 +1,90 @@
+// AVX2 backend: one __m256 per virtual vector. Compiled with
+// -mavx2 -mfma -ffp-contract=off (see src/core/CMakeLists.txt): the
+// ISA is enabled, but automatic mul+add fusion is off — vfmadd's
+// single rounding would split this backend's results from the scalar
+// reference, and the lane-determinism contract (core/simd.h) outranks
+// the marginal FLOP win on these memory-bound kernels. When the
+// compiler cannot target AVX2 the TU degrades to a stub and dispatch
+// falls back to SSE2/scalar.
+#include "core/simd.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "core/simd_kernels.h"
+
+namespace ccovid::simd {
+
+namespace {
+
+struct Avx2V {
+  using v8 = __m256;
+  static v8 zero() { return _mm256_setzero_ps(); }
+  static v8 set1(float v) { return _mm256_set1_ps(v); }
+  static v8 loadu(const float* p) { return _mm256_loadu_ps(p); }
+  static v8 load_partial(const float* p, index_t n) {
+    float buf[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    for (index_t j = 0; j < n; ++j) buf[j] = p[j];
+    return _mm256_loadu_ps(buf);
+  }
+  static void storeu(float* p, v8 x) { _mm256_storeu_ps(p, x); }
+  static v8 add(v8 a, v8 b) { return _mm256_add_ps(a, b); }
+  static v8 mul(v8 a, v8 b) { return _mm256_mul_ps(a, b); }
+  static v8 min(v8 a, v8 b) { return _mm256_min_ps(a, b); }
+  static v8 max(v8 a, v8 b) { return _mm256_max_ps(a, b); }
+  static v8 madd(v8 acc, v8 a, v8 b) {
+    // Two roundings by contract; -ffp-contract=off keeps it that way.
+    return _mm256_add_ps(acc, _mm256_mul_ps(a, b));
+  }
+  static v8 blend_gt0(v8 x, v8 a, v8 b) {
+    const __m256 m = _mm256_cmp_ps(x, _mm256_setzero_ps(), _CMP_GT_OQ);
+    return _mm256_blendv_ps(b, a, m);
+  }
+  static float reduce_add(v8 x) {
+    // Same tree as the scalar reference: q = lo + hi, movehl fold,
+    // final pair.
+    const __m128 lo = _mm256_castps256_ps128(x);
+    const __m128 hi = _mm256_extractf128_ps(x, 1);
+    const __m128 q = _mm_add_ps(lo, hi);
+    const __m128 s = _mm_add_ps(q, _mm_movehl_ps(q, q));
+    const __m128 r =
+        _mm_add_ss(s, _mm_shuffle_ps(s, s, _MM_SHUFFLE(1, 1, 1, 1)));
+    return _mm_cvtss_f32(r);
+  }
+  static void cmul(double* a, const double* b, index_t n) {
+    // Two complexes per __m256d: [ar0, ai0, ar1, ai1]. Same pairing
+    // as cmul_one: re' = ar*br + (-(ai*bi)), im' = ai*br + ar*bi.
+    const __m256d negre = _mm256_set_pd(0.0, -0.0, 0.0, -0.0);
+    index_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      const __m256d x = _mm256_loadu_pd(a + 2 * i);
+      const __m256d y = _mm256_loadu_pd(b + 2 * i);
+      const __m256d br = _mm256_movedup_pd(y);          // [br0,br0,br1,br1]
+      const __m256d bi = _mm256_permute_pd(y, 0xF);     // [bi0,bi0,bi1,bi1]
+      const __m256d t1 = _mm256_mul_pd(x, br);          // [ar*br, ai*br]x2
+      __m256d t2 = _mm256_mul_pd(x, bi);                // [ar*bi, ai*bi]x2
+      t2 = _mm256_permute_pd(t2, 0x5);                  // [ai*bi, ar*bi]x2
+      t2 = _mm256_xor_pd(t2, negre);
+      _mm256_storeu_pd(a + 2 * i, _mm256_add_pd(t1, t2));
+    }
+    if (i < n) detail::cmul_one(a + 2 * i, b + 2 * i);
+  }
+};
+
+}  // namespace
+
+const KernelTable* avx2_kernel_table() {
+  static const KernelTable t = detail::make_table<Avx2V>("avx2");
+  return &t;
+}
+
+}  // namespace ccovid::simd
+
+#else  // !__AVX2__
+
+namespace ccovid::simd {
+const KernelTable* avx2_kernel_table() { return nullptr; }
+}  // namespace ccovid::simd
+
+#endif

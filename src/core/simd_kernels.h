@@ -1,0 +1,290 @@
+// Backend-generic vector kernel bodies. Each per-backend translation
+// unit (simd_backend_*.cpp) instantiates make_table<V>() with its lane
+// type V and hands the resulting function-pointer table to the
+// dispatcher. The required V interface:
+//
+//   using v8 = ...;                       // 8 x f32 value type
+//   v8    zero();  v8 set1(float);
+//   v8    loadu(const float*);            // unaligned 8-lane load
+//   v8    load_partial(const float*, n);  // lanes [n,8) zero-filled
+//   void  storeu(float*, v8);
+//   v8    add/mul/min/max(v8, v8);
+//   v8    madd(v8 acc, v8 a, v8 b);       // acc + a*b, TWO roundings
+//   v8    blend_gt0(v8 x, v8 a, v8 b);    // per lane: x > 0 ? a : b
+//   float reduce_add(v8);                 // canonical fixed tree
+//   void  cmul(double* a, const double* b, index_t n);  // complex a*=b
+//
+// Lane determinism: per-output lanes accumulate in scalar order (rule 1
+// of the contract in core/simd.h), and the border/tail scalar paths
+// below are shared source, so every backend runs the identical
+// instruction-order-insensitive arithmetic on the identical elements.
+#pragma once
+
+#include <algorithm>
+
+#include "core/simd.h"
+
+namespace ccovid::simd::detail {
+
+// Scalar single-output conv tap loop — used for border columns and
+// interior tails by every backend. Tap order (ci, ky, kx) ascending
+// with bounds-check skips, matching the historical scalar kernels.
+inline float conv_point(const float* in, const float* wgt, index_t wstride,
+                        index_t cin, index_t h, index_t w, index_t k,
+                        index_t oy, index_t ox, index_t pad, float bias) {
+  float acc = bias;
+  const index_t iy0 = oy - pad;
+  const index_t ix0 = ox - pad;
+  for (index_t ci = 0; ci < cin; ++ci) {
+    const float* inp = in + ci * h * w;
+    const float* wp = wgt + ci * wstride;
+    for (index_t ky = 0; ky < k; ++ky) {
+      const index_t iy = iy0 + ky;
+      if (iy < 0 || iy >= h) continue;
+      for (index_t kx = 0; kx < k; ++kx) {
+        const index_t ix = ix0 + kx;
+        if (ix < 0 || ix >= w) continue;
+        acc += inp[iy * w + ix] * wp[ky * k + kx];
+      }
+    }
+  }
+  return acc;
+}
+
+// Scalar single-output gather-deconv tap loop (iy = oy + pad - ky).
+inline float deconv_point(const float* in, const float* wgt,
+                          index_t wstride, index_t cin, index_t h,
+                          index_t w, index_t k, index_t oy, index_t ox,
+                          index_t pad, float bias) {
+  float acc = bias;
+  for (index_t ci = 0; ci < cin; ++ci) {
+    const float* inp = in + ci * h * w;
+    const float* wp = wgt + ci * wstride;
+    for (index_t ky = 0; ky < k; ++ky) {
+      const index_t iy = oy + pad - ky;
+      if (iy < 0 || iy >= h) continue;
+      for (index_t kx = 0; kx < k; ++kx) {
+        const index_t ix = ox + pad - kx;
+        if (ix < 0 || ix >= w) continue;
+        acc += inp[iy * w + ix] * wp[ky * k + kx];
+      }
+    }
+  }
+  return acc;
+}
+
+template <class V>
+struct Kernels {
+  using v8 = typename V::v8;
+
+  static void sgemm_micro_4x8(const float* CCOVID_RESTRICT a, index_t lda,
+                              const float* CCOVID_RESTRICT bpack,
+                              float* CCOVID_RESTRICT c, index_t ldc,
+                              index_t kc) {
+    v8 acc0 = V::zero(), acc1 = V::zero(), acc2 = V::zero(),
+       acc3 = V::zero();
+    for (index_t p = 0; p < kc; ++p) {
+      const v8 b = V::loadu(bpack + p * 8);
+      acc0 = V::madd(acc0, V::set1(a[0 * lda + p]), b);
+      acc1 = V::madd(acc1, V::set1(a[1 * lda + p]), b);
+      acc2 = V::madd(acc2, V::set1(a[2 * lda + p]), b);
+      acc3 = V::madd(acc3, V::set1(a[3 * lda + p]), b);
+    }
+    V::storeu(c + 0 * ldc, V::add(V::loadu(c + 0 * ldc), acc0));
+    V::storeu(c + 1 * ldc, V::add(V::loadu(c + 1 * ldc), acc1));
+    V::storeu(c + 2 * ldc, V::add(V::loadu(c + 2 * ldc), acc2));
+    V::storeu(c + 3 * ldc, V::add(V::loadu(c + 3 * ldc), acc3));
+  }
+
+  static void conv2d_row_s1(const float* CCOVID_RESTRICT in,
+                            const float* CCOVID_RESTRICT wgt,
+                            index_t wstride, float* CCOVID_RESTRICT out,
+                            index_t cin, index_t h, index_t w, index_t k,
+                            index_t oy, index_t pad, index_t wo,
+                            float bias) {
+    // Interior x span: every kx tap in bounds. Valid ky rows depend
+    // only on oy and bound the tap loop identically on both paths.
+    const index_t ky0 = std::max<index_t>(0, pad - oy);
+    const index_t ky1 = std::min<index_t>(k, h + pad - oy);
+    const index_t xlo = std::min<index_t>(pad, wo);
+    const index_t xhi = std::max(xlo, std::min<index_t>(wo, w - k + pad + 1));
+    index_t ox = 0;
+    for (; ox < xlo; ++ox) {
+      out[ox] = conv_point(in, wgt, wstride, cin, h, w, k, oy, ox, pad,
+                           bias);
+    }
+    const index_t iy0 = oy - pad;
+    for (; ox + 8 <= xhi; ox += 8) {
+      v8 acc = V::set1(bias);
+      const index_t ix0 = ox - pad;
+      for (index_t ci = 0; ci < cin; ++ci) {
+        const float* inp = in + ci * h * w;
+        const float* wp = wgt + ci * wstride;
+        for (index_t ky = ky0; ky < ky1; ++ky) {
+          const float* row = inp + (iy0 + ky) * w + ix0;
+          for (index_t kx = 0; kx < k; ++kx) {
+            acc = V::madd(acc, V::loadu(row + kx), V::set1(wp[ky * k + kx]));
+          }
+        }
+      }
+      V::storeu(out + ox, acc);
+    }
+    for (; ox < wo; ++ox) {
+      out[ox] = conv_point(in, wgt, wstride, cin, h, w, k, oy, ox, pad,
+                           bias);
+    }
+  }
+
+  static void deconv2d_row_s1(const float* CCOVID_RESTRICT in,
+                              const float* CCOVID_RESTRICT wgt,
+                              index_t wstride, float* CCOVID_RESTRICT out,
+                              index_t cin, index_t h, index_t w, index_t k,
+                              index_t oy, index_t pad, index_t wo,
+                              float bias) {
+    // ix = ox + pad - kx must stay in [0, w) for every kx in [0, k).
+    const index_t ky0 = std::max<index_t>(0, oy + pad - h + 1);
+    const index_t ky1 = std::min<index_t>(k, oy + pad + 1);
+    const index_t xlo = std::min<index_t>(std::max<index_t>(0, k - 1 - pad),
+                                          wo);
+    const index_t xhi = std::max(xlo, std::min<index_t>(wo, w - pad));
+    index_t ox = 0;
+    for (; ox < xlo; ++ox) {
+      out[ox] = deconv_point(in, wgt, wstride, cin, h, w, k, oy, ox, pad,
+                             bias);
+    }
+    for (; ox + 8 <= xhi; ox += 8) {
+      v8 acc = V::set1(bias);
+      for (index_t ci = 0; ci < cin; ++ci) {
+        const float* inp = in + ci * h * w;
+        const float* wp = wgt + ci * wstride;
+        for (index_t ky = ky0; ky < ky1; ++ky) {
+          const float* row = inp + (oy + pad - ky) * w + (ox + pad);
+          for (index_t kx = 0; kx < k; ++kx) {
+            acc = V::madd(acc, V::loadu(row - kx), V::set1(wp[ky * k + kx]));
+          }
+        }
+      }
+      V::storeu(out + ox, acc);
+    }
+    for (; ox < wo; ++ox) {
+      out[ox] = deconv_point(in, wgt, wstride, cin, h, w, k, oy, ox, pad,
+                             bias);
+    }
+  }
+
+  static void scale_shift(const float* CCOVID_RESTRICT x,
+                          float* CCOVID_RESTRICT y, index_t n, float scale,
+                          float shift) {
+    const v8 sc = V::set1(scale), sh = V::set1(shift);
+    index_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      V::storeu(y + i, V::madd(sh, V::loadu(x + i), sc));
+    }
+    for (; i < n; ++i) y[i] = scale * x[i] + shift;
+  }
+
+  static void relu(const float* CCOVID_RESTRICT x, float* CCOVID_RESTRICT y,
+                   index_t n) {
+    const v8 z = V::zero();
+    index_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      V::storeu(y + i, V::max(V::loadu(x + i), z));
+    }
+    // Scalar tail keeps maxps semantics: NaN and -0 both map to +0.
+    for (; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  }
+
+  static void leaky_relu(const float* CCOVID_RESTRICT x,
+                         float* CCOVID_RESTRICT y, index_t n, float slope) {
+    const v8 sl = V::set1(slope);
+    index_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      const v8 v = V::loadu(x + i);
+      V::storeu(y + i, V::blend_gt0(v, v, V::mul(sl, v)));
+    }
+    for (; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : slope * x[i];
+  }
+
+  static void add_scalar(float* CCOVID_RESTRICT y, index_t n, float v) {
+    const v8 b = V::set1(v);
+    index_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      V::storeu(y + i, V::add(V::loadu(y + i), b));
+    }
+    for (; i < n; ++i) y[i] += v;
+  }
+
+  static float dot(const float* CCOVID_RESTRICT a,
+                   const float* CCOVID_RESTRICT b, index_t n) {
+    v8 acc = V::zero();
+    index_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      acc = V::madd(acc, V::loadu(a + i), V::loadu(b + i));
+    }
+    if (i < n) {
+      // Zero-filled lanes contribute +0 products; the virtual-lane
+      // partials stay identical at every physical width.
+      acc = V::madd(acc, V::load_partial(a + i, n - i),
+                    V::load_partial(b + i, n - i));
+    }
+    return V::reduce_add(acc);
+  }
+
+  // ----- probes -----------------------------------------------------
+  static void probe_madd(const float* a, const float* b, const float* c,
+                         float* out) {
+    V::storeu(out, V::madd(V::loadu(c), V::loadu(a), V::loadu(b)));
+  }
+  static void probe_mul(const float* a, const float* b, float* out) {
+    V::storeu(out, V::mul(V::loadu(a), V::loadu(b)));
+  }
+  static void probe_add(const float* a, const float* b, float* out) {
+    V::storeu(out, V::add(V::loadu(a), V::loadu(b)));
+  }
+  static void probe_min(const float* a, const float* b, float* out) {
+    V::storeu(out, V::min(V::loadu(a), V::loadu(b)));
+  }
+  static void probe_max(const float* a, const float* b, float* out) {
+    V::storeu(out, V::max(V::loadu(a), V::loadu(b)));
+  }
+  static float probe_reduce(const float* a) {
+    return V::reduce_add(V::loadu(a));
+  }
+  static void probe_load_partial(const float* p, index_t n, float* out) {
+    V::storeu(out, V::load_partial(p, n));
+  }
+};
+
+template <class V>
+KernelTable make_table(const char* name) {
+  KernelTable t;
+  t.name = name;
+  t.sgemm_micro_4x8 = &Kernels<V>::sgemm_micro_4x8;
+  t.conv2d_row_s1 = &Kernels<V>::conv2d_row_s1;
+  t.deconv2d_row_s1 = &Kernels<V>::deconv2d_row_s1;
+  t.scale_shift = &Kernels<V>::scale_shift;
+  t.relu = &Kernels<V>::relu;
+  t.leaky_relu = &Kernels<V>::leaky_relu;
+  t.add_scalar = &Kernels<V>::add_scalar;
+  t.cmul = &V::cmul;
+  t.dot = &Kernels<V>::dot;
+  t.probe_madd = &Kernels<V>::probe_madd;
+  t.probe_mul = &Kernels<V>::probe_mul;
+  t.probe_add = &Kernels<V>::probe_add;
+  t.probe_min = &Kernels<V>::probe_min;
+  t.probe_max = &Kernels<V>::probe_max;
+  t.probe_reduce = &Kernels<V>::probe_reduce;
+  t.probe_load_partial = &Kernels<V>::probe_load_partial;
+  return t;
+}
+
+// Shared scalar complex-multiply element: the exact mul/sub/add pairing
+// every backend (and every vector tail) must reproduce.
+inline void cmul_one(double* a, const double* b) {
+  const double ar = a[0], ai = a[1];
+  const double br = b[0], bi = b[1];
+  a[0] = ar * br - ai * bi;
+  a[1] = ai * br + ar * bi;
+}
+
+}  // namespace ccovid::simd::detail

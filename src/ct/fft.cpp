@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <stdexcept>
+
+#include "core/simd.h"
 #include "trace/trace.h"
 
 namespace ccovid::ct {
@@ -62,7 +64,12 @@ void fft_convolve_with(const double* a, const cplx* fb, index_t n,
                        double* out, cplx* work) {
   TRACE_SPAN("ct.fft.convolve");
   fft_real_forward(a, n, work);
-  for (index_t i = 0; i < n; ++i) work[i] *= fb[i];
+  // Ramp-filter pointwise multiply in the frequency domain. std::complex
+  // stores {re, im} contiguously, so the buffer is reinterpretable as an
+  // interleaved double array; every backend computes the textbook
+  // (ar*br - ai*bi, ai*br + ar*bi) with the same rounding order.
+  simd::kernels().cmul(reinterpret_cast<double*>(work),
+                       reinterpret_cast<const double*>(fb), n);
   fft(work, n, true);
   for (index_t i = 0; i < n; ++i) out[i] = work[i].real();
 }

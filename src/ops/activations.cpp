@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/parallel.h"
+#include "core/simd.h"
 
 namespace ccovid::ops {
 
@@ -38,7 +39,16 @@ Tensor elementwise2(const Tensor& a, const Tensor& b, F&& f) {
 }  // namespace
 
 Tensor relu(const Tensor& input) {
-  return elementwise(input, [](real_t x) { return x > 0 ? x : 0.0f; });
+  // Vectorized epilogue: maxps against zero, eight lanes per step.
+  Tensor out(input.shape());
+  const real_t* ip = input.data();
+  real_t* op = out.data();
+  const simd::KernelTable& kt = simd::kernels();
+  parallel_for_blocked(
+      0, input.numel(),
+      [&](index_t lo, index_t hi) { kt.relu(ip + lo, op + lo, hi - lo); },
+      /*grain=*/65536);
+  return out;
 }
 
 Tensor relu_backward(const Tensor& grad_out, const Tensor& input) {
@@ -47,8 +57,17 @@ Tensor relu_backward(const Tensor& grad_out, const Tensor& input) {
 }
 
 Tensor leaky_relu(const Tensor& input, real_t slope) {
-  return elementwise(input,
-                     [slope](real_t x) { return x > 0 ? x : slope * x; });
+  Tensor out(input.shape());
+  const real_t* ip = input.data();
+  real_t* op = out.data();
+  const simd::KernelTable& kt = simd::kernels();
+  parallel_for_blocked(
+      0, input.numel(),
+      [&](index_t lo, index_t hi) {
+        kt.leaky_relu(ip + lo, op + lo, hi - lo, slope);
+      },
+      /*grain=*/65536);
+  return out;
 }
 
 Tensor leaky_relu_backward(const Tensor& grad_out, const Tensor& input,

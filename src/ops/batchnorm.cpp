@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "core/simd.h"
 #include "trace/trace.h"
 
 namespace ccovid::ops {
@@ -74,12 +75,11 @@ Tensor batch_norm_train(const Tensor& input, const Tensor& gamma,
         const real_t scale = gp[c] * inv_std;
         const real_t shift =
             bp[c] - scale * static_cast<real_t>(mean);
+        const simd::KernelTable& kt = simd::kernels();
         for (index_t ni = 0; ni < d.n; ++ni) {
           const real_t* x = ip + (ni * d.c + c) * d.spatial;
           real_t* y = op + (ni * d.c + c) * d.spatial;
-          for (index_t i = 0; i < d.spatial; ++i) {
-            y[i] = scale * x[i] + shift;
-          }
+          kt.scale_shift(x, y, d.spatial, scale, shift);
         }
       },
       /*grain=*/1);
@@ -104,6 +104,7 @@ Tensor batch_norm_infer(const Tensor& input, const Tensor& gamma,
   const real_t* mp = running_mean.data();
   const real_t* vp = running_var.data();
 
+  const simd::KernelTable& kt = simd::kernels();
   parallel_for(
       0, d.n * d.c,
       [&](index_t plane) {
@@ -112,9 +113,10 @@ Tensor batch_norm_infer(const Tensor& input, const Tensor& gamma,
             1.0f / std::sqrt(vp[c] + eps);
         const real_t scale = gp[c] * inv_std;
         const real_t shift = bp[c] - scale * mp[c];
-        const real_t* x = ip + plane * d.spatial;
-        real_t* y = op + plane * d.spatial;
-        for (index_t i = 0; i < d.spatial; ++i) y[i] = scale * x[i] + shift;
+        // Vectorized affine epilogue: same mul-then-add per element as
+        // the scalar loop it replaces, eight pixels per vector.
+        kt.scale_shift(ip + plane * d.spatial, op + plane * d.spatial,
+                       d.spatial, scale, shift);
       },
       /*grain=*/1);
   return out;

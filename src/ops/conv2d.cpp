@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "core/simd.h"
 #include "trace/trace.h"
 
 namespace ccovid::ops {
@@ -151,6 +152,7 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   const real_t* wp = weight.data();
   const real_t* bp = bias.defined() ? bias.data() : nullptr;
   real_t* op = out.data();
+  const simd::KernelTable& kt = simd::kernels();
 
   parallel_for(
       0, n * cout,
@@ -161,6 +163,18 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
         const real_t* w_co = wp + co * cin * k * k;
         real_t* out_p = op + (ni * cout + co) * ho * wo;
         const real_t bias_v = bp ? bp[co] : 0.0f;
+        if (opt.unroll && p.stride == 1) {
+          // Widened-datapath LU stage: 8 output pixels per vector via
+          // the dispatched backend; border columns and the scalar
+          // emulation accumulate taps in the identical (ci, ky, kx)
+          // order, so results match the historical unrolled kernel
+          // bitwise on every backend.
+          for (index_t oy = 0; oy < ho; ++oy) {
+            kt.conv2d_row_s1(in_n, w_co, k * k, out_p + oy * wo, cin, h,
+                             w, k, oy, p.pad, wo, bias_v);
+          }
+          return;
+        }
         if (opt.unroll) {
           switch (k) {
             case 1:

@@ -6,6 +6,7 @@
 
 #include "core/arena.h"
 #include "core/parallel.h"
+#include "core/simd.h"
 #include "trace/trace.h"
 
 namespace ccovid::ops {
@@ -18,34 +19,11 @@ constexpr index_t kMc = 64;
 constexpr index_t kKc = 256;
 constexpr index_t kNc = 256;
 
-// 4x8 register-tiled micro kernel over a K-slice.
-void micro_kernel_4x8(const real_t* CCOVID_RESTRICT a, index_t lda,
-                      const real_t* CCOVID_RESTRICT b, index_t ldb,
-                      real_t* CCOVID_RESTRICT c, index_t ldc,
-                      index_t kc) {
-  real_t acc[4][8] = {};
-  for (index_t p = 0; p < kc; ++p) {
-    const real_t b0 = b[p * ldb + 0], b1 = b[p * ldb + 1];
-    const real_t b2 = b[p * ldb + 2], b3 = b[p * ldb + 3];
-    const real_t b4 = b[p * ldb + 4], b5 = b[p * ldb + 5];
-    const real_t b6 = b[p * ldb + 6], b7 = b[p * ldb + 7];
-#pragma GCC unroll 4
-    for (int i = 0; i < 4; ++i) {
-      const real_t ai = a[i * lda + p];
-      acc[i][0] += ai * b0;
-      acc[i][1] += ai * b1;
-      acc[i][2] += ai * b2;
-      acc[i][3] += ai * b3;
-      acc[i][4] += ai * b4;
-      acc[i][5] += ai * b5;
-      acc[i][6] += ai * b6;
-      acc[i][7] += ai * b7;
-    }
-  }
-  for (int i = 0; i < 4; ++i) {
-    for (int j = 0; j < 8; ++j) c[i * ldc + j] += acc[i][j];
-  }
-}
+// The 4x8 register-tiled micro kernel lives in the SIMD layer
+// (simd::KernelTable::sgemm_micro_4x8): lane j owns output column j
+// and accumulates sequentially over K, so every backend — scalar
+// emulation included — produces the bits the historical scalar
+// microkernel did.
 
 // Scalar edge kernel for remainder tiles.
 void edge_kernel(const real_t* a, index_t lda, const real_t* b,
@@ -67,6 +45,7 @@ void edge_kernel(const real_t* a, index_t lda, const real_t* b,
 void sgemm(const real_t* a, const real_t* b, real_t* c, index_t m,
            index_t k, index_t n) {
   std::fill_n(c, m * n, 0.0f);
+  const simd::KernelTable& kt = simd::kernels();
   // Parallelize across independent row blocks of C.
   const index_t row_blocks = (m + kMc - 1) / kMc;
   parallel_for(
@@ -102,9 +81,9 @@ void sgemm(const real_t* a, const real_t* b, real_t* c, index_t m,
             for (; i + 4 <= i1; i += 4) {
               index_t j = j0;
               for (; j + 8 <= j1; j += 8) {
-                micro_kernel_4x8(a + i * k + p0, k,
-                                 bpack + ((j - j0) / 8) * kc * 8, 8,
-                                 c + i * n + j, n, kc);
+                kt.sgemm_micro_4x8(a + i * k + p0, k,
+                                   bpack + ((j - j0) / 8) * kc * 8,
+                                   c + i * n + j, n, kc);
               }
               if (j < j1) {
                 // Narrow edge columns read B unpacked; the scalar edge
@@ -157,6 +136,36 @@ void im2col_into(const Tensor& input, index_t ksize, Conv2dParams p,
             real_t* row = op + (ni * c * ksize * ksize +
                                 (ci * ksize + ky) * ksize + kx) *
                                    ho * wo;
+            if (p.stride == 1) {
+              // Stride-1 fast path: for a fixed (ky, kx) the source
+              // indices ix = ox - pad + kx are contiguous, so each
+              // output row is zero padding around one memcpy. This is
+              // pure data movement — no FP ops — so it cannot perturb
+              // lane determinism, and it keeps the backend-independent
+              // share of conv2d_gemm from swamping the GEMM speedup.
+              const index_t xlo =
+                  std::min(wo, std::max<index_t>(0, p.pad - kx));
+              const index_t xhi =
+                  std::max(xlo, std::min(wo, w + p.pad - kx));
+              for (index_t oy = 0; oy < ho; ++oy) {
+                const index_t iy = oy - p.pad + ky;
+                real_t* dst = row + oy * wo;
+                if (iy < 0 || iy >= h) {
+                  std::memset(dst, 0, sizeof(real_t) * wo);
+                  continue;
+                }
+                if (xlo > 0) std::memset(dst, 0, sizeof(real_t) * xlo);
+                if (xhi > xlo) {
+                  std::memcpy(dst + xlo,
+                              in_p + iy * w + (xlo - p.pad + kx),
+                              sizeof(real_t) * (xhi - xlo));
+                }
+                if (wo > xhi) {
+                  std::memset(dst + xhi, 0, sizeof(real_t) * (wo - xhi));
+                }
+              }
+              continue;
+            }
             for (index_t oy = 0; oy < ho; ++oy) {
               const index_t iy = oy * p.stride - p.pad + ky;
               for (index_t ox = 0; ox < wo; ++ox) {
@@ -255,12 +264,12 @@ Tensor conv2d_gemm(const Tensor& input, const Tensor& weight,
           out.data() + ni * cout * ho * wo, cout, patch, ho * wo);
   }
   if (bias.defined()) {
+    const simd::KernelTable& kt = simd::kernels();
     real_t* op = out.data();
     for (index_t ni = 0; ni < n; ++ni) {
       for (index_t co = 0; co < cout; ++co) {
-        const real_t b = bias.at(co);
-        real_t* plane = op + (ni * cout + co) * ho * wo;
-        for (index_t i = 0; i < ho * wo; ++i) plane[i] += b;
+        kt.add_scalar(op + (ni * cout + co) * ho * wo, ho * wo,
+                      bias.at(co));
       }
     }
   }

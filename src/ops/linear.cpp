@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/parallel.h"
+#include "core/simd.h"
 #include "trace/trace.h"
 
 namespace ccovid::ops {
@@ -24,16 +25,17 @@ Tensor linear(const Tensor& input, const Tensor& weight,
   const real_t* wp = weight.data();
   const real_t* bp = bias.defined() ? bias.data() : nullptr;
   real_t* op = out.data();
+  const simd::KernelTable& kt = simd::kernels();
   parallel_for(
       0, n,
       [&](index_t ni) {
         const real_t* x = ip + ni * in_f;
         real_t* y = op + ni * out_f;
         for (index_t o = 0; o < out_f; ++o) {
-          const real_t* w = wp + o * in_f;
-          real_t acc = bp ? bp[o] : 0.0f;
-          for (index_t i = 0; i < in_f; ++i) acc += x[i] * w[i];
-          y[o] = acc;
+          // Canonical 8-lane strided dot (element i -> lane i%8, fixed
+          // reduction tree): every backend yields the same bits, unlike
+          // the historical sequential accumulation this replaces.
+          y[o] = (bp ? bp[o] : 0.0f) + kt.dot(x, wp + o * in_f, in_f);
         }
       },
       /*grain=*/1);

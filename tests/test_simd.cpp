@@ -1,0 +1,340 @@
+// Lane-determinism suite for the SIMD backend layer (core/simd.h).
+//
+// The contract under test: every backend — scalar emulation included —
+// produces bitwise-identical results for every primitive and every
+// ported kernel, because (1) per-output vectorization preserves scalar
+// accumulation order with two-rounding madd, and (2) cross-lane
+// reductions use one canonical strided-lane tree. These tests compare
+// raw bit patterns, never distances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "core/random.h"
+#include "core/simd.h"
+#include "ops/gemm.h"
+#include "ops/ops.h"
+
+using namespace ccovid;
+
+namespace {
+
+std::vector<simd::Backend> available_backends() {
+  std::vector<simd::Backend> out;
+  for (const simd::Backend b :
+       {simd::Backend::kScalar, simd::Backend::kSse2,
+        simd::Backend::kAvx2}) {
+    if (simd::backend_available(b)) out.push_back(b);
+  }
+  return out;
+}
+
+bool bits_equal(const float* a, const float* b, index_t n) {
+  return std::memcmp(a, b, static_cast<std::size_t>(n) * sizeof(float)) == 0;
+}
+
+bool bits_equal(const Tensor& a, const Tensor& b) {
+  return a.numel() == b.numel() && bits_equal(a.data(), b.data(), a.numel());
+}
+
+Tensor random_tensor(Shape s, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(s));
+  rng.fill_gaussian(t, 0.0, 0.5);
+  return t;
+}
+
+// Runs `make` under every available backend and requires every result
+// to match the scalar backend's bits exactly.
+template <typename Make>
+void expect_backend_invariant(Make&& make, const char* what) {
+  const simd::Backend prev = simd::active_backend();
+  simd::set_backend(simd::Backend::kScalar);
+  const Tensor ref = make();
+  for (const simd::Backend be : available_backends()) {
+    simd::set_backend(be);
+    const Tensor got = make();
+    EXPECT_TRUE(bits_equal(ref, got))
+        << what << ": backend " << simd::backend_name(be)
+        << " diverges from scalar bits";
+  }
+  simd::set_backend(prev);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------
+// Primitive probes: per-lane bitwise equality across backends.
+
+TEST(SimdPrimitives, LanewiseOpsMatchScalarBits) {
+  // Values chosen to stress rounding: near-1 products, denormals,
+  // negative zero, large magnitudes.
+  const float a[8] = {1.0f + 0x1p-12f, -3.1415926f, 0x1p-140f, -0.0f,
+                      1e30f,           -1e-30f,     7.25f,     0.333333f};
+  const float b[8] = {1.0f - 0x1p-12f, 2.7182818f, 0x1p-10f, 4.0f,
+                      1e-30f,          -1e30f,     -7.25f,   3.0f};
+  const float c[8] = {-1.0f, 0.5f, 0x1p-140f, -0.0f, 1.0f, -1.0f, 0.0f, 1.0f};
+
+  const simd::KernelTable* ref = simd::table_for(simd::Backend::kScalar);
+  ASSERT_NE(ref, nullptr);
+  float want[8], got[8];
+
+  for (const simd::Backend be : available_backends()) {
+    const simd::KernelTable* kt = simd::table_for(be);
+    ASSERT_NE(kt, nullptr);
+    SCOPED_TRACE(simd::backend_name(be));
+
+    ref->probe_madd(a, b, c, want);
+    kt->probe_madd(a, b, c, got);
+    EXPECT_TRUE(bits_equal(want, got, 8)) << "madd";
+
+    ref->probe_mul(a, b, want);
+    kt->probe_mul(a, b, got);
+    EXPECT_TRUE(bits_equal(want, got, 8)) << "mul";
+
+    ref->probe_add(a, b, want);
+    kt->probe_add(a, b, got);
+    EXPECT_TRUE(bits_equal(want, got, 8)) << "add";
+
+    ref->probe_min(a, b, want);
+    kt->probe_min(a, b, got);
+    EXPECT_TRUE(bits_equal(want, got, 8)) << "min";
+
+    ref->probe_max(a, b, want);
+    kt->probe_max(a, b, got);
+    EXPECT_TRUE(bits_equal(want, got, 8)) << "max";
+
+    const float rw = ref->probe_reduce(a);
+    const float rg = kt->probe_reduce(a);
+    EXPECT_TRUE(bits_equal(&rw, &rg, 1)) << "reduce";
+  }
+}
+
+TEST(SimdPrimitives, MaddUsesTwoRoundingsNotFma) {
+  // (1 + 2^-12)(1 - 2^-12) = 1 - 2^-24. Exact f32. Adding -1:
+  //   two roundings: f32(a*b) = 1 - 2^-24, plus -1 -> -2^-24
+  //   fused        : same here, so pick the sharper pair below.
+  // a = b = 1 + 2^-12: a*b = 1 + 2^-11 + 2^-24. f32 rounds away the
+  // 2^-24 (ulp at 1 is 2^-23), so
+  //   two roundings: (1 + 2^-11) - 1 = 2^-11 exactly
+  //   fused        : 2^-11 + 2^-24 (single rounding keeps the tail)
+  const float x = 1.0f + 0x1p-12f;
+  const float a[8] = {x, x, x, x, x, x, x, x};
+  const float c[8] = {-1.0f, -1.0f, -1.0f, -1.0f, -1.0f, -1.0f, -1.0f, -1.0f};
+  const float two_rounded = 0x1p-11f;
+  const float fused = std::fma(x, x, -1.0f);
+  ASSERT_NE(two_rounded, fused) << "test values lost their discriminating power";
+
+  for (const simd::Backend be : available_backends()) {
+    const simd::KernelTable* kt = simd::table_for(be);
+    float got[8];
+    kt->probe_madd(a, a, c, got);
+    for (int i = 0; i < simd::kLanes; ++i) {
+      EXPECT_EQ(got[i], two_rounded) << simd::backend_name(be) << " lane " << i;
+      EXPECT_NE(got[i], fused) << simd::backend_name(be)
+                               << " contracted to FMA, lane " << i;
+    }
+  }
+}
+
+TEST(SimdPrimitives, MinMaxSecondOperandWinsOnNan) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float a[8] = {nan, 1.0f, -0.0f, 0.0f, nan, 2.0f, nan, -1.0f};
+  const float b[8] = {3.0f, nan, 0.0f, -0.0f, -3.0f, nan, 0.0f, nan};
+  for (const simd::Backend be : available_backends()) {
+    const simd::KernelTable* kt = simd::table_for(be);
+    SCOPED_TRACE(simd::backend_name(be));
+    float mx[8], mn[8];
+    kt->probe_max(a, b, mx);
+    kt->probe_min(a, b, mn);
+    // minps/maxps: when the comparison is false (NaN involved, or
+    // equal-valued +-0), the SECOND operand is returned.
+    EXPECT_EQ(mx[0], 3.0f);
+    EXPECT_TRUE(std::isnan(mx[1]));
+    EXPECT_EQ(mn[0], 3.0f);
+    EXPECT_TRUE(std::isnan(mn[1]));
+    // +-0 ties take operand b (bitwise).
+    EXPECT_TRUE(bits_equal(&mx[2], &b[2], 1));
+    EXPECT_TRUE(bits_equal(&mn[3], &b[3], 1));
+  }
+}
+
+TEST(SimdPrimitives, ReduceMatchesCanonicalTree) {
+  const float l[8] = {0.1f, 0.2f, 0.4f, 0.8f, 1.6f, 3.2f, 6.4f, 12.8f};
+  // q_i = l_i + l_{i+4}; r0 = q0 + q2; r1 = q1 + q3; sum = r0 + r1.
+  const float q0 = l[0] + l[4], q1 = l[1] + l[5], q2 = l[2] + l[6],
+              q3 = l[3] + l[7];
+  const float want = (q0 + q2) + (q1 + q3);
+  for (const simd::Backend be : available_backends()) {
+    const simd::KernelTable* kt = simd::table_for(be);
+    const float got = kt->probe_reduce(l);
+    EXPECT_TRUE(bits_equal(&want, &got, 1)) << simd::backend_name(be);
+  }
+}
+
+TEST(SimdPrimitives, LoadPartialZeroFillsTail) {
+  const float src[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (const simd::Backend be : available_backends()) {
+    const simd::KernelTable* kt = simd::table_for(be);
+    for (index_t n = 0; n <= 8; ++n) {
+      float out[8];
+      std::memset(out, 0xAB, sizeof(out));
+      kt->probe_load_partial(src, n, out);
+      for (index_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(out[i], i < n ? src[i] : 0.0f)
+            << simd::backend_name(be) << " n=" << n << " lane " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdPrimitives, DotMatchesStridedLaneReference) {
+  Rng rng(99);
+  Tensor xa({64}), xb({64});
+  rng.fill_gaussian(xa, 0.0, 1.0);
+  rng.fill_gaussian(xb, 0.0, 1.0);
+  for (index_t n = 0; n <= 40; ++n) {
+    // Reference: 8 virtual partial sums (element i -> lane i%8, scalar
+    // order within each lane) + the canonical tree.
+    float lane[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    for (index_t i = 0; i < n; ++i) {
+      lane[i % 8] = lane[i % 8] + xa.at(i) * xb.at(i);
+    }
+    const float q0 = lane[0] + lane[4], q1 = lane[1] + lane[5],
+                q2 = lane[2] + lane[6], q3 = lane[3] + lane[7];
+    const float want = (q0 + q2) + (q1 + q3);
+    for (const simd::Backend be : available_backends()) {
+      const float got = simd::table_for(be)->dot(xa.data(), xb.data(), n);
+      EXPECT_TRUE(bits_equal(&want, &got, 1))
+          << simd::backend_name(be) << " n=" << n;
+    }
+  }
+}
+
+// ------------------------------------------------------------------
+// Dispatch API.
+
+TEST(SimdDispatch, ParseBackendAcceptsKnownSpecsOnly) {
+  simd::Backend b = simd::Backend::kScalar;
+  bool is_auto = true;
+  EXPECT_TRUE(simd::parse_backend("scalar", &b, &is_auto));
+  EXPECT_EQ(b, simd::Backend::kScalar);
+  EXPECT_FALSE(is_auto);
+  EXPECT_TRUE(simd::parse_backend("sse2", &b, &is_auto));
+  EXPECT_EQ(b, simd::Backend::kSse2);
+  EXPECT_TRUE(simd::parse_backend("avx2", &b, &is_auto));
+  EXPECT_EQ(b, simd::Backend::kAvx2);
+  EXPECT_TRUE(simd::parse_backend("auto", &b, &is_auto));
+  EXPECT_TRUE(is_auto);
+  for (const char* bad : {"", "AVX2", "avx512", "neon", "scalar "}) {
+    EXPECT_FALSE(simd::parse_backend(bad, &b, &is_auto)) << bad;
+  }
+}
+
+TEST(SimdDispatch, SetBackendSpecRejectsUnknownAndKeepsState) {
+  const simd::Backend prev = simd::active_backend();
+  EXPECT_TRUE(simd::set_backend_spec("scalar"));
+  EXPECT_EQ(simd::active_backend(), simd::Backend::kScalar);
+  EXPECT_STREQ(simd::kernels().name, "scalar");
+  EXPECT_FALSE(simd::set_backend_spec("fast-please"));
+  EXPECT_EQ(simd::active_backend(), simd::Backend::kScalar);
+  EXPECT_TRUE(simd::set_backend_spec("auto"));
+  // auto must land on an available backend whose table agrees.
+  EXPECT_TRUE(simd::backend_available(simd::active_backend()));
+  EXPECT_STREQ(simd::kernels().name,
+               simd::backend_name(simd::active_backend()));
+  simd::set_backend(prev);
+}
+
+TEST(SimdDispatch, ScalarAlwaysAvailableAndUnavailableRequestsClamp) {
+  EXPECT_TRUE(simd::backend_available(simd::Backend::kScalar));
+  const simd::Backend prev = simd::active_backend();
+  // Requesting any backend yields an available one at or below it.
+  for (const simd::Backend want :
+       {simd::Backend::kScalar, simd::Backend::kSse2,
+        simd::Backend::kAvx2}) {
+    const simd::Backend got = simd::set_backend(want);
+    EXPECT_TRUE(simd::backend_available(got));
+    EXPECT_LE(static_cast<int>(got), static_cast<int>(want));
+    EXPECT_EQ(got, simd::active_backend());
+  }
+  simd::set_backend(prev);
+}
+
+// ------------------------------------------------------------------
+// Ported kernels: whole-op bitwise equality across backends. Shapes
+// deliberately hit vector interiors, scalar borders, and ragged tails.
+
+TEST(SimdKernels, Conv2dUnrolledBackendInvariant) {
+  const Tensor x = random_tensor({2, 3, 13, 19}, 1);
+  const Tensor w = random_tensor({4, 3, 5, 5}, 2);
+  const Tensor b = random_tensor({4}, 3);
+  expect_backend_invariant(
+      [&] {
+        return ops::conv2d(x, w, b, ops::Conv2dParams::same(5),
+                           ops::KernelOptions::all());
+      },
+      "conv2d unrolled");
+}
+
+TEST(SimdKernels, Deconv2dGatherBackendInvariant) {
+  const Tensor x = random_tensor({2, 3, 11, 17}, 4);
+  const Tensor w = random_tensor({3, 4, 5, 5}, 5);
+  const Tensor b = random_tensor({4}, 6);
+  expect_backend_invariant(
+      [&] {
+        return ops::deconv2d(x, w, b, ops::Deconv2dParams::same(5),
+                             ops::KernelOptions::all());
+      },
+      "deconv2d gather");
+}
+
+TEST(SimdKernels, MatmulBackendInvariant) {
+  // 13x37x29 exercises the 4x8 micro tile plus both edge kernels.
+  const Tensor a = random_tensor({13, 37}, 7);
+  const Tensor b = random_tensor({37, 29}, 8);
+  expect_backend_invariant([&] { return ops::matmul(a, b); }, "matmul");
+}
+
+TEST(SimdKernels, Conv2dGemmBackendInvariant) {
+  const Tensor x = random_tensor({1, 3, 12, 12}, 9);
+  const Tensor w = random_tensor({5, 3, 3, 3}, 10);
+  const Tensor b = random_tensor({5}, 11);
+  expect_backend_invariant(
+      [&] { return ops::conv2d_gemm(x, w, b, ops::Conv2dParams::same(3)); },
+      "conv2d_gemm");
+}
+
+TEST(SimdKernels, BatchNormInferBackendInvariant) {
+  const Tensor x = random_tensor({2, 4, 9, 11}, 12);
+  const Tensor gamma = random_tensor({4}, 13);
+  const Tensor beta = random_tensor({4}, 14);
+  Tensor mean = random_tensor({4}, 15);
+  Tensor var = random_tensor({4}, 16);
+  for (index_t c = 0; c < 4; ++c) var.at(c) = std::abs(var.at(c)) + 0.1f;
+  expect_backend_invariant(
+      [&] { return ops::batch_norm_infer(x, gamma, beta, mean, var); },
+      "batch_norm_infer");
+}
+
+TEST(SimdKernels, ActivationsBackendInvariantIncludingNan) {
+  Tensor x = random_tensor({1, 2, 7, 13}, 17);
+  x.data()[3] = std::numeric_limits<float>::quiet_NaN();
+  x.data()[40] = -0.0f;
+  expect_backend_invariant([&] { return ops::relu(x); }, "relu");
+  expect_backend_invariant([&] { return ops::leaky_relu(x, 0.01f); },
+                           "leaky_relu");
+  // relu maps NaN to 0 (maxps semantics) on every backend.
+  const Tensor y = ops::relu(x);
+  EXPECT_EQ(y.data()[3], 0.0f);
+}
+
+TEST(SimdKernels, LinearBackendInvariant) {
+  const Tensor x = random_tensor({3, 37}, 18);
+  const Tensor w = random_tensor({5, 37}, 19);
+  const Tensor b = random_tensor({5}, 20);
+  expect_backend_invariant([&] { return ops::linear(x, w, b); }, "linear");
+}

@@ -12,6 +12,7 @@
 
 #include "core/parallel.h"
 #include "core/serialize.h"
+#include "core/simd.h"
 #include "pipeline/framework.h"
 #include "trace/export.h"
 #include "trace/trace.h"
@@ -35,6 +36,12 @@ int main(int argc, char** argv) {
       use_enhancement = false;
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       set_num_threads(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--simd") && i + 1 < argc) {
+      if (!simd::set_backend_spec(argv[++i])) {
+        std::fprintf(stderr, "--simd: unknown backend '%s' (scalar|sse2|avx2|auto)\n",
+                     argv[i]);
+        return 1;
+      }
     } else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc) {
       trace_out = argv[++i];
       trace::set_level(1);
@@ -42,7 +49,7 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: ccovid_diagnose --models D --input F "
           "[--threshold T] [--no-enhance] [--threads N]\n"
-          "                [--trace-out PATH]\n");
+          "                [--simd MODE] [--trace-out PATH]\n");
       return !std::strcmp(argv[i], "--help") ? 0 : 1;
     }
   }

@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/simd.h"
 #include "data/phantom.h"
 #include "fault/failpoint.h"
 #include "nn/layers.h"
@@ -72,7 +73,7 @@ void usage() {
       "                    [--no-enhance] [--models DIR] [--json PATH]\n"
       "                    [--failpoints SPECS] [--fault-seed S]\n"
       "                    [--retries N] [--degrade] [--threads N]\n"
-      "                    [--trace-out PATH]\n");
+      "                    [--simd MODE] [--trace-out PATH]\n");
 }
 
 bool parse(int argc, char** argv, ToolArgs& a) {
@@ -144,6 +145,14 @@ bool parse(int argc, char** argv, ToolArgs& a) {
     } else if (!std::strcmp(arg, "--threads")) {
       if (!(v = next(arg))) return false;
       set_num_threads(std::atoi(v));
+    } else if (!std::strcmp(arg, "--simd")) {
+      if (!(v = next(arg))) return false;
+      if (!simd::set_backend_spec(v)) {
+        std::fprintf(stderr,
+                     "--simd: unknown backend '%s' (scalar|sse2|avx2|auto)\n",
+                     v);
+        return false;
+      }
     } else if (!std::strcmp(arg, "--trace-out")) {
       if (!(v = next(arg))) return false;
       a.trace_out = v;

@@ -17,6 +17,7 @@
 #include "core/image_io.h"
 #include "core/parallel.h"
 #include "core/serialize.h"
+#include "core/simd.h"
 #include "ct/hu.h"
 #include "data/lowdose.h"
 #include "data/phantom.h"
@@ -50,6 +51,12 @@ int main(int argc, char** argv) {
       photons = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       set_num_threads(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--simd") && i + 1 < argc) {
+      if (!simd::set_backend_spec(argv[++i])) {
+        std::fprintf(stderr, "--simd: unknown backend '%s' (scalar|sse2|avx2|auto)\n",
+                     argv[i]);
+        return 1;
+      }
     } else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc) {
       trace_out = argv[++i];
       trace::set_level(1);
@@ -57,7 +64,7 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: ccovid_sim --out F [--covid] [--depth D] [--px N] "
           "[--seed S] [--photons B] [--pgm-dir DIR] [--threads N]\n"
-          "                 [--trace-out PATH]\n");
+          "                 [--simd MODE] [--trace-out PATH]\n");
       return !std::strcmp(argv[i], "--help") ? 0 : 1;
     }
   }

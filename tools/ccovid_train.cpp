@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/parallel.h"
+#include "core/simd.h"
 #include "ct/hu.h"
 #include "dist/ddp.h"
 #include "pipeline/classification_ai.h"
@@ -50,6 +51,12 @@ int main(int argc, char** argv) {
       set_num_threads(std::atoi(argv[++i]));
     } else if (!std::strcmp(argv[i], "--ranks") && i + 1 < argc) {
       ranks = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--simd") && i + 1 < argc) {
+      if (!simd::set_backend_spec(argv[++i])) {
+        std::fprintf(stderr, "--simd: unknown backend '%s' (scalar|sse2|avx2|auto)\n",
+                     argv[i]);
+        return 1;
+      }
     } else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc) {
       trace_out = argv[++i];
       trace::set_level(1);
@@ -57,7 +64,7 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: ccovid_train --out-dir D [--px N] [--depth D] "
           "[--volumes V] [--epochs E] [--seed S] [--threads N]\n"
-          "                   [--ranks R] [--trace-out PATH]\n");
+          "                   [--ranks R] [--simd MODE] [--trace-out PATH]\n");
       return !std::strcmp(argv[i], "--help") ? 0 : 1;
     }
   }
