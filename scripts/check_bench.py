@@ -19,6 +19,15 @@ than the tolerance (default 15%). Two artifact kinds are understood:
            keyed by (mode, workers, batch); achieved_vps
            higher-is-better, p50_s lower-is-better.
 
+  shard    ccovid_serve --role front --shard-json output:
+           {"shard_runs": [{"transport", "shards", "volumes",
+                            "achieved_vps", "single_vps", "bitwise_match",
+                            "lost", ...}, ...]}
+           keyed by (transport, shards); achieved_vps higher-is-better.
+           A fresh run with lost > 0 or bitwise_match false is a HARD
+           failure regardless of tolerance — those are correctness
+           invariants, not performance metrics.
+
 Rows present on only one side are reported but never fail the gate
 (new ops appear, old ones retire — that is what updating the baseline
 is for). The waiver / update flow is documented in EXPERIMENTS.md:
@@ -95,6 +104,41 @@ def check_serve(baseline, fresh, tolerance):
     return compare_rows(pairs, tolerance)
 
 
+def check_shard(baseline, fresh, tolerance):
+    def key(r):
+        return (r.get("transport"), r.get("shards"))
+
+    base_rows = {key(r): r for r in baseline.get("shard_runs", [])}
+    fresh_rows = {key(r): r for r in fresh.get("shard_runs", [])}
+    failures = 0
+    # Correctness invariants first: the sharded path must never lose a
+    # request or diverge bitwise from the single-process server.
+    for k in sorted(fresh_rows.keys(), key=lambda t: tuple(str(x) for x in t)):
+        r = fresh_rows[k]
+        label = f"{k[0]}/s{k[1]}"
+        if r.get("lost", 0):
+            print(f"  INVARIANT {label}: lost={r['lost']} (must be 0)")
+            failures += 1
+        if not r.get("bitwise_match", True):
+            print(f"  INVARIANT {label}: bitwise_match=false "
+                  f"(sharded output diverged from single-process)")
+            failures += 1
+    pairs = []
+    for k in sorted(base_rows.keys() & fresh_rows.keys(),
+                    key=lambda t: tuple(str(x) for x in t)):
+        label = f"{k[0]}/s{k[1]}"
+        pairs.append((label, "achieved_vps",
+                      base_rows[k].get("achieved_vps"),
+                      fresh_rows[k].get("achieved_vps"), False))
+    for k in sorted(base_rows.keys() - fresh_rows.keys(),
+                    key=lambda t: tuple(str(x) for x in t)):
+        print(f"  note: baseline-only run {k}")
+    for k in sorted(fresh_rows.keys() - base_rows.keys(),
+                    key=lambda t: tuple(str(x) for x in t)):
+        print(f"  note: new run {k} (not yet in baseline)")
+    return failures + compare_rows(pairs, tolerance)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", required=True,
@@ -103,7 +147,8 @@ def main():
                     help="artifact produced by this run")
     ap.add_argument("--tolerance", type=float, default=0.15,
                     help="allowed fractional regression (default 0.15)")
-    ap.add_argument("--kind", choices=["kernels", "serve"], default=None,
+    ap.add_argument("--kind", choices=["kernels", "serve", "shard"],
+                    default=None,
                     help="artifact schema; inferred from contents if omitted")
     args = ap.parse_args()
 
@@ -111,13 +156,20 @@ def main():
     fresh = load(args.fresh)
     kind = args.kind
     if kind is None:
-        kind = "serve" if "runs" in baseline else "kernels"
+        if "shard_runs" in baseline:
+            kind = "shard"
+        elif "runs" in baseline:
+            kind = "serve"
+        else:
+            kind = "kernels"
 
     print(f"check_bench: {kind} artifact, tolerance {args.tolerance:.0%}")
     print(f"  baseline: {args.baseline}")
     print(f"  fresh   : {args.fresh}")
     if kind == "kernels":
         failures = check_kernels(baseline, fresh, args.tolerance)
+    elif kind == "shard":
+        failures = check_shard(baseline, fresh, args.tolerance)
     else:
         failures = check_serve(baseline, fresh, args.tolerance)
 

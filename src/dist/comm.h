@@ -15,56 +15,18 @@
 #include <vector>
 
 #include "dist/channel.h"
+#include "net/error.h"
 
 namespace ccovid::dist {
 
-/// Transport verification knobs. Disabled (the default), send/recv are
-/// the bare shared-memory fast path. Enabled, every send stamps an
-/// FNV-1a payload checksum and every recv verifies checksum + sequence
-/// order under a timeout, converting silent transport faults (dropped /
-/// duplicated / reordered / bit-flipped messages — injected via the
-/// dist.msg.* failpoints or otherwise) into typed CommError throws
-/// instead of hangs or silent divergence.
-struct GuardOptions {
-  bool enabled = false;
-  /// recv gives up after this long (a dropped message upstream shows up
-  /// here as a timeout, unblocking the collective).
-  double recv_timeout_s = 2.0;
-};
-
-class CommError : public std::runtime_error {
- public:
-  /// A dropped message has no kind of its own: it surfaces as kTimeout
-  /// (nothing ever arrives) or kOutOfOrder (a successor arrives first).
-  enum class Kind { kTimeout, kDuplicate, kOutOfOrder, kCorrupt };
-
-  CommError(Kind kind, int at, int from, const std::string& detail)
-      : std::runtime_error("CommError[" + kind_name(kind) + "] recv at rank " +
-                           std::to_string(at) + " from rank " +
-                           std::to_string(from) + ": " + detail),
-        kind_(kind),
-        at_(at),
-        from_(from) {}
-
-  Kind kind() const { return kind_; }
-  int at() const { return at_; }
-  int from() const { return from_; }
-
-  static std::string kind_name(Kind k) {
-    switch (k) {
-      case Kind::kTimeout: return "timeout";
-      case Kind::kDuplicate: return "duplicate";
-      case Kind::kOutOfOrder: return "out_of_order";
-      case Kind::kCorrupt: return "corrupt";
-    }
-    return "?";
-  }
-
- private:
-  Kind kind_;
-  int at_;
-  int from_;
-};
+/// The guard knobs and error taxonomy are transport-independent (PR 6):
+/// they moved to net/error.h so the socket frame protocol surfaces the
+/// same typed kTimeout / kDuplicate / kOutOfOrder / kCorrupt faults as
+/// this in-process World. GuardOptions::recv_timeout_s now defaults
+/// from the CCOVID_RECV_TIMEOUT environment variable (else 2 s) and is
+/// settable per tool via --recv-timeout.
+using GuardOptions = net::GuardOptions;
+using CommError = net::CommError;
 
 class World {
  public:

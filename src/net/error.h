@@ -1,0 +1,87 @@
+// Transport-independent communication error taxonomy + guard knobs.
+//
+// Extracted from dist/comm.h so that every transport backend — the
+// in-process shared-memory Channel (net/channel.h) and the socket frame
+// protocol (net/socket.h) — surfaces faults through ONE typed error
+// vocabulary: a guarded receiver sees kTimeout / kDuplicate /
+// kOutOfOrder / kCorrupt regardless of whether the bytes crossed a
+// mutex or a kernel socket buffer. dist/comm.h aliases these types, so
+// existing CommError call sites (DDP chaos suites included) are
+// unchanged.
+#pragma once
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace ccovid::net {
+
+/// Transport verification knobs. Disabled (the default), send/recv are
+/// the bare fast path. Enabled, every send stamps a payload checksum
+/// and every recv verifies checksum + sequence order under a timeout,
+/// converting silent transport faults (dropped / duplicated / reordered
+/// / bit-flipped messages) into typed CommError throws instead of hangs
+/// or silent divergence.
+struct GuardOptions {
+  bool enabled = false;
+  /// recv gives up after this long (a dropped message upstream shows up
+  /// here as a timeout, unblocking the collective). Defaults to the
+  /// CCOVID_RECV_TIMEOUT environment variable when set, else 2 s; CLI
+  /// flags (--recv-timeout) override per tool.
+  double recv_timeout_s;
+
+  GuardOptions();
+};
+
+/// Resolves the process-wide default receive timeout: the
+/// CCOVID_RECV_TIMEOUT environment variable (seconds, > 0) when set and
+/// parseable, otherwise 2.0. Parsed on every call so tests can vary the
+/// environment; callers on hot paths should cache the GuardOptions.
+inline double default_recv_timeout_s() {
+  if (const char* env = std::getenv("CCOVID_RECV_TIMEOUT")) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && v > 0.0) return v;
+  }
+  return 2.0;
+}
+
+inline GuardOptions::GuardOptions() : recv_timeout_s(default_recv_timeout_s()) {}
+
+class CommError : public std::runtime_error {
+ public:
+  /// A dropped message has no kind of its own: it surfaces as kTimeout
+  /// (nothing ever arrives) or kOutOfOrder (a successor arrives first).
+  /// A dead peer likewise surfaces as kTimeout — from the receiver's
+  /// side, a killed worker and a dropped message are indistinguishable.
+  enum class Kind { kTimeout, kDuplicate, kOutOfOrder, kCorrupt };
+
+  CommError(Kind kind, int at, int from, const std::string& detail)
+      : std::runtime_error("CommError[" + kind_name(kind) + "] recv at rank " +
+                           std::to_string(at) + " from rank " +
+                           std::to_string(from) + ": " + detail),
+        kind_(kind),
+        at_(at),
+        from_(from) {}
+
+  Kind kind() const { return kind_; }
+  int at() const { return at_; }
+  int from() const { return from_; }
+
+  static std::string kind_name(Kind k) {
+    switch (k) {
+      case Kind::kTimeout: return "timeout";
+      case Kind::kDuplicate: return "duplicate";
+      case Kind::kOutOfOrder: return "out_of_order";
+      case Kind::kCorrupt: return "corrupt";
+    }
+    return "?";
+  }
+
+ private:
+  Kind kind_;
+  int at_;
+  int from_;
+};
+
+}  // namespace ccovid::net

@@ -1,0 +1,189 @@
+// Sharded multi-process serving runtime — the step from "fast binary"
+// to "deployable service" (ROADMAP item 2).
+//
+//   FrontDoor ──┬── Transport ──► worker 0 (own process, InferenceServer)
+//   (routing,   ├── Transport ──► worker 1
+//    health,    └── ...
+//    failover)
+//
+// The front door accepts diagnosis submissions, hash-routes each
+// patient to one of N workers over a net::Transport (Unix/TCP sockets
+// across processes, or in-process channel pairs in tests), health-
+// checks workers with heartbeats, and fails in-flight requests over to
+// surviving shards when a worker dies — the PR 2 retry machinery lifted
+// to the routing layer. Routing is by patient id, so a patient's
+// follow-up scans land on the same shard while it lives (the
+// monitoring-mode affinity ROADMAP item 5b needs).
+//
+// Failover state machine (per shard connection):
+//
+//   ALIVE ──(heartbeat miss < limit)──► SUSPECT ──(ack)──► ALIVE
+//     │                                    │
+//     │ EOF / CommError on rx              │ miss >= limit
+//     ▼                                    ▼
+//   DEAD: close transport, take the shard's in-flight requests, and
+//         re-dispatch each to the next live shard (failovers budget
+//         per request); when no shard is alive, fail them typed.
+//
+// Every submitted request resolves exactly once: completed by a worker,
+// failed over and completed elsewhere, or failed with a typed status —
+// never lost, never hung (the chaos suites' core invariant).
+//
+// Determinism: workers built from the same seed hold bitwise-identical
+// weights, and the pipeline is deterministic, so a request produces the
+// same probability bits on WHICHEVER shard executes it — routing and
+// failover are invisible in the outputs, which is what makes the
+// sharded path's results comparable against the single-process baseline
+// in BENCH_shard.json.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/transport.h"
+#include "serve/server.h"
+#include "serve/shard_proto.h"
+#include "serve/stats.h"
+
+namespace ccovid::serve {
+
+// ------------------------------------------------------- front door
+
+struct FrontDoorOptions {
+  /// Handshake + control-plane receive budget. Defaults from
+  /// CCOVID_RECV_TIMEOUT (see net/error.h); --recv-timeout overrides.
+  double recv_timeout_s = net::default_recv_timeout_s();
+  double heartbeat_interval_s = 0.25;
+  /// Consecutive unanswered heartbeats before a shard is declared dead.
+  int heartbeat_miss_limit = 4;
+  /// Per-request re-route budget after worker deaths; exhausting it
+  /// fails the request typed instead of bouncing forever.
+  int max_failovers = 2;
+};
+
+/// Per-shard routing/health counters (all monotonic; see stats_json).
+struct ShardCounters {
+  std::atomic<std::uint64_t> routed{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> failed_over{0};  ///< in-flight moved OFF this shard
+  std::atomic<std::uint64_t> heartbeat_misses{0};
+};
+
+class FrontDoor {
+ public:
+  /// Takes ownership of one connected transport per shard and performs
+  /// the hello/ack handshake on each (throws net::CommError when a
+  /// worker does not answer). Call sites connect/spawn the workers —
+  /// see shard_spawn.h and tools/ccovid_serve.cpp.
+  FrontDoor(std::vector<std::unique_ptr<net::Transport>> workers,
+            FrontDoorOptions opt);
+  ~FrontDoor();
+  FrontDoor(const FrontDoor&) = delete;
+  FrontDoor& operator=(const FrontDoor&) = delete;
+
+  /// Routes one volume to shard hash(patient_id) % N (next live shard
+  /// when that one is dead). Always returns a valid future; worker
+  /// death after dispatch triggers failover, and exhausted failover
+  /// surfaces as RequestStatus::kError.
+  std::future<DiagnoseResponse> submit(std::uint64_t patient_id,
+                                       const Tensor& volume_hu,
+                                       ServeOptions options = {});
+
+  /// Graceful: asks live workers to drain (kShutdown), waits for
+  /// in-flight responses up to the recv timeout, fails stragglers
+  /// typed, joins all threads. Idempotent; also run by the destructor.
+  void shutdown();
+
+  int shards() const { return static_cast<int>(conns_.size()); }
+  int alive_shards() const;
+  std::uint64_t failed_over() const;
+  std::uint64_t heartbeat_misses() const;
+  /// Worker pid from the handshake (0 for in-process workers).
+  std::uint32_t worker_pid(int shard) const;
+
+  /// Routing-layer stats JSON: aggregate counters, end-to-end latency
+  /// histogram, and a per-shard array (routed / completed / failed /
+  /// failed_over / heartbeat_misses / alive / pid / frame counts) —
+  /// the surface the bench gate and chaos suites assert on. Armed
+  /// failpoint counters ride along like InferenceServer::stats_json.
+  std::string stats_json() const;
+
+ private:
+  struct Pending;
+  struct ShardConn;
+
+  void rx_loop(int shard);
+  void heartbeat_loop();
+  void fail_shard(int shard, const std::string& why);
+  /// Dispatches to the first live shard at or after `preferred`;
+  /// resolves the promise typed when none is left or the failover
+  /// budget is exhausted.
+  void dispatch(std::shared_ptr<Pending> pending, int preferred);
+  /// Fulfils the promise exactly once; false when already resolved.
+  bool resolve(Pending& pending, DiagnoseResponse r);
+
+  FrontDoorOptions opt_;
+  std::vector<std::unique_ptr<ShardConn>> conns_;
+  std::thread heartbeat_thread_;
+  std::atomic<bool> running_{true};
+  /// Set when shutdown begins: workers closing their side is then the
+  /// expected drain, not a death (no failover, shard stays "alive").
+  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  LatencyHistogram total_;  ///< submit -> resolve, across all shards
+  std::mutex shutdown_mu_;
+  bool shut_down_ = false;
+};
+
+// ----------------------------------------------------------- worker
+
+struct ShardWorkerOptions {
+  ServerOptions server;  ///< the wrapped InferenceServer's knobs
+  /// Handshake receive budget; defaults from CCOVID_RECV_TIMEOUT.
+  double recv_timeout_s = net::default_recv_timeout_s();
+};
+
+enum class WorkerExit {
+  kShutdown,    ///< front door sent kShutdown; drained and exited
+  kDisconnect,  ///< transport closed or corrupted mid-serve
+};
+
+struct WorkerRunStats {
+  WorkerExit exit = WorkerExit::kDisconnect;
+  std::uint64_t served = 0;
+  std::uint64_t heartbeats = 0;
+};
+
+/// Serves one front-door connection: handshake (hello/ack), then
+/// multiplex kRequest submissions into a local InferenceServer,
+/// kHeartbeat echoes, and response sends until kShutdown (drain first)
+/// or disconnect. The protocol loop never executes a diagnosis itself —
+/// the InferenceServer's batcher/worker threads do — so heartbeats stay
+/// answered while batches run.
+WorkerRunStats run_shard_worker(
+    net::Transport& transport,
+    std::shared_ptr<const pipeline::ComputeCovid19Pipeline> pipeline,
+    const ShardWorkerOptions& opt);
+
+/// Listen-mode worker: accept a front door, serve it, and re-accept
+/// when the connection drops (front-door restart) until a kShutdown
+/// arrives or `accept_timeout_s` passes with no front door. Returns
+/// total requests served.
+std::uint64_t run_worker_listener(
+    net::SocketListener& listener,
+    std::shared_ptr<const pipeline::ComputeCovid19Pipeline> pipeline,
+    const ShardWorkerOptions& opt, double accept_timeout_s = 30.0);
+
+/// FNV-1a routing hash (exposed so tests can predict shard targets).
+std::uint32_t route_shard(std::uint64_t patient_id, int shards);
+
+}  // namespace ccovid::serve

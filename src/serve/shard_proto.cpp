@@ -1,0 +1,272 @@
+#include "serve/shard_proto.h"
+
+#include <cstring>
+
+namespace ccovid::serve {
+
+using net::CommError;
+
+// ------------------------------------------------------ wire helpers
+
+void WireWriter::u32(std::uint32_t v) {
+  buf.push_back(static_cast<std::uint8_t>(v));
+  buf.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void WireWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void WireWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf.insert(buf.end(), s.begin(), s.end());
+}
+
+void WireWriter::reals(const real_t* data, std::size_t n) {
+  const std::size_t base = buf.size();
+  buf.resize(base + n * sizeof(real_t));
+  if (n > 0) std::memcpy(buf.data() + base, data, n * sizeof(real_t));
+}
+
+void WireReader::need(std::size_t n) const {
+  if (off_ + n > n_) {
+    throw CommError(CommError::Kind::kCorrupt, -1, -1,
+                    "shard message truncated: need " + std::to_string(n) +
+                        " bytes at offset " + std::to_string(off_) +
+                        " of " + std::to_string(n_));
+  }
+}
+
+std::uint8_t WireReader::u8() {
+  need(1);
+  return p_[off_++];
+}
+
+std::uint32_t WireReader::u32() {
+  need(4);
+  const std::uint32_t v = static_cast<std::uint32_t>(p_[off_]) |
+                          static_cast<std::uint32_t>(p_[off_ + 1]) << 8 |
+                          static_cast<std::uint32_t>(p_[off_ + 2]) << 16 |
+                          static_cast<std::uint32_t>(p_[off_ + 3]) << 24;
+  off_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  const std::uint64_t lo = u32();
+  return lo | static_cast<std::uint64_t>(u32()) << 32;
+}
+
+double WireReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint32_t len = u32();
+  need(len);
+  std::string s(reinterpret_cast<const char*>(p_ + off_), len);
+  off_ += len;
+  return s;
+}
+
+void WireReader::reals(real_t* out, std::size_t n) {
+  need(n * sizeof(real_t));
+  if (n > 0) std::memcpy(out, p_ + off_, n * sizeof(real_t));
+  off_ += n * sizeof(real_t);
+}
+
+namespace {
+
+/// Every decoder runs this last: trailing bytes mean a version-skewed
+/// or damaged body, not a longer-but-compatible one.
+void expect_drained(const WireReader& r, const char* what) {
+  if (r.remaining() != 0) {
+    throw CommError(CommError::Kind::kCorrupt, -1, -1,
+                    std::string(what) + ": " +
+                        std::to_string(r.remaining()) +
+                        " trailing bytes (version skew?)");
+  }
+}
+
+void expect_version(std::uint32_t got, const char* what) {
+  if (got != kShardProtoVersion) {
+    throw CommError(CommError::Kind::kCorrupt, -1, -1,
+                    std::string(what) + ": protocol version " +
+                        std::to_string(got) + ", expected " +
+                        std::to_string(kShardProtoVersion));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------- message bodies
+
+Tensor ShardRequest::to_tensor() const {
+  Tensor t({static_cast<index_t>(depth), static_cast<index_t>(height),
+            static_cast<index_t>(width)});
+  if (!voxels.empty()) {
+    std::memcpy(t.data(), voxels.data(), voxels.size() * sizeof(real_t));
+  }
+  return t;
+}
+
+ShardRequest ShardRequest::from_volume(std::uint64_t request_id,
+                                       std::uint64_t patient_id,
+                                       const Tensor& volume_hu,
+                                       const ServeOptions& opt) {
+  ShardRequest req;
+  req.request_id = request_id;
+  req.patient_id = patient_id;
+  req.use_enhancement = opt.use_enhancement;
+  req.threshold = opt.threshold;
+  req.depth = static_cast<std::uint32_t>(volume_hu.dim(0));
+  req.height = static_cast<std::uint32_t>(volume_hu.dim(1));
+  req.width = static_cast<std::uint32_t>(volume_hu.dim(2));
+  req.voxels.assign(volume_hu.data(),
+                    volume_hu.data() + volume_hu.numel());
+  return req;
+}
+
+std::vector<std::uint8_t> encode(const HelloMsg& m) {
+  WireWriter w;
+  w.u32(m.proto_version);
+  w.u32(m.shard_id);
+  w.u32(m.shard_count);
+  return std::move(w.buf);
+}
+
+HelloMsg decode_hello(const std::vector<std::uint8_t>& p) {
+  WireReader r(p.data(), p.size());
+  HelloMsg m;
+  m.proto_version = r.u32();
+  expect_version(m.proto_version, "hello");
+  m.shard_id = r.u32();
+  m.shard_count = r.u32();
+  expect_drained(r, "hello");
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const HelloAckMsg& m) {
+  WireWriter w;
+  w.u32(m.proto_version);
+  w.u32(m.shard_id);
+  w.u32(m.pid);
+  return std::move(w.buf);
+}
+
+HelloAckMsg decode_hello_ack(const std::vector<std::uint8_t>& p) {
+  WireReader r(p.data(), p.size());
+  HelloAckMsg m;
+  m.proto_version = r.u32();
+  expect_version(m.proto_version, "hello_ack");
+  m.shard_id = r.u32();
+  m.pid = r.u32();
+  expect_drained(r, "hello_ack");
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const ShardRequest& m) {
+  WireWriter w;
+  w.u64(m.request_id);
+  w.u64(m.patient_id);
+  w.u8(m.use_enhancement ? 1 : 0);
+  w.f64(m.threshold);
+  w.u32(m.depth);
+  w.u32(m.height);
+  w.u32(m.width);
+  w.reals(m.voxels.data(), m.voxels.size());
+  return std::move(w.buf);
+}
+
+ShardRequest decode_request(const std::vector<std::uint8_t>& p) {
+  WireReader r(p.data(), p.size());
+  ShardRequest m;
+  m.request_id = r.u64();
+  m.patient_id = r.u64();
+  m.use_enhancement = r.u8() != 0;
+  m.threshold = r.f64();
+  m.depth = r.u32();
+  m.height = r.u32();
+  m.width = r.u32();
+  const std::uint64_t n = static_cast<std::uint64_t>(m.depth) * m.height *
+                          m.width;
+  // The voxel count must match both the dims and the remaining bytes —
+  // a damaged dim field cannot drive an oversized allocation because
+  // the frame payload (and so `p`) is already length-bounded.
+  if (n * sizeof(real_t) != r.remaining()) {
+    throw CommError(CommError::Kind::kCorrupt, -1, -1,
+                    "request voxel payload is " +
+                        std::to_string(r.remaining()) + " bytes, dims say " +
+                        std::to_string(n * sizeof(real_t)));
+  }
+  m.voxels.resize(n);
+  r.reals(m.voxels.data(), n);
+  expect_drained(r, "request");
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const ShardResponse& m) {
+  WireWriter w;
+  w.u64(m.request_id);
+  w.u8(static_cast<std::uint8_t>(m.status));
+  w.u8(m.degraded ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(m.retries));
+  w.f64(m.probability);
+  w.u8(m.positive ? 1 : 0);
+  w.f64(m.threshold);
+  w.f64(m.prepare_s);
+  w.f64(m.enhance_s);
+  w.f64(m.segment_s);
+  w.f64(m.classify_s);
+  w.f64(m.execute_s);
+  w.str(m.error);
+  return std::move(w.buf);
+}
+
+ShardResponse decode_response(const std::vector<std::uint8_t>& p) {
+  WireReader r(p.data(), p.size());
+  ShardResponse m;
+  m.request_id = r.u64();
+  m.status = static_cast<RequestStatus>(r.u8());
+  m.degraded = r.u8() != 0;
+  m.retries = static_cast<std::int32_t>(r.u32());
+  m.probability = r.f64();
+  m.positive = r.u8() != 0;
+  m.threshold = r.f64();
+  m.prepare_s = r.f64();
+  m.enhance_s = r.f64();
+  m.segment_s = r.f64();
+  m.classify_s = r.f64();
+  m.execute_s = r.f64();
+  m.error = r.str();
+  expect_drained(r, "response");
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const HeartbeatMsg& m) {
+  WireWriter w;
+  w.u64(m.nonce);
+  return std::move(w.buf);
+}
+
+HeartbeatMsg decode_heartbeat(const std::vector<std::uint8_t>& p) {
+  WireReader r(p.data(), p.size());
+  HeartbeatMsg m;
+  m.nonce = r.u64();
+  expect_drained(r, "heartbeat");
+  return m;
+}
+
+}  // namespace ccovid::serve

@@ -1,0 +1,127 @@
+// Shard protocol: the message bodies the front door and worker
+// processes exchange inside net::Frame payloads. Fixed little-endian
+// encodings with bounds-checked decoding — a malformed body (truncated
+// by a bug, damaged by a net.frame.* fault that slipped both checksums,
+// or sent by a version-skewed peer) throws net::CommError kCorrupt,
+// never reads out of bounds.
+//
+//   kHello        front door -> worker: protocol version, topology,
+//                 the shard id this connection serves
+//   kHelloAck     worker -> front door: version echo + worker pid (the
+//                 pid is what worker-kill chaos targets)
+//   kRequest      one diagnosis: patient id, workflow options, volume
+//                 dims + raw voxels
+//   kResponse     status/diagnosis/stage-times echo of serve's
+//                 DiagnoseResponse
+//   kHeartbeat(+Ack)  nonce echo — liveness probing
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tensor.h"
+#include "net/error.h"
+#include "serve/request.h"
+
+namespace ccovid::serve {
+
+inline constexpr std::uint32_t kShardProtoVersion = 1;
+
+// ------------------------------------------------------ wire helpers
+
+/// Append-only little-endian encoder.
+struct WireWriter {
+  std::vector<std::uint8_t> buf;
+
+  void u8(std::uint8_t v) { buf.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void str(const std::string& s);                 ///< u32 length + bytes
+  void reals(const real_t* data, std::size_t n);  ///< raw f32 bytes
+};
+
+/// Bounds-checked little-endian decoder; overruns throw CommError
+/// kCorrupt (attributed to the reading side).
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : p_(data), n_(size) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+  void reals(real_t* out, std::size_t n);
+  std::size_t remaining() const { return n_ - off_; }
+
+ private:
+  void need(std::size_t n) const;
+  const std::uint8_t* p_;
+  std::size_t n_;
+  std::size_t off_ = 0;
+};
+
+// ---------------------------------------------------- message bodies
+
+struct HelloMsg {
+  std::uint32_t proto_version = kShardProtoVersion;
+  std::uint32_t shard_id = 0;     ///< which shard this connection serves
+  std::uint32_t shard_count = 1;  ///< topology (worker logs/validates)
+};
+
+struct HelloAckMsg {
+  std::uint32_t proto_version = kShardProtoVersion;
+  std::uint32_t shard_id = 0;
+  std::uint32_t pid = 0;  ///< worker process id (0 = in-process worker)
+};
+
+struct ShardRequest {
+  std::uint64_t request_id = 0;  ///< front-door-scoped correlation id
+  std::uint64_t patient_id = 0;  ///< routing key
+  bool use_enhancement = true;
+  double threshold = 0.5;
+  std::uint32_t depth = 0, height = 0, width = 0;
+  std::vector<real_t> voxels;  ///< depth*height*width HU values
+
+  Tensor to_tensor() const;
+  static ShardRequest from_volume(std::uint64_t request_id,
+                                  std::uint64_t patient_id,
+                                  const Tensor& volume_hu,
+                                  const ServeOptions& opt);
+};
+
+struct ShardResponse {
+  std::uint64_t request_id = 0;
+  RequestStatus status = RequestStatus::kError;
+  bool degraded = false;
+  std::int32_t retries = 0;
+  double probability = 0.0;
+  bool positive = false;
+  double threshold = 0.5;
+  double prepare_s = 0.0, enhance_s = 0.0, segment_s = 0.0, classify_s = 0.0;
+  double execute_s = 0.0;
+  std::string error;
+};
+
+struct HeartbeatMsg {
+  std::uint64_t nonce = 0;
+};
+
+std::vector<std::uint8_t> encode(const HelloMsg& m);
+std::vector<std::uint8_t> encode(const HelloAckMsg& m);
+std::vector<std::uint8_t> encode(const ShardRequest& m);
+std::vector<std::uint8_t> encode(const ShardResponse& m);
+std::vector<std::uint8_t> encode(const HeartbeatMsg& m);
+
+/// Decoders throw net::CommError(kCorrupt) on truncated / overlong /
+/// version-skewed bodies.
+HelloMsg decode_hello(const std::vector<std::uint8_t>& p);
+HelloAckMsg decode_hello_ack(const std::vector<std::uint8_t>& p);
+ShardRequest decode_request(const std::vector<std::uint8_t>& p);
+ShardResponse decode_response(const std::vector<std::uint8_t>& p);
+HeartbeatMsg decode_heartbeat(const std::vector<std::uint8_t>& p);
+
+}  // namespace ccovid::serve

@@ -1,0 +1,64 @@
+#include "serve/shard_spawn.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace ccovid::serve {
+
+std::string self_exe_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) {
+    throw std::runtime_error(std::string("readlink(/proc/self/exe): ") +
+                             std::strerror(errno));
+  }
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+int spawn_process(const std::vector<std::string>& argv) {
+  if (argv.empty()) throw std::invalid_argument("spawn_process: empty argv");
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::execv(cargv[0], cargv.data());
+    // exec only returns on failure; exit hard without running parent
+    // destructors/atexit handlers in the forked image.
+    ::_exit(127);
+  }
+  return static_cast<int>(pid);
+}
+
+bool kill_process(int pid, int sig) {
+  return ::kill(static_cast<pid_t>(pid), sig) == 0;
+}
+
+int wait_process(int pid, double timeout_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  for (;;) {
+    int status = 0;
+    const pid_t r = ::waitpid(static_cast<pid_t>(pid), &status, WNOHANG);
+    if (r == static_cast<pid_t>(pid)) return status;
+    if (r < 0) return -1;  // no such child (already reaped?)
+    if (std::chrono::steady_clock::now() >= deadline) return -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+}  // namespace ccovid::serve

@@ -1,0 +1,29 @@
+// Worker process lifecycle for the sharded front door: fork/exec this
+// binary (or any binary) with a worker-role argv, kill it (the chaos
+// suites' worker-kill primitive), and reap it. Thin POSIX wrappers kept
+// out of shard.h so the routing layer stays transport-only.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ccovid::serve {
+
+/// Absolute path of the running executable (/proc/self/exe), for
+/// respawning ourselves in a different role.
+std::string self_exe_path();
+
+/// fork + execv. argv[0] is the binary path. Returns the child pid;
+/// throws std::runtime_error when fork fails. An exec failure surfaces
+/// as the child exiting 127 (observed via wait_process).
+int spawn_process(const std::vector<std::string>& argv);
+
+/// Sends `sig` (e.g. SIGKILL for worker-kill chaos). False when the
+/// process is already gone.
+bool kill_process(int pid, int sig);
+
+/// Reaps the child, polling up to `timeout_s`. Returns the raw waitpid
+/// status, or -1 when the child did not exit within the window.
+int wait_process(int pid, double timeout_s);
+
+}  // namespace ccovid::serve

@@ -1,0 +1,348 @@
+// Sharded-serving chaos suite: the front door + worker-process runtime
+// (serve/shard.h) under real process-level faults. Workers here are the
+// actual ccovid_serve binary (CCOVID_SERVE_BIN, injected by CMake) in
+// --role worker, so worker-kill is a genuine SIGKILL of a separate
+// process and corrupt-response injection crosses a real Unix socket.
+//
+// Invariants under test:
+//   - zero lost requests: every submitted future resolves, kOk when any
+//     shard survives (failover), typed otherwise
+//   - bitwise determinism: a failed-over diagnosis carries the same
+//     probability bits the single-process server produces
+//   - front-door restart: a worker whose front door vanishes without a
+//     shutdown handshake re-accepts the next incarnation
+//
+// The ctest TIMEOUT is the deadlock backstop, as in the other chaos
+// suites.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/digest.h"
+#include "data/phantom.h"
+#include "fault/failpoint.h"
+#include "net/socket.h"
+#include "net/transport.h"
+#include "nn/layers.h"
+#include "serve/server.h"
+#include "serve/shard.h"
+#include "serve/shard_proto.h"
+#include "serve/shard_spawn.h"
+
+#ifndef CCOVID_SERVE_BIN
+#error "chaos_shard must be built with CCOVID_SERVE_BIN=<path>"
+#endif
+
+namespace ccovid {
+namespace {
+
+constexpr std::uint64_t kSeed = 3;
+
+/// Same architecture + seed as the worker binary's default pipeline
+/// (tools/ccovid_serve.cpp build_pipeline), so in-process baselines are
+/// bitwise-comparable with worker-process results.
+std::shared_ptr<const pipeline::ComputeCovid19Pipeline> worker_twin_pipeline() {
+  nn::DDnetConfig ncfg;
+  ncfg.base_channels = 8;
+  ncfg.growth = 8;
+  ncfg.levels = 2;
+  ncfg.dense_layers = 2;
+  nn::seed_init_rng(kSeed);
+  auto enh = std::make_shared<pipeline::EnhancementAI>(ncfg);
+  auto seg = std::make_shared<pipeline::SegmentationAI>();
+  auto cls = std::make_shared<pipeline::ClassificationAI>();
+  enh->network().set_training(false);
+  seg->network().set_training(false);
+  cls->network().set_training(false);
+  return std::make_shared<const pipeline::ComputeCovid19Pipeline>(enh, seg,
+                                                                  cls);
+}
+
+std::vector<data::PhantomVolume> tiny_volumes(std::size_t n) {
+  Rng rng(11);
+  std::vector<data::PhantomVolume> vols;
+  for (std::size_t i = 0; i < n; ++i) {
+    vols.push_back(data::make_volume(2, 8, i % 2 == 1, rng));
+  }
+  return vols;
+}
+
+struct SpawnedWorker {
+  int pid = 0;
+  std::string path;
+};
+
+SpawnedWorker spawn_worker(int shard, const std::string& tag,
+                           const std::string& failpoints = "",
+                           double stall_ms = 0.0,
+                           double accept_timeout_s = 20.0) {
+  SpawnedWorker w;
+  w.path = "/tmp/ccovid_chaos_" + tag + "_" + std::to_string(::getpid()) +
+           "_" + std::to_string(shard) + ".sock";
+  std::vector<std::string> argv = {
+      CCOVID_SERVE_BIN, "--role", "worker",
+      "--listen", "unix:" + w.path,
+      "--shard-id", std::to_string(shard),
+      "--seed", std::to_string(kSeed),
+      "--workers", "1", "--batch", "2",
+      "--recv-timeout", "2",
+      "--accept-timeout", std::to_string(accept_timeout_s),
+  };
+  if (stall_ms > 0) {
+    argv.push_back("--stall-ms");
+    argv.push_back(std::to_string(stall_ms));
+  }
+  if (!failpoints.empty()) {
+    argv.push_back("--failpoints");
+    argv.push_back(failpoints);
+    argv.push_back("--fault-seed");
+    argv.push_back("9");
+  }
+  w.pid = serve::spawn_process(argv);
+  return w;
+}
+
+std::unique_ptr<net::Transport> connect_worker(const SpawnedWorker& w,
+                                               int shard) {
+  return net::connect_endpoint(net::Endpoint::parse("unix:" + w.path), 15.0,
+                               0, shard);
+}
+
+void reap(const SpawnedWorker& w, double timeout_s = 10.0) {
+  if (serve::wait_process(w.pid, timeout_s) == -1) {
+    serve::kill_process(w.pid, SIGKILL);
+    serve::wait_process(w.pid, 5.0);
+  }
+  ::unlink(w.path.c_str());
+}
+
+/// Single-process baseline probabilities for the same volumes (bitwise
+/// reference for every sharded scenario).
+std::vector<double> baseline_probs(
+    const std::vector<data::PhantomVolume>& vols) {
+  serve::ServerOptions opt;
+  opt.workers = 1;
+  opt.max_batch = 2;
+  serve::InferenceServer local(worker_twin_pipeline(), opt);
+  std::vector<std::future<serve::DiagnoseResponse>> fs;
+  for (const auto& v : vols) fs.push_back(local.submit(v.hu, {}));
+  std::vector<double> probs;
+  for (auto& f : fs) {
+    const auto r = f.get();
+    EXPECT_EQ(r.status, serve::RequestStatus::kOk);
+    probs.push_back(r.diagnosis.probability);
+  }
+  local.shutdown();
+  return probs;
+}
+
+}  // namespace
+
+// Seeded worker-kill: SIGKILL one of two real worker processes while
+// its requests are in flight. Everything must complete via failover,
+// bitwise-identical to the single-process path.
+TEST(ChaosShard, WorkerKillFailsOverWithZeroLoss) {
+  const auto vols = tiny_volumes(12);
+  const auto expected = baseline_probs(vols);
+
+  // --stall-ms keeps work in flight long enough that the kill lands
+  // mid-batch deterministically-ish (the invariants hold either way).
+  SpawnedWorker w0 = spawn_worker(0, "kill", "", 20.0);
+  SpawnedWorker w1 = spawn_worker(1, "kill", "", 20.0);
+  {
+    std::vector<std::unique_ptr<net::Transport>> ts;
+    ts.push_back(connect_worker(w0, 0));
+    ts.push_back(connect_worker(w1, 1));
+    serve::FrontDoorOptions fopt;
+    fopt.recv_timeout_s = 5.0;
+    fopt.heartbeat_interval_s = 0.05;
+    fopt.heartbeat_miss_limit = 10;
+    serve::FrontDoor front(std::move(ts), fopt);
+    EXPECT_EQ(front.worker_pid(0), static_cast<std::uint32_t>(w0.pid));
+
+    std::vector<std::future<serve::DiagnoseResponse>> fs;
+    for (std::size_t i = 0; i < vols.size(); ++i) {
+      fs.push_back(front.submit(i, vols[i].hu, {}));
+    }
+    // Kill shard 0's worker with its queue full.
+    ASSERT_TRUE(serve::kill_process(w0.pid, SIGKILL));
+
+    int lost = 0;
+    for (std::size_t i = 0; i < fs.size(); ++i) {
+      const auto r = fs[i].get();
+      if (r.status != serve::RequestStatus::kOk) {
+        ++lost;
+        continue;
+      }
+      EXPECT_EQ(0, std::memcmp(&expected[i], &r.diagnosis.probability,
+                               sizeof(double)))
+          << "probability bits diverged at volume " << i;
+    }
+    EXPECT_EQ(lost, 0);
+    EXPECT_GE(front.failed_over(), 1u) << "kill landed after the drain?";
+    EXPECT_EQ(front.alive_shards(), 1);
+    front.shutdown();
+  }
+  reap(w0);
+  reap(w1);
+}
+
+// Front-door restart: incarnation 1 vanishes without a shutdown
+// handshake (crash); the worker must re-accept incarnation 2 and serve
+// it. Worker-side state is rebuilt per connection, results stay
+// bitwise-stable because the model seed is the process argv.
+TEST(ChaosShard, FrontDoorRestartReacceptsAndServes) {
+  const auto vols = tiny_volumes(4);
+  const auto expected = baseline_probs(vols);
+
+  SpawnedWorker w = spawn_worker(0, "restart");
+  {
+    // Incarnation 1: handshake + one request by hand, then die rudely.
+    auto t = connect_worker(w, 0);
+    serve::HelloMsg hello;
+    hello.shard_id = 0;
+    hello.shard_count = 1;
+    t->send(net::FrameType::kHello, serve::encode(hello));
+    net::Frame ack = t->recv(10.0);
+    ASSERT_EQ(ack.type, net::FrameType::kHelloAck);
+    const auto req =
+        serve::ShardRequest::from_volume(1, 7, vols[0].hu, serve::ServeOptions{});
+    t->send(net::FrameType::kRequest, serve::encode(req));
+    net::Frame resp = t->recv(30.0);
+    ASSERT_EQ(resp.type, net::FrameType::kResponse);
+    const auto sr = serve::decode_response(resp.payload);
+    EXPECT_EQ(sr.status, serve::RequestStatus::kOk);
+    EXPECT_EQ(0, std::memcmp(&expected[0], &sr.probability, sizeof(double)));
+    t->close();  // crash: no kShutdown, connection just drops
+  }
+  {
+    // Incarnation 2: a real FrontDoor against the same worker.
+    std::vector<std::unique_ptr<net::Transport>> ts;
+    ts.push_back(connect_worker(w, 0));
+    serve::FrontDoorOptions fopt;
+    fopt.recv_timeout_s = 10.0;
+    serve::FrontDoor front(std::move(ts), fopt);
+    std::vector<std::future<serve::DiagnoseResponse>> fs;
+    for (std::size_t i = 0; i < vols.size(); ++i) {
+      fs.push_back(front.submit(100 + i, vols[i].hu, {}));
+    }
+    for (std::size_t i = 0; i < fs.size(); ++i) {
+      const auto r = fs[i].get();
+      ASSERT_EQ(r.status, serve::RequestStatus::kOk) << r.error;
+      EXPECT_EQ(0, std::memcmp(&expected[i], &r.diagnosis.probability,
+                               sizeof(double)));
+    }
+    front.shutdown();  // graceful this time -> worker exits
+  }
+  const int status = serve::wait_process(w.pid, 10.0);
+  EXPECT_NE(status, -1) << "worker did not exit after kShutdown";
+  ::unlink(w.path.c_str());
+}
+
+// Cross-process fault schedule: worker 0 is armed (via its own CLI)
+// with net.frame.corrupt, so a response it sends arrives damaged at the
+// front door over the real socket. The typed kCorrupt must trigger
+// failover to worker 1 with zero loss.
+TEST(ChaosShard, CorruptResponseAcrossProcessTriggersFailover) {
+  const auto vols = tiny_volumes(8);
+  const auto expected = baseline_probs(vols);
+
+  // Worker frame #1 is the hello ack; #3 is the second data frame it
+  // sends — a response (heartbeats are effectively off below).
+  SpawnedWorker w0 = spawn_worker(0, "corrupt", "net.frame.corrupt=nth(3)");
+  SpawnedWorker w1 = spawn_worker(1, "corrupt", "", 0.0, 5.0);
+  {
+    std::vector<std::unique_ptr<net::Transport>> ts;
+    ts.push_back(connect_worker(w0, 0));
+    ts.push_back(connect_worker(w1, 1));
+    serve::FrontDoorOptions fopt;
+    fopt.recv_timeout_s = 5.0;
+    fopt.heartbeat_interval_s = 30.0;  // keep the frame count deterministic
+    serve::FrontDoor front(std::move(ts), fopt);
+
+    std::vector<std::future<serve::DiagnoseResponse>> fs;
+    for (std::size_t i = 0; i < vols.size(); ++i) {
+      fs.push_back(front.submit(i, vols[i].hu, {}));
+    }
+    int lost = 0;
+    for (std::size_t i = 0; i < fs.size(); ++i) {
+      const auto r = fs[i].get();
+      if (r.status != serve::RequestStatus::kOk) {
+        ++lost;
+        continue;
+      }
+      EXPECT_EQ(0, std::memcmp(&expected[i], &r.diagnosis.probability,
+                               sizeof(double)));
+    }
+    EXPECT_EQ(lost, 0);
+    EXPECT_GE(front.failed_over(), 1u);
+    front.shutdown();
+  }
+  // Worker 0 was abandoned (not shut down): it re-accepts until its 20 s
+  // window lapses — don't wait for that, just kill and reap.
+  serve::kill_process(w0.pid, SIGKILL);
+  reap(w0, 5.0);
+  reap(w1);
+}
+
+// In-process sharded determinism: the same FrontDoor/worker protocol
+// over InprocTransport pairs (worker loops on threads, one shared
+// immutable pipeline). Two identical runs must produce identical
+// probability-bit digests, and match the single-process baseline.
+TEST(ChaosShard, InprocShardedRunsAreBitwiseDeterministic) {
+  const auto vols = tiny_volumes(8);
+  const auto expected = baseline_probs(vols);
+  auto pipe = worker_twin_pipeline();
+
+  auto run_once = [&]() -> std::uint64_t {
+    auto [fa, wa] = net::InprocTransport::make_pair(0, 100);
+    auto [fb, wb] = net::InprocTransport::make_pair(0, 101);
+    serve::ShardWorkerOptions wopt;
+    wopt.server.workers = 1;
+    wopt.server.max_batch = 2;
+    std::thread t1([&, w = std::move(wa)]() mutable {
+      serve::run_shard_worker(*w, pipe, wopt);
+    });
+    std::thread t2([&, w = std::move(wb)]() mutable {
+      serve::run_shard_worker(*w, pipe, wopt);
+    });
+
+    std::uint64_t digest = kFnv1aOffset;
+    {
+      std::vector<std::unique_ptr<net::Transport>> ts;
+      ts.push_back(std::move(fa));
+      ts.push_back(std::move(fb));
+      serve::FrontDoorOptions fopt;
+      fopt.recv_timeout_s = 10.0;
+      serve::FrontDoor front(std::move(ts), fopt);
+      std::vector<std::future<serve::DiagnoseResponse>> fs;
+      for (std::size_t i = 0; i < vols.size(); ++i) {
+        fs.push_back(front.submit(i, vols[i].hu, {}));
+      }
+      for (std::size_t i = 0; i < fs.size(); ++i) {
+        const auto r = fs[i].get();
+        EXPECT_EQ(r.status, serve::RequestStatus::kOk);
+        EXPECT_EQ(0, std::memcmp(&expected[i], &r.diagnosis.probability,
+                                 sizeof(double)));
+        digest = fnv1a64(&r.diagnosis.probability, sizeof(double), digest);
+      }
+      front.shutdown();
+    }
+    t1.join();
+    t2.join();
+    return digest;
+  };
+
+  const std::uint64_t first = run_once();
+  const std::uint64_t second = run_once();
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace ccovid

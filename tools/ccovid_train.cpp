@@ -20,6 +20,7 @@
 #include "core/simd.h"
 #include "ct/hu.h"
 #include "dist/ddp.h"
+#include "net/error.h"
 #include "pipeline/classification_ai.h"
 #include "pipeline/enhancement_ai.h"
 #include "pipeline/segmentation_ai.h"
@@ -34,6 +35,10 @@ int main(int argc, char** argv) {
   index_t px = 32, depth = 8, volumes = 40;
   int epochs = 16, ranks = 1;
   std::uint64_t seed = 7;
+  // Guarded-transport receive budget for the --ranks path; defaults to
+  // CCOVID_RECV_TIMEOUT (else 2 s) — see net/error.h.
+  double recv_timeout_s = net::default_recv_timeout_s();
+  bool guard = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--out-dir") && i + 1 < argc) {
       out_dir = argv[++i];
@@ -51,6 +56,15 @@ int main(int argc, char** argv) {
       set_num_threads(std::atoi(argv[++i]));
     } else if (!std::strcmp(argv[i], "--ranks") && i + 1 < argc) {
       ranks = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--recv-timeout") && i + 1 < argc) {
+      recv_timeout_s = std::atof(argv[++i]);
+      guard = true;
+      if (recv_timeout_s <= 0) {
+        std::fprintf(stderr, "--recv-timeout: expected seconds > 0\n");
+        return 1;
+      }
+    } else if (!std::strcmp(argv[i], "--guard")) {
+      guard = true;
     } else if (!std::strcmp(argv[i], "--simd") && i + 1 < argc) {
       if (!simd::set_backend_spec(argv[++i])) {
         std::fprintf(stderr, "--simd: unknown backend '%s' (scalar|sse2|avx2|auto)\n",
@@ -64,7 +78,8 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: ccovid_train --out-dir D [--px N] [--depth D] "
           "[--volumes V] [--epochs E] [--seed S] [--threads N]\n"
-          "                   [--ranks R] [--simd MODE] [--trace-out PATH]\n");
+          "                   [--ranks R] [--guard] [--recv-timeout S]\n"
+          "                   [--simd MODE] [--trace-out PATH]\n");
       return !std::strcmp(argv[i], "--help") ? 0 : 1;
     }
   }
@@ -112,6 +127,8 @@ int main(int argc, char** argv) {
     dcfg.per_worker_batch = 1;
     dcfg.lr = etc.lr;
     dcfg.lr_decay = etc.lr_decay;
+    dcfg.guard.enabled = guard;
+    dcfg.guard.recv_timeout_s = recv_timeout_s;
     dist::DdpTrainer trainer(
         [&ncfg] { return std::make_shared<nn::DDnet>(ncfg); }, dcfg);
     auto loss_fn = [&eds, &etc](nn::Module& model, int /*rank*/,
