@@ -24,7 +24,9 @@
 #include "ct/siddon.h"
 #include "ddnet_timing.h"
 #include "dist/comm.h"
+#include "graph/graph.h"
 #include "metrics/image_quality.h"
+#include "nn/ddnet.h"
 #include "ops/gemm.h"
 #include "ops/ops.h"
 #include "trace/export.h"
@@ -226,6 +228,20 @@ int run_scaling_sweep(const std::string& path, bool trace_on) {
   const nn::DDnetConfig ddnet_cfg =
       bench::bench_inference_config(false, &ddnet_px);
 
+  // Graph-fusion pair: the same seeded network timed as (a) the
+  // op-by-op module walk with fusion forced off — the pre-graph
+  // production path — and (b) the compiled fused graph. Construction
+  // and compilation sit outside the timed region, matching steady-state
+  // serving where both are built once and reused per request.
+  nn::seed_init_rng(7);
+  nn::DDnet ddnet_net(ddnet_cfg);
+  ddnet_net.set_training(false);
+  const graph::CompiledGraph ddnet_graph =
+      graph::compile(ddnet_net.build_graph(1, ddnet_px, ddnet_px));
+  const Tensor ddnet_img = random_tensor({ddnet_px, ddnet_px}, 6);
+  const Tensor ddnet_in =
+      ddnet_img.clone().reshape({1, 1, ddnet_px, ddnet_px});
+
   for (const int t : widths) {
     ParallelPin pin(t);
     rows.push_back({"conv2d_unrolled_64", t, time_ns_per_iter([&] {
@@ -258,6 +274,13 @@ int run_scaling_sweep(const std::string& path, bool trace_on) {
            benchmark::DoNotOptimize(bench::measure_ddnet_cpu(
                ddnet_cfg, ddnet_px, ddnet_px, ops::KernelOptions::all()));
          })});
+    rows.push_back({"ddnet_forward_128_module", t, time_ns_per_iter([&] {
+                      graph::FusionGuard off(false);
+                      benchmark::DoNotOptimize(ddnet_net.enhance(ddnet_img));
+                    })});
+    rows.push_back({"ddnet_forward_128_fused", t, time_ns_per_iter([&] {
+                      benchmark::DoNotOptimize(ddnet_graph.run(ddnet_in));
+                    })});
     std::printf("width %d done (%zu rows)\n", t, rows.size());
   }
 

@@ -28,6 +28,18 @@ than the tolerance (default 15%). Two artifact kinds are understood:
            failure regardless of tolerance — those are correctness
            invariants, not performance metrics.
 
+  graph    kernels-shaped artifact, but gated on the graph-fusion
+           speedup invariant instead of per-row drift: at every thread
+           count carrying both rows, ns_per_iter of
+           ddnet_forward_128_module divided by ddnet_forward_128_fused
+           must stay at or above --min-speedup (default 1.5 — the
+           ISSUE floor; the committed artifact shows ~2.9x, so the
+           default leaves headroom for CI noise). A missing row or a
+           ratio below the floor is a HARD failure regardless of
+           tolerance: the fused path paying for itself is a shipped
+           claim, not a soft metric. Cannot be inferred from contents
+           (same schema as kernels) — select it with --kind graph.
+
 Rows present on only one side are reported but never fail the gate
 (new ops appear, old ones retire — that is what updating the baseline
 is for). The waiver / update flow is documented in EXPERIMENTS.md:
@@ -139,6 +151,41 @@ def check_shard(baseline, fresh, tolerance):
     return failures + compare_rows(pairs, tolerance)
 
 
+def check_graph(fresh, min_speedup):
+    """Fused-graph speedup floor over a fresh kernels-shaped artifact.
+
+    The baseline plays no role here: the gate is absolute, not
+    relative. Both rows must exist (a silently retired bench row would
+    otherwise turn the gate into a no-op) and module/fused must clear
+    the floor at every thread count measured."""
+    rows = {(r["op"], r["threads"]): r["ns_per_iter"]
+            for r in fresh.get("results", [])}
+    threads = sorted({t for (op, t) in rows
+                      if op in ("ddnet_forward_128_module",
+                                "ddnet_forward_128_fused")})
+    failures = 0
+    if not threads:
+        print("  INVARIANT missing both ddnet_forward_128_module and "
+              "ddnet_forward_128_fused rows — graph gate has nothing "
+              "to check (bench renamed without updating the gate?)")
+        return 1
+    for t in threads:
+        module = rows.get(("ddnet_forward_128_module", t))
+        fused = rows.get(("ddnet_forward_128_fused", t))
+        if module is None or fused is None:
+            missing = "module" if module is None else "fused"
+            print(f"  INVARIANT t{t}: ddnet_forward_128_{missing} row "
+                  f"missing (must be present)")
+            failures += 1
+            continue
+        ratio = module / fused if fused else float("inf")
+        status = "ok" if ratio >= min_speedup else "INVARIANT"
+        failures += status != "ok"
+        print(f"  {status:9s} t{t}: module/fused = {module:.6g}/{fused:.6g} "
+              f"= {ratio:.2f}x (floor {min_speedup:.2f}x)")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", required=True,
@@ -147,9 +194,13 @@ def main():
                     help="artifact produced by this run")
     ap.add_argument("--tolerance", type=float, default=0.15,
                     help="allowed fractional regression (default 0.15)")
-    ap.add_argument("--kind", choices=["kernels", "serve", "shard"],
+    ap.add_argument("--kind", choices=["kernels", "serve", "shard", "graph"],
                     default=None,
-                    help="artifact schema; inferred from contents if omitted")
+                    help="artifact schema; inferred from contents if omitted "
+                         "(graph must be selected explicitly)")
+    ap.add_argument("--min-speedup", type=float, default=1.5,
+                    help="graph kind: hard floor on the "
+                         "module/fused ns_per_iter ratio (default 1.5)")
     args = ap.parse_args()
 
     baseline = load(args.baseline)
@@ -163,19 +214,30 @@ def main():
         else:
             kind = "kernels"
 
-    print(f"check_bench: {kind} artifact, tolerance {args.tolerance:.0%}")
+    if kind == "graph":
+        print(f"check_bench: graph artifact, speedup floor "
+              f"{args.min_speedup:.2f}x")
+    else:
+        print(f"check_bench: {kind} artifact, tolerance {args.tolerance:.0%}")
     print(f"  baseline: {args.baseline}")
     print(f"  fresh   : {args.fresh}")
     if kind == "kernels":
         failures = check_kernels(baseline, fresh, args.tolerance)
     elif kind == "shard":
         failures = check_shard(baseline, fresh, args.tolerance)
+    elif kind == "graph":
+        failures = check_graph(fresh, args.min_speedup)
     else:
         failures = check_serve(baseline, fresh, args.tolerance)
 
     if failures:
-        print(f"check_bench: FAILED — {failures} metric(s) regressed more "
-              f"than {args.tolerance:.0%}.")
+        if kind == "graph":
+            print(f"check_bench: FAILED — {failures} graph invariant(s) "
+                  f"violated (fused speedup floor "
+                  f"{args.min_speedup:.2f}x).")
+        else:
+            print(f"check_bench: FAILED — {failures} metric(s) regressed "
+                  f"more than {args.tolerance:.0%}.")
         print("If the regression is expected, regenerate the baseline and "
               "commit it (see EXPERIMENTS.md, 'Bench gate').")
         return 1

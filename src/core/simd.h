@@ -88,10 +88,44 @@ struct KernelTable {
                           index_t h, index_t w, index_t k, index_t oy,
                           index_t pad, index_t wo, float bias);
 
+  /// Multi-output-channel variant of conv2d_row_s1 for the graph
+  /// executor: one output row for `nco` (1..4) consecutive output
+  /// channels per call. Filter co j lives at wgt + j*wstride_co (ci
+  /// slices wstride_ci apart); its output row at out + j*ostride_co;
+  /// its bias at bias[j]. Each channel keeps its OWN accumulator with
+  /// taps in the same ascending (ci, ky, kx) order as the single-row
+  /// kernel, so per-element results are bitwise identical — the win is
+  /// purely ILP: four independent FMA chains share every input-row
+  /// load instead of one latency-bound chain per call.
+  void (*conv2d_row4_s1)(const float* in, const float* wgt,
+                         index_t wstride_ci, index_t wstride_co, float* out,
+                         index_t ostride_co, int nco, index_t cin,
+                         index_t h, index_t w, index_t k, index_t oy,
+                         index_t pad, index_t wo, const float* bias);
+
+  /// Multi-output-channel deconv2d_row_s1 (gather form), same contract
+  /// as conv2d_row4_s1. With the (Cin,Cout,K,K) deconv weight layout,
+  /// wstride_co = k*k and wstride_ci = cout*k*k.
+  void (*deconv2d_row4_s1)(const float* in, const float* wgt,
+                           index_t wstride_ci, index_t wstride_co,
+                           float* out, index_t ostride_co, int nco,
+                           index_t cin, index_t h, index_t w, index_t k,
+                           index_t oy, index_t pad, index_t wo,
+                           const float* bias);
+
   /// y[i] = scale * x[i] + shift — the batch-norm (+ folded affine)
   /// epilogue.
   void (*scale_shift)(const float* x, float* y, index_t n, float scale,
                       float shift);
+
+  /// Fused batch-norm + activation epilogue for the graph executor:
+  /// t = scale*x + shift, then act 0 = none, 1 = relu, 2 = leaky.
+  /// Deliberately NOT restrict-qualified: x == y (in-place over a conv
+  /// output slab) is supported. Bitwise-identical to scale_shift
+  /// followed by relu/leaky_relu — the vector body and the scalar tail
+  /// apply the exact per-element expressions of those kernels.
+  void (*scale_shift_act)(const float* x, float* y, index_t n, float scale,
+                          float shift, int act, float slope);
 
   /// y[i] = max(x[i], 0) with maxps NaN/-0 semantics (NaN -> 0).
   void (*relu)(const float* x, float* y, index_t n);

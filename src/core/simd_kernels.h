@@ -73,6 +73,85 @@ inline float deconv_point(const float* in, const float* wgt,
   return acc;
 }
 
+// Border-column companions of the quad row kernels: one output column
+// for NCO consecutive output channels, sharing every input load across
+// four independent scalar accumulator chains. Per channel the tap order
+// (ci, ky, kx ascending, bounds-check skips) is exactly conv_point /
+// deconv_point, so the results are bitwise identical.
+template <int NCO>
+inline void conv_point_q(const float* in, const float* wgt,
+                         index_t wstride_ci, index_t wstride_co, float* out,
+                         index_t ostride_co, index_t cin, index_t h,
+                         index_t w, index_t k, index_t oy, index_t ox,
+                         index_t pad, const float* bias) {
+  float a0 = bias[0];
+  float a1 = NCO > 1 ? bias[1] : 0.0f;
+  float a2 = NCO > 2 ? bias[2] : 0.0f;
+  float a3 = NCO > 3 ? bias[3] : 0.0f;
+  const index_t iy0 = oy - pad;
+  const index_t ix0 = ox - pad;
+  for (index_t ci = 0; ci < cin; ++ci) {
+    const float* inp = in + ci * h * w;
+    const float* w0 = wgt + ci * wstride_ci;
+    const float* w1 = w0 + wstride_co;
+    const float* w2 = w1 + wstride_co;
+    const float* w3 = w2 + wstride_co;
+    for (index_t ky = 0; ky < k; ++ky) {
+      const index_t iy = iy0 + ky;
+      if (iy < 0 || iy >= h) continue;
+      for (index_t kx = 0; kx < k; ++kx) {
+        const index_t ix = ix0 + kx;
+        if (ix < 0 || ix >= w) continue;
+        const float x = inp[iy * w + ix];
+        a0 += x * w0[ky * k + kx];
+        if (NCO > 1) a1 += x * w1[ky * k + kx];
+        if (NCO > 2) a2 += x * w2[ky * k + kx];
+        if (NCO > 3) a3 += x * w3[ky * k + kx];
+      }
+    }
+  }
+  out[ox] = a0;
+  if (NCO > 1) out[ostride_co + ox] = a1;
+  if (NCO > 2) out[2 * ostride_co + ox] = a2;
+  if (NCO > 3) out[3 * ostride_co + ox] = a3;
+}
+
+template <int NCO>
+inline void deconv_point_q(const float* in, const float* wgt,
+                           index_t wstride_ci, index_t wstride_co,
+                           float* out, index_t ostride_co, index_t cin,
+                           index_t h, index_t w, index_t k, index_t oy,
+                           index_t ox, index_t pad, const float* bias) {
+  float a0 = bias[0];
+  float a1 = NCO > 1 ? bias[1] : 0.0f;
+  float a2 = NCO > 2 ? bias[2] : 0.0f;
+  float a3 = NCO > 3 ? bias[3] : 0.0f;
+  for (index_t ci = 0; ci < cin; ++ci) {
+    const float* inp = in + ci * h * w;
+    const float* w0 = wgt + ci * wstride_ci;
+    const float* w1 = w0 + wstride_co;
+    const float* w2 = w1 + wstride_co;
+    const float* w3 = w2 + wstride_co;
+    for (index_t ky = 0; ky < k; ++ky) {
+      const index_t iy = oy + pad - ky;
+      if (iy < 0 || iy >= h) continue;
+      for (index_t kx = 0; kx < k; ++kx) {
+        const index_t ix = ox + pad - kx;
+        if (ix < 0 || ix >= w) continue;
+        const float x = inp[iy * w + ix];
+        a0 += x * w0[ky * k + kx];
+        if (NCO > 1) a1 += x * w1[ky * k + kx];
+        if (NCO > 2) a2 += x * w2[ky * k + kx];
+        if (NCO > 3) a3 += x * w3[ky * k + kx];
+      }
+    }
+  }
+  out[ox] = a0;
+  if (NCO > 1) out[ostride_co + ox] = a1;
+  if (NCO > 2) out[2 * ostride_co + ox] = a2;
+  if (NCO > 3) out[3 * ostride_co + ox] = a3;
+}
+
 template <class V>
 struct Kernels {
   using v8 = typename V::v8;
@@ -172,6 +251,333 @@ struct Kernels {
     }
   }
 
+  // Quad-channel row kernels. NCO independent accumulator chains (one
+  // per output channel) share each 8-lane input load; every chain
+  // replays the exact (ci, ky, kx) tap order of the single-channel
+  // kernel, so lane contents match conv2d_row_s1 / deconv2d_row_s1 bit
+  // for bit. Border columns reuse the shared scalar points per channel.
+  template <int NCO, int K>
+  static void conv2d_rowq_body(const float* CCOVID_RESTRICT in,
+                               const float* CCOVID_RESTRICT wgt,
+                               index_t wstride_ci, index_t wstride_co,
+                               float* CCOVID_RESTRICT out,
+                               index_t ostride_co, index_t cin, index_t h,
+                               index_t w, index_t k, index_t oy,
+                               index_t pad, index_t wo,
+                               const float* CCOVID_RESTRICT bias) {
+    // K > 0: compile-time kernel extent — the kx/ky loops below fully
+    // unroll and every weight index folds into a constant displacement.
+    const index_t kk = K > 0 ? index_t(K) : k;
+    const index_t ky0 = std::max<index_t>(0, pad - oy);
+    const index_t ky1 = std::min<index_t>(kk, h + pad - oy);
+    const index_t xlo = std::min<index_t>(pad, wo);
+    const index_t xhi =
+        std::max(xlo, std::min<index_t>(wo, w - kk + pad + 1));
+    index_t ox = 0;
+    for (; ox < xlo; ++ox) {
+      conv_point_q<NCO>(in, wgt, wstride_ci, wstride_co, out,
+                        ostride_co, cin, h, w, k, oy, ox, pad, bias);
+    }
+    const index_t iy0 = oy - pad;
+    // Double-wide interior: two 8-lane column blocks per pass share
+    // every weight broadcast, giving up to eight independent chains in
+    // flight. Column block [ox+8, ox+16) sees the identical tap stream
+    // it would in the single-block pass below.
+    for (; ox + 16 <= xhi; ox += 16) {
+      v8 a0 = V::set1(bias[0]), b0 = a0;
+      v8 a1 = NCO > 1 ? V::set1(bias[1]) : V::zero(), b1 = a1;
+      v8 a2 = NCO > 2 ? V::set1(bias[2]) : V::zero(), b2 = a2;
+      v8 a3 = NCO > 3 ? V::set1(bias[3]) : V::zero(), b3 = a3;
+      const index_t ix0 = ox - pad;
+      for (index_t ci = 0; ci < cin; ++ci) {
+        const float* inp = in + ci * h * w;
+        const float* w0 = wgt + ci * wstride_ci;
+        const float* w1 = w0 + wstride_co;
+        const float* w2 = w1 + wstride_co;
+        const float* w3 = w2 + wstride_co;
+        for (index_t ky = ky0; ky < ky1; ++ky) {
+          const float* row = inp + (iy0 + ky) * w + ix0;
+          const index_t kb = ky * kk;
+          for (index_t kx = 0; kx < kk; ++kx) {
+            const v8 v = V::loadu(row + kx);
+            const v8 u = V::loadu(row + kx + 8);
+            const v8 wv0 = V::set1(w0[kb + kx]);
+            a0 = V::madd(a0, v, wv0);
+            b0 = V::madd(b0, u, wv0);
+            if (NCO > 1) {
+              const v8 wv1 = V::set1(w1[kb + kx]);
+              a1 = V::madd(a1, v, wv1);
+              b1 = V::madd(b1, u, wv1);
+            }
+            if (NCO > 2) {
+              const v8 wv2 = V::set1(w2[kb + kx]);
+              a2 = V::madd(a2, v, wv2);
+              b2 = V::madd(b2, u, wv2);
+            }
+            if (NCO > 3) {
+              const v8 wv3 = V::set1(w3[kb + kx]);
+              a3 = V::madd(a3, v, wv3);
+              b3 = V::madd(b3, u, wv3);
+            }
+          }
+        }
+      }
+      V::storeu(out + ox, a0);
+      V::storeu(out + ox + 8, b0);
+      if (NCO > 1) {
+        V::storeu(out + ostride_co + ox, a1);
+        V::storeu(out + ostride_co + ox + 8, b1);
+      }
+      if (NCO > 2) {
+        V::storeu(out + 2 * ostride_co + ox, a2);
+        V::storeu(out + 2 * ostride_co + ox + 8, b2);
+      }
+      if (NCO > 3) {
+        V::storeu(out + 3 * ostride_co + ox, a3);
+        V::storeu(out + 3 * ostride_co + ox + 8, b3);
+      }
+    }
+    for (; ox + 8 <= xhi; ox += 8) {
+      // Hand-unrolled accumulators (not an array: the named values must
+      // live in registers — a rolled j-loop leaves them on the stack
+      // and re-serializes the chains through store-forwarding).
+      v8 a0 = V::set1(bias[0]);
+      v8 a1 = NCO > 1 ? V::set1(bias[1]) : V::zero();
+      v8 a2 = NCO > 2 ? V::set1(bias[2]) : V::zero();
+      v8 a3 = NCO > 3 ? V::set1(bias[3]) : V::zero();
+      const index_t ix0 = ox - pad;
+      for (index_t ci = 0; ci < cin; ++ci) {
+        const float* inp = in + ci * h * w;
+        const float* w0 = wgt + ci * wstride_ci;
+        const float* w1 = w0 + wstride_co;
+        const float* w2 = w1 + wstride_co;
+        const float* w3 = w2 + wstride_co;
+        for (index_t ky = ky0; ky < ky1; ++ky) {
+          const float* row = inp + (iy0 + ky) * w + ix0;
+          const index_t kb = ky * kk;
+          for (index_t kx = 0; kx < kk; ++kx) {
+            const v8 v = V::loadu(row + kx);
+            a0 = V::madd(a0, v, V::set1(w0[kb + kx]));
+            if (NCO > 1) a1 = V::madd(a1, v, V::set1(w1[kb + kx]));
+            if (NCO > 2) a2 = V::madd(a2, v, V::set1(w2[kb + kx]));
+            if (NCO > 3) a3 = V::madd(a3, v, V::set1(w3[kb + kx]));
+          }
+        }
+      }
+      V::storeu(out + ox, a0);
+      if (NCO > 1) V::storeu(out + ostride_co + ox, a1);
+      if (NCO > 2) V::storeu(out + 2 * ostride_co + ox, a2);
+      if (NCO > 3) V::storeu(out + 3 * ostride_co + ox, a3);
+    }
+    for (; ox < wo; ++ox) {
+      conv_point_q<NCO>(in, wgt, wstride_ci, wstride_co, out,
+                        ostride_co, cin, h, w, k, oy, ox, pad, bias);
+    }
+  }
+
+  template <int NCO>
+  static void conv2d_rowq_k(const float* in, const float* wgt,
+                 index_t wstride_ci, index_t wstride_co, float* out,
+                 index_t ostride_co, index_t cin, index_t h, index_t w,
+                 index_t k, index_t oy, index_t pad, index_t wo,
+                 const float* bias) {
+    switch (k) {
+      case 1:
+        conv2d_rowq_body<NCO, 1>(in, wgt, wstride_ci, wstride_co, out,
+                 ostride_co, cin, h, w, k, oy, pad, wo, bias);
+        break;
+      case 3:
+        conv2d_rowq_body<NCO, 3>(in, wgt, wstride_ci, wstride_co, out,
+                 ostride_co, cin, h, w, k, oy, pad, wo, bias);
+        break;
+      case 5:
+        conv2d_rowq_body<NCO, 5>(in, wgt, wstride_ci, wstride_co, out,
+                 ostride_co, cin, h, w, k, oy, pad, wo, bias);
+        break;
+      case 7:
+        conv2d_rowq_body<NCO, 7>(in, wgt, wstride_ci, wstride_co, out,
+                 ostride_co, cin, h, w, k, oy, pad, wo, bias);
+        break;
+      default:
+        conv2d_rowq_body<NCO, 0>(in, wgt, wstride_ci, wstride_co, out,
+                 ostride_co, cin, h, w, k, oy, pad, wo, bias);
+        break;
+    }
+  }
+
+  static void conv2d_row4_s1(const float* in, const float* wgt,
+                             index_t wstride_ci, index_t wstride_co,
+                             float* out, index_t ostride_co, int nco,
+                             index_t cin, index_t h, index_t w, index_t k,
+                             index_t oy, index_t pad, index_t wo,
+                             const float* bias) {
+    switch (nco) {
+      case 1: conv2d_rowq_k<1>(in, wgt, wstride_ci, wstride_co, out,
+                 ostride_co, cin, h, w, k, oy, pad, wo, bias); break;
+      case 2: conv2d_rowq_k<2>(in, wgt, wstride_ci, wstride_co, out,
+                 ostride_co, cin, h, w, k, oy, pad, wo, bias); break;
+      case 3: conv2d_rowq_k<3>(in, wgt, wstride_ci, wstride_co, out,
+                 ostride_co, cin, h, w, k, oy, pad, wo, bias); break;
+      default: conv2d_rowq_k<4>(in, wgt, wstride_ci, wstride_co, out,
+                 ostride_co, cin, h, w, k, oy, pad, wo, bias); break;
+    }
+  }
+
+  template <int NCO, int K>
+  static void deconv2d_rowq_body(const float* CCOVID_RESTRICT in,
+                                 const float* CCOVID_RESTRICT wgt,
+                                 index_t wstride_ci, index_t wstride_co,
+                                 float* CCOVID_RESTRICT out,
+                                 index_t ostride_co, index_t cin, index_t h,
+                                 index_t w, index_t k, index_t oy,
+                                 index_t pad, index_t wo,
+                                 const float* CCOVID_RESTRICT bias) {
+    const index_t kk = K > 0 ? index_t(K) : k;
+    const index_t ky0 = std::max<index_t>(0, oy + pad - h + 1);
+    const index_t ky1 = std::min<index_t>(kk, oy + pad + 1);
+    const index_t xlo =
+        std::min<index_t>(std::max<index_t>(0, kk - 1 - pad), wo);
+    const index_t xhi = std::max(xlo, std::min<index_t>(wo, w - pad));
+    index_t ox = 0;
+    for (; ox < xlo; ++ox) {
+      deconv_point_q<NCO>(in, wgt, wstride_ci, wstride_co, out,
+                          ostride_co, cin, h, w, k, oy, ox, pad, bias);
+    }
+    for (; ox + 16 <= xhi; ox += 16) {
+      v8 a0 = V::set1(bias[0]), b0 = a0;
+      v8 a1 = NCO > 1 ? V::set1(bias[1]) : V::zero(), b1 = a1;
+      v8 a2 = NCO > 2 ? V::set1(bias[2]) : V::zero(), b2 = a2;
+      v8 a3 = NCO > 3 ? V::set1(bias[3]) : V::zero(), b3 = a3;
+      for (index_t ci = 0; ci < cin; ++ci) {
+        const float* inp = in + ci * h * w;
+        const float* w0 = wgt + ci * wstride_ci;
+        const float* w1 = w0 + wstride_co;
+        const float* w2 = w1 + wstride_co;
+        const float* w3 = w2 + wstride_co;
+        for (index_t ky = ky0; ky < ky1; ++ky) {
+          const float* row = inp + (oy + pad - ky) * w + (ox + pad);
+          const index_t kb = ky * kk;
+          for (index_t kx = 0; kx < kk; ++kx) {
+            const v8 v = V::loadu(row - kx);
+            const v8 u = V::loadu(row - kx + 8);
+            const v8 wv0 = V::set1(w0[kb + kx]);
+            a0 = V::madd(a0, v, wv0);
+            b0 = V::madd(b0, u, wv0);
+            if (NCO > 1) {
+              const v8 wv1 = V::set1(w1[kb + kx]);
+              a1 = V::madd(a1, v, wv1);
+              b1 = V::madd(b1, u, wv1);
+            }
+            if (NCO > 2) {
+              const v8 wv2 = V::set1(w2[kb + kx]);
+              a2 = V::madd(a2, v, wv2);
+              b2 = V::madd(b2, u, wv2);
+            }
+            if (NCO > 3) {
+              const v8 wv3 = V::set1(w3[kb + kx]);
+              a3 = V::madd(a3, v, wv3);
+              b3 = V::madd(b3, u, wv3);
+            }
+          }
+        }
+      }
+      V::storeu(out + ox, a0);
+      V::storeu(out + ox + 8, b0);
+      if (NCO > 1) {
+        V::storeu(out + ostride_co + ox, a1);
+        V::storeu(out + ostride_co + ox + 8, b1);
+      }
+      if (NCO > 2) {
+        V::storeu(out + 2 * ostride_co + ox, a2);
+        V::storeu(out + 2 * ostride_co + ox + 8, b2);
+      }
+      if (NCO > 3) {
+        V::storeu(out + 3 * ostride_co + ox, a3);
+        V::storeu(out + 3 * ostride_co + ox + 8, b3);
+      }
+    }
+    for (; ox + 8 <= xhi; ox += 8) {
+      v8 a0 = V::set1(bias[0]);
+      v8 a1 = NCO > 1 ? V::set1(bias[1]) : V::zero();
+      v8 a2 = NCO > 2 ? V::set1(bias[2]) : V::zero();
+      v8 a3 = NCO > 3 ? V::set1(bias[3]) : V::zero();
+      for (index_t ci = 0; ci < cin; ++ci) {
+        const float* inp = in + ci * h * w;
+        const float* w0 = wgt + ci * wstride_ci;
+        const float* w1 = w0 + wstride_co;
+        const float* w2 = w1 + wstride_co;
+        const float* w3 = w2 + wstride_co;
+        for (index_t ky = ky0; ky < ky1; ++ky) {
+          const float* row = inp + (oy + pad - ky) * w + (ox + pad);
+          const index_t kb = ky * kk;
+          for (index_t kx = 0; kx < kk; ++kx) {
+            const v8 v = V::loadu(row - kx);
+            a0 = V::madd(a0, v, V::set1(w0[kb + kx]));
+            if (NCO > 1) a1 = V::madd(a1, v, V::set1(w1[kb + kx]));
+            if (NCO > 2) a2 = V::madd(a2, v, V::set1(w2[kb + kx]));
+            if (NCO > 3) a3 = V::madd(a3, v, V::set1(w3[kb + kx]));
+          }
+        }
+      }
+      V::storeu(out + ox, a0);
+      if (NCO > 1) V::storeu(out + ostride_co + ox, a1);
+      if (NCO > 2) V::storeu(out + 2 * ostride_co + ox, a2);
+      if (NCO > 3) V::storeu(out + 3 * ostride_co + ox, a3);
+    }
+    for (; ox < wo; ++ox) {
+      deconv_point_q<NCO>(in, wgt, wstride_ci, wstride_co, out,
+                          ostride_co, cin, h, w, k, oy, ox, pad, bias);
+    }
+  }
+
+  template <int NCO>
+  static void deconv2d_rowq_k(const float* in, const float* wgt,
+                 index_t wstride_ci, index_t wstride_co, float* out,
+                 index_t ostride_co, index_t cin, index_t h, index_t w,
+                 index_t k, index_t oy, index_t pad, index_t wo,
+                 const float* bias) {
+    switch (k) {
+      case 1:
+        deconv2d_rowq_body<NCO, 1>(in, wgt, wstride_ci, wstride_co, out,
+                 ostride_co, cin, h, w, k, oy, pad, wo, bias);
+        break;
+      case 3:
+        deconv2d_rowq_body<NCO, 3>(in, wgt, wstride_ci, wstride_co, out,
+                 ostride_co, cin, h, w, k, oy, pad, wo, bias);
+        break;
+      case 5:
+        deconv2d_rowq_body<NCO, 5>(in, wgt, wstride_ci, wstride_co, out,
+                 ostride_co, cin, h, w, k, oy, pad, wo, bias);
+        break;
+      case 7:
+        deconv2d_rowq_body<NCO, 7>(in, wgt, wstride_ci, wstride_co, out,
+                 ostride_co, cin, h, w, k, oy, pad, wo, bias);
+        break;
+      default:
+        deconv2d_rowq_body<NCO, 0>(in, wgt, wstride_ci, wstride_co, out,
+                 ostride_co, cin, h, w, k, oy, pad, wo, bias);
+        break;
+    }
+  }
+
+  static void deconv2d_row4_s1(const float* in, const float* wgt,
+                             index_t wstride_ci, index_t wstride_co,
+                             float* out, index_t ostride_co, int nco,
+                             index_t cin, index_t h, index_t w, index_t k,
+                             index_t oy, index_t pad, index_t wo,
+                             const float* bias) {
+    switch (nco) {
+      case 1: deconv2d_rowq_k<1>(in, wgt, wstride_ci, wstride_co, out,
+                 ostride_co, cin, h, w, k, oy, pad, wo, bias); break;
+      case 2: deconv2d_rowq_k<2>(in, wgt, wstride_ci, wstride_co, out,
+                 ostride_co, cin, h, w, k, oy, pad, wo, bias); break;
+      case 3: deconv2d_rowq_k<3>(in, wgt, wstride_ci, wstride_co, out,
+                 ostride_co, cin, h, w, k, oy, pad, wo, bias); break;
+      default: deconv2d_rowq_k<4>(in, wgt, wstride_ci, wstride_co, out,
+                 ostride_co, cin, h, w, k, oy, pad, wo, bias); break;
+    }
+  }
+
   static void scale_shift(const float* CCOVID_RESTRICT x,
                           float* CCOVID_RESTRICT y, index_t n, float scale,
                           float shift) {
@@ -181,6 +587,37 @@ struct Kernels {
       V::storeu(y + i, V::madd(sh, V::loadu(x + i), sc));
     }
     for (; i < n; ++i) y[i] = scale * x[i] + shift;
+  }
+
+  // No restrict: the graph executor runs this in place on a conv
+  // output slab (x == y). Per element this is exactly scale_shift
+  // followed by relu/leaky_relu, so fused and unfused epilogues agree
+  // bitwise at every position (vector body and scalar tail alike).
+  static void scale_shift_act(const float* x, float* y, index_t n,
+                              float scale, float shift, int act,
+                              float slope) {
+    const v8 sc = V::set1(scale), sh = V::set1(shift);
+    const v8 z = V::zero();
+    const v8 sl = V::set1(slope);
+    index_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      v8 t = V::madd(sh, V::loadu(x + i), sc);
+      if (act == 1) {
+        t = V::max(t, z);
+      } else if (act == 2) {
+        t = V::blend_gt0(t, t, V::mul(sl, t));
+      }
+      V::storeu(y + i, t);
+    }
+    for (; i < n; ++i) {
+      float t = scale * x[i] + shift;
+      if (act == 1) {
+        t = t > 0.0f ? t : 0.0f;
+      } else if (act == 2) {
+        t = t > 0.0f ? t : slope * t;
+      }
+      y[i] = t;
+    }
   }
 
   static void relu(const float* CCOVID_RESTRICT x, float* CCOVID_RESTRICT y,
@@ -262,7 +699,10 @@ KernelTable make_table(const char* name) {
   t.sgemm_micro_4x8 = &Kernels<V>::sgemm_micro_4x8;
   t.conv2d_row_s1 = &Kernels<V>::conv2d_row_s1;
   t.deconv2d_row_s1 = &Kernels<V>::deconv2d_row_s1;
+  t.conv2d_row4_s1 = &Kernels<V>::conv2d_row4_s1;
+  t.deconv2d_row4_s1 = &Kernels<V>::deconv2d_row4_s1;
   t.scale_shift = &Kernels<V>::scale_shift;
+  t.scale_shift_act = &Kernels<V>::scale_shift_act;
   t.relu = &Kernels<V>::relu;
   t.leaky_relu = &Kernels<V>::leaky_relu;
   t.add_scalar = &Kernels<V>::add_scalar;

@@ -1,0 +1,529 @@
+// Graph compiler + executor: fusion pass, liveness-based slab planning,
+// and the flat-step interpreter (DESIGN.md §12). The executed math is
+// intentionally the SAME kernel calls the ops make — see graph.h for
+// the bitwise contract and the legality notes inline below.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "core/arena.h"
+#include "core/parallel.h"
+#include "core/simd.h"
+#include "graph/graph.h"
+#include "trace/trace.h"
+
+namespace ccovid::graph {
+
+namespace {
+
+/// One executed step after fusion. `kind` keeps the producing op's
+/// OpKind; fusion is expressed through the epilogue fields:
+///   conv/deconv + has_affine(+act): the conv→bn(→act) chain collapsed
+///     into one plane pass (rows, then scale_shift_act in place);
+///   kBatchNorm + act: a bn→act chain collapsed into one eltwise pass.
+struct Step {
+  OpKind kind = OpKind::kInput;
+  int out_node = -1;          ///< node id whose value this step defines
+  std::vector<int> in_nodes;  ///< original producer ids
+  ValueShape out_shape, in_shape;
+
+  // conv / deconv.
+  Tensor weight;
+  std::vector<real_t> bias;  ///< hoisted (Cout) — zeros when bias-less
+  index_t k = 0, pad = 0;
+
+  // Hoisted batch-norm epilogue constants (batch_norm_infer's exact
+  // per-channel floats) + activation: 0 none, 1 relu, 2 leaky.
+  bool has_affine = false;
+  std::vector<real_t> scale, shift;
+  int act = 0;
+  real_t slope = 0.0f;
+
+  // Pool / unpool constants.
+  ops::Pool2dParams pool{};
+  std::vector<ops::Lerp> ly, lx;
+
+  // Concat: channel count per input, in input order.
+  std::vector<index_t> concat_c;
+};
+
+int act_code(OpKind k) {
+  return k == OpKind::kRelu ? 1 : k == OpKind::kLeakyRelu ? 2 : 0;
+}
+
+/// batch_norm_infer's per-channel constants, expression for expression
+/// (real_t arithmetic; see ops/batchnorm.cpp).
+void hoist_bn_constants(const Node& bn, std::vector<real_t>* scale,
+                        std::vector<real_t>* shift) {
+  const index_t c = bn.gamma.dim(0);
+  scale->resize(size_t(c));
+  shift->resize(size_t(c));
+  const real_t* gp = bn.gamma.data();
+  const real_t* bp = bn.beta.data();
+  const real_t* mp = bn.mean.data();
+  const real_t* vp = bn.var.data();
+  for (index_t i = 0; i < c; ++i) {
+    const real_t inv_std = 1.0f / std::sqrt(vp[i] + bn.eps);
+    const real_t s = gp[i] * inv_std;
+    (*scale)[size_t(i)] = s;
+    (*shift)[size_t(i)] = bp[i] - s * mp[i];
+  }
+}
+
+std::vector<real_t> hoist_bias(const Tensor& bias, index_t cout) {
+  std::vector<real_t> out(size_t(cout), 0.0f);
+  if (bias.defined()) {
+    std::memcpy(out.data(), bias.data(),
+                size_t(cout) * sizeof(real_t));
+  }
+  return out;
+}
+
+// Value locations (CompiledGraph::Impl::value_loc).
+constexpr int kLocDead = -3;    ///< absorbed into a fused step
+constexpr int kLocInput = -2;   ///< the graph input tensor
+constexpr int kLocOutput = -1;  ///< the run() output tensor
+
+}  // namespace
+
+struct CompiledGraph::Impl {
+  ValueShape in_shape, out_shape;
+  int out_node = -1;
+  std::vector<Step> steps;
+  std::vector<int> value_loc;       ///< per node id
+  std::vector<index_t> slab_sizes;  ///< floats per slab
+  Stats stats;
+  std::vector<BufferPlan> plans;
+};
+
+CompiledGraph::CompiledGraph(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+CompiledGraph::CompiledGraph(CompiledGraph&&) noexcept = default;
+CompiledGraph& CompiledGraph::operator=(CompiledGraph&&) noexcept = default;
+CompiledGraph::~CompiledGraph() = default;
+
+const CompiledGraph::Stats& CompiledGraph::stats() const {
+  return impl_->stats;
+}
+const std::vector<BufferPlan>& CompiledGraph::plan() const {
+  return impl_->plans;
+}
+
+namespace {
+
+/// Fusion walk. Emits one Step per surviving node in schedule order.
+/// Legality (see graph.h): a bn is absorbed into its producing conv /
+/// deconv only when it is that conv's sole consumer and the conv is not
+/// the graph output; an activation is absorbed only behind an affine
+/// epilogue (bn), under the same sole-consumer / non-output rule.
+/// A conv WITHOUT a bn never absorbs an activation: pushing x through
+/// the identity affine (madd) turns -0 into +0, which would break
+/// bitwise parity with the standalone leaky_relu kernel.
+std::vector<Step> fuse_steps(const Graph& g, bool fuse, int* fused_away) {
+  TRACE_SPAN("graph.fuse");
+  const auto order = g.schedule();
+  const auto cons = g.consumers();
+  std::vector<char> absorbed(size_t(g.num_nodes()), 0);
+  std::vector<Step> steps;
+  *fused_away = 0;
+
+  const auto sole_consumer = [&](int id) -> const Node* {
+    if (cons[size_t(id)].size() != 1 || id == g.output()) return nullptr;
+    return &g.node(cons[size_t(id)][0]);
+  };
+
+  for (int id : order) {
+    if (absorbed[size_t(id)]) continue;
+    const Node& n = g.node(id);
+    if (n.kind == OpKind::kInput) continue;
+
+    Step s;
+    s.kind = n.kind;
+    s.out_node = id;
+    s.in_nodes = n.inputs;
+    s.out_shape = n.shape;
+    s.in_shape = g.node(n.inputs.empty() ? id : n.inputs[0]).shape;
+
+    switch (n.kind) {
+      case OpKind::kConv2d:
+      case OpKind::kDeconv2d: {
+        s.weight = n.weight;
+        s.k = n.ksize;
+        s.pad = n.pad;
+        s.bias = hoist_bias(n.bias, n.shape.c);
+        if (fuse) {
+          const Node* bn = sole_consumer(id);
+          if (bn && bn->kind == OpKind::kBatchNorm) {
+            hoist_bn_constants(*bn, &s.scale, &s.shift);
+            s.has_affine = true;
+            absorbed[size_t(bn->id)] = 1;
+            ++*fused_away;
+            s.out_node = bn->id;
+            s.out_shape = bn->shape;
+            const Node* a = sole_consumer(bn->id);
+            if (a && (a->kind == OpKind::kRelu ||
+                      a->kind == OpKind::kLeakyRelu)) {
+              s.act = act_code(a->kind);
+              s.slope = a->slope;
+              absorbed[size_t(a->id)] = 1;
+              ++*fused_away;
+              s.out_node = a->id;
+              s.out_shape = a->shape;
+            }
+          }
+        }
+        break;
+      }
+      case OpKind::kBatchNorm: {
+        hoist_bn_constants(n, &s.scale, &s.shift);
+        s.has_affine = true;
+        if (fuse) {
+          const Node* a = sole_consumer(id);
+          if (a &&
+              (a->kind == OpKind::kRelu || a->kind == OpKind::kLeakyRelu)) {
+            s.act = act_code(a->kind);
+            s.slope = a->slope;
+            absorbed[size_t(a->id)] = 1;
+            ++*fused_away;
+            s.out_node = a->id;
+            s.out_shape = a->shape;
+          }
+        }
+        break;
+      }
+      case OpKind::kRelu:
+      case OpKind::kLeakyRelu:
+        s.act = act_code(n.kind);
+        s.slope = n.slope;
+        break;
+      case OpKind::kMaxPool:
+        s.pool = n.pool;
+        break;
+      case OpKind::kUnpool: {
+        // Hoisted interpolation tables (the per-call table build the
+        // op pays is one of the wins the alloc-flatness test pins).
+        const ValueShape& in = s.in_shape;
+        s.ly.reserve(size_t(s.out_shape.h));
+        for (index_t o = 0; o < s.out_shape.h; ++o) {
+          s.ly.push_back(ops::unpool_lerp(o, n.scale, in.h));
+        }
+        s.lx.reserve(size_t(s.out_shape.w));
+        for (index_t o = 0; o < s.out_shape.w; ++o) {
+          s.lx.push_back(ops::unpool_lerp(o, n.scale, in.w));
+        }
+        break;
+      }
+      case OpKind::kConcat:
+        s.concat_c.reserve(n.inputs.size());
+        for (int in : n.inputs) {
+          s.concat_c.push_back(g.node(in).shape.c);
+        }
+        break;
+      case OpKind::kAdd:
+        break;
+      case OpKind::kInput:
+        break;
+    }
+    steps.push_back(std::move(s));
+  }
+  return steps;
+}
+
+/// Greedy liveness-based slab assignment in step order. A value's slab
+/// is freed only AFTER its last reader's output got a slab, so a step
+/// never writes the buffer it is reading (the kernels rely on that:
+/// all non-epilogue paths are restrict-qualified). The fused epilogue
+/// is the one deliberate in-place pass and touches only the step's own
+/// output slab.
+void plan_buffers(const Graph& g, const std::vector<Step>& steps,
+                  int out_node, std::vector<int>* value_loc,
+                  std::vector<index_t>* slab_sizes,
+                  std::vector<BufferPlan>* plans) {
+  TRACE_SPAN("graph.plan");
+  value_loc->assign(size_t(g.num_nodes()), kLocDead);
+  (*value_loc)[0] = kLocInput;
+
+  std::vector<int> last_use(size_t(g.num_nodes()), -1);
+  for (int si = 0; si < int(steps.size()); ++si) {
+    for (int in : steps[size_t(si)].in_nodes) {
+      last_use[size_t(in)] = si;
+    }
+  }
+
+  plans->push_back(BufferPlan{0, -1, g.input_shape().numel(), -1,
+                              last_use[0]});
+
+  std::vector<char> slab_free;
+  for (int si = 0; si < int(steps.size()); ++si) {
+    const Step& s = steps[size_t(si)];
+    const index_t need = s.out_shape.numel();
+    int loc;
+    if (s.out_node == out_node) {
+      loc = kLocOutput;
+    } else {
+      // Best fit: smallest free slab that holds the value; otherwise
+      // grow the largest free slab; otherwise open a new one.
+      int best = -1, largest = -1;
+      for (int i = 0; i < int(slab_sizes->size()); ++i) {
+        if (!slab_free[size_t(i)]) continue;
+        if ((*slab_sizes)[size_t(i)] >= need &&
+            (best < 0 ||
+             (*slab_sizes)[size_t(i)] < (*slab_sizes)[size_t(best)])) {
+          best = i;
+        }
+        if (largest < 0 ||
+            (*slab_sizes)[size_t(i)] > (*slab_sizes)[size_t(largest)]) {
+          largest = i;
+        }
+      }
+      if (best < 0 && largest >= 0) {
+        best = largest;
+        (*slab_sizes)[size_t(best)] = need;
+      }
+      if (best < 0) {
+        best = int(slab_sizes->size());
+        slab_sizes->push_back(need);
+        slab_free.push_back(0);
+      }
+      slab_free[size_t(best)] = 0;
+      loc = best;
+    }
+    (*value_loc)[size_t(s.out_node)] = loc;
+    plans->push_back(BufferPlan{s.out_node, loc < 0 ? -1 : loc, need, si,
+                                std::max(last_use[size_t(s.out_node)], si)});
+    for (int in : s.in_nodes) {
+      const int in_loc = (*value_loc)[size_t(in)];
+      if (in_loc >= 0 && last_use[size_t(in)] == si) {
+        slab_free[size_t(in_loc)] = 1;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CompiledGraph compile(const Graph& g, const CompileOptions& opt) {
+  TRACE_SPAN("graph.compile");
+  auto impl = std::make_unique<CompiledGraph::Impl>();
+  impl->in_shape = g.input_shape();
+  impl->out_node = g.output();
+  impl->out_shape = g.node(impl->out_node).shape;
+
+  int fused_away = 0;
+  impl->steps = fuse_steps(g, opt.fuse, &fused_away);
+  plan_buffers(g, impl->steps, impl->out_node, &impl->value_loc,
+               &impl->slab_sizes, &impl->plans);
+
+  impl->stats.steps = int(impl->steps.size());
+  impl->stats.fused_away = fused_away;
+  impl->stats.slabs = int(impl->slab_sizes.size());
+  impl->stats.slab_floats = 0;
+  for (index_t f : impl->slab_sizes) impl->stats.slab_floats += f;
+  return CompiledGraph(std::move(impl));
+}
+
+Tensor CompiledGraph::run(const Tensor& input) const {
+  TRACE_SPAN("graph.run");
+  const Impl& im = *impl_;
+  if (input.rank() != 4 || input.dim(0) != im.in_shape.n ||
+      input.dim(1) != im.in_shape.c || input.dim(2) != im.in_shape.h ||
+      input.dim(3) != im.in_shape.w) {
+    throw std::invalid_argument("graph.run: input shape " +
+                                input.shape().str() + " != captured " +
+                                im.in_shape.str());
+  }
+  if (im.steps.empty() || im.out_node == 0) return input.clone();
+
+  Tensor out({im.out_shape.n, im.out_shape.c, im.out_shape.h,
+              im.out_shape.w});
+  const real_t* in_data = input.data();
+  real_t* out_data = out.data();
+
+  // All intermediates live in this thread's arena for the duration of
+  // the call; concurrent run() callers therefore never share buffers.
+  ArenaScope scope;
+  std::vector<real_t*> slab(im.slab_sizes.size());
+  for (size_t i = 0; i < im.slab_sizes.size(); ++i) {
+    slab[i] = scope.alloc_floats(im.slab_sizes[i]);
+  }
+  const auto ptr = [&](int node) -> real_t* {
+    const int loc = im.value_loc[size_t(node)];
+    if (loc == kLocInput) return const_cast<real_t*>(in_data);
+    if (loc == kLocOutput) return out_data;
+    return slab[size_t(loc)];
+  };
+
+  const simd::KernelTable& kt = simd::kernels();
+
+  for (const Step& s : im.steps) {
+    real_t* dst = ptr(s.out_node);
+    switch (s.kind) {
+      case OpKind::kConv2d:
+      case OpKind::kDeconv2d: {
+        TRACE_SPAN_V("graph.step.conv");
+        const bool deconv = s.kind == OpKind::kDeconv2d;
+        const real_t* src = ptr(s.in_nodes[0]);
+        const real_t* wp = s.weight.data();
+        const ValueShape in = s.in_shape, o = s.out_shape;
+        const index_t cin = in.c, cout = o.c, k = s.k, pad = s.pad;
+        const index_t spatial = o.h * o.w;
+        // Output channels run in groups of four through the quad row
+        // kernels: four independent accumulator chains share every
+        // input-row load, which both hides FMA latency and quarters
+        // the input traffic. Each chain replays the single-channel
+        // (ci, ky, kx) tap order, so results stay bitwise identical to
+        // ops::conv2d / ops::deconv2d at any group split.
+        const index_t ngroups = (cout + 3) / 4;
+        parallel_for(
+            0, o.n * ngroups,
+            [&](index_t job) {
+              const index_t ni = job / ngroups;
+              const index_t co0 = (job % ngroups) * 4;
+              const int nco = int(std::min<index_t>(4, cout - co0));
+              const real_t* in_n = src + ni * cin * in.h * in.w;
+              real_t* out_p = dst + (ni * cout + co0) * spatial;
+              const real_t* bias_p = s.bias.data() + co0;
+              if (deconv) {
+                for (index_t oy = 0; oy < o.h; ++oy) {
+                  kt.deconv2d_row4_s1(in_n, wp + co0 * k * k, cout * k * k,
+                                      k * k, out_p + oy * o.w, spatial, nco,
+                                      cin, in.h, in.w, k, oy, pad, o.w,
+                                      bias_p);
+                }
+              } else {
+                for (index_t oy = 0; oy < o.h; ++oy) {
+                  kt.conv2d_row4_s1(in_n, wp + co0 * cin * k * k, k * k,
+                                    cin * k * k, out_p + oy * o.w, spatial,
+                                    nco, cin, in.h, in.w, k, oy, pad, o.w,
+                                    bias_p);
+                }
+              }
+              if (s.has_affine) {
+                // The fused epilogue: bn (+ activation) applied in
+                // place on planes that are still cache-hot.
+                for (int j = 0; j < nco; ++j) {
+                  kt.scale_shift_act(out_p + j * spatial,
+                                     out_p + j * spatial, spatial,
+                                     s.scale[size_t(co0 + j)],
+                                     s.shift[size_t(co0 + j)], s.act,
+                                     s.slope);
+                }
+              }
+            },
+            /*grain=*/1);
+        break;
+      }
+      case OpKind::kBatchNorm: {
+        TRACE_SPAN_V("graph.step.bn");
+        const real_t* src = ptr(s.in_nodes[0]);
+        const ValueShape o = s.out_shape;
+        const index_t spatial = o.h * o.w;
+        parallel_for(
+            0, o.n * o.c,
+            [&](index_t plane) {
+              const index_t c = plane % o.c;
+              // act == 0 keeps batch_norm_infer's exact kernel; with a
+              // fused activation the combined kernel applies the same
+              // two per-element expressions in one pass.
+              if (s.act == 0) {
+                kt.scale_shift(src + plane * spatial, dst + plane * spatial,
+                               spatial, s.scale[size_t(c)],
+                               s.shift[size_t(c)]);
+              } else {
+                kt.scale_shift_act(src + plane * spatial,
+                                   dst + plane * spatial, spatial,
+                                   s.scale[size_t(c)], s.shift[size_t(c)],
+                                   s.act, s.slope);
+              }
+            },
+            /*grain=*/1);
+        break;
+      }
+      case OpKind::kRelu:
+      case OpKind::kLeakyRelu: {
+        TRACE_SPAN_V("graph.step.act");
+        // Standalone activation: the op's own kernel (NOT the affine
+        // epilogue — an identity madd would flip the sign of -0).
+        const real_t* src = ptr(s.in_nodes[0]);
+        const index_t total = s.out_shape.numel();
+        parallel_for_blocked(
+            0, total,
+            [&](index_t lo, index_t hi) {
+              if (s.act == 1) {
+                kt.relu(src + lo, dst + lo, hi - lo);
+              } else {
+                kt.leaky_relu(src + lo, dst + lo, hi - lo, s.slope);
+              }
+            },
+            /*grain=*/1 << 16);
+        break;
+      }
+      case OpKind::kMaxPool: {
+        TRACE_SPAN_V("graph.step.pool");
+        const real_t* src = ptr(s.in_nodes[0]);
+        const ValueShape in = s.in_shape, o = s.out_shape;
+        parallel_for(
+            0, o.n * o.c,
+            [&](index_t plane) {
+              ops::max_pool2d_plane(src + plane * in.h * in.w,
+                                    dst + plane * o.h * o.w,
+                                    /*arg_p=*/nullptr, in.h, in.w, o.h,
+                                    o.w, s.pool);
+            },
+            /*grain=*/1);
+        break;
+      }
+      case OpKind::kUnpool: {
+        TRACE_SPAN_V("graph.step.unpool");
+        const real_t* src = ptr(s.in_nodes[0]);
+        const ValueShape in = s.in_shape, o = s.out_shape;
+        parallel_for(
+            0, o.n * o.c,
+            [&](index_t plane) {
+              ops::unpool2d_bilinear_plane(src + plane * in.h * in.w,
+                                           dst + plane * o.h * o.w, in.w,
+                                           o.h, o.w, s.ly.data(),
+                                           s.lx.data());
+            },
+            /*grain=*/1);
+        break;
+      }
+      case OpKind::kConcat: {
+        TRACE_SPAN_V("graph.step.concat");
+        const ValueShape o = s.out_shape;
+        const index_t hw = o.h * o.w;
+        index_t c_off = 0;
+        for (size_t j = 0; j < s.in_nodes.size(); ++j) {
+          const real_t* src = ptr(s.in_nodes[j]);
+          const index_t chan = s.concat_c[j];
+          for (index_t ni = 0; ni < o.n; ++ni) {
+            std::memcpy(dst + (ni * o.c + c_off) * hw,
+                        src + ni * chan * hw,
+                        size_t(chan * hw) * sizeof(real_t));
+          }
+          c_off += chan;
+        }
+        break;
+      }
+      case OpKind::kAdd: {
+        TRACE_SPAN_V("graph.step.add");
+        const real_t* a = ptr(s.in_nodes[0]);
+        const real_t* b = ptr(s.in_nodes[1]);
+        parallel_for_blocked(
+            0, s.out_shape.numel(),
+            [&](index_t lo, index_t hi) {
+              for (index_t i = lo; i < hi; ++i) dst[i] = a[i] + b[i];
+            },
+            /*grain=*/1 << 16);
+        break;
+      }
+      case OpKind::kInput:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ccovid::graph

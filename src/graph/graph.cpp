@@ -1,0 +1,408 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "ops/activations.h"
+#include "ops/batchnorm.h"
+#include "ops/concat.h"
+#include "ops/conv2d.h"
+#include "ops/deconv2d.h"
+
+namespace ccovid::graph {
+
+// ------------------------------------------------------------- flag
+
+namespace {
+
+// -1 = uninitialized (read CCOVID_GRAPH_FUSION on first query).
+std::atomic<int> g_fusion{-1};
+
+bool fusion_from_env() {
+  const char* e = std::getenv("CCOVID_GRAPH_FUSION");
+  if (!e) return true;
+  std::string v(e);
+  for (char& ch : v) ch = char(std::tolower(static_cast<unsigned char>(ch)));
+  return !(v == "0" || v == "off" || v == "false");
+}
+
+}  // namespace
+
+bool fusion_enabled() {
+  int v = g_fusion.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const bool b = fusion_from_env();
+    g_fusion.store(b ? 1 : 0, std::memory_order_relaxed);
+    return b;
+  }
+  return v == 1;
+}
+
+void set_fusion_enabled(bool on) {
+  g_fusion.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------- IR
+
+const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kInput: return "input";
+    case OpKind::kConv2d: return "conv2d";
+    case OpKind::kDeconv2d: return "deconv2d";
+    case OpKind::kBatchNorm: return "batchnorm";
+    case OpKind::kRelu: return "relu";
+    case OpKind::kLeakyRelu: return "leaky_relu";
+    case OpKind::kMaxPool: return "max_pool";
+    case OpKind::kUnpool: return "unpool";
+    case OpKind::kConcat: return "concat";
+    case OpKind::kAdd: return "add";
+  }
+  return "?";
+}
+
+std::string ValueShape::str() const {
+  return "(" + std::to_string(n) + "," + std::to_string(c) + "," +
+         std::to_string(h) + "," + std::to_string(w) + ")";
+}
+
+int Graph::push(Node n) {
+  n.id = int(nodes_.size());
+  nodes_.push_back(std::move(n));
+  output_ = nodes_.back().id;
+  return output_;
+}
+
+const Node& Graph::in_node(int id, const char* who) const {
+  if (id < 0 || id >= int(nodes_.size())) {
+    throw std::invalid_argument(std::string("graph: ") + who +
+                                ": input id out of range");
+  }
+  return nodes_[size_t(id)];
+}
+
+int Graph::add_input(ValueShape s) {
+  if (!nodes_.empty()) {
+    throw std::invalid_argument("graph: add_input: single input only");
+  }
+  if (s.n < 1 || s.c < 1 || s.h < 1 || s.w < 1) {
+    throw std::invalid_argument("graph: add_input: bad shape " + s.str());
+  }
+  Node n;
+  n.kind = OpKind::kInput;
+  n.shape = s;
+  return push(std::move(n));
+}
+
+int Graph::add_conv2d(int in, Tensor weight, Tensor bias, index_t pad) {
+  const Node& src = in_node(in, "conv2d");
+  if (weight.rank() != 4 || weight.dim(2) != weight.dim(3)) {
+    throw std::invalid_argument("graph: conv2d: weight must be (Cout,Cin,K,K)");
+  }
+  if (weight.dim(1) != src.shape.c) {
+    throw std::invalid_argument("graph: conv2d: channel mismatch");
+  }
+  if (bias.defined() && (bias.rank() != 1 || bias.dim(0) != weight.dim(0))) {
+    throw std::invalid_argument("graph: conv2d: bias must be (Cout)");
+  }
+  if (pad < 0) throw std::invalid_argument("graph: conv2d: negative pad");
+  const index_t k = weight.dim(2);
+  Node n;
+  n.kind = OpKind::kConv2d;
+  n.inputs = {in};
+  n.ksize = k;
+  n.pad = pad;
+  n.shape = {src.shape.n, weight.dim(0),
+             ops::conv_out_extent(src.shape.h, k, 1, pad),
+             ops::conv_out_extent(src.shape.w, k, 1, pad)};
+  if (n.shape.h <= 0 || n.shape.w <= 0) {
+    throw std::invalid_argument("graph: conv2d: non-positive output extent");
+  }
+  n.weight = std::move(weight);
+  n.bias = std::move(bias);
+  return push(std::move(n));
+}
+
+int Graph::add_deconv2d(int in, Tensor weight, Tensor bias, index_t pad) {
+  const Node& src = in_node(in, "deconv2d");
+  if (weight.rank() != 4 || weight.dim(2) != weight.dim(3)) {
+    throw std::invalid_argument(
+        "graph: deconv2d: weight must be (Cin,Cout,K,K)");
+  }
+  if (weight.dim(0) != src.shape.c) {
+    throw std::invalid_argument("graph: deconv2d: channel mismatch");
+  }
+  if (bias.defined() && (bias.rank() != 1 || bias.dim(0) != weight.dim(1))) {
+    throw std::invalid_argument("graph: deconv2d: bias must be (Cout)");
+  }
+  if (pad < 0) throw std::invalid_argument("graph: deconv2d: negative pad");
+  const index_t k = weight.dim(2);
+  Node n;
+  n.kind = OpKind::kDeconv2d;
+  n.inputs = {in};
+  n.ksize = k;
+  n.pad = pad;
+  n.shape = {src.shape.n, weight.dim(1),
+             ops::deconv_out_extent(src.shape.h, k, 1, pad),
+             ops::deconv_out_extent(src.shape.w, k, 1, pad)};
+  if (n.shape.h <= 0 || n.shape.w <= 0) {
+    throw std::invalid_argument("graph: deconv2d: non-positive output extent");
+  }
+  n.weight = std::move(weight);
+  n.bias = std::move(bias);
+  return push(std::move(n));
+}
+
+int Graph::add_batchnorm(int in, Tensor gamma, Tensor beta,
+                         Tensor running_mean, Tensor running_var,
+                         real_t eps) {
+  const Node& src = in_node(in, "batchnorm");
+  for (const Tensor* t : {&gamma, &beta, &running_mean, &running_var}) {
+    if (!t->defined() || t->rank() != 1 || t->dim(0) != src.shape.c) {
+      throw std::invalid_argument("graph: batchnorm: params must be (C)");
+    }
+  }
+  Node n;
+  n.kind = OpKind::kBatchNorm;
+  n.inputs = {in};
+  n.shape = src.shape;
+  n.gamma = std::move(gamma);
+  n.beta = std::move(beta);
+  n.mean = std::move(running_mean);
+  n.var = std::move(running_var);
+  n.eps = eps;
+  return push(std::move(n));
+}
+
+int Graph::add_relu(int in) {
+  Node n;
+  n.kind = OpKind::kRelu;
+  n.inputs = {in};
+  n.shape = in_node(in, "relu").shape;
+  return push(std::move(n));
+}
+
+int Graph::add_leaky_relu(int in, real_t slope) {
+  Node n;
+  n.kind = OpKind::kLeakyRelu;
+  n.inputs = {in};
+  n.shape = in_node(in, "leaky_relu").shape;
+  n.slope = slope;
+  return push(std::move(n));
+}
+
+int Graph::add_max_pool(int in, ops::Pool2dParams p) {
+  const Node& src = in_node(in, "max_pool");
+  if (p.ksize < 1 || p.stride < 1 || p.pad < 0 || p.pad >= p.ksize) {
+    throw std::invalid_argument("graph: max_pool: bad params");
+  }
+  Node n;
+  n.kind = OpKind::kMaxPool;
+  n.inputs = {in};
+  n.pool = p;
+  n.shape = {src.shape.n, src.shape.c, ops::pool_out_extent(src.shape.h, p),
+             ops::pool_out_extent(src.shape.w, p)};
+  if (n.shape.h <= 0 || n.shape.w <= 0) {
+    throw std::invalid_argument("graph: max_pool: non-positive output extent");
+  }
+  return push(std::move(n));
+}
+
+int Graph::add_unpool(int in, index_t scale) {
+  const Node& src = in_node(in, "unpool");
+  if (scale < 1) throw std::invalid_argument("graph: unpool: scale < 1");
+  Node n;
+  n.kind = OpKind::kUnpool;
+  n.inputs = {in};
+  n.scale = scale;
+  n.shape = {src.shape.n, src.shape.c, src.shape.h * scale,
+             src.shape.w * scale};
+  return push(std::move(n));
+}
+
+int Graph::add_concat(const std::vector<int>& ins) {
+  if (ins.empty()) throw std::invalid_argument("graph: concat: no inputs");
+  const Node& first = in_node(ins[0], "concat");
+  index_t total_c = 0;
+  for (int id : ins) {
+    const Node& src = in_node(id, "concat");
+    if (src.shape.n != first.shape.n || src.shape.h != first.shape.h ||
+        src.shape.w != first.shape.w) {
+      throw std::invalid_argument("graph: concat: shape mismatch");
+    }
+    total_c += src.shape.c;
+  }
+  Node n;
+  n.kind = OpKind::kConcat;
+  n.inputs = ins;
+  n.shape = {first.shape.n, total_c, first.shape.h, first.shape.w};
+  return push(std::move(n));
+}
+
+int Graph::add_add(int a, int b) {
+  const Node& na = in_node(a, "add");
+  const Node& nb = in_node(b, "add");
+  if (na.shape != nb.shape) {
+    throw std::invalid_argument("graph: add: shape mismatch " +
+                                na.shape.str() + " vs " + nb.shape.str());
+  }
+  Node n;
+  n.kind = OpKind::kAdd;
+  n.inputs = {a, b};
+  n.shape = na.shape;
+  return push(std::move(n));
+}
+
+void Graph::mark_output(int id) {
+  in_node(id, "mark_output");
+  output_ = id;
+}
+
+int Graph::output() const {
+  if (output_ < 0) throw std::logic_error("graph: empty graph has no output");
+  return output_;
+}
+
+ValueShape Graph::input_shape() const {
+  if (nodes_.empty() || nodes_[0].kind != OpKind::kInput) {
+    throw std::logic_error("graph: no input node");
+  }
+  return nodes_[0].shape;
+}
+
+std::vector<int> Graph::schedule() const {
+  // Kahn with a smallest-id-first ready set. Ids are already born in a
+  // valid topological order, so this is equivalent to 0..N-1 — but
+  // computing it from the edges (and asserting every node is reached)
+  // keeps the invariant honest if construction ever changes.
+  const int n = num_nodes();
+  std::vector<int> indegree(size_t(n), 0);
+  for (const Node& node : nodes_) {
+    indegree[size_t(node.id)] = int(node.inputs.size());
+  }
+  const auto cons = consumers();
+  std::vector<int> ready, order;
+  order.reserve(size_t(n));
+  for (int i = 0; i < n; ++i) {
+    if (indegree[size_t(i)] == 0) ready.push_back(i);
+  }
+  while (!ready.empty()) {
+    const auto it = std::min_element(ready.begin(), ready.end());
+    const int id = *it;
+    ready.erase(it);
+    order.push_back(id);
+    for (int c : cons[size_t(id)]) {
+      if (--indegree[size_t(c)] == 0) ready.push_back(c);
+    }
+  }
+  if (int(order.size()) != n) {
+    throw std::logic_error("graph: cycle detected in schedule()");
+  }
+  return order;
+}
+
+std::vector<std::vector<int>> Graph::consumers() const {
+  auto out = std::vector<std::vector<int>>(static_cast<size_t>(num_nodes()));
+  for (const Node& node : nodes_) {
+    // A node reading the same value twice (add(x, x)) counts once per
+    // edge; consumer-count-based fusion legality needs exactly that.
+    for (int in : node.inputs) out[size_t(in)].push_back(node.id);
+  }
+  return out;
+}
+
+// -------------------------------------------------------- reference
+
+Tensor run_reference(const Graph& g, const Tensor& input) {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("run_reference: input must be NCHW");
+  }
+  std::vector<Tensor> values(size_t(g.num_nodes()));
+  for (int id : g.schedule()) {
+    const Node& n = g.node(id);
+    Tensor& out = values[size_t(id)];
+    switch (n.kind) {
+      case OpKind::kInput:
+        out = input;
+        break;
+      case OpKind::kConv2d:
+        out = ops::conv2d(values[size_t(n.inputs[0])], n.weight, n.bias,
+                          ops::Conv2dParams{1, n.pad});
+        break;
+      case OpKind::kDeconv2d:
+        out = ops::deconv2d(values[size_t(n.inputs[0])], n.weight, n.bias,
+                            ops::Deconv2dParams{1, n.pad});
+        break;
+      case OpKind::kBatchNorm:
+        out = ops::batch_norm_infer(values[size_t(n.inputs[0])], n.gamma,
+                                    n.beta, n.mean, n.var, n.eps);
+        break;
+      case OpKind::kRelu:
+        out = ops::relu(values[size_t(n.inputs[0])]);
+        break;
+      case OpKind::kLeakyRelu:
+        out = ops::leaky_relu(values[size_t(n.inputs[0])], n.slope);
+        break;
+      case OpKind::kMaxPool:
+        out = ops::max_pool2d(values[size_t(n.inputs[0])], n.pool).output;
+        break;
+      case OpKind::kUnpool:
+        out = ops::unpool2d_bilinear(values[size_t(n.inputs[0])], n.scale);
+        break;
+      case OpKind::kConcat: {
+        std::vector<Tensor> ins;
+        ins.reserve(n.inputs.size());
+        for (int in : n.inputs) ins.push_back(values[size_t(in)]);
+        out = ops::concat_channels(ins);
+        break;
+      }
+      case OpKind::kAdd:
+        out = values[size_t(n.inputs[0])].add(values[size_t(n.inputs[1])]);
+        break;
+    }
+  }
+  return values[size_t(g.output())];
+}
+
+// -------------------------------------------------------- utilities
+
+FoldedConv fold_batchnorm(const Tensor& weight, const Tensor& bias,
+                          const Tensor& gamma, const Tensor& beta,
+                          const Tensor& mean, const Tensor& var, real_t eps,
+                          bool deconv_layout) {
+  const index_t cout = deconv_layout ? weight.dim(1) : weight.dim(0);
+  if (gamma.dim(0) != cout) {
+    throw std::invalid_argument("fold_batchnorm: channel mismatch");
+  }
+  FoldedConv f{weight.clone(), Tensor({cout})};
+  const real_t* gp = gamma.data();
+  const real_t* bp = beta.data();
+  const real_t* mp = mean.data();
+  const real_t* vp = var.data();
+  real_t* fb = f.bias.data();
+  real_t* fw = f.weight.data();
+  const index_t k2 = weight.dim(2) * weight.dim(3);
+  for (index_t co = 0; co < cout; ++co) {
+    const real_t inv_std = 1.0f / std::sqrt(vp[co] + eps);
+    const real_t s = gp[co] * inv_std;
+    const real_t b0 = bias.defined() ? bias.data()[co] : 0.0f;
+    fb[co] = (b0 - mp[co]) * s + bp[co];
+    if (deconv_layout) {
+      // (Cin, Cout, K, K): the co slice is strided.
+      const index_t cin = weight.dim(0), w_cout = weight.dim(1);
+      for (index_t ci = 0; ci < cin; ++ci) {
+        real_t* slice = fw + (ci * w_cout + co) * k2;
+        for (index_t i = 0; i < k2; ++i) slice[i] *= s;
+      }
+    } else {
+      real_t* slice = fw + co * weight.dim(1) * k2;
+      for (index_t i = 0; i < weight.dim(1) * k2; ++i) slice[i] *= s;
+    }
+  }
+  return f;
+}
+
+}  // namespace ccovid::graph

@@ -1,0 +1,248 @@
+// Static inference graph IR + eval-mode fusion over src/ops (DESIGN.md
+// §12). Networks capture their forward pass into a Graph via explicit
+// builders (nn/ddnet.cpp, nn/unet.cpp); compile() then
+//
+//   1. fuses conv→batchnorm(→relu/leaky) chains into single kernel
+//      dispatches whose batch-norm scale/shift are hoisted to
+//      per-channel constants applied as an in-register epilogue,
+//   2. plans liveness-based buffer reuse over core/arena.h slabs so a
+//      steady-state run performs no intermediate allocations, and
+//   3. emits a flat step schedule the executor replays per input.
+//
+// THE BITWISE CONTRACT. A compiled graph — fused or not — reproduces
+// the op-by-op interpreter (run_reference, and therefore the nn::Module
+// eval forward) bit for bit, at every SIMD backend and task-engine
+// width. That holds because fusion never re-associates float math:
+//
+//  * conv/deconv steps call the SAME simd::KernelTable row kernels the
+//    ops use, per (n, cout) plane in the same tap order;
+//  * batch-norm is NOT folded into the weights on the executed path.
+//    Folding w' = w * gamma/sqrt(var+eps) changes rounding, so instead
+//    the compiler precomputes batch_norm_infer's exact per-channel
+//    (scale, shift) floats and the fused kernel applies them per
+//    element AFTER the convolution — the same two operations the
+//    unfused pipeline performs, minus the intermediate buffer;
+//  * activations keep the per-element expressions of simd relu /
+//    leaky_relu (scale_shift_act shares them verbatim).
+//
+// The closed-form weight fold is still provided (fold_batchnorm) for
+// the quantization work in ROADMAP item 4; it is tested to tolerance,
+// not bitwise, and the executor does not use it.
+//
+// Fusion legality: a batch-norm is absorbable only when its running
+// statistics are frozen — i.e. eval mode and NOT
+// set_batch_stats_always (instance-norm mode recomputes statistics per
+// input, so nothing is constant to hoist). The nn builders enforce
+// this by bypassing the graph entirely in those modes.
+//
+// Only stride-1 conv/deconv are supported (everything DDnet/UNet
+// execute); builders must not emit other strides.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tensor.h"
+#include "ops/pool2d.h"
+#include "ops/unpool2d.h"
+
+namespace ccovid::graph {
+
+// ------------------------------------------------------------- flag
+
+/// Global fusion switch, initialized once from CCOVID_GRAPH_FUSION
+/// (0/off/false disable; anything else — including unset — enables).
+/// The `--graph-fusion on|off` CLI flag maps here. When off, networks
+/// fall back to the op-by-op module interpreter.
+bool fusion_enabled();
+void set_fusion_enabled(bool on);
+
+/// RAII override of the fusion flag (tests compare on/off digests).
+class FusionGuard {
+ public:
+  explicit FusionGuard(bool on) : prev_(fusion_enabled()) {
+    set_fusion_enabled(on);
+  }
+  ~FusionGuard() { set_fusion_enabled(prev_); }
+  FusionGuard(const FusionGuard&) = delete;
+  FusionGuard& operator=(const FusionGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+// --------------------------------------------------------------- IR
+
+enum class OpKind : int {
+  kInput = 0,
+  kConv2d,      // stride-1, square kernel, zero padding
+  kDeconv2d,    // stride-1 gather form
+  kBatchNorm,   // frozen running statistics (eval mode)
+  kRelu,
+  kLeakyRelu,
+  kMaxPool,
+  kUnpool,      // bilinear upsample by integer scale
+  kConcat,      // channel concatenation
+  kAdd,         // elementwise sum (residual shortcut)
+};
+
+const char* op_kind_name(OpKind k);
+
+/// NCHW shape of every value in the graph.
+struct ValueShape {
+  index_t n = 0, c = 0, h = 0, w = 0;
+  index_t numel() const { return n * c * h * w; }
+  bool operator==(const ValueShape& o) const {
+    return n == o.n && c == o.c && h == o.h && w == o.w;
+  }
+  bool operator!=(const ValueShape& o) const { return !(*this == o); }
+  std::string str() const;
+};
+
+/// One IR node. Produces exactly one value; `shape` is inferred at
+/// add-time. Attribute fields are meaningful per kind only.
+struct Node {
+  OpKind kind = OpKind::kInput;
+  int id = -1;
+  std::vector<int> inputs;
+  ValueShape shape;
+
+  // conv / deconv: weight (Cout,Cin,K,K) / (Cin,Cout,K,K), optional
+  // bias (Cout). Shallow copies — storage is shared with the module
+  // parameters, so in-place weight updates are visible without
+  // recapture (derived batch-norm constants are NOT; recompile).
+  Tensor weight, bias;
+  index_t ksize = 0, pad = 0;
+
+  // batchnorm: per-channel tensors + eps.
+  Tensor gamma, beta, mean, var;
+  real_t eps = 0.0f;
+
+  real_t slope = 0.0f;           // leaky relu
+  ops::Pool2dParams pool{};      // max pool
+  index_t scale = 0;             // unpool
+};
+
+/// Builder + container. add_* methods validate and infer shapes
+/// eagerly (throwing std::invalid_argument on a malformed graph), and
+/// return the new node's id. Inputs must already exist, so ids are
+/// born topologically sorted; schedule() is the canonical
+/// deterministic order used by every pass and by the executor.
+class Graph {
+ public:
+  int add_input(ValueShape s);
+  int add_conv2d(int in, Tensor weight, Tensor bias, index_t pad);
+  int add_deconv2d(int in, Tensor weight, Tensor bias, index_t pad);
+  int add_batchnorm(int in, Tensor gamma, Tensor beta, Tensor running_mean,
+                    Tensor running_var, real_t eps);
+  int add_relu(int in);
+  int add_leaky_relu(int in, real_t slope);
+  int add_max_pool(int in, ops::Pool2dParams p);
+  int add_unpool(int in, index_t scale);
+  int add_concat(const std::vector<int>& ins);
+  int add_add(int a, int b);
+
+  /// Marks the graph output (defaults to the last node added).
+  void mark_output(int id);
+  int output() const;
+
+  const Node& node(int id) const { return nodes_.at(size_t(id)); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  int num_nodes() const { return int(nodes_.size()); }
+  ValueShape input_shape() const;
+
+  /// Kahn topological order, smallest-id-first among ready nodes — a
+  /// pure function of the graph structure (asserted deterministic by
+  /// tests/test_graph.cpp).
+  std::vector<int> schedule() const;
+
+  /// consumers[id] = ids of nodes reading this node's value.
+  std::vector<std::vector<int>> consumers() const;
+
+ private:
+  int push(Node n);
+  const Node& in_node(int id, const char* who) const;
+
+  std::vector<Node> nodes_;
+  int output_ = -1;
+};
+
+// ------------------------------------------------------ compilation
+
+struct CompileOptions {
+  /// Fuse conv→bn(→act) and bn→act chains; hoist bn scale/shift and
+  /// missing conv biases into constants. Off = one step per node
+  /// (same arena planning, no chain collapsing) — the unfused half of
+  /// the fusion-equivalence battery.
+  bool fuse = true;
+};
+
+/// Liveness/placement record for one intermediate value (tests assert
+/// the planner invariant: overlapping live ranges never share a slab).
+struct BufferPlan {
+  int node = -1;        ///< producing node id
+  int slab = -1;        ///< -1: external (graph input / output)
+  index_t floats = 0;   ///< size of the value
+  int def_step = -1;    ///< schedule position producing it
+  int last_use = -1;    ///< schedule position of the last reader
+};
+
+class CompiledGraph {
+ public:
+  struct Stats {
+    int steps = 0;          ///< executed steps after fusion
+    int fused_away = 0;     ///< nodes absorbed into a predecessor
+    int slabs = 0;          ///< arena slabs planned
+    index_t slab_floats = 0;///< total slab footprint
+  };
+
+  /// Executes the graph on `input` (shape must match the captured
+  /// input shape). Thread-safe: concurrent callers get independent
+  /// per-thread arena scratch. Steady state performs no fresh heap
+  /// allocations beyond the returned tensor (alloc-cache recycled).
+  Tensor run(const Tensor& input) const;
+
+  const Stats& stats() const;
+  const std::vector<BufferPlan>& plan() const;
+
+  // Movable pimpl.
+  CompiledGraph(CompiledGraph&&) noexcept;
+  CompiledGraph& operator=(CompiledGraph&&) noexcept;
+  ~CompiledGraph();
+
+ private:
+  friend CompiledGraph compile(const Graph&, const CompileOptions&);
+  struct Impl;
+  explicit CompiledGraph(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Runs fusion (per CompileOptions), buffer planning and schedule
+/// emission. Traced as graph.compile / graph.fuse / graph.plan.
+CompiledGraph compile(const Graph& g, const CompileOptions& opt = {});
+
+/// Op-by-op interpreter over the public ops:: entry points — the
+/// unfused reference the equivalence fuzzer compares against. Matches
+/// the nn::Module eval-mode forward bitwise.
+Tensor run_reference(const Graph& g, const Tensor& input);
+
+// -------------------------------------------------------- utilities
+
+/// Closed-form batch-norm fold into conv weights:
+///   w'[co,...] = w[co,...] * gamma[co] / sqrt(var[co] + eps)
+///   b'[co]     = (b[co] - mean[co]) * gamma[co] / sqrt(var[co] + eps)
+///                + beta[co]
+/// `deconv_layout` selects the (Cin,Cout,K,K) channel axis. Changes
+/// rounding versus the epilogue form, so the executor does not use it;
+/// provided (and tested to tolerance) for the low-precision backends.
+struct FoldedConv {
+  Tensor weight;
+  Tensor bias;
+};
+FoldedConv fold_batchnorm(const Tensor& weight, const Tensor& bias,
+                          const Tensor& gamma, const Tensor& beta,
+                          const Tensor& mean, const Tensor& var, real_t eps,
+                          bool deconv_layout = false);
+
+}  // namespace ccovid::graph

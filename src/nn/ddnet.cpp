@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nn/graph_capture.h"
+
 namespace ccovid::nn {
 
 DDnet::DDnet(DDnetConfig cfg) : cfg_(cfg) {
@@ -106,9 +108,89 @@ Var DDnet::forward(const Var& x) const {
   return t;
 }
 
+graph::Graph DDnet::build_graph(index_t n, index_t h, index_t w) const {
+  const index_t div = index_t(1) << cfg_.levels;
+  if (h % div != 0 || w % div != 0) {
+    throw std::invalid_argument("DDnet: input extent must be divisible by " +
+                                std::to_string(div));
+  }
+  const ops::Pool2dParams pool{3, 2, 1};
+  graph::Graph g;
+  const int input = g.add_input({n, cfg_.in_channels, h, w});
+
+  // Mirrors forward() node for node (same op order, same parameters),
+  // so the compiled unfused schedule reproduces the module bitwise.
+  int t = capture_conv(&g, input, *stem_);
+  t = capture_bn(&g, t, *stem_bn_);
+  t = g.add_leaky_relu(t, cfg_.leaky_slope);
+
+  std::vector<int> skips;
+  skips.push_back(t);
+  for (int l = 0; l < cfg_.levels; ++l) {
+    t = g.add_max_pool(t, pool);
+    t = encoder_[size_t(l)].block->append_to_graph(&g, t);
+    t = capture_conv(&g, t, *encoder_[size_t(l)].transition);
+    t = capture_bn(&g, t, *encoder_[size_t(l)].bn);
+    t = g.add_leaky_relu(t, cfg_.leaky_slope);
+    if (l + 1 < cfg_.levels) skips.push_back(t);
+  }
+
+  for (int l = 0; l < cfg_.levels; ++l) {
+    const bool is_output = (l == cfg_.levels - 1);
+    t = g.add_unpool(t, 2);
+    t = g.add_concat(
+        {t, skips[static_cast<std::size_t>(cfg_.levels - 1 - l)]});
+    t = capture_deconv(&g, t, *decoder_[size_t(l)].deconv5);
+    t = capture_bn(&g, t, *decoder_[size_t(l)].bn5);
+    t = g.add_leaky_relu(t, cfg_.leaky_slope);
+    t = capture_deconv(&g, t, *decoder_[size_t(l)].deconv1);
+    if (!is_output) {
+      t = capture_bn(&g, t, *decoder_[size_t(l)].bn1);
+      t = g.add_leaky_relu(t, cfg_.leaky_slope);
+    }
+  }
+
+  if (cfg_.residual) t = g.add_add(t, input);
+  g.mark_output(t);
+  return g;
+}
+
+std::shared_ptr<graph::CompiledGraph> DDnet::compiled_for(index_t h,
+                                                          index_t w) const {
+  const std::uint64_t key =
+      (std::uint64_t(std::uint32_t(h)) << 32) | std::uint64_t(std::uint32_t(w));
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  auto it = graph_cache_.find(key);
+  if (it != graph_cache_.end()) return it->second;
+  auto cg = std::make_shared<graph::CompiledGraph>(
+      graph::compile(build_graph(1, h, w)));
+  graph_cache_.emplace(key, cg);
+  return cg;
+}
+
+void DDnet::invalidate_graphs() const {
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  graph_cache_.clear();
+}
+
+void DDnet::on_set_training(bool /*training*/) { invalidate_graphs(); }
+void DDnet::on_state_loaded() { invalidate_graphs(); }
+void DDnet::on_set_batch_stats(bool on) {
+  batch_stats_always_ = on;
+  invalidate_graphs();
+}
+
 Tensor DDnet::enhance(const Tensor& image) const {
   if (image.rank() != 2) {
     throw std::invalid_argument("DDnet::enhance: expected (H, W)");
+  }
+  // Fast path: compiled fusion graph (eval-mode only — training mode
+  // and batch-stats-always both change the batch-norm semantics the
+  // capture froze). Bitwise identical to the module walk below.
+  if (!training() && !batch_stats_always_ && graph::fusion_enabled()) {
+    auto cg = compiled_for(image.dim(0), image.dim(1));
+    Tensor in = image.clone().reshape({1, 1, image.dim(0), image.dim(1)});
+    return cg->run(in).reshape({image.dim(0), image.dim(1)});
   }
   autograd::NoGradGuard no_grad;
   Var in(image.clone().reshape({1, 1, image.dim(0), image.dim(1)}));

@@ -1,5 +1,7 @@
 #include "nn/dense_block.h"
 
+#include "nn/graph_capture.h"
+
 namespace ccovid::nn {
 
 DenseBlock2d::DenseBlock2d(index_t in_channels, index_t growth,
@@ -38,6 +40,22 @@ Var DenseBlock2d::forward(const Var& x) const {
     h = l.conv5->forward(h);
     features.push_back(h);
     current = autograd::concat(features);
+  }
+  return current;
+}
+
+int DenseBlock2d::append_to_graph(graph::Graph* g, int in) const {
+  std::vector<int> features{in};
+  int current = in;
+  for (const Layer& l : layers_) {
+    int h = capture_bn(g, current, *l.bn1);
+    h = g->add_leaky_relu(h, slope_);
+    h = capture_conv(g, h, *l.conv1);
+    h = capture_bn(g, h, *l.bn2);
+    h = g->add_leaky_relu(h, slope_);
+    h = capture_conv(g, h, *l.conv5);
+    features.push_back(h);
+    current = g->add_concat(features);
   }
   return current;
 }

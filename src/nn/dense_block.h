@@ -9,6 +9,10 @@
 
 #include "nn/layers.h"
 
+namespace ccovid::graph {
+class Graph;
+}
+
 namespace ccovid::nn {
 
 /// DDnet dense block: `num_layers` layers, each BN -> leaky-ReLU ->
@@ -24,6 +28,10 @@ class DenseBlock2d : public Module {
   index_t out_channels() const { return out_channels_; }
   /// Propagates the §4.2 optimization stage to every conv in the block.
   void set_kernel_options(const ops::KernelOptions& opt);
+
+  /// Appends the block's eval-mode ops to `g` starting from value `in`;
+  /// returns the output value id. Mirrors forward() node for node.
+  int append_to_graph(graph::Graph* g, int in) const;
 
  private:
   struct Layer {

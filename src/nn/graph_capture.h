@@ -1,0 +1,28 @@
+// Helpers for capturing primitive layers into the inference graph IR
+// (graph/graph.h). The captured weight tensors are shallow copies of
+// the layer parameters; batch-norm capture is legal only with frozen
+// running statistics (eval mode, not set_batch_stats_always) — the
+// network builders gate on that before calling these.
+#pragma once
+
+#include "graph/graph.h"
+#include "nn/layers.h"
+
+namespace ccovid::nn {
+
+inline int capture_conv(graph::Graph* g, int in, const Conv2d& c) {
+  return g->add_conv2d(in, c.weight_tensor(), c.bias_tensor(),
+                       c.params().pad);
+}
+
+inline int capture_deconv(graph::Graph* g, int in, const Deconv2d& d) {
+  return g->add_deconv2d(in, d.weight_tensor(), d.bias_tensor(),
+                         d.params().pad);
+}
+
+inline int capture_bn(graph::Graph* g, int in, const BatchNorm& bn) {
+  return g->add_batchnorm(in, bn.gamma_tensor(), bn.beta_tensor(),
+                          bn.running_mean(), bn.running_var(), bn.eps());
+}
+
+}  // namespace ccovid::nn

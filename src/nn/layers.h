@@ -25,6 +25,15 @@ class Conv2d : public Module {
   /// Kernel-optimization stage used for inference benchmarking.
   void set_kernel_options(const ops::KernelOptions& opt) { opt_ = opt; }
 
+  // Graph-capture accessors (src/graph builders). The tensors are
+  // shallow copies sharing storage with the parameters, so a compiled
+  // graph sees in-place weight updates without recapture.
+  Tensor weight_tensor() const { return weight_.value(); }
+  Tensor bias_tensor() const {
+    return bias_.defined() ? bias_.value() : Tensor();
+  }
+  const ops::Conv2dParams& params() const { return p_; }
+
  private:
   Var weight_, bias_;
   ops::Conv2dParams p_;
@@ -37,6 +46,12 @@ class Deconv2d : public Module {
            index_t pad = -1, bool bias = true);
   Var forward(const Var& x) const;
   void set_kernel_options(const ops::KernelOptions& opt) { opt_ = opt; }
+
+  Tensor weight_tensor() const { return weight_.value(); }
+  Tensor bias_tensor() const {
+    return bias_.defined() ? bias_.value() : Tensor();
+  }
+  const ops::Deconv2dParams& params() const { return p_; }
 
  private:
   Var weight_, bias_;
@@ -61,6 +76,16 @@ class BatchNorm : public Module {
   explicit BatchNorm(index_t channels, real_t momentum = 0.1f,
                      real_t eps = 1e-5f);
   Var forward(const Var& x) const;
+
+  // Graph-capture accessors. Running statistics share storage with the
+  // registered buffers; eval-mode folding reads them as frozen values,
+  // which is only legal while always_batch_stats() is false.
+  Tensor gamma_tensor() const { return gamma_.value(); }
+  Tensor beta_tensor() const { return beta_.value(); }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+  real_t eps() const { return eps_; }
+  bool always_batch_stats() const { return always_batch_stats_; }
 
  protected:
   void on_set_batch_stats(bool on) override { always_batch_stats_ = on; }

@@ -47,6 +47,7 @@ void Module::collect_buffers(
 
 void Module::set_training(bool training) {
   training_ = training;
+  on_set_training(training);
   for (auto& [name, child] : children_) child->set_training(training);
 }
 
@@ -97,6 +98,7 @@ void Module::load_state_dict(const TensorMap& dict) {
     std::memcpy(dst.data(), src.data(),
                 static_cast<std::size_t>(src.numel()) * sizeof(real_t));
   }
+  on_state_loaded();
 }
 
 void Module::save(const std::string& path) const {
@@ -131,6 +133,7 @@ void Module::copy_parameters_from(const Module& other) {
                 static_cast<std::size_t>(sbuf[i].second.numel()) *
                     sizeof(real_t));
   }
+  on_state_loaded();
 }
 
 Var Module::register_parameter(const std::string& name, Tensor init) {

@@ -63,6 +63,17 @@ class Module {
   /// Hook for set_batch_stats_always; overridden by BatchNorm.
   virtual void on_set_batch_stats(bool /*on*/) {}
 
+  /// Called by set_training before recursing into children. Networks
+  /// that cache compiled inference graphs (nn/ddnet.h) override this to
+  /// invalidate them — training moves weights and running statistics
+  /// out from under the captured constants.
+  virtual void on_set_training(bool /*training*/) {}
+
+  /// Called after load_state_dict / copy_parameters_from finished
+  /// writing new parameter and buffer values; same invalidation purpose
+  /// as on_set_training.
+  virtual void on_state_loaded() {}
+
   Var register_parameter(const std::string& name, Tensor init);
   /// Registers a shallow copy of `t`: Tensor storage is shared, so
   /// in-place updates through the layer's own member (running statistics)

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nn/graph_capture.h"
+
 namespace ccovid::nn {
 
 UNetDenoiser::UNetDenoiser(UNetConfig cfg) : cfg_(cfg) {
@@ -68,9 +70,78 @@ Var UNetDenoiser::forward(const Var& x) const {
   return t;
 }
 
+graph::Graph UNetDenoiser::build_graph(index_t n, index_t h,
+                                       index_t w) const {
+  const index_t div = index_t(1) << cfg_.levels;
+  if (h % div != 0 || w % div != 0) {
+    throw std::invalid_argument("UNetDenoiser: extent must divide " +
+                                std::to_string(div));
+  }
+  const ops::Pool2dParams pool{2, 2, 0};
+  graph::Graph g;
+  const int input = g.add_input({n, cfg_.in_channels, h, w});
+
+  int t = capture_conv(&g, input, *stem_);
+  t = capture_bn(&g, t, *stem_bn_);
+  t = g.add_leaky_relu(t, cfg_.leaky_slope);
+
+  std::vector<int> skips;
+  for (int l = 0; l < cfg_.levels; ++l) {
+    skips.push_back(t);
+    t = g.add_max_pool(t, pool);
+    t = capture_conv(&g, t, *encoder_[size_t(l)].conv);
+    t = capture_bn(&g, t, *encoder_[size_t(l)].bn);
+    t = g.add_leaky_relu(t, cfg_.leaky_slope);
+  }
+  for (int l = 0; l < cfg_.levels; ++l) {
+    t = g.add_unpool(t, 2);
+    t = g.add_concat(
+        {t, skips[static_cast<std::size_t>(cfg_.levels - 1 - l)]});
+    t = capture_conv(&g, t, *decoder_[size_t(l)].conv);
+    t = capture_bn(&g, t, *decoder_[size_t(l)].bn);
+    t = g.add_leaky_relu(t, cfg_.leaky_slope);
+  }
+  t = capture_conv(&g, t, *head_);
+  if (cfg_.residual) t = g.add_add(t, input);
+  g.mark_output(t);
+  return g;
+}
+
+std::shared_ptr<graph::CompiledGraph> UNetDenoiser::compiled_for(
+    index_t h, index_t w) const {
+  const std::uint64_t key =
+      (std::uint64_t(std::uint32_t(h)) << 32) | std::uint64_t(std::uint32_t(w));
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  auto it = graph_cache_.find(key);
+  if (it != graph_cache_.end()) return it->second;
+  auto cg = std::make_shared<graph::CompiledGraph>(
+      graph::compile(build_graph(1, h, w)));
+  graph_cache_.emplace(key, cg);
+  return cg;
+}
+
+void UNetDenoiser::invalidate_graphs() const {
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  graph_cache_.clear();
+}
+
+void UNetDenoiser::on_set_training(bool /*training*/) {
+  invalidate_graphs();
+}
+void UNetDenoiser::on_state_loaded() { invalidate_graphs(); }
+void UNetDenoiser::on_set_batch_stats(bool on) {
+  batch_stats_always_ = on;
+  invalidate_graphs();
+}
+
 Tensor UNetDenoiser::enhance(const Tensor& image) const {
   if (image.rank() != 2) {
     throw std::invalid_argument("UNetDenoiser::enhance: expected (H, W)");
+  }
+  if (!training() && !batch_stats_always_ && graph::fusion_enabled()) {
+    auto cg = compiled_for(image.dim(0), image.dim(1));
+    Tensor in = image.clone().reshape({1, 1, image.dim(0), image.dim(1)});
+    return cg->run(in).reshape({image.dim(0), image.dim(1)});
   }
   autograd::NoGradGuard no_grad;
   Var in(image.clone().reshape({1, 1, image.dim(0), image.dim(1)}));

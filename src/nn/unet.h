@@ -4,10 +4,18 @@
 // dense-block encoder against the plain conv encoder at matched depth.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "nn/layers.h"
+
+namespace ccovid::graph {
+class Graph;
+class CompiledGraph;
+}
 
 namespace ccovid::nn {
 
@@ -27,10 +35,24 @@ class UNetDenoiser : public Module {
   /// (N, C, H, W) -> (N, out, H, W); extents divisible by 2^levels.
   Var forward(const Var& x) const;
 
-  /// Single-image convenience, no gradients.
+  /// Single-image convenience, no gradients. Eval mode with frozen
+  /// batch statistics and fusion enabled runs the compiled graph
+  /// (bitwise identical; graph/graph.h).
   Tensor enhance(const Tensor& image) const;
 
+  /// Captures the eval-mode forward pass as a graph IR.
+  graph::Graph build_graph(index_t n, index_t h, index_t w) const;
+
+ protected:
+  void on_set_training(bool training) override;
+  void on_set_batch_stats(bool on) override;
+  void on_state_loaded() override;
+
  private:
+  std::shared_ptr<graph::CompiledGraph> compiled_for(index_t h,
+                                                     index_t w) const;
+  void invalidate_graphs() const;
+
   UNetConfig cfg_;
   struct Level {
     std::shared_ptr<Conv2d> conv;
@@ -41,6 +63,12 @@ class UNetDenoiser : public Module {
   std::vector<Level> encoder_;
   std::vector<Level> decoder_;
   std::shared_ptr<Conv2d> head_;
+
+  mutable std::mutex graph_mu_;
+  mutable std::unordered_map<std::uint64_t,
+                             std::shared_ptr<graph::CompiledGraph>>
+      graph_cache_;
+  bool batch_stats_always_ = false;
 };
 
 }  // namespace ccovid::nn

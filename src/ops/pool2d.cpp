@@ -10,10 +10,6 @@ namespace ccovid::ops {
 
 namespace {
 
-index_t pool_out_extent(index_t in, const Pool2dParams& p) {
-  return (in + 2 * p.pad - p.ksize) / p.stride + 1;
-}
-
 void check_pool_args(const Tensor& input, const Pool2dParams& p) {
   if (input.rank() != 4) {
     throw std::invalid_argument("pool2d: input must be NCHW");
@@ -24,6 +20,36 @@ void check_pool_args(const Tensor& input, const Pool2dParams& p) {
 }
 
 }  // namespace
+
+index_t pool_out_extent(index_t in, const Pool2dParams& p) {
+  return (in + 2 * p.pad - p.ksize) / p.stride + 1;
+}
+
+void max_pool2d_plane(const real_t* in_p, real_t* out_p, index_t* arg_p,
+                      index_t h, index_t w, index_t ho, index_t wo,
+                      const Pool2dParams& p) {
+  for (index_t oy = 0; oy < ho; ++oy) {
+    for (index_t ox = 0; ox < wo; ++ox) {
+      real_t best = -std::numeric_limits<real_t>::infinity();
+      index_t best_ix = 0;
+      for (index_t ky = 0; ky < p.ksize; ++ky) {
+        const index_t iy = oy * p.stride - p.pad + ky;
+        if (iy < 0 || iy >= h) continue;
+        for (index_t kx = 0; kx < p.ksize; ++kx) {
+          const index_t ix = ox * p.stride - p.pad + kx;
+          if (ix < 0 || ix >= w) continue;
+          const real_t v = in_p[iy * w + ix];
+          if (v > best) {
+            best = v;
+            best_ix = iy * w + ix;
+          }
+        }
+      }
+      out_p[oy * wo + ox] = best;
+      if (arg_p) arg_p[oy * wo + ox] = best_ix;
+    }
+  }
+}
 
 MaxPool2dResult max_pool2d(const Tensor& input, Pool2dParams p) {
   TRACE_SPAN("ops.max_pool2d");
@@ -42,30 +68,8 @@ MaxPool2dResult max_pool2d(const Tensor& input, Pool2dParams p) {
   parallel_for(
       0, n * c,
       [&](index_t plane) {
-        const real_t* in_p = ip + plane * h * w;
-        real_t* out_p = op + plane * ho * wo;
-        index_t* arg_p = ap + plane * ho * wo;
-        for (index_t oy = 0; oy < ho; ++oy) {
-          for (index_t ox = 0; ox < wo; ++ox) {
-            real_t best = -std::numeric_limits<real_t>::infinity();
-            index_t best_ix = 0;
-            for (index_t ky = 0; ky < p.ksize; ++ky) {
-              const index_t iy = oy * p.stride - p.pad + ky;
-              if (iy < 0 || iy >= h) continue;
-              for (index_t kx = 0; kx < p.ksize; ++kx) {
-                const index_t ix = ox * p.stride - p.pad + kx;
-                if (ix < 0 || ix >= w) continue;
-                const real_t v = in_p[iy * w + ix];
-                if (v > best) {
-                  best = v;
-                  best_ix = iy * w + ix;
-                }
-              }
-            }
-            out_p[oy * wo + ox] = best;
-            arg_p[oy * wo + ox] = best_ix;
-          }
-        }
+        max_pool2d_plane(ip + plane * h * w, op + plane * ho * wo,
+                         ap + plane * ho * wo, h, w, ho, wo, p);
       },
       /*grain=*/1);
   return res;

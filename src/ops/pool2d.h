@@ -25,6 +25,17 @@ struct MaxPool2dResult {
 
 MaxPool2dResult max_pool2d(const Tensor& input, Pool2dParams p);
 
+/// Output spatial extent for one dimension: (in + 2*pad - ksize)/stride + 1.
+index_t pool_out_extent(index_t in, const Pool2dParams& p);
+
+/// One (H, W) plane of max pooling, raw pointers. `arg_p` (when non-null)
+/// receives the flat argmax per output element. This is THE plane loop
+/// max_pool2d runs per (n, c); the graph executor calls it directly so
+/// the compiled path shares the op's exact comparison order.
+void max_pool2d_plane(const real_t* in_p, real_t* out_p, index_t* arg_p,
+                      index_t h, index_t w, index_t ho, index_t wo,
+                      const Pool2dParams& p);
+
 /// Routes grad_out back to the argmax positions.
 Tensor max_pool2d_backward(const Tensor& grad_out,
                            const std::vector<index_t>& argmax,

@@ -9,15 +9,7 @@
 
 namespace ccovid::ops {
 
-namespace {
-
-struct Lerp {
-  index_t lo, hi;
-  real_t w_lo, w_hi;
-};
-
-// Half-pixel-center source coordinate, clamped to the valid range.
-Lerp make_lerp(index_t o, index_t scale, index_t in_extent) {
+Lerp unpool_lerp(index_t o, index_t scale, index_t in_extent) {
   const double src =
       (static_cast<double>(o) + 0.5) / static_cast<double>(scale) - 0.5;
   const double clamped = std::clamp(src, 0.0, double(in_extent - 1));
@@ -27,7 +19,21 @@ Lerp make_lerp(index_t o, index_t scale, index_t in_extent) {
   return {lo, hi, 1.0f - w_hi, w_hi};
 }
 
-}  // namespace
+void unpool2d_bilinear_plane(const real_t* in_p, real_t* out_p, index_t w,
+                             index_t ho, index_t wo, const Lerp* ly,
+                             const Lerp* lx) {
+  for (index_t oy = 0; oy < ho; ++oy) {
+    const Lerp& y = ly[oy];
+    for (index_t ox = 0; ox < wo; ++ox) {
+      const Lerp& x = lx[ox];
+      out_p[oy * wo + ox] =
+          y.w_lo * (x.w_lo * in_p[y.lo * w + x.lo] +
+                    x.w_hi * in_p[y.lo * w + x.hi]) +
+          y.w_hi * (x.w_lo * in_p[y.hi * w + x.lo] +
+                    x.w_hi * in_p[y.hi * w + x.hi]);
+    }
+  }
+}
 
 Tensor unpool2d_bilinear(const Tensor& input, index_t scale) {
   TRACE_SPAN("ops.unpool2d");
@@ -46,25 +52,14 @@ Tensor unpool2d_bilinear(const Tensor& input, index_t scale) {
   // once per row/column.
   std::vector<Lerp> ly(static_cast<std::size_t>(ho)),
       lx(static_cast<std::size_t>(wo));
-  for (index_t oy = 0; oy < ho; ++oy) ly[oy] = make_lerp(oy, scale, h);
-  for (index_t ox = 0; ox < wo; ++ox) lx[ox] = make_lerp(ox, scale, w);
+  for (index_t oy = 0; oy < ho; ++oy) ly[oy] = unpool_lerp(oy, scale, h);
+  for (index_t ox = 0; ox < wo; ++ox) lx[ox] = unpool_lerp(ox, scale, w);
 
   parallel_for(
       0, n * c,
       [&](index_t plane) {
-        const real_t* in_p = ip + plane * h * w;
-        real_t* out_p = op + plane * ho * wo;
-        for (index_t oy = 0; oy < ho; ++oy) {
-          const Lerp& y = ly[oy];
-          for (index_t ox = 0; ox < wo; ++ox) {
-            const Lerp& x = lx[ox];
-            out_p[oy * wo + ox] =
-                y.w_lo * (x.w_lo * in_p[y.lo * w + x.lo] +
-                          x.w_hi * in_p[y.lo * w + x.hi]) +
-                y.w_hi * (x.w_lo * in_p[y.hi * w + x.lo] +
-                          x.w_hi * in_p[y.hi * w + x.hi]);
-          }
-        }
+        unpool2d_bilinear_plane(ip + plane * h * w, op + plane * ho * wo, w,
+                                ho, wo, ly.data(), lx.data());
       },
       /*grain=*/1);
   return out;
@@ -83,8 +78,8 @@ Tensor unpool2d_bilinear_backward(const Tensor& grad_out, index_t scale,
 
   std::vector<Lerp> ly(static_cast<std::size_t>(ho)),
       lx(static_cast<std::size_t>(wo));
-  for (index_t oy = 0; oy < ho; ++oy) ly[oy] = make_lerp(oy, scale, input_h);
-  for (index_t ox = 0; ox < wo; ++ox) lx[ox] = make_lerp(ox, scale, input_w);
+  for (index_t oy = 0; oy < ho; ++oy) ly[oy] = unpool_lerp(oy, scale, input_h);
+  for (index_t ox = 0; ox < wo; ++ox) lx[ox] = unpool_lerp(ox, scale, input_w);
 
   parallel_for(
       0, n * c,

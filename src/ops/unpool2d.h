@@ -8,6 +8,25 @@
 
 namespace ccovid::ops {
 
+/// Per-output-coordinate bilinear interpolation weights. The tables
+/// depend only on (output extent, scale, input extent), so the graph
+/// compiler hoists them into per-node constants instead of rebuilding
+/// them every call.
+struct Lerp {
+  index_t lo, hi;
+  real_t w_lo, w_hi;
+};
+
+/// Half-pixel-center source coordinate for output index `o`, clamped.
+Lerp unpool_lerp(index_t o, index_t scale, index_t in_extent);
+
+/// One (H, W) -> (Ho, Wo) plane of bilinear upsampling with precomputed
+/// row/column tables — the exact plane loop unpool2d_bilinear runs per
+/// (n, c); shared with the graph executor for bitwise parity.
+void unpool2d_bilinear_plane(const real_t* in_p, real_t* out_p, index_t w,
+                             index_t ho, index_t wo, const Lerp* ly,
+                             const Lerp* lx);
+
 /// (N, C, H, W) -> (N, C, H*scale, W*scale) via bilinear interpolation.
 Tensor unpool2d_bilinear(const Tensor& input, index_t scale = 2);
 

@@ -1,0 +1,242 @@
+// Graph-fusion chaos suite: the serve runtime's resilience invariants
+// (tests/chaos/chaos_serve.cpp) must hold identically when the
+// enhancement stage runs through the compiled fused graph
+// (src/graph/) instead of the op-by-op module walk, and — because the
+// fused executor is bitwise-identical to the interpreter — the full
+// seeded (status, degraded, retries, probability-bits) trace digest
+// must match between fusion on and fusion off. A digest split here
+// means the fused DDnet path diverged numerically under load, which
+// the unit battery (tests/test_graph.cpp) would also catch, or that
+// fusion changed a resilience decision, which only this suite sees.
+//
+// The ctest TIMEOUT on this binary is the deadlock backstop: a hung
+// drain under the fused path fails the suite instead of wedging CI.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/digest.h"
+#include "data/phantom.h"
+#include "fault/failpoint.h"
+#include "graph/graph.h"
+#include "nn/layers.h"
+#include "serve/server.h"
+
+namespace ccovid {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::shared_ptr<const pipeline::ComputeCovid19Pipeline> tiny_pipeline() {
+  nn::seed_init_rng(3);
+  auto enh = std::make_shared<pipeline::EnhancementAI>(nn::DDnetConfig::tiny());
+  auto seg = std::make_shared<pipeline::SegmentationAI>();
+  auto cls = std::make_shared<pipeline::ClassificationAI>();
+  enh->network().set_training(false);
+  seg->network().set_training(false);
+  cls->network().set_training(false);
+  return std::make_shared<const pipeline::ComputeCovid19Pipeline>(enh, seg,
+                                                                  cls);
+}
+
+std::vector<data::PhantomVolume> tiny_volumes(std::size_t n) {
+  Rng rng(11);
+  std::vector<data::PhantomVolume> vols;
+  for (std::size_t i = 0; i < n; ++i) {
+    vols.push_back(data::make_volume(2, 8, i % 2 == 1, rng));
+  }
+  return vols;
+}
+
+struct ScenarioResult {
+  std::vector<serve::DiagnoseResponse> responses;
+  std::string stats_json;
+  std::uint64_t trace_digest = kFnv1aOffset;
+};
+
+// Serialized submission (workers=1, max_batch=1, wait for each
+// response) exactly as in chaos_serve.cpp, with the graph-fusion flag
+// pinned for the server's whole lifetime — the worker thread reads the
+// global flag per request, so the guard must outlive the drain.
+ScenarioResult run_serialized(bool fusion, const std::string& failpoints,
+                              std::uint64_t seed, serve::ServerOptions opt,
+                              std::size_t n) {
+  graph::FusionGuard guard(fusion);
+  fault::Registry::instance().reset();
+  fault::Registry::instance().set_seed(seed);
+  ScenarioResult out;
+  const auto vols = tiny_volumes(n);
+  {
+    serve::InferenceServer server(tiny_pipeline(), opt);
+    fault::Registry::instance().configure(failpoints);
+    for (std::size_t i = 0; i < n; ++i) {
+      serve::ServeOptions so;
+      so.use_enhancement = true;
+      auto fut = server.submit(vols[i].hu, so);
+      if (fut.wait_for(30s) != std::future_status::ready) {
+        ADD_FAILURE() << "request " << i << " never resolved (lost/wedged)";
+        fault::Registry::instance().reset();
+        return out;
+      }
+      out.responses.push_back(fut.get());
+    }
+    out.stats_json = server.stats_json();
+    server.shutdown();
+  }
+  for (const auto& r : out.responses) {
+    const unsigned char status = static_cast<unsigned char>(r.status);
+    const unsigned char degraded = r.degraded ? 1 : 0;
+    out.trace_digest = fnv1a64(&status, 1, out.trace_digest);
+    out.trace_digest = fnv1a64(&degraded, 1, out.trace_digest);
+    out.trace_digest =
+        fnv1a64(&r.retries, sizeof(r.retries), out.trace_digest);
+    if (r.status == serve::RequestStatus::kOk) {
+      const double p = r.diagnosis.probability;
+      out.trace_digest = fnv1a64(&p, sizeof(p), out.trace_digest);
+    }
+  }
+  fault::Registry::instance().reset();
+  return out;
+}
+
+serve::ServerOptions serialized_options() {
+  serve::ServerOptions opt;
+  opt.workers = 1;
+  opt.max_batch = 1;
+  opt.batch_delay = std::chrono::microseconds(100);
+  return opt;
+}
+
+class ChaosGraph : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Registry::instance().reset(); }
+  void TearDown() override { fault::Registry::instance().reset(); }
+};
+
+// Fault-free baseline: the fused serve path returns the exact bits of
+// the unfused path — probabilities included — and no request is lost.
+TEST_F(ChaosGraph, FaultFreeFusedMatchesUnfusedBitwise) {
+  const auto fused = run_serialized(true, "", 1, serialized_options(), 4);
+  const auto plain = run_serialized(false, "", 1, serialized_options(), 4);
+  ASSERT_EQ(fused.responses.size(), 4u);
+  ASSERT_EQ(plain.responses.size(), 4u);
+  for (const auto& r : fused.responses) {
+    EXPECT_EQ(r.status, serve::RequestStatus::kOk) << r.error;
+    EXPECT_EQ(r.retries, 0);
+  }
+  EXPECT_EQ(fused.trace_digest, plain.trace_digest)
+      << "fused DDnet serve output diverged bitwise from the module walk";
+}
+
+// Admission-rejection storm under fusion: every request resolves
+// (rejected or completed), the seeded pattern replays, and the whole
+// trace matches the unfused run — fusion must not perturb the fault
+// schedule (it consumes no failpoint randomness) or the survivors'
+// bits.
+TEST_F(ChaosGraph, AdmissionStormDigestIsFusionInvariant) {
+  const std::string fp = "serve.queue.admit=prob(0.4)*error";
+  const auto a = run_serialized(true, fp, 2024, serialized_options(), 12);
+  ASSERT_EQ(a.responses.size(), 12u);
+  std::size_t rejected = 0, completed = 0;
+  for (const auto& r : a.responses) {
+    ASSERT_TRUE(r.status == serve::RequestStatus::kRejected ||
+                r.status == serve::RequestStatus::kOk)
+        << serve::to_string(r.status);
+    (r.status == serve::RequestStatus::kRejected ? rejected : completed)++;
+  }
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(completed, 0u);
+
+  const auto b = run_serialized(true, fp, 2024, serialized_options(), 12);
+  EXPECT_EQ(a.trace_digest, b.trace_digest) << "fused replay must be seeded";
+  const auto c = run_serialized(false, fp, 2024, serialized_options(), 12);
+  EXPECT_EQ(a.trace_digest, c.trace_digest)
+      << "fusion flag leaked into the fault schedule or the numerics";
+}
+
+// Sticky NaN injection on the enhancement OUTPUT while the fused graph
+// produces it: the finite_check guard must catch the poisoned tensor
+// exactly as on the module path, degrade gracefully, and keep client
+// responses finite. Retries and degradation counts match unfused.
+TEST_F(ChaosGraph, FusedEnhanceNanDegradesGracefully) {
+  auto opt = serialized_options();
+  opt.max_retries = 1;
+  opt.retry_backoff = std::chrono::milliseconds(1);
+  opt.degrade_on_failure = true;
+  const std::string fp = "pipeline.enhance.output=every(1)*nan(4)";
+  const auto a = run_serialized(true, fp, 9, opt, 3);
+  ASSERT_EQ(a.responses.size(), 3u);
+  for (const auto& r : a.responses) {
+    EXPECT_EQ(r.status, serve::RequestStatus::kOk) << r.error;
+    EXPECT_TRUE(r.degraded);
+    EXPECT_GE(r.retries, 1);
+    EXPECT_TRUE(std::isfinite(r.diagnosis.probability));
+  }
+  EXPECT_NE(a.stats_json.find("\"degraded\":3"), std::string::npos)
+      << a.stats_json;
+
+  const auto b = run_serialized(false, fp, 9, opt, 3);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+}
+
+// Retries exhausted under fusion: typed kError responses with the
+// injected message, none lost, server survives and drains.
+TEST_F(ChaosGraph, FusedExhaustedRetriesFailTyped) {
+  auto opt = serialized_options();
+  opt.max_retries = 1;
+  opt.retry_backoff = std::chrono::milliseconds(1);
+  const std::string fp = "serve.worker.exec=error";
+  const auto a = run_serialized(true, fp, 31, opt, 3);
+  ASSERT_EQ(a.responses.size(), 3u);
+  for (const auto& r : a.responses) {
+    EXPECT_EQ(r.status, serve::RequestStatus::kError);
+    EXPECT_NE(r.error.find("injected execution fault"), std::string::npos);
+  }
+  EXPECT_NE(a.stats_json.find("\"failed\":3"), std::string::npos)
+      << a.stats_json;
+
+  const auto b = run_serialized(false, fp, 31, opt, 3);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+}
+
+// Flipping the fusion flag between requests of ONE server must not
+// change any request's bits: each request independently picks the path
+// the flag names, and both paths produce identical output. This is the
+// live-reconfiguration story for `--graph-fusion` — operators can turn
+// fusion off under incident without a bit of output drift.
+TEST_F(ChaosGraph, MidStreamFusionToggleIsInvisible) {
+  fault::Registry::instance().set_seed(1);
+  const auto vols = tiny_volumes(6);
+  std::vector<serve::DiagnoseResponse> toggled;
+  {
+    serve::InferenceServer server(tiny_pipeline(), serialized_options());
+    for (std::size_t i = 0; i < 6; ++i) {
+      graph::FusionGuard guard(i % 2 == 0);  // on, off, on, ...
+      auto fut = server.submit(vols[i].hu);
+      ASSERT_EQ(fut.wait_for(30s), std::future_status::ready)
+          << "request " << i << " lost across a fusion toggle";
+      toggled.push_back(fut.get());
+    }
+    server.shutdown();
+  }
+  const auto plain = run_serialized(false, "", 1, serialized_options(), 6);
+  ASSERT_EQ(plain.responses.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    ASSERT_EQ(toggled[i].status, serve::RequestStatus::kOk)
+        << toggled[i].error;
+    const double a = toggled[i].diagnosis.probability;
+    const double b = plain.responses[i].diagnosis.probability;
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof(a)), 0)
+        << "request " << i << ": probability bits moved with the flag";
+  }
+}
+
+}  // namespace
+}  // namespace ccovid

@@ -30,6 +30,7 @@
 #include "ct/geometry.h"
 #include "ct/siddon.h"
 #include "data/phantom.h"
+#include "graph/graph.h"
 #include "nn/ddnet.h"
 #include "nn/layers.h"
 #include "pipeline/framework.h"
@@ -84,32 +85,39 @@ void check_golden(const std::string& name, std::uint64_t digest) {
       << "; otherwise this is a regression.";
 }
 
-// Computes `body()`'s digest under kernel widths 1, 2 and 8 — each
-// width once with tracing off and once fully enabled (level 2, which
-// also records task-engine scheduling events) — asserts all six agree
-// bitwise, and returns the shared value for the golden comparison.
-// Width independence is the engine's partition contract; trace
-// independence is the tracing subsystem's only-reads-clocks contract
-// (spans must never perturb numerics).
+// Computes `body()`'s digest under graph fusion on AND off, at kernel
+// widths 1, 2 and 8 — each combination once with tracing off and once
+// fully enabled (level 2, which also records task-engine scheduling
+// events) — asserts all twelve agree bitwise, and returns the shared
+// value for the golden comparison. Width independence is the engine's
+// partition contract; fusion independence is the graph compiler's
+// bitwise contract (graph/graph.h: the fused executor replays the
+// op-by-op interpreter exactly); trace independence is the tracing
+// subsystem's only-reads-clocks contract (spans must never perturb
+// numerics).
 template <typename Body>
 std::uint64_t digest_across_widths(Body&& body) {
   std::uint64_t at1 = 0;
   bool have_reference = false;
-  for (const int width : {1, 2, 8}) {
-    ParallelPin pin(width);
-    for (const int trace_level : {0, 2}) {
-      trace::set_level(trace_level);
-      const std::uint64_t h = body();
-      trace::set_level(0);
-      if (!have_reference) {
-        at1 = h;
-        have_reference = true;
-      } else {
-        EXPECT_EQ(hex64(h), hex64(at1))
-            << "digest moved at width " << width << ", trace level "
-            << trace_level
-            << ": either the chunk partition leaked thread count into "
-               "the numerics or tracing perturbed a kernel";
+  for (const bool fusion : {true, false}) {
+    graph::FusionGuard guard(fusion);
+    for (const int width : {1, 2, 8}) {
+      ParallelPin pin(width);
+      for (const int trace_level : {0, 2}) {
+        trace::set_level(trace_level);
+        const std::uint64_t h = body();
+        trace::set_level(0);
+        if (!have_reference) {
+          at1 = h;
+          have_reference = true;
+        } else {
+          EXPECT_EQ(hex64(h), hex64(at1))
+              << "digest moved at fusion " << (fusion ? "on" : "off")
+              << ", width " << width << ", trace level " << trace_level
+              << ": either the fused graph diverged from the op-by-op "
+                 "interpreter, the chunk partition leaked thread count "
+                 "into the numerics, or tracing perturbed a kernel";
+        }
       }
     }
   }

@@ -1,0 +1,564 @@
+// Graph IR + fusion suite (`ctest -L fast`): IR construction and shape
+// inference, topological-order determinism, the closed-form batch-norm
+// fold, buffer-reuse planner invariants, steady-state allocation
+// flatness, and the fusion-equivalence battery — fused output must be
+// BITWISE equal to the unfused compiled schedule, the op-by-op
+// reference interpreter, and the nn::Module eval forward, at every
+// compiled SIMD backend and task-engine width. The randomized fuzzer
+// at the bottom stresses the fusion pass with DAGs containing
+// non-fusible interleavings and multi-consumer nodes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/alloc_cache.h"
+#include "core/digest.h"
+#include "core/parallel.h"
+#include "core/random.h"
+#include "core/simd.h"
+#include "graph/graph.h"
+#include "nn/ddnet.h"
+#include "nn/layers.h"
+#include "nn/unet.h"
+#include "ops/batchnorm.h"
+#include "ops/conv2d.h"
+#include "ops/deconv2d.h"
+
+namespace ccovid {
+namespace {
+
+using graph::CompileOptions;
+using graph::FusionGuard;
+using graph::Graph;
+using graph::OpKind;
+using graph::ValueShape;
+
+Tensor uniform(Rng& rng, Shape shape, real_t lo = -1.0f, real_t hi = 1.0f) {
+  Tensor t(std::move(shape));
+  rng.fill_uniform(t, lo, hi);
+  return t;
+}
+
+// ------------------------------------------------- IR construction
+
+TEST(GraphIR, ShapeInference) {
+  Rng rng(1);
+  Graph g;
+  const int in = g.add_input({2, 3, 16, 16});
+  const int c = g.add_conv2d(in, uniform(rng, {5, 3, 3, 3}),
+                             uniform(rng, {5}), /*pad=*/1);
+  EXPECT_EQ(g.node(c).shape, (ValueShape{2, 5, 16, 16}));
+  const int p = g.add_max_pool(c, ops::Pool2dParams{3, 2, 1});
+  EXPECT_EQ(g.node(p).shape, (ValueShape{2, 5, 8, 8}));
+  const int u = g.add_unpool(p, 2);
+  EXPECT_EQ(g.node(u).shape, (ValueShape{2, 5, 16, 16}));
+  const int d = g.add_deconv2d(u, uniform(rng, {5, 4, 5, 5}), Tensor(),
+                               /*pad=*/2);
+  EXPECT_EQ(g.node(d).shape, (ValueShape{2, 4, 16, 16}));
+  const int cat = g.add_concat({c, d});
+  EXPECT_EQ(g.node(cat).shape, (ValueShape{2, 9, 16, 16}));
+  EXPECT_EQ(g.output(), cat);
+  g.mark_output(d);
+  EXPECT_EQ(g.output(), d);
+}
+
+TEST(GraphIR, ValidationThrows) {
+  Rng rng(2);
+  Graph g;
+  const int in = g.add_input({1, 3, 8, 8});
+  // Channel mismatch.
+  EXPECT_THROW(g.add_conv2d(in, uniform(rng, {4, 2, 3, 3}), Tensor(), 1),
+               std::invalid_argument);
+  // Bad bias length.
+  EXPECT_THROW(
+      g.add_conv2d(in, uniform(rng, {4, 3, 3, 3}), uniform(rng, {3}), 1),
+      std::invalid_argument);
+  // Non-square kernel.
+  EXPECT_THROW(g.add_conv2d(in, uniform(rng, {4, 3, 3, 5}), Tensor(), 1),
+               std::invalid_argument);
+  // Out-of-range input id.
+  EXPECT_THROW(g.add_relu(42), std::invalid_argument);
+  // Batch-norm parameter arity.
+  EXPECT_THROW(g.add_batchnorm(in, uniform(rng, {2}), uniform(rng, {3}),
+                               uniform(rng, {3}), uniform(rng, {3}), 1e-5f),
+               std::invalid_argument);
+  // Concat spatial mismatch.
+  const int pooled = g.add_max_pool(in, ops::Pool2dParams{2, 2, 0});
+  EXPECT_THROW(g.add_concat({in, pooled}), std::invalid_argument);
+  // Add shape mismatch.
+  EXPECT_THROW(g.add_add(in, pooled), std::invalid_argument);
+  // Second input node.
+  EXPECT_THROW(g.add_input({1, 1, 4, 4}), std::invalid_argument);
+}
+
+TEST(GraphIR, ScheduleIsDeterministicAndTopological) {
+  Rng rng(3);
+  Graph g;
+  const int in = g.add_input({1, 2, 8, 8});
+  const int c = g.add_conv2d(in, uniform(rng, {2, 2, 3, 3}), Tensor(), 1);
+  // Diamond: two consumers of `c`, rejoined by add.
+  const int a = g.add_relu(c);
+  const int b = g.add_leaky_relu(c, 0.01f);
+  const int sum = g.add_add(a, b);
+  g.mark_output(sum);
+
+  const std::vector<int> order = g.schedule();
+  ASSERT_EQ(order.size(), size_t(g.num_nodes()));
+  // Pure function of the graph: identical on every call.
+  EXPECT_EQ(order, g.schedule());
+  EXPECT_EQ(order, g.schedule());
+  // Topological: every node after all of its inputs.
+  std::vector<int> pos(size_t(g.num_nodes()));
+  for (int i = 0; i < int(order.size()); ++i) pos[size_t(order[i])] = i;
+  for (const graph::Node& n : g.nodes()) {
+    for (int src : n.inputs) {
+      EXPECT_LT(pos[size_t(src)], pos[size_t(n.id)])
+          << graph::op_kind_name(n.kind) << " scheduled before its input";
+    }
+  }
+  // Ids are born topologically sorted and the tie-break is min-id, so
+  // the canonical order is exactly 0..N-1.
+  for (int i = 0; i < int(order.size()); ++i) EXPECT_EQ(order[size_t(i)], i);
+}
+
+// ------------------------------------------------ closed-form fold
+
+TEST(GraphFold, BatchnormFoldMatchesComposedOps) {
+  Rng rng(4);
+  const Tensor x = uniform(rng, {2, 3, 9, 9});
+  const Tensor w = uniform(rng, {5, 3, 3, 3});
+  const Tensor b = uniform(rng, {5});
+  const Tensor gamma = uniform(rng, {5}, 0.5f, 1.5f);
+  const Tensor beta = uniform(rng, {5});
+  const Tensor mean = uniform(rng, {5});
+  const Tensor var = uniform(rng, {5}, 0.5f, 2.0f);
+  const real_t eps = 1e-5f;
+
+  const Tensor composed = ops::batch_norm_infer(
+      ops::conv2d(x, w, b, ops::Conv2dParams{1, 1}), gamma, beta, mean, var,
+      eps);
+  const graph::FoldedConv f =
+      graph::fold_batchnorm(w, b, gamma, beta, mean, var, eps);
+  const Tensor folded =
+      ops::conv2d(x, f.weight, f.bias, ops::Conv2dParams{1, 1});
+
+  ASSERT_EQ(folded.shape(), composed.shape());
+  for (index_t i = 0; i < folded.numel(); ++i) {
+    EXPECT_NEAR(folded.data()[i], composed.data()[i], 1e-4f) << "at " << i;
+  }
+}
+
+TEST(GraphFold, BatchnormFoldDeconvLayout) {
+  Rng rng(5);
+  const Tensor x = uniform(rng, {1, 3, 8, 8});
+  const Tensor w = uniform(rng, {3, 4, 5, 5});  // (Cin, Cout, K, K)
+  const Tensor gamma = uniform(rng, {4}, 0.5f, 1.5f);
+  const Tensor beta = uniform(rng, {4});
+  const Tensor mean = uniform(rng, {4});
+  const Tensor var = uniform(rng, {4}, 0.5f, 2.0f);
+
+  const Tensor composed = ops::batch_norm_infer(
+      ops::deconv2d(x, w, Tensor(), ops::Deconv2dParams{1, 2}), gamma, beta,
+      mean, var, 1e-5f);
+  const graph::FoldedConv f = graph::fold_batchnorm(
+      w, Tensor(), gamma, beta, mean, var, 1e-5f, /*deconv_layout=*/true);
+  const Tensor folded =
+      ops::deconv2d(x, f.weight, f.bias, ops::Deconv2dParams{1, 2});
+
+  ASSERT_EQ(folded.shape(), composed.shape());
+  for (index_t i = 0; i < folded.numel(); ++i) {
+    EXPECT_NEAR(folded.data()[i], composed.data()[i], 1e-4f) << "at " << i;
+  }
+}
+
+// -------------------------------------------------- planner invariants
+
+void expect_no_live_overlap_shares_slab(const graph::CompiledGraph& cg) {
+  const auto& plans = cg.plan();
+  for (size_t i = 0; i < plans.size(); ++i) {
+    for (size_t j = i + 1; j < plans.size(); ++j) {
+      const graph::BufferPlan& a = plans[i];
+      const graph::BufferPlan& b = plans[j];
+      if (a.slab < 0 || b.slab < 0 || a.slab != b.slab) continue;
+      const bool disjoint = a.last_use < b.def_step || b.last_use < a.def_step;
+      EXPECT_TRUE(disjoint)
+          << "values of nodes " << a.node << " [" << a.def_step << ","
+          << a.last_use << "] and " << b.node << " [" << b.def_step << ","
+          << b.last_use << "] share slab " << a.slab << " while both live";
+    }
+  }
+}
+
+TEST(GraphPlanner, NoTwoLiveValuesShareASlab) {
+  nn::seed_init_rng(11);
+  nn::DDnet net(nn::DDnetConfig::tiny());
+  net.set_training(false);
+  const Graph g = net.build_graph(1, 16, 16);
+
+  const graph::CompiledGraph fused = graph::compile(g);
+  const graph::CompiledGraph unfused =
+      graph::compile(g, CompileOptions{false});
+  expect_no_live_overlap_shares_slab(fused);
+  expect_no_live_overlap_shares_slab(unfused);
+
+  // Fusion collapsed conv->bn->act chains, so the fused schedule is
+  // strictly shorter and the reuse plan never grows.
+  EXPECT_GT(fused.stats().fused_away, 0);
+  EXPECT_LT(fused.stats().steps, unfused.stats().steps);
+  EXPECT_LE(fused.stats().slabs, unfused.stats().slabs);
+  EXPECT_GT(fused.stats().slabs, 0);
+  // Reuse is real: the slab pool is far smaller than the sum of all
+  // intermediate values.
+  index_t total_intermediate = 0;
+  for (const graph::BufferPlan& p : fused.plan()) {
+    if (p.def_step >= 0 && p.slab >= 0) total_intermediate += p.floats;
+  }
+  EXPECT_LT(fused.stats().slab_floats, total_intermediate);
+}
+
+// ------------------------------------------------ fusion equivalence
+
+std::uint64_t run_digest(const graph::CompiledGraph& cg, const Tensor& in) {
+  return fnv1a64(cg.run(in));
+}
+
+TEST(GraphFusion, DdnetFusedUnfusedReferenceAndModuleAgreeBitwise) {
+  nn::seed_init_rng(3);
+  nn::DDnet net(nn::DDnetConfig::tiny());
+  net.set_training(false);
+
+  Rng rng(5);
+  Tensor img({16, 16});
+  rng.fill_uniform(img, -1.0f, 1.0f);
+  const Tensor in = img.clone().reshape({1, 1, 16, 16});
+
+  const Graph g = net.build_graph(1, 16, 16);
+  const graph::CompiledGraph fused = graph::compile(g);
+  const graph::CompiledGraph unfused =
+      graph::compile(g, CompileOptions{false});
+
+  std::uint64_t module_digest;
+  {
+    FusionGuard off(false);  // force the op-by-op module walk
+    module_digest = fnv1a64(net.enhance(img));
+  }
+  std::uint64_t enhance_fused_digest;
+  {
+    FusionGuard on(true);  // force the compiled-graph fast path
+    enhance_fused_digest = fnv1a64(net.enhance(img));
+  }
+  const std::uint64_t reference_digest = fnv1a64(graph::run_reference(g, in));
+
+  EXPECT_EQ(run_digest(unfused, in), module_digest);
+  EXPECT_EQ(reference_digest, module_digest);
+  EXPECT_EQ(run_digest(fused, in), module_digest);
+  EXPECT_EQ(enhance_fused_digest, module_digest);
+}
+
+TEST(GraphFusion, UnetFusedMatchesModuleBitwise) {
+  nn::seed_init_rng(7);
+  nn::UNetDenoiser net{nn::UNetConfig{}};
+  net.set_training(false);
+
+  Rng rng(9);
+  Tensor img({12, 12});
+  rng.fill_uniform(img, -1.0f, 1.0f);
+
+  std::uint64_t module_digest, fused_digest;
+  {
+    FusionGuard off(false);
+    module_digest = fnv1a64(net.enhance(img));
+  }
+  {
+    FusionGuard on(true);
+    fused_digest = fnv1a64(net.enhance(img));
+  }
+  EXPECT_EQ(fused_digest, module_digest);
+}
+
+TEST(GraphFusion, DdnetDigestStableAcrossBackendsAndWidths) {
+  nn::seed_init_rng(3);
+  nn::DDnet net(nn::DDnetConfig::tiny());
+  net.set_training(false);
+
+  Rng rng(5);
+  Tensor in({1, 1, 16, 16});
+  rng.fill_uniform(in, -1.0f, 1.0f);
+  const Graph g = net.build_graph(1, 16, 16);
+  const graph::CompiledGraph fused = graph::compile(g);
+  const graph::CompiledGraph unfused =
+      graph::compile(g, CompileOptions{false});
+
+  const simd::Backend prev = simd::active_backend();
+  std::vector<std::uint64_t> digests;
+  for (simd::Backend b :
+       {simd::Backend::kScalar, simd::Backend::kSse2, simd::Backend::kAvx2}) {
+    if (!simd::backend_available(b)) continue;
+    simd::set_backend(b);
+    for (int width : {1, 2, 8}) {
+      ParallelPin pin(width);
+      digests.push_back(run_digest(fused, in));
+      EXPECT_EQ(digests.back(), run_digest(unfused, in))
+          << "fused != unfused at backend " << simd::backend_name(b)
+          << " width " << width;
+    }
+  }
+  simd::set_backend(prev);
+  ASSERT_FALSE(digests.empty());
+  for (std::uint64_t d : digests) EXPECT_EQ(d, digests.front());
+}
+
+// -------------------------------------------------- allocation flatness
+
+template <typename Body>
+std::uint64_t fresh_allocs_steady_state(int warmup, int iters, Body&& body) {
+  for (int i = 0; i < warmup; ++i) body();
+  const std::uint64_t before = fresh_system_allocs();
+  for (int i = 0; i < iters; ++i) body();
+  return fresh_system_allocs() - before;
+}
+
+TEST(GraphAlloc, CompiledRunIsAllocationFreeInSteadyState) {
+  if (!alloc_cache_active()) {
+    GTEST_SKIP() << "alloc cache inactive (sanitizer build or disabled)";
+  }
+  nn::seed_init_rng(13);
+  nn::DDnet net(nn::DDnetConfig::tiny());
+  net.set_training(false);
+  Rng rng(17);
+  Tensor in({1, 1, 16, 16});
+  rng.fill_uniform(in, -1.0f, 1.0f);
+  const graph::CompiledGraph cg = graph::compile(net.build_graph(1, 16, 16));
+
+  ParallelPin pin(1);
+  const std::uint64_t fresh =
+      fresh_allocs_steady_state(3, 8, [&] { Tensor out = cg.run(in); });
+  EXPECT_EQ(fresh, 0u) << "compiled graph allocated from the system heap "
+                          "in steady state";
+}
+
+TEST(GraphAlloc, BiaslessConvWithFoldedBnHoistsTheBiasConstant) {
+  if (!alloc_cache_active()) {
+    GTEST_SKIP() << "alloc cache inactive (sanitizer build or disabled)";
+  }
+  // Regression: a bias-less conv followed by batch-norm used to
+  // materialize a zero bias tensor per call on the eval path; the
+  // compiler hoists it into the step constants instead.
+  Rng rng(19);
+  Graph g;
+  const int in = g.add_input({1, 3, 12, 12});
+  const int c = g.add_conv2d(in, uniform(rng, {6, 3, 3, 3}),
+                             /*bias=*/Tensor(), 1);
+  const int bn = g.add_batchnorm(c, uniform(rng, {6}, 0.5f, 1.5f),
+                                 uniform(rng, {6}), uniform(rng, {6}),
+                                 uniform(rng, {6}, 0.5f, 2.0f), 1e-5f);
+  g.add_relu(bn);
+
+  const graph::CompiledGraph cg = graph::compile(g);
+  EXPECT_EQ(cg.stats().fused_away, 2);  // bn and relu both absorbed
+  EXPECT_EQ(cg.stats().steps, 1);
+
+  Tensor x({1, 3, 12, 12});
+  rng.fill_uniform(x, -1.0f, 1.0f);
+  ParallelPin pin(1);
+  const std::uint64_t fresh =
+      fresh_allocs_steady_state(3, 8, [&] { Tensor out = cg.run(x); });
+  EXPECT_EQ(fresh, 0u);
+}
+
+// ------------------------------------------------------- fusion flag
+
+TEST(GraphFlag, FusionGuardRestoresPreviousState) {
+  const bool initial = graph::fusion_enabled();
+  {
+    FusionGuard off(false);
+    EXPECT_FALSE(graph::fusion_enabled());
+    {
+      FusionGuard on(true);
+      EXPECT_TRUE(graph::fusion_enabled());
+    }
+    EXPECT_FALSE(graph::fusion_enabled());
+  }
+  EXPECT_EQ(graph::fusion_enabled(), initial);
+}
+
+// ------------------------------------------------------------ fuzzer
+
+/// Random DAG generator. Emits conv/bn/relu/leaky/pool/unpool/concat/
+/// add over a pool of live values, deliberately creating multi-consumer
+/// nodes (any value may be picked again) and non-fusible interleavings
+/// (bn after concat, act without bn, conv feeding two consumers).
+struct DagFuzzer {
+  Rng rng;
+  Graph g;
+  struct Val {
+    int id;
+    ValueShape s;
+  };
+  std::vector<Val> vals;
+
+  explicit DagFuzzer(std::uint64_t seed) : rng(seed) {}
+
+  Tensor t(Shape shape, real_t lo = -1.0f, real_t hi = 1.0f) {
+    Tensor out(std::move(shape));
+    rng.fill_uniform(out, lo, hi);
+    return out;
+  }
+
+  const Val& pick() {
+    return vals[size_t(rng.uniform_int(0, int(vals.size()) - 1))];
+  }
+
+  void build(int num_ops) {
+    const index_t h = 8 + 4 * index_t(rng.uniform_int(0, 2));
+    const ValueShape in_shape{1, index_t(rng.uniform_int(1, 4)), h, h};
+    vals.push_back({g.add_input(in_shape), in_shape});
+    for (int i = 0; i < num_ops; ++i) {
+      switch (rng.uniform_int(0, 7)) {
+        case 0: {  // conv, often followed by bn(+act) to exercise fusion
+          const Val v = pick();
+          const index_t k = index_t(1 + 2 * rng.uniform_int(0, 2));
+          const index_t cout = index_t(rng.uniform_int(1, 6));
+          const bool bias = rng.uniform_int(0, 1) == 1;
+          int id = g.add_conv2d(
+              v.id, t({cout, v.s.c, k, k}),
+              bias ? t({cout}) : Tensor(), k / 2);
+          vals.push_back({id, g.node(id).shape});
+          maybe_bn_act(cout);
+          break;
+        }
+        case 1: {  // deconv
+          const Val v = pick();
+          const index_t k = index_t(1 + 2 * rng.uniform_int(0, 2));
+          const index_t cout = index_t(rng.uniform_int(1, 6));
+          int id = g.add_deconv2d(v.id, t({v.s.c, cout, k, k}),
+                                  rng.uniform_int(0, 1) ? t({cout})
+                                                        : Tensor(),
+                                  k / 2);
+          vals.push_back({id, g.node(id).shape});
+          maybe_bn_act(cout);
+          break;
+        }
+        case 2: {  // standalone bn (often after concat: non-fusible)
+          const Val v = pick();
+          int id = g.add_batchnorm(v.id, t({v.s.c}, 0.5f, 1.5f), t({v.s.c}),
+                                   t({v.s.c}), t({v.s.c}, 0.5f, 2.0f),
+                                   1e-5f);
+          vals.push_back({id, g.node(id).shape});
+          break;
+        }
+        case 3: {  // standalone activation (no bn in front)
+          const Val v = pick();
+          int id = rng.uniform_int(0, 1) == 0
+                       ? g.add_relu(v.id)
+                       : g.add_leaky_relu(v.id, 0.01f);
+          vals.push_back({id, g.node(id).shape});
+          break;
+        }
+        case 4: {  // max pool
+          const Val v = pick();
+          if (v.s.h < 4 || v.s.w < 4) break;
+          int id = g.add_max_pool(v.id, rng.uniform_int(0, 1) == 0
+                                            ? ops::Pool2dParams{3, 2, 1}
+                                            : ops::Pool2dParams{2, 2, 0});
+          vals.push_back({id, g.node(id).shape});
+          break;
+        }
+        case 5: {  // unpool
+          const Val v = pick();
+          if (v.s.h > 16 || v.s.w > 16) break;
+          int id = g.add_unpool(v.id, 2);
+          vals.push_back({id, g.node(id).shape});
+          break;
+        }
+        case 6: {  // concat of same-spatial values (multi-consumer)
+          const Val a = pick();
+          std::vector<int> ins{a.id};
+          for (const Val& v : vals) {
+            if (int(ins.size()) >= 3) break;
+            if (v.s.h == a.s.h && v.s.w == a.s.w && v.id != a.id) {
+              ins.push_back(v.id);
+            }
+          }
+          int id = g.add_concat(ins);
+          vals.push_back({id, g.node(id).shape});
+          break;
+        }
+        case 7: {  // residual add of same-shape values
+          const Val a = pick();
+          int other = -1;
+          for (const Val& v : vals) {
+            if (v.id != a.id && v.s == a.s) {
+              other = v.id;
+              break;
+            }
+          }
+          if (other < 0) break;
+          int id = g.add_add(a.id, other);
+          vals.push_back({id, g.node(id).shape});
+          break;
+        }
+      }
+    }
+    g.mark_output(vals.back().id);
+  }
+
+  /// After a conv/deconv, usually append bn and often an activation —
+  /// the fusible pattern the pass exists for. Sometimes the conv is
+  /// left exposed or gets a second consumer, which must block fusion.
+  void maybe_bn_act(index_t c) {
+    if (rng.uniform_int(0, 3) == 0) return;  // conv left standalone
+    const Val v = vals.back();
+    int id = g.add_batchnorm(v.id, t({c}, 0.5f, 1.5f), t({c}), t({c}),
+                             t({c}, 0.5f, 2.0f), 1e-5f);
+    vals.push_back({id, g.node(id).shape});
+    if (rng.uniform_int(0, 2) != 0) {
+      const Val b = vals.back();
+      id = rng.uniform_int(0, 1) == 0 ? g.add_relu(b.id)
+                                      : g.add_leaky_relu(b.id, 0.01f);
+      vals.push_back({id, g.node(id).shape});
+    }
+  }
+};
+
+TEST(GraphFuzz, RandomDagsFuseBitwiseEqualAcrossBackendsAndWidths) {
+  const simd::Backend prev = simd::active_backend();
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    DagFuzzer fz(seed * 7919);
+    fz.build(/*num_ops=*/8);
+
+    Rng in_rng(seed);
+    const ValueShape is = fz.g.input_shape();
+    Tensor in({is.n, is.c, is.h, is.w});
+    in_rng.fill_uniform(in, -1.0f, 1.0f);
+
+    const graph::CompiledGraph fused = graph::compile(fz.g);
+    const graph::CompiledGraph unfused =
+        graph::compile(fz.g, CompileOptions{false});
+    expect_no_live_overlap_shares_slab(fused);
+    expect_no_live_overlap_shares_slab(unfused);
+
+    const std::uint64_t want = fnv1a64(graph::run_reference(fz.g, in));
+    for (simd::Backend b : {simd::Backend::kScalar, simd::Backend::kSse2,
+                            simd::Backend::kAvx2}) {
+      if (!simd::backend_available(b)) continue;
+      simd::set_backend(b);
+      for (int width : {1, 2, 8}) {
+        ParallelPin pin(width);
+        EXPECT_EQ(run_digest(fused, in), want)
+            << "seed " << seed << " fused diverged at backend "
+            << simd::backend_name(b) << " width " << width;
+        EXPECT_EQ(run_digest(unfused, in), want)
+            << "seed " << seed << " unfused diverged at backend "
+            << simd::backend_name(b) << " width " << width;
+      }
+    }
+    simd::set_backend(prev);
+  }
+}
+
+}  // namespace
+}  // namespace ccovid

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "core/simd.h"
+#include "graph/graph.h"
 #include "data/phantom.h"
 #include "fault/failpoint.h"
 #include "net/error.h"
@@ -116,7 +117,8 @@ void usage() {
       "                    [--no-enhance] [--models DIR] [--json PATH]\n"
       "                    [--failpoints SPECS] [--fault-seed S]\n"
       "                    [--retries N] [--degrade] [--threads N]\n"
-      "                    [--simd MODE] [--trace-out PATH]\n"
+      "                    [--simd MODE] [--graph-fusion on|off]\n"
+      "                    [--trace-out PATH]\n"
       "                    [--recv-timeout S]\n"
       "  sharded:          [--role front|worker|single] [--shards N]\n"
       "                    [--connect SPEC,SPEC] [--listen SPEC]\n"
@@ -204,6 +206,16 @@ bool parse(int argc, char** argv, ToolArgs& a) {
         std::fprintf(stderr,
                      "--simd: unknown backend '%s' (scalar|sse2|avx2|auto)\n",
                      v);
+        return false;
+      }
+    } else if (!std::strcmp(arg, "--graph-fusion")) {
+      if (!(v = next(arg))) return false;
+      if (!std::strcmp(v, "on")) {
+        graph::set_fusion_enabled(true);
+      } else if (!std::strcmp(v, "off")) {
+        graph::set_fusion_enabled(false);
+      } else {
+        std::fprintf(stderr, "--graph-fusion: expected on|off\n");
         return false;
       }
     } else if (!std::strcmp(arg, "--trace-out")) {
