@@ -40,6 +40,22 @@ than the tolerance (default 15%). Two artifact kinds are understood:
            claim, not a soft metric. Cannot be inferred from contents
            (same schema as kernels) — select it with --kind graph.
 
+  lowprec  kernels_microbench --lowprec-json output:
+           {"results": [{"op", "precision", "ns_per_iter",
+                         "speedup_vs_f32", "ms_ssim_vs_f32"}, ...]}
+           gated on the low-precision storage invariants, all HARD:
+           every precision row must be present, fp16 must clear
+           --min-speedup-f16 (default 1.2) and int8 --min-speedup-i8
+           (default 1.5) over fp32 on ddnet_forward_128_fused, and
+           MS-SSIM vs the fp32 output must stay above
+           --min-ms-ssim-half / --min-ms-ssim-i8 (accuracy never gets
+           noise slack). --floor-slack relaxes only the SPEED floors
+           for fresh runs on noisy shared runners; the committed
+           artifact is always gated at the full floors. speedup_vs_f32
+           is the median of per-round paired ratios (see
+           bench/kernels_microbench.cpp), so it is stable under
+           machine-wide slowdowns that scale both sides.
+
 Rows present on only one side are reported but never fail the gate
 (new ops appear, old ones retire — that is what updating the baseline
 is for). The waiver / update flow is documented in EXPERIMENTS.md:
@@ -186,6 +202,56 @@ def check_graph(fresh, min_speedup):
     return failures
 
 
+def check_lowprec(fresh, args):
+    """Low-precision storage floors over a lowprec artifact (absolute,
+    like the graph kind; the baseline file plays no role)."""
+    rows = {r.get("precision"): r for r in fresh.get("results", [])
+            if r.get("op") == "ddnet_forward_128_fused"}
+    failures = 0
+    for prec in ("fp32", "fp16", "bf16", "int8"):
+        if prec not in rows:
+            print(f"  INVARIANT {prec}: ddnet_forward_128_fused row "
+                  f"missing (bench renamed without updating the gate?)")
+            failures += 1
+    slack = max(0.0, min(args.floor_slack, 0.5))
+    for prec, floor in (("fp16", args.min_speedup_f16),
+                        ("int8", args.min_speedup_i8)):
+        r = rows.get(prec)
+        if r is None:
+            continue
+        speedup = r.get("speedup_vs_f32")
+        eff = floor * (1.0 - slack)
+        if speedup is None:
+            print(f"  INVARIANT {prec}: speedup_vs_f32 missing")
+            failures += 1
+            continue
+        status = "ok" if speedup >= eff else "INVARIANT"
+        failures += status != "ok"
+        note = f" (slack-adjusted from {floor:.2f}x)" if slack else ""
+        print(f"  {status:9s} {prec}: speedup_vs_f32 = {speedup:.3f}x "
+              f"(floor {eff:.2f}x{note})")
+    if "bf16" in rows and rows["bf16"].get("speedup_vs_f32") is not None:
+        print(f"  note      bf16: speedup_vs_f32 = "
+              f"{rows['bf16']['speedup_vs_f32']:.3f}x (informational; "
+              f"no committed floor)")
+    for prec, floor in (("fp16", args.min_ms_ssim_half),
+                        ("bf16", args.min_ms_ssim_half),
+                        ("int8", args.min_ms_ssim_i8)):
+        r = rows.get(prec)
+        if r is None:
+            continue
+        ssim = r.get("ms_ssim_vs_f32")
+        if ssim is None:
+            print(f"  INVARIANT {prec}: ms_ssim_vs_f32 missing")
+            failures += 1
+            continue
+        status = "ok" if ssim >= floor else "INVARIANT"
+        failures += status != "ok"
+        print(f"  {status:9s} {prec}: ms_ssim_vs_f32 = {ssim:.6f} "
+              f"(floor {floor:.4f}, no slack)")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", required=True,
@@ -194,13 +260,27 @@ def main():
                     help="artifact produced by this run")
     ap.add_argument("--tolerance", type=float, default=0.15,
                     help="allowed fractional regression (default 0.15)")
-    ap.add_argument("--kind", choices=["kernels", "serve", "shard", "graph"],
+    ap.add_argument("--kind",
+                    choices=["kernels", "serve", "shard", "graph",
+                             "lowprec"],
                     default=None,
                     help="artifact schema; inferred from contents if omitted "
-                         "(graph must be selected explicitly)")
+                         "(graph and lowprec must be selected explicitly)")
     ap.add_argument("--min-speedup", type=float, default=1.5,
                     help="graph kind: hard floor on the "
                          "module/fused ns_per_iter ratio (default 1.5)")
+    ap.add_argument("--min-speedup-f16", type=float, default=1.2,
+                    help="lowprec kind: fp16-over-fp32 speedup floor")
+    ap.add_argument("--min-speedup-i8", type=float, default=1.5,
+                    help="lowprec kind: int8-over-fp32 speedup floor")
+    ap.add_argument("--min-ms-ssim-half", type=float, default=0.995,
+                    help="lowprec kind: fp16/bf16 MS-SSIM-vs-fp32 floor")
+    ap.add_argument("--min-ms-ssim-i8", type=float, default=0.99,
+                    help="lowprec kind: int8 MS-SSIM-vs-fp32 floor")
+    ap.add_argument("--floor-slack", type=float, default=0.0,
+                    help="lowprec kind: fractional slack applied to the "
+                         "SPEED floors only (fresh runs on shared "
+                         "runners); accuracy floors never get slack")
     args = ap.parse_args()
 
     baseline = load(args.baseline)
@@ -217,6 +297,11 @@ def main():
     if kind == "graph":
         print(f"check_bench: graph artifact, speedup floor "
               f"{args.min_speedup:.2f}x")
+    elif kind == "lowprec":
+        print(f"check_bench: lowprec artifact, floors fp16 "
+              f"{args.min_speedup_f16:.2f}x / int8 "
+              f"{args.min_speedup_i8:.2f}x, floor slack "
+              f"{args.floor_slack:.0%}")
     else:
         print(f"check_bench: {kind} artifact, tolerance {args.tolerance:.0%}")
     print(f"  baseline: {args.baseline}")
@@ -227,6 +312,8 @@ def main():
         failures = check_shard(baseline, fresh, args.tolerance)
     elif kind == "graph":
         failures = check_graph(fresh, args.min_speedup)
+    elif kind == "lowprec":
+        failures = check_lowprec(fresh, args)
     else:
         failures = check_serve(baseline, fresh, args.tolerance)
 
@@ -235,6 +322,13 @@ def main():
             print(f"check_bench: FAILED — {failures} graph invariant(s) "
                   f"violated (fused speedup floor "
                   f"{args.min_speedup:.2f}x).")
+        elif kind == "lowprec":
+            print(f"check_bench: FAILED — {failures} low-precision "
+                  f"invariant(s) violated (speed floors fp16 "
+                  f"{args.min_speedup_f16:.2f}x / int8 "
+                  f"{args.min_speedup_i8:.2f}x, MS-SSIM floors "
+                  f"{args.min_ms_ssim_half:.4f} / "
+                  f"{args.min_ms_ssim_i8:.4f}).")
         else:
             print(f"check_bench: FAILED — {failures} metric(s) regressed "
                   f"more than {args.tolerance:.0%}.")

@@ -1,0 +1,42 @@
+#include "core/env.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ccovid::env {
+
+std::optional<std::string> get(const char* name) {
+  const char* v = std::getenv(name);
+  if (!v) return std::nullopt;
+  return std::string(v);
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+std::optional<std::string> choice(const char* name,
+                                  const std::vector<std::string>& allowed,
+                                  const char* fallback_desc) {
+  const auto raw = get(name);
+  if (!raw) return std::nullopt;
+  const std::string v = lower(*raw);
+  for (const std::string& a : allowed) {
+    if (v == a) return v;
+  }
+  std::string want;
+  for (std::size_t i = 0; i < allowed.size(); ++i) {
+    if (i) want += '|';
+    want += allowed[i];
+  }
+  std::fprintf(stderr, "ccovid: %s: unknown value '%s' (want %s); using %s\n",
+               name, raw->c_str(), want.c_str(), fallback_desc);
+  return std::nullopt;
+}
+
+}  // namespace ccovid::env

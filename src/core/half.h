@@ -1,0 +1,130 @@
+// Scalar fp16 (IEEE binary16) and bf16 (bfloat16) <-> fp32 bit
+// conversions, written to be BITWISE identical to the x86 hardware
+// instructions the AVX2 backend uses (VCVTPH2PS / VCVTPS2PH with
+// round-to-nearest-even), including the awkward corners:
+//
+//   - subnormal halves are produced and consumed exactly (no FTZ/DAZ),
+//   - overflow rounds to infinity at the RNE boundary (65520 for fp16),
+//   - signalling NaNs are quietened with the payload truncated the way
+//     the conversion instructions truncate it,
+//   - signed zero survives both directions.
+//
+// These functions define the storage-format contract: the scalar and
+// sse2 SIMD backends call them per lane, the avx2 backend uses F16C,
+// and tests/test_lowprec.cpp proves all three agree on every one of
+// the 65536 half patterns plus fuzzed f32 inputs. bf16 has no x86
+// conversion instruction below AVX512-BF16, so every backend shares
+// the integer implementations here (truncation + RNE carry).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "core/types.h"
+
+namespace ccovid {
+
+namespace detail {
+CCOVID_ALWAYS_INLINE std::uint32_t f32_bits(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+CCOVID_ALWAYS_INLINE float bits_f32(std::uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+}  // namespace detail
+
+/// fp32 -> fp16 bits, round-to-nearest-even. Matches VCVTPS2PH.
+inline std::uint16_t f32_to_f16_bits(float f) {
+  std::uint32_t x = detail::f32_bits(f);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  x &= 0x7FFFFFFFu;
+  if (x >= 0x7F800000u) {  // Inf / NaN: quieten, truncate payload.
+    const std::uint32_t m = x & 0x7FFFFFu;
+    return static_cast<std::uint16_t>(
+        sign | 0x7C00u | (m ? (0x200u | (m >> 13)) : 0u));
+  }
+  if (x >= 0x47800000u) {  // >= 2^16: past the RNE boundary for sure.
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (x >= 0x38800000u) {  // normal half range [2^-14, 65536)
+    // Round the low 13 mantissa bits in integer space; a mantissa
+    // carry bumps the exponent, and a carry out of the top normal
+    // exponent lands exactly on the infinity encoding — which is the
+    // correct RNE behaviour for (65504, 65536).
+    const std::uint32_t r = x + 0xFFFu + ((x >> 13) & 1u);
+    return static_cast<std::uint16_t>(sign |
+                                      (((r - 0x38000000u) >> 13) & 0x7FFFu));
+  }
+  if (x < 0x33000000u) {  // < 2^-25: underflows to zero (2^-25 ties to 0)
+    return static_cast<std::uint16_t>(sign);
+  }
+  // Subnormal half: value = m * 2^(e-150), result = RNE(m * 2^(e-126))
+  // as an integer in [0, 1024).
+  const std::uint32_t e = x >> 23;
+  const std::uint32_t m = (x & 0x7FFFFFu) | 0x800000u;
+  const std::uint32_t shift = 126u - e;  // 14..24
+  const std::uint32_t half = 1u << (shift - 1);
+  const std::uint32_t r = (m + half - 1u + ((m >> shift) & 1u)) >> shift;
+  return static_cast<std::uint16_t>(sign | r);
+}
+
+/// fp32 -> fp16 bits with subnormal RESULTS flushed to signed zero.
+/// This is the conversion the inference storage path actually uses:
+/// widening a subnormal half (VCVTPH2PS) takes a microcode assist on
+/// common Xeon parts — measured 3-4x on the convolution row kernels —
+/// so the executor never writes one. Any result whose exponent field
+/// is zero keeps only its sign bit. Every SIMD backend applies the
+/// identical flush (scalar/sse2 per lane, avx2 as a vector mask after
+/// VCVTPS2PH), so lane determinism holds; f32_to_f16_bits above stays
+/// the pure IEEE conversion for round-trip tests and golden oracles.
+inline std::uint16_t f32_to_f16_bits_ftz(float f) {
+  std::uint16_t h = f32_to_f16_bits(f);
+  if ((h & 0x7C00u) == 0u) h &= 0x8000u;
+  return h;
+}
+
+/// fp16 bits -> fp32 (exact: every half value is representable).
+/// Matches VCVTPH2PS, including sNaN quietening.
+inline float f16_bits_to_f32(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  std::uint32_t e = (h >> 10) & 0x1Fu;
+  std::uint32_t m = h & 0x3FFu;
+  if (e == 0x1Fu) {  // Inf / NaN; quiet bit forced like cvtph2ps.
+    std::uint32_t out = sign | 0x7F800000u | (m << 13);
+    if (m) out |= 0x400000u;
+    return detail::bits_f32(out);
+  }
+  if (e == 0) {
+    if (m == 0) return detail::bits_f32(sign);  // +/- 0
+    // Subnormal: normalize into f32's always-normal range.
+    std::uint32_t s = 0;
+    while (!(m & 0x400u)) {
+      m <<= 1;
+      ++s;
+    }
+    m &= 0x3FFu;
+    return detail::bits_f32(sign | ((113u - s) << 23) | (m << 13));
+  }
+  return detail::bits_f32(sign | ((e + 112u) << 23) | (m << 13));
+}
+
+/// fp32 -> bf16 bits, round-to-nearest-even; NaN quietened with the
+/// top payload bits kept (never collapses a NaN to infinity).
+inline std::uint16_t f32_to_bf16_bits(float f) {
+  const std::uint32_t x = detail::f32_bits(f);
+  if ((x & 0x7FFFFFFFu) > 0x7F800000u) {
+    return static_cast<std::uint16_t>((x >> 16) | 0x40u);
+  }
+  return static_cast<std::uint16_t>((x + 0x7FFFu + ((x >> 16) & 1u)) >> 16);
+}
+
+/// bf16 bits -> fp32: exact by construction (bf16 is truncated fp32).
+inline float bf16_bits_to_f32(std::uint16_t h) {
+  return detail::bits_f32(static_cast<std::uint32_t>(h) << 16);
+}
+
+}  // namespace ccovid

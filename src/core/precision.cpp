@@ -1,0 +1,84 @@
+#include "core/precision.h"
+
+#include <atomic>
+
+#include "core/env.h"
+
+namespace ccovid::core {
+
+namespace {
+
+// -1 = unresolved (first active_precision() call reads the env).
+std::atomic<int> g_precision{-1};
+
+int resolve_env_default() {
+  const auto v =
+      env::choice("CCOVID_PRECISION", {"fp32", "fp16", "bf16", "int8"},
+                  "fp32");
+  Precision p = Precision::kF32;
+  if (v) parse_precision(*v, &p);
+  return static_cast<int>(p);
+}
+
+}  // namespace
+
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kF32:
+      return "fp32";
+    case Precision::kF16:
+      return "fp16";
+    case Precision::kBf16:
+      return "bf16";
+    case Precision::kInt8:
+      return "int8";
+  }
+  return "?";
+}
+
+bool parse_precision(const std::string& spec, Precision* out) {
+  const std::string v = env::lower(spec);
+  if (v == "fp32" || v == "f32") {
+    *out = Precision::kF32;
+  } else if (v == "fp16" || v == "f16" || v == "half") {
+    *out = Precision::kF16;
+  } else if (v == "bf16" || v == "bfloat16") {
+    *out = Precision::kBf16;
+  } else if (v == "int8" || v == "i8") {
+    *out = Precision::kInt8;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::size_t precision_bytes(Precision p) {
+  switch (p) {
+    case Precision::kF32:
+      return 4;
+    case Precision::kF16:
+    case Precision::kBf16:
+      return 2;
+    case Precision::kInt8:
+      return 1;
+  }
+  return 4;
+}
+
+Precision active_precision() {
+  int cur = g_precision.load(std::memory_order_acquire);
+  if (cur < 0) {
+    // Benign first-call race: every thread resolves the same env value.
+    cur = resolve_env_default();
+    g_precision.store(cur, std::memory_order_release);
+  }
+  return static_cast<Precision>(cur);
+}
+
+Precision set_active_precision(Precision p) {
+  const Precision prev = active_precision();
+  g_precision.store(static_cast<int>(p), std::memory_order_release);
+  return prev;
+}
+
+}  // namespace ccovid::core

@@ -1,0 +1,50 @@
+// The storage-precision axis for inference: which format weights and
+// activations are STORED in on the compiled-graph path. Accumulation
+// is always fp32 (fp16/bf16) or int32 (int8) — the axis trades bytes
+// moved and multiply-add throughput, never accumulator width.
+//
+// Selection mirrors the SIMD backend knob: a process-wide default
+// (CCOVID_PRECISION env or --precision on the CLI tools, parsed
+// through core/env.h with unknown-value warnings) plus an RAII
+// PrecisionGuard for scoped overrides in tests and benchmarks. The
+// DDnet graph path reads the active precision ONCE per request when it
+// picks a compiled graph, so a mid-stream toggle affects only
+// subsequent requests — formats never mix within one request.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ccovid::core {
+
+enum class Precision : int { kF32 = 0, kF16 = 1, kBf16 = 2, kInt8 = 3 };
+
+/// "fp32" / "fp16" / "bf16" / "int8".
+const char* precision_name(Precision p);
+
+/// Parses the names above; returns false on any other spelling.
+bool parse_precision(const std::string& spec, Precision* out);
+
+/// Bytes per stored activation/weight element for the format.
+std::size_t precision_bytes(Precision p);
+
+/// Process-wide default (first call resolves CCOVID_PRECISION; unset
+/// or unknown values resolve to fp32, unknown ones with a warning).
+Precision active_precision();
+
+/// Sets the process-wide default; returns the previous value.
+Precision set_active_precision(Precision p);
+
+/// RAII scoped override of the process-wide default.
+class PrecisionGuard {
+ public:
+  explicit PrecisionGuard(Precision p) : prev_(set_active_precision(p)) {}
+  ~PrecisionGuard() { set_active_precision(prev_); }
+  PrecisionGuard(const PrecisionGuard&) = delete;
+  PrecisionGuard& operator=(const PrecisionGuard&) = delete;
+
+ private:
+  Precision prev_;
+};
+
+}  // namespace ccovid::core

@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/env.h"
+
 namespace ccovid::simd {
 
 // Defined in the per-backend TUs; sse2/avx2 return nullptr when the
@@ -27,7 +29,12 @@ bool cpu_supports(Backend b) {
     case Backend::kSse2:
       return true;  // architectural baseline on x86-64
     case Backend::kAvx2:
-      return __builtin_cpu_supports("avx2") != 0;
+      // The avx2 table also carries the FMA low-precision kernels and
+      // (when compiled in) F16C converts, so all three must be present
+      // before it is eligible.
+      return __builtin_cpu_supports("avx2") != 0 &&
+             __builtin_cpu_supports("fma") != 0 &&
+             __builtin_cpu_supports("f16c") != 0;
   }
   return false;
 #else
@@ -60,15 +67,13 @@ const KernelTable* best_table(Backend cap) {
 
 const KernelTable* resolve_default() {
   Backend cap = Backend::kAvx2;
-  if (const char* env = std::getenv("CCOVID_SIMD")) {
+  // Unknown values warn once inside env::choice and resolve to auto.
+  if (const auto spec = env::choice(
+          "CCOVID_SIMD", {"scalar", "sse2", "avx2", "auto"}, "auto")) {
     Backend req;
     bool is_auto = false;
-    if (!parse_backend(env, &req, &is_auto)) {
-      std::fprintf(stderr,
-                   "CCOVID_SIMD: unknown backend '%s' "
-                   "(want scalar|sse2|avx2|auto); using auto\n",
-                   env);
-    } else if (!is_auto) {
+    parse_backend(*spec, &req, &is_auto);
+    if (!is_auto) {
       cap = req;
       if (!backend_available(req)) {
         std::fprintf(stderr,

@@ -46,6 +46,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <string>
 
 #include "core/types.h"
@@ -57,6 +58,23 @@ namespace ccovid::simd {
 inline constexpr int kLanes = 8;
 
 enum class Backend : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Parameters of the fused int8 dequant -> batch-norm/activation ->
+/// requant epilogue (see KernelTable::quant_epilogue_store_i8). The
+/// int32 conv accumulator for output channel co dequantizes as
+///   t = fma(float(acc), m, bias)        (m = s_in * s_w[co])
+/// then runs the affine+activation expression of scale_shift_act and
+/// requantizes with round-to-nearest-even, clamped to [-127, 127].
+struct QuantEpilogueParams {
+  float m0 = 1.0f, m1 = 1.0f;        // dequant multiplier per channel
+  float bias0 = 0.0f, bias1 = 0.0f;  // conv bias (fp32 domain)
+  int has_affine = 0;                // apply scale/shift (+act) when set
+  float scale0 = 1.0f, scale1 = 1.0f;
+  float shift0 = 0.0f, shift1 = 0.0f;
+  int act = 0;  // 0 none, 1 relu, 2 leaky
+  float slope = 0.0f;
+  float inv_out = 1.0f;  // 1 / s_out for the requantize store
+};
 
 /// Dispatch table of vector kernels. One instance per compiled backend;
 /// `kernels()` returns the active one. Entries marked "probe_" exist
@@ -147,9 +165,157 @@ struct KernelTable {
   /// + the fixed reduction tree (see header comment).
   float (*dot)(const float* a, const float* b, index_t n);
 
+  // ----- low-precision storage formats ------------------------------
+  //
+  // THE LOW-PRECISION NUMERIC CONTRACT. The kernels below define a NEW
+  // deterministic contract, separate from the fp32 one: activations
+  // (and, at the executor level, weights) are STORED in fp16/bf16/int8
+  // and converted to fp32/int32 in registers on load; accumulation is
+  // fp32 with SINGLE-rounding fused multiply-add (scalar backends use
+  // std::fmaf, which is correctly rounded and therefore bitwise equal
+  // to VFMADD*) for the half formats, and exact int32 for int8. The
+  // two-roundings rule of the fp32 contract exists to match historical
+  // scalar digests; the low-precision paths have no history to match,
+  // so they take the FMA throughput win — per-precision golden digests
+  // pin THEIR bits across backends and widths instead.
+
+  /// conv2d_row4_s1 with fp16-stored input activations: same contract
+  /// and argument order, input elements converted on load (F16C /
+  /// scalar bit-exact equivalent), fp32 weights/bias/output, fp32
+  /// accumulation via single-rounding fmadd.
+  void (*conv2d_row4_s1_f16)(const std::uint16_t* in, const float* wgt,
+                             index_t wstride_ci, index_t wstride_co,
+                             float* out, index_t ostride_co, int nco,
+                             index_t cin, index_t h, index_t w, index_t k,
+                             index_t oy, index_t pad, index_t wo,
+                             const float* bias);
+  void (*deconv2d_row4_s1_f16)(const std::uint16_t* in, const float* wgt,
+                               index_t wstride_ci, index_t wstride_co,
+                               float* out, index_t ostride_co, int nco,
+                               index_t cin, index_t h, index_t w, index_t k,
+                               index_t oy, index_t pad, index_t wo,
+                               const float* bias);
+  void (*conv2d_row4_s1_bf16)(const std::uint16_t* in, const float* wgt,
+                              index_t wstride_ci, index_t wstride_co,
+                              float* out, index_t ostride_co, int nco,
+                              index_t cin, index_t h, index_t w, index_t k,
+                              index_t oy, index_t pad, index_t wo,
+                              const float* bias);
+  void (*deconv2d_row4_s1_bf16)(const std::uint16_t* in, const float* wgt,
+                                index_t wstride_ci, index_t wstride_co,
+                                float* out, index_t ostride_co, int nco,
+                                index_t cin, index_t h, index_t w,
+                                index_t k, index_t oy, index_t pad,
+                                index_t wo, const float* bias);
+
+  /// The same single-rounding-FMA accumulation over an ALREADY-WIDENED
+  /// fp32 input plane. Widening fp16/bf16 to fp32 is elementwise-exact,
+  /// so calling this on a converted copy of the input produces bitwise
+  /// the bits of conv2d_row4_s1_f16/_bf16 on the stored plane — the
+  /// graph executor widens each step's input once and runs these,
+  /// instead of re-converting the same rows k times per tap loop.
+  /// NOT interchangeable with conv2d_row4_s1 (that one keeps the
+  /// two-roundings fp32 contract; this one fuses).
+  void (*conv2d_row4_s1_fma)(const float* in, const float* wgt,
+                             index_t wstride_ci, index_t wstride_co,
+                             float* out, index_t ostride_co, int nco,
+                             index_t cin, index_t h, index_t w, index_t k,
+                             index_t oy, index_t pad, index_t wo,
+                             const float* bias);
+  void (*deconv2d_row4_s1_fma)(const float* in, const float* wgt,
+                               index_t wstride_ci, index_t wstride_co,
+                               float* out, index_t ostride_co, int nco,
+                               index_t cin, index_t h, index_t w, index_t k,
+                               index_t oy, index_t pad, index_t wo,
+                               const float* bias);
+
+  /// Octet variants of the _fma row kernels: nco up to 8 output
+  /// channels per input pass (nco <= 4 falls through to the quartet
+  /// body). Regrouping output channels never changes a channel's own
+  /// (ci, ky, kx) fmadd order, so the bits match the row4 kernels
+  /// exactly; the point is halving the number of passes over the
+  /// widened input for the memory-bound co=8 DDnet dense-layer convs.
+  void (*conv2d_row8_s1_fma)(const float* in, const float* wgt,
+                             index_t wstride_ci, index_t wstride_co,
+                             float* out, index_t ostride_co, int nco,
+                             index_t cin, index_t h, index_t w, index_t k,
+                             index_t oy, index_t pad, index_t wo,
+                             const float* bias);
+  void (*deconv2d_row8_s1_fma)(const float* in, const float* wgt,
+                               index_t wstride_ci, index_t wstride_co,
+                               float* out, index_t ostride_co, int nco,
+                               index_t cin, index_t h, index_t w,
+                               index_t k, index_t oy, index_t pad,
+                               index_t wo, const float* bias);
+
+  /// scale_shift_act with a converting store: the fp32 affine+act
+  /// expression is bit-identical to scale_shift_act, only the store
+  /// rounds to the half format (RNE).
+  void (*scale_shift_act_store_f16)(const float* x, std::uint16_t* y,
+                                    index_t n, float scale, float shift,
+                                    int act, float slope);
+  void (*scale_shift_act_store_bf16)(const float* x, std::uint16_t* y,
+                                     index_t n, float scale, float shift,
+                                     int act, float slope);
+
+  /// Array format conversions (element-wise, RNE on narrowing).
+  void (*cvt_f32_to_f16)(const float* x, std::uint16_t* y, index_t n);
+  void (*cvt_f16_to_f32)(const std::uint16_t* x, float* y, index_t n);
+  void (*cvt_f32_to_bf16)(const float* x, std::uint16_t* y, index_t n);
+  void (*cvt_bf16_to_f32)(const std::uint16_t* x, float* y, index_t n);
+
+  /// Symmetric-int8 conv row kernels over CHANNEL-PAIR-INTERLEAVED
+  /// activations: the plane of channel pair p (channels 2p, 2p+1)
+  /// starts at in + p*h*w*2 and stores pixel (y, x) as two adjacent
+  /// bytes [c_even, c_odd] — the layout VPMADDWD wants (one 16-byte
+  /// load covers 8 output pixels x 2 input channels). Weights are
+  /// pre-widened int16 pairs, co-major: channel co's slice starts at
+  /// wgt + co*wstride_co (wstride_co in int16 elements) and stores tap
+  /// (p, ky, kx) as [w_2p, w_2p+1]. Accumulation is exact int32 (from
+  /// zero — bias lives in the fp32 epilogue), so every backend is
+  /// bitwise identical by construction; scalar and sse2 share one
+  /// portable body and avx2 overrides with the vpmaddwd kernel.
+  void (*conv2d_row4_s1_i8)(const std::int8_t* in, const std::int16_t* wgt,
+                            index_t wstride_co, std::int32_t* out,
+                            index_t ostride_co, int nco, index_t cinp,
+                            index_t h, index_t w, index_t k, index_t oy,
+                            index_t pad, index_t wo);
+  void (*deconv2d_row4_s1_i8)(const std::int8_t* in,
+                              const std::int16_t* wgt, index_t wstride_co,
+                              std::int32_t* out, index_t ostride_co,
+                              int nco, index_t cinp, index_t h, index_t w,
+                              index_t k, index_t oy, index_t pad,
+                              index_t wo);
+
+  /// Fused int8 epilogue: dequantize two accumulator planes, apply the
+  /// affine/activation, requantize, and store one interleaved channel
+  /// pair. acc1 may be null (odd trailing channel): the odd bytes
+  /// store 0.
+  void (*quant_epilogue_store_i8)(const std::int32_t* acc0,
+                                  const std::int32_t* acc1,
+                                  std::int8_t* out, index_t n,
+                                  const QuantEpilogueParams& p);
+
+  /// Dequant epilogue with an fp32 store (graph-output steps).
+  void (*dequant_epilogue_f32)(const std::int32_t* acc, float* out,
+                               index_t n, float m, float bias,
+                               int has_affine, float scale, float shift,
+                               int act, float slope);
+
+  /// Two planar fp32 channels -> one interleaved int8 pair plane
+  /// (x1 null writes 0 odd bytes): q = clamp(rne(x * inv_scale)).
+  void (*quant_f32_to_i8)(const float* x0, const float* x1,
+                          std::int8_t* out, index_t n, float inv_scale);
+  /// Inverse: interleaved pair plane -> two planar fp32 channels
+  /// (x1 null drops the odd channel).
+  void (*dequant_i8_to_f32)(const std::int8_t* in, float* x0, float* x1,
+                            index_t n, float scale);
+
   // ----- test probes (8-wide in/out arrays) -------------------------
   void (*probe_madd)(const float* a, const float* b, const float* c,
                      float* out);                           // c + a*b
+  void (*probe_fmadd)(const float* a, const float* b, const float* c,
+                      float* out);          // fma(a, b, c), one rounding
   void (*probe_mul)(const float* a, const float* b, float* out);
   void (*probe_add)(const float* a, const float* b, float* out);
   void (*probe_min)(const float* a, const float* b, float* out);

@@ -5,6 +5,10 @@
 // auto-vectorization preserves per-element FP semantics, and the TU is
 // compiled with -ffp-contract=off so no mul+add pair can be fused into
 // a single-rounding FMA.
+#include <cmath>
+#include <cstdint>
+
+#include "core/half.h"
 #include "core/simd.h"
 #include "core/simd_kernels.h"
 
@@ -67,6 +71,32 @@ struct ScalarV {
     v8 r;
     for (int j = 0; j < 8; ++j) r.l[j] = x.l[j] > 0.0f ? a.l[j] : b.l[j];
     return r;
+  }
+  // Low-precision contract (core/simd.h): single rounding per lane.
+  // std::fmaf is correctly rounded, so this is bitwise VFMADD.
+  static v8 fmadd(v8 acc, v8 a, v8 b) {
+    v8 r;
+    for (int j = 0; j < 8; ++j) r.l[j] = std::fmaf(a.l[j], b.l[j], acc.l[j]);
+    return r;
+  }
+  static v8 loadu_f16(const std::uint16_t* p) {
+    v8 r;
+    for (int j = 0; j < 8; ++j) r.l[j] = f16_bits_to_f32(p[j]);
+    return r;
+  }
+  static float load1_f16(const std::uint16_t* p) {
+    return f16_bits_to_f32(*p);
+  }
+  static v8 loadu_bf16(const std::uint16_t* p) {
+    v8 r;
+    for (int j = 0; j < 8; ++j) r.l[j] = bf16_bits_to_f32(p[j]);
+    return r;
+  }
+  static void storeu_f16(std::uint16_t* p, v8 x) {
+    for (int j = 0; j < 8; ++j) p[j] = f32_to_f16_bits_ftz(x.l[j]);
+  }
+  static void storeu_bf16(std::uint16_t* p, v8 x) {
+    for (int j = 0; j < 8; ++j) p[j] = f32_to_bf16_bits(x.l[j]);
   }
   // The canonical tree (core/simd.h): lane+4 partials, then a 4-wide
   // movehl-style fold, then the final pair.

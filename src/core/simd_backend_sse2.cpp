@@ -8,6 +8,10 @@
 
 #include <emmintrin.h>
 
+#include <cmath>
+#include <cstdint>
+
+#include "core/half.h"
 #include "core/simd_kernels.h"
 
 namespace ccovid::simd {
@@ -54,6 +58,40 @@ struct Sse2V {
     const __m128 mhi = _mm_cmpgt_ps(x.hi, z);
     return {_mm_or_ps(_mm_and_ps(mlo, a.lo), _mm_andnot_ps(mlo, b.lo)),
             _mm_or_ps(_mm_and_ps(mhi, a.hi), _mm_andnot_ps(mhi, b.hi))};
+  }
+  // Low-precision contract (core/simd.h): single-rounded lanes. SSE2
+  // has no FMA instruction, so go through correctly rounded std::fmaf
+  // per lane — bitwise what the AVX2 backend's VFMADD produces.
+  static v8 fmadd(v8 acc, v8 a, v8 b) {
+    float fa[8], fb[8], fc[8];
+    storeu(fa, a);
+    storeu(fb, b);
+    storeu(fc, acc);
+    for (int j = 0; j < 8; ++j) fc[j] = std::fmaf(fa[j], fb[j], fc[j]);
+    return loadu(fc);
+  }
+  static v8 loadu_f16(const std::uint16_t* p) {
+    float buf[8];
+    for (int j = 0; j < 8; ++j) buf[j] = f16_bits_to_f32(p[j]);
+    return loadu(buf);
+  }
+  static float load1_f16(const std::uint16_t* p) {
+    return f16_bits_to_f32(*p);
+  }
+  static v8 loadu_bf16(const std::uint16_t* p) {
+    float buf[8];
+    for (int j = 0; j < 8; ++j) buf[j] = bf16_bits_to_f32(p[j]);
+    return loadu(buf);
+  }
+  static void storeu_f16(std::uint16_t* p, v8 x) {
+    float buf[8];
+    storeu(buf, x);
+    for (int j = 0; j < 8; ++j) p[j] = f32_to_f16_bits_ftz(buf[j]);
+  }
+  static void storeu_bf16(std::uint16_t* p, v8 x) {
+    float buf[8];
+    storeu(buf, x);
+    for (int j = 0; j < 8; ++j) p[j] = f32_to_bf16_bits(buf[j]);
   }
   static float reduce_add(v8 x) {
     // q = lanes + lanes+4; fold high pair onto low pair; final add.

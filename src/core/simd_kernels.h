@@ -21,7 +21,10 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 
+#include "core/half.h"
 #include "core/simd.h"
 
 namespace ccovid::simd::detail {
@@ -143,6 +146,357 @@ inline void deconv_point_q(const float* in, const float* wgt,
         if (NCO > 1) a1 += x * w1[ky * k + kx];
         if (NCO > 2) a2 += x * w2[ky * k + kx];
         if (NCO > 3) a3 += x * w3[ky * k + kx];
+      }
+    }
+  }
+  out[ox] = a0;
+  if (NCO > 1) out[ostride_co + ox] = a1;
+  if (NCO > 2) out[2 * ostride_co + ox] = a2;
+  if (NCO > 3) out[3 * ostride_co + ox] = a3;
+}
+
+// ----- low-precision shared scalar machinery ------------------------
+//
+// The int8 path accumulates in exact int32, so ONE portable body keeps
+// every backend bitwise identical for free: scalar and sse2 register
+// the functions below directly, and the avx2 TU overrides the table
+// entries with vpmaddwd kernels that compute the same exact sums. The
+// fp32 tail/border expressions (quant_clamp_rne, dequant_affine_act)
+// are the single source of truth the avx2 vector epilogues replicate
+// instruction for instruction.
+
+/// Requantize: clamp to [-127, 127] (NaN -> -127, matching the
+/// max-with-second-operand-wins lane semantics), round to nearest even
+/// (lrintf == CVTPS2DQ in the default rounding mode on the clamped
+/// range).
+inline std::int8_t quant_clamp_rne(float v) {
+  v = v > -127.0f ? v : -127.0f;
+  v = v < 127.0f ? v : 127.0f;
+  return static_cast<std::int8_t>(std::lrintf(v));
+}
+
+/// Dequantize one int32 accumulator and run the scale_shift_act
+/// expression: t = fma(float(acc), m, bias), then scale*t + shift
+/// (two roundings, exactly like the fp32 epilogue) and the activation.
+inline float dequant_affine_act(std::int32_t acc, float m, float bias,
+                                int has_affine, float scale, float shift,
+                                int act, float slope) {
+  float t = std::fmaf(static_cast<float>(acc), m, bias);
+  if (has_affine) t = scale * t + shift;
+  if (act == 1) {
+    t = t > 0.0f ? t : 0.0f;
+  } else if (act == 2) {
+    t = t > 0.0f ? t : slope * t;
+  }
+  return t;
+}
+
+// One output column, NCO channels, int8 interleaved input (see the
+// layout comment in core/simd.h). Shared by the generic row kernels
+// below and by the avx2 kernel's border columns.
+template <int NCO>
+inline void conv_point_q_i8(const std::int8_t* in, const std::int16_t* wgt,
+                            index_t wstride_co, std::int32_t* out,
+                            index_t ostride_co, index_t cinp, index_t h,
+                            index_t w, index_t k, index_t oy, index_t ox,
+                            index_t pad) {
+  std::int32_t a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+  const index_t iy0 = oy - pad;
+  const index_t ix0 = ox - pad;
+  for (index_t p = 0; p < cinp; ++p) {
+    const std::int8_t* inp = in + p * h * w * 2;
+    const std::int16_t* w0 = wgt + p * k * k * 2;
+    for (index_t ky = 0; ky < k; ++ky) {
+      const index_t iy = iy0 + ky;
+      if (iy < 0 || iy >= h) continue;
+      for (index_t kx = 0; kx < k; ++kx) {
+        const index_t ix = ix0 + kx;
+        if (ix < 0 || ix >= w) continue;
+        const std::int32_t x0 = inp[(iy * w + ix) * 2];
+        const std::int32_t x1 = inp[(iy * w + ix) * 2 + 1];
+        const index_t t = (ky * k + kx) * 2;
+        a0 += x0 * w0[t] + x1 * w0[t + 1];
+        if (NCO > 1) {
+          a1 += x0 * w0[wstride_co + t] + x1 * w0[wstride_co + t + 1];
+        }
+        if (NCO > 2) {
+          a2 += x0 * w0[2 * wstride_co + t] +
+                x1 * w0[2 * wstride_co + t + 1];
+        }
+        if (NCO > 3) {
+          a3 += x0 * w0[3 * wstride_co + t] +
+                x1 * w0[3 * wstride_co + t + 1];
+        }
+      }
+    }
+  }
+  out[ox] = a0;
+  if (NCO > 1) out[ostride_co + ox] = a1;
+  if (NCO > 2) out[2 * ostride_co + ox] = a2;
+  if (NCO > 3) out[3 * ostride_co + ox] = a3;
+}
+
+template <int NCO>
+inline void deconv_point_q_i8(const std::int8_t* in,
+                              const std::int16_t* wgt, index_t wstride_co,
+                              std::int32_t* out, index_t ostride_co,
+                              index_t cinp, index_t h, index_t w, index_t k,
+                              index_t oy, index_t ox, index_t pad) {
+  std::int32_t a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+  for (index_t p = 0; p < cinp; ++p) {
+    const std::int8_t* inp = in + p * h * w * 2;
+    const std::int16_t* w0 = wgt + p * k * k * 2;
+    for (index_t ky = 0; ky < k; ++ky) {
+      const index_t iy = oy + pad - ky;
+      if (iy < 0 || iy >= h) continue;
+      for (index_t kx = 0; kx < k; ++kx) {
+        const index_t ix = ox + pad - kx;
+        if (ix < 0 || ix >= w) continue;
+        const std::int32_t x0 = inp[(iy * w + ix) * 2];
+        const std::int32_t x1 = inp[(iy * w + ix) * 2 + 1];
+        const index_t t = (ky * k + kx) * 2;
+        a0 += x0 * w0[t] + x1 * w0[t + 1];
+        if (NCO > 1) {
+          a1 += x0 * w0[wstride_co + t] + x1 * w0[wstride_co + t + 1];
+        }
+        if (NCO > 2) {
+          a2 += x0 * w0[2 * wstride_co + t] +
+                x1 * w0[2 * wstride_co + t + 1];
+        }
+        if (NCO > 3) {
+          a3 += x0 * w0[3 * wstride_co + t] +
+                x1 * w0[3 * wstride_co + t + 1];
+        }
+      }
+    }
+  }
+  out[ox] = a0;
+  if (NCO > 1) out[ostride_co + ox] = a1;
+  if (NCO > 2) out[2 * ostride_co + ox] = a2;
+  if (NCO > 3) out[3 * ostride_co + ox] = a3;
+}
+
+inline void conv2d_row4_s1_i8_generic(const std::int8_t* in,
+                                      const std::int16_t* wgt,
+                                      index_t wstride_co, std::int32_t* out,
+                                      index_t ostride_co, int nco,
+                                      index_t cinp, index_t h, index_t w,
+                                      index_t k, index_t oy, index_t pad,
+                                      index_t wo) {
+  for (index_t ox = 0; ox < wo; ++ox) {
+    switch (nco) {
+      case 1:
+        conv_point_q_i8<1>(in, wgt, wstride_co, out, ostride_co, cinp, h,
+                           w, k, oy, ox, pad);
+        break;
+      case 2:
+        conv_point_q_i8<2>(in, wgt, wstride_co, out, ostride_co, cinp, h,
+                           w, k, oy, ox, pad);
+        break;
+      case 3:
+        conv_point_q_i8<3>(in, wgt, wstride_co, out, ostride_co, cinp, h,
+                           w, k, oy, ox, pad);
+        break;
+      default:
+        conv_point_q_i8<4>(in, wgt, wstride_co, out, ostride_co, cinp, h,
+                           w, k, oy, ox, pad);
+        break;
+    }
+  }
+}
+
+inline void deconv2d_row4_s1_i8_generic(const std::int8_t* in,
+                                        const std::int16_t* wgt,
+                                        index_t wstride_co,
+                                        std::int32_t* out,
+                                        index_t ostride_co, int nco,
+                                        index_t cinp, index_t h, index_t w,
+                                        index_t k, index_t oy, index_t pad,
+                                        index_t wo) {
+  for (index_t ox = 0; ox < wo; ++ox) {
+    switch (nco) {
+      case 1:
+        deconv_point_q_i8<1>(in, wgt, wstride_co, out, ostride_co, cinp,
+                             h, w, k, oy, ox, pad);
+        break;
+      case 2:
+        deconv_point_q_i8<2>(in, wgt, wstride_co, out, ostride_co, cinp,
+                             h, w, k, oy, ox, pad);
+        break;
+      case 3:
+        deconv_point_q_i8<3>(in, wgt, wstride_co, out, ostride_co, cinp,
+                             h, w, k, oy, ox, pad);
+        break;
+      default:
+        deconv_point_q_i8<4>(in, wgt, wstride_co, out, ostride_co, cinp,
+                             h, w, k, oy, ox, pad);
+        break;
+    }
+  }
+}
+
+inline void quant_epilogue_store_i8_generic(const std::int32_t* acc0,
+                                            const std::int32_t* acc1,
+                                            std::int8_t* out, index_t n,
+                                            const QuantEpilogueParams& p) {
+  for (index_t i = 0; i < n; ++i) {
+    const float t0 =
+        dequant_affine_act(acc0[i], p.m0, p.bias0, p.has_affine, p.scale0,
+                           p.shift0, p.act, p.slope);
+    out[i * 2] = quant_clamp_rne(t0 * p.inv_out);
+    if (acc1) {
+      const float t1 =
+          dequant_affine_act(acc1[i], p.m1, p.bias1, p.has_affine,
+                             p.scale1, p.shift1, p.act, p.slope);
+      out[i * 2 + 1] = quant_clamp_rne(t1 * p.inv_out);
+    } else {
+      out[i * 2 + 1] = 0;
+    }
+  }
+}
+
+inline void dequant_epilogue_f32_generic(const std::int32_t* acc,
+                                         float* out, index_t n, float m,
+                                         float bias, int has_affine,
+                                         float scale, float shift, int act,
+                                         float slope) {
+  for (index_t i = 0; i < n; ++i) {
+    out[i] = dequant_affine_act(acc[i], m, bias, has_affine, scale, shift,
+                                act, slope);
+  }
+}
+
+inline void quant_f32_to_i8_generic(const float* x0, const float* x1,
+                                    std::int8_t* out, index_t n,
+                                    float inv_scale) {
+  for (index_t i = 0; i < n; ++i) {
+    out[i * 2] = quant_clamp_rne(x0[i] * inv_scale);
+    out[i * 2 + 1] = x1 ? quant_clamp_rne(x1[i] * inv_scale)
+                        : std::int8_t(0);
+  }
+}
+
+inline void dequant_i8_to_f32_generic(const std::int8_t* in, float* x0,
+                                      float* x1, index_t n, float scale) {
+  for (index_t i = 0; i < n; ++i) {
+    x0[i] = static_cast<float>(in[i * 2]) * scale;
+    if (x1) x1[i] = static_cast<float>(in[i * 2 + 1]) * scale;
+  }
+}
+
+// Storage policies for the half-precision row kernels: how one lane /
+// one vector of stored elements becomes fp32. The scalar load1 paths
+// are bit-exact images of the vector load8 paths (core/half.h matches
+// the F16C instructions), so border columns and interiors agree.
+template <class V>
+struct F16Src {
+  using elem = std::uint16_t;
+  // Converting sources re-read each row segment k times at shifted
+  // offsets, so the row bodies hoist the widening out of the tap loop.
+  static constexpr bool kHoist = true;
+  static typename V::v8 load8(const std::uint16_t* p) {
+    return V::loadu_f16(p);
+  }
+  // Routed through the backend so F16C hardware converts the border
+  // taps too: the software converter's subnormal/zero early-outs are
+  // unpredictable branches on real activation data (most post-ReLU
+  // values flush to zero), and the border columns take one convert
+  // per tap.
+  static float load1(const std::uint16_t* p) { return V::load1_f16(p); }
+};
+template <class V>
+struct Bf16Src {
+  using elem = std::uint16_t;
+  static constexpr bool kHoist = true;
+  static typename V::v8 load8(const std::uint16_t* p) {
+    return V::loadu_bf16(p);
+  }
+  static float load1(const std::uint16_t* p) {
+    return bf16_bits_to_f32(*p);
+  }
+};
+// Plain-fp32 source for the _fma row kernels: same accumulation
+// structure and rounding as the converting policies, loads are direct.
+// The hoist is a pure loss here (it would just copy), so it is
+// compiled out via kHoist.
+template <class V>
+struct F32Src {
+  using elem = float;
+  static constexpr bool kHoist = false;
+  static typename V::v8 load8(const float* p) { return V::loadu(p); }
+  static float load1(const float* p) { return *p; }
+};
+
+// Border-column scalar path of the half-precision quad kernels: fmaf
+// per tap mirrors the vector V::fmadd lane op (both correctly
+// rounded), keeping border and interior columns on one contract.
+template <int NCO, class S>
+inline void lowp_conv_point_q(const typename S::elem* in, const float* wgt,
+                              index_t wstride_ci, index_t wstride_co,
+                              float* out, index_t ostride_co, index_t cin,
+                              index_t h, index_t w, index_t k, index_t oy,
+                              index_t ox, index_t pad, const float* bias) {
+  float a0 = bias[0];
+  float a1 = NCO > 1 ? bias[1] : 0.0f;
+  float a2 = NCO > 2 ? bias[2] : 0.0f;
+  float a3 = NCO > 3 ? bias[3] : 0.0f;
+  const index_t iy0 = oy - pad;
+  const index_t ix0 = ox - pad;
+  for (index_t ci = 0; ci < cin; ++ci) {
+    const typename S::elem* inp = in + ci * h * w;
+    const float* w0 = wgt + ci * wstride_ci;
+    const float* w1 = w0 + wstride_co;
+    const float* w2 = w1 + wstride_co;
+    const float* w3 = w2 + wstride_co;
+    for (index_t ky = 0; ky < k; ++ky) {
+      const index_t iy = iy0 + ky;
+      if (iy < 0 || iy >= h) continue;
+      for (index_t kx = 0; kx < k; ++kx) {
+        const index_t ix = ix0 + kx;
+        if (ix < 0 || ix >= w) continue;
+        const float x = S::load1(inp + iy * w + ix);
+        a0 = std::fmaf(x, w0[ky * k + kx], a0);
+        if (NCO > 1) a1 = std::fmaf(x, w1[ky * k + kx], a1);
+        if (NCO > 2) a2 = std::fmaf(x, w2[ky * k + kx], a2);
+        if (NCO > 3) a3 = std::fmaf(x, w3[ky * k + kx], a3);
+      }
+    }
+  }
+  out[ox] = a0;
+  if (NCO > 1) out[ostride_co + ox] = a1;
+  if (NCO > 2) out[2 * ostride_co + ox] = a2;
+  if (NCO > 3) out[3 * ostride_co + ox] = a3;
+}
+
+template <int NCO, class S>
+inline void lowp_deconv_point_q(const typename S::elem* in,
+                                const float* wgt,
+                                index_t wstride_ci, index_t wstride_co,
+                                float* out, index_t ostride_co,
+                                index_t cin, index_t h, index_t w,
+                                index_t k, index_t oy, index_t ox,
+                                index_t pad, const float* bias) {
+  float a0 = bias[0];
+  float a1 = NCO > 1 ? bias[1] : 0.0f;
+  float a2 = NCO > 2 ? bias[2] : 0.0f;
+  float a3 = NCO > 3 ? bias[3] : 0.0f;
+  for (index_t ci = 0; ci < cin; ++ci) {
+    const typename S::elem* inp = in + ci * h * w;
+    const float* w0 = wgt + ci * wstride_ci;
+    const float* w1 = w0 + wstride_co;
+    const float* w2 = w1 + wstride_co;
+    const float* w3 = w2 + wstride_co;
+    for (index_t ky = 0; ky < k; ++ky) {
+      const index_t iy = oy + pad - ky;
+      if (iy < 0 || iy >= h) continue;
+      for (index_t kx = 0; kx < k; ++kx) {
+        const index_t ix = ox + pad - kx;
+        if (ix < 0 || ix >= w) continue;
+        const float x = S::load1(inp + iy * w + ix);
+        a0 = std::fmaf(x, w0[ky * k + kx], a0);
+        if (NCO > 1) a1 = std::fmaf(x, w1[ky * k + kx], a1);
+        if (NCO > 2) a2 = std::fmaf(x, w2[ky * k + kx], a2);
+        if (NCO > 3) a3 = std::fmaf(x, w3[ky * k + kx], a3);
       }
     }
   }
@@ -667,10 +1021,855 @@ struct Kernels {
     return V::reduce_add(acc);
   }
 
+  // ----- half-precision (fp16/bf16) storage kernels -----------------
+  //
+  // Structure mirrors conv2d_rowq_body: double-wide then single-wide
+  // interior blocks with per-channel accumulator chains, shared-source
+  // scalar borders. Differences are the storage policy S (convert the
+  // input on load) and V::fmadd instead of V::madd — the low-precision
+  // contract allows single-rounding FMA (see core/simd.h).
+  template <int NCO, int K, class S>
+  static void lowp_conv2d_rowq_body(
+      const typename S::elem* CCOVID_RESTRICT in,
+      const float* CCOVID_RESTRICT wgt, index_t wstride_ci,
+      index_t wstride_co, float* CCOVID_RESTRICT out, index_t ostride_co,
+      index_t cin, index_t h, index_t w, index_t k, index_t oy,
+      index_t pad, index_t wo, const float* CCOVID_RESTRICT bias) {
+    const index_t kk = K > 0 ? index_t(K) : k;
+    const index_t ky0 = std::max<index_t>(0, pad - oy);
+    const index_t ky1 = std::min<index_t>(kk, h + pad - oy);
+    const index_t xlo = std::min<index_t>(pad, wo);
+    const index_t xhi =
+        std::max(xlo, std::min<index_t>(wo, w - kk + pad + 1));
+    index_t ox = 0;
+    for (; ox < xlo; ++ox) {
+      lowp_conv_point_q<NCO, S>(in, wgt, wstride_ci, wstride_co, out,
+                                ostride_co, cin, h, w, k, oy, ox, pad,
+                                bias);
+    }
+    const index_t iy0 = oy - pad;
+    for (; ox + 16 <= xhi; ox += 16) {
+      v8 a0 = V::set1(bias[0]), b0 = a0;
+      v8 a1 = NCO > 1 ? V::set1(bias[1]) : V::zero(), b1 = a1;
+      v8 a2 = NCO > 2 ? V::set1(bias[2]) : V::zero(), b2 = a2;
+      v8 a3 = NCO > 3 ? V::set1(bias[3]) : V::zero(), b3 = a3;
+      const index_t ix0 = ox - pad;
+      // Hoisted widening: the tap loop re-reads each row segment k
+      // times at shifted offsets, so convert a CHUNK of channels to
+      // fp32 up front and run the taps as pure f32 loads + FMA. The
+      // chunk (8 channels) puts enough distance between the converting
+      // stores and the overlapping tap loads that store-forwarding
+      // stalls disappear, and the convert uops (port-bound) overlap
+      // the previous chunk's FMA stream. The spans are exactly what
+      // the per-tap loads touched and widening is elementwise, so the
+      // result is bitwise unchanged.
+      constexpr index_t kSeg = 24;    // 16 wide + up to 7 skirt taps
+      constexpr index_t kChunk = 8;   // channels converted per batch
+      float rb[kChunk * 8 * kSeg];    // ky rows bounded by kk <= 8
+      const bool hoist = S::kHoist && kk <= 8;
+      const index_t nky = ky1 - ky0;
+      for (index_t ci0 = 0; ci0 < cin; ci0 += kChunk) {
+        const index_t ci1 = std::min<index_t>(cin, ci0 + kChunk);
+        if (hoist) {
+          for (index_t ci = ci0; ci < ci1; ++ci) {
+            const typename S::elem* inp = in + ci * h * w;
+            for (index_t ky = ky0; ky < ky1; ++ky) {
+              const typename S::elem* row = inp + (iy0 + ky) * w + ix0;
+              float* d = rb + ((ci - ci0) * nky + (ky - ky0)) * kSeg;
+              V::storeu(d, S::load8(row));
+              V::storeu(d + 8, S::load8(row + 8));
+              for (index_t t = 16; t + 1 < 16 + kk; ++t) {
+                d[t] = S::load1(row + t);
+              }
+            }
+          }
+        }
+        for (index_t ci = ci0; ci < ci1; ++ci) {
+          const typename S::elem* inp = in + ci * h * w;
+          const float* w0 = wgt + ci * wstride_ci;
+          const float* w1 = w0 + wstride_co;
+          const float* w2 = w1 + wstride_co;
+          const float* w3 = w2 + wstride_co;
+          for (index_t ky = ky0; ky < ky1; ++ky) {
+            const typename S::elem* row = inp + (iy0 + ky) * w + ix0;
+            const float* seg =
+                rb + ((ci - ci0) * nky + (ky - ky0)) * kSeg;
+            const index_t kb = ky * kk;
+            #pragma GCC unroll 8
+            for (index_t kx = 0; kx < kk; ++kx) {
+              const v8 v = hoist ? V::loadu(seg + kx) : S::load8(row + kx);
+              const v8 u =
+                  hoist ? V::loadu(seg + kx + 8) : S::load8(row + kx + 8);
+              const v8 wv0 = V::set1(w0[kb + kx]);
+              a0 = V::fmadd(a0, v, wv0);
+              b0 = V::fmadd(b0, u, wv0);
+              if (NCO > 1) {
+                const v8 wv1 = V::set1(w1[kb + kx]);
+                a1 = V::fmadd(a1, v, wv1);
+                b1 = V::fmadd(b1, u, wv1);
+              }
+              if (NCO > 2) {
+                const v8 wv2 = V::set1(w2[kb + kx]);
+                a2 = V::fmadd(a2, v, wv2);
+                b2 = V::fmadd(b2, u, wv2);
+              }
+              if (NCO > 3) {
+                const v8 wv3 = V::set1(w3[kb + kx]);
+                a3 = V::fmadd(a3, v, wv3);
+                b3 = V::fmadd(b3, u, wv3);
+              }
+            }
+          }
+        }
+      }
+      V::storeu(out + ox, a0);
+      V::storeu(out + ox + 8, b0);
+      if (NCO > 1) {
+        V::storeu(out + ostride_co + ox, a1);
+        V::storeu(out + ostride_co + ox + 8, b1);
+      }
+      if (NCO > 2) {
+        V::storeu(out + 2 * ostride_co + ox, a2);
+        V::storeu(out + 2 * ostride_co + ox + 8, b2);
+      }
+      if (NCO > 3) {
+        V::storeu(out + 3 * ostride_co + ox, a3);
+        V::storeu(out + 3 * ostride_co + ox + 8, b3);
+      }
+    }
+    for (; ox + 8 <= xhi; ox += 8) {
+      v8 a0 = V::set1(bias[0]);
+      v8 a1 = NCO > 1 ? V::set1(bias[1]) : V::zero();
+      v8 a2 = NCO > 2 ? V::set1(bias[2]) : V::zero();
+      v8 a3 = NCO > 3 ? V::set1(bias[3]) : V::zero();
+      const index_t ix0 = ox - pad;
+      float rb[8 + 7];  // same hoist as the double-wide block
+      const bool hoist = S::kHoist && kk <= 8;
+      for (index_t ci = 0; ci < cin; ++ci) {
+        const typename S::elem* inp = in + ci * h * w;
+        const float* w0 = wgt + ci * wstride_ci;
+        const float* w1 = w0 + wstride_co;
+        const float* w2 = w1 + wstride_co;
+        const float* w3 = w2 + wstride_co;
+        for (index_t ky = ky0; ky < ky1; ++ky) {
+          const typename S::elem* row = inp + (iy0 + ky) * w + ix0;
+          const index_t kb = ky * kk;
+          if (hoist) {
+            V::storeu(rb, S::load8(row));
+            for (index_t t = 8; t + 1 < 8 + kk; ++t) {
+              rb[t] = S::load1(row + t);
+            }
+          }
+          #pragma GCC unroll 8
+          for (index_t kx = 0; kx < kk; ++kx) {
+            const v8 v = hoist ? V::loadu(rb + kx) : S::load8(row + kx);
+            a0 = V::fmadd(a0, v, V::set1(w0[kb + kx]));
+            if (NCO > 1) a1 = V::fmadd(a1, v, V::set1(w1[kb + kx]));
+            if (NCO > 2) a2 = V::fmadd(a2, v, V::set1(w2[kb + kx]));
+            if (NCO > 3) a3 = V::fmadd(a3, v, V::set1(w3[kb + kx]));
+          }
+        }
+      }
+      V::storeu(out + ox, a0);
+      if (NCO > 1) V::storeu(out + ostride_co + ox, a1);
+      if (NCO > 2) V::storeu(out + 2 * ostride_co + ox, a2);
+      if (NCO > 3) V::storeu(out + 3 * ostride_co + ox, a3);
+    }
+    if (ox < xhi && kk <= 8) {
+      // Partial-width interior tail. Same fmadd lanes as the blocks
+      // above over a zero-padded stack copy of the row segment; only
+      // the live lanes are stored, so each output's bits match the
+      // scalar border path exactly. Without this, narrow rows (e.g.
+      // w=128 leaves up to 7 interior columns after the 16/8-wide
+      // blocks) fall to the scalar path at ~8x the per-column cost,
+      // diluting the FMA advantage of the low-precision contract.
+      const index_t n = xhi - ox;  // 1..7 live columns
+      v8 a0 = V::set1(bias[0]);
+      v8 a1 = NCO > 1 ? V::set1(bias[1]) : V::zero();
+      v8 a2 = NCO > 2 ? V::set1(bias[2]) : V::zero();
+      v8 a3 = NCO > 3 ? V::set1(bias[3]) : V::zero();
+      const index_t ix0 = ox - pad;
+      float rb[16];
+      for (index_t ci = 0; ci < cin; ++ci) {
+        const typename S::elem* inp = in + ci * h * w;
+        const float* w0 = wgt + ci * wstride_ci;
+        const float* w1 = w0 + wstride_co;
+        const float* w2 = w1 + wstride_co;
+        const float* w3 = w2 + wstride_co;
+        for (index_t ky = ky0; ky < ky1; ++ky) {
+          const typename S::elem* row = inp + (iy0 + ky) * w + ix0;
+          const index_t kb = ky * kk;
+          const index_t live = n + kk - 1;
+          for (index_t t = 0; t < live; ++t) rb[t] = S::load1(row + t);
+          for (index_t t = live; t < 15; ++t) rb[t] = 0.0f;
+          #pragma GCC unroll 8
+          for (index_t kx = 0; kx < kk; ++kx) {
+            const v8 v = V::loadu(rb + kx);
+            a0 = V::fmadd(a0, v, V::set1(w0[kb + kx]));
+            if (NCO > 1) a1 = V::fmadd(a1, v, V::set1(w1[kb + kx]));
+            if (NCO > 2) a2 = V::fmadd(a2, v, V::set1(w2[kb + kx]));
+            if (NCO > 3) a3 = V::fmadd(a3, v, V::set1(w3[kb + kx]));
+          }
+        }
+      }
+      float tb[8];
+      V::storeu(tb, a0);
+      for (index_t j = 0; j < n; ++j) out[ox + j] = tb[j];
+      if (NCO > 1) {
+        V::storeu(tb, a1);
+        for (index_t j = 0; j < n; ++j) out[ostride_co + ox + j] = tb[j];
+      }
+      if (NCO > 2) {
+        V::storeu(tb, a2);
+        for (index_t j = 0; j < n; ++j)
+          out[2 * ostride_co + ox + j] = tb[j];
+      }
+      if (NCO > 3) {
+        V::storeu(tb, a3);
+        for (index_t j = 0; j < n; ++j)
+          out[3 * ostride_co + ox + j] = tb[j];
+      }
+      ox = xhi;
+    }
+    for (; ox < wo; ++ox) {
+      lowp_conv_point_q<NCO, S>(in, wgt, wstride_ci, wstride_co, out,
+                                ostride_co, cin, h, w, k, oy, ox, pad,
+                                bias);
+    }
+  }
+
+  template <int NCO, int K, class S>
+  static void lowp_deconv2d_rowq_body(
+      const typename S::elem* CCOVID_RESTRICT in,
+      const float* CCOVID_RESTRICT wgt, index_t wstride_ci,
+      index_t wstride_co, float* CCOVID_RESTRICT out, index_t ostride_co,
+      index_t cin, index_t h, index_t w, index_t k, index_t oy,
+      index_t pad, index_t wo, const float* CCOVID_RESTRICT bias) {
+    const index_t kk = K > 0 ? index_t(K) : k;
+    const index_t ky0 = std::max<index_t>(0, oy + pad - h + 1);
+    const index_t ky1 = std::min<index_t>(kk, oy + pad + 1);
+    const index_t xlo =
+        std::min<index_t>(std::max<index_t>(0, kk - 1 - pad), wo);
+    const index_t xhi = std::max(xlo, std::min<index_t>(wo, w - pad));
+    index_t ox = 0;
+    for (; ox < xlo; ++ox) {
+      lowp_deconv_point_q<NCO, S>(in, wgt, wstride_ci, wstride_co, out,
+                                  ostride_co, cin, h, w, k, oy, ox, pad,
+                                  bias);
+    }
+    for (; ox + 16 <= xhi; ox += 16) {
+      v8 a0 = V::set1(bias[0]), b0 = a0;
+      v8 a1 = NCO > 1 ? V::set1(bias[1]) : V::zero(), b1 = a1;
+      v8 a2 = NCO > 2 ? V::set1(bias[2]) : V::zero(), b2 = a2;
+      v8 a3 = NCO > 3 ? V::set1(bias[3]) : V::zero(), b3 = a3;
+      // Hoisted widening, mirrored for the reversed deconv taps: the
+      // span [row - (kk-1), row + 16) is exactly what the per-tap
+      // loads touched (see the conv body for the chunking rationale).
+      constexpr index_t kSeg = 24;
+      constexpr index_t kChunk = 8;
+      float rb[kChunk * 8 * kSeg];
+      const bool hoist = S::kHoist && kk <= 8;
+      const index_t nky = ky1 - ky0;
+      for (index_t ci0 = 0; ci0 < cin; ci0 += kChunk) {
+        const index_t ci1 = std::min<index_t>(cin, ci0 + kChunk);
+        if (hoist) {
+          for (index_t ci = ci0; ci < ci1; ++ci) {
+            const typename S::elem* inp = in + ci * h * w;
+            for (index_t ky = ky0; ky < ky1; ++ky) {
+              const typename S::elem* base =
+                  inp + (oy + pad - ky) * w + (ox + pad) - (kk - 1);
+              float* d = rb + ((ci - ci0) * nky + (ky - ky0)) * kSeg;
+              V::storeu(d, S::load8(base));
+              V::storeu(d + 8, S::load8(base + 8));
+              for (index_t t = 16; t + 1 < 16 + kk; ++t) {
+                d[t] = S::load1(base + t);
+              }
+            }
+          }
+        }
+        for (index_t ci = ci0; ci < ci1; ++ci) {
+          const typename S::elem* inp = in + ci * h * w;
+          const float* w0 = wgt + ci * wstride_ci;
+          const float* w1 = w0 + wstride_co;
+          const float* w2 = w1 + wstride_co;
+          const float* w3 = w2 + wstride_co;
+          for (index_t ky = ky0; ky < ky1; ++ky) {
+            const typename S::elem* row =
+                inp + (oy + pad - ky) * w + (ox + pad);
+            const float* seg =
+                rb + ((ci - ci0) * nky + (ky - ky0)) * kSeg;
+            const index_t kb = ky * kk;
+            #pragma GCC unroll 8
+            for (index_t kx = 0; kx < kk; ++kx) {
+              const v8 v = hoist ? V::loadu(seg + (kk - 1 - kx))
+                                 : S::load8(row - kx);
+              const v8 u = hoist ? V::loadu(seg + (kk - 1 - kx) + 8)
+                                 : S::load8(row - kx + 8);
+              const v8 wv0 = V::set1(w0[kb + kx]);
+              a0 = V::fmadd(a0, v, wv0);
+              b0 = V::fmadd(b0, u, wv0);
+              if (NCO > 1) {
+                const v8 wv1 = V::set1(w1[kb + kx]);
+                a1 = V::fmadd(a1, v, wv1);
+                b1 = V::fmadd(b1, u, wv1);
+              }
+              if (NCO > 2) {
+                const v8 wv2 = V::set1(w2[kb + kx]);
+                a2 = V::fmadd(a2, v, wv2);
+                b2 = V::fmadd(b2, u, wv2);
+              }
+              if (NCO > 3) {
+                const v8 wv3 = V::set1(w3[kb + kx]);
+                a3 = V::fmadd(a3, v, wv3);
+                b3 = V::fmadd(b3, u, wv3);
+              }
+            }
+          }
+        }
+      }
+      V::storeu(out + ox, a0);
+      V::storeu(out + ox + 8, b0);
+      if (NCO > 1) {
+        V::storeu(out + ostride_co + ox, a1);
+        V::storeu(out + ostride_co + ox + 8, b1);
+      }
+      if (NCO > 2) {
+        V::storeu(out + 2 * ostride_co + ox, a2);
+        V::storeu(out + 2 * ostride_co + ox + 8, b2);
+      }
+      if (NCO > 3) {
+        V::storeu(out + 3 * ostride_co + ox, a3);
+        V::storeu(out + 3 * ostride_co + ox + 8, b3);
+      }
+    }
+    for (; ox + 8 <= xhi; ox += 8) {
+      v8 a0 = V::set1(bias[0]);
+      v8 a1 = NCO > 1 ? V::set1(bias[1]) : V::zero();
+      v8 a2 = NCO > 2 ? V::set1(bias[2]) : V::zero();
+      v8 a3 = NCO > 3 ? V::set1(bias[3]) : V::zero();
+      float rb[8 + 7];  // same hoist as the double-wide block
+      const bool hoist = S::kHoist && kk <= 8;
+      for (index_t ci = 0; ci < cin; ++ci) {
+        const typename S::elem* inp = in + ci * h * w;
+        const float* w0 = wgt + ci * wstride_ci;
+        const float* w1 = w0 + wstride_co;
+        const float* w2 = w1 + wstride_co;
+        const float* w3 = w2 + wstride_co;
+        for (index_t ky = ky0; ky < ky1; ++ky) {
+          const typename S::elem* row =
+              inp + (oy + pad - ky) * w + (ox + pad);
+          const index_t kb = ky * kk;
+          const typename S::elem* base = row - (kk - 1);
+          if (hoist) {
+            V::storeu(rb, S::load8(base));
+            for (index_t t = 8; t + 1 < 8 + kk; ++t) {
+              rb[t] = S::load1(base + t);
+            }
+          }
+          #pragma GCC unroll 8
+          for (index_t kx = 0; kx < kk; ++kx) {
+            const v8 v =
+                hoist ? V::loadu(rb + (kk - 1 - kx)) : S::load8(row - kx);
+            a0 = V::fmadd(a0, v, V::set1(w0[kb + kx]));
+            if (NCO > 1) a1 = V::fmadd(a1, v, V::set1(w1[kb + kx]));
+            if (NCO > 2) a2 = V::fmadd(a2, v, V::set1(w2[kb + kx]));
+            if (NCO > 3) a3 = V::fmadd(a3, v, V::set1(w3[kb + kx]));
+          }
+        }
+      }
+      V::storeu(out + ox, a0);
+      if (NCO > 1) V::storeu(out + ostride_co + ox, a1);
+      if (NCO > 2) V::storeu(out + 2 * ostride_co + ox, a2);
+      if (NCO > 3) V::storeu(out + 3 * ostride_co + ox, a3);
+    }
+    if (ox < xhi && kk <= 8) {
+      // Partial-width interior tail, reversed-tap layout (see the conv
+      // body for the rationale and the bit-equality argument).
+      const index_t n = xhi - ox;  // 1..7 live columns
+      v8 a0 = V::set1(bias[0]);
+      v8 a1 = NCO > 1 ? V::set1(bias[1]) : V::zero();
+      v8 a2 = NCO > 2 ? V::set1(bias[2]) : V::zero();
+      v8 a3 = NCO > 3 ? V::set1(bias[3]) : V::zero();
+      float rb[16];
+      for (index_t ci = 0; ci < cin; ++ci) {
+        const typename S::elem* inp = in + ci * h * w;
+        const float* w0 = wgt + ci * wstride_ci;
+        const float* w1 = w0 + wstride_co;
+        const float* w2 = w1 + wstride_co;
+        const float* w3 = w2 + wstride_co;
+        for (index_t ky = ky0; ky < ky1; ++ky) {
+          const typename S::elem* base =
+              inp + (oy + pad - ky) * w + (ox + pad) - (kk - 1);
+          const index_t kb = ky * kk;
+          const index_t live = n + kk - 1;
+          for (index_t t = 0; t < live; ++t) rb[t] = S::load1(base + t);
+          for (index_t t = live; t < 15; ++t) rb[t] = 0.0f;
+          #pragma GCC unroll 8
+          for (index_t kx = 0; kx < kk; ++kx) {
+            const v8 v = V::loadu(rb + (kk - 1 - kx));
+            a0 = V::fmadd(a0, v, V::set1(w0[kb + kx]));
+            if (NCO > 1) a1 = V::fmadd(a1, v, V::set1(w1[kb + kx]));
+            if (NCO > 2) a2 = V::fmadd(a2, v, V::set1(w2[kb + kx]));
+            if (NCO > 3) a3 = V::fmadd(a3, v, V::set1(w3[kb + kx]));
+          }
+        }
+      }
+      float tb[8];
+      V::storeu(tb, a0);
+      for (index_t j = 0; j < n; ++j) out[ox + j] = tb[j];
+      if (NCO > 1) {
+        V::storeu(tb, a1);
+        for (index_t j = 0; j < n; ++j) out[ostride_co + ox + j] = tb[j];
+      }
+      if (NCO > 2) {
+        V::storeu(tb, a2);
+        for (index_t j = 0; j < n; ++j)
+          out[2 * ostride_co + ox + j] = tb[j];
+      }
+      if (NCO > 3) {
+        V::storeu(tb, a3);
+        for (index_t j = 0; j < n; ++j)
+          out[3 * ostride_co + ox + j] = tb[j];
+      }
+      ox = xhi;
+    }
+    for (; ox < wo; ++ox) {
+      lowp_deconv_point_q<NCO, S>(in, wgt, wstride_ci, wstride_co, out,
+                                  ostride_co, cin, h, w, k, oy, ox, pad,
+                                  bias);
+    }
+  }
+
+  template <int NCO, class S, bool Deconv>
+  static void lowp_rowq_k(const typename S::elem* in, const float* wgt,
+                          index_t wstride_ci, index_t wstride_co,
+                          float* out, index_t ostride_co, index_t cin,
+                          index_t h, index_t w, index_t k, index_t oy,
+                          index_t pad, index_t wo, const float* bias) {
+    auto run = [&](auto kc) {
+      constexpr int K = decltype(kc)::value;
+      if (Deconv) {
+        lowp_deconv2d_rowq_body<NCO, K, S>(in, wgt, wstride_ci, wstride_co,
+                                           out, ostride_co, cin, h, w, k,
+                                           oy, pad, wo, bias);
+      } else {
+        lowp_conv2d_rowq_body<NCO, K, S>(in, wgt, wstride_ci, wstride_co,
+                                         out, ostride_co, cin, h, w, k, oy,
+                                         pad, wo, bias);
+      }
+    };
+    switch (k) {
+      case 1: run(std::integral_constant<int, 1>{}); break;
+      case 3: run(std::integral_constant<int, 3>{}); break;
+      case 5: run(std::integral_constant<int, 5>{}); break;
+      case 7: run(std::integral_constant<int, 7>{}); break;
+      default: run(std::integral_constant<int, 0>{}); break;
+    }
+  }
+
+  template <class S, bool Deconv>
+  static void lowp_row4(const typename S::elem* in, const float* wgt,
+                        index_t wstride_ci, index_t wstride_co, float* out,
+                        index_t ostride_co, int nco, index_t cin, index_t h,
+                        index_t w, index_t k, index_t oy, index_t pad,
+                        index_t wo, const float* bias) {
+    switch (nco) {
+      case 1:
+        lowp_rowq_k<1, S, Deconv>(in, wgt, wstride_ci, wstride_co, out,
+                                  ostride_co, cin, h, w, k, oy, pad, wo,
+                                  bias);
+        break;
+      case 2:
+        lowp_rowq_k<2, S, Deconv>(in, wgt, wstride_ci, wstride_co, out,
+                                  ostride_co, cin, h, w, k, oy, pad, wo,
+                                  bias);
+        break;
+      case 3:
+        lowp_rowq_k<3, S, Deconv>(in, wgt, wstride_ci, wstride_co, out,
+                                  ostride_co, cin, h, w, k, oy, pad, wo,
+                                  bias);
+        break;
+      default:
+        lowp_rowq_k<4, S, Deconv>(in, wgt, wstride_ci, wstride_co, out,
+                                  ostride_co, cin, h, w, k, oy, pad, wo,
+                                  bias);
+        break;
+    }
+  }
+
+  // ---- octet (up to 8 output channels) f32 fma row body ------------
+  //
+  // Same per-output arithmetic as the row4 _fma path: each output
+  // channel's (ci, ky, kx) fmadd order is untouched, so regrouping
+  // output channels eight at a time changes no bits. What it changes
+  // is input traffic — the graph executor walks the (widened) input
+  // once per output-channel group, and the DDnet dense-layer convs
+  // (co = 8, k = 5) are memory-bound at 128px, so halving the passes
+  // buys more than further ALU tuning. Eight v8 accumulators plus the
+  // input vector still fit the 16 architectural ymm registers.
+  template <int NCO, int K, bool Deconv>
+  static void f32_row8_body(const float* CCOVID_RESTRICT in,
+                            const float* CCOVID_RESTRICT wgt,
+                            index_t wstride_ci, index_t wstride_co,
+                            float* CCOVID_RESTRICT out, index_t ostride_co,
+                            index_t cin, index_t h, index_t w, index_t k,
+                            index_t oy, index_t pad, index_t wo,
+                            const float* CCOVID_RESTRICT bias) {
+    static_assert(NCO >= 5 && NCO <= 8, "quartets go through lowp_row4");
+    using S = F32Src<V>;
+    const index_t kk = K > 0 ? index_t(K) : k;
+    index_t ky0, ky1, xlo, xhi;
+    if (Deconv) {
+      ky0 = std::max<index_t>(0, oy + pad - h + 1);
+      ky1 = std::min<index_t>(kk, oy + pad + 1);
+      xlo = std::min<index_t>(std::max<index_t>(0, kk - 1 - pad), wo);
+      xhi = std::max(xlo, std::min<index_t>(wo, w - pad));
+    } else {
+      ky0 = std::max<index_t>(0, pad - oy);
+      ky1 = std::min<index_t>(kk, h + pad - oy);
+      xlo = std::min<index_t>(pad, wo);
+      xhi = std::max(xlo, std::min<index_t>(wo, w - kk + pad + 1));
+    }
+    // Border columns: the quartet point helpers, twice (channels 0..3
+    // and 4..NCO-1) — bitwise the same fmaf chain per channel.
+    const auto point = [&](index_t ox) {
+      if (Deconv) {
+        lowp_deconv_point_q<4, S>(in, wgt, wstride_ci, wstride_co, out,
+                                  ostride_co, cin, h, w, k, oy, ox, pad,
+                                  bias);
+        lowp_deconv_point_q<NCO - 4, S>(in, wgt + 4 * wstride_co,
+                                        wstride_ci, wstride_co,
+                                        out + 4 * ostride_co, ostride_co,
+                                        cin, h, w, k, oy, ox, pad,
+                                        bias + 4);
+      } else {
+        lowp_conv_point_q<4, S>(in, wgt, wstride_ci, wstride_co, out,
+                                ostride_co, cin, h, w, k, oy, ox, pad,
+                                bias);
+        lowp_conv_point_q<NCO - 4, S>(in, wgt + 4 * wstride_co, wstride_ci,
+                                      wstride_co, out + 4 * ostride_co,
+                                      ostride_co, cin, h, w, k, oy, ox,
+                                      pad, bias + 4);
+      }
+    };
+    index_t ox = 0;
+    for (; ox < xlo; ++ox) point(ox);
+    for (; ox + 8 <= xhi; ox += 8) {
+      v8 a0 = V::set1(bias[0]);
+      v8 a1 = V::set1(bias[1]);
+      v8 a2 = V::set1(bias[2]);
+      v8 a3 = V::set1(bias[3]);
+      v8 a4 = V::set1(bias[4]);
+      v8 a5 = NCO > 5 ? V::set1(bias[5]) : V::zero();
+      v8 a6 = NCO > 6 ? V::set1(bias[6]) : V::zero();
+      v8 a7 = NCO > 7 ? V::set1(bias[7]) : V::zero();
+      for (index_t ci = 0; ci < cin; ++ci) {
+        const float* inp = in + ci * h * w;
+        const float* wp = wgt + ci * wstride_ci;
+        for (index_t ky = ky0; ky < ky1; ++ky) {
+          const float* row = Deconv
+                                 ? inp + (oy + pad - ky) * w + (ox + pad)
+                                 : inp + (oy - pad + ky) * w + (ox - pad);
+          const index_t kb = ky * kk;
+          #pragma GCC unroll 8
+          for (index_t kx = 0; kx < kk; ++kx) {
+            const v8 v =
+                Deconv ? V::loadu(row - kx) : V::loadu(row + kx);
+            a0 = V::fmadd(a0, v, V::set1(wp[kb + kx]));
+            a1 = V::fmadd(a1, v, V::set1(wp[wstride_co + kb + kx]));
+            a2 = V::fmadd(a2, v, V::set1(wp[2 * wstride_co + kb + kx]));
+            a3 = V::fmadd(a3, v, V::set1(wp[3 * wstride_co + kb + kx]));
+            a4 = V::fmadd(a4, v, V::set1(wp[4 * wstride_co + kb + kx]));
+            if (NCO > 5) {
+              a5 = V::fmadd(a5, v, V::set1(wp[5 * wstride_co + kb + kx]));
+            }
+            if (NCO > 6) {
+              a6 = V::fmadd(a6, v, V::set1(wp[6 * wstride_co + kb + kx]));
+            }
+            if (NCO > 7) {
+              a7 = V::fmadd(a7, v, V::set1(wp[7 * wstride_co + kb + kx]));
+            }
+          }
+        }
+      }
+      V::storeu(out + ox, a0);
+      V::storeu(out + ostride_co + ox, a1);
+      V::storeu(out + 2 * ostride_co + ox, a2);
+      V::storeu(out + 3 * ostride_co + ox, a3);
+      V::storeu(out + 4 * ostride_co + ox, a4);
+      if (NCO > 5) V::storeu(out + 5 * ostride_co + ox, a5);
+      if (NCO > 6) V::storeu(out + 6 * ostride_co + ox, a6);
+      if (NCO > 7) V::storeu(out + 7 * ostride_co + ox, a7);
+    }
+    if (ox < xhi && kk <= 8) {
+      // Partial-width interior tail over a zero-padded stack copy —
+      // same bit-equality argument as the row4 bodies.
+      const index_t n = xhi - ox;  // 1..7 live columns
+      v8 a0 = V::set1(bias[0]);
+      v8 a1 = V::set1(bias[1]);
+      v8 a2 = V::set1(bias[2]);
+      v8 a3 = V::set1(bias[3]);
+      v8 a4 = V::set1(bias[4]);
+      v8 a5 = NCO > 5 ? V::set1(bias[5]) : V::zero();
+      v8 a6 = NCO > 6 ? V::set1(bias[6]) : V::zero();
+      v8 a7 = NCO > 7 ? V::set1(bias[7]) : V::zero();
+      const index_t ix0 = Deconv ? (ox + pad - (kk - 1)) : (ox - pad);
+      float rb[16];
+      for (index_t ci = 0; ci < cin; ++ci) {
+        const float* inp = in + ci * h * w;
+        const float* wp = wgt + ci * wstride_ci;
+        for (index_t ky = ky0; ky < ky1; ++ky) {
+          const index_t iy = Deconv ? (oy + pad - ky) : (oy - pad + ky);
+          const float* row = inp + iy * w + ix0;
+          const index_t kb = ky * kk;
+          const index_t live = n + kk - 1;
+          for (index_t t = 0; t < live; ++t) rb[t] = row[t];
+          for (index_t t = live; t < 15; ++t) rb[t] = 0.0f;
+          #pragma GCC unroll 8
+          for (index_t kx = 0; kx < kk; ++kx) {
+            const v8 v = V::loadu(rb + (Deconv ? (kk - 1 - kx) : kx));
+            a0 = V::fmadd(a0, v, V::set1(wp[kb + kx]));
+            a1 = V::fmadd(a1, v, V::set1(wp[wstride_co + kb + kx]));
+            a2 = V::fmadd(a2, v, V::set1(wp[2 * wstride_co + kb + kx]));
+            a3 = V::fmadd(a3, v, V::set1(wp[3 * wstride_co + kb + kx]));
+            a4 = V::fmadd(a4, v, V::set1(wp[4 * wstride_co + kb + kx]));
+            if (NCO > 5) {
+              a5 = V::fmadd(a5, v, V::set1(wp[5 * wstride_co + kb + kx]));
+            }
+            if (NCO > 6) {
+              a6 = V::fmadd(a6, v, V::set1(wp[6 * wstride_co + kb + kx]));
+            }
+            if (NCO > 7) {
+              a7 = V::fmadd(a7, v, V::set1(wp[7 * wstride_co + kb + kx]));
+            }
+          }
+        }
+      }
+      float tb[8];
+      const auto store_n = [&](v8 acc, index_t co) {
+        V::storeu(tb, acc);
+        for (index_t j = 0; j < n; ++j) out[co * ostride_co + ox + j] = tb[j];
+      };
+      store_n(a0, 0);
+      store_n(a1, 1);
+      store_n(a2, 2);
+      store_n(a3, 3);
+      store_n(a4, 4);
+      if (NCO > 5) store_n(a5, 5);
+      if (NCO > 6) store_n(a6, 6);
+      if (NCO > 7) store_n(a7, 7);
+      ox = xhi;
+    }
+    for (; ox < wo; ++ox) point(ox);
+  }
+
+  template <bool Deconv>
+  static void f32_row8(const float* in, const float* wgt,
+                       index_t wstride_ci, index_t wstride_co, float* out,
+                       index_t ostride_co, int nco, index_t cin, index_t h,
+                       index_t w, index_t k, index_t oy, index_t pad,
+                       index_t wo, const float* bias) {
+    if (nco <= 4) {
+      lowp_row4<F32Src<V>, Deconv>(in, wgt, wstride_ci, wstride_co, out,
+                                   ostride_co, nco, cin, h, w, k, oy, pad,
+                                   wo, bias);
+      return;
+    }
+    const auto run = [&](auto nc) {
+      constexpr int NCO = decltype(nc)::value;
+      const auto body = [&](auto kc) {
+        constexpr int K = decltype(kc)::value;
+        f32_row8_body<NCO, K, Deconv>(in, wgt, wstride_ci, wstride_co, out,
+                                      ostride_co, cin, h, w, k, oy, pad,
+                                      wo, bias);
+      };
+      switch (k) {
+        case 1: body(std::integral_constant<int, 1>{}); break;
+        case 3: body(std::integral_constant<int, 3>{}); break;
+        case 5: body(std::integral_constant<int, 5>{}); break;
+        case 7: body(std::integral_constant<int, 7>{}); break;
+        default: body(std::integral_constant<int, 0>{}); break;
+      }
+    };
+    switch (nco) {
+      case 5: run(std::integral_constant<int, 5>{}); break;
+      case 6: run(std::integral_constant<int, 6>{}); break;
+      case 7: run(std::integral_constant<int, 7>{}); break;
+      default: run(std::integral_constant<int, 8>{}); break;
+    }
+  }
+
+  static void conv2d_row8_s1_fma(const float* in, const float* wgt,
+                                 index_t wstride_ci, index_t wstride_co,
+                                 float* out, index_t ostride_co, int nco,
+                                 index_t cin, index_t h, index_t w,
+                                 index_t k, index_t oy, index_t pad,
+                                 index_t wo, const float* bias) {
+    f32_row8<false>(in, wgt, wstride_ci, wstride_co, out, ostride_co, nco,
+                    cin, h, w, k, oy, pad, wo, bias);
+  }
+
+  static void deconv2d_row8_s1_fma(const float* in, const float* wgt,
+                                   index_t wstride_ci, index_t wstride_co,
+                                   float* out, index_t ostride_co, int nco,
+                                   index_t cin, index_t h, index_t w,
+                                   index_t k, index_t oy, index_t pad,
+                                   index_t wo, const float* bias) {
+    f32_row8<true>(in, wgt, wstride_ci, wstride_co, out, ostride_co, nco,
+                   cin, h, w, k, oy, pad, wo, bias);
+  }
+
+  static void conv2d_row4_s1_f16(const std::uint16_t* in, const float* wgt,
+                                 index_t wstride_ci, index_t wstride_co,
+                                 float* out, index_t ostride_co, int nco,
+                                 index_t cin, index_t h, index_t w,
+                                 index_t k, index_t oy, index_t pad,
+                                 index_t wo, const float* bias) {
+    lowp_row4<F16Src<V>, false>(in, wgt, wstride_ci, wstride_co, out,
+                                ostride_co, nco, cin, h, w, k, oy, pad, wo,
+                                bias);
+  }
+  static void deconv2d_row4_s1_f16(const std::uint16_t* in,
+                                   const float* wgt, index_t wstride_ci,
+                                   index_t wstride_co, float* out,
+                                   index_t ostride_co, int nco, index_t cin,
+                                   index_t h, index_t w, index_t k,
+                                   index_t oy, index_t pad, index_t wo,
+                                   const float* bias) {
+    lowp_row4<F16Src<V>, true>(in, wgt, wstride_ci, wstride_co, out,
+                               ostride_co, nco, cin, h, w, k, oy, pad, wo,
+                               bias);
+  }
+  static void conv2d_row4_s1_bf16(const std::uint16_t* in,
+                                  const float* wgt, index_t wstride_ci,
+                                  index_t wstride_co, float* out,
+                                  index_t ostride_co, int nco, index_t cin,
+                                  index_t h, index_t w, index_t k,
+                                  index_t oy, index_t pad, index_t wo,
+                                  const float* bias) {
+    lowp_row4<Bf16Src<V>, false>(in, wgt, wstride_ci, wstride_co, out,
+                                 ostride_co, nco, cin, h, w, k, oy, pad,
+                                 wo, bias);
+  }
+  static void deconv2d_row4_s1_bf16(const std::uint16_t* in,
+                                    const float* wgt, index_t wstride_ci,
+                                    index_t wstride_co, float* out,
+                                    index_t ostride_co, int nco,
+                                    index_t cin, index_t h, index_t w,
+                                    index_t k, index_t oy, index_t pad,
+                                    index_t wo, const float* bias) {
+    lowp_row4<Bf16Src<V>, true>(in, wgt, wstride_ci, wstride_co, out,
+                                ostride_co, nco, cin, h, w, k, oy, pad, wo,
+                                bias);
+  }
+  static void conv2d_row4_s1_fma(const float* in, const float* wgt,
+                                 index_t wstride_ci, index_t wstride_co,
+                                 float* out, index_t ostride_co, int nco,
+                                 index_t cin, index_t h, index_t w,
+                                 index_t k, index_t oy, index_t pad,
+                                 index_t wo, const float* bias) {
+    lowp_row4<F32Src<V>, false>(in, wgt, wstride_ci, wstride_co, out,
+                                ostride_co, nco, cin, h, w, k, oy, pad, wo,
+                                bias);
+  }
+  static void deconv2d_row4_s1_fma(const float* in, const float* wgt,
+                                   index_t wstride_ci, index_t wstride_co,
+                                   float* out, index_t ostride_co, int nco,
+                                   index_t cin, index_t h, index_t w,
+                                   index_t k, index_t oy, index_t pad,
+                                   index_t wo, const float* bias) {
+    lowp_row4<F32Src<V>, true>(in, wgt, wstride_ci, wstride_co, out,
+                               ostride_co, nco, cin, h, w, k, oy, pad, wo,
+                               bias);
+  }
+
+  // Converting epilogue stores: the affine/activation expression is the
+  // one from scale_shift_act (two-rounding madd — identical fp32 bits
+  // to the fp32-mode epilogue); only the store narrows with RNE.
+  static void scale_shift_act_store_f16(const float* x, std::uint16_t* y,
+                                        index_t n, float scale, float shift,
+                                        int act, float slope) {
+    const v8 sc = V::set1(scale), sh = V::set1(shift);
+    const v8 z = V::zero();
+    const v8 sl = V::set1(slope);
+    index_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      v8 t = V::madd(sh, V::loadu(x + i), sc);
+      if (act == 1) {
+        t = V::max(t, z);
+      } else if (act == 2) {
+        t = V::blend_gt0(t, t, V::mul(sl, t));
+      }
+      V::storeu_f16(y + i, t);
+    }
+    for (; i < n; ++i) {
+      float t = scale * x[i] + shift;
+      if (act == 1) {
+        t = t > 0.0f ? t : 0.0f;
+      } else if (act == 2) {
+        t = t > 0.0f ? t : slope * t;
+      }
+      y[i] = f32_to_f16_bits_ftz(t);
+    }
+  }
+
+  static void scale_shift_act_store_bf16(const float* x, std::uint16_t* y,
+                                         index_t n, float scale,
+                                         float shift, int act,
+                                         float slope) {
+    const v8 sc = V::set1(scale), sh = V::set1(shift);
+    const v8 z = V::zero();
+    const v8 sl = V::set1(slope);
+    index_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      v8 t = V::madd(sh, V::loadu(x + i), sc);
+      if (act == 1) {
+        t = V::max(t, z);
+      } else if (act == 2) {
+        t = V::blend_gt0(t, t, V::mul(sl, t));
+      }
+      V::storeu_bf16(y + i, t);
+    }
+    for (; i < n; ++i) {
+      float t = scale * x[i] + shift;
+      if (act == 1) {
+        t = t > 0.0f ? t : 0.0f;
+      } else if (act == 2) {
+        t = t > 0.0f ? t : slope * t;
+      }
+      y[i] = f32_to_bf16_bits(t);
+    }
+  }
+
+  static void cvt_f32_to_f16(const float* x, std::uint16_t* y, index_t n) {
+    index_t i = 0;
+    for (; i + 8 <= n; i += 8) V::storeu_f16(y + i, V::loadu(x + i));
+    for (; i < n; ++i) y[i] = f32_to_f16_bits_ftz(x[i]);
+  }
+  static void cvt_f16_to_f32(const std::uint16_t* x, float* y, index_t n) {
+    index_t i = 0;
+    for (; i + 8 <= n; i += 8) V::storeu(y + i, V::loadu_f16(x + i));
+    for (; i < n; ++i) y[i] = f16_bits_to_f32(x[i]);
+  }
+  static void cvt_f32_to_bf16(const float* x, std::uint16_t* y, index_t n) {
+    index_t i = 0;
+    for (; i + 8 <= n; i += 8) V::storeu_bf16(y + i, V::loadu(x + i));
+    for (; i < n; ++i) y[i] = f32_to_bf16_bits(x[i]);
+  }
+  static void cvt_bf16_to_f32(const std::uint16_t* x, float* y, index_t n) {
+    index_t i = 0;
+    for (; i + 8 <= n; i += 8) V::storeu(y + i, V::loadu_bf16(x + i));
+    for (; i < n; ++i) y[i] = bf16_bits_to_f32(x[i]);
+  }
+
   // ----- probes -----------------------------------------------------
   static void probe_madd(const float* a, const float* b, const float* c,
                          float* out) {
     V::storeu(out, V::madd(V::loadu(c), V::loadu(a), V::loadu(b)));
+  }
+  static void probe_fmadd(const float* a, const float* b, const float* c,
+                          float* out) {
+    V::storeu(out, V::fmadd(V::loadu(c), V::loadu(a), V::loadu(b)));
   }
   static void probe_mul(const float* a, const float* b, float* out) {
     V::storeu(out, V::mul(V::loadu(a), V::loadu(b)));
@@ -708,7 +1907,31 @@ KernelTable make_table(const char* name) {
   t.add_scalar = &Kernels<V>::add_scalar;
   t.cmul = &V::cmul;
   t.dot = &Kernels<V>::dot;
+  t.conv2d_row4_s1_f16 = &Kernels<V>::conv2d_row4_s1_f16;
+  t.deconv2d_row4_s1_f16 = &Kernels<V>::deconv2d_row4_s1_f16;
+  t.conv2d_row4_s1_bf16 = &Kernels<V>::conv2d_row4_s1_bf16;
+  t.deconv2d_row4_s1_bf16 = &Kernels<V>::deconv2d_row4_s1_bf16;
+  t.conv2d_row4_s1_fma = &Kernels<V>::conv2d_row4_s1_fma;
+  t.deconv2d_row4_s1_fma = &Kernels<V>::deconv2d_row4_s1_fma;
+  t.conv2d_row8_s1_fma = &Kernels<V>::conv2d_row8_s1_fma;
+  t.deconv2d_row8_s1_fma = &Kernels<V>::deconv2d_row8_s1_fma;
+  t.scale_shift_act_store_f16 = &Kernels<V>::scale_shift_act_store_f16;
+  t.scale_shift_act_store_bf16 = &Kernels<V>::scale_shift_act_store_bf16;
+  t.cvt_f32_to_f16 = &Kernels<V>::cvt_f32_to_f16;
+  t.cvt_f16_to_f32 = &Kernels<V>::cvt_f16_to_f32;
+  t.cvt_f32_to_bf16 = &Kernels<V>::cvt_f32_to_bf16;
+  t.cvt_bf16_to_f32 = &Kernels<V>::cvt_bf16_to_f32;
+  // int8 kernels are exact integer arithmetic: one portable body is
+  // bitwise-identical everywhere, so scalar/sse2 share it and only the
+  // avx2 TU overrides these entries with vpmaddwd versions.
+  t.conv2d_row4_s1_i8 = &conv2d_row4_s1_i8_generic;
+  t.deconv2d_row4_s1_i8 = &deconv2d_row4_s1_i8_generic;
+  t.quant_epilogue_store_i8 = &quant_epilogue_store_i8_generic;
+  t.dequant_epilogue_f32 = &dequant_epilogue_f32_generic;
+  t.quant_f32_to_i8 = &quant_f32_to_i8_generic;
+  t.dequant_i8_to_f32 = &dequant_i8_to_f32_generic;
   t.probe_madd = &Kernels<V>::probe_madd;
+  t.probe_fmadd = &Kernels<V>::probe_fmadd;
   t.probe_mul = &Kernels<V>::probe_mul;
   t.probe_add = &Kernels<V>::probe_add;
   t.probe_min = &Kernels<V>::probe_min;

@@ -4,12 +4,15 @@
 // the bitwise contract and the legality notes inline below.
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <stdexcept>
 #include <vector>
 
 #include "core/arena.h"
+#include "core/half.h"
 #include "core/parallel.h"
+#include "core/precision.h"
 #include "core/simd.h"
 #include "graph/graph.h"
 #include "trace/trace.h"
@@ -47,6 +50,23 @@ struct Step {
 
   // Concat: channel count per input, in input order.
   std::vector<index_t> concat_c;
+
+  // ----- low-precision images (compile-time; empty at fp32) ---------
+  // f16/bf16: weights re-laid out CO-MAJOR [co][ci][k*k] regardless of
+  // conv/deconv origin, so one per-job contiguous convert feeds the
+  // half row kernels with uniform strides (wstride_ci = k*k,
+  // wstride_co = cin*k*k).
+  std::vector<std::uint16_t> whalf;
+  // int8: weights quantized per OUTPUT channel and pre-widened to the
+  // int16 channel-pair layout VPMADDWD consumes: [co][p][k*k][2]
+  // (odd trailing input channel zero-padded).
+  std::vector<std::int16_t> wq;
+  std::vector<float> wscale;  ///< per-co weight scale (absmax/127)
+  std::vector<float> m;       ///< per-co dequant multiplier s_in * s_w
+  float s_in = 1.0f;          ///< int8 activation scale of input 0
+  float s_out = 1.0f;         ///< int8 activation scale of the output
+  float inv_out = 1.0f;       ///< 1 / s_out
+  bool concat_fast = false;   ///< int8 concat is pure pair memcpy
 };
 
 int act_code(OpKind k) {
@@ -91,11 +111,19 @@ constexpr int kLocOutput = -1;  ///< the run() output tensor
 struct CompiledGraph::Impl {
   ValueShape in_shape, out_shape;
   int out_node = -1;
+  core::Precision prec = core::Precision::kF32;
   std::vector<Step> steps;
   std::vector<int> value_loc;       ///< per node id
   std::vector<index_t> slab_sizes;  ///< floats per slab
+  std::vector<float> node_scale;    ///< int8: per node id (calibration)
   Stats stats;
   std::vector<BufferPlan> plans;
+
+  // Low-precision executors (definitions after compile()); the fp32
+  // path stays inline in CompiledGraph::run.
+  Tensor run_half(const Tensor& input, bool bf) const;
+  Tensor run_int8(const Tensor& input) const;
+  void prepare_lowp(core::Precision prec);
 };
 
 CompiledGraph::CompiledGraph(std::unique_ptr<Impl> impl)
@@ -302,7 +330,122 @@ void plan_buffers(const Graph& g, const std::vector<Step>& steps,
   }
 }
 
+// ------------------------------------------------- low-precision prep
+
+/// Weight quantization rounding (compile-time only — nothing at run
+/// time has to reproduce it, it just has to be deterministic).
+std::int16_t quant_weight(float v) {
+  v = v > -127.0f ? v : -127.0f;
+  v = v < 127.0f ? v : 127.0f;
+  return static_cast<std::int16_t>(std::lrintf(v));
+}
+
+void build_half_weights(Step* s, bool deconv, bool bf) {
+  const index_t k2 = s->k * s->k;
+  const index_t cin = deconv ? s->weight.dim(0) : s->weight.dim(1);
+  const index_t cout = deconv ? s->weight.dim(1) : s->weight.dim(0);
+  s->whalf.resize(size_t(cout * cin * k2));
+  const real_t* wp = s->weight.data();
+  for (index_t co = 0; co < cout; ++co) {
+    for (index_t ci = 0; ci < cin; ++ci) {
+      const real_t* src =
+          deconv ? wp + (ci * cout + co) * k2 : wp + (co * cin + ci) * k2;
+      std::uint16_t* dst = s->whalf.data() + (co * cin + ci) * k2;
+      for (index_t i = 0; i < k2; ++i) {
+        // f16 uses the ftz flush: the widening of subnormal halves is
+        // the slow direction on F16C hardware, and wbuf re-widens the
+        // weights on every worker job.
+        dst[i] =
+            bf ? f32_to_bf16_bits(src[i]) : f32_to_f16_bits_ftz(src[i]);
+      }
+    }
+  }
+}
+
+void build_i8_weights(Step* s, bool deconv) {
+  const index_t k2 = s->k * s->k;
+  const index_t cin = deconv ? s->weight.dim(0) : s->weight.dim(1);
+  const index_t cout = deconv ? s->weight.dim(1) : s->weight.dim(0);
+  const index_t cinp = (cin + 1) / 2;
+  s->wscale.resize(size_t(cout));
+  s->m.resize(size_t(cout));
+  s->wq.assign(size_t(cout * cinp * k2 * 2), 0);
+  const real_t* wp = s->weight.data();
+  const auto tap = [&](index_t co, index_t ci) {
+    return deconv ? wp + (ci * cout + co) * k2 : wp + (co * cin + ci) * k2;
+  };
+  for (index_t co = 0; co < cout; ++co) {
+    float amax = 0.0f;
+    for (index_t ci = 0; ci < cin; ++ci) {
+      const real_t* src = tap(co, ci);
+      for (index_t i = 0; i < k2; ++i) {
+        const float a = std::fabs(src[i]);
+        if (a > amax) amax = a;
+      }
+    }
+    const float sw = amax > 0.0f ? amax / 127.0f : 1.0f;
+    const float inv = 1.0f / sw;
+    s->wscale[size_t(co)] = sw;
+    s->m[size_t(co)] = s->s_in * sw;
+    for (index_t ci = 0; ci < cin; ++ci) {
+      const real_t* src = tap(co, ci);
+      std::int16_t* dst =
+          s->wq.data() + ((co * cinp + ci / 2) * k2) * 2 + (ci & 1);
+      for (index_t i = 0; i < k2; ++i) {
+        dst[i * 2] = quant_weight(src[i] * inv);
+      }
+    }
+  }
+}
+
 }  // namespace
+
+/// Fills the per-step low-precision images after fusion. The executed
+/// low-precision paths never consult Node weights again — everything
+/// they need is baked here. (A member because anonymous-namespace free
+/// functions cannot name the private nested Impl.)
+void CompiledGraph::Impl::prepare_lowp(core::Precision prec) {
+  TRACE_SPAN("graph.lowp_prep");
+  Impl* im = this;
+  const bool i8 = prec == core::Precision::kInt8;
+  const bool bf = prec == core::Precision::kBf16;
+  for (Step& s : im->steps) {
+    // The low-precision executors materialize the graph output in fp32
+    // only; a graph whose output feeds another node would need a
+    // quantized copy too. No supported network does that.
+    for (int in : s.in_nodes) {
+      if (in == im->out_node) {
+        throw std::invalid_argument(
+            "compile: low-precision graphs cannot read the output node");
+      }
+    }
+    if (i8) {
+      s.s_in = s.in_nodes.empty()
+                   ? 1.0f
+                   : im->node_scale[size_t(s.in_nodes[0])];
+      s.s_out = im->node_scale[size_t(s.out_node)];
+      s.inv_out = 1.0f / s.s_out;
+    }
+    const bool deconv = s.kind == OpKind::kDeconv2d;
+    if (s.kind == OpKind::kConv2d || s.kind == OpKind::kDeconv2d) {
+      if (i8) {
+        build_i8_weights(&s, deconv);
+      } else {
+        build_half_weights(&s, deconv, bf);
+      }
+    } else if (i8 && s.kind == OpKind::kConcat) {
+      // Calibration unifies concat groups, so this normally holds and
+      // the quantized concat is pure pair movement; odd channel counts
+      // or divergent scales fall back to dequant/requant.
+      bool fast = s.out_shape.c % 2 == 0;
+      for (size_t j = 0; j < s.in_nodes.size(); ++j) {
+        fast = fast && s.concat_c[j] % 2 == 0 &&
+               im->node_scale[size_t(s.in_nodes[j])] == s.s_out;
+      }
+      s.concat_fast = fast;
+    }
+  }
+}
 
 CompiledGraph compile(const Graph& g, const CompileOptions& opt) {
   TRACE_SPAN("graph.compile");
@@ -310,9 +453,25 @@ CompiledGraph compile(const Graph& g, const CompileOptions& opt) {
   impl->in_shape = g.input_shape();
   impl->out_node = g.output();
   impl->out_shape = g.node(impl->out_node).shape;
+  impl->prec = opt.precision;
+  if (opt.precision == core::Precision::kInt8) {
+    if (int(opt.calibration.node_scale.size()) != g.num_nodes()) {
+      throw std::invalid_argument(
+          "compile: int8 precision requires a calibration with one "
+          "scale per node (see graph::calibrate)");
+    }
+    impl->node_scale = opt.calibration.node_scale;
+  }
 
   int fused_away = 0;
   impl->steps = fuse_steps(g, opt.fuse, &fused_away);
+  if (opt.precision != core::Precision::kF32) {
+    impl->prepare_lowp(opt.precision);
+  }
+  // Slab planning is precision-agnostic: plans are sized in fp32
+  // elements, which upper-bounds every storage format (u16 needs half,
+  // int8 pairs at most half), so the placement is valid for all of
+  // them and the planner invariants tests pin stay unchanged.
   plan_buffers(g, impl->steps, impl->out_node, &impl->value_loc,
                &impl->slab_sizes, &impl->plans);
 
@@ -322,6 +481,615 @@ CompiledGraph compile(const Graph& g, const CompileOptions& opt) {
   impl->stats.slab_floats = 0;
   for (index_t f : impl->slab_sizes) impl->stats.slab_floats += f;
   return CompiledGraph(std::move(impl));
+}
+
+// --------------------------------------------- fp16/bf16 executor
+//
+// Weights and every intermediate value are stored as 16-bit elements;
+// arithmetic is fp32 (single-rounding fmadd in the conv kernels, the
+// ops' own fp32 expressions elsewhere). The graph input converts once
+// at entry, each step's store narrows with RNE, and the graph output
+// materializes in fp32.
+Tensor CompiledGraph::Impl::run_half(const Tensor& input, bool bf) const {
+  TRACE_SPAN("graph.run_half");
+  const simd::KernelTable& kt = simd::kernels();
+  const auto cvt_to = bf ? kt.cvt_f32_to_bf16 : kt.cvt_f32_to_f16;
+  const auto cvt_from = bf ? kt.cvt_bf16_to_f32 : kt.cvt_f16_to_f32;
+  const auto store_ep =
+      bf ? kt.scale_shift_act_store_bf16 : kt.scale_shift_act_store_f16;
+
+  Tensor out({out_shape.n, out_shape.c, out_shape.h, out_shape.w});
+  real_t* out_data = out.data();
+
+  ArenaScope scope;
+  std::vector<std::uint16_t*> slab(slab_sizes.size());
+  for (size_t i = 0; i < slab_sizes.size(); ++i) {
+    slab[i] = static_cast<std::uint16_t*>(
+        scope.alloc(std::size_t(slab_sizes[i]) * sizeof(std::uint16_t)));
+  }
+  const index_t in_numel = in_shape.numel();
+  std::uint16_t* in_half = static_cast<std::uint16_t*>(
+      scope.alloc(std::size_t(in_numel) * sizeof(std::uint16_t)));
+  cvt_to(input.data(), in_half, in_numel);
+
+  const auto ptr = [&](int node) -> std::uint16_t* {
+    const int loc = value_loc[size_t(node)];
+    if (loc == kLocInput) return in_half;
+    return slab[size_t(loc)];
+  };
+
+  for (const Step& s : steps) {
+    const bool is_out = value_loc[size_t(s.out_node)] == kLocOutput;
+    std::uint16_t* dst = is_out ? nullptr : ptr(s.out_node);
+    switch (s.kind) {
+      case OpKind::kConv2d:
+      case OpKind::kDeconv2d: {
+        TRACE_SPAN_V("graph.step.conv");
+        const bool deconv = s.kind == OpKind::kDeconv2d;
+        const std::uint16_t* src = ptr(s.in_nodes[0]);
+        const ValueShape in = s.in_shape, o = s.out_shape;
+        const index_t cin = in.c, cout = o.c, k = s.k, pad = s.pad;
+        const index_t spatial = o.h * o.w;
+        const index_t ngroups = (cout + 7) / 8;
+        // Widen the step input ONCE, then run the fp32-load FMA row
+        // kernel. The converting row kernels re-read (and re-convert)
+        // every input row k times per tap loop, for each co group —
+        // ~k * ngroups redundant converts per element at the graph
+        // level. Widening is elementwise-exact and the _fma kernel
+        // keeps the same accumulation order and single-rounding
+        // contract, so the output bits are unchanged (per-precision
+        // golden digests pin this). Groups are OCTETS, not quads: the
+        // row8 kernel amortizes each pass over the widened input
+        // across 8 output channels, which matters because the co=8
+        // dense-layer convs are memory-bound (grouping is also
+        // bit-neutral — each channel keeps its own fmadd order).
+        const index_t in_hw = in.h * in.w;
+        parallel_for(
+            0, o.n * ngroups,
+            [&](index_t job) {
+              const index_t ni = job / ngroups;
+              const index_t co0 = (job % ngroups) * 8;
+              const int nco = int(std::min<index_t>(8, cout - co0));
+              const std::uint16_t* src_n = src + ni * cin * in_hw;
+              const real_t* bias_p = s.bias.data() + co0;
+              // Worker-local scratch: the co-group's weights convert
+              // to fp32 ONCE per job (amortized over every output
+              // row), plus fp32 accumulator planes unless the step
+              // materializes the fp32 graph output directly.
+              ArenaScope ws;
+              const index_t wcount = index_t(nco) * cin * k * k;
+              real_t* wbuf = ws.alloc_floats(wcount);
+              cvt_from(s.whalf.data() + co0 * cin * k * k, wbuf, wcount);
+              real_t* acc = is_out
+                                ? out_data + (ni * cout + co0) * spatial
+                                : ws.alloc_floats(index_t(nco) * spatial);
+              // Banded widening: instead of materializing the whole
+              // fp32 input (which the tap loops then stream from L3 at
+              // twice the stored bytes), widen a sliding tile of input
+              // rows into a band buffer small enough to stay in L2 and
+              // hand the kernel a band-local view. With "same" padding
+              // the band [oy0-pad, oy1-1+pad] clipped to the image
+              // makes the kernel's border clamps over (band height,
+              // local oy) coincide exactly with the full-image clamps
+              // — for conv and deconv alike — so every output keeps
+              // its bits while the heavy k-fold re-reads come from L2.
+              constexpr index_t kTileRows = 16;
+              real_t* band =
+                  ws.alloc_floats(cin * (kTileRows + (k - 1)) * in.w);
+              for (index_t oy0 = 0; oy0 < o.h; oy0 += kTileRows) {
+                const index_t oy1 =
+                    std::min<index_t>(o.h, oy0 + kTileRows);
+                const index_t by0 = std::max<index_t>(0, oy0 - pad);
+                const index_t by1 =
+                    std::min<index_t>(in.h, oy1 + pad);
+                const index_t bh = by1 - by0;
+                {
+                  TRACE_SPAN_V("graph.step.conv.widen");
+                  for (index_t ci = 0; ci < cin; ++ci) {
+                    cvt_from(src_n + ci * in_hw + by0 * in.w,
+                             band + ci * bh * in.w, bh * in.w);
+                  }
+                }
+                for (index_t oy = oy0; oy < oy1; ++oy) {
+                  if (deconv) {
+                    kt.deconv2d_row8_s1_fma(band, wbuf, k * k,
+                                            cin * k * k, acc + oy * o.w,
+                                            spatial, nco, cin, bh, in.w,
+                                            k, oy - by0, pad, o.w,
+                                            bias_p);
+                  } else {
+                    kt.conv2d_row8_s1_fma(band, wbuf, k * k, cin * k * k,
+                                          acc + oy * o.w, spatial, nco,
+                                          cin, bh, in.w, k, oy - by0,
+                                          pad, o.w, bias_p);
+                  }
+                }
+              }
+              if (is_out) {
+                if (s.has_affine) {
+                  for (int j = 0; j < nco; ++j) {
+                    kt.scale_shift_act(acc + j * spatial, acc + j * spatial,
+                                       spatial, s.scale[size_t(co0 + j)],
+                                       s.shift[size_t(co0 + j)], s.act,
+                                       s.slope);
+                  }
+                }
+              } else {
+                std::uint16_t* outp = dst + (ni * cout + co0) * spatial;
+                for (int j = 0; j < nco; ++j) {
+                  if (s.has_affine) {
+                    store_ep(acc + j * spatial, outp + j * spatial,
+                             spatial, s.scale[size_t(co0 + j)],
+                             s.shift[size_t(co0 + j)], s.act, s.slope);
+                  } else {
+                    // Plain converting copy: an identity-affine madd
+                    // would flip the sign of -0.
+                    cvt_to(acc + j * spatial, outp + j * spatial, spatial);
+                  }
+                }
+              }
+            },
+            /*grain=*/1);
+        break;
+      }
+      case OpKind::kBatchNorm: {
+        TRACE_SPAN_V("graph.step.bn");
+        const std::uint16_t* src = ptr(s.in_nodes[0]);
+        const ValueShape o = s.out_shape;
+        const index_t spatial = o.h * o.w;
+        parallel_for(
+            0, o.n * o.c,
+            [&](index_t plane) {
+              const index_t c = plane % o.c;
+              ArenaScope ws;
+              real_t* tmp = ws.alloc_floats(spatial);
+              cvt_from(src + plane * spatial, tmp, spatial);
+              if (is_out) {
+                real_t* dp = out_data + plane * spatial;
+                if (s.act == 0) {
+                  kt.scale_shift(tmp, dp, spatial, s.scale[size_t(c)],
+                                 s.shift[size_t(c)]);
+                } else {
+                  kt.scale_shift_act(tmp, dp, spatial, s.scale[size_t(c)],
+                                     s.shift[size_t(c)], s.act, s.slope);
+                }
+              } else {
+                store_ep(tmp, dst + plane * spatial, spatial,
+                         s.scale[size_t(c)], s.shift[size_t(c)], s.act,
+                         s.slope);
+              }
+            },
+            /*grain=*/1);
+        break;
+      }
+      case OpKind::kRelu:
+      case OpKind::kLeakyRelu: {
+        TRACE_SPAN_V("graph.step.act");
+        const std::uint16_t* src = ptr(s.in_nodes[0]);
+        const index_t total = s.out_shape.numel();
+        parallel_for_blocked(
+            0, total,
+            [&](index_t lo, index_t hi) {
+              const index_t n = hi - lo;
+              ArenaScope ws;
+              real_t* ta = ws.alloc_floats(n);
+              cvt_from(src + lo, ta, n);
+              if (is_out) {
+                if (s.act == 1) {
+                  kt.relu(ta, out_data + lo, n);
+                } else {
+                  kt.leaky_relu(ta, out_data + lo, n, s.slope);
+                }
+              } else {
+                real_t* tb = ws.alloc_floats(n);
+                if (s.act == 1) {
+                  kt.relu(ta, tb, n);
+                } else {
+                  kt.leaky_relu(ta, tb, n, s.slope);
+                }
+                cvt_to(tb, dst + lo, n);
+              }
+            },
+            /*grain=*/1 << 16);
+        break;
+      }
+      case OpKind::kMaxPool: {
+        TRACE_SPAN_V("graph.step.pool");
+        const std::uint16_t* src = ptr(s.in_nodes[0]);
+        const ValueShape in = s.in_shape, o = s.out_shape;
+        parallel_for(
+            0, o.n * o.c,
+            [&](index_t plane) {
+              ArenaScope ws;
+              real_t* tin = ws.alloc_floats(in.h * in.w);
+              cvt_from(src + plane * in.h * in.w, tin, in.h * in.w);
+              if (is_out) {
+                ops::max_pool2d_plane(tin, out_data + plane * o.h * o.w,
+                                      nullptr, in.h, in.w, o.h, o.w,
+                                      s.pool);
+              } else {
+                real_t* tout = ws.alloc_floats(o.h * o.w);
+                ops::max_pool2d_plane(tin, tout, nullptr, in.h, in.w, o.h,
+                                      o.w, s.pool);
+                cvt_to(tout, dst + plane * o.h * o.w, o.h * o.w);
+              }
+            },
+            /*grain=*/1);
+        break;
+      }
+      case OpKind::kUnpool: {
+        TRACE_SPAN_V("graph.step.unpool");
+        const std::uint16_t* src = ptr(s.in_nodes[0]);
+        const ValueShape in = s.in_shape, o = s.out_shape;
+        parallel_for(
+            0, o.n * o.c,
+            [&](index_t plane) {
+              ArenaScope ws;
+              real_t* tin = ws.alloc_floats(in.h * in.w);
+              cvt_from(src + plane * in.h * in.w, tin, in.h * in.w);
+              if (is_out) {
+                ops::unpool2d_bilinear_plane(tin,
+                                             out_data + plane * o.h * o.w,
+                                             in.w, o.h, o.w, s.ly.data(),
+                                             s.lx.data());
+              } else {
+                real_t* tout = ws.alloc_floats(o.h * o.w);
+                ops::unpool2d_bilinear_plane(tin, tout, in.w, o.h, o.w,
+                                             s.ly.data(), s.lx.data());
+                cvt_to(tout, dst + plane * o.h * o.w, o.h * o.w);
+              }
+            },
+            /*grain=*/1);
+        break;
+      }
+      case OpKind::kConcat: {
+        TRACE_SPAN_V("graph.step.concat");
+        const ValueShape o = s.out_shape;
+        const index_t hw = o.h * o.w;
+        index_t c_off = 0;
+        for (size_t j = 0; j < s.in_nodes.size(); ++j) {
+          const std::uint16_t* src = ptr(s.in_nodes[j]);
+          const index_t chan = s.concat_c[j];
+          for (index_t ni = 0; ni < o.n; ++ni) {
+            if (is_out) {
+              cvt_from(src + ni * chan * hw,
+                       out_data + (ni * o.c + c_off) * hw, chan * hw);
+            } else {
+              std::memcpy(dst + (ni * o.c + c_off) * hw,
+                          src + ni * chan * hw,
+                          size_t(chan * hw) * sizeof(std::uint16_t));
+            }
+          }
+          c_off += chan;
+        }
+        break;
+      }
+      case OpKind::kAdd: {
+        TRACE_SPAN_V("graph.step.add");
+        const std::uint16_t* a = ptr(s.in_nodes[0]);
+        const std::uint16_t* b = ptr(s.in_nodes[1]);
+        parallel_for_blocked(
+            0, s.out_shape.numel(),
+            [&](index_t lo, index_t hi) {
+              const index_t n = hi - lo;
+              ArenaScope ws;
+              real_t* ta = ws.alloc_floats(n);
+              real_t* tb = ws.alloc_floats(n);
+              cvt_from(a + lo, ta, n);
+              cvt_from(b + lo, tb, n);
+              for (index_t i = 0; i < n; ++i) ta[i] = ta[i] + tb[i];
+              if (is_out) {
+                std::memcpy(out_data + lo, ta, size_t(n) * sizeof(real_t));
+              } else {
+                cvt_to(ta, dst + lo, n);
+              }
+            },
+            /*grain=*/1 << 16);
+        break;
+      }
+      case OpKind::kInput:
+        break;
+    }
+  }
+  return out;
+}
+
+// -------------------------------------------------- int8 executor
+//
+// Calibrated symmetric quantization: activations live as channel-pair
+// interleaved int8 planes, conv/deconv accumulate exact int32 and the
+// fused epilogue dequantizes, applies the hoisted bn/activation in
+// fp32, and requantizes to the consumer's scale. Non-conv steps run
+// the generic dequant -> fp32 op -> requant staging (concat short-cuts
+// to pair memcpy when calibration unified its group).
+Tensor CompiledGraph::Impl::run_int8(const Tensor& input) const {
+  TRACE_SPAN("graph.run_int8");
+  const simd::KernelTable& kt = simd::kernels();
+  Tensor out({out_shape.n, out_shape.c, out_shape.h, out_shape.w});
+  real_t* out_data = out.data();
+
+  ArenaScope scope;
+  std::vector<std::int8_t*> slab(slab_sizes.size());
+  for (size_t i = 0; i < slab_sizes.size(); ++i) {
+    // Pair interleaving rounds odd channel counts up, so a value needs
+    // at most 2x its element count in bytes — covered by 2x the fp32
+    // element plan.
+    slab[i] = static_cast<std::int8_t*>(
+        scope.alloc(std::size_t(slab_sizes[i]) * 2));
+  }
+  const index_t hw_in = in_shape.h * in_shape.w;
+  const index_t cp_in = (in_shape.c + 1) / 2;
+  std::int8_t* in_q = static_cast<std::int8_t*>(
+      scope.alloc(std::size_t(in_shape.n * cp_in * hw_in * 2)));
+  const float in_inv = 1.0f / node_scale[0];
+  parallel_for(
+      0, in_shape.n * cp_in,
+      [&](index_t job) {
+        const index_t ni = job / cp_in, p = job % cp_in;
+        const real_t* x0 = input.data() + (ni * in_shape.c + 2 * p) * hw_in;
+        const real_t* x1 = 2 * p + 1 < in_shape.c ? x0 + hw_in : nullptr;
+        kt.quant_f32_to_i8(x0, x1, in_q + (ni * cp_in + p) * hw_in * 2,
+                           hw_in, in_inv);
+      },
+      /*grain=*/1);
+
+  const auto ptr = [&](int node) -> std::int8_t* {
+    const int loc = value_loc[size_t(node)];
+    if (loc == kLocInput) return in_q;
+    return slab[size_t(loc)];
+  };
+  // Planar fp32 staging of one quantized value (generic steps).
+  const auto dequant_node = [&](int node, ValueShape sh, real_t* buf) {
+    const index_t hw = sh.h * sh.w;
+    const index_t cp = (sh.c + 1) / 2;
+    const std::int8_t* src = ptr(node);
+    const float sc = node_scale[size_t(node)];
+    parallel_for(
+        0, sh.n * cp,
+        [&](index_t job) {
+          const index_t ni = job / cp, p = job % cp;
+          real_t* x0 = buf + (ni * sh.c + 2 * p) * hw;
+          real_t* x1 = 2 * p + 1 < sh.c ? x0 + hw : nullptr;
+          kt.dequant_i8_to_f32(src + (ni * cp + p) * hw * 2, x0, x1, hw,
+                               sc);
+        },
+        /*grain=*/1);
+  };
+  const auto requant_value = [&](const real_t* buf, ValueShape sh,
+                                 float inv, std::int8_t* q) {
+    const index_t hw = sh.h * sh.w;
+    const index_t cp = (sh.c + 1) / 2;
+    parallel_for(
+        0, sh.n * cp,
+        [&](index_t job) {
+          const index_t ni = job / cp, p = job % cp;
+          const real_t* x0 = buf + (ni * sh.c + 2 * p) * hw;
+          const real_t* x1 = 2 * p + 1 < sh.c ? x0 + hw : nullptr;
+          kt.quant_f32_to_i8(x0, x1, q + (ni * cp + p) * hw * 2, hw, inv);
+        },
+        /*grain=*/1);
+  };
+
+  for (const Step& s : steps) {
+    const bool is_out = value_loc[size_t(s.out_node)] == kLocOutput;
+    std::int8_t* dst = is_out ? nullptr : ptr(s.out_node);
+    const ValueShape o = s.out_shape;
+    switch (s.kind) {
+      case OpKind::kConv2d:
+      case OpKind::kDeconv2d: {
+        TRACE_SPAN_V("graph.step.conv");
+        const bool deconv = s.kind == OpKind::kDeconv2d;
+        const std::int8_t* src = ptr(s.in_nodes[0]);
+        const ValueShape in = s.in_shape;
+        const index_t cin = in.c, cout = o.c, k = s.k, pad = s.pad;
+        const index_t hw_i = in.h * in.w, spatial = o.h * o.w;
+        const index_t cinp = (cin + 1) / 2;
+        const index_t cpo = (cout + 1) / 2;
+        const index_t wstride_co = cinp * k * k * 2;
+        const index_t ngroups = (cout + 3) / 4;
+        parallel_for(
+            0, o.n * ngroups,
+            [&](index_t job) {
+              const index_t ni = job / ngroups;
+              const index_t co0 = (job % ngroups) * 4;
+              const int nco = int(std::min<index_t>(4, cout - co0));
+              const std::int8_t* in_n = src + ni * cinp * hw_i * 2;
+              ArenaScope ws;
+              std::int32_t* acc = static_cast<std::int32_t*>(ws.alloc(
+                  std::size_t(nco) * std::size_t(spatial) *
+                  sizeof(std::int32_t)));
+              const std::int16_t* wg = s.wq.data() + co0 * wstride_co;
+              for (index_t oy = 0; oy < o.h; ++oy) {
+                if (deconv) {
+                  kt.deconv2d_row4_s1_i8(in_n, wg, wstride_co,
+                                         acc + oy * o.w, spatial, nco,
+                                         cinp, in.h, in.w, k, oy, pad,
+                                         o.w);
+                } else {
+                  kt.conv2d_row4_s1_i8(in_n, wg, wstride_co,
+                                       acc + oy * o.w, spatial, nco, cinp,
+                                       in.h, in.w, k, oy, pad, o.w);
+                }
+              }
+              if (is_out) {
+                for (int j = 0; j < nco; ++j) {
+                  const size_t co = size_t(co0 + j);
+                  kt.dequant_epilogue_f32(
+                      acc + j * spatial,
+                      out_data + (ni * cout + co0 + j) * spatial, spatial,
+                      s.m[co], s.bias[co], s.has_affine ? 1 : 0,
+                      s.has_affine ? s.scale[co] : 1.0f,
+                      s.has_affine ? s.shift[co] : 0.0f, s.act, s.slope);
+                }
+              } else {
+                for (int t = 0; 2 * t < nco; ++t) {
+                  const size_t ce = size_t(co0 + 2 * t);
+                  const bool two = 2 * t + 1 < nco;
+                  simd::QuantEpilogueParams p;
+                  p.m0 = s.m[ce];
+                  p.bias0 = s.bias[ce];
+                  p.m1 = two ? s.m[ce + 1] : 1.0f;
+                  p.bias1 = two ? s.bias[ce + 1] : 0.0f;
+                  p.has_affine = s.has_affine ? 1 : 0;
+                  if (s.has_affine) {
+                    p.scale0 = s.scale[ce];
+                    p.shift0 = s.shift[ce];
+                    if (two) {
+                      p.scale1 = s.scale[ce + 1];
+                      p.shift1 = s.shift[ce + 1];
+                    }
+                  }
+                  p.act = s.act;
+                  p.slope = s.slope;
+                  p.inv_out = s.inv_out;
+                  kt.quant_epilogue_store_i8(
+                      acc + 2 * t * spatial,
+                      two ? acc + (2 * t + 1) * spatial : nullptr,
+                      dst + (ni * cpo + index_t(ce) / 2) * spatial * 2,
+                      spatial, p);
+                }
+              }
+            },
+            /*grain=*/1);
+        break;
+      }
+      case OpKind::kConcat: {
+        TRACE_SPAN_V("graph.step.concat");
+        const index_t hw = o.h * o.w;
+        if (is_out) {
+          // Dequantize each input straight into its fp32 output slot.
+          index_t c_off = 0;
+          for (size_t j = 0; j < s.in_nodes.size(); ++j) {
+            const std::int8_t* src = ptr(s.in_nodes[j]);
+            const float sc = node_scale[size_t(s.in_nodes[j])];
+            const index_t chan = s.concat_c[j];
+            const index_t cp = (chan + 1) / 2;
+            for (index_t ni = 0; ni < o.n; ++ni) {
+              for (index_t p = 0; p < cp; ++p) {
+                real_t* x0 = out_data + (ni * o.c + c_off + 2 * p) * hw;
+                real_t* x1 = 2 * p + 1 < chan ? x0 + hw : nullptr;
+                kt.dequant_i8_to_f32(src + (ni * cp + p) * hw * 2, x0, x1,
+                                     hw, sc);
+              }
+            }
+            c_off += chan;
+          }
+        } else if (s.concat_fast) {
+          // Unified scales + even channels: pure pair movement.
+          const index_t cpo = o.c / 2;
+          index_t p_off = 0;
+          for (size_t j = 0; j < s.in_nodes.size(); ++j) {
+            const std::int8_t* src = ptr(s.in_nodes[j]);
+            const index_t cp = s.concat_c[j] / 2;
+            for (index_t ni = 0; ni < o.n; ++ni) {
+              std::memcpy(dst + (ni * cpo + p_off) * hw * 2,
+                          src + ni * cp * hw * 2,
+                          std::size_t(cp * hw * 2));
+            }
+            p_off += cp;
+          }
+        } else {
+          ArenaScope ss;
+          real_t* buf = ss.alloc_floats(o.numel());
+          index_t c_off = 0;
+          for (size_t j = 0; j < s.in_nodes.size(); ++j) {
+            const index_t chan = s.concat_c[j];
+            ArenaScope js;
+            real_t* jin = js.alloc_floats(o.n * chan * hw);
+            dequant_node(s.in_nodes[j], ValueShape{o.n, chan, o.h, o.w},
+                         jin);
+            for (index_t ni = 0; ni < o.n; ++ni) {
+              std::memcpy(buf + (ni * o.c + c_off) * hw,
+                          jin + ni * chan * hw,
+                          std::size_t(chan * hw) * sizeof(real_t));
+            }
+            c_off += chan;
+          }
+          requant_value(buf, o, s.inv_out, dst);
+        }
+        break;
+      }
+      case OpKind::kBatchNorm:
+      case OpKind::kRelu:
+      case OpKind::kLeakyRelu:
+      case OpKind::kMaxPool:
+      case OpKind::kUnpool:
+      case OpKind::kAdd: {
+        TRACE_SPAN_V("graph.step.generic_lowp");
+        ArenaScope ss;
+        const ValueShape in0 = s.in_shape;
+        real_t* fin = ss.alloc_floats(in0.numel());
+        dequant_node(s.in_nodes[0], in0, fin);
+        real_t* fout = is_out ? out_data : ss.alloc_floats(o.numel());
+        const index_t spatial = o.h * o.w;
+        if (s.kind == OpKind::kBatchNorm) {
+          parallel_for(
+              0, o.n * o.c,
+              [&](index_t plane) {
+                const index_t c = plane % o.c;
+                if (s.act == 0) {
+                  kt.scale_shift(fin + plane * spatial,
+                                 fout + plane * spatial, spatial,
+                                 s.scale[size_t(c)], s.shift[size_t(c)]);
+                } else {
+                  kt.scale_shift_act(fin + plane * spatial,
+                                     fout + plane * spatial, spatial,
+                                     s.scale[size_t(c)],
+                                     s.shift[size_t(c)], s.act, s.slope);
+                }
+              },
+              /*grain=*/1);
+        } else if (s.kind == OpKind::kRelu ||
+                   s.kind == OpKind::kLeakyRelu) {
+          parallel_for_blocked(
+              0, o.numel(),
+              [&](index_t lo, index_t hi) {
+                if (s.act == 1) {
+                  kt.relu(fin + lo, fout + lo, hi - lo);
+                } else {
+                  kt.leaky_relu(fin + lo, fout + lo, hi - lo, s.slope);
+                }
+              },
+              /*grain=*/1 << 16);
+        } else if (s.kind == OpKind::kMaxPool) {
+          parallel_for(
+              0, o.n * o.c,
+              [&](index_t plane) {
+                ops::max_pool2d_plane(fin + plane * in0.h * in0.w,
+                                      fout + plane * spatial, nullptr,
+                                      in0.h, in0.w, o.h, o.w, s.pool);
+              },
+              /*grain=*/1);
+        } else if (s.kind == OpKind::kUnpool) {
+          parallel_for(
+              0, o.n * o.c,
+              [&](index_t plane) {
+                ops::unpool2d_bilinear_plane(fin + plane * in0.h * in0.w,
+                                             fout + plane * spatial, in0.w,
+                                             o.h, o.w, s.ly.data(),
+                                             s.lx.data());
+              },
+              /*grain=*/1);
+        } else {  // kAdd
+          real_t* fin2 = ss.alloc_floats(o.numel());
+          dequant_node(s.in_nodes[1], o, fin2);
+          parallel_for_blocked(
+              0, o.numel(),
+              [&](index_t lo, index_t hi) {
+                for (index_t i = lo; i < hi; ++i) {
+                  fout[i] = fin[i] + fin2[i];
+                }
+              },
+              /*grain=*/1 << 16);
+        }
+        if (!is_out) requant_value(fout, o, s.inv_out, dst);
+        break;
+      }
+      case OpKind::kInput:
+        break;
+    }
+  }
+  return out;
 }
 
 Tensor CompiledGraph::run(const Tensor& input) const {
@@ -335,6 +1103,12 @@ Tensor CompiledGraph::run(const Tensor& input) const {
                                 im.in_shape.str());
   }
   if (im.steps.empty() || im.out_node == 0) return input.clone();
+
+  if (im.prec == core::Precision::kF16 ||
+      im.prec == core::Precision::kBf16) {
+    return im.run_half(input, im.prec == core::Precision::kBf16);
+  }
+  if (im.prec == core::Precision::kInt8) return im.run_int8(input);
 
   Tensor out({im.out_shape.n, im.out_shape.c, im.out_shape.h,
               im.out_shape.w});

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cctype>
 #include <cmath>
-#include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
+#include "core/env.h"
 #include "ops/activations.h"
 #include "ops/batchnorm.h"
 #include "ops/concat.h"
@@ -23,11 +23,13 @@ namespace {
 std::atomic<int> g_fusion{-1};
 
 bool fusion_from_env() {
-  const char* e = std::getenv("CCOVID_GRAPH_FUSION");
-  if (!e) return true;
-  std::string v(e);
-  for (char& ch : v) ch = char(std::tolower(static_cast<unsigned char>(ch)));
-  return !(v == "0" || v == "off" || v == "false");
+  // Through the shared env helper: unknown spellings warn once and
+  // fall back to the default (fusion on).
+  const auto v = env::choice(
+      "CCOVID_GRAPH_FUSION",
+      {"0", "off", "false", "1", "on", "true"}, "on");
+  if (!v) return true;
+  return !(*v == "0" || *v == "off" || *v == "false");
 }
 
 }  // namespace
@@ -316,7 +318,11 @@ std::vector<std::vector<int>> Graph::consumers() const {
 
 // -------------------------------------------------------- reference
 
-Tensor run_reference(const Graph& g, const Tensor& input) {
+namespace {
+
+/// Op-by-op sweep retaining EVERY node value (run_reference keeps only
+/// the output alive transitively; calibrate() needs all of them).
+std::vector<Tensor> eval_all_nodes(const Graph& g, const Tensor& input) {
   if (input.rank() != 4) {
     throw std::invalid_argument("run_reference: input must be NCHW");
   }
@@ -364,7 +370,66 @@ Tensor run_reference(const Graph& g, const Tensor& input) {
         break;
     }
   }
-  return values[size_t(g.output())];
+  return values;
+}
+
+}  // namespace
+
+Tensor run_reference(const Graph& g, const Tensor& input) {
+  return eval_all_nodes(g, input)[size_t(g.output())];
+}
+
+Calibration calibrate(const Graph& g, const std::vector<Tensor>& batch) {
+  if (batch.empty()) {
+    throw std::invalid_argument("calibrate: empty batch");
+  }
+  std::vector<float> absmax(size_t(g.num_nodes()), 0.0f);
+  for (const Tensor& input : batch) {
+    const std::vector<Tensor> values = eval_all_nodes(g, input);
+    for (int id = 0; id < g.num_nodes(); ++id) {
+      const Tensor& v = values[size_t(id)];
+      if (!v.defined()) continue;
+      const real_t* p = v.data();
+      float m = absmax[size_t(id)];
+      const index_t n = v.numel();
+      for (index_t i = 0; i < n; ++i) {
+        const float a = std::fabs(p[i]);
+        // NaN/Inf inputs degrade upstream (core/finite.h); here they
+        // must not poison the scale, so only finite maxima count.
+        if (a > m && a < std::numeric_limits<float>::infinity()) m = a;
+      }
+      absmax[size_t(id)] = m;
+    }
+  }
+  Calibration cal;
+  cal.node_scale.resize(size_t(g.num_nodes()));
+  for (int id = 0; id < g.num_nodes(); ++id) {
+    const float m = absmax[size_t(id)];
+    cal.node_scale[size_t(id)] = m > 0.0f ? m / 127.0f : 1.0f;
+  }
+  // Unify each concat group (inputs + output share one scale) so the
+  // quantized concat is pure byte movement. Groups can chain through
+  // shared producers, so iterate to a fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Node& n : g.nodes()) {
+      if (n.kind != OpKind::kConcat) continue;
+      float s = cal.node_scale[size_t(n.id)];
+      for (int in : n.inputs) s = std::max(s, cal.node_scale[size_t(in)]);
+      for (int in : n.inputs) {
+        if (cal.node_scale[size_t(in)] != s) {
+          cal.node_scale[size_t(in)] = s;
+          changed = true;
+        }
+      }
+      if (cal.node_scale[size_t(n.id)] != s) {
+        cal.node_scale[size_t(n.id)] = s;
+        changed = true;
+      }
+    }
+  }
+  return cal;
 }
 
 // -------------------------------------------------------- utilities

@@ -43,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "core/precision.h"
 #include "core/tensor.h"
 #include "ops/pool2d.h"
 #include "ops/unpool2d.h"
@@ -170,12 +171,38 @@ class Graph {
 
 // ------------------------------------------------------ compilation
 
+/// Symmetric per-node activation scales for the int8 path: value v of
+/// node id dequantizes as q * node_scale[id]. Produced by calibrate()
+/// from a representative batch (absmax / 127, concat groups unified so
+/// a concat is pure data movement in the quantized domain).
+struct Calibration {
+  std::vector<float> node_scale;
+  bool defined() const { return !node_scale.empty(); }
+};
+
+/// Min/max calibration: runs the reference interpreter over every
+/// batch input, records each node's absolute maximum, and converts the
+/// maxima to symmetric scales. Deterministic for a fixed batch (the
+/// sweep is sequential; no atomics, no reduction reordering).
+Calibration calibrate(const Graph& g, const std::vector<Tensor>& batch);
+
 struct CompileOptions {
   /// Fuse conv→bn(→act) and bn→act chains; hoist bn scale/shift and
   /// missing conv biases into constants. Off = one step per node
   /// (same arena planning, no chain collapsing) — the unfused half of
   /// the fusion-equivalence battery.
   bool fuse = true;
+
+  /// Storage format for weights and intermediate activations on the
+  /// executed path (DESIGN.md §13). kF32 is the bitwise-contract path;
+  /// fp16/bf16 store values at half the bytes with fp32 accumulation;
+  /// int8 runs the calibrated symmetric-quantized pipeline and
+  /// requires `calibration`. The graph input and output tensors are
+  /// always fp32 — conversion happens at the boundary.
+  core::Precision precision = core::Precision::kF32;
+
+  /// Required when precision == kInt8; ignored otherwise.
+  Calibration calibration;
 };
 
 /// Liveness/placement record for one intermediate value (tests assert

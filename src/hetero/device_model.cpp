@@ -83,10 +83,16 @@ DeviceSpec device_by_name(const std::string& name) {
 double project_kernel_seconds(const DeviceSpec& dev,
                               const OpCounters& counters, KernelKind kind,
                               const ops::KernelOptions& opt,
-                              index_t launches) {
+                              index_t launches, double bytes_per_element) {
+  if (bytes_per_element <= 0.0) {
+    throw std::invalid_argument(
+        "project_kernel_seconds: bytes_per_element must be positive");
+  }
+  // Counters track element accesses; the storage format sets the bytes
+  // each one moves.
   double bytes =
       static_cast<double>(counters.global_loads + counters.global_stores) *
-      sizeof(real_t);
+      bytes_per_element;
   double flops = static_cast<double>(counters.flops);
 
   double bandwidth = dev.bandwidth_GBps * 1e9 * dev.mem_efficiency;
@@ -110,17 +116,20 @@ double project_kernel_seconds(const DeviceSpec& dev,
 
 ProjectedBreakdown project_network_seconds(const DeviceSpec& dev,
                                            const NetworkCounts& counts,
-                                           const ops::KernelOptions& opt) {
+                                           const ops::KernelOptions& opt,
+                                           double bytes_per_element) {
   ProjectedBreakdown b;
   b.conv_s = project_kernel_seconds(dev, counts.conv,
                                     KernelKind::kConvolution, opt,
-                                    counts.conv_launches);
+                                    counts.conv_launches, bytes_per_element);
   const OpCounters& dc =
       opt.refactor ? counts.deconv_gather : counts.deconv_scatter;
-  b.deconv_s = project_kernel_seconds(dev, dc, KernelKind::kDeconvolution,
-                                      opt, counts.deconv_launches);
-  b.other_s = project_kernel_seconds(dev, counts.other, KernelKind::kOther,
-                                     opt, counts.other_launches);
+  b.deconv_s =
+      project_kernel_seconds(dev, dc, KernelKind::kDeconvolution, opt,
+                             counts.deconv_launches, bytes_per_element);
+  b.other_s =
+      project_kernel_seconds(dev, counts.other, KernelKind::kOther, opt,
+                             counts.other_launches, bytes_per_element);
   if (dev.is_fpga) {
     // Runtime reconfiguration between the convolution and deconvolution
     // bitstreams (Fig. 10): one swap each way.

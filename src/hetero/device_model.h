@@ -57,10 +57,17 @@ enum class KernelKind { kConvolution, kDeconvolution, kOther };
 /// Projected execution time of one kernel class under a given
 /// optimization stage. `counters` must be the counts for the kernel
 /// implementation that stage actually runs (gather vs scatter).
+/// `bytes_per_element` is the storage width of weights/activations
+/// (4 for fp32, 2 for fp16/bf16, 1 for int8 — core::precision_bytes):
+/// the roofline's memory term scales with it directly, which is the
+/// whole point of the low-precision backends on bandwidth-bound
+/// platforms. The compute term is unchanged (accumulation stays fp32 /
+/// int32 at full rate on every modeled device).
 double project_kernel_seconds(const DeviceSpec& dev,
                               const OpCounters& counters, KernelKind kind,
                               const ops::KernelOptions& opt,
-                              index_t launches);
+                              index_t launches,
+                              double bytes_per_element = sizeof(real_t));
 
 /// Sum over kernel classes plus (for FPGAs) the runtime-reconfiguration
 /// overhead of swapping between the convolution and deconvolution
@@ -82,8 +89,9 @@ struct ProjectedBreakdown {
   double total() const { return conv_s + deconv_s + other_s; }
 };
 
-ProjectedBreakdown project_network_seconds(const DeviceSpec& dev,
-                                           const NetworkCounts& counts,
-                                           const ops::KernelOptions& opt);
+ProjectedBreakdown project_network_seconds(
+    const DeviceSpec& dev, const NetworkCounts& counts,
+    const ops::KernelOptions& opt,
+    double bytes_per_element = sizeof(real_t));
 
 }  // namespace ccovid::hetero

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/precision.h"
 #include "nn/dense_block.h"
 
 namespace ccovid::graph {
@@ -63,7 +64,11 @@ class DDnet : public Module {
   /// Convenience for single 2-D images: (H, W) -> (H, W), no gradients.
   /// In eval mode with frozen batch statistics and graph::fusion_enabled()
   /// this dispatches through a cached compiled fusion graph (bitwise
-  /// identical to forward(); see graph/graph.h).
+  /// identical to forward(); see graph/graph.h). core::active_precision()
+  /// is sampled once per call: fp16/bf16/int8 run the low-precision
+  /// storage pipeline of DESIGN.md §13 on the graph path (int8 scales
+  /// come from a seeded synthetic calibration batch, cached per shape);
+  /// training / batch-stats-always modes always run the fp32 module walk.
   Tensor enhance(const Tensor& image) const;
 
   /// Captures the eval-mode forward pass as a graph IR for an
@@ -85,8 +90,8 @@ class DDnet : public Module {
   void on_state_loaded() override;
 
  private:
-  std::shared_ptr<graph::CompiledGraph> compiled_for(index_t h,
-                                                     index_t w) const;
+  std::shared_ptr<graph::CompiledGraph> compiled_for(
+      index_t h, index_t w, core::Precision prec) const;
   void invalidate_graphs() const;
 
   DDnetConfig cfg_;

@@ -1,7 +1,10 @@
 #include "nn/module.h"
 
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
+
+#include "core/half.h"
 
 namespace ccovid::nn {
 
@@ -149,6 +152,44 @@ void Module::register_buffer(const std::string& name, const Tensor& t) {
 void Module::register_module(const std::string& name,
                              std::shared_ptr<Module> m) {
   children_.emplace_back(name, std::move(m));
+}
+
+void fake_quantize_weights(Module& m, core::Precision prec) {
+  if (prec == core::Precision::kF32) return;
+  for (auto& [name, v] : m.named_parameters()) {
+    Tensor t = v.value();  // shallow: writes land in the parameter
+    if (t.rank() < 2) continue;
+    real_t* d = t.data();
+    const index_t n = t.numel();
+    if (prec == core::Precision::kF16) {
+      for (index_t i = 0; i < n; ++i) {
+        d[i] = f16_bits_to_f32(f32_to_f16_bits_ftz(d[i]));
+      }
+    } else if (prec == core::Precision::kBf16) {
+      for (index_t i = 0; i < n; ++i) {
+        d[i] = bf16_bits_to_f32(f32_to_bf16_bits(d[i]));
+      }
+    } else {  // kInt8: symmetric per-leading-axis scales, the same
+              // absmax/127 + clamp + lrintf the graph compiler bakes.
+      const index_t slice = n / t.dim(0);
+      for (index_t c = 0; c < t.dim(0); ++c) {
+        real_t* s = d + c * slice;
+        float amax = 0.0f;
+        for (index_t i = 0; i < slice; ++i) {
+          const float a = std::fabs(s[i]);
+          if (a > amax) amax = a;
+        }
+        const float sw = amax > 0.0f ? amax / 127.0f : 1.0f;
+        const float inv = 1.0f / sw;
+        for (index_t i = 0; i < slice; ++i) {
+          float q = s[i] * inv;
+          q = q > -127.0f ? q : -127.0f;
+          q = q < 127.0f ? q : 127.0f;
+          s[i] = float(std::lrintf(q)) * sw;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace ccovid::nn

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "core/precision.h"
 #include "core/random.h"
 #include "core/serialize.h"
 
@@ -93,5 +94,21 @@ class Module {
   std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
   bool training_ = true;
 };
+
+/// Fake-quant round-trip of a module's weight tensors in place:
+/// every rank >= 2 parameter (conv/deconv/linear kernels) is squeezed
+/// through the given storage format and back to fp32 — fp16/bf16 via
+/// the core/half.h RNE conversions, int8 via symmetric per-leading-axis
+/// absmax scales with the executor's clamp+lrintf rounding. Rank-0/1
+/// parameters (biases, norm gains) are untouched, mirroring the graph
+/// executors, which keep those fp32 at every precision.
+///
+/// This is how accuracy deltas are measured for networks without a
+/// compiled-graph path (the 3-D classifiers behind the AUC numbers):
+/// the model sees exactly the weight error the storage format would
+/// introduce, while the arithmetic stays fp32. No-op for kF32.
+/// Networks that cache compiled graphs (DDnet) should use the
+/// precision axis itself instead.
+void fake_quantize_weights(Module& m, core::Precision prec);
 
 }  // namespace ccovid::nn

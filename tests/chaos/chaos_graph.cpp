@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/digest.h"
+#include "core/precision.h"
 #include "data/phantom.h"
 #include "fault/failpoint.h"
 #include "graph/graph.h"
@@ -65,9 +66,13 @@ struct ScenarioResult {
 // response) exactly as in chaos_serve.cpp, with the graph-fusion flag
 // pinned for the server's whole lifetime — the worker thread reads the
 // global flag per request, so the guard must outlive the drain.
-ScenarioResult run_serialized(bool fusion, const std::string& failpoints,
+ScenarioResult run_serialized(core::Precision prec, bool fusion,
+                              const std::string& failpoints,
                               std::uint64_t seed, serve::ServerOptions opt,
                               std::size_t n) {
+  // Both guards must outlive the drain: the worker thread samples the
+  // process-wide precision (and fusion flag) once per request.
+  core::PrecisionGuard pguard(prec);
   graph::FusionGuard guard(fusion);
   fault::Registry::instance().reset();
   fault::Registry::instance().set_seed(seed);
@@ -104,6 +109,13 @@ ScenarioResult run_serialized(bool fusion, const std::string& failpoints,
   }
   fault::Registry::instance().reset();
   return out;
+}
+
+ScenarioResult run_serialized(bool fusion, const std::string& failpoints,
+                              std::uint64_t seed, serve::ServerOptions opt,
+                              std::size_t n) {
+  return run_serialized(core::Precision::kF32, fusion, failpoints, seed,
+                        opt, n);
 }
 
 serve::ServerOptions serialized_options() {
@@ -235,6 +247,122 @@ TEST_F(ChaosGraph, MidStreamFusionToggleIsInvisible) {
     const double b = plain.responses[i].diagnosis.probability;
     EXPECT_EQ(std::memcmp(&a, &b, sizeof(a)), 0)
         << "request " << i << ": probability bits moved with the flag";
+  }
+}
+
+// ---------------------------------------------------------------
+// Low-precision storage chaos: the resilience invariants must hold
+// unchanged when the enhancement graph runs fp16 or int8 — the
+// failpoint schedule consumes no precision-dependent randomness, and
+// a quantized/half executor must degrade, retry and type errors
+// exactly like the fp32 one.
+
+// Sticky NaN injection on the enhancement output at fp16 and int8:
+// the finite guard catches the poisoned tensor on the low-precision
+// graph path too, every request degrades gracefully, none is lost.
+TEST_F(ChaosGraph, LowPrecisionEnhanceNanDegradesGracefully) {
+  for (const core::Precision prec :
+       {core::Precision::kF16, core::Precision::kInt8}) {
+    SCOPED_TRACE(core::precision_name(prec));
+    auto opt = serialized_options();
+    opt.max_retries = 1;
+    opt.retry_backoff = std::chrono::milliseconds(1);
+    opt.degrade_on_failure = true;
+    const std::string fp = "pipeline.enhance.output=every(1)*nan(4)";
+    const auto a = run_serialized(prec, true, fp, 9, opt, 3);
+    ASSERT_EQ(a.responses.size(), 3u);
+    for (const auto& r : a.responses) {
+      EXPECT_EQ(r.status, serve::RequestStatus::kOk) << r.error;
+      EXPECT_TRUE(r.degraded);
+      EXPECT_GE(r.retries, 1);
+      EXPECT_TRUE(std::isfinite(r.diagnosis.probability));
+    }
+    EXPECT_NE(a.stats_json.find("\"degraded\":3"), std::string::npos)
+        << a.stats_json;
+  }
+}
+
+// Retries exhausted at fp16/int8: typed kError responses, none lost,
+// and the seeded trace replays — the fault schedule must be identical
+// to the fp32 run's (precision consumes no failpoint randomness).
+TEST_F(ChaosGraph, LowPrecisionExhaustedRetriesFailTyped) {
+  auto opt = serialized_options();
+  opt.max_retries = 1;
+  opt.retry_backoff = std::chrono::milliseconds(1);
+  const std::string fp = "serve.worker.exec=error";
+  const auto f32 = run_serialized(core::Precision::kF32, true, fp, 31,
+                                  opt, 3);
+  for (const core::Precision prec :
+       {core::Precision::kF16, core::Precision::kInt8}) {
+    SCOPED_TRACE(core::precision_name(prec));
+    const auto a = run_serialized(prec, true, fp, 31, opt, 3);
+    ASSERT_EQ(a.responses.size(), 3u);
+    for (const auto& r : a.responses) {
+      EXPECT_EQ(r.status, serve::RequestStatus::kError);
+      EXPECT_NE(r.error.find("injected execution fault"),
+                std::string::npos);
+    }
+    EXPECT_EQ(a.trace_digest, f32.trace_digest)
+        << "precision leaked into the fault schedule or error typing";
+  }
+}
+
+// Seeded replay at a fixed low precision: two runs with the same seed
+// produce the same full trace digest, probability bits included — the
+// quantized pipeline is as deterministic as the fp32 one.
+TEST_F(ChaosGraph, LowPrecisionAdmissionStormReplaysSeeded) {
+  const std::string fp = "serve.queue.admit=prob(0.4)*error";
+  const auto a = run_serialized(core::Precision::kF16, true, fp, 2024,
+                                serialized_options(), 8);
+  const auto b = run_serialized(core::Precision::kF16, true, fp, 2024,
+                                serialized_options(), 8);
+  ASSERT_EQ(a.responses.size(), 8u);
+  EXPECT_EQ(a.trace_digest, b.trace_digest)
+      << "fp16 serve replay must be seeded-deterministic";
+}
+
+// Mid-stream --precision toggles on ONE live server: every request
+// resolves, and each request's probability bits equal a run fully
+// pinned at that request's precision — the storage format is sampled
+// once per request, so a toggle can never mix formats (or produce a
+// hybrid result) within one request.
+TEST_F(ChaosGraph, MidStreamPrecisionToggleNeverMixesFormats) {
+  using core::Precision;
+  const Precision cycle[6] = {Precision::kF32,  Precision::kF16,
+                              Precision::kInt8, Precision::kBf16,
+                              Precision::kF16,  Precision::kInt8};
+  fault::Registry::instance().set_seed(1);
+  const auto vols = tiny_volumes(6);
+  std::vector<serve::DiagnoseResponse> toggled;
+  {
+    graph::FusionGuard fguard(true);
+    serve::InferenceServer server(tiny_pipeline(), serialized_options());
+    for (std::size_t i = 0; i < 6; ++i) {
+      core::PrecisionGuard pguard(cycle[i]);
+      auto fut = server.submit(vols[i].hu);
+      ASSERT_EQ(fut.wait_for(30s), std::future_status::ready)
+          << "request " << i << " lost across a precision toggle";
+      toggled.push_back(fut.get());
+    }
+    server.shutdown();
+  }
+  for (const Precision prec :
+       {Precision::kF32, Precision::kF16, Precision::kBf16,
+        Precision::kInt8}) {
+    const auto pinned = run_serialized(prec, true, "", 1,
+                                       serialized_options(), 6);
+    ASSERT_EQ(pinned.responses.size(), 6u);
+    for (std::size_t i = 0; i < 6; ++i) {
+      if (cycle[i] != prec) continue;
+      ASSERT_EQ(toggled[i].status, serve::RequestStatus::kOk)
+          << toggled[i].error;
+      const double a = toggled[i].diagnosis.probability;
+      const double b = pinned.responses[i].diagnosis.probability;
+      EXPECT_EQ(std::memcmp(&a, &b, sizeof(a)), 0)
+          << "request " << i << " at " << core::precision_name(cycle[i])
+          << ": bits differ from a run pinned at that precision — the "
+             "toggle mixed storage formats within the request";
+    }
   }
 }
 

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "core/digest.h"
+#include "core/precision.h"
 #include "core/parallel.h"
 #include "core/random.h"
 #include "core/tensor.h"
@@ -135,6 +136,60 @@ TEST(Golden, DdnetForward) {
   const std::uint64_t h =
       digest_across_widths([&] { return fnv1a64(net.enhance(x)); });
   check_golden("ddnet_forward_tiny_s3_in16", h);
+}
+
+// Per-precision digests of the SAME tiny DDnet forward on the
+// compiled-graph path: the low-precision formats have no fp32 history
+// to match, so these digests ARE their numeric contract — across task
+// widths, trace levels and (via the CI backend sweep) SIMD backends.
+// Unlike fp32, a low-precision result is NOT fusion-invariant (values
+// round to the storage format at different step boundaries per mode),
+// so fusion is pinned on — the mode the serve path runs — and width /
+// trace invariance is asserted on its own.
+std::uint64_t lowp_digest_across_widths(core::Precision prec,
+                                        const nn::DDnet& net,
+                                        const Tensor& x) {
+  const core::PrecisionGuard pguard(prec);
+  graph::FusionGuard fguard(true);
+  std::uint64_t at1 = 0;
+  bool have_reference = false;
+  for (const int width : {1, 2, 8}) {
+    ParallelPin pin(width);
+    for (const int trace_level : {0, 2}) {
+      trace::set_level(trace_level);
+      const std::uint64_t h = fnv1a64(net.enhance(x));
+      trace::set_level(0);
+      if (!have_reference) {
+        at1 = h;
+        have_reference = true;
+      } else {
+        EXPECT_EQ(hex64(h), hex64(at1))
+            << core::precision_name(prec) << " digest moved at width "
+            << width << ", trace level " << trace_level
+            << ": the low-precision executor leaked thread count or "
+               "tracing into the numerics";
+      }
+    }
+  }
+  trace::clear();
+  return at1;
+}
+
+TEST(Golden, DdnetForwardLowPrecision) {
+  nn::seed_init_rng(3);
+  nn::DDnet net(nn::DDnetConfig::tiny());
+  net.set_training(false);
+  Tensor x({16, 16});
+  Rng rng(5);
+  rng.fill_uniform(x, 0.0, 1.0);
+  for (const core::Precision prec :
+       {core::Precision::kF16, core::Precision::kBf16,
+        core::Precision::kInt8}) {
+    const std::uint64_t h = lowp_digest_across_widths(prec, net, x);
+    check_golden(std::string("ddnet_forward_tiny_s3_in16_") +
+                     core::precision_name(prec),
+                 h);
+  }
 }
 
 TEST(Golden, FbpReconstruction) {

@@ -109,6 +109,52 @@ TEST(Projection, FpgaReconfigurationIncluded) {
   EXPECT_GE(breakdown.other_s, 2.0 * fpga.reconfig_overhead_s);
 }
 
+TEST(Projection, BytesPerElementScalesMemoryBoundTime) {
+  // The storage-format axis: a memory-bound kernel at 2 bytes/element
+  // (fp16/bf16) projects to half the fp32 memory time; 1 byte (int8) a
+  // quarter. Compute-bound kernels must not change.
+  const auto counters = memory_bound_counters();
+  const ops::KernelOptions opt = ops::KernelOptions::all();
+  const DeviceSpec t4 = device_by_name("Nvidia T4 GPU");
+  const double t4_mem_f32 = project_kernel_seconds(
+      t4, counters, KernelKind::kConvolution, opt, 0, 4.0);
+  const double t4_mem_f16 = project_kernel_seconds(
+      t4, counters, KernelKind::kConvolution, opt, 0, 2.0);
+  const double t4_mem_i8 = project_kernel_seconds(
+      t4, counters, KernelKind::kConvolution, opt, 0, 1.0);
+  EXPECT_DOUBLE_EQ(t4_mem_f16, t4_mem_f32 / 2.0);
+  EXPECT_DOUBLE_EQ(t4_mem_i8, t4_mem_f32 / 4.0);
+
+  OpCounters hot;  // high arithmetic intensity: roofline compute side
+  hot.global_loads = 1000;
+  hot.global_stores = 100;
+  hot.flops = 10'000'000'000;
+  const double cmp_f32 = project_kernel_seconds(
+      t4, hot, KernelKind::kConvolution, opt, 0, 4.0);
+  const double cmp_i8 = project_kernel_seconds(
+      t4, hot, KernelKind::kConvolution, opt, 0, 1.0);
+  EXPECT_DOUBLE_EQ(cmp_f32, cmp_i8);
+
+  // Default argument is the fp32 width.
+  EXPECT_DOUBLE_EQ(project_kernel_seconds(t4, counters,
+                                          KernelKind::kConvolution, opt, 0),
+                   t4_mem_f32);
+  EXPECT_THROW(project_kernel_seconds(t4, counters,
+                                      KernelKind::kConvolution, opt, 0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Projection, NetworkBreakdownHonorsBytesPerElement) {
+  const auto counts = count_ddnet(nn::DDnetConfig::tiny(), 32, 32);
+  const DeviceSpec v100 = device_by_name("Nvidia V100 GPU");
+  const auto f32 =
+      project_network_seconds(v100, counts, ops::KernelOptions::all());
+  const auto f16 =
+      project_network_seconds(v100, counts, ops::KernelOptions::all(), 2.0);
+  EXPECT_LE(f16.total(), f32.total());
+  EXPECT_GT(f16.total(), 0.0);
+}
+
 TEST(Projection, NetworkBreakdownSumsToTotal) {
   const auto counts = count_ddnet(nn::DDnetConfig::tiny(), 32, 32);
   const DeviceSpec cpu = device_by_name("Intel Xeon Gold 6128 CPU");

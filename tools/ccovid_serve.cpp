@@ -48,6 +48,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/precision.h"
 #include "core/simd.h"
 #include "graph/graph.h"
 #include "data/phantom.h"
@@ -118,6 +119,7 @@ void usage() {
       "                    [--failpoints SPECS] [--fault-seed S]\n"
       "                    [--retries N] [--degrade] [--threads N]\n"
       "                    [--simd MODE] [--graph-fusion on|off]\n"
+      "                    [--precision fp32|fp16|bf16|int8]\n"
       "                    [--trace-out PATH]\n"
       "                    [--recv-timeout S]\n"
       "  sharded:          [--role front|worker|single] [--shards N]\n"
@@ -208,6 +210,17 @@ bool parse(int argc, char** argv, ToolArgs& a) {
                      v);
         return false;
       }
+    } else if (!std::strcmp(arg, "--precision")) {
+      if (!(v = next(arg))) return false;
+      core::Precision p;
+      if (!core::parse_precision(v, &p)) {
+        std::fprintf(stderr,
+                     "--precision: unknown format '%s' "
+                     "(fp32|fp16|bf16|int8)\n",
+                     v);
+        return false;
+      }
+      core::set_active_precision(p);
     } else if (!std::strcmp(arg, "--graph-fusion")) {
       if (!(v = next(arg))) return false;
       if (!std::strcmp(v, "on")) {
@@ -400,6 +413,12 @@ std::vector<std::string> worker_argv(const ToolArgs& a, const std::string& exe,
     argv.push_back(format_seconds(a.stall_ms));
   }
   if (a.degrade) argv.push_back("--degrade");
+  if (core::active_precision() != core::Precision::kF32) {
+    // Spawned workers must run the same storage format as the front
+    // door's --verify twin, or the bitwise check would compare formats.
+    argv.push_back("--precision");
+    argv.push_back(core::precision_name(core::active_precision()));
+  }
   if (!a.models.empty()) {
     argv.push_back("--models");
     argv.push_back(a.models);
