@@ -56,6 +56,23 @@ than the tolerance (default 15%). Two artifact kinds are understood:
            bench/kernels_microbench.cpp), so it is stable under
            machine-wide slowdowns that scale both sides.
 
+  overlap  dist_overlap output:
+           {"trace_overlap_frac": F,
+            "dist_runs": [{"world", "collective", "bucket_kb",
+                           "modeled_speedup", "bitwise_match", ...}, ...]}
+           gated on the backward/allreduce-overlap invariants, all
+           HARD (the baseline file plays no role): every row's
+           bitwise_match must be true (overlapped gradient sync is
+           bitwise-equal to reduce-after-backward — a correctness
+           claim, not a metric), at least one world-4 row must clear
+           --min-overlap-speedup (default 1.25 — the ISSUE floor; the
+           committed artifact shows ~1.5x) on modeled_speedup, and
+           trace_overlap_frac must be > 0 (the traced run really did
+           reduce buckets while backward was producing gradients).
+           The modeled numbers are deterministic (roofline +
+           interconnect model), so no tolerance applies. Select with
+           --kind overlap.
+
 Rows present on only one side are reported but never fail the gate
 (new ops appear, old ones retire — that is what updating the baseline
 is for). The waiver / update flow is documented in EXPERIMENTS.md:
@@ -252,6 +269,46 @@ def check_lowprec(fresh, args):
     return failures
 
 
+def check_overlap(fresh, min_speedup):
+    """Backward/allreduce overlap invariants over a fresh dist artifact
+    (absolute, like the graph kind; the baseline file plays no role)."""
+    rows = fresh.get("dist_runs", [])
+    failures = 0
+    if not rows:
+        print("  INVARIANT no dist_runs rows — overlap gate has nothing "
+              "to check (bench renamed without updating the gate?)")
+        return 1
+    best_w4 = None
+    for r in rows:
+        label = (f"w{r.get('world')}/{r.get('collective')}/"
+                 f"{r.get('bucket_kb')}KB")
+        if not r.get("bitwise_match", False):
+            print(f"  INVARIANT {label}: bitwise_match=false (overlapped "
+                  f"sync diverged from sequential reduction)")
+            failures += 1
+        if r.get("world") == 4:
+            sp = r.get("modeled_speedup")
+            if sp is not None and (best_w4 is None or sp > best_w4):
+                best_w4 = sp
+    if best_w4 is None:
+        print("  INVARIANT no world-4 row with modeled_speedup present")
+        failures += 1
+    else:
+        status = "ok" if best_w4 >= min_speedup else "INVARIANT"
+        failures += status != "ok"
+        print(f"  {status:9s} best world-4 modeled_speedup = {best_w4:.2f}x "
+              f"(floor {min_speedup:.2f}x)")
+    frac = fresh.get("trace_overlap_frac")
+    if frac is None or frac <= 0:
+        print(f"  INVARIANT trace_overlap_frac = {frac} (must be > 0: the "
+              f"traced run showed no allreduce time concurrent with "
+              f"backward)")
+        failures += 1
+    else:
+        print(f"  ok        trace_overlap_frac = {frac:.2f}")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", required=True,
@@ -262,13 +319,16 @@ def main():
                     help="allowed fractional regression (default 0.15)")
     ap.add_argument("--kind",
                     choices=["kernels", "serve", "shard", "graph",
-                             "lowprec"],
+                             "lowprec", "overlap"],
                     default=None,
                     help="artifact schema; inferred from contents if omitted "
                          "(graph and lowprec must be selected explicitly)")
     ap.add_argument("--min-speedup", type=float, default=1.5,
                     help="graph kind: hard floor on the "
                          "module/fused ns_per_iter ratio (default 1.5)")
+    ap.add_argument("--min-overlap-speedup", type=float, default=1.25,
+                    help="overlap kind: hard floor on the best world-4 "
+                         "modeled_speedup (default 1.25)")
     ap.add_argument("--min-speedup-f16", type=float, default=1.2,
                     help="lowprec kind: fp16-over-fp32 speedup floor")
     ap.add_argument("--min-speedup-i8", type=float, default=1.5,
@@ -297,6 +357,9 @@ def main():
     if kind == "graph":
         print(f"check_bench: graph artifact, speedup floor "
               f"{args.min_speedup:.2f}x")
+    elif kind == "overlap":
+        print(f"check_bench: overlap artifact, world-4 speedup floor "
+              f"{args.min_overlap_speedup:.2f}x")
     elif kind == "lowprec":
         print(f"check_bench: lowprec artifact, floors fp16 "
               f"{args.min_speedup_f16:.2f}x / int8 "
@@ -314,6 +377,8 @@ def main():
         failures = check_graph(fresh, args.min_speedup)
     elif kind == "lowprec":
         failures = check_lowprec(fresh, args)
+    elif kind == "overlap":
+        failures = check_overlap(fresh, args.min_overlap_speedup)
     else:
         failures = check_serve(baseline, fresh, args.tolerance)
 

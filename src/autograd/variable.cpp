@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "autograd/engine.h"
+
 namespace ccovid::autograd {
 
 namespace detail {
@@ -83,6 +85,12 @@ void Var::backward(const Tensor& seed) {
   if (seed.shape() != shape()) {
     throw std::invalid_argument("backward: seed shape mismatch");
   }
+  if (backward_mode() == BackwardMode::kAsync) {
+    // Dependency-counting ready-queue drain (autograd/engine.h) —
+    // bitwise identical to the walk below at any worker width.
+    backward_async(impl_, seed);
+    return;
+  }
   // Iterative post-order DFS for the topological order.
   std::vector<detail::VarImpl*> order;
   std::unordered_set<detail::VarImpl*> visited;
@@ -114,7 +122,15 @@ void Var::backward(const Tensor& seed) {
 }
 
 void accumulate_grad(const Var& v, const Tensor& g) {
-  if (v.defined() && v.impl()->requires_grad) v.impl()->accumulate(g);
+  if (!(v.defined() && v.impl()->requires_grad)) return;
+  // Under the async engine a closure's contributions are staged and
+  // folded in the sequential order once the target's dependency count
+  // drains; outside engine execution this accumulates directly.
+  if (detail::EngineExecContext* ctx = detail::current_engine_context()) {
+    detail::stage_contribution(ctx, v.impl().get(), g);
+  } else {
+    v.impl()->accumulate(g);
+  }
 }
 
 }  // namespace ccovid::autograd

@@ -2,9 +2,13 @@
 //
 // A Var wraps a value plus (when gradients are enabled and required) a
 // node in the dynamically-built computation DAG. Calling backward() on a
-// scalar Var topologically sorts the DAG and runs each node's backward
-// function, accumulating gradients into every contributing Var — the
-// leaf parameters of the network modules among them.
+// scalar Var runs every node's backward function, accumulating
+// gradients into every contributing Var — the leaf parameters of the
+// network modules among them. Two interchangeable executors share this
+// tape: the single-threaded reverse-topological walk below, and the
+// dependency-counting ready-queue engine (autograd/engine.h) that
+// drains nodes through the work-stealing TaskEngine — bitwise-equal by
+// construction and selected via backward_mode().
 //
 // Ownership: nodes own their parents via shared_ptr, so the graph (and
 // the activations captured by backward closures) lives exactly as long

@@ -65,6 +65,13 @@ class World {
   /// Bytes sent per rank over all collectives so far.
   std::uint64_t bytes_sent(int rank) const;
 
+  /// Byte-accounting hook for collectives layered on the point-to-point
+  /// API (dist/collective.cpp): counts `bytes` against `rank`'s sent
+  /// total, exactly as the built-in collectives do internally.
+  void note_sent(int rank, std::uint64_t bytes) {
+    bytes_[static_cast<std::size_t>(rank)].fetch_add(bytes);
+  }
+
   /// Enables/disables guarded transport for subsequent send/recv calls.
   /// Set before the ranks start communicating — not thread-safe against
   /// in-flight traffic.

@@ -1,11 +1,15 @@
 #include "dist/ddp.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 
+#include "autograd/engine.h"
 #include "core/finite.h"
 #include "core/parallel.h"
 #include "core/timer.h"
@@ -81,6 +85,47 @@ DdpTrainer::DdpTrainer(const ModelFactory& factory, DdpConfig cfg)
       models_[r]->copy_parameters_from(*models_[0]);
     }
   }
+  plan_buckets();
+}
+
+void DdpTrainer::plan_buckets() {
+  const auto params = models_[0]->parameters();
+  const std::size_t m = params.size();
+  std::vector<index_t> off(m + 1, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    off[i + 1] = off[i] + params[i].value().numel();
+  }
+  buckets_.clear();
+  bucket_of_param_.assign(m, 0);
+  const std::size_t budget =
+      cfg_.bucket_bytes == 0 ? ~std::size_t{0} : cfg_.bucket_bytes;
+  // Greedy fill over parameters in REVERSE registration order; each
+  // bucket therefore covers a contiguous [lo, hi) range of the original
+  // order and bucket 0 holds the tail — the parameters whose gradients
+  // the backward pass finalizes first.
+  std::size_t hi = m;
+  while (hi > 0) {
+    std::size_t lo = hi;
+    std::size_t bytes = 0;
+    while (lo > 0) {
+      const std::size_t pb =
+          static_cast<std::size_t>(params[lo - 1].value().numel()) *
+          sizeof(real_t);
+      if (lo != hi && bytes + pb > budget) break;
+      bytes += pb;
+      --lo;
+    }
+    Bucket b;
+    b.param_lo = lo;
+    b.param_hi = hi;
+    b.elem_off = off[lo];
+    b.elems = off[hi] - off[lo];
+    for (std::size_t i = lo; i < hi; ++i) {
+      bucket_of_param_[i] = buckets_.size();
+    }
+    buckets_.push_back(b);
+    hi = lo;
+  }
 }
 
 index_t DdpTrainer::gradient_elements() const {
@@ -109,6 +154,12 @@ EpochStats DdpTrainer::train_epoch(index_t dataset_size,
   }
   const index_t steps = dataset_size / global_batch;
   const index_t grad_len = gradient_elements();
+  const std::uint64_t grad_bytes =
+      static_cast<std::uint64_t>(grad_len) * sizeof(real_t);
+  // One resolution per epoch, identical on every rank: collectives are
+  // cooperative, so ranks must agree on the algorithm a priori.
+  const Collective coll =
+      resolve_collective(cfg_.collective, cfg_.net, grad_bytes, world);
 
   std::vector<double> rank_loss(world, 0.0);
   std::vector<double> rank_cpu(world, 0.0);
@@ -122,6 +173,49 @@ EpochStats DdpTrainer::train_epoch(index_t dataset_size,
     trace::ScopedCorrelation lane(static_cast<std::uint64_t>(rank) + 1);
     const double cpu0 = thread_cpu_seconds();
     std::vector<real_t> flat(static_cast<std::size_t>(grad_len));
+
+    auto params = models_[rank]->parameters();
+    // Flat element offset per parameter (registration order).
+    std::vector<index_t> off(params.size() + 1, 0);
+    std::unordered_map<const autograd::detail::VarImpl*, std::size_t> pindex;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      off[i + 1] = off[i] + params[i].value().numel();
+      pindex.emplace(params[i].impl().get(), i);
+    }
+    // Copies one parameter range's gradients (zeros when a parameter
+    // never received one) into the flat buffer — the SAME bytes whether
+    // called per bucket (overlap) or over everything (sequential).
+    const auto flatten_range = [&](std::size_t p_lo, std::size_t p_hi) {
+      for (std::size_t i = p_lo; i < p_hi; ++i) {
+        const index_t n = params[i].value().numel();
+        if (params[i].has_grad()) {
+          std::memcpy(flat.data() + off[i], params[i].grad().data(),
+                      static_cast<std::size_t>(n) * sizeof(real_t));
+        } else {
+          std::fill_n(flat.data() + off[i], n, 0.0f);
+        }
+      }
+    };
+    const auto check_finite_range = [&](const real_t* g, index_t n,
+                                        index_t step) {
+      if (!cfg_.check_finite_grads) return;
+      for (index_t i = 0; i < n; ++i) {
+        if (!std::isfinite(g[i])) {
+          throw StageError("dist.grad.allreduce",
+                           "non-finite gradient after all-reduce at rank " +
+                               std::to_string(rank) + ", step " +
+                               std::to_string(step));
+        }
+      }
+    };
+    const auto poison = [&](real_t* g, std::size_t n, const fault::Fired& f) {
+      if (f.action == fault::Action::kNan) {
+        fault::inject_nonfinite(g, n, f.seed, f.count);
+      } else {
+        fault::corrupt_bytes(g, n * sizeof(real_t), f.seed, f.count);
+      }
+    };
+
     for (index_t s = 0; s < steps; ++s) {
       // Straggler injection: thread(R)*delay(...) stalls rank R at the
       // step boundary, modeling a slow node the collectives must absorb.
@@ -133,64 +227,119 @@ EpochStats DdpTrainer::train_epoch(index_t dataset_size,
       for (index_t i = 0; i < cfg_.per_worker_batch; ++i) {
         shard.push_back(order[base + i]);
       }
-      {
-        TRACE_SPAN("ddp.compute");
-        autograd::Var loss = loss_fn(*models_[rank], rank, shard);
-        rank_loss[rank] += static_cast<double>(loss.value().at(0));
-        optims_[rank]->zero_grad();
-        loss.backward();
 
-        // Flatten gradients in deterministic parameter order.
-        auto params = models_[rank]->parameters();
-        index_t off = 0;
-        for (auto& p : params) {
-          const index_t n = p.value().numel();
-          if (p.has_grad()) {
-            std::memcpy(flat.data() + off, p.grad().data(),
-                        static_cast<std::size_t>(n) * sizeof(real_t));
-          } else {
-            std::fill_n(flat.data() + off, n, 0.0f);
+      if (cfg_.overlap) {
+        // --- Overlapped path: per-bucket allreduce races backward. ---
+        // Countdown of unfinalized parameters per bucket, decremented by
+        // the engine's finalize hook from worker threads; `done` covers
+        // parameters the step's graph never touches (their buckets
+        // release when the whole run finishes).
+        struct BucketSync {
+          std::mutex mu;
+          std::condition_variable cv;
+          std::vector<index_t> pending;
+          std::vector<char> ready;
+          bool done = false;
+        } sync;
+        sync.pending.reserve(buckets_.size());
+        for (const Bucket& b : buckets_) {
+          sync.pending.push_back(static_cast<index_t>(b.param_hi - b.param_lo));
+        }
+        sync.ready.assign(buckets_.size(), 0);
+
+        autograd::BackwardRun run;
+        {
+          TRACE_SPAN("ddp.compute");
+          autograd::Var loss = loss_fn(*models_[rank], rank, shard);
+          if (loss.value().numel() != 1) {
+            throw std::runtime_error("ddp: loss must be scalar");
           }
-          off += n;
-        }
-      }
-      // Local-gradient poisoning BEFORE the all-reduce: the sum carries
-      // the NaN/flipped bits to every rank, the worst silent-divergence
-      // scenario check_finite_grads exists to catch.
-      if (auto f = CCOVID_FAILPOINT_FIRED("dist.grad.corrupt")) {
-        if (f.action == fault::Action::kNan) {
-          fault::inject_nonfinite(flat.data(), flat.size(), f.seed, f.count);
-        } else {
-          fault::corrupt_bytes(flat.data(), flat.size() * sizeof(real_t),
-                               f.seed, f.count);
-        }
-      }
-      {
-        TRACE_SPAN("ddp.allreduce");
-        world_.all_reduce_sum(rank, flat);
-        if (cfg_.check_finite_grads) {
-          for (const real_t g : flat) {
-            if (!std::isfinite(g)) {
-              throw StageError("dist.grad.allreduce",
-                               "non-finite gradient after all-reduce at rank " +
-                                   std::to_string(rank) + ", step " +
-                                   std::to_string(s));
+          rank_loss[rank] += static_cast<double>(loss.value().at(0));
+          optims_[rank]->zero_grad();
+          autograd::BackwardOptions bo;
+          bo.trace_correlation = static_cast<std::uint64_t>(rank) + 1;
+          bo.on_node_finalized = [&](const autograd::detail::VarImpl* n) {
+            const auto it = pindex.find(n);
+            if (it == pindex.end()) return;
+            const std::size_t b = bucket_of_param_[it->second];
+            std::lock_guard<std::mutex> lock(sync.mu);
+            if (--sync.pending[b] == 0) {
+              sync.ready[b] = 1;
+              sync.cv.notify_all();
             }
+          };
+          bo.on_complete = [&] {
+            std::lock_guard<std::mutex> lock(sync.mu);
+            sync.done = true;
+            sync.cv.notify_all();
+          };
+          run = autograd::backward_start(loss.impl(),
+                                         Tensor::ones(loss.shape()),
+                                         std::move(bo));
+        }
+        // Evaluated once per step on the rank thread — the same count
+        // sequence as the sequential path, so fault schedules fire at
+        // identical points in both modes. A fired poison lands on
+        // bucket 0 (first on the wire).
+        const fault::Fired corrupt = CCOVID_FAILPOINT_FIRED("dist.grad.corrupt");
+        std::vector<real_t> seg;
+        for (std::size_t b = 0; b < buckets_.size(); ++b) {
+          const Bucket& bk = buckets_[b];
+          {
+            std::unique_lock<std::mutex> lock(sync.mu);
+            sync.cv.wait(lock,
+                         [&] { return sync.ready[b] != 0 || sync.done; });
           }
+          flatten_range(bk.param_lo, bk.param_hi);
+          real_t* g = flat.data() + bk.elem_off;
+          if (b == 0 && corrupt) {
+            poison(g, static_cast<std::size_t>(bk.elems), corrupt);
+          }
+          seg.assign(g, g + bk.elems);
+          {
+            TRACE_SPAN("ddp.allreduce");
+            TRACE_SPAN_V("ddp.allreduce.bucket");
+            all_reduce(world_, rank, seg, coll);
+            check_finite_range(seg.data(), bk.elems, s);
+          }
+          std::copy(seg.begin(), seg.end(), g);
+        }
+        // Rethrows anything a backward closure raised. The buckets are
+        // already reduced by then, so every rank ran the same wire
+        // schedule and stays lock-step even on the error path.
+        run.wait();
+      } else {
+        // --- Sequential path: one collective after backward. ---
+        {
+          TRACE_SPAN("ddp.compute");
+          autograd::Var loss = loss_fn(*models_[rank], rank, shard);
+          rank_loss[rank] += static_cast<double>(loss.value().at(0));
+          optims_[rank]->zero_grad();
+          loss.backward();
+          flatten_range(0, params.size());
+        }
+        // Local-gradient poisoning BEFORE the all-reduce: the sum
+        // carries the NaN/flipped bits to every rank, the worst silent-
+        // divergence scenario check_finite_grads exists to catch.
+        if (auto f = CCOVID_FAILPOINT_FIRED("dist.grad.corrupt")) {
+          poison(flat.data(), flat.size(), f);
+        }
+        {
+          TRACE_SPAN("ddp.allreduce");
+          all_reduce(world_, rank, flat, coll);
+          check_finite_range(flat.data(), grad_len, s);
         }
       }
+
       // Average and scatter back.
       TRACE_SPAN("ddp.apply");
-      auto params = models_[rank]->parameters();
       const real_t inv = 1.0f / static_cast<real_t>(world);
-      index_t off = 0;
-      for (auto& p : params) {
-        const index_t n = p.value().numel();
-        if (p.has_grad()) {
-          real_t* g = p.grad().data();
-          for (index_t i = 0; i < n; ++i) g[i] = flat[off + i] * inv;
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        const index_t n = params[i].value().numel();
+        if (params[i].has_grad()) {
+          real_t* g = params[i].grad().data();
+          for (index_t k = 0; k < n; ++k) g[k] = flat[off[i] + k] * inv;
         }
-        off += n;
       }
       optims_[rank]->step();
     }
@@ -228,12 +377,13 @@ EpochStats DdpTrainer::train_epoch(index_t dataset_size,
     cpu_max = std::max(cpu_max, rank_cpu[r]);
   }
   stats.mean_loss = loss_sum / (static_cast<double>(world) * steps);
-  const std::uint64_t grad_bytes =
-      static_cast<std::uint64_t>(grad_len) * sizeof(real_t);
   stats.allreduce_bytes_per_rank = grad_bytes * steps;
+  stats.collective = coll;
+  // Serial compute + comm model; the dist_overlap bench layers the
+  // pipelined (bucketed, overlapped) simulation on top of this.
   stats.modeled_seconds =
       cpu_max + static_cast<double>(steps) *
-                    cfg_.net.allreduce_seconds(grad_bytes, world);
+                    cfg_.net.collective_seconds(coll, grad_bytes, world);
   return stats;
 }
 

@@ -2,13 +2,33 @@
 //
 // Mirrors PyTorch DistributedDataParallel over gloo: one model replica
 // per "node" (here: thread), independent forward/backward over disjoint
-// data shards, gradients synchronized each step with a ring all-reduce,
-// identical Adam updates keeping replicas in lock-step.
+// data shards, gradients synchronized each step, identical Adam updates
+// keeping replicas in lock-step.
+//
+// Gradient synchronization comes in two modes sharing one bit pattern:
+//
+//  * sequential (overlap=false): backward completes, the flat gradient
+//    is reduced in one deterministic collective (dist/collective.h).
+//  * overlapped (overlap=true, default): parameters are packed into
+//    fixed-size buckets in REVERSE registration order (PyTorch DDP's
+//    heuristic — the deepest layers' gradients finalize first). The
+//    async backward engine's finalize hook counts down each bucket's
+//    outstanding parameters, and the rank thread drains buckets in
+//    bucket order, launching each bucket's allreduce while backward is
+//    still producing the shallower layers' gradients. The optimizer
+//    steps only after every bucket reduced and the backward run
+//    finished — there is no partially-synchronized step.
+//
+// Both modes fold contributions in canonical rank order per element
+// (see dist/collective.h), so gradients and post-step weights are
+// bitwise identical across overlap on/off, bucket sizes, collective
+// algorithms, and task-engine widths — tests/test_golden.cpp pins one
+// digest for the whole sweep.
 //
 // Because this process runs on a single machine, wall time says nothing
 // about cluster scaling; the trainer therefore reports *modeled* cluster
 // time per epoch: max over ranks of the thread-CPU compute time plus the
-// interconnect model's all-reduce cost for the real gradient byte counts
+// interconnect model's collective cost for the real gradient byte counts
 // (Table 3's runtime column). Accuracy effects of batch size are real:
 // the trained weights come out of genuine synchronized SGD.
 #pragma once
@@ -18,6 +38,7 @@
 #include <vector>
 
 #include "autograd/optim.h"
+#include "dist/collective.h"
 #include "dist/comm.h"
 #include "dist/interconnect.h"
 #include "nn/module.h"
@@ -39,6 +60,16 @@ struct DdpConfig {
   /// reaches every rank through the sum, so training either converges
   /// or raises; it never silently diverges.
   bool check_finite_grads = false;
+  /// Overlap per-bucket allreduce with the still-running backward pass
+  /// (see the header comment). Off = reduce once after backward; the
+  /// resulting bits are identical either way.
+  bool overlap = true;
+  /// Gradient bucket budget in bytes (>= one parameter per bucket;
+  /// 0 = whole model in a single bucket).
+  std::size_t bucket_bytes = 1 << 20;
+  /// Allreduce algorithm; kAuto defers to CCOVID_COLLECTIVE and then to
+  /// the interconnect cost model (dist/collective.h).
+  Collective collective = Collective::kAuto;
 };
 
 struct EpochStats {
@@ -47,6 +78,7 @@ struct EpochStats {
   double wall_seconds = 0.0;     ///< actual local wall time
   std::uint64_t allreduce_bytes_per_rank = 0;
   index_t steps = 0;
+  Collective collective = Collective::kAuto;  ///< resolved algorithm
 };
 
 class DdpTrainer {
@@ -74,10 +106,27 @@ class DdpTrainer {
   /// Flat gradient length (elements) — the all-reduce payload.
   index_t gradient_elements() const;
 
+  /// One gradient bucket: parameters [param_lo, param_hi) in
+  /// registration order, occupying [elem_off, elem_off + elems) of the
+  /// flat gradient. Buckets are drained in index order; bucket 0 holds
+  /// the LAST-registered (deepest) parameters.
+  struct Bucket {
+    std::size_t param_lo = 0;
+    std::size_t param_hi = 0;
+    index_t elem_off = 0;
+    index_t elems = 0;
+  };
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+
  private:
+  void plan_buckets();
+
   DdpConfig cfg_;
   std::vector<std::shared_ptr<nn::Module>> models_;
   std::vector<std::unique_ptr<autograd::Adam>> optims_;
+  std::vector<Bucket> buckets_;
+  /// bucket_of_param_[i] = index in buckets_ of parameter i's bucket.
+  std::vector<std::size_t> bucket_of_param_;
   World world_;
 };
 

@@ -1,11 +1,35 @@
 // Analytical interconnect cost model used to convert the in-process DDP
 // run into modeled cluster wall time (Table 3). Parameters default to a
 // 10 GbE cluster like Virginia Tech's Infer nodes (T4 GPU per node).
+//
+// PR 9 added the deterministic collective family (dist/collective.h):
+// the model prices each algorithm so `--collective auto` can pick the
+// cheapest for a given (bytes, world) point. All three move the raw
+// per-rank contributions (that is what makes them bitwise-identical to
+// one another — see collective.h), so their byte volumes differ from
+// the classic reduce-scatter ring priced by allreduce_seconds():
+//
+//   ring           (w-1) serial steps, full buffer each step
+//   tree           binomial gather + binomial broadcast: 2*ceil(log2 w)
+//                  latency terms; the root's inbound volume dominates
+//                  the gather and the broadcast ships K tree levels
+//   bcast-halving  recursive doubling, K steps with doubling payloads
+//                  (power-of-two worlds; otherwise falls back to ring)
 #pragma once
 
 #include <cstdint>
 
 namespace ccovid::dist {
+
+/// Allreduce algorithm family. kAuto defers the choice to the
+/// CCOVID_COLLECTIVE environment variable and then to
+/// InterconnectModel::best_collective (see dist/collective.h).
+enum class Collective {
+  kAuto,
+  kRing,
+  kTree,
+  kBcastHalving,
+};
 
 struct InterconnectModel {
   double latency_s = 50e-6;       ///< per-message latency
@@ -18,6 +42,52 @@ struct InterconnectModel {
     const double steps = 2.0 * (world - 1);
     const double chunk = static_cast<double>(bytes) / world;
     return steps * (latency_s + chunk / bandwidth_Bps);
+  }
+
+  /// Modeled time of one deterministic allreduce of `bytes` per rank.
+  /// kAuto prices as the best concrete algorithm.
+  double collective_seconds(Collective c, std::uint64_t bytes,
+                            int world) const {
+    if (world <= 1) return 0.0;
+    const double B = static_cast<double>(bytes);
+    const double bw = bandwidth_Bps;
+    const int k = ceil_log2(world);
+    switch (c) {
+      case Collective::kRing:
+        return (world - 1) * (latency_s + B / bw);
+      case Collective::kTree:
+        return 2.0 * k * latency_s + (world - 1 + k) * B / bw;
+      case Collective::kBcastHalving:
+        if ((world & (world - 1)) != 0) {
+          // Non-power-of-two worlds run the ring on the wire too.
+          return collective_seconds(Collective::kRing, bytes, world);
+        }
+        return k * latency_s + (world - 1) * B / bw;
+      case Collective::kAuto:
+        break;
+    }
+    return collective_seconds(best_collective(bytes, world), bytes, world);
+  }
+
+  /// Cheapest concrete algorithm for this (bytes, world) point. Ties
+  /// break toward the earlier enumerator, so the choice is total.
+  Collective best_collective(std::uint64_t bytes, int world) const {
+    Collective best = Collective::kRing;
+    double best_s = collective_seconds(best, bytes, world);
+    for (const Collective c : {Collective::kTree, Collective::kBcastHalving}) {
+      const double s = collective_seconds(c, bytes, world);
+      if (s < best_s) {
+        best = c;
+        best_s = s;
+      }
+    }
+    return best;
+  }
+
+  static int ceil_log2(int n) {
+    int k = 0;
+    while ((1 << k) < n) ++k;
+    return k;
   }
 };
 

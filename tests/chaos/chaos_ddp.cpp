@@ -226,11 +226,14 @@ TEST_F(ChaosDdp, CorruptedPayloadDetectedByChecksum) {
 // payload as fresh data. Rank 1's uplink is the one faulted: the
 // trainer rethrows the first error in rank order, so the detector
 // (rank 0) must outrank the collateral timeout on the faulty rank.
+// The dup targets rank 1's FIRST collective send (the deterministic
+// ring makes one send per step at world 2), so the stale packet is
+// still in the queue when rank 0 reads step 2's traffic.
 TEST_F(ChaosDdp, DuplicatedMessageDetectedBySequence) {
   auto cfg = two_rank_config();
   cfg.guard.enabled = true;
   cfg.guard.recv_timeout_s = 0.5;
-  const std::string fp = "dist.msg.dup=thread(1)*nth(2)";
+  const std::string fp = "dist.msg.dup=thread(1)*nth(1)";
   const Outcome a = run_ddp_scenario(fp, 13, cfg);
   ASSERT_EQ(a.kind, Outcome::Kind::kCommError);
   EXPECT_EQ(a.comm_kind, static_cast<int>(CommError::Kind::kDuplicate));

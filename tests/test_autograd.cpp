@@ -273,9 +273,23 @@ TEST(AutogradGrad, MaxPool3d) {
       23);
 }
 
-TEST(AutogradGrad, GlobalAvgPool3d) {
-  check_unary_grad({1, 2, 2, 3, 3},
-                   [](const Var& x) { return global_avg_pool3d(x); }, 24);
+TEST(AutogradGrad, AvgPool3d) {
+  // DenseNet-3D's transition layers use strided avg_pool3d; this was
+  // the only pooling op without its own gradcheck.
+  check_unary_grad(
+      {1, 2, 4, 4, 4},
+      [](const Var& x) { return avg_pool3d(x, ops::Pool3dParams{2, 2, 0}); },
+      30);
+}
+
+TEST(AutogradGrad, AvgPool3dOddExtentWithPadding) {
+  // Padded windows hang over the volume edge, so the averaging divisor
+  // differs between interior and border cells — the backward must
+  // scatter with the matching per-window weights.
+  check_unary_grad(
+      {1, 1, 5, 5, 5},
+      [](const Var& x) { return avg_pool3d(x, ops::Pool3dParams{3, 2, 1}); },
+      31);
 }
 
 // ------------------------------------------------------------ structure
@@ -292,6 +306,34 @@ TEST(AutogradGrad, Concat) {
   loss.backward();
   EXPECT_LT(gradient_error(a.grad(), num_a), 2e-2);
   EXPECT_TRUE(b.has_grad());
+}
+
+TEST(AutogradGrad, ConcatChecksEveryInputGradient) {
+  // Three inputs of distinct channel widths; the slice-backward must
+  // route each input's share of the upstream gradient to the right
+  // offsets. Every input is finite-difference checked (the test above
+  // only validates input `a` numerically).
+  Tensor vals[3] = {random_tensor({1, 1, 3, 3}, 32),
+                    random_tensor({1, 2, 3, 3}, 33),
+                    random_tensor({1, 3, 3, 3}, 34)};
+  auto loss_value = [&]() {
+    Var a(vals[0]), b(vals[1]), c(vals[2]);
+    // The squared term makes each input's gradient depend on its own
+    // values, so a cross-wired slice boundary cannot cancel out.
+    Var y = concat({a, b, c});
+    return static_cast<double>(mean(mul(y, y)).value().at(0));
+  };
+  Var a(vals[0], true), b(vals[1], true), c(vals[2], true);
+  Var y = concat({a, b, c});
+  Var loss = mean(mul(y, y));
+  loss.backward();
+  const Var* grads[3] = {&a, &b, &c};
+  for (int i = 0; i < 3; ++i) {
+    const Tensor num = numerical_gradient(loss_value, vals[i], 1e-3);
+    ASSERT_TRUE(grads[i]->has_grad()) << "concat input " << i;
+    EXPECT_LT(gradient_error(grads[i]->grad(), num), 2e-2)
+        << "concat input " << i;
+  }
 }
 
 TEST(AutogradGrad, Reshape) {

@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 
+#include "autograd/losses.h"
 #include "core/digest.h"
 #include "core/precision.h"
 #include "core/parallel.h"
@@ -31,6 +32,7 @@
 #include "ct/geometry.h"
 #include "ct/siddon.h"
 #include "data/phantom.h"
+#include "dist/ddp.h"
 #include "graph/graph.h"
 #include "nn/ddnet.h"
 #include "nn/layers.h"
@@ -190,6 +192,108 @@ TEST(Golden, DdnetForwardLowPrecision) {
                      core::precision_name(prec),
                  h);
   }
+}
+
+// One seeded DDP training step at world size 2, reduced to a digest of
+// the mean loss and BOTH ranks' post-step parameters. The deterministic
+// collectives fold contributions in canonical rank order per element
+// (dist/collective.h), and the async engine replays the sequential
+// accumulation order (autograd/engine.h), so this digest must not move
+// across collective algorithms, gradient bucket sizes, overlapped vs
+// post-backward reduction, or task-engine widths — the sweep below
+// asserts the whole grid lands on ONE golden value.
+std::uint64_t ddp_step_digest(dist::Collective coll, std::size_t bucket_bytes,
+                              bool overlap, const Tensor& input,
+                              const Tensor& target) {
+  nn::seed_init_rng(100);
+  dist::DdpConfig cfg;
+  cfg.world_size = 2;
+  cfg.per_worker_batch = 1;
+  cfg.collective = coll;
+  cfg.bucket_bytes = bucket_bytes;
+  cfg.overlap = overlap;
+  dist::DdpTrainer trainer(
+      [] {
+        return std::static_pointer_cast<nn::Module>(
+            std::make_shared<nn::DDnet>(nn::DDnetConfig::tiny()));
+      },
+      cfg);
+  auto loss_fn = [&](nn::Module& model, int /*rank*/,
+                     const std::vector<index_t>& samples) {
+    auto& net = dynamic_cast<nn::DDnet&>(model);
+    autograd::Var pred =
+        net.forward(autograd::Var(input.clone()));
+    (void)samples;
+    return autograd::mse_loss(pred, target);
+  };
+  Rng rng(102);
+  const dist::EpochStats stats = trainer.train_epoch(2, loss_fn, rng);
+  std::uint64_t h = fnv1a64(&stats.mean_loss, sizeof(stats.mean_loss));
+  for (int r = 0; r < cfg.world_size; ++r) {
+    for (const auto& p : trainer.model(r).parameters()) {
+      h = fnv1a64(p.value(), h);
+    }
+  }
+  return h;
+}
+
+// DDP rank threads resolve their backward width from the process-global
+// lane count — ParallelPin is per-thread and never reaches them, so the
+// width axis of the DDP sweep must move the global setting.
+class GlobalWidth {
+ public:
+  explicit GlobalWidth(int n) : prev_(num_threads()) { set_num_threads(n); }
+  ~GlobalWidth() { set_num_threads(prev_); }
+
+ private:
+  int prev_;
+};
+
+TEST(Golden, DdpStepGradientSync) {
+  Rng rng(103);
+  Tensor target({1, 1, 12, 12});
+  rng.fill_uniform(target, 0.2, 0.8);
+  Tensor input = target.clone();
+  for (index_t j = 0; j < input.numel(); ++j) {
+    input.data()[j] += static_cast<real_t>(rng.gaussian(0, 0.1));
+  }
+
+  const dist::Collective kColls[] = {dist::Collective::kRing,
+                                     dist::Collective::kTree,
+                                     dist::Collective::kBcastHalving};
+  // 1 KiB forces many buckets on the tiny model; 1 MiB and 0 both pack
+  // the whole model — the boundary positions must not move a bit.
+  const std::size_t kBuckets[] = {1024, std::size_t{1} << 20, 0};
+
+  std::uint64_t ref = 0;
+  bool have_reference = false;
+  auto note = [&](std::uint64_t h, const char* what) {
+    if (!have_reference) {
+      ref = h;
+      have_reference = true;
+    } else {
+      EXPECT_EQ(hex64(h), hex64(ref))
+          << "DDP step digest moved at " << what
+          << ": gradient synchronization leaked the collective choice, "
+             "bucket layout, overlap mode or task width into the bits";
+    }
+  };
+  for (const dist::Collective coll : kColls) {
+    for (const std::size_t bucket : kBuckets) {
+      for (const int width : {1, 2, 8}) {
+        GlobalWidth pin(width);
+        note(ddp_step_digest(coll, bucket, /*overlap=*/true, input, target),
+             "overlapped sweep cell");
+      }
+    }
+    // Sequential mode reduces once after backward; bucket size is inert
+    // there, so one cell per collective covers it.
+    GlobalWidth pin(2);
+    note(ddp_step_digest(coll, std::size_t{1} << 20, /*overlap=*/false,
+                         input, target),
+         "sequential-reduction cell");
+  }
+  check_golden("ddp_step_tiny_w2_mse12", ref);
 }
 
 TEST(Golden, FbpReconstruction) {

@@ -3,10 +3,17 @@
 //
 //   ccovid_train --out-dir models [--px 32] [--depth 8] [--volumes 40]
 //                [--epochs 16] [--seed 7] [--ranks 1]
+//                [--collective ring|tree|bcast-halving|auto]
+//                [--bucket-kb 1024] [--no-overlap]
 //
 // With --ranks R > 1 the Enhancement AI trains through dist::DdpTrainer
-// (R modeled nodes, ring all-reduce each step); with --trace-out the
-// per-rank ddp.compute/allreduce/apply lanes land in the chrome trace.
+// (R modeled nodes, bucketed all-reduce overlapped with backward by
+// default); --collective picks the all-reduce algorithm (auto defers to
+// CCOVID_COLLECTIVE, else the interconnect cost model), --bucket-kb
+// sets the gradient bucket budget, and --no-overlap falls back to the
+// reduce-after-backward path. All combinations produce bitwise
+// identical weights. With --trace-out the per-rank
+// ddp.compute/allreduce/apply lanes land in the chrome trace.
 //
 // Produces models/ddnet.tnsr, models/ahnet.tnsr, models/densenet3d.tnsr
 // plus a models/manifest.txt recording the configurations.
@@ -39,6 +46,9 @@ int main(int argc, char** argv) {
   // CCOVID_RECV_TIMEOUT (else 2 s) — see net/error.h.
   double recv_timeout_s = net::default_recv_timeout_s();
   bool guard = false;
+  bool overlap = true;
+  std::size_t bucket_kb = 1024;
+  dist::Collective collective = dist::Collective::kAuto;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--out-dir") && i + 1 < argc) {
       out_dir = argv[++i];
@@ -65,6 +75,25 @@ int main(int argc, char** argv) {
       }
     } else if (!std::strcmp(argv[i], "--guard")) {
       guard = true;
+    } else if (!std::strcmp(argv[i], "--collective") && i + 1 < argc) {
+      const auto parsed = dist::parse_collective(argv[++i]);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "--collective: unknown algorithm '%s' "
+                     "(ring|tree|bcast-halving|auto)\n",
+                     argv[i]);
+        return 1;
+      }
+      collective = *parsed;
+    } else if (!std::strcmp(argv[i], "--bucket-kb") && i + 1 < argc) {
+      const long long kb = std::atoll(argv[++i]);
+      if (kb <= 0) {
+        std::fprintf(stderr, "--bucket-kb: expected KiB > 0\n");
+        return 1;
+      }
+      bucket_kb = static_cast<std::size_t>(kb);
+    } else if (!std::strcmp(argv[i], "--no-overlap")) {
+      overlap = false;
     } else if (!std::strcmp(argv[i], "--simd") && i + 1 < argc) {
       if (!simd::set_backend_spec(argv[++i])) {
         std::fprintf(stderr, "--simd: unknown backend '%s' (scalar|sse2|avx2|auto)\n",
@@ -79,6 +108,8 @@ int main(int argc, char** argv) {
           "usage: ccovid_train --out-dir D [--px N] [--depth D] "
           "[--volumes V] [--epochs E] [--seed S] [--threads N]\n"
           "                   [--ranks R] [--guard] [--recv-timeout S]\n"
+          "                   [--collective ring|tree|bcast-halving|auto]\n"
+          "                   [--bucket-kb N] [--no-overlap]\n"
           "                   [--simd MODE] [--trace-out PATH]\n");
       return !std::strcmp(argv[i], "--help") ? 0 : 1;
     }
@@ -129,6 +160,9 @@ int main(int argc, char** argv) {
     dcfg.lr_decay = etc.lr_decay;
     dcfg.guard.enabled = guard;
     dcfg.guard.recv_timeout_s = recv_timeout_s;
+    dcfg.overlap = overlap;
+    dcfg.bucket_bytes = bucket_kb * 1024;
+    dcfg.collective = collective;
     dist::DdpTrainer trainer(
         [&ncfg] { return std::make_shared<nn::DDnet>(ncfg); }, dcfg);
     auto loss_fn = [&eds, &etc](nn::Module& model, int /*rank*/,
