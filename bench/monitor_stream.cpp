@@ -1,0 +1,317 @@
+// monitor_stream — longitudinal-monitoring load generation against the
+// serve::InferenceServer with the PR-10 monitor enabled: P concurrent
+// patients, each submitting R sequential scan rounds that alternate
+// between two volumes (baseline / follow-up), so from round 3 on every
+// scan is a result-cache hit. The same stream is replayed against a
+// monitor-off server as the uncached reference.
+//
+// What the gate (scripts/check_bench.py --kind monitor) reads out of
+// the emitted JSON:
+//
+//   correctness (HARD, tolerance plays no role):
+//     stale_serves      scans whose probability or burden bits differed
+//                       from the uncached recomputation — a cache hit
+//                       must be bitwise-identical, so this must be 0
+//     lost_deltas /     per-patient scan ordinals: every patient must
+//     duplicate_deltas  see exactly 1..R, each once
+//     delta_mismatches  burden_delta bits that diverged from the same
+//                       subtraction on the uncached burdens
+//   performance:
+//     hit_rate          must clear the gate's floor ((R-2)/R expected)
+//     cached_speedup    cached vs uncached wall-clock throughput; hits
+//                       skip both the pipeline and the emulated device
+//                       residency, which is the monitoring-mode latency
+//                       claim (EXPERIMENTS.md)
+//
+// Device residency emulation mirrors serve_throughput: each MISS blocks
+// for the projected paper-scale DDnet time on the chosen Table-4 device
+// (--stall-ms overrides; hits pay nothing).
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/timer.h"
+#include "data/phantom.h"
+#include "hetero/ddnet_counts.h"
+#include "nn/layers.h"
+#include "serve/server.h"
+
+using namespace ccovid;
+
+namespace {
+
+struct ScanRecord {
+  bool ok = false;
+  bool cache_hit = false;
+  double probability = 0.0;
+  double burden = 0.0;
+  double burden_delta = 0.0;
+  std::uint64_t scan_seq = 0;
+};
+
+struct RunReport {
+  std::string mode;  // "cached" / "uncached"
+  double elapsed_s = 0.0;
+  double achieved_vps = 0.0;
+  double p50_s = 0.0, p95_s = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t hits = 0, misses = 0;
+  double hit_rate = 0.0;
+  std::uint64_t stale_serves = 0;
+  std::uint64_t lost_deltas = 0;
+  std::uint64_t duplicate_deltas = 0;
+  std::uint64_t delta_mismatches = 0;
+};
+
+std::shared_ptr<const pipeline::ComputeCovid19Pipeline> build_pipeline() {
+  nn::seed_init_rng(1);
+  auto enh =
+      std::make_shared<pipeline::EnhancementAI>(nn::DDnetConfig::tiny());
+  auto seg = std::make_shared<pipeline::SegmentationAI>();
+  auto cls = std::make_shared<pipeline::ClassificationAI>();
+  enh->network().set_training(false);
+  seg->network().set_training(false);
+  cls->network().set_training(false);
+  return std::make_shared<const pipeline::ComputeCovid19Pipeline>(enh, seg,
+                                                                  cls);
+}
+
+/// One scan stream: patient p, round r scans volume vols[2*p + r%2].
+/// Streams are sequential per patient (the monitoring contract) and
+/// concurrent across patients — one thread per patient.
+std::vector<std::vector<ScanRecord>> run_stream(
+    const std::shared_ptr<const pipeline::ComputeCovid19Pipeline>& pipe,
+    const std::vector<data::PhantomVolume>& vols, std::size_t patients,
+    int rounds, double stall_s, bool monitored, RunReport& report) {
+  serve::ServerOptions opt;
+  opt.workers = 2;
+  opt.max_batch = 2;
+  opt.batch_delay = std::chrono::microseconds(500);
+  opt.queue_capacity = 2 * patients;
+  opt.device_stall_s = stall_s;
+  opt.monitor = monitored;
+  serve::InferenceServer server(pipe, opt);
+
+  std::vector<std::vector<ScanRecord>> scans(
+      patients, std::vector<ScanRecord>(rounds));
+  WallTimer wall;
+  std::vector<std::thread> streams;
+  streams.reserve(patients);
+  for (std::size_t p = 0; p < patients; ++p) {
+    streams.emplace_back([&, p] {
+      for (int r = 0; r < rounds; ++r) {
+        serve::ServeOptions so;
+        so.patient_id = 1 + p;
+        auto fut = server.submit(vols[2 * p + (r % 2)].hu, so);
+        const serve::DiagnoseResponse resp = fut.get();
+        ScanRecord& rec = scans[p][r];
+        rec.ok = resp.status == serve::RequestStatus::kOk;
+        rec.cache_hit = resp.cache_hit;
+        rec.probability = resp.diagnosis.probability;
+        rec.burden = resp.infection_burden;
+        rec.burden_delta = resp.burden_delta;
+        rec.scan_seq = resp.scan_seq;
+      }
+    });
+  }
+  for (auto& t : streams) t.join();
+  const double elapsed = wall.seconds();
+
+  report.mode = monitored ? "cached" : "uncached";
+  report.elapsed_s = elapsed;
+  report.completed = server.stats().completed.load();
+  report.achieved_vps = static_cast<double>(report.completed) / elapsed;
+  report.p50_s = server.stats().total.quantile(0.50);
+  report.p95_s = server.stats().total.quantile(0.95);
+  if (monitored && server.monitor() != nullptr) {
+    report.hits = server.monitor()->cache().hits.load();
+    report.misses = server.monitor()->cache().misses.load();
+    const double looked = static_cast<double>(report.hits + report.misses);
+    report.hit_rate =
+        looked > 0.0 ? static_cast<double>(report.hits) / looked : 0.0;
+  }
+  server.shutdown();
+  return scans;
+}
+
+void append_run_json(std::string& out, const RunReport& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"mode\":\"%s\",\"elapsed_s\":%.4f,\"achieved_vps\":%.3f,"
+      "\"completed\":%llu,\"p50_s\":%.6f,\"p95_s\":%.6f,"
+      "\"hits\":%llu,\"misses\":%llu,\"hit_rate\":%.4f,"
+      "\"stale_serves\":%llu,\"lost_deltas\":%llu,"
+      "\"duplicate_deltas\":%llu,\"delta_mismatches\":%llu}",
+      r.mode.c_str(), r.elapsed_s, r.achieved_vps,
+      static_cast<unsigned long long>(r.completed), r.p50_s, r.p95_s,
+      static_cast<unsigned long long>(r.hits),
+      static_cast<unsigned long long>(r.misses), r.hit_rate,
+      static_cast<unsigned long long>(r.stale_serves),
+      static_cast<unsigned long long>(r.lost_deltas),
+      static_cast<unsigned long long>(r.duplicate_deltas),
+      static_cast<unsigned long long>(r.delta_mismatches));
+  out += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv);
+  double stall_ms = -1.0;  // <0 = derive from the device model
+  std::string device = "V100";
+  std::string json_name = "monitor_stream.json";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--stall-ms") && i + 1 < argc) {
+      stall_ms = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--device") && i + 1 < argc) {
+      device = argv[++i];
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_name = argv[++i];  // e.g. BENCH_monitor.json for CI tracking
+    }
+  }
+
+  index_t depth = 4, px = 16;
+  std::size_t patients = 8;
+  int rounds = 4;
+  if (args.quick) {
+    patients = 4;
+    rounds = 4;
+  } else if (args.paper_scale) {
+    depth = 8;
+    px = 32;
+    patients = 12;
+    rounds = 6;
+  }
+
+  // Fixed seed: same workload every run — the bitwise checks and the
+  // committed BENCH_monitor.json depend on it.
+  Rng rng(7);
+  std::vector<data::PhantomVolume> vols;
+  for (std::size_t i = 0; i < 2 * patients; ++i) {
+    vols.push_back(data::make_volume(depth, px, i % 2 == 1, rng));
+  }
+
+  std::string device_full = "(override)";
+  if (stall_ms < 0.0) {
+    hetero::DeviceSpec spec{};
+    bool found = false;
+    for (const auto& d : hetero::paper_devices()) {
+      if (d.name.find(device) != std::string::npos) {
+        spec = d;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown --device %s\n", device.c_str());
+      return 1;
+    }
+    device_full = spec.name;
+    const hetero::NetworkCounts counts =
+        hetero::count_ddnet(nn::DDnetConfig::paper(), 512, 512);
+    const double per_slice =
+        hetero::project_network_seconds(spec, counts,
+                                        ops::KernelOptions::all())
+            .total();
+    stall_ms = 1e3 * per_slice * static_cast<double>(depth);
+  }
+  const double stall_s = stall_ms * 1e-3;
+
+  bench::print_header("monitor_stream: longitudinal monitoring throughput");
+  std::printf(
+      "workload: %zu patients x %d rounds (2 volumes/patient, "
+      "%lldx%lldx%lld), device residency %.1f ms/volume (%s)\n\n",
+      patients, rounds, (long long)depth, (long long)px, (long long)px,
+      stall_ms, device_full.c_str());
+
+  auto pipe = build_pipeline();
+
+  RunReport uncached, cached;
+  const auto ref = run_stream(pipe, vols, patients, rounds, stall_s,
+                              /*monitored=*/false, uncached);
+  const auto mon = run_stream(pipe, vols, patients, rounds, stall_s,
+                              /*monitored=*/true, cached);
+
+  // Correctness accounting against the uncached reference.
+  for (std::size_t p = 0; p < patients; ++p) {
+    std::vector<int> seen(rounds + 1, 0);
+    for (int r = 0; r < rounds; ++r) {
+      const ScanRecord& a = ref[p][r];
+      const ScanRecord& b = mon[p][r];
+      if (!a.ok || !b.ok) {
+        ++cached.lost_deltas;
+        continue;
+      }
+      // Bitwise: a served (possibly cached) result must be exactly the
+      // recomputation. != on doubles is the intentional bit check.
+      if (a.probability != b.probability || a.burden != b.burden) {
+        ++cached.stale_serves;
+      }
+      if (b.scan_seq >= 1 && b.scan_seq <= static_cast<std::uint64_t>(rounds)) {
+        ++seen[b.scan_seq];
+      } else {
+        ++cached.lost_deltas;
+      }
+      if (r > 0) {
+        const double want = ref[p][r].burden - ref[p][r - 1].burden;
+        if (b.burden_delta != want) ++cached.delta_mismatches;
+      }
+    }
+    for (int s = 1; s <= rounds; ++s) {
+      if (seen[s] == 0) ++cached.lost_deltas;
+      if (seen[s] > 1) cached.duplicate_deltas += seen[s] - 1;
+    }
+  }
+
+  const double speedup = uncached.achieved_vps > 0.0
+                             ? cached.achieved_vps / uncached.achieved_vps
+                             : 0.0;
+  std::printf(
+      "uncached: %7.2f vps  p50=%6.1fms p95=%6.1fms\n"
+      "cached  : %7.2f vps  p50=%6.1fms p95=%6.1fms  "
+      "hit_rate=%.2f (%llu/%llu)\n"
+      "cached speedup: %.2fx\n"
+      "stale serves: %llu  lost deltas: %llu  duplicate deltas: %llu  "
+      "delta mismatches: %llu\n",
+      uncached.achieved_vps, 1e3 * uncached.p50_s, 1e3 * uncached.p95_s,
+      cached.achieved_vps, 1e3 * cached.p50_s, 1e3 * cached.p95_s,
+      cached.hit_rate, static_cast<unsigned long long>(cached.hits),
+      static_cast<unsigned long long>(cached.hits + cached.misses),
+      speedup, static_cast<unsigned long long>(cached.stale_serves),
+      static_cast<unsigned long long>(cached.lost_deltas),
+      static_cast<unsigned long long>(cached.duplicate_deltas),
+      static_cast<unsigned long long>(cached.delta_mismatches));
+
+  std::string json = "{\"workload\":{";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"patients\":%zu,\"rounds\":%d,\"depth\":%lld,"
+                "\"px\":%lld,\"stall_ms\":%.3f,\"device\":\"%s\"},",
+                patients, rounds, (long long)depth, (long long)px, stall_ms,
+                device_full.c_str());
+  json += buf;
+  json += "\"monitor_runs\":[";
+  append_run_json(json, cached);
+  json += ",";
+  append_run_json(json, uncached);
+  std::snprintf(buf, sizeof(buf), "],\"cached_speedup\":%.3f}", speedup);
+  json += buf;
+
+  const std::string path = args.out_dir + "/" + json_name;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    std::printf("report: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  return 0;
+}

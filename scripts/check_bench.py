@@ -73,6 +73,22 @@ than the tolerance (default 15%). Two artifact kinds are understood:
            interconnect model), so no tolerance applies. Select with
            --kind overlap.
 
+  monitor  monitor_stream --json output:
+           {"monitor_runs": [{"mode", "achieved_vps", "hit_rate",
+                              "stale_serves", "lost_deltas",
+                              "duplicate_deltas", "delta_mismatches",
+                              ...}, ...], "cached_speedup": S}
+           keyed by mode. Correctness invariants are HARD regardless of
+           tolerance: every fresh row must show stale_serves == 0 (a
+           cache hit served bits a recomputation would not reproduce),
+           lost_deltas == 0 and duplicate_deltas == 0 (every patient's
+           scan ordinals exactly once), and delta_mismatches == 0. The
+           cached row's hit_rate must clear --min-hit-rate (default
+           0.4) and cached_speedup must clear --min-cache-speedup
+           (default 1.15; hits skip the emulated device residency).
+           achieved_vps additionally drifts against the baseline under
+           the normal tolerance.
+
 Rows present on only one side are reported but never fail the gate
 (new ops appear, old ones retire — that is what updating the baseline
 is for). The waiver / update flow is documented in EXPERIMENTS.md:
@@ -181,6 +197,52 @@ def check_shard(baseline, fresh, tolerance):
     for k in sorted(fresh_rows.keys() - base_rows.keys(),
                     key=lambda t: tuple(str(x) for x in t)):
         print(f"  note: new run {k} (not yet in baseline)")
+    return failures + compare_rows(pairs, tolerance)
+
+
+def check_monitor(baseline, fresh, tolerance, min_hit_rate,
+                  min_cache_speedup):
+    """Monitoring-mode gate: hard correctness invariants on the fresh
+    artifact (stale bits / delta accounting), hard floors on hit rate
+    and cached speedup, soft vps drift against the baseline."""
+    base_rows = {r.get("mode"): r for r in baseline.get("monitor_runs", [])}
+    fresh_rows = {r.get("mode"): r for r in fresh.get("monitor_runs", [])}
+    failures = 0
+    if "cached" not in fresh_rows:
+        print("  INVARIANT no 'cached' monitor_runs row — monitor gate has "
+              "nothing to check (bench renamed without updating the gate?)")
+        return 1
+    for mode in sorted(fresh_rows):
+        r = fresh_rows[mode]
+        for metric in ("stale_serves", "lost_deltas", "duplicate_deltas",
+                       "delta_mismatches"):
+            v = r.get(metric, 0)
+            if v:
+                print(f"  INVARIANT {mode}: {metric}={v} (must be 0)")
+                failures += 1
+            else:
+                print(f"  ok        {mode}: {metric}=0")
+    hit_rate = fresh_rows["cached"].get("hit_rate", 0.0)
+    status = "ok" if hit_rate >= min_hit_rate else "INVARIANT"
+    failures += status != "ok"
+    print(f"  {status:9s} cached: hit_rate = {hit_rate:.3f} "
+          f"(floor {min_hit_rate:.2f})")
+    speedup = fresh.get("cached_speedup")
+    if speedup is None:
+        print("  INVARIANT cached_speedup missing")
+        failures += 1
+    else:
+        status = "ok" if speedup >= min_cache_speedup else "INVARIANT"
+        failures += status != "ok"
+        print(f"  {status:9s} cached_speedup = {speedup:.2f}x "
+              f"(floor {min_cache_speedup:.2f}x)")
+    pairs = []
+    for mode in sorted(base_rows.keys() & fresh_rows.keys()):
+        pairs.append((mode, "achieved_vps",
+                      base_rows[mode].get("achieved_vps"),
+                      fresh_rows[mode].get("achieved_vps"), False))
+    for mode in sorted(base_rows.keys() - fresh_rows.keys()):
+        print(f"  note: baseline-only run {mode}")
     return failures + compare_rows(pairs, tolerance)
 
 
@@ -319,13 +381,19 @@ def main():
                     help="allowed fractional regression (default 0.15)")
     ap.add_argument("--kind",
                     choices=["kernels", "serve", "shard", "graph",
-                             "lowprec", "overlap"],
+                             "lowprec", "overlap", "monitor"],
                     default=None,
                     help="artifact schema; inferred from contents if omitted "
                          "(graph and lowprec must be selected explicitly)")
     ap.add_argument("--min-speedup", type=float, default=1.5,
                     help="graph kind: hard floor on the "
                          "module/fused ns_per_iter ratio (default 1.5)")
+    ap.add_argument("--min-hit-rate", type=float, default=0.4,
+                    help="monitor kind: hard floor on the cached run's "
+                         "result-cache hit rate (default 0.4)")
+    ap.add_argument("--min-cache-speedup", type=float, default=1.15,
+                    help="monitor kind: hard floor on cached vs uncached "
+                         "throughput (default 1.15)")
     ap.add_argument("--min-overlap-speedup", type=float, default=1.25,
                     help="overlap kind: hard floor on the best world-4 "
                          "modeled_speedup (default 1.25)")
@@ -347,7 +415,9 @@ def main():
     fresh = load(args.fresh)
     kind = args.kind
     if kind is None:
-        if "shard_runs" in baseline:
+        if "monitor_runs" in baseline:
+            kind = "monitor"
+        elif "shard_runs" in baseline:
             kind = "shard"
         elif "runs" in baseline:
             kind = "serve"
@@ -360,6 +430,11 @@ def main():
     elif kind == "overlap":
         print(f"check_bench: overlap artifact, world-4 speedup floor "
               f"{args.min_overlap_speedup:.2f}x")
+    elif kind == "monitor":
+        print(f"check_bench: monitor artifact, hit-rate floor "
+              f"{args.min_hit_rate:.2f}, cache-speedup floor "
+              f"{args.min_cache_speedup:.2f}x, tolerance "
+              f"{args.tolerance:.0%}")
     elif kind == "lowprec":
         print(f"check_bench: lowprec artifact, floors fp16 "
               f"{args.min_speedup_f16:.2f}x / int8 "
@@ -379,6 +454,9 @@ def main():
         failures = check_lowprec(fresh, args)
     elif kind == "overlap":
         failures = check_overlap(fresh, args.min_overlap_speedup)
+    elif kind == "monitor":
+        failures = check_monitor(baseline, fresh, args.tolerance,
+                                 args.min_hit_rate, args.min_cache_speedup)
     else:
         failures = check_serve(baseline, fresh, args.tolerance)
 
@@ -394,6 +472,12 @@ def main():
                   f"{args.min_speedup_i8:.2f}x, MS-SSIM floors "
                   f"{args.min_ms_ssim_half:.4f} / "
                   f"{args.min_ms_ssim_i8:.4f}).")
+        elif kind == "monitor":
+            print(f"check_bench: FAILED — {failures} monitoring "
+                  f"invariant(s) or metric(s) violated (stale bits and "
+                  f"delta accounting are hard; hit-rate floor "
+                  f"{args.min_hit_rate:.2f}, speedup floor "
+                  f"{args.min_cache_speedup:.2f}x).")
         else:
             print(f"check_bench: FAILED — {failures} metric(s) regressed "
                   f"more than {args.tolerance:.0%}.")

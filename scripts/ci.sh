@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # CI driver: release build + full suite, a runtime budget on the fast
-# suite, then the sanitizer presets over the concurrency-heavy suites —
-# including test_trace, whose snapshot-while-writing test is the one the
-# trace ring's relaxed-atomic slot design exists to keep race-free.
+# suite, explicit chaos/trace labeled subsets, then the sanitizer
+# presets over the concurrency-heavy suites — including test_trace,
+# whose snapshot-while-writing test is the one the trace ring's
+# relaxed-atomic slot design exists to keep race-free. Every ctest run
+# goes through run_ctest so a failing subset is named and its exit
+# status propagated, never masked by the EXIT trap's preset message.
 #
 # Environment knobs:
 #   FAST_BUDGET_S  fast-suite wall-clock budget in seconds (default 120)
@@ -38,19 +41,46 @@ run_preset() {
   fi
 }
 
+# run_ctest LABEL CMD... — explicit pass/fail guard around a ctest
+# invocation. Every ctest below goes through this instead of leaning on
+# `set -e`: a bare failing ctest surfaces only as the generic trap
+# message for whatever CURRENT_PRESET happens to be, which has twice
+# let a later-label failure read like an infra hiccup on the preceding
+# stage. The guard names the exact subset that died and propagates its
+# real exit status.
+run_ctest() {
+  local label=$1
+  shift
+  local status=0
+  "$@" || status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "ci.sh: ctest subset '${label}' FAILED (exit $status)" >&2
+    exit "$status"
+  fi
+}
+
 run_preset default
-ctest --test-dir build --output-on-failure -j"$JOBS"
+run_ctest "default-full" ctest --test-dir build --output-on-failure -j"$JOBS"
 
 # Budget check: the sanitizer loops below iterate on `ctest -L fast`,
 # so the fast suite staying fast is itself a CI invariant.
 start=$(date +%s)
-ctest --test-dir build -L fast --output-on-failure
+run_ctest "default-fast" ctest --test-dir build -L fast --output-on-failure
 elapsed=$(( $(date +%s) - start ))
 echo "fast suite: ${elapsed}s (budget ${FAST_BUDGET_S}s)"
 if [ "$elapsed" -gt "$FAST_BUDGET_S" ]; then
   echo "error: 'ctest -L fast' took ${elapsed}s, over the ${FAST_BUDGET_S}s budget" >&2
   exit 1
 fi
+
+# Labeled subsets after the budget check, mirroring ci.yml's
+# Release-only chaos|trace step. These ran inside the full suite above,
+# but running them again as named subsets means a chaos-only or
+# trace-only failure is reported as exactly that — and the explicit
+# run_ctest guard propagates the nonzero exit instead of letting the
+# EXIT trap's preset-oriented message mask which label died.
+run_ctest "default-chaos" ctest --test-dir build -L chaos --output-on-failure
+run_ctest "default-trace" ctest --test-dir build -L trace --output-on-failure
 
 if [ "${SKIP_SANITIZERS:-0}" = "1" ]; then
   echo "SKIP_SANITIZERS=1: done."
@@ -60,7 +90,7 @@ fi
 
 for preset in tsan asan; do
   run_preset "$preset"
-  ctest --preset "$preset-fast"
-  ctest --preset "$preset-trace"
+  run_ctest "$preset-fast" ctest --preset "$preset-fast"
+  run_ctest "$preset-trace" ctest --preset "$preset-trace"
 done
 CURRENT_PRESET=done

@@ -27,7 +27,8 @@ ComputeCovid19Pipeline::ComputeCovid19Pipeline(
 
 Tensor ComputeCovid19Pipeline::prepare(const Tensor& volume_hu,
                                        bool use_enhancement,
-                                       StageTimes* times) const {
+                                       StageTimes* times,
+                                       Diagnosis* diag) const {
   if (volume_hu.rank() != 3) {
     throw std::invalid_argument("diagnose: expected a (D, H, W) HU volume");
   }
@@ -58,12 +59,39 @@ Tensor ComputeCovid19Pipeline::prepare(const Tensor& volume_hu,
     }
     finite_check(norm, "pipeline.enhance.output");
   }
-  // §3.2: lung mask multiplied into the scan.
+  // §3.2: lung mask multiplied into the scan. The mask is produced
+  // separately (the same two calls segment_and_mask makes, so the masked
+  // bits are unchanged) because the burden quantification below needs
+  // it: the masked volume alone cannot tell a zeroed background voxel
+  // from a lung voxel whose intensity normalized to zero.
   timer.reset();
   Tensor masked;
   {
     TRACE_SPAN("pipeline.segment");
-    masked = segmentation_->segment_and_mask(norm);
+    const Tensor mask = segmentation_->segment(norm);
+    masked = nn::AhNet::apply_mask(norm, mask);
+    if (diag) {
+      // Quantification: integer counts over the mask, one division at
+      // the end — bitwise-deterministic, and free of any new tensor
+      // allocation (the serving steady state stays zero-alloc).
+      const real_t infected_floor = static_cast<real_t>(
+          (kInfectionHuThreshold + 1024.0) / (1023.0 + 1024.0));
+      const real_t* pm = mask.data();
+      const real_t* pv = norm.data();
+      const index_t n = mask.numel();
+      std::uint64_t lung = 0, infected = 0;
+      for (index_t i = 0; i < n; ++i) {
+        if (pm[i] > 0.5f) {
+          ++lung;
+          infected += pv[i] >= infected_floor;
+        }
+      }
+      diag->lung_voxels = lung;
+      diag->infected_voxels = infected;
+      diag->infection_burden =
+          lung == 0 ? 0.0
+                    : static_cast<double>(infected) / static_cast<double>(lung);
+    }
   }
   if (times) times->segment_s = timer.seconds();
   finite_check(masked, "pipeline.segment.output");
@@ -74,9 +102,9 @@ Diagnosis ComputeCovid19Pipeline::diagnose(const Tensor& volume_hu,
                                            bool use_enhancement,
                                            double threshold,
                                            StageTimes* times) const {
-  const Tensor masked = prepare(volume_hu, use_enhancement, times);
-  WallTimer timer;
   Diagnosis d;
+  const Tensor masked = prepare(volume_hu, use_enhancement, times, &d);
+  WallTimer timer;
   d.threshold = threshold;
   {
     TRACE_SPAN("pipeline.classify");

@@ -7,6 +7,7 @@
 // same analysis stack).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "metrics/classification.h"
@@ -20,7 +21,23 @@ struct Diagnosis {
   double probability = 0.0;  ///< COVID-positive score
   bool positive = false;     ///< probability >= threshold
   double threshold = 0.5;
+  /// Infection-burden quantification (cf. the "Lung Infection
+  /// Quantification of COVID-19 in CT Images" entry in PAPERS.md): the
+  /// fraction of lung-mask voxels whose normalized intensity is at or
+  /// above kInfectionHuThreshold — GGO/consolidation density, well above
+  /// aerated parenchyma. Integer voxel counts divided once, so the
+  /// metric is bitwise-deterministic and comparable across scans; the
+  /// monitoring mode (serve/monitor.h) tracks its per-patient deltas.
+  double infection_burden = 0.0;
+  std::uint64_t lung_voxels = 0;      ///< mask voxels (denominator)
+  std::uint64_t infected_voxels = 0;  ///< dense lung voxels (numerator)
 };
+
+/// Lung voxels at or above this HU count as infected (non-aerated lung:
+/// GGO/crazy-paving/consolidation all land above; healthy parenchyma at
+/// about -820 HU stays far below). -600 HU is the conventional
+/// aerated/non-aerated cut in quantitative CT.
+inline constexpr double kInfectionHuThreshold = -600.0;
 
 /// Wall-clock seconds spent in each workflow stage of one diagnosis —
 /// the per-stage breakdown the serving runtime aggregates into its
@@ -84,8 +101,11 @@ class ComputeCovid19Pipeline {
   ClassificationAI& classification() { return *classification_; }
 
  private:
+  /// When `diag` is non-null the lung/infected voxel counts and the
+  /// infection-burden fraction are filled in from the segmentation mask
+  /// (a read-only counting pass; the masked tensor bits are untouched).
   Tensor prepare(const Tensor& volume_hu, bool use_enhancement,
-                 StageTimes* times) const;
+                 StageTimes* times, Diagnosis* diag = nullptr) const;
 
   std::shared_ptr<EnhancementAI> enhancement_;
   std::shared_ptr<SegmentationAI> segmentation_;

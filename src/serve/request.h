@@ -45,6 +45,23 @@ struct ServeOptions {
   /// Drop the request unexecuted if it waits longer than this before a
   /// worker starts its batch. zero = no deadline.
   std::chrono::milliseconds deadline{0};
+
+  // Longitudinal monitoring (serve/monitor.h). patient_id != 0 opts a
+  // request into session tracking when the server runs with a Monitor;
+  // 0 keeps the stateless one-shot behavior.
+  std::uint64_t patient_id = 0;
+  /// Authoritative scan ordinal supplied by the routing layer (the
+  /// front door numbers a patient's scans so failover re-dispatch can
+  /// never double-count); 0 = let the worker's local session assign it.
+  std::uint64_t monitor_seq = 0;
+  /// When true, prior_burden/baseline_burden carry the patient's last
+  /// and first infection-burden values from the routing layer's session
+  /// record — the worker computes deltas from these exact bits instead
+  /// of its local history, so a freshly failed-over worker produces the
+  /// same deltas as the one that died.
+  bool has_prior = false;
+  double prior_burden = 0.0;
+  double baseline_burden = 0.0;
 };
 
 struct DiagnoseResponse {
@@ -64,6 +81,15 @@ struct DiagnoseResponse {
   /// Failed execution attempts before this response (retry-with-backoff
   /// plus the degraded retry, when they happened).
   int retries = 0;
+
+  // Longitudinal monitoring (serve/monitor.h); meaningful when
+  // scan_seq > 0 (the request carried a patient_id and the server ran
+  // with a Monitor).
+  double infection_burden = 0.0;  ///< this scan's burden (pipeline metric)
+  double burden_delta = 0.0;      ///< vs the patient's previous scan
+  double baseline_delta = 0.0;    ///< vs the patient's first scan
+  std::uint64_t scan_seq = 0;     ///< 1-based per-patient scan ordinal
+  bool cache_hit = false;         ///< served from the result cache
 };
 
 /// Internal queue entry. The Tensor member is a shallow copy (shared

@@ -1,10 +1,13 @@
 #include "serve/server.h"
 
 #include <exception>
+#include <optional>
 #include <utility>
 
 #include "core/finite.h"
+#include "core/precision.h"
 #include "fault/failpoint.h"
+#include "graph/graph.h"
 #include "trace/export.h"
 #include "trace/trace.h"
 
@@ -42,6 +45,7 @@ InferenceServer::InferenceServer(SessionRegistry registry, ServerOptions opt)
       // deadline triage apply) instead of hiding in the pool.
       pool_(WorkerPool::Options{opt.workers, opt.inner_threads, 1}),
       start_time_(Clock::now()) {
+  if (opt_.monitor) monitor_ = std::make_unique<Monitor>(opt_.monitor_opts);
   batcher_thread_ = std::thread([this] { batcher_loop(); });
 }
 
@@ -68,6 +72,9 @@ std::string InferenceServer::stats_json() const {
   // harness) can tell injected failures from organic ones.
   const std::string fp = fault::Registry::instance().json();
   if (fp != "{}") out.insert(out.size() - 1, ",\"failpoints\":" + fp);
+  if (monitor_) {
+    out.insert(out.size() - 1, ",\"monitor\":" + monitor_->stats_json());
+  }
   // Trace summary (per-span count/total/p50/p99): aggregation merges
   // every thread's ring into one duration set per span name BEFORE
   // extracting quantiles, so the reported percentiles are workload
@@ -192,11 +199,37 @@ void InferenceServer::execute_batch(std::vector<RequestPtr> batch) {
     return;
   }
 
+  // Result cache (monitoring mode): sample epoch + configuration ONCE
+  // per batch, before any lookup, and pass the same epoch to insert —
+  // invalidations racing this batch retire its keys, so its inserts are
+  // dropped instead of resurrecting pre-invalidation results. Hits skip
+  // compute entirely; only misses go to the pipeline.
+  std::vector<std::uint64_t> keys(live.size(), 0);
+  std::vector<std::optional<CachedResult>> cached(live.size());
+  std::uint64_t epoch = 0;
+  if (monitor_) {
+    epoch = monitor_->cache().epoch();
+    const core::Precision precision = core::active_precision();
+    const bool fusion = graph::fusion_enabled();
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      keys[i] = ResultCache::scan_key(
+          live[i]->volume_hu, live[i]->options.use_enhancement,
+          live[i]->options.threshold, precision, fusion, epoch);
+      cached[i] = monitor_->cache().lookup(keys[i]);
+    }
+  }
+
+  constexpr std::size_t kNoItem = static_cast<std::size_t>(-1);
   std::vector<pipeline::BatchItem> items;
+  std::vector<std::size_t> item_index(live.size(), kNoItem);
+  std::vector<std::size_t> miss_of;  ///< item index -> live index
   items.reserve(live.size());
-  for (const auto& req : live) {
-    items.push_back({&req->volume_hu, req->options.use_enhancement,
-                     req->options.threshold});
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (cached[i]) continue;
+    item_index[i] = items.size();
+    miss_of.push_back(i);
+    items.push_back({&live[i]->volume_hu, live[i]->options.use_enhancement,
+                     live[i]->options.threshold});
   }
 
   // Execution with retry-with-backoff and optional graceful degradation:
@@ -209,7 +242,7 @@ void InferenceServer::execute_batch(std::vector<RequestPtr> batch) {
   int attempts_failed = 0;
   bool degraded = false;
   auto backoff = opt_.retry_backoff;
-  for (;;) {
+  while (!items.empty()) {
     try {
       if (auto f = CCOVID_FAILPOINT_FIRED("serve.worker.exec")) {
         if (f.action == fault::Action::kError ||
@@ -244,11 +277,31 @@ void InferenceServer::execute_batch(std::vector<RequestPtr> batch) {
     }
   }
 
-  if (opt_.device_stall_s > 0.0) {
+  // Fill the cache from this batch's fresh computations. Degraded runs
+  // are NOT cached: the key was derived from the requested workflow
+  // (enhancement on) but the bits came from the reduced one, and a hit
+  // must always equal an honest recomputation of its key.
+  if (monitor_ && !degraded) {
+    for (std::size_t j = 0; j < miss_of.size(); ++j) {
+      const pipeline::Diagnosis& d = results[j];
+      CachedResult cr;
+      cr.probability = d.probability;
+      cr.positive = d.positive;
+      cr.threshold = d.threshold;
+      cr.infection_burden = d.infection_burden;
+      cr.lung_voxels = d.lung_voxels;
+      cr.infected_voxels = d.infected_voxels;
+      cr.seal();
+      monitor_->cache().insert(keys[miss_of[j]], cr, epoch);
+    }
+  }
+
+  if (opt_.device_stall_s > 0.0 && !items.empty()) {
     // Emulated accelerator residency: the worker blocks as it would on
-    // a synchronous device queue running the paper-scale model.
+    // a synchronous device queue running the paper-scale model. Cache
+    // hits never touched the device, so only computed volumes stall.
     std::this_thread::sleep_for(std::chrono::duration<double>(
-        opt_.device_stall_s * static_cast<double>(live.size())));
+        opt_.device_stall_s * static_cast<double>(items.size())));
   }
 
   const double execute_s =
@@ -260,26 +313,62 @@ void InferenceServer::execute_batch(std::vector<RequestPtr> batch) {
     if (degraded) stats_.degraded.fetch_add(1, std::memory_order_relaxed);
     DiagnoseResponse r;
     r.status = RequestStatus::kOk;
-    r.degraded = degraded;
     r.retries = attempts_failed;
-    r.diagnosis = results[i];
-    r.stages = times[i];
     r.queue_s = std::chrono::duration<double>(exec_start -
                                               live[i]->submit_time)
                     .count();
     r.execute_s = execute_s;
     r.batch_size = live.size();
 
+    const std::size_t j = item_index[i];
+    if (j == kNoItem) {
+      // Cache hit: reconstruct the diagnosis from the verified entry —
+      // bitwise identical to what recomputation would have produced.
+      const CachedResult& cr = *cached[i];
+      r.cache_hit = true;
+      r.diagnosis.probability = cr.probability;
+      r.diagnosis.positive = cr.positive;
+      r.diagnosis.threshold = cr.threshold;
+      r.diagnosis.infection_burden = cr.infection_burden;
+      r.diagnosis.lung_voxels = cr.lung_voxels;
+      r.diagnosis.infected_voxels = cr.infected_voxels;
+    } else {
+      r.degraded = degraded;
+      r.diagnosis = results[j];
+      r.stages = times[j];
+      stats_.prepare.record(times[j].prepare_s);
+      if (items[j].use_enhancement) stats_.enhance.record(times[j].enhance_s);
+      stats_.segment.record(times[j].segment_s);
+      stats_.classify.record(times[j].classify_s);
+      stats_.stage_totals.add("prepare", times[j].prepare_s);
+      stats_.stage_totals.add("enhance", times[j].enhance_s);
+      stats_.stage_totals.add("segment", times[j].segment_s);
+      stats_.stage_totals.add("classify", times[j].classify_s);
+    }
+    r.infection_burden = r.diagnosis.infection_burden;
+
+    // Longitudinal session tracking for requests carrying a patient id.
+    // When the routing layer shipped an authoritative prior (failover-
+    // safe ordinals), deltas come from those exact bits; otherwise the
+    // local session history assigns the ordinal.
+    if (monitor_ && live[i]->options.patient_id != 0) {
+      SessionPrior prior;
+      const SessionPrior* pp = nullptr;
+      if (live[i]->options.has_prior) {
+        prior.seq = live[i]->options.monitor_seq;
+        prior.prev_burden = live[i]->options.prior_burden;
+        prior.baseline_burden = live[i]->options.baseline_burden;
+        pp = &prior;
+      }
+      const ScanDelta d = monitor_->sessions().observe(
+          live[i]->options.patient_id, r.infection_burden, uptime_s(), pp);
+      r.scan_seq = d.seq;
+      r.burden_delta = d.delta_vs_prev;
+      r.baseline_delta = d.delta_vs_baseline;
+    }
+
     stats_.queue_wait.record(r.queue_s);
     stats_.execute.record(execute_s);
-    stats_.prepare.record(times[i].prepare_s);
-    if (items[i].use_enhancement) stats_.enhance.record(times[i].enhance_s);
-    stats_.segment.record(times[i].segment_s);
-    stats_.classify.record(times[i].classify_s);
-    stats_.stage_totals.add("prepare", times[i].prepare_s);
-    stats_.stage_totals.add("enhance", times[i].enhance_s);
-    stats_.stage_totals.add("segment", times[i].segment_s);
-    stats_.stage_totals.add("classify", times[i].classify_s);
 
     const Clock::time_point done = Clock::now();
     stats_.total.record(

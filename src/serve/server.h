@@ -35,6 +35,7 @@
 
 #include "serve/batcher.h"
 #include "serve/bounded_queue.h"
+#include "serve/monitor.h"
 #include "serve/request.h"
 #include "serve/stats.h"
 #include "serve/worker_pool.h"
@@ -92,6 +93,12 @@ struct ServerOptions {
   /// enhancement stage disabled (the §5.2.3 reduced workflow) instead of
   /// failing — responses carry degraded=true so clients can tell.
   bool degrade_on_failure = false;
+  /// Longitudinal monitoring mode (serve/monitor.h): session store +
+  /// content-addressed result cache + per-patient burden deltas for
+  /// requests carrying a patient_id. Stateless requests (patient_id 0)
+  /// are untouched either way.
+  bool monitor = false;
+  MonitorOptions monitor_opts;
 };
 
 class InferenceServer {
@@ -119,6 +126,11 @@ class InferenceServer {
   bool accepting() const {
     return accepting_.load(std::memory_order_acquire);
   }
+  /// Non-null when ServerOptions::monitor is set. Exposed so operators
+  /// (and chaos suites) can invalidate the cache on weight/config
+  /// changes and read the monitoring counters.
+  Monitor* monitor() { return monitor_.get(); }
+  const Monitor* monitor() const { return monitor_.get(); }
   std::size_t queue_depth() const { return queue_.size(); }
   const ServerOptions& options() const { return opt_; }
   ServerStats& stats() { return stats_; }
@@ -134,6 +146,7 @@ class InferenceServer {
 
   ServerOptions opt_;
   SessionRegistry registry_;
+  std::unique_ptr<Monitor> monitor_;  ///< null unless opt_.monitor
   ServerStats stats_;
   BoundedQueue<RequestPtr> queue_;
   DynamicBatcher batcher_;

@@ -39,6 +39,12 @@ DiagnoseResponse from_shard(const ShardResponse& sr) {
   r.error = sr.error;
   r.degraded = sr.degraded;
   r.retries = sr.retries;
+  r.infection_burden = sr.infection_burden;
+  r.diagnosis.infection_burden = sr.infection_burden;
+  r.burden_delta = sr.burden_delta;
+  r.baseline_delta = sr.baseline_delta;
+  r.scan_seq = sr.scan_seq;
+  r.cache_hit = sr.cache_hit;
   return r;
 }
 
@@ -56,6 +62,11 @@ ShardResponse to_shard(std::uint64_t request_id, const DiagnoseResponse& r) {
   sr.segment_s = r.stages.segment_s;
   sr.classify_s = r.stages.classify_s;
   sr.execute_s = r.execute_s;
+  sr.infection_burden = r.infection_burden;
+  sr.burden_delta = r.burden_delta;
+  sr.baseline_delta = r.baseline_delta;
+  sr.scan_seq = r.scan_seq;
+  sr.cache_hit = r.cache_hit;
   sr.error = r.error;
   return sr;
 }
@@ -133,6 +144,17 @@ FrontDoor::~FrontDoor() { shutdown(); }
 
 bool FrontDoor::resolve(Pending& pending, DiagnoseResponse r) {
   if (pending.done.exchange(true)) return false;
+  // exchange() above guarantees exactly-once, so a monitored scan's
+  // burden lands in the authoritative record exactly once — failover
+  // twins can never double-advance a patient's history.
+  if (opt_.monitor && pending.req.patient_id != 0 &&
+      r.status == RequestStatus::kOk && r.scan_seq > 0) {
+    std::lock_guard<std::mutex> lock(monitor_mu_);
+    MonitorRecord& rec = monitor_sessions_[pending.req.patient_id];
+    if (rec.completed == 0) rec.baseline_burden = r.infection_burden;
+    rec.prev_burden = r.infection_burden;
+    ++rec.completed;
+  }
   r.total_s = since(pending.submit);
   total_.record(r.total_s);
   pending.promise.set_value(std::move(r));
@@ -143,6 +165,21 @@ std::future<DiagnoseResponse> FrontDoor::submit(std::uint64_t patient_id,
                                                 const Tensor& volume_hu,
                                                 ServeOptions options) {
   const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  // Monitoring: number this scan and attach the patient's completed
+  // prior burdens BEFORE the request is encoded — the triple rides the
+  // wire bytes, so a failover re-send is byte-identical and the deltas
+  // a fresh worker computes are bit-identical to the dead worker's.
+  if (opt_.monitor && patient_id != 0) {
+    std::lock_guard<std::mutex> lock(monitor_mu_);
+    MonitorRecord& rec = monitor_sessions_[patient_id];
+    options.patient_id = patient_id;
+    options.monitor_seq = ++rec.assigned;
+    if (rec.completed > 0) {
+      options.has_prior = true;
+      options.prior_burden = rec.prev_burden;
+      options.baseline_burden = rec.baseline_burden;
+    }
+  }
   auto p = std::make_shared<Pending>();
   p->id = id;
   p->submit = Clock::now();
@@ -381,6 +418,11 @@ int FrontDoor::alive_shards() const {
   return n;
 }
 
+std::size_t FrontDoor::monitor_patients() const {
+  std::lock_guard<std::mutex> lock(monitor_mu_);
+  return monitor_sessions_.size();
+}
+
 std::uint64_t FrontDoor::failed_over() const {
   std::uint64_t n = 0;
   for (auto& cp : conns_) {
@@ -416,6 +458,9 @@ std::string FrontDoor::stats_json() const {
   out += ",\"failed\":" + std::to_string(failed);
   out += ",\"failed_over\":" + std::to_string(failed_over());
   out += ",\"heartbeat_misses\":" + std::to_string(heartbeat_misses());
+  if (opt_.monitor) {
+    out += ",\"monitor_patients\":" + std::to_string(monitor_patients());
+  }
   out += ",";
   append_histogram_json(out, "total", total_);
   out += ",\"per_shard\":[";
@@ -543,6 +588,11 @@ WorkerRunStats run_shard_worker(
         ServeOptions so;
         so.use_enhancement = rq.use_enhancement;
         so.threshold = rq.threshold;
+        so.patient_id = rq.patient_id;
+        so.monitor_seq = rq.monitor_seq;
+        so.has_prior = rq.has_prior;
+        so.prior_burden = rq.prior_burden;
+        so.baseline_burden = rq.baseline_burden;
         inflight.emplace_back(rq.request_id,
                               server.submit(rq.to_tensor(), so));
         ++st.served;

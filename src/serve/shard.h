@@ -67,6 +67,15 @@ struct FrontDoorOptions {
   /// Per-request re-route budget after worker deaths; exhausting it
   /// fails the request typed instead of bouncing forever.
   int max_failovers = 2;
+  /// Longitudinal monitoring: the front door becomes the AUTHORITY for
+  /// per-patient scan ordinals and prior burdens. Each submit for a
+  /// patient is numbered here and carries (seq, prev burden, baseline
+  /// burden) in the wire request, so a failover re-send to a fresh
+  /// worker reproduces the exact same deltas — worker state is only a
+  /// cache. Requires sequential submission per patient (a follow-up
+  /// scan is submitted after its predecessor resolved), which is the
+  /// clinical reality monitoring models.
+  bool monitor = false;
 };
 
 /// Per-shard routing/health counters (all monotonic; see stats_json).
@@ -105,6 +114,9 @@ class FrontDoor {
 
   int shards() const { return static_cast<int>(conns_.size()); }
   int alive_shards() const;
+  /// Patients the front door holds an authoritative session record for
+  /// (0 unless FrontDoorOptions::monitor).
+  std::size_t monitor_patients() const;
   std::uint64_t failed_over() const;
   std::uint64_t heartbeat_misses() const;
   /// Worker pid from the handshake (0 for in-process workers).
@@ -120,6 +132,17 @@ class FrontDoor {
  private:
   struct Pending;
   struct ShardConn;
+
+  /// Authoritative per-patient monitoring record (see
+  /// FrontDoorOptions::monitor). `assigned` is the last ordinal handed
+  /// out at submit; `completed` counts scans whose burden came back, and
+  /// prev/baseline hold those completed burdens' bits.
+  struct MonitorRecord {
+    std::uint64_t assigned = 0;
+    std::uint64_t completed = 0;
+    double baseline_burden = 0.0;
+    double prev_burden = 0.0;
+  };
 
   void rx_loop(int shard);
   void heartbeat_loop();
@@ -139,6 +162,8 @@ class FrontDoor {
   /// expected drain, not a death (no failover, shard stays "alive").
   std::atomic<bool> draining_{false};
   std::atomic<std::uint64_t> next_id_{1};
+  mutable std::mutex monitor_mu_;
+  std::unordered_map<std::uint64_t, MonitorRecord> monitor_sessions_;
   LatencyHistogram total_;  ///< submit -> resolve, across all shards
   std::mutex shutdown_mu_;
   bool shut_down_ = false;

@@ -129,6 +129,10 @@ ShardRequest ShardRequest::from_volume(std::uint64_t request_id,
   ShardRequest req;
   req.request_id = request_id;
   req.patient_id = patient_id;
+  req.monitor_seq = opt.monitor_seq;
+  req.has_prior = opt.has_prior;
+  req.prior_burden = opt.prior_burden;
+  req.baseline_burden = opt.baseline_burden;
   req.use_enhancement = opt.use_enhancement;
   req.threshold = opt.threshold;
   req.depth = static_cast<std::uint32_t>(volume_hu.dim(0));
@@ -181,6 +185,10 @@ std::vector<std::uint8_t> encode(const ShardRequest& m) {
   WireWriter w;
   w.u64(m.request_id);
   w.u64(m.patient_id);
+  w.u64(m.monitor_seq);
+  w.u8(m.has_prior ? 1 : 0);
+  w.f64(m.prior_burden);
+  w.f64(m.baseline_burden);
   w.u8(m.use_enhancement ? 1 : 0);
   w.f64(m.threshold);
   w.u32(m.depth);
@@ -195,6 +203,10 @@ ShardRequest decode_request(const std::vector<std::uint8_t>& p) {
   ShardRequest m;
   m.request_id = r.u64();
   m.patient_id = r.u64();
+  m.monitor_seq = r.u64();
+  m.has_prior = r.u8() != 0;
+  m.prior_burden = r.f64();
+  m.baseline_burden = r.f64();
   m.use_enhancement = r.u8() != 0;
   m.threshold = r.f64();
   m.depth = r.u32();
@@ -231,6 +243,11 @@ std::vector<std::uint8_t> encode(const ShardResponse& m) {
   w.f64(m.segment_s);
   w.f64(m.classify_s);
   w.f64(m.execute_s);
+  w.f64(m.infection_burden);
+  w.f64(m.burden_delta);
+  w.f64(m.baseline_delta);
+  w.u64(m.scan_seq);
+  w.u8(m.cache_hit ? 1 : 0);
   w.str(m.error);
   return std::move(w.buf);
 }
@@ -250,6 +267,11 @@ ShardResponse decode_response(const std::vector<std::uint8_t>& p) {
   m.segment_s = r.f64();
   m.classify_s = r.f64();
   m.execute_s = r.f64();
+  m.infection_burden = r.f64();
+  m.burden_delta = r.f64();
+  m.baseline_delta = r.f64();
+  m.scan_seq = r.u64();
+  m.cache_hit = r.u8() != 0;
   m.error = r.str();
   expect_drained(r, "response");
   return m;

@@ -26,7 +26,12 @@
 
 namespace ccovid::serve {
 
-inline constexpr std::uint32_t kShardProtoVersion = 1;
+// v2: monitoring fields — requests carry the front door's authoritative
+// (seq, prior burden, baseline burden) triple so failover re-dispatch
+// reproduces deltas bit-for-bit; responses echo burden/delta/seq and
+// the cache-hit flag. Version checks are exact: a v1 peer is rejected
+// as version skew, never silently mis-parsed.
+inline constexpr std::uint32_t kShardProtoVersion = 2;
 
 // ------------------------------------------------------ wire helpers
 
@@ -81,6 +86,14 @@ struct HelloAckMsg {
 struct ShardRequest {
   std::uint64_t request_id = 0;  ///< front-door-scoped correlation id
   std::uint64_t patient_id = 0;  ///< routing key
+  // Monitoring (v2): the front door numbers each patient's scans and
+  // ships the prior burden values with the request, so the worker's
+  // delta computation is a pure function of the request bytes — a
+  // failover re-send to a fresh worker reproduces the same deltas.
+  std::uint64_t monitor_seq = 0;   ///< this scan's ordinal (0 = untracked)
+  bool has_prior = false;
+  double prior_burden = 0.0;
+  double baseline_burden = 0.0;
   bool use_enhancement = true;
   double threshold = 0.5;
   std::uint32_t depth = 0, height = 0, width = 0;
@@ -103,6 +116,12 @@ struct ShardResponse {
   double threshold = 0.5;
   double prepare_s = 0.0, enhance_s = 0.0, segment_s = 0.0, classify_s = 0.0;
   double execute_s = 0.0;
+  // Monitoring (v2): meaningful when scan_seq > 0.
+  double infection_burden = 0.0;
+  double burden_delta = 0.0;
+  double baseline_delta = 0.0;
+  std::uint64_t scan_seq = 0;
+  bool cache_hit = false;
   std::string error;
 };
 

@@ -1,0 +1,487 @@
+// Monitoring-mode chaos suite: the result cache + session store
+// (serve/monitor.h) under seeded fault schedules and a real
+// worker-process kill. The invariants the monitor-determinism CI job
+// gates on:
+//
+//   - NO STALE BITS, EVER: whatever happens to the cache (poison,
+//     forced eviction, lookup outage, invalidate racing an insert,
+//     capacity thrashing), every response carries bits identical to a
+//     fault-free recomputation. Faults may cost hits, never correctness.
+//   - NO LOST / DOUBLE-COUNTED DELTAS: across a SIGKILL of a worker
+//     holding warm sessions, every patient's scan ordinals stay exactly
+//     1..N and the failed-over follow-up deltas are bit-identical to
+//     the arithmetic on the baseline burdens — the front door owns the
+//     ordinals, worker state is only a cache.
+//
+// Seeded schedules + serialized submission make the fault traces
+// bitwise-reproducible, checked with FNV digests as in chaos_serve.
+// The ctest TIMEOUT is the deadlock backstop.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/digest.h"
+#include "data/phantom.h"
+#include "fault/failpoint.h"
+#include "net/socket.h"
+#include "net/transport.h"
+#include "nn/layers.h"
+#include "serve/monitor.h"
+#include "serve/server.h"
+#include "serve/shard.h"
+#include "serve/shard_spawn.h"
+
+#ifndef CCOVID_SERVE_BIN
+#error "chaos_monitor must be built with CCOVID_SERVE_BIN=<path>"
+#endif
+
+namespace ccovid {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::shared_ptr<const pipeline::ComputeCovid19Pipeline> tiny_pipeline() {
+  nn::seed_init_rng(3);
+  auto enh = std::make_shared<pipeline::EnhancementAI>(nn::DDnetConfig::tiny());
+  auto seg = std::make_shared<pipeline::SegmentationAI>();
+  auto cls = std::make_shared<pipeline::ClassificationAI>();
+  enh->network().set_training(false);
+  seg->network().set_training(false);
+  cls->network().set_training(false);
+  return std::make_shared<const pipeline::ComputeCovid19Pipeline>(enh, seg,
+                                                                  cls);
+}
+
+std::vector<data::PhantomVolume> tiny_volumes(std::size_t n) {
+  Rng rng(11);
+  std::vector<data::PhantomVolume> vols;
+  for (std::size_t i = 0; i < n; ++i) {
+    vols.push_back(data::make_volume(2, 8, i % 2 == 1, rng));
+  }
+  return vols;
+}
+
+serve::ServerOptions monitored_options(std::size_t cache_capacity = 256) {
+  serve::ServerOptions opt;
+  opt.workers = 1;
+  opt.max_batch = 1;
+  opt.batch_delay = std::chrono::microseconds(100);
+  opt.monitor = true;
+  opt.monitor_opts.cache_capacity = cache_capacity;
+  return opt;
+}
+
+struct MonitorScenario {
+  std::vector<serve::DiagnoseResponse> responses;
+  std::string stats_json;
+  /// FNV-1a over (status, cache_hit, seq, probability, burden, delta)
+  /// per response — the bitwise witness every fault schedule must
+  /// reproduce against the fault-free run.
+  std::uint64_t trace_digest = kFnv1aOffset;
+  std::uint64_t hits = 0;
+  std::uint64_t poisoned_dropped = 0;
+  std::uint64_t forced_evictions = 0;
+  std::uint64_t degraded_lookups = 0;
+  std::uint64_t stale_inserts = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t session_dropped = 0;
+};
+
+/// Serialized monitored scans: volume `order[i]` is submitted as a scan
+/// of patient 100 + order[i] (same volume -> same patient -> telescoping
+/// series), each waited before the next — seeded schedules replay
+/// identically.
+MonitorScenario run_monitored(const std::string& failpoints,
+                              std::uint64_t seed, serve::ServerOptions opt,
+                              const std::vector<data::PhantomVolume>& vols,
+                              const std::vector<std::size_t>& order) {
+  fault::Registry::instance().reset();
+  fault::Registry::instance().set_seed(seed);
+  MonitorScenario out;
+  {
+    serve::InferenceServer server(tiny_pipeline(), opt);
+    fault::Registry::instance().configure(failpoints);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      serve::ServeOptions so;
+      so.patient_id = 100 + order[i];
+      auto fut = server.submit(vols[order[i]].hu, so);
+      if (fut.wait_for(30s) != std::future_status::ready) {
+        ADD_FAILURE() << "scan " << i << " never resolved (lost/wedged)";
+        fault::Registry::instance().reset();
+        return out;
+      }
+      out.responses.push_back(fut.get());
+    }
+    out.stats_json = server.stats_json();
+    if (server.monitor() != nullptr) {
+      const auto& c = server.monitor()->cache();
+      out.hits = c.hits.load();
+      out.poisoned_dropped = c.poisoned_dropped.load();
+      out.forced_evictions = c.forced_evictions.load();
+      out.degraded_lookups = c.degraded_lookups.load();
+      out.stale_inserts = c.stale_inserts.load();
+      out.evictions = c.evictions.load();
+      out.session_dropped = server.monitor()->sessions().dropped.load();
+    }
+    server.shutdown();
+  }
+  for (const auto& r : out.responses) {
+    const unsigned char status = static_cast<unsigned char>(r.status);
+    const unsigned char hit = r.cache_hit ? 1 : 0;
+    out.trace_digest = fnv1a64(&status, 1, out.trace_digest);
+    out.trace_digest = fnv1a64(&hit, 1, out.trace_digest);
+    out.trace_digest =
+        fnv1a64(&r.scan_seq, sizeof(r.scan_seq), out.trace_digest);
+    if (r.status == serve::RequestStatus::kOk) {
+      out.trace_digest = fnv1a64(&r.diagnosis.probability, sizeof(double),
+                                 out.trace_digest);
+      out.trace_digest = fnv1a64(&r.infection_burden, sizeof(double),
+                                 out.trace_digest);
+      out.trace_digest =
+          fnv1a64(&r.burden_delta, sizeof(double), out.trace_digest);
+    }
+  }
+  fault::Registry::instance().reset();
+  return out;
+}
+
+/// Per-response payload-bit comparison against the fault-free reference
+/// run: same statuses, same probability/burden/delta BITS. cache_hit is
+/// deliberately NOT compared — faults are allowed to turn hits into
+/// recomputes, never to change the bits.
+void expect_same_bits(const MonitorScenario& reference,
+                      const MonitorScenario& faulted, const char* what) {
+  ASSERT_EQ(reference.responses.size(), faulted.responses.size());
+  for (std::size_t i = 0; i < reference.responses.size(); ++i) {
+    const auto& a = reference.responses[i];
+    const auto& b = faulted.responses[i];
+    ASSERT_EQ(b.status, serve::RequestStatus::kOk)
+        << what << ": scan " << i << " failed: " << b.error;
+    EXPECT_EQ(a.scan_seq, b.scan_seq) << what << " scan " << i;
+    EXPECT_EQ(0, std::memcmp(&a.diagnosis.probability,
+                             &b.diagnosis.probability, sizeof(double)))
+        << what << ": probability bits diverged at scan " << i;
+    EXPECT_EQ(0, std::memcmp(&a.infection_burden, &b.infection_burden,
+                             sizeof(double)))
+        << what << ": burden bits diverged at scan " << i;
+    EXPECT_EQ(0, std::memcmp(&a.burden_delta, &b.burden_delta,
+                             sizeof(double)))
+        << what << ": delta bits diverged at scan " << i;
+  }
+}
+
+/// Two passes over 4 distinct volumes: pass 1 computes, pass 2 would
+/// hit a healthy cache. The order every schedule below replays.
+std::vector<std::size_t> two_pass_order() {
+  return {0, 1, 2, 3, 0, 1, 2, 3};
+}
+
+class ChaosMonitor : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Registry::instance().reset(); }
+  void TearDown() override { fault::Registry::instance().reset(); }
+};
+
+// Schedule 0 (fault-free reference): second pass hits, hits are bitwise
+// identical to the first-pass computation, deltas are exactly zero
+// (same volume re-scanned), and the whole trace replays.
+TEST_F(ChaosMonitor, FaultFreeReferenceHitsAndReplays) {
+  const auto vols = tiny_volumes(4);
+  const auto a = run_monitored("", 1, monitored_options(), vols,
+                               two_pass_order());
+  ASSERT_EQ(a.responses.size(), 8u);
+  EXPECT_EQ(a.hits, 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto& first = a.responses[i];
+    const auto& second = a.responses[4 + i];
+    ASSERT_EQ(first.status, serve::RequestStatus::kOk);
+    ASSERT_EQ(second.status, serve::RequestStatus::kOk);
+    EXPECT_FALSE(first.cache_hit);
+    EXPECT_TRUE(second.cache_hit) << "volume " << i;
+    EXPECT_EQ(0, std::memcmp(&first.infection_burden,
+                             &second.infection_burden, sizeof(double)));
+    EXPECT_EQ(second.scan_seq, 2u);
+    EXPECT_EQ(second.burden_delta, 0.0);
+  }
+  const auto b = run_monitored("", 1, monitored_options(), vols,
+                               two_pass_order());
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+}
+
+// Schedule 1: every lookup that finds an entry poisons it first — the
+// self-digest check must drop each one and recompute. Zero hits, zero
+// stale bits.
+TEST_F(ChaosMonitor, PoisonStormNeverServesStaleBits) {
+  const auto vols = tiny_volumes(4);
+  const auto clean = run_monitored("", 1, monitored_options(), vols,
+                                   two_pass_order());
+  const std::string fp = "serve.cache.poison=every(1)*corrupt(3)";
+  const auto a = run_monitored(fp, 7, monitored_options(), vols,
+                               two_pass_order());
+  expect_same_bits(clean, a, "poison");
+  EXPECT_EQ(a.hits, 0u) << "every found entry was poisoned";
+  EXPECT_EQ(a.poisoned_dropped, 4u);
+  for (const auto& r : a.responses) EXPECT_FALSE(r.cache_hit);
+  EXPECT_NE(a.stats_json.find("\"poisoned_dropped\":4"), std::string::npos)
+      << a.stats_json;
+
+  const auto b = run_monitored(fp, 7, monitored_options(), vols,
+                               two_pass_order());
+  EXPECT_EQ(a.trace_digest, b.trace_digest)
+      << "seeded corruption must replay bitwise";
+}
+
+// Schedule 2: forced eviction of an entry at the moment of its hit —
+// degrade to recompute exactly as if capacity had taken it.
+TEST_F(ChaosMonitor, ForcedEvictionDegradesToRecompute) {
+  const auto vols = tiny_volumes(4);
+  const auto clean = run_monitored("", 1, monitored_options(), vols,
+                                   two_pass_order());
+  const auto a = run_monitored("serve.cache.evict=nth(2)", 1,
+                               monitored_options(), vols, two_pass_order());
+  expect_same_bits(clean, a, "forced-evict");
+  EXPECT_EQ(a.forced_evictions, 1u);
+  EXPECT_EQ(a.hits, 3u) << "one hit was converted into a recompute";
+}
+
+// Schedule 3: probabilistic lookup outage (backing store unreachable) —
+// a degraded lookup is a MISS, never an error; recompute covers it and
+// the seeded outage pattern replays.
+TEST_F(ChaosMonitor, LookupOutageDegradesToRecompute) {
+  const auto vols = tiny_volumes(4);
+  const auto clean = run_monitored("", 1, monitored_options(), vols,
+                                   two_pass_order());
+  const std::string fp = "serve.cache.lookup=prob(0.5)*error";
+  const auto a = run_monitored(fp, 2024, monitored_options(), vols,
+                               two_pass_order());
+  expect_same_bits(clean, a, "lookup-outage");
+  EXPECT_GT(a.degraded_lookups, 0u);
+  for (const auto& r : a.responses) {
+    EXPECT_EQ(r.status, serve::RequestStatus::kOk);
+  }
+  const auto b = run_monitored(fp, 2024, monitored_options(), vols,
+                               two_pass_order());
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  const auto c = run_monitored(fp, 99, monitored_options(), vols,
+                               two_pass_order());
+  EXPECT_LE(c.hits, 4u);
+  EXPECT_GE(c.hits + c.degraded_lookups, 4u)
+      << "every second-pass lookup either hit or degraded";
+}
+
+// Schedule 4: an invalidation lands between a request's compute and its
+// insert. The epoch check must drop that insert (stale_inserts), the
+// next scan of the same volume recomputes under the new epoch, and no
+// pre-invalidation bits survive — while the bits themselves never
+// change (same weights).
+TEST_F(ChaosMonitor, InvalidateMidRequestDropsTheRacingInsert) {
+  const auto vols = tiny_volumes(4);
+  const auto clean = run_monitored("", 1, monitored_options(), vols,
+                                   two_pass_order());
+  const auto a =
+      run_monitored("serve.cache.invalidate=nth(1)", 1, monitored_options(),
+                    vols, two_pass_order());
+  expect_same_bits(clean, a, "invalidate-mid-request");
+  EXPECT_EQ(a.stale_inserts, 1u)
+      << "the racing insert must die on the epoch check";
+  // Scan 0's insert was dropped and its key retired with the old epoch,
+  // so its second pass is a miss; volumes 1..3 were inserted under the
+  // new epoch and still hit.
+  EXPECT_EQ(a.hits, 3u);
+  EXPECT_FALSE(a.responses[4].cache_hit);
+  EXPECT_NE(a.stats_json.find("\"stale_inserts\":1"), std::string::npos)
+      << a.stats_json;
+}
+
+// Schedule 5: evict-under-load — a 2-entry cache thrashed by 4 distinct
+// volumes over three passes. Eviction churn costs hits, never bits, and
+// the session deltas stay exact through it.
+TEST_F(ChaosMonitor, CapacityThrashingStaysBitwiseCorrect) {
+  const auto vols = tiny_volumes(4);
+  std::vector<std::size_t> order;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::size_t v = 0; v < 4; ++v) order.push_back(v);
+  }
+  const auto big = run_monitored("", 1, monitored_options(256), vols, order);
+  const auto tiny = run_monitored("", 1, monitored_options(2), vols, order);
+  expect_same_bits(big, tiny, "thrash");
+  EXPECT_GT(tiny.evictions, 0u);
+  EXPECT_LT(tiny.hits, big.hits);
+  for (std::size_t i = 8; i < 12; ++i) {
+    EXPECT_EQ(tiny.responses[i].scan_seq, 3u);
+    EXPECT_EQ(tiny.responses[i].burden_delta, 0.0);
+  }
+}
+
+// Schedule 6: a worker-local session record dropped mid-series
+// (serve.session.drop). WITHOUT a routing authority the series restarts
+// at 1 — typed, counted, deterministic (the single-process contract).
+// The sharded test below proves the authoritative prior erases exactly
+// this loss.
+TEST_F(ChaosMonitor, SessionDropWithoutAuthorityRestartsTheSeries) {
+  const auto vols = tiny_volumes(2);
+  const std::vector<std::size_t> order = {0, 0, 0, 0};
+  const std::string fp = "serve.session.drop=nth(3)";
+  const auto a = run_monitored(fp, 1, monitored_options(), vols, order);
+  ASSERT_EQ(a.responses.size(), 4u);
+  EXPECT_EQ(a.session_dropped, 1u);
+  EXPECT_EQ(a.responses[0].scan_seq, 1u);
+  EXPECT_EQ(a.responses[1].scan_seq, 2u);
+  EXPECT_EQ(a.responses[2].scan_seq, 1u) << "record dropped -> restart";
+  EXPECT_EQ(a.responses[3].scan_seq, 2u);
+  const auto b = run_monitored(fp, 1, monitored_options(), vols, order);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+}
+
+// ------------------------------------------------- worker-kill (real)
+
+constexpr std::uint64_t kSeed = 3;
+
+struct SpawnedWorker {
+  int pid = 0;
+  std::string path;
+};
+
+SpawnedWorker spawn_monitor_worker(int shard, double stall_ms) {
+  SpawnedWorker w;
+  w.path = "/tmp/ccovid_chaos_monitor_" + std::to_string(::getpid()) + "_" +
+           std::to_string(shard) + ".sock";
+  std::vector<std::string> argv = {
+      CCOVID_SERVE_BIN, "--role", "worker",
+      "--listen", "unix:" + w.path,
+      "--shard-id", std::to_string(shard),
+      "--seed", std::to_string(kSeed),
+      "--workers", "1", "--batch", "2",
+      "--recv-timeout", "2",
+      "--accept-timeout", "20",
+      "--monitor",
+  };
+  if (stall_ms > 0) {
+    argv.push_back("--stall-ms");
+    argv.push_back(std::to_string(stall_ms));
+  }
+  w.pid = serve::spawn_process(argv);
+  return w;
+}
+
+void reap(const SpawnedWorker& w, double timeout_s = 10.0) {
+  if (serve::wait_process(w.pid, timeout_s) == -1) {
+    serve::kill_process(w.pid, SIGKILL);
+    serve::wait_process(w.pid, 5.0);
+  }
+  ::unlink(w.path.c_str());
+}
+
+// SIGKILL a real worker process between a patient cohort's baseline and
+// follow-up scans. The follow-ups fail over to the survivor — a fresh
+// process with COLD sessions — yet every delta must come out
+// bit-identical to the arithmetic on the baseline burdens, every
+// ordinal exactly once: the front door's authoritative priors rebuild
+// the history, so worker death loses no deltas and double-counts none.
+TEST_F(ChaosMonitor, WorkerKillWithWarmSessionsPreservesDeltas) {
+  constexpr std::size_t kPatients = 6;
+  const auto vols = tiny_volumes(2 * kPatients);
+
+  // Expected burden bits from the worker-twin pipeline (same config +
+  // seed as the binary's default, see tools/ccovid_serve.cpp).
+  std::vector<double> expected(vols.size());
+  {
+    nn::DDnetConfig ncfg;
+    ncfg.base_channels = 8;
+    ncfg.growth = 8;
+    ncfg.levels = 2;
+    ncfg.dense_layers = 2;
+    nn::seed_init_rng(kSeed);
+    auto enh = std::make_shared<pipeline::EnhancementAI>(ncfg);
+    auto seg = std::make_shared<pipeline::SegmentationAI>();
+    auto cls = std::make_shared<pipeline::ClassificationAI>();
+    enh->network().set_training(false);
+    seg->network().set_training(false);
+    cls->network().set_training(false);
+    auto pipe = std::make_shared<const pipeline::ComputeCovid19Pipeline>(
+        enh, seg, cls);
+    serve::ServerOptions lopt;
+    lopt.workers = 1;
+    lopt.max_batch = 2;
+    serve::InferenceServer local(pipe, lopt);
+    std::vector<std::future<serve::DiagnoseResponse>> fs;
+    for (const auto& v : vols) fs.push_back(local.submit(v.hu, {}));
+    for (std::size_t i = 0; i < fs.size(); ++i) {
+      const auto r = fs[i].get();
+      ASSERT_EQ(r.status, serve::RequestStatus::kOk);
+      expected[i] = r.diagnosis.infection_burden;
+    }
+    local.shutdown();
+  }
+
+  SpawnedWorker w0 = spawn_monitor_worker(0, 20.0);
+  SpawnedWorker w1 = spawn_monitor_worker(1, 20.0);
+  {
+    std::vector<std::unique_ptr<net::Transport>> ts;
+    ts.push_back(net::connect_endpoint(
+        net::Endpoint::parse("unix:" + w0.path), 15.0, 0, 0));
+    ts.push_back(net::connect_endpoint(
+        net::Endpoint::parse("unix:" + w1.path), 15.0, 0, 1));
+    serve::FrontDoorOptions fopt;
+    fopt.recv_timeout_s = 5.0;
+    fopt.heartbeat_interval_s = 0.05;
+    fopt.heartbeat_miss_limit = 10;
+    fopt.monitor = true;
+    serve::FrontDoor front(std::move(ts), fopt);
+
+    // Round 1: baselines, collected fully (the sequential-per-patient
+    // contract) so every session is warm before the kill.
+    std::vector<std::future<serve::DiagnoseResponse>> fs;
+    for (std::size_t p = 0; p < kPatients; ++p) {
+      fs.push_back(front.submit(1 + p, vols[p].hu, {}));
+    }
+    for (std::size_t p = 0; p < kPatients; ++p) {
+      const auto r = fs[p].get();
+      ASSERT_EQ(r.status, serve::RequestStatus::kOk) << r.error;
+      EXPECT_EQ(r.scan_seq, 1u);
+      ASSERT_EQ(0, std::memcmp(&expected[p], &r.infection_burden,
+                               sizeof(double)))
+          << "baseline burden bits diverged for patient " << p;
+    }
+    EXPECT_EQ(front.monitor_patients(), kPatients);
+
+    // Round 2: follow-ups in flight, then SIGKILL one worker — its
+    // patients' scans (warm sessions and all) must fail over.
+    fs.clear();
+    for (std::size_t p = 0; p < kPatients; ++p) {
+      fs.push_back(front.submit(1 + p, vols[kPatients + p].hu, {}));
+    }
+    ASSERT_TRUE(serve::kill_process(w0.pid, SIGKILL));
+    for (std::size_t p = 0; p < kPatients; ++p) {
+      const auto r = fs[p].get();
+      ASSERT_EQ(r.status, serve::RequestStatus::kOk)
+          << "patient " << p << " lost its follow-up: " << r.error;
+      EXPECT_EQ(r.scan_seq, 2u)
+          << "ordinal lost or double-counted for patient " << p;
+      ASSERT_EQ(0, std::memcmp(&expected[kPatients + p], &r.infection_burden,
+                               sizeof(double)));
+      const double want_delta = expected[kPatients + p] - expected[p];
+      EXPECT_EQ(0, std::memcmp(&want_delta, &r.burden_delta, sizeof(double)))
+          << "delta bits diverged for patient " << p;
+      EXPECT_EQ(0, std::memcmp(&want_delta, &r.baseline_delta,
+                               sizeof(double)))
+          << "baseline delta bits diverged for patient " << p;
+    }
+    EXPECT_GE(front.failed_over(), 1u) << "kill landed after the drain?";
+    EXPECT_EQ(front.alive_shards(), 1);
+    EXPECT_EQ(front.monitor_patients(), kPatients);
+    front.shutdown();
+  }
+  reap(w0);
+  reap(w1);
+}
+
+}  // namespace
+}  // namespace ccovid

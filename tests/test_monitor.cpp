@@ -1,0 +1,349 @@
+// Monitoring-mode suite (`ctest -L fast`): the serve/monitor.h unit
+// contracts — content-addressed key sensitivity, hit-equals-recompute
+// bitwise, LRU eviction, epoch-ordered invalidation (racing inserts
+// dropped), self-digest verification, session delta telescoping, the
+// authoritative-prior rebuild path, TTL/capacity bounds — plus the
+// InferenceServer integration: cache_hit responses bitwise-identical to
+// the recomputed first scan, per-patient deltas in responses, and the
+// "monitor" fragment in stats JSON. The fault-schedule scenarios
+// (poison, invalidate-mid-request, worker kill) live in
+// tests/chaos/chaos_monitor.cpp.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <vector>
+
+#include "core/precision.h"
+#include "data/phantom.h"
+#include "nn/layers.h"
+#include "serve/monitor.h"
+#include "serve/server.h"
+
+namespace ccovid {
+namespace {
+
+using namespace std::chrono_literals;
+using serve::CachedResult;
+using serve::MonitorOptions;
+using serve::ResultCache;
+using serve::ScanDelta;
+using serve::SessionPrior;
+using serve::SessionStore;
+
+CachedResult sealed(double prob, double burden) {
+  CachedResult r;
+  r.probability = prob;
+  r.positive = prob >= r.threshold;
+  r.infection_burden = burden;
+  r.lung_voxels = 100;
+  r.infected_voxels = static_cast<std::uint64_t>(burden * 100);
+  r.seal();
+  return r;
+}
+
+// ---------------------------------------------------------- scan keys
+
+TEST(ScanKey, CoversEveryInputTheOutputDependsOn) {
+  Tensor v({2, 4, 4});
+  for (index_t i = 0; i < v.numel(); ++i) v.data()[i] = real_t(i);
+  const auto base = [&] {
+    return ResultCache::scan_key(v, true, 0.5, core::Precision::kF32,
+                                 false, 0);
+  };
+  const std::uint64_t k = base();
+  EXPECT_EQ(k, base()) << "key must be a pure function of its inputs";
+
+  Tensor v2 = v.clone();
+  v2.data()[3] += 1.0f;
+  EXPECT_NE(k, ResultCache::scan_key(v2, true, 0.5, core::Precision::kF32,
+                                     false, 0))
+      << "a single changed voxel must change the key";
+  EXPECT_NE(k, ResultCache::scan_key(v, false, 0.5, core::Precision::kF32,
+                                     false, 0));
+  EXPECT_NE(k, ResultCache::scan_key(v, true, 0.25, core::Precision::kF32,
+                                     false, 0));
+  EXPECT_NE(k, ResultCache::scan_key(v, true, 0.5, core::Precision::kF16,
+                                     false, 0));
+  EXPECT_NE(k, ResultCache::scan_key(v, true, 0.5, core::Precision::kF32,
+                                     true, 0));
+  EXPECT_NE(k, ResultCache::scan_key(v, true, 0.5, core::Precision::kF32,
+                                     false, 1));
+}
+
+// -------------------------------------------------------- result cache
+
+TEST(ResultCache, HitReturnsTheExactInsertedBits) {
+  ResultCache cache(MonitorOptions{});
+  const CachedResult in = sealed(0.62517, 0.31250);
+  cache.insert(1234, in, cache.epoch());
+  const auto out = cache.lookup(1234);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(0, std::memcmp(&out->probability, &in.probability,
+                           sizeof(double)));
+  EXPECT_EQ(0, std::memcmp(&out->infection_burden, &in.infection_burden,
+                           sizeof(double)));
+  EXPECT_EQ(out->lung_voxels, in.lung_voxels);
+  EXPECT_EQ(cache.hits.load(), 1u);
+  EXPECT_EQ(cache.misses.load(), 0u);
+}
+
+TEST(ResultCache, LruEvictsColdestAtCapacity) {
+  MonitorOptions opt;
+  opt.cache_capacity = 2;
+  ResultCache cache(opt);
+  cache.insert(1, sealed(0.1, 0.1), 0);
+  cache.insert(2, sealed(0.2, 0.2), 0);
+  ASSERT_TRUE(cache.lookup(1).has_value());  // 1 is now hottest
+  cache.insert(3, sealed(0.3, 0.3), 0);      // evicts 2, the cold end
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_TRUE(cache.lookup(3).has_value());
+  EXPECT_EQ(cache.evictions.load(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCache, InvalidateBumpsEpochAndDropsRacingInserts) {
+  ResultCache cache(MonitorOptions{});
+  const std::uint64_t e0 = cache.epoch();
+  cache.insert(7, sealed(0.5, 0.5), e0);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // A request samples the epoch, then an invalidation lands before its
+  // insert: the insert must be dropped, not resurrect retired bits.
+  const std::uint64_t sampled = cache.epoch();
+  cache.invalidate("weights reloaded");
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.epoch(), e0 + 1);
+  EXPECT_EQ(cache.last_invalidate_reason(), "weights reloaded");
+  EXPECT_EQ(cache.invalidated_entries.load(), 1u);
+
+  cache.insert(8, sealed(0.6, 0.6), sampled);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stale_inserts.load(), 1u);
+
+  // An insert carrying the NEW epoch lands normally.
+  cache.insert(8, sealed(0.6, 0.6), cache.epoch());
+  EXPECT_TRUE(cache.lookup(8).has_value());
+}
+
+TEST(ResultCache, SelfDigestDetectsDamagedPayloads) {
+  CachedResult r = sealed(0.75, 0.25);
+  EXPECT_EQ(r.compute_digest(), r.self_digest);
+  r.infection_burden += 1e-9;  // one damaged payload bit-pattern
+  EXPECT_NE(r.compute_digest(), r.self_digest);
+}
+
+// ------------------------------------------------------- session store
+
+TEST(SessionStore, DeltasTelescopeAcrossAScanSeries) {
+  SessionStore store(MonitorOptions{});
+  const std::vector<double> burdens = {0.10, 0.25, 0.40, 0.30, 0.05};
+  double sum_deltas = 0.0;
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < burdens.size(); ++i) {
+    const ScanDelta d = store.observe(42, burdens[i], 0.0, nullptr);
+    EXPECT_EQ(d.seq, i + 1);
+    seq = d.seq;
+    EXPECT_EQ(d.first, i == 0);
+    if (i > 0) {
+      EXPECT_DOUBLE_EQ(d.delta_vs_prev, burdens[i] - burdens[i - 1]);
+      EXPECT_DOUBLE_EQ(d.delta_vs_baseline, burdens[i] - burdens[0]);
+      sum_deltas += d.delta_vs_prev;
+    }
+  }
+  // The telescoping invariant the chaos suite re-checks under faults.
+  EXPECT_DOUBLE_EQ(sum_deltas, burdens.back() - burdens.front());
+  EXPECT_EQ(seq, burdens.size());
+  EXPECT_EQ(store.patients(), 1u);
+  EXPECT_EQ(store.scans.load(), burdens.size());
+}
+
+TEST(SessionStore, AuthoritativePriorRebuildsAFreshStoreBitwise) {
+  // A worker observes scans 1..2, then "dies"; the replacement store is
+  // empty, but the routing layer re-sends (seq, prev, baseline) — the
+  // delta for scan 3 must come out bit-identical.
+  MonitorOptions opt;
+  SessionStore original(opt);
+  original.observe(9, 0.20, 0.0, nullptr);
+  original.observe(9, 0.35, 0.0, nullptr);
+  const auto snap = original.snapshot(9, 0.0);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->seq, 2u);
+  EXPECT_DOUBLE_EQ(snap->prev_burden, 0.35);
+  EXPECT_DOUBLE_EQ(snap->baseline_burden, 0.20);
+
+  SessionPrior prior;
+  prior.seq = 3;
+  prior.prev_burden = snap->prev_burden;
+  prior.baseline_burden = snap->baseline_burden;
+
+  const ScanDelta on_original = original.observe(9, 0.50, 0.0, &prior);
+  SessionStore fresh(opt);
+  const ScanDelta on_fresh = fresh.observe(9, 0.50, 0.0, &prior);
+
+  EXPECT_EQ(on_fresh.seq, on_original.seq);
+  EXPECT_EQ(0, std::memcmp(&on_fresh.delta_vs_prev,
+                           &on_original.delta_vs_prev, sizeof(double)));
+  EXPECT_EQ(0, std::memcmp(&on_fresh.delta_vs_baseline,
+                           &on_original.delta_vs_baseline, sizeof(double)));
+  EXPECT_EQ(fresh.rebuilt.load(), 1u);
+  EXPECT_EQ(fresh.created.load(), 0u);
+}
+
+TEST(SessionStore, TtlExpiresIdleSessionsLazily) {
+  MonitorOptions opt;
+  opt.session_ttl_s = 10.0;
+  SessionStore store(opt);
+  store.observe(1, 0.1, 0.0, nullptr);
+  store.observe(2, 0.2, 5.0, nullptr);
+  EXPECT_EQ(store.patients(), 2u);
+  // t=12: patient 1 (idle 12s) expires, patient 2 (idle 7s) survives.
+  EXPECT_TRUE(store.snapshot(2, 12.0).has_value());
+  EXPECT_FALSE(store.snapshot(1, 12.0).has_value());
+  EXPECT_EQ(store.expired.load(), 1u);
+  // The expired patient's next scan starts a new series at seq 1.
+  EXPECT_EQ(store.observe(1, 0.3, 12.0, nullptr).seq, 1u);
+}
+
+TEST(SessionStore, CapacityEvictsLruPatient) {
+  MonitorOptions opt;
+  opt.session_capacity = 2;
+  SessionStore store(opt);
+  store.observe(1, 0.1, 0.0, nullptr);
+  store.observe(2, 0.2, 0.0, nullptr);
+  store.observe(1, 0.15, 0.0, nullptr);  // 1 is hottest
+  store.observe(3, 0.3, 0.0, nullptr);   // evicts 2
+  EXPECT_EQ(store.patients(), 2u);
+  EXPECT_FALSE(store.snapshot(2, 0.0).has_value());
+  EXPECT_TRUE(store.snapshot(1, 0.0).has_value());
+  EXPECT_EQ(store.evicted.load(), 1u);
+}
+
+// --------------------------------------------------- server integration
+
+std::shared_ptr<const pipeline::ComputeCovid19Pipeline> tiny_pipeline() {
+  nn::seed_init_rng(3);
+  auto enh =
+      std::make_shared<pipeline::EnhancementAI>(nn::DDnetConfig::tiny());
+  auto seg = std::make_shared<pipeline::SegmentationAI>();
+  auto cls = std::make_shared<pipeline::ClassificationAI>();
+  enh->network().set_training(false);
+  seg->network().set_training(false);
+  cls->network().set_training(false);
+  return std::make_shared<const pipeline::ComputeCovid19Pipeline>(enh, seg,
+                                                                  cls);
+}
+
+serve::ServerOptions monitor_options() {
+  serve::ServerOptions opt;
+  opt.workers = 1;
+  opt.max_batch = 1;
+  opt.batch_delay = std::chrono::microseconds(100);
+  opt.monitor = true;
+  return opt;
+}
+
+serve::DiagnoseResponse roundtrip(serve::InferenceServer& server,
+                                  const Tensor& vol,
+                                  std::uint64_t patient_id) {
+  serve::ServeOptions so;
+  so.patient_id = patient_id;
+  auto fut = server.submit(vol, so);
+  EXPECT_EQ(fut.wait_for(30s), std::future_status::ready);
+  return fut.get();
+}
+
+TEST(MonitorServer, CacheHitIsBitwiseIdenticalToRecompute) {
+  Rng rng(11);
+  const auto vol = data::make_volume(2, 8, true, rng);
+  serve::InferenceServer server(tiny_pipeline(), monitor_options());
+
+  const auto first = roundtrip(server, vol.hu, 50);
+  ASSERT_EQ(first.status, serve::RequestStatus::kOk);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_GT(first.infection_burden, 0.0);
+
+  const auto second = roundtrip(server, vol.hu, 50);
+  ASSERT_EQ(second.status, serve::RequestStatus::kOk);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(0, std::memcmp(&first.diagnosis.probability,
+                           &second.diagnosis.probability, sizeof(double)));
+  EXPECT_EQ(0, std::memcmp(&first.infection_burden,
+                           &second.infection_burden, sizeof(double)));
+  EXPECT_EQ(first.diagnosis.positive, second.diagnosis.positive);
+
+  ASSERT_NE(server.monitor(), nullptr);
+  EXPECT_EQ(server.monitor()->cache().hits.load(), 1u);
+  // Identical volume, one scan apart: the delta must be exactly zero.
+  EXPECT_EQ(second.scan_seq, 2u);
+  EXPECT_EQ(second.burden_delta, 0.0);
+  server.shutdown();
+}
+
+TEST(MonitorServer, InvalidationForcesRecomputeNeverStaleBits) {
+  Rng rng(11);
+  const auto vol = data::make_volume(2, 8, false, rng);
+  serve::InferenceServer server(tiny_pipeline(), monitor_options());
+
+  const auto first = roundtrip(server, vol.hu, 60);
+  ASSERT_EQ(first.status, serve::RequestStatus::kOk);
+  server.monitor()->cache().invalidate("test: config change");
+  const auto second = roundtrip(server, vol.hu, 60);
+  ASSERT_EQ(second.status, serve::RequestStatus::kOk);
+  EXPECT_FALSE(second.cache_hit) << "invalidation must force recompute";
+  // Same volume, same weights: recompute reproduces the same bits.
+  EXPECT_EQ(0, std::memcmp(&first.diagnosis.probability,
+                           &second.diagnosis.probability, sizeof(double)));
+  EXPECT_EQ(server.monitor()->cache().invalidations.load(), 1u);
+  server.shutdown();
+}
+
+TEST(MonitorServer, PerPatientDeltasRideTheResponse) {
+  Rng rng(11);
+  const auto a = data::make_volume(2, 8, false, rng);
+  const auto b = data::make_volume(2, 8, true, rng);
+  serve::InferenceServer server(tiny_pipeline(), monitor_options());
+
+  const auto s1 = roundtrip(server, a.hu, 70);
+  const auto s2 = roundtrip(server, b.hu, 70);
+  ASSERT_EQ(s2.status, serve::RequestStatus::kOk);
+  EXPECT_EQ(s1.scan_seq, 1u);
+  EXPECT_EQ(s2.scan_seq, 2u);
+  EXPECT_DOUBLE_EQ(s2.burden_delta,
+                   s2.infection_burden - s1.infection_burden);
+  EXPECT_DOUBLE_EQ(s2.baseline_delta, s2.burden_delta);
+
+  // A stateless request (patient_id 0) is untouched by monitoring.
+  serve::ServeOptions stateless;
+  auto fut = server.submit(a.hu, stateless);
+  const auto r = fut.get();
+  EXPECT_EQ(r.scan_seq, 0u);
+
+  const std::string json = server.stats_json();
+  EXPECT_NE(json.find("\"monitor\":{\"cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"session\":{\"patients\":1"), std::string::npos);
+  server.shutdown();
+}
+
+TEST(MonitorServer, MonitorOffKeepsResponsesStateless) {
+  Rng rng(11);
+  const auto vol = data::make_volume(2, 8, true, rng);
+  serve::ServerOptions opt = monitor_options();
+  opt.monitor = false;
+  serve::InferenceServer server(tiny_pipeline(), opt);
+  EXPECT_EQ(server.monitor(), nullptr);
+  const auto r = roundtrip(server, vol.hu, 80);
+  ASSERT_EQ(r.status, serve::RequestStatus::kOk);
+  EXPECT_EQ(r.scan_seq, 0u);
+  EXPECT_FALSE(r.cache_hit);
+  // The burden metric itself still rides the diagnosis (the pipeline
+  // computes it unconditionally).
+  EXPECT_GT(r.diagnosis.infection_burden, 0.0);
+  EXPECT_EQ(server.stats_json().find("\"monitor\""), std::string::npos);
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace ccovid

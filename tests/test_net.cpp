@@ -443,8 +443,10 @@ TEST(ShardProto, TruncatedAndSkewedBodiesThrowTyped) {
   EXPECT_THROW((void)serve::decode_request(wire), CommError);
 
   // A damaged dim cannot drive an allocation past the payload bound.
+  // Dim bytes sit right before the voxel payload: ids (8+8), monitor
+  // triple (8+1+8+8), flag+threshold (1+8), then depth/height/width.
   auto bad = serve::encode(req);
-  bad[17 + 8] = 0xFF;  // one of the dim bytes (offset past ids+flags)
+  bad[bad.size() - vol.numel() * sizeof(real_t) - 12] = 0xFF;
   EXPECT_THROW((void)serve::decode_request(bad), CommError);
 }
 

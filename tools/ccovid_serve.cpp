@@ -89,6 +89,13 @@ struct ToolArgs {
   bool degrade = false;
   std::string trace_out;  // empty = tracing off
 
+  // Longitudinal monitoring mode (serve/monitor.h).
+  bool monitor = false;
+  int rescans = 0;             // follow-up scan rounds per patient
+  std::size_t cache_cap = 256;
+  std::size_t session_cap = 1024;
+  double session_ttl_s = 0.0;  // 0 = never expire
+
   // Sharded mode (serve/shard.h).
   std::string role = "single";  // single | front | worker
   int shards = 2;
@@ -122,6 +129,8 @@ void usage() {
       "                    [--precision fp32|fp16|bf16|int8]\n"
       "                    [--trace-out PATH]\n"
       "                    [--recv-timeout S]\n"
+      "  monitoring:       [--monitor] [--rescans N] [--cache-cap N]\n"
+      "                    [--session-cap N] [--session-ttl S]\n"
       "  sharded:          [--role front|worker|single] [--shards N]\n"
       "                    [--connect SPEC,SPEC] [--listen SPEC]\n"
       "                    [--shard-id K] [--hb-interval-ms MS]\n"
@@ -199,6 +208,20 @@ bool parse(int argc, char** argv, ToolArgs& a) {
       a.retries = std::atoi(v);
     } else if (!std::strcmp(arg, "--degrade")) {
       a.degrade = true;
+    } else if (!std::strcmp(arg, "--monitor")) {
+      a.monitor = true;
+    } else if (!std::strcmp(arg, "--rescans")) {
+      if (!(v = next(arg))) return false;
+      a.rescans = std::atoi(v);
+    } else if (!std::strcmp(arg, "--cache-cap")) {
+      if (!(v = next(arg))) return false;
+      a.cache_cap = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--session-cap")) {
+      if (!(v = next(arg))) return false;
+      a.session_cap = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--session-ttl")) {
+      if (!(v = next(arg))) return false;
+      a.session_ttl_s = std::atof(v);
     } else if (!std::strcmp(arg, "--threads")) {
       if (!(v = next(arg))) return false;
       set_num_threads(std::atoi(v));
@@ -340,6 +363,10 @@ serve::ServerOptions server_options(const ToolArgs& a) {
   opt.device_stall_s = a.stall_ms * 1e-3;
   opt.max_retries = a.retries;
   opt.degrade_on_failure = a.degrade;
+  opt.monitor = a.monitor;
+  opt.monitor_opts.cache_capacity = a.cache_cap;
+  opt.monitor_opts.session_capacity = a.session_cap;
+  opt.monitor_opts.session_ttl_s = a.session_ttl_s;
   return opt;
 }
 
@@ -354,6 +381,22 @@ std::vector<data::PhantomVolume> make_patients(const ToolArgs& a) {
     patients.push_back(data::make_volume(a.depth, a.size, i % 2 == 1, rng));
   }
   return patients;
+}
+
+// Follow-up volumes for monitoring mode. Scan rounds alternate: even
+// rounds re-submit each patient's baseline volume (deterministic cache
+// hits whose bits must equal round 0's recomputation), odd rounds
+// submit this distinct follow-up (real burden deltas). Seeded, so every
+// process — front door, workers, the --verify twin — sees the same
+// voxels.
+std::vector<data::PhantomVolume> make_followups(const ToolArgs& a) {
+  Rng rng(a.seed ^ 0x6d6f6e69746f72ull);
+  std::vector<data::PhantomVolume> scans;
+  scans.reserve(static_cast<std::size_t>(a.volumes));
+  for (int i = 0; i < a.volumes; ++i) {
+    scans.push_back(data::make_volume(a.depth, a.size, i % 2 == 1, rng));
+  }
+  return scans;
 }
 
 std::string format_seconds(double s) {
@@ -413,6 +456,17 @@ std::vector<std::string> worker_argv(const ToolArgs& a, const std::string& exe,
     argv.push_back(format_seconds(a.stall_ms));
   }
   if (a.degrade) argv.push_back("--degrade");
+  if (a.monitor) {
+    argv.push_back("--monitor");
+    argv.push_back("--cache-cap");
+    argv.push_back(std::to_string(a.cache_cap));
+    argv.push_back("--session-cap");
+    argv.push_back(std::to_string(a.session_cap));
+    if (a.session_ttl_s > 0) {
+      argv.push_back("--session-ttl");
+      argv.push_back(format_seconds(a.session_ttl_s));
+    }
+  }
   if (core::active_precision() != core::Precision::kF32) {
     // Spawned workers must run the same storage format as the front
     // door's --verify twin, or the bitwise check would compare formats.
@@ -504,52 +558,65 @@ int run_front(const ToolArgs& a) {
     fopt.heartbeat_interval_s = a.hb_interval_ms * 1e-3;
     fopt.heartbeat_miss_limit = a.hb_miss_limit;
     fopt.max_failovers = a.max_failovers;
+    fopt.monitor = a.monitor;
     serve::FrontDoor front(std::move(transports), fopt);
 
     const auto patients = make_patients(a);
+    const auto followups = make_followups(a);
     serve::ServeOptions sopt;
     sopt.use_enhancement = a.use_enhancement;
     sopt.threshold = a.threshold;
 
-    std::vector<std::future<serve::DiagnoseResponse>> futures;
-    futures.reserve(patients.size());
-    WallTimer wall;
-    for (std::size_t i = 0; i < patients.size(); ++i) {
-      // Patient ids are stable across runs so routing is reproducible.
-      futures.push_back(
-          front.submit(1000 + static_cast<std::uint64_t>(i),
-                       patients[i].hu, sopt));
-      if (a.interval_ms > 0) {
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(a.interval_ms));
-      }
-    }
-
+    // Monitoring: each round is one scan per patient; the front door is
+    // the ordinal authority, and rounds are collected before the next
+    // one submits (a patient's follow-up scan never overtakes its
+    // predecessor — the sequential-per-patient contract).
+    const int rounds = 1 + (a.monitor ? a.rescans : 0);
+    std::vector<const data::PhantomVolume*> scans;  // flat submit order
+    std::vector<serve::DiagnoseResponse> responses;
     bool killed = false;
-    std::vector<serve::DiagnoseResponse> responses(futures.size());
-    for (std::size_t i = 0; i < futures.size(); ++i) {
-      if (!killed && a.kill_shard >= 0 && a.kill_shard < n &&
-          static_cast<long>(i) == a.kill_after) {
-        const std::uint32_t pid = front.worker_pid(a.kill_shard);
-        if (pid != 0) {
-          std::printf("chaos: SIGKILL shard %d (pid %u) after %zu "
-                      "response(s)\n",
-                      a.kill_shard, pid, i);
-          serve::kill_process(static_cast<int>(pid), SIGKILL);
+    long got = 0;
+    WallTimer wall;
+    for (int round = 0; round < rounds; ++round) {
+      std::vector<std::future<serve::DiagnoseResponse>> futures;
+      futures.reserve(patients.size());
+      for (std::size_t i = 0; i < patients.size(); ++i) {
+        const data::PhantomVolume& vol =
+            round % 2 == 0 ? patients[i] : followups[i];
+        scans.push_back(&vol);
+        // Patient ids are stable across runs so routing is reproducible.
+        futures.push_back(front.submit(
+            1000 + static_cast<std::uint64_t>(i), vol.hu, sopt));
+        if (a.interval_ms > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(a.interval_ms));
         }
-        killed = true;
       }
-      responses[i] = futures[i].get();
-      const auto& r = responses[i];
-      const bool truth = patients[i].label != 0;
-      if (r.status == serve::RequestStatus::kOk) {
-        ++completed;
-        correct += truth == r.diagnosis.positive;
-      } else {
-        ++lost;
-        std::printf("  #%-3llu %-9s %s\n",
-                    static_cast<unsigned long long>(r.request_id),
-                    serve::to_string(r.status), r.error.c_str());
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        if (!killed && a.kill_shard >= 0 && a.kill_shard < n &&
+            got == a.kill_after) {
+          const std::uint32_t pid = front.worker_pid(a.kill_shard);
+          if (pid != 0) {
+            std::printf("chaos: SIGKILL shard %d (pid %u) after %ld "
+                        "response(s)\n",
+                        a.kill_shard, pid, got);
+            serve::kill_process(static_cast<int>(pid), SIGKILL);
+          }
+          killed = true;
+        }
+        responses.push_back(futures[i].get());
+        ++got;
+        const auto& r = responses.back();
+        const bool truth = scans[responses.size() - 1]->label != 0;
+        if (r.status == serve::RequestStatus::kOk) {
+          ++completed;
+          correct += truth == r.diagnosis.positive;
+        } else {
+          ++lost;
+          std::printf("  #%-3llu %-9s %s\n",
+                      static_cast<unsigned long long>(r.request_id),
+                      serve::to_string(r.status), r.error.c_str());
+        }
       }
     }
     elapsed = wall.seconds();
@@ -560,17 +627,39 @@ int run_front(const ToolArgs& a) {
 
     if (a.verify) {
       // Bitwise check: the same seed builds the same weights here as in
-      // every worker, so each probability must match exactly.
+      // every worker, so each probability must match exactly. The twin
+      // runs WITHOUT a monitor, so every scan is recomputed — sharded
+      // responses served from the result cache must still match it
+      // bit-for-bit (the no-stale-bits invariant, end to end).
       auto pipe = build_pipeline(a);
       if (!pipe) return 1;
-      serve::InferenceServer local(std::move(pipe), server_options(a));
-      std::vector<std::future<serve::DiagnoseResponse>> lf;
-      lf.reserve(patients.size());
+      serve::ServerOptions lopt = server_options(a);
+      lopt.monitor = false;
+      serve::InferenceServer local(std::move(pipe), lopt);
+      // Submit round-by-round like the serving loop did: the whole
+      // scan stream can exceed the admission queue bound.
       WallTimer single_wall;
-      for (const auto& p : patients) lf.push_back(local.submit(p.hu, sopt));
+      std::vector<std::future<serve::DiagnoseResponse>> lf;
+      lf.reserve(scans.size());
+      for (std::size_t base = 0; base < scans.size();
+           base += patients.size()) {
+        std::vector<std::future<serve::DiagnoseResponse>> roundf;
+        for (std::size_t i = base;
+             i < base + patients.size() && i < scans.size(); ++i) {
+          roundf.push_back(local.submit(scans[i]->hu, sopt));
+        }
+        for (auto& f : roundf) f.wait();
+        for (auto& f : roundf) lf.push_back(std::move(f));
+      }
       for (std::size_t i = 0; i < lf.size(); ++i) {
         const serve::DiagnoseResponse e = lf[i].get();
         if (responses[i].status != serve::RequestStatus::kOk) continue;
+        if (e.status != serve::RequestStatus::kOk) {
+          bitwise_match = false;
+          std::printf("verify: local twin failed at #%zu: %s %s\n", i,
+                      serve::to_string(e.status), e.error.c_str());
+          continue;
+        }
         if (std::memcmp(&e.diagnosis.probability,
                         &responses[i].diagnosis.probability,
                         sizeof(double)) != 0 ||
@@ -580,6 +669,17 @@ int run_front(const ToolArgs& a) {
                       "single P=%.17g\n",
                       i, responses[i].diagnosis.probability,
                       e.diagnosis.probability);
+        }
+        if (a.monitor &&
+            std::memcmp(&e.diagnosis.infection_burden,
+                        &responses[i].infection_burden,
+                        sizeof(double)) != 0) {
+          bitwise_match = false;
+          std::printf("verify: BURDEN MISMATCH at #%zu: sharded %.17g "
+                      "(cache_hit=%d), single %.17g\n",
+                      i, responses[i].infection_burden,
+                      responses[i].cache_hit ? 1 : 0,
+                      e.diagnosis.infection_burden);
         }
       }
       single_elapsed = single_wall.seconds();
@@ -591,7 +691,7 @@ int run_front(const ToolArgs& a) {
 
     std::printf("\n%d/%zu completed (%d correct, %d lost, %llu failed "
                 "over, %llu heartbeat misses) in %.2fs — %.2f volumes/s\n",
-                completed, futures.size(), correct, lost,
+                completed, scans.size(), correct, lost,
                 static_cast<unsigned long long>(failed_over),
                 static_cast<unsigned long long>(hb_misses), elapsed,
                 completed / elapsed);
@@ -678,43 +778,64 @@ int main(int argc, char** argv) {
   serve::InferenceServer server(std::move(pipe), opt);
 
   const std::vector<data::PhantomVolume> patients = make_patients(a);
+  const std::vector<data::PhantomVolume> followups = make_followups(a);
 
   serve::ServeOptions sopt;
   sopt.use_enhancement = a.use_enhancement;
   sopt.threshold = a.threshold;
 
-  std::vector<std::future<serve::DiagnoseResponse>> futures;
-  futures.reserve(patients.size());
-  WallTimer wall;
-  for (const auto& p : patients) {
-    futures.push_back(server.submit(p.hu, sopt));
-    if (a.interval_ms > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(a.interval_ms));
-    }
-  }
-
+  // Monitoring: rounds of one scan per patient, collected round by
+  // round so a patient's scans observe the session store in order.
+  const int rounds = 1 + (a.monitor ? a.rescans : 0);
+  std::size_t submitted = 0;
   int correct = 0, completed = 0;
-  for (std::size_t i = 0; i < futures.size(); ++i) {
-    const serve::DiagnoseResponse r = futures[i].get();
-    const bool truth = patients[i].label != 0;
-    if (r.status == serve::RequestStatus::kOk) {
-      ++completed;
-      const bool ok = truth == r.diagnosis.positive;
-      correct += ok;
-      std::printf(
-          "  #%-3llu %-9s P=%.4f -> %-8s truth=%-8s batch=%zu "
-          "queue=%.1fms exec=%.1fms total=%.1fms%s%s\n",
-          static_cast<unsigned long long>(r.request_id),
-          serve::to_string(r.status), r.diagnosis.probability,
-          r.diagnosis.positive ? "POSITIVE" : "negative",
-          truth ? "POSITIVE" : "negative", r.batch_size, 1e3 * r.queue_s,
-          1e3 * r.execute_s, 1e3 * r.total_s,
-          r.retries > 0 ? " [retried]" : "",
-          r.degraded ? " [degraded]" : "");
-    } else {
-      std::printf("  #%-3llu %-9s %s\n",
-                  static_cast<unsigned long long>(r.request_id),
-                  serve::to_string(r.status), r.error.c_str());
+  WallTimer wall;
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<std::future<serve::DiagnoseResponse>> futures;
+    futures.reserve(patients.size());
+    for (std::size_t i = 0; i < patients.size(); ++i) {
+      const data::PhantomVolume& vol =
+          round % 2 == 0 ? patients[i] : followups[i];
+      serve::ServeOptions so = sopt;
+      if (a.monitor) so.patient_id = 1000 + static_cast<std::uint64_t>(i);
+      futures.push_back(server.submit(vol.hu, so));
+      ++submitted;
+      if (a.interval_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(a.interval_ms));
+      }
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const serve::DiagnoseResponse r = futures[i].get();
+      const bool truth =
+          (round % 2 == 0 ? patients[i] : followups[i]).label != 0;
+      if (r.status == serve::RequestStatus::kOk) {
+        ++completed;
+        const bool ok = truth == r.diagnosis.positive;
+        correct += ok;
+        char mon[96] = "";
+        if (r.scan_seq > 0) {
+          std::snprintf(mon, sizeof(mon),
+                        " seq=%llu burden=%.4f d=%+.4f%s",
+                        static_cast<unsigned long long>(r.scan_seq),
+                        r.infection_burden, r.burden_delta,
+                        r.cache_hit ? " [hit]" : "");
+        }
+        std::printf(
+            "  #%-3llu %-9s P=%.4f -> %-8s truth=%-8s batch=%zu "
+            "queue=%.1fms exec=%.1fms total=%.1fms%s%s%s\n",
+            static_cast<unsigned long long>(r.request_id),
+            serve::to_string(r.status), r.diagnosis.probability,
+            r.diagnosis.positive ? "POSITIVE" : "negative",
+            truth ? "POSITIVE" : "negative", r.batch_size, 1e3 * r.queue_s,
+            1e3 * r.execute_s, 1e3 * r.total_s,
+            r.retries > 0 ? " [retried]" : "",
+            r.degraded ? " [degraded]" : "", mon);
+      } else {
+        std::printf("  #%-3llu %-9s %s\n",
+                    static_cast<unsigned long long>(r.request_id),
+                    serve::to_string(r.status), r.error.c_str());
+      }
     }
   }
   const double elapsed = wall.seconds();
@@ -722,7 +843,7 @@ int main(int argc, char** argv) {
 
   std::printf("\n%d/%zu completed (%d calls correct) in %.2fs — "
               "%.2f volumes/s\n",
-              completed, futures.size(), correct, elapsed,
+              completed, submitted, correct, elapsed,
               completed / elapsed);
   const std::string stats = server.stats_json();
   std::printf("stats: %s\n", stats.c_str());
